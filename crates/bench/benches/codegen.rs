@@ -1,0 +1,64 @@
+//! Criterion: compiler throughput per SFI strategy, plus the vectorizer
+//! ablation (how much compile time the WAMR-style pass costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfi_core::{compile, Strategy};
+
+fn bench_compile(c: &mut Criterion) {
+    let w = sfi_workloads::sightglass()
+        .into_iter()
+        .find(|w| w.name == "heapsort")
+        .expect("corpus has heapsort");
+    let module = w.module();
+    let mut group = c.benchmark_group("compile_heapsort");
+    group.sample_size(20);
+    for strategy in [Strategy::Native, Strategy::GuardRegion, Strategy::Segue, Strategy::BoundsCheck]
+    {
+        let cfg = sfi_bench::config_for(strategy, module.mem_min_pages, false);
+        group.bench_with_input(BenchmarkId::from_parameter(strategy), &cfg, |b, cfg| {
+            b.iter(|| compile(&module, cfg).expect("compiles"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_vectorizer(c: &mut Criterion) {
+    let w = sfi_workloads::sightglass()
+        .into_iter()
+        .find(|w| w.name == "memmove")
+        .expect("corpus has memmove");
+    let module = w.module();
+    let mut group = c.benchmark_group("vectorizer_ablation");
+    group.sample_size(20);
+    for vectorize in [false, true] {
+        let cfg = sfi_bench::config_for(Strategy::GuardRegion, module.mem_min_pages, vectorize);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if vectorize { "on" } else { "off" }),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| compile(&module, cfg).expect("compiles"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let w = sfi_workloads::spec2006()
+        .into_iter()
+        .find(|w| w.name == "445_gobmk")
+        .expect("corpus has gobmk");
+    let module = w.module();
+    let cm = compile(&module, &sfi_bench::config_for(Strategy::Segue, module.mem_min_pages, false))
+        .expect("compiles");
+    let program = cm.image.program().clone();
+    let mut group = c.benchmark_group("encode");
+    group.sample_size(30);
+    group.bench_function("gobmk_segue", |b| {
+        b.iter(|| sfi_x86::encode::encode_program(&program).expect("encodes"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_vectorizer, bench_encode);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion: emulator throughput — how fast the deterministic x86 model
+//! retires instructions (the laboratory's own performance, not the paper's).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sfi_core::Strategy;
+
+fn bench_emulator(c: &mut Criterion) {
+    let w = sfi_workloads::sightglass()
+        .into_iter()
+        .find(|w| w.name == "nestedloop")
+        .expect("corpus has nestedloop");
+    let cm = sfi_bench::compile_workload(&w, Strategy::Segue, false);
+    // One dry run to learn the instruction count.
+    let insts = sfi_bench::run_compiled(&w, &cm).insts;
+
+    let mut group = c.benchmark_group("emulator");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(insts));
+    group.bench_function("nestedloop_segue", |b| {
+        b.iter(|| sfi_core::harness::execute_export(&cm, "run", &[]).expect("runs"));
+    });
+    group.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let w = sfi_workloads::sightglass()
+        .into_iter()
+        .find(|w| w.name == "fib2")
+        .expect("corpus has fib2");
+    let module = w.module();
+    let mut group = c.benchmark_group("interpreter");
+    group.sample_size(10);
+    group.bench_function("fib2", |b| {
+        b.iter(|| {
+            let mut i = sfi_wasm::interp::Interpreter::new(&module).expect("instantiates");
+            i.invoke_export("run", &[]).expect("runs")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_emulator, bench_interpreter);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion: the from-scratch FaaS workload engines (regex, templating,
+//! consistent hashing) — real host performance of the §6.4.3 building
+//! blocks.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sfi_faas::hashlb::HashRing;
+use sfi_faas::regex::Regex;
+use sfi_faas::template::{render, Context};
+
+fn bench_regex(c: &mut Criterion) {
+    let re = Regex::new("^/api/v[0-9]+/users/[0-9]+$").expect("static pattern");
+    let hit = "/api/v2/users/1234567";
+    let miss = "/static/assets/app.bundle.min.js";
+    let mut group = c.benchmark_group("regex");
+    group.throughput(Throughput::Bytes((hit.len() + miss.len()) as u64));
+    group.bench_function("url_filter", |b| {
+        b.iter(|| (re.is_match(hit), re.is_match(miss)));
+    });
+    group.finish();
+}
+
+fn bench_template(c: &mut Criterion) {
+    let mut ctx = Context::new();
+    ctx.insert("title".into(), "Bench".into());
+    ctx.insert(
+        "rows".into(),
+        (0..50).map(|i| format!("row-{i}")).collect::<Vec<_>>().join("|"),
+    );
+    let tpl = "<h1>{{title}}</h1><ul>{{#each rows}}<li>{{item}}</li>{{/each}}</ul>";
+    c.bench_function("template/50_rows", |b| {
+        b.iter(|| render(tpl, &ctx).expect("renders"));
+    });
+}
+
+fn bench_hashring(c: &mut Criterion) {
+    let ring = HashRing::new((0..16).map(|i| format!("origin-{i}")).collect::<Vec<_>>(), 64);
+    c.bench_function("hashring/route", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            ring.route(&format!("/tenant/{}/obj/{i}", i % 512))
+        });
+    });
+}
+
+criterion_group!(benches, bench_regex, bench_template, bench_hashring);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion: ColorGuard allocator performance — layout computation, slot
+//! allocate/recycle, and the bounded-exhaustive verifier (the paper's Flux
+//! proof "checks in under a second"; our model checker should too).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfi_pool::{compute_layout, MemoryPool, PoolConfig};
+use sfi_vm::AddressSpace;
+
+fn bench_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout");
+    for keys in [0u8, 15] {
+        let cfg = PoolConfig::scaling_benchmark(keys);
+        group.bench_with_input(BenchmarkId::from_parameter(keys), &cfg, |b, cfg| {
+            b.iter(|| compute_layout(cfg).expect("valid config"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_alloc_recycle(c: &mut Criterion) {
+    let cfg = PoolConfig {
+        num_slots: 64,
+        max_memory_bytes: 65536,
+        expected_slot_bytes: 4 * 65536,
+        guard_bytes: 4 * 65536,
+        guard_before_slots: true,
+        num_pkeys_available: 15,
+        total_memory_bytes: 1 << 31,
+    };
+    let mut space = AddressSpace::new_48bit();
+    let mut pool = MemoryPool::create(&mut space, &cfg).expect("pool");
+    c.bench_function("pool/alloc_recycle", |b| {
+        b.iter(|| {
+            let h = pool.allocate(&mut space).expect("slot");
+            pool.deallocate(&mut space, h).expect("recycles");
+        });
+    });
+}
+
+fn bench_verifier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify");
+    group.sample_size(10);
+    group.bench_function("bounded_exhaustive_fixed", |b| {
+        b.iter(|| {
+            assert!(sfi_pool::verify::find_violation(sfi_pool::compute_layout).is_none());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_layout, bench_alloc_recycle, bench_verifier);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion: end-to-end invocation cost through the multi-instance runtime
+//! with and without ColorGuard — the §6.4.1 microbenchmark's real-code
+//! counterpart (the paper uses wasmtime/benches/call.rs).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfi_core::{compile, CompilerConfig, Strategy};
+use sfi_runtime::{Runtime, RuntimeConfig};
+
+fn bench_invoke(c: &mut Criterion) {
+    let module = sfi_wasm::wat::parse(
+        r#"(module (memory 1)
+             (func (export "noop") (result i32) i32.const 1))"#,
+    )
+    .expect("static module");
+    let cm = Arc::new(
+        compile(&module, &CompilerConfig::for_strategy(Strategy::Segue)).expect("compiles"),
+    );
+
+    let mut group = c.benchmark_group("invoke_noop");
+    group.sample_size(30);
+    for colorguard in [false, true] {
+        let mut rt = Runtime::new(RuntimeConfig::small_test(colorguard)).expect("runtime");
+        let inst = rt.instantiate(Arc::clone(&cm)).expect("slot");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if colorguard { "colorguard" } else { "plain" }),
+            &inst,
+            |b, &inst| {
+                b.iter(|| rt.invoke(inst, "noop", &[]).expect("runs"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_instantiate(c: &mut Criterion) {
+    let module = sfi_wasm::wat::parse(
+        r#"(module (memory 1)
+             (data (i32.const 0) "seed")
+             (func (export "noop") (result i32) i32.const 1))"#,
+    )
+    .expect("static module");
+    let cm = Arc::new(
+        compile(&module, &CompilerConfig::for_strategy(Strategy::Segue)).expect("compiles"),
+    );
+    let mut rt = Runtime::new(RuntimeConfig::small_test(true)).expect("runtime");
+    c.bench_function("instantiate_terminate", |b| {
+        b.iter(|| {
+            let id = rt.instantiate(Arc::clone(&cm)).expect("slot");
+            rt.terminate(id).expect("recycles");
+        });
+    });
+}
+
+criterion_group!(benches, bench_invoke, bench_instantiate);
+criterion_main!(benches);

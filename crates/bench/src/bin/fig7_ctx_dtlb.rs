@@ -1,0 +1,54 @@
+//! Figure 7: context switches (a) and dTLB misses (b), ColorGuard vs
+//! multi-process scaling, over the simulated run.
+//!
+//! The paper's shape: ColorGuard's rates stay flat as the process count
+//! grows; multi-process rates climb (to ~700 K switches and tens of
+//! millions of dTLB misses over the run).
+
+use sfi_bench::row;
+use sfi_faas::{simulate, FaasWorkload, ScalingMode, SimConfig};
+
+fn main() {
+    println!("Figure 7: context switches and dTLB misses vs process count\n");
+    let widths = [6, 14, 14, 16, 16];
+    row(
+        &[
+            "procs".into(),
+            "mp ctx (K)".into(),
+            "cg ctx (K)".into(),
+            "mp dTLB (M)".into(),
+            "cg dTLB (M)".into(),
+        ],
+        &widths,
+    );
+    let w = FaasWorkload::RegexFilter;
+    let cg = simulate(&SimConfig::paper_rig(w, ScalingMode::ColorGuard));
+    for k in [1u32, 2, 4, 6, 8, 10, 12, 15] {
+        let mp = simulate(&SimConfig::paper_rig(w, ScalingMode::MultiProcess { processes: k }));
+        row(
+            &[
+                format!("{k}"),
+                format!("{:.0}", mp.context_switches as f64 / 1e3),
+                format!("{:.0}", cg.context_switches as f64 / 1e3),
+                format!("{:.1}", mp.dtlb_misses as f64 / 1e6),
+                format!("{:.1}", cg.dtlb_misses as f64 / 1e6),
+            ],
+            &widths,
+        );
+    }
+    println!("\nAll three workloads behave alike; per-workload numbers at 15 processes:");
+    for wl in FaasWorkload::ALL {
+        let cg = simulate(&SimConfig::paper_rig(wl, ScalingMode::ColorGuard));
+        let mp = simulate(&SimConfig::paper_rig(wl, ScalingMode::MultiProcess { processes: 15 }));
+        println!(
+            "  {:>18}: mp {:>4.0}K switches / {:>5.1}M dTLB misses;  cg {:>4.0}K / {:>4.1}M",
+            wl.name(),
+            mp.context_switches as f64 / 1e3,
+            mp.dtlb_misses as f64 / 1e6,
+            cg.context_switches as f64 / 1e3,
+            cg.dtlb_misses as f64 / 1e6,
+        );
+    }
+    println!("\n(paper: multiprocess grows to ~700K switches / tens of millions of dTLB\n\
+              misses while ColorGuard stays flat)");
+}

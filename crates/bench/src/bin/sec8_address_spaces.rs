@@ -1,0 +1,64 @@
+//! §8 (related work): why bigger virtual address spaces don't obsolete
+//! ColorGuard.
+//!
+//! 57-bit user address spaces would fit far more guard-region sandboxes —
+//! but require 5-level page tables, making every TLB miss ~25% more
+//! expensive (the paper: "TLB misses are already a significant source of
+//! overhead in high-performance Wasm-FaaS platforms"). ColorGuard gets the
+//! density *without* the extra walk level.
+
+use sfi_pool::{compute_layout, PoolConfig};
+use sfi_vm::tlb::Tlb;
+use sfi_vm::AddressSpace;
+
+fn main() {
+    println!("§8: scaling via larger address spaces vs ColorGuard\n");
+
+    let s48 = AddressSpace::new_48bit();
+    let s57 = AddressSpace::new_57bit();
+
+    // Capacity: guard-region sandboxes per address space.
+    let mut rows = Vec::new();
+    for (name, span, keys) in [
+        ("48-bit, guard regions", s48.user_span(), 0u8),
+        ("57-bit, guard regions", s57.user_span(), 0),
+        ("48-bit + ColorGuard", s48.user_span(), 15),
+    ] {
+        let cfg = PoolConfig { total_memory_bytes: span, ..PoolConfig::scaling_benchmark(keys) };
+        let slots = compute_layout(&cfg).expect("layout").num_slots;
+        rows.push((name, slots));
+    }
+    println!("instances with 408 MiB memories + 4 GiB reservations + 6 GiB guards:");
+    for (name, slots) in &rows {
+        println!("  {name:<24} {slots:>10}");
+    }
+
+    // Cost: the page-walk depth.
+    let t48 = Tlb::for_va_bits(48);
+    let t57 = Tlb::for_va_bits(57);
+    println!("\ndTLB miss cost: {} levels → {:.0} cycles (48-bit) vs {} levels → {:.0} cycles (57-bit, +{:.0}%)",
+        t48.walk_levels,
+        t48.miss_cycles(),
+        t57.walk_levels,
+        t57.miss_cycles(),
+        (t57.miss_cycles() / t48.miss_cycles() - 1.0) * 100.0
+    );
+
+    // A FaaS node constantly maps/unmaps Wasm heaps: put the walk cost in
+    // context with the Figure 7b miss counts.
+    let misses_per_run = 57.2e6; // multiprocess, 15 procs, 60 s (fig7)
+    let extra = misses_per_run * (t57.miss_cycles() - t48.miss_cycles()) / 2.2e9;
+    println!(
+        "at Figure 7b's multiprocess miss rate, 5-level paging would add ~{extra:.2} s \
+         of walk time per 60 s run"
+    );
+    println!(
+        "\n57-bit spaces fit more raw reservations ({} vs ColorGuard's {}), but pay the\n\
+         5-level-walk tax on every miss and need opt-in kernels/hardware; ColorGuard\n\
+         lifts the 48-bit limit 15× on today's CPUs with 4-level walks — and the two\n\
+         compose (ColorGuard on 57 bits would stripe {}).",
+        rows[1].1,
+        rows[2].1,
+        rows[1].1 * 15
+    );
+}

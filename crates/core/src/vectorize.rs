@@ -1,0 +1,190 @@
+//! The WAMR-style store-vectorization pass (§4.2 of the paper).
+//!
+//! WAMR's AOT compiler includes platform-tuned passes that turn long
+//! scalar load/store sequences into SIMD operations. Those passes pattern-
+//! match plain addressing modes; when Segue turns *stores* into
+//! `gs:`-prefixed accesses the pattern no longer matches and the code stays
+//! scalar — the memmove/sieve regressions in Figure 4. Segue-for-loads-only
+//! keeps the store side vectorizable, which is why the paper's
+//! "Segue on Loads" configuration shows no slowdowns.
+//!
+//! The pass runs over emitted code and rewrites the canonical unrolled-copy
+//! shape
+//!
+//! ```text
+//! mov r, [A+0] ; mov [B+0], r ; mov r, [A+8] ; mov [B+8], r
+//! ```
+//!
+//! into a 128-bit `movdqu` pair (the two replaced scalar ops become `nop`s
+//! so instruction indices — and therefore labels — stay stable).
+
+use sfi_x86::{Inst, Mem, Program, Width, Xmm};
+
+use crate::config::Strategy;
+
+/// Statistics from a vectorization run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VecStats {
+    /// Copy pairs merged into `movdqu` load/store pairs.
+    pub merged_pairs: usize,
+    /// Candidate pairs rejected because the store carried a segment prefix
+    /// (the Segue interaction).
+    pub rejected_segment_stores: usize,
+}
+
+/// Runs the pass in place; returns statistics.
+pub fn vectorize(p: &mut Program, _strategy: Strategy) -> VecStats {
+    let mut stats = VecStats::default();
+    let insts = p.insts_mut();
+    let mut i = 0;
+    while i + 3 < insts.len() {
+        let window: [Inst; 4] = [insts[i], insts[i + 1], insts[i + 2], insts[i + 3]];
+        if let Some((load_mem, store_mem, seg_store)) = match_copy_pair(&window) {
+            if seg_store {
+                // WAMR's pattern-matcher does not recognize segment-prefixed
+                // stores: the pair stays scalar.
+                stats.rejected_segment_stores += 1;
+                i += 4;
+                continue;
+            }
+            insts[i] = Inst::MovdquLoad { dst: Xmm(0), mem: load_mem };
+            insts[i + 1] = Inst::MovdquStore { src: Xmm(0), mem: store_mem };
+            insts[i + 2] = Inst::Nop;
+            insts[i + 3] = Inst::Nop;
+            stats.merged_pairs += 1;
+            i += 4;
+            continue;
+        }
+        i += 1;
+    }
+    stats
+}
+
+/// Matches `load r,[A] ; store [B],r ; load r,[A+8] ; store [B+8],r` with
+/// 8-byte widths. Returns (load mem, store mem, store-had-segment).
+fn match_copy_pair(w: &[Inst; 4]) -> Option<(Mem, Mem, bool)> {
+    let (d1, la, s1, sa) = match (w[0], w[1]) {
+        (
+            Inst::Load { dst, mem: la, width: Width::Q },
+            Inst::Store { src, mem: sa, width: Width::Q },
+        ) if dst == src => (dst, la, src, sa),
+        _ => return None,
+    };
+    let (d2, lb, s2, sb) = match (w[2], w[3]) {
+        (
+            Inst::Load { dst, mem: lb, width: Width::Q },
+            Inst::Store { src, mem: sb, width: Width::Q },
+        ) if dst == src => (dst, lb, src, sb),
+        _ => return None,
+    };
+    if d1 != d2 || s1 != s2 {
+        return None;
+    }
+    if !consecutive(&la, &lb) || !consecutive(&sa, &sb) {
+        return None;
+    }
+    // Loads with a segment prefix are recognized (WAMR handles the read
+    // side); stores with one are not.
+    Some((la, sa, sa.seg.is_some()))
+}
+
+/// Same base/index/segment, displacement exactly 8 apart.
+fn consecutive(a: &Mem, b: &Mem) -> bool {
+    a.base == b.base
+        && a.index == b.index
+        && a.seg == b.seg
+        && a.addr32 == b.addr32
+        && b.disp == a.disp + 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfi_x86::{Gpr, Seg};
+
+    fn copy_pair(seg_loads: bool, seg_stores: bool) -> Program {
+        let mut p = Program::new();
+        let lmem = |d| {
+            let m = Mem::base_disp(Gpr::Rsi, d);
+            if seg_loads {
+                m.with_seg(Seg::Gs)
+            } else {
+                m
+            }
+        };
+        let smem = |d| {
+            let m = Mem::base_disp(Gpr::Rdi, d);
+            if seg_stores {
+                m.with_seg(Seg::Gs)
+            } else {
+                m
+            }
+        };
+        p.push(Inst::Load { dst: Gpr::Rax, mem: lmem(0), width: Width::Q });
+        p.push(Inst::Store { src: Gpr::Rax, mem: smem(0), width: Width::Q });
+        p.push(Inst::Load { dst: Gpr::Rax, mem: lmem(8), width: Width::Q });
+        p.push(Inst::Store { src: Gpr::Rax, mem: smem(8), width: Width::Q });
+        p.push(Inst::Ret);
+        p
+    }
+
+    #[test]
+    fn plain_copy_pair_vectorizes() {
+        let mut p = copy_pair(false, false);
+        let stats = vectorize(&mut p, Strategy::GuardRegion);
+        assert_eq!(stats.merged_pairs, 1);
+        assert!(matches!(p.insts()[0], Inst::MovdquLoad { .. }));
+        assert!(matches!(p.insts()[1], Inst::MovdquStore { .. }));
+        assert_eq!(p.insts()[2], Inst::Nop);
+        assert_eq!(p.insts()[3], Inst::Nop);
+    }
+
+    #[test]
+    fn segment_loads_still_vectorize() {
+        // Segue-on-loads keeps the store side plain → still vectorizable.
+        let mut p = copy_pair(true, false);
+        let stats = vectorize(&mut p, Strategy::SegueLoads);
+        assert_eq!(stats.merged_pairs, 1);
+        assert_eq!(stats.rejected_segment_stores, 0);
+    }
+
+    #[test]
+    fn segment_stores_break_the_pattern() {
+        // Full Segue prefixes the stores → the pass bails (Figure 4).
+        let mut p = copy_pair(true, true);
+        let stats = vectorize(&mut p, Strategy::Segue);
+        assert_eq!(stats.merged_pairs, 0);
+        assert_eq!(stats.rejected_segment_stores, 1);
+        assert!(matches!(p.insts()[0], Inst::Load { .. }), "stays scalar");
+    }
+
+    #[test]
+    fn non_consecutive_not_merged() {
+        let mut p = Program::new();
+        p.push(Inst::Load { dst: Gpr::Rax, mem: Mem::base_disp(Gpr::Rsi, 0), width: Width::Q });
+        p.push(Inst::Store { src: Gpr::Rax, mem: Mem::base_disp(Gpr::Rdi, 0), width: Width::Q });
+        p.push(Inst::Load { dst: Gpr::Rax, mem: Mem::base_disp(Gpr::Rsi, 16), width: Width::Q });
+        p.push(Inst::Store { src: Gpr::Rax, mem: Mem::base_disp(Gpr::Rdi, 16), width: Width::Q });
+        let stats = vectorize(&mut p, Strategy::GuardRegion);
+        assert_eq!(stats.merged_pairs, 0);
+    }
+
+    #[test]
+    fn instruction_count_is_stable() {
+        // Labels index instructions; the pass must never change the count.
+        let mut p = copy_pair(false, false);
+        let before = p.len();
+        vectorize(&mut p, Strategy::GuardRegion);
+        assert_eq!(p.len(), before);
+    }
+
+    #[test]
+    fn mixed_width_not_merged() {
+        let mut p = Program::new();
+        p.push(Inst::Load { dst: Gpr::Rax, mem: Mem::base_disp(Gpr::Rsi, 0), width: Width::D });
+        p.push(Inst::Store { src: Gpr::Rax, mem: Mem::base_disp(Gpr::Rdi, 0), width: Width::D });
+        p.push(Inst::Load { dst: Gpr::Rax, mem: Mem::base_disp(Gpr::Rsi, 8), width: Width::D });
+        p.push(Inst::Store { src: Gpr::Rax, mem: Mem::base_disp(Gpr::Rdi, 8), width: Width::D });
+        assert_eq!(vectorize(&mut p, Strategy::GuardRegion).merged_pairs, 0);
+    }
+}

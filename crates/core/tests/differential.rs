@@ -1,0 +1,278 @@
+//! Property-based differential testing: every SFI strategy must agree with
+//! the reference interpreter on randomly generated programs.
+//!
+//! Programs are valid by construction: expressions are built as trees that
+//! leave exactly one value on the stack, statements are stores/local-writes,
+//! and the only loop is a bounded counted loop. Addresses are masked into
+//! the first page so every strategy (including `Native`, which assumes
+//! wrap-free address arithmetic) sees in-bounds accesses.
+
+use proptest::prelude::*;
+use sfi_core::harness::differential_check;
+use sfi_wasm::{validate, FuncBuilder, Module, Op, ValType};
+
+/// A random i32 expression over two i32 params (locals 0, 1) and two i32
+/// scratch locals (2, 3).
+#[derive(Debug, Clone)]
+enum Expr {
+    Const(i32),
+    Local(u32),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Shl(Box<Expr>, u8),
+    ShrU(Box<Expr>, u8),
+    DivU(Box<Expr>, Box<Expr>),
+    RemS(Box<Expr>, Box<Expr>),
+    Eq(Box<Expr>, Box<Expr>),
+    LtU(Box<Expr>, Box<Expr>),
+    GeS(Box<Expr>, Box<Expr>),
+    Eqz(Box<Expr>),
+    Select(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Load from `(e & 0xFFC)`.
+    Load(Box<Expr>),
+    /// Load byte from `(e & 0xFFF)` with a static offset.
+    Load8(Box<Expr>, u32),
+    /// i64 round-trip: extend, multiply, wrap.
+    Via64(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn emit(&self, out: &mut Vec<Op>) {
+        match self {
+            Expr::Const(v) => out.push(Op::I32Const(*v)),
+            Expr::Local(l) => out.push(Op::LocalGet(*l)),
+            Expr::Add(a, b) => Self::bin(out, a, b, Op::I32Add),
+            Expr::Sub(a, b) => Self::bin(out, a, b, Op::I32Sub),
+            Expr::Mul(a, b) => Self::bin(out, a, b, Op::I32Mul),
+            Expr::And(a, b) => Self::bin(out, a, b, Op::I32And),
+            Expr::Or(a, b) => Self::bin(out, a, b, Op::I32Or),
+            Expr::Xor(a, b) => Self::bin(out, a, b, Op::I32Xor),
+            Expr::Shl(a, k) => {
+                a.emit(out);
+                out.push(Op::I32Const(i32::from(*k)));
+                out.push(Op::I32Shl);
+            }
+            Expr::ShrU(a, k) => {
+                a.emit(out);
+                out.push(Op::I32Const(i32::from(*k)));
+                out.push(Op::I32ShrU);
+            }
+            Expr::DivU(a, b) => {
+                // Guard against /0 by or-ing 1 into the divisor.
+                a.emit(out);
+                b.emit(out);
+                out.push(Op::I32Const(1));
+                out.push(Op::I32Or);
+                out.push(Op::I32DivU);
+            }
+            Expr::RemS(a, b) => {
+                a.emit(out);
+                b.emit(out);
+                out.push(Op::I32Const(1));
+                out.push(Op::I32Or);
+                out.push(Op::I32RemS);
+            }
+            Expr::Eq(a, b) => Self::bin(out, a, b, Op::I32Eq),
+            Expr::LtU(a, b) => Self::bin(out, a, b, Op::I32LtU),
+            Expr::GeS(a, b) => Self::bin(out, a, b, Op::I32GeS),
+            Expr::Eqz(a) => {
+                a.emit(out);
+                out.push(Op::I32Eqz);
+            }
+            Expr::Select(c, a, b) => {
+                a.emit(out);
+                b.emit(out);
+                c.emit(out);
+                out.push(Op::Select);
+            }
+            Expr::Load(a) => {
+                a.emit(out);
+                out.push(Op::I32Const(0xFFC));
+                out.push(Op::I32And);
+                out.push(Op::I32Load { offset: 0 });
+            }
+            Expr::Load8(a, off) => {
+                a.emit(out);
+                out.push(Op::I32Const(0xFFF));
+                out.push(Op::I32And);
+                out.push(Op::I32Load8U { offset: *off });
+            }
+            Expr::Via64(a, b) => {
+                a.emit(out);
+                out.push(Op::I64ExtendI32U);
+                b.emit(out);
+                out.push(Op::I64ExtendI32S);
+                out.push(Op::I64Mul);
+                out.push(Op::I32WrapI64);
+            }
+        }
+    }
+
+    fn bin(out: &mut Vec<Op>, a: &Expr, b: &Expr, op: Op) {
+        a.emit(out);
+        b.emit(out);
+        out.push(op);
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<i32>().prop_map(Expr::Const),
+        (0u32..4).prop_map(Expr::Local),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(a.into(), b.into())),
+            (inner.clone(), 0u8..32).prop_map(|(a, k)| Expr::Shl(a.into(), k)),
+            (inner.clone(), 0u8..32).prop_map(|(a, k)| Expr::ShrU(a.into(), k)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::DivU(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::RemS(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Eq(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::LtU(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::GeS(a.into(), b.into())),
+            inner.clone().prop_map(|a| Expr::Eqz(a.into())),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, a, b)| Expr::Select(c.into(), a.into(), b.into())),
+            inner.clone().prop_map(|a| Expr::Load(a.into())),
+            (inner.clone(), 0u32..64).prop_map(|(a, o)| Expr::Load8(a.into(), o)),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Via64(a.into(), b.into())),
+        ]
+    })
+}
+
+/// A statement: a store, a local write, or a bounded loop accumulating into
+/// a scratch local.
+#[derive(Debug, Clone)]
+enum Stmt {
+    Store(Expr, Expr),
+    Store8(Expr, Expr),
+    SetLocal(u32, Expr),
+    IfElse(Expr, Box<Stmt>, Box<Stmt>),
+    /// `for i in 0..n { local3 += body }`, n ≤ 16, using local 2 as counter.
+    CountedLoop(u8, Expr),
+}
+
+impl Stmt {
+    fn emit(&self, out: &mut Vec<Op>) {
+        match self {
+            Stmt::Store(addr, val) => {
+                addr.emit(out);
+                out.push(Op::I32Const(0xFFC));
+                out.push(Op::I32And);
+                val.emit(out);
+                out.push(Op::I32Store { offset: 0 });
+            }
+            Stmt::Store8(addr, val) => {
+                addr.emit(out);
+                out.push(Op::I32Const(0xFFF));
+                out.push(Op::I32And);
+                val.emit(out);
+                out.push(Op::I32Store8 { offset: 0 });
+            }
+            Stmt::SetLocal(l, e) => {
+                e.emit(out);
+                out.push(Op::LocalSet(*l));
+            }
+            Stmt::IfElse(c, t, f) => {
+                c.emit(out);
+                out.push(Op::If);
+                t.emit(out);
+                out.push(Op::Else);
+                f.emit(out);
+                out.push(Op::End);
+            }
+            Stmt::CountedLoop(n, body) => {
+                // local2 = n; loop { if local2 == 0 br 1; local3 += body;
+                // local2 -= 1; br 0 }
+                out.push(Op::I32Const(i32::from(*n)));
+                out.push(Op::LocalSet(2));
+                out.push(Op::Block);
+                out.push(Op::Loop);
+                out.push(Op::LocalGet(2));
+                out.push(Op::I32Eqz);
+                out.push(Op::BrIf(1));
+                out.push(Op::LocalGet(3));
+                body.emit(out);
+                out.push(Op::I32Add);
+                out.push(Op::LocalSet(3));
+                out.push(Op::LocalGet(2));
+                out.push(Op::I32Const(1));
+                out.push(Op::I32Sub);
+                out.push(Op::LocalSet(2));
+                out.push(Op::Br(0));
+                out.push(Op::End);
+                out.push(Op::End);
+            }
+        }
+    }
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let e = expr_strategy;
+    let simple = prop_oneof![
+        (e(), e()).prop_map(|(a, v)| Stmt::Store(a, v)),
+        (e(), e()).prop_map(|(a, v)| Stmt::Store8(a, v)),
+        (2u32..4, e()).prop_map(|(l, v)| Stmt::SetLocal(l, v)),
+        (1u8..12, e()).prop_map(|(n, b)| Stmt::CountedLoop(n, b)),
+    ];
+    simple.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (expr_strategy(), inner.clone(), inner)
+                .prop_map(|(c, t, f)| Stmt::IfElse(c, t.into(), f.into())),
+        ]
+    })
+}
+
+fn build_module(stmts: &[Stmt], result: &Expr) -> Module {
+    let mut body = Vec::new();
+    for s in stmts {
+        s.emit(&mut body);
+    }
+    result.emit(&mut body);
+    let mut m = Module::new(1);
+    let f = FuncBuilder::new("f")
+        .params(&[ValType::I32, ValType::I32])
+        .result(ValType::I32)
+        .locals(&[ValType::I32, ValType::I32])
+        .body(body)
+        .build();
+    let idx = m.push_func(f);
+    m.export("f", idx);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn compiled_strategies_match_interpreter(
+        stmts in proptest::collection::vec(stmt_strategy(), 0..5),
+        result in expr_strategy(),
+        a in any::<u32>(),
+        b in any::<u32>(),
+    ) {
+        let m = build_module(&stmts, &result);
+        prop_assert!(validate(&m).is_ok(), "generator must produce valid modules");
+        differential_check(&m, "f", &[u64::from(a), u64::from(b)]);
+    }
+
+    #[test]
+    fn pure_expressions_match(
+        result in expr_strategy(),
+        a in any::<u32>(),
+        b in any::<u32>(),
+    ) {
+        let m = build_module(&[], &result);
+        prop_assert!(validate(&m).is_ok());
+        differential_check(&m, "f", &[u64::from(a), u64::from(b)]);
+    }
+}

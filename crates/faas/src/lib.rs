@@ -1,0 +1,40 @@
+//! # sfi-faas: the FaaS-edge scaling simulation
+//!
+//! Reproduces §6.4.3 of the paper — ColorGuard's single-address-space
+//! scaling versus multi-process scaling, on a deterministic discrete-event
+//! model of the paper's single-core rig (Tokio-style scheduling, 1 ms
+//! epochs, Poisson IO at 5 ms).
+//!
+//! The three FaaS workloads are implemented for real, from scratch (the
+//! offline crate policy excludes `regex` et al.):
+//!
+//! - [`regex::Regex`] — a linear-time Thompson-NFA engine for URL filtering;
+//! - [`template`] — an HTML templating engine with escaping, loops and
+//!   conditionals;
+//! - [`hashlb`] — FNV-1a + a consistent-hash ring for load balancing.
+//!
+//! Per-request compute in the simulation is derived from *actual* runs of
+//! these engines, so workload differences in Figures 6/7 come from real
+//! work, not made-up constants.
+//!
+//! ```
+//! use sfi_faas::{simulate, FaasWorkload, ScalingMode, SimConfig};
+//! let mut cfg = SimConfig::paper_rig(FaasWorkload::HashLoadBalance, ScalingMode::ColorGuard);
+//! cfg.duration_ms = 1_000; // 1 simulated second
+//! let report = simulate(&cfg);
+//! assert!(report.completed > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hashlb;
+pub mod regex;
+pub mod stats;
+pub mod template;
+
+mod sim;
+
+pub use sim::{
+    simulate, throughput_gain_percent, FaasWorkload, ScalingMode, SimConfig, SimCosts, SimReport,
+};

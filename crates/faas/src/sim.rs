@@ -1,0 +1,630 @@
+//! The discrete-event FaaS simulation (§6.4.3, Figures 6 and 7).
+//!
+//! Reproduces the paper's rig: a single core serving N new requests per
+//! 1 ms epoch, each request alternating IO waits (Poisson, 5 ms mean) with
+//! compute stages, preempted at epoch granularity. Two scaling strategies
+//! handle identical request streams:
+//!
+//! - **ColorGuard**: one process, one address space; a cooperative
+//!   (Tokio-style) scheduler runs ready tasks back to back. Per compute
+//!   slice it pays two sandbox transitions (host→guest→host, with the
+//!   `wrpkru` ColorGuard adds) plus a future-poll. Context switches are
+//!   only the OS timer tick; the TLB stays warm.
+//! - **Multi-process**: the same load spread round-robin over K processes.
+//!   The OS round-robins runnable processes at quantum granularity; every
+//!   process change pays a direct switch cost, a dTLB flush-and-refill,
+//!   and a cache-warmup penalty that grows with the number of competing
+//!   processes — the contention effects Figure 7 decomposes.
+//!
+//! Requests are pre-generated from the seed, so both strategies see *the
+//! same* arrivals, IO delays and per-request compute (derived from real
+//! executions of the regex/templating/hash engines in this crate).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::hashlb::HashRing;
+use crate::regex::Regex;
+use crate::stats::{exponential, poisson};
+use crate::template::{render_counted, Context};
+
+/// The three FaaS workloads of §6.4.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaasWorkload {
+    /// Regular-expression filtering of URLs.
+    RegexFilter,
+    /// Hash-based load balancing.
+    HashLoadBalance,
+    /// HTML templating.
+    HtmlTemplate,
+}
+
+impl FaasWorkload {
+    /// All three, in the paper's order.
+    pub const ALL: [FaasWorkload; 3] =
+        [FaasWorkload::HashLoadBalance, FaasWorkload::RegexFilter, FaasWorkload::HtmlTemplate];
+
+    /// Display name (matches the figures).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaasWorkload::RegexFilter => "Regex filtering",
+            FaasWorkload::HashLoadBalance => "Hash load-balance",
+            FaasWorkload::HtmlTemplate => "HTML templating",
+        }
+    }
+
+    /// Executes one request's worth of real work and returns work units
+    /// (converted to compute-ns by the calibration constants below).
+    fn service_work(self, rng: &mut StdRng, rt: &WorkloadRt) -> u64 {
+        match self {
+            FaasWorkload::RegexFilter => {
+                // One request filters a batch of URLs (an access-log chunk).
+                let mut work = 0;
+                for _ in 0..1 {
+                    let depth = rng.gen_range(2..6);
+                    let mut url = String::from("/api");
+                    for _ in 0..depth {
+                        url.push('/');
+                        let seg_len = rng.gen_range(3..12);
+                        for _ in 0..seg_len {
+                            url.push((b'a' + rng.gen_range(0..26)) as char);
+                        }
+                    }
+                    for f in &rt.filters {
+                        let (_, w) = f.is_match_counted(&url);
+                        work += w;
+                    }
+                }
+                work
+            }
+            FaasWorkload::HashLoadBalance => {
+                // One request routes a batch of keys across service tiers.
+                let mut work = 0;
+                for _ in 0..4 {
+                    let key = format!(
+                        "/tenant/{}/object/{}",
+                        rng.gen_range(0..512u32),
+                        rng.gen::<u32>()
+                    );
+                    let (_, w) = rt.ring.route_counted(&key);
+                    work += w;
+                }
+                work
+            }
+            FaasWorkload::HtmlTemplate => {
+                // One request renders a multi-section page.
+                let mut work = 0;
+                for section in 0..1 {
+                    let mut ctx = Context::new();
+                    let items: Vec<String> = (0..rng.gen_range(6..20))
+                        .map(|i| format!("item-{section}-{i}"))
+                        .collect();
+                    ctx.insert("title".into(), "Edge page".into());
+                    ctx.insert("rows".into(), items.join("|"));
+                    ctx.insert("user".into(), "visitor <3".into());
+                    let (_, w) = render_counted(
+                        "<html><h1>{{title}}</h1><p>Hello {{user}}</p>\
+                         <ul>{{#each rows}}<li class=\"row\">{{item}}</li>{{/each}}</ul></html>",
+                        &ctx,
+                    )
+                    .expect("static template renders");
+                    work += w;
+                }
+                work
+            }
+        }
+    }
+
+    /// Modeled ns of guest compute per work unit.
+    fn ns_per_work_unit(self) -> f64 {
+        match self {
+            FaasWorkload::RegexFilter => 76.0,
+            FaasWorkload::HashLoadBalance => 69.0,
+            FaasWorkload::HtmlTemplate => 62.0,
+        }
+    }
+}
+
+/// Pre-built workload state shared by all requests.
+struct WorkloadRt {
+    filters: Vec<Regex>,
+    ring: HashRing,
+}
+
+impl WorkloadRt {
+    fn new() -> WorkloadRt {
+        WorkloadRt {
+            filters: vec![
+                Regex::new("^/api/v[0-9]+/users/[0-9]+$").expect("static"),
+                Regex::new("\\.(css|js|png|jpg)$").expect("static"),
+                Regex::new("^/(admin|internal)/").expect("static"),
+                Regex::new("/[a-z]+/[a-z0-9-]+$").expect("static"),
+            ],
+            ring: HashRing::new(
+                (0..16).map(|i| format!("origin-{i}")).collect::<Vec<_>>(),
+                64,
+            ),
+        }
+    }
+}
+
+/// How the load is scaled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingMode {
+    /// Single process, ColorGuard-packed instances.
+    ColorGuard,
+    /// K OS processes, each its own address space.
+    MultiProcess {
+        /// Number of processes.
+        processes: u32,
+    },
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Which workload.
+    pub workload: FaasWorkload,
+    /// Scaling strategy.
+    pub mode: ScalingMode,
+    /// Simulated duration in milliseconds.
+    pub duration_ms: u64,
+    /// New requests injected per 1 ms epoch.
+    pub requests_per_epoch: u32,
+    /// Mean IO delay (ms), Poisson-distributed (§6.4.3 uses 5 ms).
+    pub io_mean_ms: f64,
+    /// IO/compute stages per request.
+    pub stages: u32,
+    /// RNG seed (same seed ⇒ identical request stream in both modes).
+    pub seed: u64,
+    /// Cost constants.
+    pub costs: SimCosts,
+}
+
+/// Cost constants for the scheduler models.
+#[derive(Debug, Clone)]
+pub struct SimCosts {
+    /// OS scheduling quantum (ns).
+    pub quantum_ns: u64,
+    /// Direct cost of an OS process switch (ns).
+    pub process_switch_ns: f64,
+    /// dTLB entries refilled after a flush.
+    pub tlb_refill_entries: u64,
+    /// ns per dTLB refill miss.
+    pub tlb_miss_ns: f64,
+    /// Cache-warmup penalty after a process switch at full contention (ns).
+    pub cache_warm_ns: f64,
+    /// In-process task switch (future poll) cost (ns).
+    pub task_switch_ns: f64,
+    /// Sandbox transition pair per compute slice without ColorGuard (ns).
+    pub transition_pair_ns: f64,
+    /// Extra per transition pair with ColorGuard (2 × wrpkru, ns).
+    pub colorguard_extra_ns: f64,
+    /// Base dTLB misses per compute slice (warm working set).
+    pub base_slice_tlb_misses: u64,
+    /// OS timer tick rate (Hz) — the floor on context switches.
+    pub timer_hz: u64,
+}
+
+impl Default for SimCosts {
+    fn default() -> Self {
+        SimCosts {
+            quantum_ns: 1_000_000,
+            process_switch_ns: 170.0,
+            tlb_refill_entries: 64,
+            tlb_miss_ns: 14.0,
+            cache_warm_ns: 480.0,
+            task_switch_ns: 120.0,
+            transition_pair_ns: 2.0 * 30.34,
+            colorguard_extra_ns: 2.0 * 21.2,
+            base_slice_tlb_misses: 4,
+            timer_hz: 100,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The paper's rig: 1 ms epochs, 5 ms Poisson IO, three-stage requests,
+    /// 60 simulated seconds.
+    pub fn paper_rig(workload: FaasWorkload, mode: ScalingMode) -> SimConfig {
+        SimConfig {
+            workload,
+            mode,
+            duration_ms: 10_000,
+            requests_per_epoch: 40,
+            io_mean_ms: 5.0,
+            stages: 3,
+            seed: 0x5E65E9,
+            costs: SimCosts::default(),
+        }
+    }
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimReport {
+    /// Requests offered (arrived).
+    pub offered: u64,
+    /// Requests completed within the window.
+    pub completed: u64,
+    /// Completions per second.
+    pub throughput_rps: f64,
+    /// OS context switches.
+    pub context_switches: u64,
+    /// dTLB misses.
+    pub dtlb_misses: u64,
+    /// CPU time spent on useful guest compute (ns).
+    pub busy_ns: u64,
+    /// CPU time burned on switching/transitions/refills (ns).
+    pub overhead_ns: u64,
+    /// Mean request latency (ms) over completed requests.
+    pub mean_latency_ms: f64,
+    /// Median request latency (ms).
+    pub p50_latency_ms: f64,
+    /// 99th-percentile request latency (ms) — the tail FaaS platforms care
+    /// about.
+    pub p99_latency_ms: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Request {
+    arrival_ns: u64,
+    io_ns: Vec<u64>,
+    compute_ns: Vec<u64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// Request becomes ready to compute (arrival IO or inter-stage IO done).
+    Ready { rid: u32, stage: u32 },
+    /// The CPU finishes the current slice.
+    SliceDone,
+}
+
+/// Pre-generates the request stream (identical across modes for a seed).
+fn generate_requests(cfg: &SimConfig) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let rt = WorkloadRt::new();
+    let mut reqs = Vec::new();
+    let epochs = cfg.duration_ms;
+    for e in 0..epochs {
+        for _ in 0..cfg.requests_per_epoch {
+            let arrival_ns = e * 1_000_000 + rng.gen_range(0..1_000_000);
+            let total_work = cfg.workload.service_work(&mut rng, &rt);
+            let per_stage_ns =
+                (total_work as f64 * cfg.workload.ns_per_work_unit() / f64::from(cfg.stages))
+                    .max(1_000.0) as u64;
+            let io_ns = (0..cfg.stages)
+                .map(|_| {
+                    // Poisson in ms, jittered within the ms by an exponential.
+                    let ms = poisson(&mut rng, cfg.io_mean_ms).max(1);
+                    ms * 1_000_000 + (exponential(&mut rng, 0.2) * 1e6) as u64
+                })
+                .collect();
+            let compute_ns = vec![per_stage_ns; cfg.stages as usize];
+            reqs.push(Request { arrival_ns, io_ns, compute_ns });
+        }
+    }
+    reqs
+}
+
+/// Runs the simulation.
+pub fn simulate(cfg: &SimConfig) -> SimReport {
+    let requests = generate_requests(cfg);
+    let nproc = match cfg.mode {
+        ScalingMode::ColorGuard => 1u32,
+        ScalingMode::MultiProcess { processes } => processes.max(1),
+    };
+    let colorguard = cfg.mode == ScalingMode::ColorGuard;
+    let costs = &cfg.costs;
+    let horizon_ns = cfg.duration_ms * 1_000_000;
+
+    // Per-process ready queues of (rid, stage, remaining_ns).
+    let mut ready: Vec<VecDeque<(u32, u32, u64)>> = vec![VecDeque::new(); nproc as usize];
+    let mut heap: BinaryHeap<Reverse<(u64, u64, Event)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<Reverse<(u64, u64, Event)>>, seq: &mut u64, t: u64, e: Event| {
+        *seq += 1;
+        heap.push(Reverse((t, *seq, e)));
+    };
+
+    for (rid, r) in requests.iter().enumerate() {
+        push(&mut heap, &mut seq, r.arrival_ns + r.io_ns[0], Event::Ready { rid: rid as u32, stage: 0 });
+    }
+
+    let mut cpu_busy = false;
+    let mut current_proc: u32 = u32::MAX;
+    let mut proc_run_since_switch: u64 = 0;
+    let mut rr_cursor: u32 = 0;
+    // The slice the CPU is executing: (proc, rid, stage, slice_ns, remaining_after).
+    let mut running: Option<(u32, u32, u32, u64, u64)> = None;
+
+    let mut completed = 0u64;
+    let mut ctx_switches = 0u64;
+    let mut dtlb = 0u64;
+    let mut busy_ns = 0u64;
+    let mut overhead_ns = 0u64;
+    let mut latencies = Vec::new();
+
+    let epoch_ns = 1_000_000u64;
+    let contention = f64::from(nproc.min(15)) / 15.0;
+
+    // Dispatch: choose the next (proc, task) and start a slice at `now`.
+    // Returns the SliceDone time.
+    let dispatch = |now: u64,
+                        ready: &mut Vec<VecDeque<(u32, u32, u64)>>,
+                        current_proc: &mut u32,
+                        proc_run: &mut u64,
+                        rr_cursor: &mut u32,
+                        ctx_switches: &mut u64,
+                        dtlb: &mut u64,
+                        busy_ns: &mut u64,
+                        overhead_ns: &mut u64,
+                        running: &mut Option<(u32, u32, u32, u64, u64)>|
+     -> Option<u64> {
+        // Fair round-robin at slice granularity: tasks yield at each epoch
+        // and the kernel picks the next runnable process. (Wakeup
+        // preemption makes CFS behave this way under massive IO-bound
+        // concurrency.)
+        let proc = {
+            let mut chosen = None;
+            for k in 0..nproc {
+                let cand = (*rr_cursor + 1 + k) % nproc;
+                if !ready[cand as usize].is_empty() {
+                    chosen = Some(cand);
+                    break;
+                }
+            }
+            chosen?
+        };
+        let mut start_overhead = 0.0f64;
+        if proc != *current_proc {
+            if *current_proc != u32::MAX {
+                // A real OS process switch (multi-process only; nproc == 1
+                // never reaches here). The refill and warm-up grow with
+                // contention: more competing processes leave colder state.
+                *ctx_switches += 1;
+                let refill = (costs.tlb_refill_entries as f64 * contention).round() as u64;
+                *dtlb += refill;
+                start_overhead += costs.process_switch_ns
+                    + refill as f64 * costs.tlb_miss_ns
+                    + costs.cache_warm_ns * contention;
+            }
+            *current_proc = proc;
+            *rr_cursor = proc;
+            *proc_run = 0;
+        }
+        let (rid, stage, remaining) = ready[proc as usize].pop_front().expect("picked nonempty");
+        // In-process scheduling costs per slice.
+        start_overhead += costs.task_switch_ns + costs.transition_pair_ns;
+        if colorguard {
+            start_overhead += costs.colorguard_extra_ns;
+        }
+        *dtlb += costs.base_slice_tlb_misses;
+        let slice = remaining.min(epoch_ns);
+        *proc_run += slice;
+        *busy_ns += slice;
+        *overhead_ns += start_overhead as u64;
+        *running = Some((proc, rid, stage, slice, remaining - slice));
+        Some(now + start_overhead as u64 + slice)
+    };
+
+    while let Some(Reverse((t, _, ev))) = heap.pop() {
+        if t > horizon_ns {
+            break;
+        }
+        match ev {
+            Event::Ready { rid, stage } => {
+                let proc = rid % nproc;
+                let remaining = requests[rid as usize].compute_ns[stage as usize];
+                ready[proc as usize].push_back((rid, stage, remaining));
+                if !cpu_busy {
+                    if let Some(done) = dispatch(
+                        t,
+                        &mut ready,
+                        &mut current_proc,
+                        &mut proc_run_since_switch,
+                        &mut rr_cursor,
+                        &mut ctx_switches,
+                        &mut dtlb,
+                        &mut busy_ns,
+                        &mut overhead_ns,
+                        &mut running,
+                    ) {
+                        cpu_busy = true;
+                        push(&mut heap, &mut seq, done, Event::SliceDone);
+                    }
+                }
+            }
+            Event::SliceDone => {
+                let (proc, rid, stage, _slice, remaining) =
+                    running.take().expect("SliceDone implies a running slice");
+                if remaining > 0 {
+                    // Epoch-preempted: yield to the back of the queue.
+                    ready[proc as usize].push_back((rid, stage, remaining));
+                } else {
+                    let req = &requests[rid as usize];
+                    let next = stage + 1;
+                    if (next as usize) < req.compute_ns.len() {
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            t + req.io_ns[next as usize],
+                            Event::Ready { rid, stage: next },
+                        );
+                    } else {
+                        completed += 1;
+                        latencies.push((t - req.arrival_ns) as f64 / 1e6);
+                    }
+                }
+                cpu_busy = false;
+                if let Some(done) = dispatch(
+                    t,
+                    &mut ready,
+                    &mut current_proc,
+                    &mut proc_run_since_switch,
+                    &mut rr_cursor,
+                    &mut ctx_switches,
+                    &mut dtlb,
+                    &mut busy_ns,
+                    &mut overhead_ns,
+                    &mut running,
+                ) {
+                    cpu_busy = true;
+                    push(&mut heap, &mut seq, done, Event::SliceDone);
+                }
+            }
+        }
+    }
+
+    // The OS timer tick floor (both modes).
+    ctx_switches += cfg.duration_ms / 1000 * costs.timer_hz;
+
+    let mut sorted = latencies.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let pct = |p: f64| -> f64 {
+        if sorted.is_empty() {
+            0.0
+        } else {
+            sorted[((sorted.len() - 1) as f64 * p) as usize]
+        }
+    };
+    let (p50, p99) = (pct(0.50), pct(0.99));
+
+    SimReport {
+        offered: requests.len() as u64,
+        completed,
+        throughput_rps: completed as f64 / (cfg.duration_ms as f64 / 1000.0),
+        context_switches: ctx_switches,
+        dtlb_misses: dtlb,
+        busy_ns,
+        overhead_ns,
+        mean_latency_ms: crate::stats::mean(&latencies),
+        p50_latency_ms: p50,
+        p99_latency_ms: p99,
+    }
+}
+
+/// Convenience: ColorGuard throughput gain (%) over `processes`-process
+/// scaling for one workload — one point of Figure 6.
+pub fn throughput_gain_percent(workload: FaasWorkload, processes: u32) -> f64 {
+    let cg = simulate(&SimConfig::paper_rig(workload, ScalingMode::ColorGuard));
+    let mp = simulate(&SimConfig::paper_rig(
+        workload,
+        ScalingMode::MultiProcess { processes },
+    ));
+    (cg.throughput_rps - mp.throughput_rps) / mp.throughput_rps * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(workload: FaasWorkload, mode: ScalingMode) -> SimReport {
+        let mut cfg = SimConfig::paper_rig(workload, mode);
+        cfg.duration_ms = 800;
+        simulate(&cfg)
+    }
+
+    #[test]
+    fn determinism() {
+        let a = quick(FaasWorkload::RegexFilter, ScalingMode::ColorGuard);
+        let b = quick(FaasWorkload::RegexFilter, ScalingMode::ColorGuard);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn same_offered_load_across_modes() {
+        let cg = quick(FaasWorkload::HtmlTemplate, ScalingMode::ColorGuard);
+        let mp = quick(FaasWorkload::HtmlTemplate, ScalingMode::MultiProcess { processes: 8 });
+        assert_eq!(cg.offered, mp.offered, "identical request streams");
+    }
+
+    #[test]
+    fn colorguard_completes_more_under_pressure() {
+        let cg = quick(FaasWorkload::RegexFilter, ScalingMode::ColorGuard);
+        let mp15 = quick(FaasWorkload::RegexFilter, ScalingMode::MultiProcess { processes: 15 });
+        assert!(
+            cg.throughput_rps > mp15.throughput_rps,
+            "cg {} vs mp15 {}",
+            cg.throughput_rps,
+            mp15.throughput_rps
+        );
+    }
+
+    #[test]
+    fn context_switches_grow_with_processes() {
+        let mut prev = 0u64;
+        for k in [1u32, 4, 8, 15] {
+            let r = quick(FaasWorkload::HashLoadBalance, ScalingMode::MultiProcess { processes: k });
+            // Counts saturate once nearly every slice changes process; allow
+            // small wobble but no real shrinkage.
+            assert!(
+                r.context_switches * 10 >= prev * 9,
+                "switches must not really shrink: k={k} {} vs {prev}",
+                r.context_switches
+            );
+            prev = prev.max(r.context_switches);
+        }
+        let cg = quick(FaasWorkload::HashLoadBalance, ScalingMode::ColorGuard);
+        let mp15 = quick(FaasWorkload::HashLoadBalance, ScalingMode::MultiProcess { processes: 15 });
+        assert!(cg.context_switches * 5 < mp15.context_switches, "ColorGuard stays flat");
+    }
+
+    #[test]
+    fn dtlb_misses_grow_with_processes() {
+        let cg = quick(FaasWorkload::HtmlTemplate, ScalingMode::ColorGuard);
+        let mp2 = quick(FaasWorkload::HtmlTemplate, ScalingMode::MultiProcess { processes: 2 });
+        let mp15 = quick(FaasWorkload::HtmlTemplate, ScalingMode::MultiProcess { processes: 15 });
+        assert!(mp15.dtlb_misses > mp2.dtlb_misses);
+        assert!(cg.dtlb_misses < mp15.dtlb_misses / 2, "the warm-TLB advantage");
+    }
+
+    #[test]
+    fn gain_grows_with_process_count() {
+        // A compressed version of Figure 6's shape.
+        let g2 = {
+            let mut c = SimConfig::paper_rig(FaasWorkload::RegexFilter, ScalingMode::ColorGuard);
+            c.duration_ms = 1_200;
+            let cg = simulate(&c);
+            c.mode = ScalingMode::MultiProcess { processes: 2 };
+            let mp = simulate(&c);
+            (cg.throughput_rps - mp.throughput_rps) / mp.throughput_rps * 100.0
+        };
+        let g15 = {
+            let mut c = SimConfig::paper_rig(FaasWorkload::RegexFilter, ScalingMode::ColorGuard);
+            c.duration_ms = 1_200;
+            let cg = simulate(&c);
+            c.mode = ScalingMode::MultiProcess { processes: 15 };
+            let mp = simulate(&c);
+            (cg.throughput_rps - mp.throughput_rps) / mp.throughput_rps * 100.0
+        };
+        assert!(g15 > g2, "gain at 15 procs ({g15:.1}%) must exceed gain at 2 ({g2:.1}%)");
+        assert!((5.0..=45.0).contains(&g15), "paper reports up to ≈29%: got {g15:.1}%");
+    }
+
+    #[test]
+    fn latency_reported() {
+        let r = quick(FaasWorkload::RegexFilter, ScalingMode::ColorGuard);
+        assert!(r.mean_latency_ms > 0.0);
+        assert!(r.completed > 0);
+        assert!(r.busy_ns > 0);
+        assert!(r.p50_latency_ms <= r.p99_latency_ms);
+        assert!(r.p50_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn multiprocess_overload_shows_up_in_tail_latency() {
+        let cg = quick(FaasWorkload::RegexFilter, ScalingMode::ColorGuard);
+        let mp = quick(FaasWorkload::RegexFilter, ScalingMode::MultiProcess { processes: 15 });
+        assert!(
+            mp.p99_latency_ms > cg.p99_latency_ms,
+            "switch overhead must surface in the tail: cg {} vs mp {}",
+            cg.p99_latency_ms,
+            mp.p99_latency_ms
+        );
+    }
+}

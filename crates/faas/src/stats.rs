@@ -1,0 +1,100 @@
+//! Deterministic samplers and summary statistics.
+//!
+//! The offline crate set excludes `rand_distr`, so the Poisson and
+//! exponential samplers the simulation needs (§6.4.3 draws IO delays "from
+//! a Poisson distribution at 5 ms") are implemented here on top of `rand`.
+
+use rand::Rng;
+
+/// Samples a Poisson(λ) variate (Knuth's method — fine for the λ ≤ ~50
+/// range the simulation uses).
+pub fn poisson(rng: &mut impl Rng, lambda: f64) -> u64 {
+    assert!(lambda > 0.0 && lambda < 500.0, "Knuth sampler needs small λ");
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Samples an Exponential(mean) variate.
+pub fn exponential(rng: &mut impl Rng, mean: f64) -> f64 {
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    -mean * u.ln()
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Geometric mean (used by the SPEC figures).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let lambda = 5.0;
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+        let m = total as f64 / f64::from(n);
+        assert!((m - lambda).abs() < 0.1, "Poisson mean {m} vs λ {lambda}");
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mean_target = 3.0;
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| exponential(&mut rng, mean_target)).sum();
+        let m = total / f64::from(n);
+        assert!((m - mean_target).abs() < 0.1, "Exp mean {m}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a: Vec<u64> =
+            (0..10).map(|_| poisson(&mut StdRng::seed_from_u64(1), 4.0)).collect();
+        let b: Vec<u64> =
+            (0..10).map(|_| poisson(&mut StdRng::seed_from_u64(1), 4.0)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn summary_stats() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.138).abs() < 0.01);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[1.0]), 0.0);
+    }
+}

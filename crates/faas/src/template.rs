@@ -1,0 +1,211 @@
+//! A small HTML templating engine (the paper's "HTML templating" FaaS
+//! workload, §6.4.3).
+//!
+//! Supports the constructs edge templates use: `{{var}}` substitution with
+//! HTML escaping, `{{{var}}}` raw substitution, `{{#each var}}...{{/each}}`
+//! repetition over `|`-separated list values, and `{{#if var}}...{{/if}}`
+//! conditionals (empty value = false).
+
+use std::collections::BTreeMap;
+
+/// A render failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateError {
+    /// Byte offset of the problem in the template.
+    pub pos: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl core::fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "template error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+/// Template context: variable name → value.
+pub type Context = BTreeMap<String, String>;
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            other => out.push(other),
+        }
+    }
+}
+
+/// Renders `template` with `ctx`; returns the output and the number of
+/// work units (bytes emitted + directives evaluated) for cost accounting.
+pub fn render_counted(template: &str, ctx: &Context) -> Result<(String, u64), TemplateError> {
+    let mut out = String::with_capacity(template.len() * 2);
+    let mut work = 0u64;
+    render_section(template, 0, ctx, &mut out, &mut work, None)?;
+    work += out.len() as u64;
+    Ok((out, work))
+}
+
+/// Renders `template` with `ctx`.
+pub fn render(template: &str, ctx: &Context) -> Result<String, TemplateError> {
+    render_counted(template, ctx).map(|(s, _)| s)
+}
+
+/// Renders from `start`; stops at `stop_tag` (e.g. `{{/each}}`) if given.
+/// Returns the position just after the stop tag.
+fn render_section(
+    t: &str,
+    start: usize,
+    ctx: &Context,
+    out: &mut String,
+    work: &mut u64,
+    stop_tag: Option<&str>,
+) -> Result<usize, TemplateError> {
+    let bytes = t.as_bytes();
+    let mut i = start;
+    while i < bytes.len() {
+        if let Some(open) = t[i..].find("{{").map(|o| i + o) {
+            out.push_str(&t[i..open]);
+            let close = t[open..]
+                .find("}}")
+                .map(|c| open + c)
+                .ok_or(TemplateError { pos: open, msg: "unclosed {{".into() })?;
+            let raw = t[open + 2..close].starts_with('{');
+            let (tag, after) = if raw {
+                // {{{var}}} — the closing is one brace longer.
+                let c3 = t[open..]
+                    .find("}}}")
+                    .map(|c| open + c)
+                    .ok_or(TemplateError { pos: open, msg: "unclosed {{{".into() })?;
+                (t[open + 3..c3].trim().to_owned(), c3 + 3)
+            } else {
+                (t[open + 2..close].trim().to_owned(), close + 2)
+            };
+            *work += 1;
+
+            if let Some(stop) = stop_tag {
+                if tag == stop {
+                    return Ok(after);
+                }
+            }
+            if let Some(var) = tag.strip_prefix("#each ") {
+                let items = ctx.get(var.trim()).cloned().unwrap_or_default();
+                let body_start = after;
+                let mut end = body_start;
+                if items.is_empty() {
+                    // Still need to skip the body.
+                    let mut sink = String::new();
+                    let mut w = 0;
+                    let mut empty = Context::new();
+                    empty.insert("item".into(), String::new());
+                    end = render_section(t, body_start, &empty, &mut sink, &mut w, Some("/each"))?;
+                } else {
+                    for item in items.split('|') {
+                        let mut sub = ctx.clone();
+                        sub.insert("item".into(), item.to_owned());
+                        end = render_section(t, body_start, &sub, out, work, Some("/each"))?;
+                    }
+                }
+                i = end;
+            } else if let Some(var) = tag.strip_prefix("#if ") {
+                let truthy = ctx.get(var.trim()).is_some_and(|v| !v.is_empty());
+                if truthy {
+                    i = render_section(t, after, ctx, out, work, Some("/if"))?;
+                } else {
+                    let mut sink = String::new();
+                    let mut w = 0;
+                    i = render_section(t, after, ctx, &mut sink, &mut w, Some("/if"))?;
+                }
+            } else if tag.starts_with('/') {
+                return Err(TemplateError { pos: open, msg: format!("unexpected {{{{{tag}}}}}") });
+            } else {
+                let val = ctx.get(&tag).map(String::as_str).unwrap_or("");
+                if raw {
+                    out.push_str(val);
+                } else {
+                    escape_into(val, out);
+                }
+                i = after;
+            }
+        } else {
+            out.push_str(&t[i..]);
+            i = bytes.len();
+        }
+    }
+    if let Some(stop) = stop_tag {
+        return Err(TemplateError { pos: t.len(), msg: format!("missing {{{{{stop}}}}}") });
+    }
+    Ok(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(pairs: &[(&str, &str)]) -> Context {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn substitution_and_escaping() {
+        let c = ctx(&[("name", "Ada <script>")]);
+        let out = render("<h1>Hello {{name}}!</h1>", &c).unwrap();
+        assert_eq!(out, "<h1>Hello Ada &lt;script&gt;!</h1>");
+        let raw = render("{{{name}}}", &c).unwrap();
+        assert_eq!(raw, "Ada <script>");
+    }
+
+    #[test]
+    fn missing_vars_render_empty() {
+        assert_eq!(render("[{{nope}}]", &Context::new()).unwrap(), "[]");
+    }
+
+    #[test]
+    fn each_loops() {
+        let c = ctx(&[("users", "ann|bob|cal")]);
+        let out = render("<ul>{{#each users}}<li>{{item}}</li>{{/each}}</ul>", &c).unwrap();
+        assert_eq!(out, "<ul><li>ann</li><li>bob</li><li>cal</li></ul>");
+        // Empty list renders nothing but still consumes the body.
+        let out = render("a{{#each nope}}X{{/each}}b", &Context::new()).unwrap();
+        assert_eq!(out, "ab");
+    }
+
+    #[test]
+    fn conditionals() {
+        let c = ctx(&[("admin", "yes")]);
+        assert_eq!(render("{{#if admin}}root{{/if}}", &c).unwrap(), "root");
+        assert_eq!(render("{{#if other}}root{{/if}}-", &c).unwrap(), "-");
+    }
+
+    #[test]
+    fn nesting() {
+        let c = ctx(&[("rows", "a|b"), ("on", "1")]);
+        let out = render(
+            "{{#each rows}}[{{#if on}}{{item}}{{/if}}]{{/each}}",
+            &c,
+        )
+        .unwrap();
+        assert_eq!(out, "[a][b]");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(render("{{oops", &Context::new()).is_err());
+        assert!(render("{{#each x}}no end", &Context::new()).is_err());
+        assert!(render("{{/each}}", &Context::new()).is_err());
+    }
+
+    #[test]
+    fn work_scales_with_output() {
+        let c = ctx(&[("users", &"u|".repeat(100))]);
+        let (_, small) = render_counted("{{#each x}}{{item}}{{/each}}", &c).unwrap();
+        let (_, big) =
+            render_counted("{{#each users}}<li>{{item}}</li>{{/each}}", &c).unwrap();
+        assert!(big > small);
+    }
+}

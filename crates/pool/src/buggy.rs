@@ -1,0 +1,80 @@
+//! The pre-verification allocator: the upstream code as reviewed, fuzzed —
+//! and still wrong (§5.2).
+//!
+//! Two defects are preserved here on purpose, so that [`crate::verify`] can
+//! rediscover what the paper's Flux verification found:
+//!
+//! 1. **The saturating-add bug**: slab sizing uses `saturating_add` where a
+//!    checked add was required. When the addition actually saturates, the
+//!    computed layout no longer satisfies invariant 1 (exact accounting) —
+//!    the slots the compiler assumes and the slab the runtime maps diverge.
+//! 2. **The four missing preconditions** (Table 1, invariants 7–10): the
+//!    function accepts unaligned slot/memory/guard sizes and slots larger
+//!    than the budget, producing layouts that break page-alignment or
+//!    budget invariants.
+
+use crate::layout::{compute_layout_unchecked, LayoutError, PoolConfig, SlotLayout};
+
+/// Computes a slot layout *without* the verified preconditions and *with*
+/// saturating arithmetic — the upstream behaviour before the fixes.
+pub fn compute_layout(cfg: &PoolConfig) -> Result<SlotLayout, LayoutError> {
+    // No precondition checks (invariants 7–10 unenforced), saturating math.
+    compute_layout_unchecked::<false>(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariants::{check, Invariant};
+    use crate::WASM_PAGE_SIZE;
+
+    #[test]
+    fn buggy_accepts_what_fixed_rejects() {
+        // Unaligned memory limit: fixed refuses, buggy computes a layout
+        // that violates the alignment invariants.
+        let cfg = PoolConfig {
+            num_slots: 4,
+            max_memory_bytes: WASM_PAGE_SIZE + 4096,
+            expected_slot_bytes: 8 * WASM_PAGE_SIZE,
+            guard_bytes: 8 * WASM_PAGE_SIZE,
+            guard_before_slots: true,
+            num_pkeys_available: 15,
+            total_memory_bytes: 1 << 30,
+        };
+        assert!(crate::layout::compute_layout(&cfg).is_err());
+        let l = compute_layout(&cfg).expect("buggy version accepts it");
+        let v = check(&cfg, &l);
+        assert!(v.contains(&Invariant::MemoryWasmPageAligned), "{v:?}");
+    }
+
+    #[test]
+    fn saturating_add_breaks_accounting() {
+        // Near-overflow sizes: the saturated span silently truncates.
+        let cfg = PoolConfig {
+            num_slots: 2,
+            max_memory_bytes: WASM_PAGE_SIZE,
+            expected_slot_bytes: u64::MAX / WASM_PAGE_SIZE * WASM_PAGE_SIZE,
+            guard_bytes: 8 * WASM_PAGE_SIZE,
+            guard_before_slots: false,
+            num_pkeys_available: 0,
+            total_memory_bytes: u64::MAX,
+        };
+        assert!(crate::layout::compute_layout(&cfg).is_err(), "the fixed version refuses");
+        // With the budget check also missing upstream, force the math path:
+        let mut cfg2 = cfg;
+        cfg2.total_memory_bytes = u64::MAX;
+        match compute_layout(&cfg2) {
+            Ok(l) => {
+                let v = check(&cfg2, &l);
+                assert!(
+                    v.contains(&Invariant::TotalAccounting)
+                        || v.contains(&Invariant::StripeProtection)
+                        || v.contains(&Invariant::FitsBudget)
+                        || v.contains(&Invariant::SlotHoldsMemory),
+                    "saturation must break an invariant: {v:?} / {l:?}"
+                );
+            }
+            Err(e) => panic!("buggy version should not notice the overflow: {e}"),
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Slot-layout computation — the allocator/compiler contract.
+//!
+//! This mirrors the Wasmtime pooling-allocator calculation that ColorGuard
+//! extends (§5.1): given the desired slot count, per-instance memory limit,
+//! guard requirement and available protection keys, compute how the slab is
+//! carved into slots and stripes. The resulting [`SlotLayout`] *is* the
+//! security contract: the JIT elides bounds checks because the layout
+//! guarantees that any 33-bit out-of-bounds offset lands either in a guard
+//! page or in a differently-colored stripe.
+
+use crate::WASM_PAGE_SIZE;
+use sfi_vm::OS_PAGE_SIZE;
+
+/// Inputs to the layout computation (mirrors Wasmtime's memory-pool knobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Desired number of instance slots.
+    pub num_slots: u64,
+    /// Maximum linear-memory bytes an instance may grow to.
+    pub max_memory_bytes: u64,
+    /// The requested address-space reservation per slot (≥ the memory limit
+    /// in guard-based configurations, e.g. 4 GiB).
+    pub expected_slot_bytes: u64,
+    /// Guard bytes that must be unreachable after each slot's memory.
+    pub guard_bytes: u64,
+    /// Reserve a guard region before the first slot too.
+    pub guard_before_slots: bool,
+    /// MPK keys available for striping (0 or 1 disables ColorGuard).
+    pub num_pkeys_available: u8,
+    /// Total address budget for the slab.
+    pub total_memory_bytes: u64,
+}
+
+impl PoolConfig {
+    /// The configuration used by the paper's scaling microbenchmark
+    /// (§6.4.2): 408 MiB memories in 4 GiB reservations with 6 GiB guards
+    /// on a 47-bit user address space.
+    pub fn scaling_benchmark(num_pkeys_available: u8) -> PoolConfig {
+        PoolConfig {
+            num_slots: u64::MAX, // "as many as fit"
+            max_memory_bytes: 408 << 20,
+            expected_slot_bytes: 4 << 30,
+            guard_bytes: 6 << 30,
+            guard_before_slots: true,
+            num_pkeys_available,
+            total_memory_bytes: 1 << 47,
+        }
+    }
+}
+
+/// The computed layout: the contract handed to the compiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotLayout {
+    /// Stride between consecutive slots (also each slot's reservation).
+    pub slot_bytes: u64,
+    /// Per-instance memory limit (copied from the config).
+    pub max_memory_bytes: u64,
+    /// Guard bytes before the first slot.
+    pub pre_slot_guard_bytes: u64,
+    /// Guard bytes after the last slot.
+    pub post_slot_guard_bytes: u64,
+    /// Number of slots in the slab.
+    pub num_slots: u64,
+    /// Stripe (color) count; 1 means no MPK striping.
+    pub num_stripes: u8,
+}
+
+impl SlotLayout {
+    /// Total slab bytes: `pre + slot_bytes * num_slots + post`
+    /// (Table 1, invariant 1 demands this hold exactly).
+    pub fn total_slab_bytes(&self) -> Option<u64> {
+        self.slot_bytes
+            .checked_mul(self.num_slots)?
+            .checked_add(self.pre_slot_guard_bytes)?
+            .checked_add(self.post_slot_guard_bytes)
+    }
+
+    /// Byte offset of slot `i` within the slab.
+    pub fn slot_offset(&self, i: u64) -> u64 {
+        self.pre_slot_guard_bytes.saturating_add(self.slot_bytes.saturating_mul(i))
+    }
+
+    /// The stripe (MPK color index, 0-based) of slot `i`.
+    pub fn stripe_of(&self, i: u64) -> u8 {
+        (i % u64::from(self.num_stripes)) as u8
+    }
+
+    /// Distance from a slot's start to the next slot of the *same* stripe
+    /// (Table 1, invariant 6's left-hand side).
+    pub fn bytes_to_next_stripe_slot(&self) -> u64 {
+        self.slot_bytes.saturating_mul(u64::from(self.num_stripes))
+    }
+}
+
+/// Why a layout could not be computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LayoutError {
+    /// `expected_slot_bytes` is not a multiple of the Wasm page size
+    /// (missing precondition, Table 1 invariant 7).
+    SlotNotWasmPageAligned,
+    /// `max_memory_bytes` is not a multiple of the Wasm page size
+    /// (missing precondition, Table 1 invariant 8).
+    MemoryNotWasmPageAligned,
+    /// `guard_bytes` is not a multiple of the OS page size when pre-guards
+    /// are in use (missing precondition, Table 1 invariant 9).
+    GuardNotOsPageAligned,
+    /// The requested slot exceeds the total budget (missing precondition,
+    /// Table 1 invariant 10).
+    SlotExceedsBudget,
+    /// The per-slot reservation cannot hold the memory limit.
+    SlotSmallerThanMemory,
+    /// Arithmetic overflow while sizing the slab — the class of bug the
+    /// paper's verification found (a saturating add that should have been
+    /// checked).
+    Overflow,
+    /// No slots fit the budget.
+    NoSlotsFit,
+}
+
+impl core::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            LayoutError::SlotNotWasmPageAligned => "slot size not Wasm-page aligned",
+            LayoutError::MemoryNotWasmPageAligned => "memory limit not Wasm-page aligned",
+            LayoutError::GuardNotOsPageAligned => "guard size not OS-page aligned",
+            LayoutError::SlotExceedsBudget => "slot exceeds total memory budget",
+            LayoutError::SlotSmallerThanMemory => "slot smaller than the memory limit",
+            LayoutError::Overflow => "slab size arithmetic overflow",
+            LayoutError::NoSlotsFit => "no slots fit the budget",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+fn align_up(v: u64, align: u64) -> Option<u64> {
+    v.checked_add(align - 1).map(|x| x / align * align)
+}
+
+/// The unchecked (buggy) alignment: wraps on overflow, as arithmetic on
+/// unvalidated inputs did upstream.
+fn align_up_wrapping(v: u64, align: u64) -> u64 {
+    v.wrapping_add(align - 1) / align * align
+}
+
+/// Computes the slot layout with **all** safety preconditions enforced —
+/// the post-verification version, including the four checks (Table 1,
+/// invariants 7–10) that the Flux verification found missing upstream.
+pub fn compute_layout(cfg: &PoolConfig) -> Result<SlotLayout, LayoutError> {
+    // ---- the verified preconditions (Table 1, rows 7–10) ----
+    if !cfg.expected_slot_bytes.is_multiple_of(WASM_PAGE_SIZE) {
+        return Err(LayoutError::SlotNotWasmPageAligned); // invariant 7
+    }
+    if !cfg.max_memory_bytes.is_multiple_of(WASM_PAGE_SIZE) {
+        return Err(LayoutError::MemoryNotWasmPageAligned); // invariant 8
+    }
+    if cfg.guard_before_slots && !cfg.guard_bytes.is_multiple_of(OS_PAGE_SIZE) {
+        return Err(LayoutError::GuardNotOsPageAligned); // invariant 9
+    }
+    if cfg.expected_slot_bytes > cfg.total_memory_bytes {
+        return Err(LayoutError::SlotExceedsBudget); // invariant 10
+    }
+
+    compute_layout_unchecked::<true>(cfg)
+}
+
+/// The shared core. `CHECKED` selects checked arithmetic (the fix) — the
+/// [`crate::buggy`] module instantiates the saturating variant.
+pub(crate) fn compute_layout_unchecked<const CHECKED: bool>(
+    cfg: &PoolConfig,
+) -> Result<SlotLayout, LayoutError> {
+    let expected = cfg.expected_slot_bytes.max(cfg.max_memory_bytes);
+    if expected < cfg.max_memory_bytes {
+        return Err(LayoutError::SlotSmallerThanMemory);
+    }
+
+    // Stripe count: enough colors that the slots between two same-colored
+    // slots cover the guard requirement (Table 1, invariant 5), clamped to
+    // the available keys and the slot count.
+    let needed_stripes = cfg
+        .guard_bytes
+        .checked_div(cfg.max_memory_bytes)
+        .map_or(1, |q| q.min(254) + 2);
+    let num_stripes = if cfg.num_pkeys_available >= 2 {
+        (needed_stripes as u8).min(cfg.num_pkeys_available).max(1)
+    } else {
+        1
+    };
+
+    // Slot stride. Without striping the full reservation plus guard
+    // separates instances; with striping the stride shrinks so that
+    // `slot_bytes * num_stripes >= expected + guard` (invariant 6).
+    let align = |v: u64, to: u64| -> Result<u64, LayoutError> {
+        if CHECKED {
+            align_up(v, to).ok_or(LayoutError::Overflow)
+        } else {
+            Ok(align_up_wrapping(v, to))
+        }
+    };
+    let (slot_bytes, post_guard) = if num_stripes >= 2 {
+        let span = add(expected, cfg.guard_bytes, CHECKED)?;
+        let per = span.div_ceil(u64::from(num_stripes)).max(cfg.max_memory_bytes);
+        let per = align(per, WASM_PAGE_SIZE)?;
+        // The last slot cannot rely on stripes that follow it: it keeps a
+        // real guard so that `slot_bytes + post_guard >= expected`
+        // (invariant 6, second condition).
+        let post = expected.saturating_sub(per).max(cfg.guard_bytes.min(expected));
+        let post = align(post, OS_PAGE_SIZE)?;
+        (per, post)
+    } else {
+        let per = align(add(expected, cfg.guard_bytes, CHECKED)?, WASM_PAGE_SIZE)?;
+        // The trailing guard must itself be page-aligned (invariant 3).
+        (per, align(cfg.guard_bytes, OS_PAGE_SIZE)?)
+    };
+
+    let pre_guard = if cfg.guard_before_slots { cfg.guard_bytes } else { 0 };
+
+    // How many slots fit the budget?
+    let fixed = add(pre_guard, post_guard, CHECKED)?;
+    if fixed >= cfg.total_memory_bytes || (CHECKED && slot_bytes == 0) {
+        return Err(LayoutError::NoSlotsFit);
+    }
+    // The unchecked (buggy) path can reach here with a wrapped-to-zero
+    // slot size; it blunders on, exactly like arithmetic on unvalidated
+    // inputs did upstream.
+    let fit = (cfg.total_memory_bytes - fixed) / slot_bytes.max(1);
+    let num_slots = cfg.num_slots.min(fit);
+    if num_slots == 0 {
+        return Err(LayoutError::NoSlotsFit);
+    }
+
+    let layout = SlotLayout {
+        slot_bytes,
+        max_memory_bytes: cfg.max_memory_bytes,
+        pre_slot_guard_bytes: pre_guard,
+        post_slot_guard_bytes: post_guard,
+        num_slots,
+        num_stripes,
+    };
+    if CHECKED {
+        // Defensive: the final slab must exist and fit.
+        let total = layout.total_slab_bytes().ok_or(LayoutError::Overflow)?;
+        if total > cfg.total_memory_bytes {
+            return Err(LayoutError::Overflow);
+        }
+    }
+    Ok(layout)
+}
+
+fn add(a: u64, b: u64, checked: bool) -> Result<u64, LayoutError> {
+    if checked {
+        a.checked_add(b).ok_or(LayoutError::Overflow)
+    } else {
+        // The upstream bug (§5.2): saturating where checked was required.
+        Ok(a.saturating_add(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> PoolConfig {
+        PoolConfig {
+            num_slots: 8,
+            max_memory_bytes: 4 * WASM_PAGE_SIZE,
+            expected_slot_bytes: 16 * WASM_PAGE_SIZE,
+            guard_bytes: 32 * WASM_PAGE_SIZE,
+            guard_before_slots: true,
+            num_pkeys_available: 15,
+            total_memory_bytes: 1 << 32,
+        }
+    }
+
+    #[test]
+    fn unstriped_layout_uses_full_guards() {
+        let mut cfg = small_cfg();
+        cfg.num_pkeys_available = 0;
+        let l = compute_layout(&cfg).unwrap();
+        assert_eq!(l.num_stripes, 1);
+        assert_eq!(l.slot_bytes, cfg.expected_slot_bytes + cfg.guard_bytes);
+        assert_eq!(l.num_slots, 8);
+    }
+
+    #[test]
+    fn striped_layout_shrinks_stride() {
+        let cfg = small_cfg();
+        let l = compute_layout(&cfg).unwrap();
+        assert!(l.num_stripes > 1);
+        assert!(l.slot_bytes < cfg.expected_slot_bytes + cfg.guard_bytes);
+        // Invariant 6: same-color slots are a full reservation+guard apart.
+        assert!(
+            l.bytes_to_next_stripe_slot()
+                >= cfg.expected_slot_bytes.max(cfg.max_memory_bytes) + cfg.guard_bytes
+        );
+    }
+
+    #[test]
+    fn stripes_capped_by_available_keys() {
+        let mut cfg = small_cfg();
+        cfg.num_pkeys_available = 3;
+        let l = compute_layout(&cfg).unwrap();
+        assert_eq!(l.num_stripes, 3);
+        // Fewer stripes → bigger stride (guards make up the difference).
+        let full = compute_layout(&small_cfg()).unwrap();
+        assert!(full.num_stripes > 3);
+        assert!(l.slot_bytes > full.slot_bytes);
+    }
+
+    #[test]
+    fn missing_preconditions_are_enforced() {
+        let mut c = small_cfg();
+        c.expected_slot_bytes += 1;
+        assert_eq!(compute_layout(&c), Err(LayoutError::SlotNotWasmPageAligned));
+
+        let mut c = small_cfg();
+        c.max_memory_bytes += 512;
+        assert_eq!(compute_layout(&c), Err(LayoutError::MemoryNotWasmPageAligned));
+
+        let mut c = small_cfg();
+        c.guard_bytes += 100;
+        assert_eq!(compute_layout(&c), Err(LayoutError::GuardNotOsPageAligned));
+
+        let mut c = small_cfg();
+        c.total_memory_bytes = c.expected_slot_bytes - WASM_PAGE_SIZE;
+        assert_eq!(compute_layout(&c), Err(LayoutError::SlotExceedsBudget));
+    }
+
+    #[test]
+    fn overflow_is_checked_not_saturated() {
+        let mut c = small_cfg();
+        c.expected_slot_bytes = u64::MAX / WASM_PAGE_SIZE * WASM_PAGE_SIZE;
+        c.total_memory_bytes = u64::MAX;
+        c.guard_bytes = WASM_PAGE_SIZE * 16;
+        assert_eq!(compute_layout(&c), Err(LayoutError::Overflow));
+    }
+
+    #[test]
+    fn scaling_benchmark_ratio_is_about_15x() {
+        let without = compute_layout(&PoolConfig::scaling_benchmark(0)).unwrap();
+        let with = compute_layout(&PoolConfig::scaling_benchmark(15)).unwrap();
+        assert_eq!(without.num_stripes, 1);
+        assert_eq!(with.num_stripes, 15);
+        let ratio = with.num_slots as f64 / without.num_slots as f64;
+        assert!((13.0..=15.5).contains(&ratio), "ratio {ratio} (paper: ≈15×)");
+        // Paper's absolute scale: ~14.5K and ~218K.
+        assert!((12_000..=18_000).contains(&without.num_slots), "{}", without.num_slots);
+        assert!((190_000..=240_000).contains(&with.num_slots), "{}", with.num_slots);
+    }
+
+    #[test]
+    fn slot_offsets_and_stripes() {
+        let l = compute_layout(&small_cfg()).unwrap();
+        assert_eq!(l.slot_offset(0), l.pre_slot_guard_bytes);
+        assert_eq!(l.slot_offset(1) - l.slot_offset(0), l.slot_bytes);
+        assert_eq!(l.stripe_of(0), 0);
+        assert_eq!(l.stripe_of(u64::from(l.num_stripes)), 0);
+        assert_ne!(l.stripe_of(1), l.stripe_of(0));
+    }
+}

@@ -1,0 +1,189 @@
+//! The verification harness: rediscovering §5.2's findings, executably.
+//!
+//! The paper verified the ColorGuard allocator with Flux refinement types
+//! under a strengthened attacker model ("the allocator is called with
+//! potentially unaligned, unsafe, or otherwise incorrect inputs"), finding
+//! one saturating-add bug and four missing preconditions. Our stand-in for
+//! the refinement-type proof is **bounded-exhaustive model checking** over
+//! a structured input space (aligned, unaligned, near-overflow and
+//! degenerate values in every position) plus property-based sampling:
+//!
+//! - [`find_violation`] sweeps the space for an implementation and returns
+//!   the first `(input, violated invariants)` witness;
+//! - against the fixed [`crate::layout::compute_layout`] it finds nothing;
+//! - against [`crate::buggy::compute_layout`] it finds the alignment and
+//!   saturation violations — the same classes as Table 1 rows 7–10 and the
+//!   checked-add bug.
+
+use crate::invariants::{check, Invariant};
+use crate::layout::{LayoutError, PoolConfig, SlotLayout};
+use crate::WASM_PAGE_SIZE;
+
+/// A counterexample: the input and the invariants its layout violates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The offending configuration.
+    pub config: PoolConfig,
+    /// The layout the implementation produced.
+    pub layout: SlotLayout,
+    /// The violated Table 1 invariants.
+    pub invariants: Vec<Invariant>,
+}
+
+/// The boundary values swept for each size parameter: zero/small, aligned
+/// and unaligned mid-range values, and near-overflow values that expose
+/// saturating arithmetic.
+pub fn interesting_sizes() -> Vec<u64> {
+    vec![
+        0,
+        4096,
+        WASM_PAGE_SIZE,
+        WASM_PAGE_SIZE + 4096,     // OS-aligned, not Wasm-aligned
+        WASM_PAGE_SIZE + 100,      // unaligned entirely
+        4 * WASM_PAGE_SIZE,
+        64 * WASM_PAGE_SIZE,
+        1 << 32,                   // 4 GiB
+        (1 << 32) + 4096,
+        u64::MAX / 2,
+        u64::MAX - WASM_PAGE_SIZE,
+        u64::MAX,
+    ]
+}
+
+/// Exhaustively sweeps the bounded input space against `implementation`,
+/// returning the first violation (or `None` if every accepted input yields
+/// an invariant-respecting layout).
+///
+/// Inputs the implementation *rejects* (returns `Err`) are fine — the
+/// verification question is whether any *accepted* input produces an unsafe
+/// layout.
+pub fn find_violation(
+    implementation: impl Fn(&PoolConfig) -> Result<SlotLayout, LayoutError>,
+) -> Option<Violation> {
+    let sizes = interesting_sizes();
+    let mut checked = 0u64;
+    for &max_memory_bytes in &sizes {
+        for &expected_slot_bytes in &sizes {
+            for &guard_bytes in &sizes {
+                for &num_pkeys_available in &[0u8, 2, 15] {
+                    for &guard_before_slots in &[false, true] {
+                        for &total_memory_bytes in &[1u64 << 30, 1 << 47, u64::MAX] {
+                            let cfg = PoolConfig {
+                                num_slots: 16,
+                                max_memory_bytes,
+                                expected_slot_bytes,
+                                guard_bytes,
+                                guard_before_slots,
+                                num_pkeys_available,
+                                total_memory_bytes,
+                            };
+                            checked += 1;
+                            let _ = checked;
+                            if let Ok(layout) = implementation(&cfg) {
+                                let violated = check(&cfg, &layout);
+                                if !violated.is_empty() {
+                                    return Some(Violation {
+                                        config: cfg,
+                                        layout,
+                                        invariants: violated,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Collects the distinct invariant classes an implementation can violate
+/// over the bounded space (used by the Table 1 report binary).
+pub fn violation_classes(
+    implementation: impl Fn(&PoolConfig) -> Result<SlotLayout, LayoutError> + Copy,
+) -> Vec<Invariant> {
+    let sizes = interesting_sizes();
+    let mut seen = std::collections::BTreeSet::new();
+    for &max_memory_bytes in &sizes {
+        for &expected_slot_bytes in &sizes {
+            for &guard_bytes in &sizes {
+                for &num_pkeys_available in &[0u8, 15] {
+                    let cfg = PoolConfig {
+                        num_slots: 16,
+                        max_memory_bytes,
+                        expected_slot_bytes,
+                        guard_bytes,
+                        guard_before_slots: true,
+                        num_pkeys_available,
+                        total_memory_bytes: u64::MAX,
+                    };
+                    if let Ok(layout) = implementation(&cfg) {
+                        for v in check(&cfg, &layout) {
+                            seen.insert(format!("{v:?}"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Map back through a second pass (BTreeSet of Debug strings keeps the
+    // ordering deterministic without requiring Ord on Invariant).
+    let all = [
+        Invariant::TotalAccounting,
+        Invariant::SlotHoldsMemory,
+        Invariant::PageAlignment,
+        Invariant::StripeCount,
+        Invariant::StripeMinimality,
+        Invariant::StripeProtection,
+        Invariant::SlotWasmPageAligned,
+        Invariant::MemoryWasmPageAligned,
+        Invariant::GuardOsPageAligned,
+        Invariant::FitsBudget,
+    ];
+    all.into_iter().filter(|i| seen.contains(&format!("{i:?}"))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{buggy, layout};
+
+    #[test]
+    fn fixed_implementation_has_no_violations() {
+        assert_eq!(find_violation(layout::compute_layout), None);
+    }
+
+    #[test]
+    fn buggy_implementation_is_caught() {
+        let v = find_violation(buggy::compute_layout).expect("the unfixed allocator is unsafe");
+        assert!(!v.invariants.is_empty());
+    }
+
+    #[test]
+    fn buggy_violations_cover_the_papers_findings() {
+        let classes = violation_classes(buggy::compute_layout);
+        // The missing alignment preconditions (Table 1, rows 7–9)…
+        assert!(
+            classes.contains(&Invariant::SlotWasmPageAligned)
+                || classes.contains(&Invariant::MemoryWasmPageAligned)
+                || classes.contains(&Invariant::GuardOsPageAligned),
+            "{classes:?}"
+        );
+        // …and a saturation/size-class violation (the checked-add bug or
+        // the budget precondition, row 10).
+        assert!(
+            classes.contains(&Invariant::TotalAccounting)
+                || classes.contains(&Invariant::FitsBudget)
+                || classes.contains(&Invariant::StripeProtection)
+                || classes.contains(&Invariant::SlotHoldsMemory),
+            "{classes:?}"
+        );
+        assert!(classes.len() >= 2, "multiple defect classes expected: {classes:?}");
+    }
+
+    #[test]
+    fn fixed_classes_are_empty() {
+        assert!(violation_classes(layout::compute_layout).is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! # sfi-runtime: a multi-instance Wasm runtime with ColorGuard
+//!
+//! Ties the reproduction's layers together the way Wasmtime ties its own:
+//! compiled modules (`sfi-core`) are instantiated into pool slots
+//! (`sfi-pool`) inside one virtual address space (`sfi-vm`), and executed
+//! on the deterministic emulator (`sfi-x86`). The runtime implements the
+//! transition protocol §6.4.1 measures: entering a sandbox narrows PKRU to
+//! the instance's stripe and sets the Segue segment base; host calls
+//! transition out (restoring full access) and back in; epoch interruption
+//! bounds guest execution.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sfi_core::{compile, CompilerConfig, Strategy};
+//! use sfi_runtime::{Runtime, RuntimeConfig};
+//!
+//! let module = sfi_wasm::wat::parse(r#"
+//!   (module (memory 1)
+//!     (func (export "bump") (param $p i32) (result i32)
+//!       local.get $p
+//!       local.get $p i32.load
+//!       i32.const 1 i32.add
+//!       i32.store
+//!       local.get $p i32.load))
+//! "#).unwrap();
+//! let cm = Arc::new(compile(&module, &CompilerConfig::for_strategy(Strategy::Segue)).unwrap());
+//!
+//! let mut rt = Runtime::new(RuntimeConfig::small_test(true)).unwrap();
+//! let a = rt.instantiate(Arc::clone(&cm)).unwrap();
+//! let b = rt.instantiate(cm).unwrap();
+//! assert_eq!(rt.invoke(a, "bump", &[64]).unwrap().result, Some(1));
+//! assert_eq!(rt.invoke(a, "bump", &[64]).unwrap().result, Some(2));
+//! // b has its own memory: its counter starts fresh.
+//! assert_eq!(rt.invoke(b, "bump", &[64]).unwrap().result, Some(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod runtime;
+mod transition;
+
+pub use runtime::{
+    HostApi, InstanceId, InvokeOutcome, NoHostApi, Runtime, RuntimeConfig, RuntimeError,
+};
+pub use transition::{TransitionKind, TransitionModel, TransitionStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfi_core::{compile, CompilerConfig, Strategy};
+    use std::sync::Arc;
+
+    fn module(src: &str, strategy: Strategy) -> Arc<sfi_core::CompiledModule> {
+        let m = sfi_wasm::wat::parse(src).unwrap();
+        Arc::new(compile(&m, &CompilerConfig::for_strategy(strategy)).unwrap())
+    }
+
+    const COUNTER: &str = r#"(module (memory 1)
+        (global $calls (mut i32) (i32.const 0))
+        (func (export "bump") (param $p i32) (result i32)
+          global.get $calls i32.const 1 i32.add global.set $calls
+          local.get $p
+          local.get $p i32.load
+          i32.const 1 i32.add
+          i32.store
+          local.get $p i32.load)
+        (func (export "calls") (result i32)
+          global.get $calls))"#;
+
+    #[test]
+    fn instances_have_isolated_memory_and_globals() {
+        let cm = module(COUNTER, Strategy::Segue);
+        let mut rt = Runtime::new(RuntimeConfig::small_test(true)).unwrap();
+        let a = rt.instantiate(Arc::clone(&cm)).unwrap();
+        let b = rt.instantiate(Arc::clone(&cm)).unwrap();
+        for i in 1..=3 {
+            assert_eq!(rt.invoke(a, "bump", &[0]).unwrap().result, Some(i));
+        }
+        assert_eq!(rt.invoke(b, "bump", &[0]).unwrap().result, Some(1));
+        // Globals are per-instance too.
+        assert_eq!(rt.invoke(a, "calls", &[]).unwrap().result, Some(3));
+        assert_eq!(rt.invoke(b, "calls", &[]).unwrap().result, Some(1));
+    }
+
+    const POKE: &str = r#"(module (memory 1)
+        (func (export "poke") (param $p i32)
+          local.get $p
+          i32.const 1
+          i32.store))"#;
+
+    #[test]
+    fn oob_access_just_past_memory_traps() {
+        // The first byte past the 64 KiB memory is guard space (PROT_NONE)
+        // in both striped and unstriped pools.
+        for colorguard in [false, true] {
+            let cm = module(POKE, Strategy::Segue);
+            let mut rt = Runtime::new(RuntimeConfig::small_test(colorguard)).unwrap();
+            let a = rt.instantiate(Arc::clone(&cm)).unwrap();
+            rt.invoke(a, "poke", &[100]).unwrap();
+            let oob = rt.invoke(a, "poke", &[65536]);
+            assert!(matches!(oob, Err(RuntimeError::Trapped(_))), "{oob:?}");
+        }
+    }
+
+    #[test]
+    fn colorguard_stripes_protect_neighbouring_slots() {
+        // The crux of §3.2: with tiny (sub-4 GiB) slot reservations, a
+        // 32-bit index *can* reach the neighbouring slot's mapped memory.
+        // Plain guard pools are only safe because production reservations
+        // are 4 GiB + guard; ColorGuard makes dense packing safe by giving
+        // neighbours different colors.
+        let cm = module(POKE, Strategy::Segue);
+
+        // Without ColorGuard: the dense layout is demonstrably unsafe —
+        // the store lands in the neighbour's memory.
+        let mut rt = Runtime::new(RuntimeConfig::small_test(false)).unwrap();
+        let a = rt.instantiate(Arc::clone(&cm)).unwrap();
+        let b = rt.instantiate(Arc::clone(&cm)).unwrap();
+        let stride = rt.pool().layout().slot_bytes;
+        assert!(stride < 4 << 30, "test relies on a dense (sub-4 GiB) layout");
+        rt.invoke(a, "poke", &[stride]).expect("unstriped dense pool cannot stop this");
+        let mut leak = [0u8; 1];
+        rt.read_heap(b, 0, &mut leak).unwrap();
+        assert_eq!(leak[0], 1, "neighbour was corrupted — hence 4 GiB reservations");
+
+        // With ColorGuard: same dense layout, but the neighbour has a
+        // different MPK color → the store traps and b stays clean.
+        let mut rt = Runtime::new(RuntimeConfig::small_test(true)).unwrap();
+        let a = rt.instantiate(Arc::clone(&cm)).unwrap();
+        let b = rt.instantiate(Arc::clone(&cm)).unwrap();
+        let stride = rt.pool().layout().slot_bytes;
+        let oob = rt.invoke(a, "poke", &[stride]);
+        assert!(matches!(oob, Err(RuntimeError::Trapped(_))), "{oob:?}");
+        let mut clean = [0u8; 1];
+        rt.read_heap(b, 0, &mut clean).unwrap();
+        assert_eq!(clean[0], 0, "stripe protected the neighbour");
+    }
+
+    #[test]
+    fn transition_costs_accumulate() {
+        let cm = module(COUNTER, Strategy::Segue);
+        let mut rt = Runtime::new(RuntimeConfig::small_test(true)).unwrap();
+        let a = rt.instantiate(cm).unwrap();
+        let out = rt.invoke(a, "bump", &[0]).unwrap();
+        assert!(out.transition_cycles > 0.0);
+        assert_eq!(rt.transitions.count, 2, "entry + exit");
+        // ColorGuard transitions cost more than plain ones.
+        let plain = TransitionModel::default().cycles(TransitionKind::default());
+        assert!(rt.transitions.cycles > 2.0 * plain);
+    }
+
+    #[test]
+    fn colorguard_off_means_no_pkru_cost() {
+        let cm = module(COUNTER, Strategy::Segue);
+        let mut on = Runtime::new(RuntimeConfig::small_test(true)).unwrap();
+        let mut off = Runtime::new(RuntimeConfig::small_test(false)).unwrap();
+        let ai = on.instantiate(Arc::clone(&cm)).unwrap();
+        let bi = off.instantiate(cm).unwrap();
+        on.invoke(ai, "bump", &[0]).unwrap();
+        off.invoke(bi, "bump", &[0]).unwrap();
+        assert!(on.transitions.cycles > off.transitions.cycles);
+    }
+
+    #[test]
+    fn epoch_interruption_preempts() {
+        let src = r#"(module (memory 1)
+            (func (export "spin")
+              loop br 0 end))"#;
+        let cm = module(src, Strategy::Segue);
+        let mut cfg = RuntimeConfig::small_test(true);
+        cfg.epoch_fuel = Some(10_000);
+        let mut rt = Runtime::new(cfg).unwrap();
+        let a = rt.instantiate(cm).unwrap();
+        assert!(matches!(
+            rt.invoke(a, "spin", &[]),
+            Err(RuntimeError::EpochInterrupted)
+        ));
+    }
+
+    #[test]
+    fn host_api_dispatch() {
+        let src = r#"(module (memory 1)
+            (func (export "answer") (result i32)
+              call 0))"#;
+        // Build with an import.
+        let mut m = sfi_wasm::Module::new(1);
+        m.push_import(sfi_wasm::HostImport {
+            name: "env.answer".into(),
+            params: vec![],
+            result: Some(sfi_wasm::ValType::I32),
+        });
+        let f = m.push_func(
+            sfi_wasm::FuncBuilder::new("answer")
+                .result(sfi_wasm::ValType::I32)
+                .body(vec![sfi_wasm::Op::Call(0), sfi_wasm::Op::End])
+                .build(),
+        );
+        m.export("answer", f);
+        let _ = src;
+        let cm = Arc::new(
+            compile(&m, &CompilerConfig::for_strategy(Strategy::Segue)).unwrap(),
+        );
+
+        struct Api;
+        impl HostApi for Api {
+            fn call(
+                &mut self,
+                name: &str,
+                _args: &[u64],
+                heap: &mut [u8],
+            ) -> Result<Option<u64>, String> {
+                assert_eq!(name, "env.answer");
+                heap[0] = 0xAA; // host may write guest memory
+                Ok(Some(42))
+            }
+        }
+        let mut rt = Runtime::new(RuntimeConfig::small_test(true)).unwrap();
+        let a = rt.instantiate(cm).unwrap();
+        let out = rt.invoke_with_host(a, "answer", &[], &mut Api).unwrap();
+        assert_eq!(out.result, Some(42));
+        let mut b = [0u8; 1];
+        rt.read_heap(a, 0, &mut b).unwrap();
+        assert_eq!(b[0], 0xAA);
+        // Entry + exit + host out/in = 4 transitions.
+        assert_eq!(rt.transitions.count, 4);
+    }
+
+    #[test]
+    fn terminate_recycles_slots() {
+        let cm = module(COUNTER, Strategy::Segue);
+        let mut rt = Runtime::new(RuntimeConfig::small_test(true)).unwrap();
+        let cap = rt.pool().capacity();
+        let mut ids = Vec::new();
+        for _ in 0..cap {
+            ids.push(rt.instantiate(Arc::clone(&cm)).unwrap());
+        }
+        assert!(matches!(
+            rt.instantiate(Arc::clone(&cm)),
+            Err(RuntimeError::Pool(sfi_pool::PoolError::Exhausted))
+        ));
+        // Dirty one, terminate it, reinstantiate: memory must be zeroed.
+        rt.invoke(ids[0], "bump", &[0]).unwrap();
+        rt.terminate(ids[0]).unwrap();
+        let fresh = rt.instantiate(Arc::clone(&cm)).unwrap();
+        assert_eq!(rt.invoke(fresh, "bump", &[0]).unwrap().result, Some(1));
+    }
+
+    #[test]
+    fn native_modules_rejected() {
+        let cm = module(COUNTER, Strategy::Native);
+        let mut rt = Runtime::new(RuntimeConfig::small_test(false)).unwrap();
+        assert!(matches!(
+            rt.instantiate(cm),
+            Err(RuntimeError::IncompatibleModule(_))
+        ));
+    }
+
+    #[test]
+    fn guard_region_strategy_works_in_pool_without_colorguard() {
+        // Baseline guard-region modules run in unstriped pools.
+        let cm = module(COUNTER, Strategy::GuardRegion);
+        let mut rt = Runtime::new(RuntimeConfig::small_test(false)).unwrap();
+        let a = rt.instantiate(cm).unwrap();
+        assert_eq!(rt.invoke(a, "bump", &[8]).unwrap().result, Some(1));
+    }
+}

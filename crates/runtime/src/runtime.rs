@@ -1,0 +1,476 @@
+//! The multi-instance runtime: pooled instances executing on the virtual
+//! address space, with ColorGuard PKRU switching on every transition.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sfi_core::compile::{hostcall, CompiledModule};
+use sfi_core::config::regs;
+use sfi_core::Strategy;
+use sfi_pool::{MemoryPool, PoolConfig, PoolError, SlotHandle};
+use sfi_vm::mpk::Pkru;
+use sfi_vm::{AddressSpace, MapError, Prot};
+use sfi_wasm::PAGE_SIZE;
+use sfi_x86::cost::RunStats;
+use sfi_x86::emu::{Machine, RegFile};
+use sfi_x86::{Gpr, Trap};
+
+use crate::transition::{TransitionKind, TransitionModel, TransitionStats};
+
+/// A host API: named functions the sandbox may import (mini-WASI).
+pub trait HostApi {
+    /// Handles the import `name` with `args`; may return a value. `heap`
+    /// is the calling instance's linear memory (host functions access guest
+    /// memory through it, like WASI does).
+    fn call(&mut self, name: &str, args: &[u64], heap: &mut [u8]) -> Result<Option<u64>, String>;
+}
+
+/// A host API that rejects everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoHostApi;
+
+impl HostApi for NoHostApi {
+    fn call(&mut self, name: &str, _args: &[u64], _heap: &mut [u8]) -> Result<Option<u64>, String> {
+        Err(format!("no host function bound for {name}"))
+    }
+}
+
+/// Identifies a live instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InstanceId(u64);
+
+#[derive(Debug)]
+struct Instance {
+    module: Arc<CompiledModule>,
+    slot: SlotHandle,
+    globals: Vec<u64>,
+    mem_pages: u32,
+}
+
+/// Runtime failures.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// Pool allocation failed.
+    Pool(PoolError),
+    /// Mapping runtime regions failed.
+    Map(MapError),
+    /// Unknown instance.
+    BadInstance,
+    /// Unknown export.
+    NoSuchExport(String),
+    /// The module was compiled with an incompatible configuration.
+    IncompatibleModule(String),
+    /// The sandbox trapped.
+    Trapped(Trap),
+    /// The instance exceeded its epoch budget (cooperative preemption).
+    EpochInterrupted,
+    /// A host function failed.
+    Host(String),
+}
+
+impl core::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RuntimeError::Pool(e) => write!(f, "pool: {e}"),
+            RuntimeError::Map(e) => write!(f, "map: {e}"),
+            RuntimeError::BadInstance => f.write_str("unknown instance"),
+            RuntimeError::NoSuchExport(n) => write!(f, "no export named {n}"),
+            RuntimeError::IncompatibleModule(m) => write!(f, "incompatible module: {m}"),
+            RuntimeError::Trapped(t) => write!(f, "trap: {t}"),
+            RuntimeError::EpochInterrupted => f.write_str("epoch interrupted"),
+            RuntimeError::Host(m) => write!(f, "host: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<PoolError> for RuntimeError {
+    fn from(e: PoolError) -> Self {
+        RuntimeError::Pool(e)
+    }
+}
+
+impl From<MapError> for RuntimeError {
+    fn from(e: MapError) -> Self {
+        RuntimeError::Map(e)
+    }
+}
+
+/// The result of an invocation.
+#[derive(Debug, Clone)]
+pub struct InvokeOutcome {
+    /// Return value (if the export returns one).
+    pub result: Option<u64>,
+    /// Emulator counters for the guest execution.
+    pub stats: RunStats,
+    /// Modeled transition cycles charged for this invocation (entry + exit
+    /// + one pair per host call).
+    pub transition_cycles: f64,
+}
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// The pool configuration.
+    pub pool: PoolConfig,
+    /// Enable ColorGuard: stripe slots with MPK and switch PKRU on
+    /// transitions.
+    pub colorguard: bool,
+    /// Transition cost model.
+    pub transition: TransitionModel,
+    /// Guest instruction budget per invocation (epoch interruption);
+    /// `None` = unlimited.
+    pub epoch_fuel: Option<u64>,
+}
+
+impl RuntimeConfig {
+    /// A small test configuration: 64 KiB memories, 8 slots.
+    pub fn small_test(colorguard: bool) -> RuntimeConfig {
+        RuntimeConfig {
+            pool: PoolConfig {
+                num_slots: 8,
+                max_memory_bytes: PAGE_SIZE,
+                expected_slot_bytes: 4 * PAGE_SIZE,
+                guard_bytes: 4 * PAGE_SIZE,
+                guard_before_slots: true,
+                num_pkeys_available: if colorguard { 15 } else { 0 },
+                total_memory_bytes: 1 << 31,
+            },
+            colorguard,
+            transition: TransitionModel::default(),
+            epoch_fuel: None,
+        }
+    }
+}
+
+/// The multi-instance runtime.
+pub struct Runtime {
+    space: AddressSpace,
+    pool: MemoryPool,
+    machine: Machine,
+    config: RuntimeConfig,
+    instances: HashMap<u64, Instance>,
+    next_id: u64,
+    /// Cumulative transition accounting.
+    pub transitions: TransitionStats,
+}
+
+impl Runtime {
+    /// Creates a runtime: maps the low runtime regions (header, globals,
+    /// table, stack) and the instance pool.
+    pub fn new(config: RuntimeConfig) -> Result<Runtime, RuntimeError> {
+        let mut space = AddressSpace::new_48bit();
+        // Low runtime regions (key 0, always accessible).
+        space.mmap_fixed(0x1000, 0xF_F000, Prot::READ_WRITE)?; // 4 KiB..1 MiB
+        let pool = MemoryPool::create(&mut space, &config.pool)?;
+        Ok(Runtime {
+            space,
+            pool,
+            machine: Machine::new(),
+            config,
+            instances: HashMap::new(),
+            next_id: 0,
+            transitions: TransitionStats::default(),
+        })
+    }
+
+    /// The pool (e.g. for capacity checks).
+    pub fn pool(&self) -> &MemoryPool {
+        &self.pool
+    }
+
+    /// The address space (for test assertions).
+    pub fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    /// Live instance count.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Instantiates a compiled module: allocates a slot, installs data
+    /// segments, snapshots globals.
+    pub fn instantiate(&mut self, module: Arc<CompiledModule>) -> Result<InstanceId, RuntimeError> {
+        if module.config.strategy == Strategy::Native {
+            return Err(RuntimeError::IncompatibleModule(
+                "Native-strategy modules bake an absolute heap base and cannot be pooled".into(),
+            ));
+        }
+        let mem_bytes = u64::from(module.mem_min_pages) * PAGE_SIZE;
+        if mem_bytes > self.pool.layout().max_memory_bytes {
+            return Err(RuntimeError::IncompatibleModule(format!(
+                "module needs {mem_bytes} bytes, slots hold {}",
+                self.pool.layout().max_memory_bytes
+            )));
+        }
+        let slot = self.pool.allocate(&mut self.space)?;
+        for (off, bytes) in &module.data {
+            self.space.write_unchecked(slot.heap_base + u64::from(*off), bytes);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.instances.insert(
+            id,
+            Instance {
+                globals: module.globals_init.clone(),
+                mem_pages: module.mem_min_pages,
+                module,
+                slot,
+            },
+        );
+        Ok(InstanceId(id))
+    }
+
+    /// Destroys an instance, recycling its slot (`madvise`).
+    pub fn terminate(&mut self, id: InstanceId) -> Result<(), RuntimeError> {
+        let inst = self.instances.remove(&id.0).ok_or(RuntimeError::BadInstance)?;
+        self.pool.deallocate(&mut self.space, inst.slot)?;
+        Ok(())
+    }
+
+    /// Invokes an export with no host API.
+    pub fn invoke(
+        &mut self,
+        id: InstanceId,
+        export: &str,
+        args: &[u64],
+    ) -> Result<InvokeOutcome, RuntimeError> {
+        self.invoke_with_host(id, export, args, &mut NoHostApi)
+    }
+
+    /// Invokes `export(args)` on instance `id`, dispatching imports to
+    /// `host`. Models the full transition protocol: PKRU is narrowed to the
+    /// instance's stripe on entry and restored on exit (and around every
+    /// host call), the segment base is set on entry.
+    pub fn invoke_with_host(
+        &mut self,
+        id: InstanceId,
+        export: &str,
+        args: &[u64],
+        host: &mut dyn HostApi,
+    ) -> Result<InvokeOutcome, RuntimeError> {
+        let inst = self.instances.get(&id.0).ok_or(RuntimeError::BadInstance)?;
+        let module = Arc::clone(&inst.module);
+        let entry = module
+            .export_entry(export)
+            .ok_or_else(|| RuntimeError::NoSuchExport(export.to_owned()))?;
+        let fidx = module.exports[export];
+        let has_result = module.func_has_result[fidx as usize];
+        let regions = module.config.regions;
+        let heap_base = inst.slot.heap_base;
+        let pkey = inst.slot.pkey;
+        let max_pages =
+            (self.pool.layout().max_memory_bytes / PAGE_SIZE).min(u64::from(module.mem_max_pages));
+
+        // Install per-instance runtime state into the shared low regions.
+        self.space.write_unchecked(
+            u64::from(regions.header_base),
+            &inst.mem_pages.to_le_bytes(),
+        );
+        self.space
+            .write_unchecked(u64::from(regions.header_base) + 8, &heap_base.to_le_bytes());
+        for (i, g) in inst.globals.iter().enumerate() {
+            self.space
+                .write_unchecked(u64::from(regions.globals_base) + 8 * i as u64, &g.to_le_bytes());
+        }
+        self.space
+            .write_unchecked(u64::from(regions.table_base), &module.table_bytes);
+
+        // Architectural entry protocol.
+        let enter = TransitionKind {
+            colorguard: self.config.colorguard,
+            set_segment_base: module.config.strategy.segue_loads()
+                || module.config.strategy.segue_stores(),
+            ..TransitionKind::default()
+        };
+        let exit =
+            TransitionKind { colorguard: self.config.colorguard, ..TransitionKind::default() };
+        self.transitions.record(&self.config.transition, enter);
+        let mut invocation_transition_cycles = self.config.transition.cycles(enter);
+
+        self.machine.regs = RegFile::default();
+        self.machine.regs.gs_base = heap_base;
+        self.machine.set_gpr(regs::HEAP_BASE, heap_base);
+        if self.config.colorguard {
+            self.machine.regs.pkru = Pkru::only_stripe(pkey).0;
+        }
+        let mut sp = u64::from(regions.stack_top);
+        for &a in args {
+            sp -= 8;
+            self.space.write_unchecked(sp, &a.to_le_bytes());
+        }
+        self.machine.set_gpr(Gpr::Rsp, sp);
+        if let Some(fuel) = self.config.epoch_fuel {
+            self.machine.set_fuel(fuel);
+        }
+
+        // Host dispatcher: imports + builtins. Host calls transition out of
+        // the sandbox (restore PKRU) and back in.
+        let header_base = u64::from(regions.header_base);
+        let colorguard = self.config.colorguard;
+        let tm = self.config.transition;
+        let mut host_transition_cycles = 0.0f64;
+        let mut host_transitions = 0u64;
+        let mut host_err: Option<String> = None;
+        let imports: Vec<String> =
+            (0..module.num_imports).map(|i| format!("import{i}")).collect();
+        let _ = imports;
+
+        let stats = {
+            let space = &mut self.space;
+            let module_ref = &module;
+            let mut handler = |fid: u32, regs_: &mut RegFile, bus: &mut AddressSpace| -> Result<f64, Trap> {
+                // Transition out + back in for the host work.
+                let pair = tm.cycles(exit)
+                    + tm.cycles(TransitionKind { colorguard, ..TransitionKind::default() });
+                host_transition_cycles += pair;
+                host_transitions += 2;
+                let saved_pkru = regs_.pkru;
+                regs_.pkru = 0; // host runs with full access
+
+                let rsp = regs_.gpr(Gpr::Rsp);
+                let read_arg = |bus: &mut AddressSpace, i: u64| -> u64 {
+                    let mut b = [0u8; 8];
+                    bus.read_unchecked(rsp + 8 * i, &mut b);
+                    u64::from_le_bytes(b)
+                };
+                let r = match fid {
+                    hostcall::MEMORY_GROW => {
+                        let delta = read_arg(bus, 0) as u32;
+                        let mut cur_b = [0u8; 4];
+                        bus.read_unchecked(header_base, &mut cur_b);
+                        let cur = u32::from_le_bytes(cur_b);
+                        let new = u64::from(cur) + u64::from(delta);
+                        if new > max_pages {
+                            regs_.set_gpr(Gpr::Rax, u64::from(u32::MAX));
+                        } else {
+                            bus.write_unchecked(header_base, &(new as u32).to_le_bytes());
+                            regs_.set_gpr(Gpr::Rax, u64::from(cur));
+                        }
+                        Ok(60.0)
+                    }
+                    hostcall::MEMORY_COPY | hostcall::MEMORY_FILL => {
+                        let len = read_arg(bus, 0) as u32 as u64;
+                        let b_arg = read_arg(bus, 1);
+                        let dst = read_arg(bus, 2) as u32 as u64;
+                        let mut cur_b = [0u8; 4];
+                        bus.read_unchecked(header_base, &mut cur_b);
+                        let cur_bytes = u64::from(u32::from_le_bytes(cur_b)) * PAGE_SIZE;
+                        if dst + len > cur_bytes
+                            || (fid == hostcall::MEMORY_COPY
+                                && (b_arg as u32 as u64) + len > cur_bytes)
+                        {
+                            return Err(Trap::Mem(sfi_x86::MemFault::Unmapped {
+                                addr: heap_base + dst + len,
+                            }));
+                        }
+                        if fid == hostcall::MEMORY_COPY {
+                            let src = b_arg as u32 as u64;
+                            let mut buf = vec![0u8; len as usize];
+                            bus.read_unchecked(heap_base + src, &mut buf);
+                            bus.write_unchecked(heap_base + dst, &buf);
+                        } else {
+                            let buf = vec![b_arg as u8; len as usize];
+                            bus.write_unchecked(heap_base + dst, &buf);
+                        }
+                        Ok(10.0 + len as f64 / 16.0)
+                    }
+                    import_id if (import_id as usize) < module_ref.num_imports as usize => {
+                        // Dispatch to the host API by import name.
+                        let name = module_ref
+                            .import_names
+                            .get(import_id as usize)
+                            .cloned()
+                            .unwrap_or_else(|| format!("import{import_id}"));
+                        let argc = module_ref
+                            .import_arg_counts
+                            .get(import_id as usize)
+                            .copied()
+                            .unwrap_or(0) as u64;
+                        let args: Vec<u64> = (0..argc).map(|i| read_arg(bus, argc - 1 - i)).collect();
+                        // Give the host a copy-in/copy-out heap view.
+                        let mut cur_b = [0u8; 4];
+                        bus.read_unchecked(header_base, &mut cur_b);
+                        let cur_bytes = u64::from(u32::from_le_bytes(cur_b)) * PAGE_SIZE;
+                        let mut heap = vec![0u8; cur_bytes as usize];
+                        bus.read_unchecked(heap_base, &mut heap);
+                        match host.call(&name, &args, &mut heap) {
+                            Ok(r) => {
+                                bus.write_unchecked(heap_base, &heap);
+                                if let Some(v) = r {
+                                    regs_.set_gpr(Gpr::Rax, v);
+                                }
+                                Ok(150.0) // host work dispatch cost
+                            }
+                            Err(msg) => {
+                                host_err = Some(msg);
+                                Err(Trap::Undefined)
+                            }
+                        }
+                    }
+                    other => Err(Trap::BadControlFlow { target: u64::from(other) }),
+                };
+                regs_.pkru = saved_pkru;
+                r
+            };
+            self.machine.run_image_from(&module.image, entry, space, &mut handler)
+        };
+
+        // Exit transition.
+        self.transitions.record(&self.config.transition, exit);
+        invocation_transition_cycles += self.config.transition.cycles(exit);
+        invocation_transition_cycles += host_transition_cycles;
+        self.transitions.count += host_transitions;
+        self.transitions.cycles += host_transition_cycles;
+        self.machine.regs.pkru = 0;
+
+        let stats = match stats {
+            Ok(s) => s,
+            Err(Trap::FuelExhausted) if self.config.epoch_fuel.is_some() => {
+                return Err(RuntimeError::EpochInterrupted)
+            }
+            Err(t) => {
+                return Err(match host_err {
+                    Some(m) => RuntimeError::Host(m),
+                    None => RuntimeError::Trapped(t),
+                })
+            }
+        };
+
+        // Read back per-instance state.
+        let mut hdr = [0u8; 4];
+        self.space.read_unchecked(u64::from(regions.header_base), &mut hdr);
+        let globals_len = {
+            let inst = self.instances.get_mut(&id.0).expect("checked above");
+            inst.mem_pages = u32::from_le_bytes(hdr);
+            inst.globals.len()
+        };
+        for i in 0..globals_len {
+            let mut b = [0u8; 8];
+            self.space
+                .read_unchecked(u64::from(regions.globals_base) + 8 * i as u64, &mut b);
+            self.instances.get_mut(&id.0).expect("checked").globals[i] = u64::from_le_bytes(b);
+        }
+
+        Ok(InvokeOutcome {
+            result: has_result.then(|| self.machine.gpr(regs::RET)),
+            stats,
+            transition_cycles: invocation_transition_cycles,
+        })
+    }
+
+    /// Reads bytes from an instance's heap (host-side inspection).
+    pub fn read_heap(&self, id: InstanceId, offset: u64, buf: &mut [u8]) -> Result<(), RuntimeError> {
+        let inst = self.instances.get(&id.0).ok_or(RuntimeError::BadInstance)?;
+        self.space.read_unchecked(inst.slot.heap_base + offset, buf);
+        Ok(())
+    }
+
+    /// An instance's current global value.
+    pub fn global(&self, id: InstanceId, idx: usize) -> Option<u64> {
+        self.instances.get(&id.0)?.globals.get(idx).copied()
+    }
+}

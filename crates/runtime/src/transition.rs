@@ -1,0 +1,171 @@
+//! Host↔guest transition cost model (§6.4.1).
+//!
+//! Wasmtime's transitions switch stacks, set exception handlers and adjust
+//! for Wasm's ABI; the paper measures 30.34 ns per transition on its pinned
+//! 2.2 GHz machine. ColorGuard adds one `wrpkru` per transition direction —
+//! measured as a ~44-cycle (≈20 ns) increase to 51.52 ns. Segue adds a
+//! `wrgsbase` when entering a different module's memory, which is far
+//! cheaper and amortized (§3.1 "Other considerations").
+
+/// Tunable transition-cost parameters (cycles).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitionModel {
+    /// Baseline one-way transition cost (stack switch, handlers, ABI).
+    /// 30.34 ns × 2.2 GHz ≈ 66.7 cycles.
+    pub base_cycles: f64,
+    /// `wrpkru` cost, paid once per direction under ColorGuard.
+    pub wrpkru_cycles: f64,
+    /// `wrgsbase` cost, paid on entry when the segment base must change
+    /// (Segue), elided for same-module reentry.
+    pub wrgsbase_cycles: f64,
+    /// Fallback cost when FSGSBASE is unavailable and the base must be set
+    /// via `arch_prctl(2)` — the legacy-CPU path Firefox must handle (§4.1).
+    pub arch_prctl_cycles: f64,
+    /// Extra cycles for an async (fiber) stack swap over the sync path.
+    pub async_extra_cycles: f64,
+    /// Core frequency (GHz) for ns conversions; the paper pins 2.2 GHz.
+    pub freq_ghz: f64,
+}
+
+impl Default for TransitionModel {
+    fn default() -> Self {
+        TransitionModel {
+            base_cycles: 66.7,
+            wrpkru_cycles: 46.6,
+            wrgsbase_cycles: 12.0,
+            arch_prctl_cycles: 700.0,
+            async_extra_cycles: 55.0,
+            freq_ghz: 2.2,
+        }
+    }
+}
+
+/// What a transition must do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransitionKind {
+    /// Switch the PKRU stripe (ColorGuard).
+    pub colorguard: bool,
+    /// Set the segment base (Segue entering a different memory).
+    pub set_segment_base: bool,
+    /// Use the syscall fallback for the segment base (no FSGSBASE).
+    pub segment_base_via_syscall: bool,
+    /// An async (fiber) transition: Wasmtime's async entries swap a whole
+    /// separate stack rather than adjusting the current one (§6.4.1
+    /// measures transitions "for a variety of contexts — sync vs. async").
+    pub async_stack_switch: bool,
+}
+
+impl TransitionModel {
+    /// Cycles for one transition (one direction).
+    pub fn cycles(&self, kind: TransitionKind) -> f64 {
+        let mut c = self.base_cycles;
+        if kind.colorguard {
+            c += self.wrpkru_cycles;
+        }
+        if kind.set_segment_base {
+            c += if kind.segment_base_via_syscall {
+                self.arch_prctl_cycles
+            } else {
+                self.wrgsbase_cycles
+            };
+        }
+        if kind.async_stack_switch {
+            c += self.async_extra_cycles;
+        }
+        c
+    }
+
+    /// Nanoseconds for one transition.
+    pub fn ns(&self, kind: TransitionKind) -> f64 {
+        self.cycles(kind) / self.freq_ghz
+    }
+}
+
+/// Cumulative transition accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TransitionStats {
+    /// Transitions performed (each direction counts).
+    pub count: u64,
+    /// Total modeled cycles spent transitioning.
+    pub cycles: f64,
+}
+
+impl TransitionStats {
+    /// Records one transition.
+    pub fn record(&mut self, model: &TransitionModel, kind: TransitionKind) {
+        self.count += 1;
+        self.cycles += model.cycles(kind);
+    }
+
+    /// Mean ns per transition.
+    pub fn mean_ns(&self, model: &TransitionModel) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.cycles / self.count as f64 / model.freq_ghz
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_papers_measurements() {
+        let m = TransitionModel::default();
+        let plain = m.ns(TransitionKind::default());
+        let cg = m.ns(TransitionKind { colorguard: true, ..Default::default() });
+        assert!((plain - 30.34).abs() < 1.0, "baseline ≈30.34 ns, got {plain}");
+        assert!((cg - 51.52).abs() < 2.0, "ColorGuard ≈51.52 ns, got {cg}");
+        assert!((cg - plain - 20.0).abs() < 2.0, "increase ≈20 ns, got {}", cg - plain);
+    }
+
+    #[test]
+    fn segment_base_costs_are_ordered() {
+        let m = TransitionModel::default();
+        let fast = m.cycles(TransitionKind { set_segment_base: true, ..Default::default() });
+        let slow = m.cycles(TransitionKind {
+            set_segment_base: true,
+            segment_base_via_syscall: true,
+            ..Default::default()
+        });
+        assert!(fast < slow, "FSGSBASE must beat arch_prctl");
+        let m0 = m.cycles(TransitionKind::default());
+        assert!(
+            (slow - m0) > 10.0 * (fast - m0),
+            "the syscall's marginal cost is an order of magnitude worse"
+        );
+    }
+
+    #[test]
+    fn async_transitions_cost_more_but_colorguard_delta_is_constant() {
+        // The ~21 ns ColorGuard increase holds across transition contexts
+        // ("sync vs. async transitions, function calls vs. jumps" — §5.1).
+        let m = TransitionModel::default();
+        let sync_plain = m.ns(TransitionKind::default());
+        let sync_cg = m.ns(TransitionKind { colorguard: true, ..Default::default() });
+        let async_plain =
+            m.ns(TransitionKind { async_stack_switch: true, ..Default::default() });
+        let async_cg = m.ns(TransitionKind {
+            async_stack_switch: true,
+            colorguard: true,
+            ..Default::default()
+        });
+        assert!(async_plain > sync_plain);
+        let d_sync = sync_cg - sync_plain;
+        let d_async = async_cg - async_plain;
+        assert!((d_sync - d_async).abs() < 1e-9, "the wrpkru delta is context-independent");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let m = TransitionModel::default();
+        let mut s = TransitionStats::default();
+        for _ in 0..10 {
+            s.record(&m, TransitionKind { colorguard: true, ..Default::default() });
+        }
+        assert_eq!(s.count, 10);
+        assert!((s.mean_ns(&m) - 51.52).abs() < 2.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Memory Protection Keys: key allocation and PKRU helpers.
+//!
+//! MPK gives user space 16 protection keys (4 bits per PTE); key 0 is the
+//! default for all memory, leaving **15 allocatable keys** — the constant
+//! behind ColorGuard's "up to 15×" density claim (§3.2). Rights are held in
+//! the per-thread PKRU register: two bits per key, *access-disable* (AD) and
+//! *write-disable* (WD). `wrpkru` is unprivileged and takes ~40 cycles,
+//! which is what makes per-transition color switching viable.
+
+/// Number of protection keys including the default key 0.
+pub const NUM_KEYS: u8 = 16;
+
+/// Number of keys available to applications (key 0 is the default).
+pub const NUM_ALLOCATABLE_KEYS: u8 = 15;
+
+/// A `pkey_alloc`/`pkey_free` model.
+#[derive(Debug, Clone)]
+pub struct KeyAllocator {
+    /// Bitmask of allocated keys (bit 0 = key 1, … bit 14 = key 15).
+    allocated: u16,
+    /// Keys reserved by the embedding application (ColorGuard supports
+    /// running inside apps that use some keys for their own purposes, §5.1).
+    reserved: u16,
+}
+
+impl Default for KeyAllocator {
+    fn default() -> Self {
+        KeyAllocator::new()
+    }
+}
+
+impl KeyAllocator {
+    /// A fresh allocator with all 15 user keys free.
+    pub fn new() -> KeyAllocator {
+        KeyAllocator { allocated: 0, reserved: 0 }
+    }
+
+    /// Marks `n` keys as reserved by the embedding application, reducing
+    /// what `pkey_alloc` can hand out.
+    pub fn reserve(&mut self, n: u8) {
+        let n = n.min(NUM_ALLOCATABLE_KEYS);
+        self.reserved = (1u16 << n) - 1;
+    }
+
+    /// Allocates the lowest free key (1–15), or `None` if exhausted —
+    /// mirroring `pkey_alloc()` returning `ENOSPC`.
+    pub fn pkey_alloc(&mut self) -> Option<u8> {
+        for k in 1..=NUM_ALLOCATABLE_KEYS {
+            let bit = 1u16 << (k - 1);
+            if self.allocated & bit == 0 && self.reserved & bit == 0 {
+                self.allocated |= bit;
+                return Some(k);
+            }
+        }
+        None
+    }
+
+    /// Frees a previously allocated key.
+    pub fn pkey_free(&mut self, key: u8) {
+        if (1..=NUM_ALLOCATABLE_KEYS).contains(&key) {
+            self.allocated &= !(1u16 << (key - 1));
+        }
+    }
+
+    /// Whether `key` is currently allocated.
+    pub fn is_allocated(&self, key: u8) -> bool {
+        (1..=NUM_ALLOCATABLE_KEYS).contains(&key) && self.allocated & (1u16 << (key - 1)) != 0
+    }
+
+    /// Number of keys still available to `pkey_alloc`.
+    pub fn available(&self) -> u8 {
+        (1..=NUM_ALLOCATABLE_KEYS)
+            .filter(|&k| {
+                let bit = 1u16 << (k - 1);
+                self.allocated & bit == 0 && self.reserved & bit == 0
+            })
+            .count() as u8
+    }
+}
+
+/// PKRU value construction.
+///
+/// PKRU holds two bits per key: bit `2k` is access-disable, bit `2k+1` is
+/// write-disable. All-zero enables everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pkru(pub u32);
+
+impl Pkru {
+    /// Everything enabled (the host runtime's resting state in ColorGuard —
+    /// key 0 memory plus all stripes).
+    pub const ALL_ENABLED: Pkru = Pkru(0);
+
+    /// A PKRU that *disables* every non-zero key — key 0 (runtime memory)
+    /// stays accessible.
+    pub fn deny_all_stripes() -> Pkru {
+        // Set AD for keys 1..=15.
+        let mut v = 0u32;
+        for k in 1..=15u32 {
+            v |= 1 << (2 * k);
+        }
+        Pkru(v)
+    }
+
+    /// The ColorGuard transition value: every non-zero key disabled
+    /// *except* `key`, which is fully enabled. Key 0 stays enabled so the
+    /// sandboxed code can still be reached through runtime memory the
+    /// compiler controls.
+    pub fn only_stripe(key: u8) -> Pkru {
+        let mut p = Pkru::deny_all_stripes();
+        p.0 &= !(0b11 << (2 * u32::from(key)));
+        p
+    }
+
+    /// Enables `key` (clears both bits).
+    #[must_use]
+    pub fn enable(mut self, key: u8) -> Pkru {
+        self.0 &= !(0b11 << (2 * u32::from(key)));
+        self
+    }
+
+    /// Disables `key` entirely (sets access-disable).
+    #[must_use]
+    pub fn disable(mut self, key: u8) -> Pkru {
+        self.0 |= 1 << (2 * u32::from(key));
+        self
+    }
+
+    /// Whether reads through `key` pages are permitted.
+    pub fn may_read(self, key: u8) -> bool {
+        self.0 >> (2 * u32::from(key)) & 1 == 0
+    }
+
+    /// Whether writes through `key` pages are permitted.
+    pub fn may_write(self, key: u8) -> bool {
+        self.may_read(key) && self.0 >> (2 * u32::from(key) + 1) & 1 == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_keys_then_exhausted() {
+        let mut a = KeyAllocator::new();
+        let keys: Vec<u8> = std::iter::from_fn(|| a.pkey_alloc()).collect();
+        assert_eq!(keys.len(), 15);
+        assert_eq!(keys[0], 1);
+        assert_eq!(keys[14], 15);
+        assert_eq!(a.pkey_alloc(), None);
+        a.pkey_free(7);
+        assert_eq!(a.pkey_alloc(), Some(7));
+    }
+
+    #[test]
+    fn reservation_reduces_supply() {
+        let mut a = KeyAllocator::new();
+        a.reserve(5);
+        assert_eq!(a.available(), 10);
+        let first = a.pkey_alloc().unwrap();
+        assert_eq!(first, 6, "reserved keys 1–5 are skipped");
+    }
+
+    #[test]
+    fn pkru_stripe_masking() {
+        let p = Pkru::only_stripe(3);
+        assert!(p.may_read(0), "key 0 always accessible");
+        assert!(p.may_write(0));
+        assert!(p.may_read(3) && p.may_write(3));
+        for k in 1..=15u8 {
+            if k != 3 {
+                assert!(!p.may_read(k), "key {k} must be denied");
+            }
+        }
+    }
+
+    #[test]
+    fn enable_disable_roundtrip() {
+        let p = Pkru::deny_all_stripes().enable(9);
+        assert!(p.may_read(9));
+        let p = p.disable(9);
+        assert!(!p.may_read(9));
+        assert!(!p.may_write(9));
+    }
+
+    #[test]
+    fn matches_access_ctx_semantics() {
+        // sfi_x86::emu::AccessCtx must agree with Pkru bit layout.
+        use sfi_x86::emu::AccessCtx;
+        let p = Pkru::only_stripe(4);
+        let ctx = AccessCtx { pkru: p.0 };
+        for k in 0..=15u8 {
+            assert_eq!(p.may_read(k), ctx.may_read(k), "key {k} read");
+            assert_eq!(p.may_write(k), ctx.may_write(k), "key {k} write");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests of the address-space model: arbitrary sequences of
+//! mapping operations must preserve the kernel's VMA invariants.
+
+use proptest::prelude::*;
+use sfi_vm::{AddressSpace, Prot, OS_PAGE_SIZE};
+
+#[derive(Debug, Clone)]
+enum OpKind {
+    Mmap { pages: u64, prot: u8 },
+    MmapFixed { page: u64, pages: u64, prot: u8 },
+    Munmap { page: u64, pages: u64 },
+    Mprotect { page: u64, pages: u64, prot: u8 },
+    Madvise { page: u64, pages: u64 },
+    Write { page: u64, val: u8 },
+}
+
+fn prot_of(p: u8) -> Prot {
+    match p % 3 {
+        0 => Prot::NONE,
+        1 => Prot::READ,
+        _ => Prot::READ_WRITE,
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        (1u64..16, any::<u8>()).prop_map(|(pages, prot)| OpKind::Mmap { pages, prot }),
+        (0u64..256, 1u64..16, any::<u8>())
+            .prop_map(|(page, pages, prot)| OpKind::MmapFixed { page, pages, prot }),
+        (0u64..256, 1u64..16).prop_map(|(page, pages)| OpKind::Munmap { page, pages }),
+        (0u64..256, 1u64..16, any::<u8>())
+            .prop_map(|(page, pages, prot)| OpKind::Mprotect { page, pages, prot }),
+        (0u64..256, 1u64..16).prop_map(|(page, pages)| OpKind::Madvise { page, pages }),
+        (0u64..256, any::<u8>()).prop_map(|(page, val)| OpKind::Write { page, val }),
+    ]
+}
+
+/// VMAs must be sorted, non-overlapping, page-aligned, and fully merged
+/// (no adjacent VMAs with identical attributes).
+fn assert_vma_invariants(space: &AddressSpace) {
+    let vmas = space.vmas();
+    for w in vmas.windows(2) {
+        assert!(w[0].end <= w[1].start, "VMAs overlap: {w:?}");
+        if w[0].end == w[1].start {
+            assert!(
+                w[0].prot != w[1].prot || w[0].pkey != w[1].pkey || w[0].mte != w[1].mte,
+                "unmerged identical neighbours: {w:?}"
+            );
+        }
+    }
+    for v in &vmas {
+        assert!(v.start < v.end, "empty VMA {v:?}");
+        assert_eq!(v.start % OS_PAGE_SIZE, 0);
+        assert_eq!(v.end % OS_PAGE_SIZE, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn vma_invariants_hold_under_any_op_sequence(
+        ops in proptest::collection::vec(op_strategy(), 1..40)
+    ) {
+        let base = 0x10_0000u64;
+        let mut space = AddressSpace::new_48bit();
+        for op in ops {
+            // Every operation may fail (overlap, unmapped, …) — failures
+            // must leave the invariants intact too.
+            match op {
+                OpKind::Mmap { pages, prot } => {
+                    let _ = space.mmap(pages * OS_PAGE_SIZE, prot_of(prot));
+                }
+                OpKind::MmapFixed { page, pages, prot } => {
+                    let _ = space.mmap_fixed(
+                        base + page * OS_PAGE_SIZE,
+                        pages * OS_PAGE_SIZE,
+                        prot_of(prot),
+                    );
+                }
+                OpKind::Munmap { page, pages } => {
+                    let _ = space.munmap(base + page * OS_PAGE_SIZE, pages * OS_PAGE_SIZE);
+                }
+                OpKind::Mprotect { page, pages, prot } => {
+                    let _ = space.mprotect(
+                        base + page * OS_PAGE_SIZE,
+                        pages * OS_PAGE_SIZE,
+                        prot_of(prot),
+                    );
+                }
+                OpKind::Madvise { page, pages } => {
+                    let _ = space
+                        .madvise_dontneed(base + page * OS_PAGE_SIZE, pages * OS_PAGE_SIZE);
+                }
+                OpKind::Write { page, val } => {
+                    space.write_unchecked(base + page * OS_PAGE_SIZE, &[val]);
+                }
+            }
+            assert_vma_invariants(&space);
+        }
+    }
+
+    #[test]
+    fn contents_survive_round_trips(page in 0u64..64, val in any::<u64>()) {
+        use sfi_x86::emu::{AccessCtx, MemBus};
+        use sfi_x86::Width;
+        let mut space = AddressSpace::new_48bit();
+        let a = space.mmap(64 * OS_PAGE_SIZE, Prot::READ_WRITE).expect("mmap");
+        let addr = a + page * OS_PAGE_SIZE + 8;
+        space.store(addr, Width::Q, val, AccessCtx::ALL_ENABLED).expect("store");
+        prop_assert_eq!(
+            space.load(addr, Width::Q, AccessCtx::ALL_ENABLED).expect("load"),
+            val
+        );
+        // madvise wipes exactly this content.
+        space.madvise_dontneed(a, 64 * OS_PAGE_SIZE).expect("madvise");
+        prop_assert_eq!(
+            space.load(addr, Width::Q, AccessCtx::ALL_ENABLED).expect("load"),
+            0
+        );
+    }
+
+    #[test]
+    fn pkru_stripe_is_exclusive(key in 1u8..=14) {
+        // Under PKRU restricted to `key`, that stripe is accessible and any
+        // other non-zero stripe is not.
+        use sfi_vm::mpk::Pkru;
+        use sfi_x86::emu::{AccessCtx, MemBus};
+        use sfi_x86::Width;
+        let mut space = AddressSpace::new_48bit();
+        let b = space.mmap(2 * OS_PAGE_SIZE, Prot::READ_WRITE).expect("mmap");
+        // Allocate keys 1..=key, then one more as the "other" stripe.
+        let mut got = 0;
+        while got != key {
+            got = space.keys.pkey_alloc().expect("15 keys available");
+        }
+        let other = space.keys.pkey_alloc().expect("key+1 available");
+        space.pkey_mprotect(b, OS_PAGE_SIZE, Prot::READ_WRITE, key).expect("pkey");
+        space
+            .pkey_mprotect(b + OS_PAGE_SIZE, OS_PAGE_SIZE, Prot::READ_WRITE, other)
+            .expect("pkey");
+        let ctx = AccessCtx { pkru: Pkru::only_stripe(key).0 };
+        prop_assert!(space.load(b, Width::D, ctx).is_ok());
+        prop_assert!(space.load(b + OS_PAGE_SIZE, Width::D, ctx).is_err());
+    }
+}

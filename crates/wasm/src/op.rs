@@ -1,0 +1,224 @@
+//! The mini-Wasm instruction set.
+
+/// A value type. The subset is integer-only (see crate docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ValType {
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+}
+
+impl core::fmt::Display for ValType {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            ValType::I32 => "i32",
+            ValType::I64 => "i64",
+        })
+    }
+}
+
+/// One mini-Wasm instruction.
+///
+/// Structured control flow follows Wasm exactly: [`Op::Block`], [`Op::Loop`]
+/// and [`Op::If`] open frames closed by [`Op::End`]; [`Op::Br`]/[`Op::BrIf`]
+/// target a relative nesting depth. Memory instructions carry the static
+/// `offset` immediate that Wasm adds to the 32-bit dynamic address — the
+/// 33-bit sum is exactly what guard regions (and Segue's addressing) must
+/// accommodate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Op {
+    // ---- constants / locals / globals ----
+    I32Const(i32),
+    I64Const(i64),
+    LocalGet(u32),
+    LocalSet(u32),
+    LocalTee(u32),
+    GlobalGet(u32),
+    GlobalSet(u32),
+    Drop,
+    /// `select`: pops cond (i32), b, a; pushes `cond != 0 ? a : b`.
+    Select,
+
+    // ---- i32 arithmetic ----
+    I32Add,
+    I32Sub,
+    I32Mul,
+    I32DivS,
+    I32DivU,
+    I32RemS,
+    I32RemU,
+    I32And,
+    I32Or,
+    I32Xor,
+    I32Shl,
+    I32ShrS,
+    I32ShrU,
+    I32Rotl,
+    I32Rotr,
+
+    // ---- i32 comparisons (push i32 0/1) ----
+    I32Eqz,
+    I32Eq,
+    I32Ne,
+    I32LtS,
+    I32LtU,
+    I32GtS,
+    I32GtU,
+    I32LeS,
+    I32LeU,
+    I32GeS,
+    I32GeU,
+
+    // ---- i64 arithmetic ----
+    I64Add,
+    I64Sub,
+    I64Mul,
+    I64DivS,
+    I64DivU,
+    I64RemS,
+    I64RemU,
+    I64And,
+    I64Or,
+    I64Xor,
+    I64Shl,
+    I64ShrS,
+    I64ShrU,
+
+    // ---- i64 comparisons ----
+    I64Eqz,
+    I64Eq,
+    I64Ne,
+    I64LtS,
+    I64LtU,
+    I64GtS,
+    I64GtU,
+    I64LeS,
+    I64LeU,
+    I64GeS,
+    I64GeU,
+
+    // ---- conversions ----
+    I32WrapI64,
+    I64ExtendI32S,
+    I64ExtendI32U,
+
+    // ---- memory ----
+    I32Load { offset: u32 },
+    I64Load { offset: u32 },
+    I32Load8U { offset: u32 },
+    I32Load8S { offset: u32 },
+    I32Load16U { offset: u32 },
+    I32Load16S { offset: u32 },
+    I32Store { offset: u32 },
+    I64Store { offset: u32 },
+    I32Store8 { offset: u32 },
+    I32Store16 { offset: u32 },
+    /// `memory.size` (in 64 KiB pages).
+    MemorySize,
+    /// `memory.grow`: pops delta pages, pushes old size or -1.
+    MemoryGrow,
+    /// `memory.copy`: pops len, src, dst (all i32).
+    MemoryCopy,
+    /// `memory.fill`: pops len, byte value, dst (all i32).
+    MemoryFill,
+
+    // ---- control flow ----
+    /// Opens a block; branches to it jump *past* its `End`.
+    Block,
+    /// Opens a loop; branches to it jump back to its start.
+    Loop,
+    /// Pops an i32 condition; opens a conditional frame.
+    If,
+    Else,
+    End,
+    /// Branch to the frame `depth` levels out.
+    Br(u32),
+    /// Conditional branch (pops an i32).
+    BrIf(u32),
+    /// Pops an i32 selector; branches to `targets[sel]` or the default.
+    BrTable { targets: Vec<u32>, default: u32 },
+    Return,
+    /// Direct call by function index.
+    Call(u32),
+    /// Indirect call through the table; immediate is the expected type
+    /// (function index whose signature must match, as a simplification of
+    /// Wasm's type-section indices). Pops the i32 table index.
+    CallIndirect { type_func: u32 },
+    Unreachable,
+    Nop,
+}
+
+impl Op {
+    /// Whether this opcode is a memory load.
+    pub fn is_load(&self) -> bool {
+        matches!(
+            self,
+            Op::I32Load { .. }
+                | Op::I64Load { .. }
+                | Op::I32Load8U { .. }
+                | Op::I32Load8S { .. }
+                | Op::I32Load16U { .. }
+                | Op::I32Load16S { .. }
+        )
+    }
+
+    /// Whether this opcode is a memory store.
+    pub fn is_store(&self) -> bool {
+        matches!(
+            self,
+            Op::I32Store { .. } | Op::I64Store { .. } | Op::I32Store8 { .. } | Op::I32Store16 { .. }
+        )
+    }
+
+    /// The static offset immediate of a load/store, if any.
+    pub fn mem_offset(&self) -> Option<u32> {
+        match *self {
+            Op::I32Load { offset }
+            | Op::I64Load { offset }
+            | Op::I32Load8U { offset }
+            | Op::I32Load8S { offset }
+            | Op::I32Load16U { offset }
+            | Op::I32Load16S { offset }
+            | Op::I32Store { offset }
+            | Op::I64Store { offset }
+            | Op::I32Store8 { offset }
+            | Op::I32Store16 { offset } => Some(offset),
+            _ => None,
+        }
+    }
+
+    /// Access width in bytes for loads/stores.
+    pub fn mem_width(&self) -> Option<u32> {
+        match self {
+            Op::I32Load8U { .. } | Op::I32Load8S { .. } | Op::I32Store8 { .. } => Some(1),
+            Op::I32Load16U { .. } | Op::I32Load16S { .. } | Op::I32Store16 { .. } => Some(2),
+            Op::I32Load { .. } | Op::I32Store { .. } => Some(4),
+            Op::I64Load { .. } | Op::I64Store { .. } => Some(8),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_memory_ops() {
+        assert!(Op::I32Load { offset: 0 }.is_load());
+        assert!(Op::I64Store { offset: 8 }.is_store());
+        assert!(!Op::I32Add.is_load());
+        assert_eq!(Op::I32Load16U { offset: 6 }.mem_offset(), Some(6));
+        assert_eq!(Op::I32Load16U { offset: 6 }.mem_width(), Some(2));
+        assert_eq!(Op::I64Load { offset: 0 }.mem_width(), Some(8));
+        assert_eq!(Op::I32Add.mem_width(), None);
+    }
+
+    #[test]
+    fn valtype_display() {
+        assert_eq!(ValType::I32.to_string(), "i32");
+        assert_eq!(ValType::I64.to_string(), "i64");
+    }
+}

@@ -1,0 +1,305 @@
+//! Pretty-printing modules back to WAT.
+//!
+//! The inverse of [`crate::wat::parse`] (for the supported subset):
+//! `parse(print(m))` yields a module with identical structure and
+//! behaviour. Useful for golden tests, debugging generated corpora, and the
+//! round-trip property tests in `tests/`.
+
+use core::fmt::Write as _;
+
+use crate::{Func, Module, Op, ValType};
+
+/// Renders `module` as WAT text.
+pub fn print(module: &Module) -> String {
+    let mut out = String::from("(module\n");
+    if module.mem_min_pages > 0 || module.mem_max_pages.is_some() {
+        match module.mem_max_pages {
+            Some(max) => {
+                let _ = writeln!(out, "  (memory {} {})", module.mem_min_pages, max);
+            }
+            None => {
+                let _ = writeln!(out, "  (memory {})", module.mem_min_pages);
+            }
+        }
+    }
+    for (i, g) in module.globals.iter().enumerate() {
+        let init = match g.ty {
+            ValType::I32 => format!("(i32.const {})", g.init as u32 as i32),
+            ValType::I64 => format!("(i64.const {})", g.init as i64),
+        };
+        if g.mutable {
+            let _ = writeln!(out, "  (global $g{i} (mut {}) {init})", g.ty);
+        } else {
+            let _ = writeln!(out, "  (global $g{i} {} {init})", g.ty);
+        }
+    }
+    for func in &module.funcs {
+        print_func(&mut out, module, func);
+    }
+    if !module.table.is_empty() {
+        let elems: Vec<String> =
+            module.table.iter().map(|&f| format!("{f}")).collect();
+        let _ = writeln!(out, "  (table funcref (elem {}))", elems.join(" "));
+    }
+    for (name, idx) in &module.exports {
+        let _ = writeln!(out, "  (export \"{name}\" (func {idx}))");
+    }
+    for (offset, bytes) in &module.data {
+        let mut lit = String::new();
+        for &b in bytes {
+            if (0x20..0x7F).contains(&b) && b != b'"' && b != b'\\' {
+                lit.push(b as char);
+            } else {
+                let _ = write!(lit, "\\{b:02x}");
+            }
+        }
+        let _ = writeln!(out, "  (data (i32.const {offset}) \"{lit}\")");
+    }
+    out.push_str(")\n");
+    out
+}
+
+fn print_func(out: &mut String, module: &Module, func: &Func) {
+    let _ = write!(out, "  (func");
+    for p in &func.params {
+        let _ = write!(out, " (param {p})");
+    }
+    if let Some(r) = func.result {
+        let _ = write!(out, " (result {r})");
+    }
+    for l in &func.locals {
+        let _ = write!(out, " (local {l})");
+    }
+    out.push('\n');
+    let mut depth = 2usize;
+    // The builder-supplied final End closes the function: skip printing it
+    // (the parser re-adds it).
+    let body = &func.body[..func.body.len().saturating_sub(1)];
+    for op in body {
+        if matches!(op, Op::End | Op::Else) {
+            depth = depth.saturating_sub(1);
+        }
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let _ = writeln!(out, "{}", render_op(module, op));
+        if matches!(op, Op::Block | Op::Loop | Op::If | Op::Else) {
+            depth += 1;
+        }
+    }
+    out.push_str("  )\n");
+}
+
+fn render_op(_module: &Module, op: &Op) -> String {
+    use Op::*;
+    match op {
+        I32Const(v) => format!("i32.const {v}"),
+        I64Const(v) => format!("i64.const {v}"),
+        LocalGet(i) => format!("local.get {i}"),
+        LocalSet(i) => format!("local.set {i}"),
+        LocalTee(i) => format!("local.tee {i}"),
+        GlobalGet(i) => format!("global.get {i}"),
+        GlobalSet(i) => format!("global.set {i}"),
+        Drop => "drop".into(),
+        Select => "select".into(),
+        I32Add => "i32.add".into(),
+        I32Sub => "i32.sub".into(),
+        I32Mul => "i32.mul".into(),
+        I32DivS => "i32.div_s".into(),
+        I32DivU => "i32.div_u".into(),
+        I32RemS => "i32.rem_s".into(),
+        I32RemU => "i32.rem_u".into(),
+        I32And => "i32.and".into(),
+        I32Or => "i32.or".into(),
+        I32Xor => "i32.xor".into(),
+        I32Shl => "i32.shl".into(),
+        I32ShrS => "i32.shr_s".into(),
+        I32ShrU => "i32.shr_u".into(),
+        I32Rotl => "i32.rotl".into(),
+        I32Rotr => "i32.rotr".into(),
+        I32Eqz => "i32.eqz".into(),
+        I32Eq => "i32.eq".into(),
+        I32Ne => "i32.ne".into(),
+        I32LtS => "i32.lt_s".into(),
+        I32LtU => "i32.lt_u".into(),
+        I32GtS => "i32.gt_s".into(),
+        I32GtU => "i32.gt_u".into(),
+        I32LeS => "i32.le_s".into(),
+        I32LeU => "i32.le_u".into(),
+        I32GeS => "i32.ge_s".into(),
+        I32GeU => "i32.ge_u".into(),
+        I64Add => "i64.add".into(),
+        I64Sub => "i64.sub".into(),
+        I64Mul => "i64.mul".into(),
+        I64DivS => "i64.div_s".into(),
+        I64DivU => "i64.div_u".into(),
+        I64RemS => "i64.rem_s".into(),
+        I64RemU => "i64.rem_u".into(),
+        I64And => "i64.and".into(),
+        I64Or => "i64.or".into(),
+        I64Xor => "i64.xor".into(),
+        I64Shl => "i64.shl".into(),
+        I64ShrS => "i64.shr_s".into(),
+        I64ShrU => "i64.shr_u".into(),
+        I64Eqz => "i64.eqz".into(),
+        I64Eq => "i64.eq".into(),
+        I64Ne => "i64.ne".into(),
+        I64LtS => "i64.lt_s".into(),
+        I64LtU => "i64.lt_u".into(),
+        I64GtS => "i64.gt_s".into(),
+        I64GtU => "i64.gt_u".into(),
+        I64LeS => "i64.le_s".into(),
+        I64LeU => "i64.le_u".into(),
+        I64GeS => "i64.ge_s".into(),
+        I64GeU => "i64.ge_u".into(),
+        I32WrapI64 => "i32.wrap_i64".into(),
+        I64ExtendI32S => "i64.extend_i32_s".into(),
+        I64ExtendI32U => "i64.extend_i32_u".into(),
+        I32Load { offset } => mem_op("i32.load", *offset),
+        I64Load { offset } => mem_op("i64.load", *offset),
+        I32Load8U { offset } => mem_op("i32.load8_u", *offset),
+        I32Load8S { offset } => mem_op("i32.load8_s", *offset),
+        I32Load16U { offset } => mem_op("i32.load16_u", *offset),
+        I32Load16S { offset } => mem_op("i32.load16_s", *offset),
+        I32Store { offset } => mem_op("i32.store", *offset),
+        I64Store { offset } => mem_op("i64.store", *offset),
+        I32Store8 { offset } => mem_op("i32.store8", *offset),
+        I32Store16 { offset } => mem_op("i32.store16", *offset),
+        MemorySize => "memory.size".into(),
+        MemoryGrow => "memory.grow".into(),
+        MemoryCopy => "memory.copy".into(),
+        MemoryFill => "memory.fill".into(),
+        Block => "block".into(),
+        Loop => "loop".into(),
+        If => "if".into(),
+        Else => "else".into(),
+        End => "end".into(),
+        Br(d) => format!("br {d}"),
+        BrIf(d) => format!("br_if {d}"),
+        BrTable { targets, default } => {
+            let mut s = String::from("br_table");
+            for t in targets {
+                let _ = write!(s, " {t}");
+            }
+            let _ = write!(s, " {default}");
+            s
+        }
+        Return => "return".into(),
+        Call(i) => format!("call {i}"),
+        CallIndirect { type_func } => format!("call_indirect (type {type_func})"),
+        Unreachable => "unreachable".into(),
+        Nop => "nop".into(),
+    }
+}
+
+fn mem_op(name: &str, offset: u32) -> String {
+    if offset == 0 {
+        name.to_owned()
+    } else {
+        format!("{name} offset={offset}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+    use crate::{validate, wat, FuncBuilder};
+
+    #[test]
+    fn round_trip_preserves_behaviour() {
+        let src = r#"(module (memory 1)
+            (global $g (mut i32) (i32.const 7))
+            (func $inc (param $x i32) (result i32)
+              local.get $x i32.const 1 i32.add)
+            (func (export "run") (param $n i32) (result i32) (local $acc i32)
+              block
+                loop
+                  local.get $n i32.eqz br_if 1
+                  local.get $acc
+                  local.get $n call $inc
+                  i32.add local.set $acc
+                  local.get $n i32.const 1 i32.sub local.set $n
+                  br 0
+                end
+              end
+              local.get $acc
+              global.get $g
+              i32.add))"#;
+        let m1 = wat::parse(src).unwrap();
+        validate(&m1).unwrap();
+        let printed = print(&m1);
+        let m2 = wat::parse(&printed).unwrap_or_else(|e| panic!("reparse: {e}\n{printed}"));
+        validate(&m2).unwrap();
+        let r1 = Interpreter::new(&m1).unwrap().invoke_export("run", &[10]).unwrap();
+        let r2 = Interpreter::new(&m2).unwrap().invoke_export("run", &[10]).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(r1, Some(10 * 11 / 2 + 10 + 7));
+    }
+
+    #[test]
+    fn corpus_round_trips() {
+        // Every workload in the corpus must survive print → parse with
+        // identical structure.
+        for w in sfi_workloads_like_corpus() {
+            let m1 = wat::parse(&w).unwrap();
+            let printed = print(&m1);
+            let m2 = wat::parse(&printed)
+                .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+            assert_eq!(m1.funcs.len(), m2.funcs.len());
+            assert_eq!(m1.table, m2.table);
+            assert_eq!(m1.globals, m2.globals);
+            for (f1, f2) in m1.funcs.iter().zip(&m2.funcs) {
+                assert_eq!(f1.body, f2.body, "bodies must round-trip");
+            }
+        }
+    }
+
+    /// A few representative corpus-shaped sources (the real corpus lives in
+    /// `sfi-workloads`, which depends on this crate — so we inline shapes).
+    fn sfi_workloads_like_corpus() -> Vec<String> {
+        vec![
+            r#"(module (memory 2)
+                 (data (i32.const 4) "ab\00c")
+                 (func (export "run") (result i32)
+                   i32.const 4 i32.load8_u))"#
+                .to_owned(),
+            r#"(module (memory 1)
+                 (func $a (result i32) i32.const 1)
+                 (func $b (result i32) i32.const 2)
+                 (table funcref (elem $a $b))
+                 (func (export "run") (param $i i32) (result i32)
+                   local.get $i
+                   call_indirect (type $a)))"#
+                .to_owned(),
+            r#"(module (memory 1)
+                 (func (export "run") (param $x i32) (result i32)
+                   block block block
+                     local.get $x
+                     br_table 0 1 2
+                   end i32.const 10 return
+                   end i32.const 20 return
+                   end i32.const 30))"#
+                .to_owned(),
+        ]
+    }
+
+    #[test]
+    fn builder_modules_print() {
+        let mut m = Module::new(1);
+        let f = m.push_func(
+            FuncBuilder::new("f")
+                .params(&[ValType::I64])
+                .result(ValType::I64)
+                .body(vec![Op::LocalGet(0), Op::I64Const(-5), Op::I64Mul, Op::End])
+                .build(),
+        );
+        m.export("f", f);
+        let printed = print(&m);
+        assert!(printed.contains("i64.const -5"), "{printed}");
+        let m2 = wat::parse(&printed).unwrap();
+        validate(&m2).unwrap();
+        let r = Interpreter::new(&m2).unwrap().invoke_export("f", &[3]).unwrap();
+        assert_eq!(r, Some((-15i64) as u64));
+    }
+}

@@ -1,0 +1,579 @@
+//! Module validation: Wasm's stack-typing discipline.
+//!
+//! The validator implements the standard algorithm from the WebAssembly
+//! specification appendix — a value stack of types plus a control stack of
+//! frames, with stack-polymorphic typing after unconditional branches.
+//! Mini-Wasm restricts block types to `[] -> []` (values do not flow across
+//! block boundaries), which simplifies both validation and SFI code
+//! generation without constraining the benchmark corpus.
+
+use crate::{Module, Op, ValType};
+
+/// Where and why validation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// The function (debug name) containing the error.
+    pub func: String,
+    /// Instruction index within the function body.
+    pub pc: usize,
+    /// The failure.
+    pub kind: ErrorKind,
+}
+
+/// Validation failure kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// Operand type mismatch.
+    TypeMismatch {
+        /// Expected type.
+        expected: ValType,
+        /// Found type (`None` = empty stack).
+        found: Option<ValType>,
+    },
+    /// A value was popped from an empty (non-polymorphic) stack.
+    StackUnderflow,
+    /// `end`/`else` without a matching opener, or a missing `end`.
+    UnbalancedControl,
+    /// `else` in a non-`if` frame.
+    ElseOutsideIf,
+    /// Branch depth exceeds the current nesting.
+    BadBranchDepth(u32),
+    /// Reference to an unknown local.
+    UnknownLocal(u32),
+    /// Reference to an unknown global.
+    UnknownGlobal(u32),
+    /// Write to an immutable global.
+    ImmutableGlobal(u32),
+    /// Call of an unknown function index.
+    UnknownFunc(u32),
+    /// A table entry references an unknown function.
+    BadTableEntry(u32),
+    /// Values left on the stack at a frame boundary.
+    ValueStackNotEmpty,
+    /// Function result missing or mistyped at `end`.
+    BadResult,
+    /// A body does not terminate with `end`.
+    MissingEnd,
+}
+
+impl core::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "in {} at op {}: {:?}", self.func, self.pc, self.kind)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameKind {
+    Func,
+    Block,
+    Loop,
+    If,
+    Else,
+}
+
+struct Frame {
+    kind: FrameKind,
+    height: usize,
+    unreachable: bool,
+}
+
+struct Ctx<'m> {
+    func_name: &'m str,
+    pc: usize,
+    stack: Vec<ValType>,
+    frames: Vec<Frame>,
+}
+
+impl Ctx<'_> {
+    fn err(&self, kind: ErrorKind) -> ValidationError {
+        ValidationError { func: self.func_name.to_owned(), pc: self.pc, kind }
+    }
+
+    fn push(&mut self, t: ValType) {
+        self.stack.push(t);
+    }
+
+    fn pop(&mut self, expected: ValType) -> Result<(), ValidationError> {
+        let frame = self.frames.last().expect("frame stack never empty");
+        if self.stack.len() == frame.height {
+            if frame.unreachable {
+                return Ok(()); // polymorphic stack
+            }
+            return Err(self.err(ErrorKind::TypeMismatch { expected, found: None }));
+        }
+        let found = self.stack.pop().expect("checked height");
+        if found != expected {
+            return Err(self.err(ErrorKind::TypeMismatch { expected, found: Some(found) }));
+        }
+        Ok(())
+    }
+
+    fn set_unreachable(&mut self) {
+        let frame = self.frames.last_mut().expect("frame stack never empty");
+        self.stack.truncate(frame.height);
+        frame.unreachable = true;
+    }
+
+    fn open(&mut self, kind: FrameKind) {
+        self.frames.push(Frame { kind, height: self.stack.len(), unreachable: false });
+    }
+
+    fn check_branch(&self, depth: u32) -> Result<(), ValidationError> {
+        // `depth` may target the function frame itself (the implicit
+        // outermost label), like Wasm's `br` to the function body.
+        if (depth as usize) >= self.frames.len() {
+            return Err(self.err(ErrorKind::BadBranchDepth(depth)));
+        }
+        Ok(())
+    }
+
+    /// Mini-Wasm is stricter than Wasm here: since all labels are void, a
+    /// branch must carry no extra stack values (height must equal the
+    /// target frame's height). This keeps register-stack compilation of
+    /// branch merges trivially sound.
+    fn check_branch_height(&self, depth: u32) -> Result<(), ValidationError> {
+        let frame = &self.frames[self.frames.len() - 1 - depth as usize];
+        let cur = self.frames.last().expect("nonempty");
+        if !cur.unreachable && self.stack.len() != frame.height {
+            return Err(self.err(ErrorKind::ValueStackNotEmpty));
+        }
+        Ok(())
+    }
+
+    fn close_frame(&mut self) -> Result<Frame, ValidationError> {
+        let frame = self.frames.pop().ok_or_else(|| self.err(ErrorKind::UnbalancedControl))?;
+        if !frame.unreachable && self.stack.len() != frame.height {
+            return Err(self.err(ErrorKind::ValueStackNotEmpty));
+        }
+        self.stack.truncate(frame.height);
+        Ok(frame)
+    }
+}
+
+/// Validates every function, the table and the data segments of a module.
+pub fn validate(module: &Module) -> Result<(), ValidationError> {
+    for (i, &fidx) in module.table.iter().enumerate() {
+        if module.signature(fidx).is_none() {
+            return Err(ValidationError {
+                func: format!("<table[{i}]>"),
+                pc: 0,
+                kind: ErrorKind::BadTableEntry(fidx),
+            });
+        }
+    }
+    for func in &module.funcs {
+        validate_func(module, func)?;
+    }
+    Ok(())
+}
+
+fn validate_func(module: &Module, func: &crate::Func) -> Result<(), ValidationError> {
+    use Op::*;
+    let mut cx = Ctx {
+        func_name: &func.name,
+        pc: 0,
+        stack: Vec::new(),
+        frames: vec![Frame { kind: FrameKind::Func, height: 0, unreachable: false }],
+    };
+
+    if func.body.last() != Some(&End) {
+        cx.pc = func.body.len().saturating_sub(1);
+        return Err(cx.err(ErrorKind::MissingEnd));
+    }
+
+    for (pc, op) in func.body.iter().enumerate() {
+        cx.pc = pc;
+        match op {
+            I32Const(_) => cx.push(ValType::I32),
+            I64Const(_) => cx.push(ValType::I64),
+            LocalGet(i) => {
+                let t = func.local_type(*i).ok_or_else(|| cx.err(ErrorKind::UnknownLocal(*i)))?;
+                cx.push(t);
+            }
+            LocalSet(i) => {
+                let t = func.local_type(*i).ok_or_else(|| cx.err(ErrorKind::UnknownLocal(*i)))?;
+                cx.pop(t)?;
+            }
+            LocalTee(i) => {
+                let t = func.local_type(*i).ok_or_else(|| cx.err(ErrorKind::UnknownLocal(*i)))?;
+                cx.pop(t)?;
+                cx.push(t);
+            }
+            GlobalGet(i) => {
+                let g = module
+                    .globals
+                    .get(*i as usize)
+                    .ok_or_else(|| cx.err(ErrorKind::UnknownGlobal(*i)))?;
+                cx.push(g.ty);
+            }
+            GlobalSet(i) => {
+                let g = module
+                    .globals
+                    .get(*i as usize)
+                    .ok_or_else(|| cx.err(ErrorKind::UnknownGlobal(*i)))?;
+                if !g.mutable {
+                    return Err(cx.err(ErrorKind::ImmutableGlobal(*i)));
+                }
+                cx.pop(g.ty)?;
+            }
+            Drop => {
+                // Accept either type: pop whatever is on top.
+                let frame = cx.frames.last().expect("frame");
+                if cx.stack.len() == frame.height {
+                    if !frame.unreachable {
+                        return Err(cx.err(ErrorKind::StackUnderflow));
+                    }
+                } else {
+                    cx.stack.pop();
+                }
+            }
+            Select => {
+                cx.pop(ValType::I32)?;
+                // Both arms must have the same type; in the polymorphic case
+                // default to i32.
+                let frame_h = cx.frames.last().expect("frame").height;
+                let t = if cx.stack.len() > frame_h {
+                    *cx.stack.last().expect("nonempty")
+                } else {
+                    ValType::I32
+                };
+                cx.pop(t)?;
+                cx.pop(t)?;
+                cx.push(t);
+            }
+
+            // i32 binary
+            I32Add | I32Sub | I32Mul | I32DivS | I32DivU | I32RemS | I32RemU | I32And | I32Or
+            | I32Xor | I32Shl | I32ShrS | I32ShrU | I32Rotl | I32Rotr => {
+                cx.pop(ValType::I32)?;
+                cx.pop(ValType::I32)?;
+                cx.push(ValType::I32);
+            }
+            I32Eq | I32Ne | I32LtS | I32LtU | I32GtS | I32GtU | I32LeS | I32LeU | I32GeS
+            | I32GeU => {
+                cx.pop(ValType::I32)?;
+                cx.pop(ValType::I32)?;
+                cx.push(ValType::I32);
+            }
+            I32Eqz => {
+                cx.pop(ValType::I32)?;
+                cx.push(ValType::I32);
+            }
+
+            // i64 binary
+            I64Add | I64Sub | I64Mul | I64DivS | I64DivU | I64RemS | I64RemU | I64And | I64Or
+            | I64Xor | I64Shl | I64ShrS | I64ShrU => {
+                cx.pop(ValType::I64)?;
+                cx.pop(ValType::I64)?;
+                cx.push(ValType::I64);
+            }
+            I64Eq | I64Ne | I64LtS | I64LtU | I64GtS | I64GtU | I64LeS | I64LeU | I64GeS
+            | I64GeU => {
+                cx.pop(ValType::I64)?;
+                cx.pop(ValType::I64)?;
+                cx.push(ValType::I32);
+            }
+            I64Eqz => {
+                cx.pop(ValType::I64)?;
+                cx.push(ValType::I32);
+            }
+
+            I32WrapI64 => {
+                cx.pop(ValType::I64)?;
+                cx.push(ValType::I32);
+            }
+            I64ExtendI32S | I64ExtendI32U => {
+                cx.pop(ValType::I32)?;
+                cx.push(ValType::I64);
+            }
+
+            I32Load { .. } | I32Load8U { .. } | I32Load8S { .. } | I32Load16U { .. }
+            | I32Load16S { .. } => {
+                cx.pop(ValType::I32)?;
+                cx.push(ValType::I32);
+            }
+            I64Load { .. } => {
+                cx.pop(ValType::I32)?;
+                cx.push(ValType::I64);
+            }
+            I32Store { .. } | I32Store8 { .. } | I32Store16 { .. } => {
+                cx.pop(ValType::I32)?;
+                cx.pop(ValType::I32)?;
+            }
+            I64Store { .. } => {
+                cx.pop(ValType::I64)?;
+                cx.pop(ValType::I32)?;
+            }
+            MemorySize => cx.push(ValType::I32),
+            MemoryGrow => {
+                cx.pop(ValType::I32)?;
+                cx.push(ValType::I32);
+            }
+            MemoryCopy | MemoryFill => {
+                cx.pop(ValType::I32)?;
+                cx.pop(ValType::I32)?;
+                cx.pop(ValType::I32)?;
+            }
+
+            Block => cx.open(FrameKind::Block),
+            Loop => cx.open(FrameKind::Loop),
+            If => {
+                cx.pop(ValType::I32)?;
+                cx.open(FrameKind::If);
+            }
+            Else => {
+                let frame = cx.close_frame()?;
+                if frame.kind != FrameKind::If {
+                    return Err(cx.err(ErrorKind::ElseOutsideIf));
+                }
+                cx.open(FrameKind::Else);
+            }
+            End => {
+                if cx.frames.len() == 1 {
+                    // Function frame: the fall-through result (if any) sits
+                    // on the stack here.
+                    if pc != func.body.len() - 1 {
+                        return Err(cx.err(ErrorKind::UnbalancedControl));
+                    }
+                    let unreachable = cx.frames.last().expect("frame").unreachable;
+                    if !unreachable {
+                        if let Some(rt) = func.result {
+                            cx.pop(rt).map_err(|mut e| {
+                                e.kind = ErrorKind::BadResult;
+                                e
+                            })?;
+                        }
+                        if !cx.stack.is_empty() {
+                            return Err(cx.err(ErrorKind::ValueStackNotEmpty));
+                        }
+                    }
+                    cx.frames.pop();
+                } else {
+                    cx.close_frame()?;
+                }
+            }
+            Br(d) => {
+                cx.check_branch(*d)?;
+                cx.check_branch_height(*d)?;
+                cx.set_unreachable();
+            }
+            BrIf(d) => {
+                cx.pop(ValType::I32)?;
+                cx.check_branch(*d)?;
+                cx.check_branch_height(*d)?;
+            }
+            BrTable { targets, default } => {
+                cx.pop(ValType::I32)?;
+                for t in targets {
+                    cx.check_branch(*t)?;
+                    cx.check_branch_height(*t)?;
+                }
+                cx.check_branch(*default)?;
+                cx.check_branch_height(*default)?;
+                cx.set_unreachable();
+            }
+            Return => {
+                if let Some(rt) = func.result {
+                    cx.pop(rt)?;
+                }
+                cx.set_unreachable();
+            }
+            Call(idx) => {
+                let (params, result) = module
+                    .signature(*idx)
+                    .ok_or_else(|| cx.err(ErrorKind::UnknownFunc(*idx)))?;
+                let (params, result) = (params.to_vec(), result);
+                for p in params.iter().rev() {
+                    cx.pop(*p)?;
+                }
+                if let Some(r) = result {
+                    cx.push(r);
+                }
+            }
+            CallIndirect { type_func } => {
+                let (params, result) = module
+                    .signature(*type_func)
+                    .ok_or_else(|| cx.err(ErrorKind::UnknownFunc(*type_func)))?;
+                let (params, result) = (params.to_vec(), result);
+                cx.pop(ValType::I32)?; // table index
+                for p in params.iter().rev() {
+                    cx.pop(*p)?;
+                }
+                if let Some(r) = result {
+                    cx.push(r);
+                }
+            }
+            Unreachable => cx.set_unreachable(),
+            Nop => {}
+        }
+
+    }
+
+    // The function frame must have been closed by the final `End`.
+    if !cx.frames.is_empty() {
+        cx.pc = func.body.len() - 1;
+        return Err(cx.err(ErrorKind::UnbalancedControl));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FuncBuilder, Global};
+
+    fn module_with(body: Vec<Op>, result: Option<ValType>) -> Module {
+        let mut m = Module::new(1);
+        let mut b = FuncBuilder::new("f").params(&[ValType::I32, ValType::I64]);
+        if let Some(r) = result {
+            b = b.result(r);
+        }
+        m.push_func(b.locals(&[ValType::I32]).body(body).build());
+        m
+    }
+
+    #[test]
+    fn simple_arith_validates() {
+        let m = module_with(
+            vec![Op::LocalGet(0), Op::I32Const(1), Op::I32Add, Op::Drop, Op::End],
+            None,
+        );
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn type_mismatch_caught() {
+        let m = module_with(vec![Op::LocalGet(1), Op::I32Const(1), Op::I32Add, Op::Drop, Op::End], None);
+        let err = validate(&m).unwrap_err();
+        assert!(
+            matches!(err.kind, ErrorKind::TypeMismatch { expected: ValType::I32, found: Some(ValType::I64) }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn underflow_caught() {
+        let m = module_with(vec![Op::I32Add, Op::End], None);
+        let err = validate(&m).unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::TypeMismatch { found: None, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn unknown_local_caught() {
+        let m = module_with(vec![Op::LocalGet(9), Op::Drop, Op::End], None);
+        assert!(matches!(validate(&m).unwrap_err().kind, ErrorKind::UnknownLocal(9)));
+    }
+
+    #[test]
+    fn block_structure() {
+        let m = module_with(
+            vec![
+                Op::Block,
+                Op::LocalGet(0),
+                Op::BrIf(0),
+                Op::Loop,
+                Op::LocalGet(0),
+                Op::BrIf(1),
+                Op::Br(0),
+                Op::End,
+                Op::End,
+                Op::End,
+            ],
+            None,
+        );
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn unbalanced_control_caught() {
+        // Balanced: two blocks plus the function-level End.
+        let ok = module_with(vec![Op::Block, Op::Block, Op::End, Op::End, Op::End], None);
+        validate(&ok).unwrap();
+        // [Block, End] closes the block but leaves no function-level End.
+        let missing_func_end = module_with(vec![Op::Block, Op::End], None);
+        assert!(matches!(
+            validate(&missing_func_end).unwrap_err().kind,
+            ErrorKind::UnbalancedControl
+        ));
+        // [Block] + builder-added End: the End closes the block, again
+        // leaving the function frame open.
+        let unclosed = module_with(vec![Op::Block], None);
+        assert!(validate(&unclosed).is_err());
+    }
+
+    #[test]
+    fn bad_branch_depth_caught() {
+        let m = module_with(vec![Op::Block, Op::Br(5), Op::End, Op::End], None);
+        assert!(matches!(validate(&m).unwrap_err().kind, ErrorKind::BadBranchDepth(5)));
+    }
+
+    #[test]
+    fn values_may_not_cross_block_end() {
+        let m = module_with(vec![Op::Block, Op::I32Const(1), Op::End, Op::Drop, Op::End], None);
+        assert!(matches!(validate(&m).unwrap_err().kind, ErrorKind::ValueStackNotEmpty));
+    }
+
+    #[test]
+    fn else_outside_if_caught() {
+        let m = module_with(vec![Op::Block, Op::Else, Op::End, Op::End], None);
+        assert!(matches!(validate(&m).unwrap_err().kind, ErrorKind::ElseOutsideIf));
+    }
+
+    #[test]
+    fn immutable_global_write_caught() {
+        let mut m = Module::new(1);
+        m.push_global(Global { ty: ValType::I32, mutable: false, init: 0 });
+        m.push_func(
+            FuncBuilder::new("f").body(vec![Op::I32Const(1), Op::GlobalSet(0), Op::End]).build(),
+        );
+        assert!(matches!(validate(&m).unwrap_err().kind, ErrorKind::ImmutableGlobal(0)));
+    }
+
+    #[test]
+    fn call_signature_checked() {
+        let mut m = Module::new(1);
+        let callee = m.push_func(
+            FuncBuilder::new("callee")
+                .params(&[ValType::I64])
+                .result(ValType::I32)
+                .body(vec![Op::I32Const(0), Op::End])
+                .build(),
+        );
+        m.push_func(
+            FuncBuilder::new("caller")
+                .body(vec![Op::I32Const(0), Op::Call(callee), Op::Drop, Op::End])
+                .build(),
+        );
+        let err = validate(&m).unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::TypeMismatch { expected: ValType::I64, .. }));
+    }
+
+    #[test]
+    fn bad_table_entry_caught() {
+        let mut m = Module::new(1);
+        m.push_table_entry(42);
+        assert!(matches!(validate(&m).unwrap_err().kind, ErrorKind::BadTableEntry(42)));
+    }
+
+    #[test]
+    fn unreachable_makes_stack_polymorphic() {
+        let m = module_with(
+            vec![Op::Unreachable, Op::I32Add, Op::Drop, Op::End],
+            None,
+        );
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn return_checks_result_type() {
+        let m = module_with(vec![Op::I64Const(1), Op::Return, Op::End], Some(ValType::I32));
+        assert!(matches!(
+            validate(&m).unwrap_err().kind,
+            ErrorKind::TypeMismatch { expected: ValType::I32, .. }
+        ));
+    }
+
+}

@@ -1,0 +1,1028 @@
+//! Parameterized mini-Wasm kernel generators.
+//!
+//! Each generator returns WAT for a module exporting `run : [] -> i32`
+//! (a checksum, so dead-code elimination can never trivialize a kernel —
+//! not that this compiler does any, but the interpreter/compiled diff needs
+//! observable results). Kernels are shaped after the benchmark families the
+//! paper evaluates: streaming, pointer chasing, stencils, matrix math,
+//! branchy search, bit mixing, block copies, sorting, compression, byte
+//! scanning and table dispatch. Working-set sizes and address-pattern
+//! complexity are the calibration knobs (see DESIGN.md §5).
+
+/// Linear congruential generator step, as WAT (x = x*1103515245 + 12345).
+fn lcg(x: &str) -> String {
+    format!(
+        "local.get {x} i32.const 1103515245 i32.mul i32.const 12345 i32.add local.set {x}"
+    )
+}
+
+/// A `$fill` function writing `n` pseudo-random bytes at offset 0.
+fn fill_func() -> String {
+    format!(
+        r#"(func $fill (param $n i32) (local $i i32) (local $x i32)
+    i32.const 99991 local.set $x
+    block loop
+      local.get $i local.get $n i32.ge_u br_if 1
+      {lcg}
+      local.get $i
+      local.get $x i32.const 16 i32.shr_u
+      i32.store8
+      local.get $i i32.const 1 i32.add local.set $i
+      br 0
+    end end)"#,
+        lcg = lcg("$x")
+    )
+}
+
+/// Streaming sum + write-back over `ws_bytes` of memory, `iters` passes.
+/// Simple `[i]`-style addressing: low SFI overhead, dcache-bound for large
+/// working sets (lbm/libquantum/xz-shaped).
+pub fn stream(ws_bytes: u32, iters: u32, pages: u32) -> String {
+    format!(
+        r#"(module (memory {pages})
+  {fill}
+  (func (export "run") (result i32)
+    (local $it i32) (local $i i32) (local $acc i32)
+    i32.const {ws_bytes} call $fill
+    block loop
+      local.get $it i32.const {iters} i32.ge_u br_if 1
+      i32.const 0 local.set $i
+      block loop
+        local.get $i i32.const {ws_bytes} i32.ge_u br_if 1
+        local.get $acc
+        local.get $i i32.load
+        i32.add
+        local.set $acc
+        local.get $i
+        local.get $acc
+        i32.store offset=4
+        local.get $i i32.const 16 i32.add local.set $i
+        br 0
+      end end
+      local.get $it i32.const 1 i32.add local.set $it
+      br 0
+    end end
+    local.get $acc))"#,
+        fill = fill_func()
+    )
+}
+
+/// Pointer chasing over a linked ring of `nodes` nodes of `node_bytes`
+/// each (mcf/omnetpp/xalancbmk-shaped). With a power-of-two node count the
+/// affine successor map (709·i + 1 mod n, Hull–Dobell) is a full-period
+/// permutation, so the chase genuinely touches the whole working set. `node_bytes` is the pointer-width
+/// knob: the Wasm variant packs nodes tighter than the 64-bit-pointer
+/// native variant, which is how "Wasm runs faster than native" happens for
+/// 429_mcf (pointer compression as cache optimization).
+pub fn pointer_chase(nodes: u32, node_bytes: u32, steps: u32, pages: u32) -> String {
+    // next pointer stored at node offset 0; payload at offset 4.
+    format!(
+        r#"(module (memory {pages})
+  (func $build (local $i i32)
+    block loop
+      local.get $i i32.const {nodes} i32.ge_u br_if 1
+      ;; node[i].next = ((i * 709 + 1) % nodes) * node_bytes
+      local.get $i i32.const {node_bytes} i32.mul
+      local.get $i i32.const 709 i32.mul i32.const 1 i32.add
+      i32.const {nodes} i32.rem_u
+      i32.const {node_bytes} i32.mul
+      i32.store
+      ;; node[i].payload = i
+      local.get $i i32.const {node_bytes} i32.mul
+      local.get $i
+      i32.store offset=4
+      local.get $i i32.const 1 i32.add local.set $i
+      br 0
+    end end)
+  (func (export "run") (result i32)
+    (local $p i32) (local $s i32) (local $acc i32) (local $v i32)
+    call $build
+    block loop
+      local.get $s i32.const {steps} i32.ge_u br_if 1
+      ;; arc-cost computation on the node payload (mcf's per-node work)
+      local.get $p i32.load offset=4
+      local.set $v
+      local.get $acc i32.const 31 i32.mul local.get $v i32.add local.set $acc
+      local.get $acc local.get $acc i32.const 7 i32.shr_u i32.xor local.set $acc
+      local.get $v i32.const 13 i32.mul local.get $acc i32.xor i32.const 0xFFFF i32.and
+      local.get $acc i32.add local.set $acc
+      local.get $acc i32.const 5 i32.rotl local.set $acc
+      local.get $p i32.load
+      local.set $p
+      local.get $s i32.const 1 i32.add local.set $s
+      br 0
+    end end
+    local.get $acc))"#
+    )
+}
+
+/// 1-D three-point stencil over `n` words, `iters` sweeps (lbm/jacobi-
+/// shaped). Dense computed addressing: `base + i*4 ± 4`.
+pub fn stencil(n: u32, iters: u32, pages: u32) -> String {
+    format!(
+        r#"(module (memory {pages})
+  {fill}
+  (func (export "run") (result i32)
+    (local $it i32) (local $i i32) (local $acc i32)
+    i32.const {bytes} call $fill
+    block loop
+      local.get $it i32.const {iters} i32.ge_u br_if 1
+      i32.const 1 local.set $i
+      block loop
+        local.get $i i32.const {n_minus_1} i32.ge_u br_if 1
+        ;; a[i] = (a[i-1] + 2*a[i] + a[i+1]) >> 2
+        local.get $i i32.const 4 i32.mul
+        local.get $i i32.const 4 i32.mul i32.load
+        i32.const 1 i32.shl
+        local.get $i i32.const 4 i32.mul i32.load offset=4
+        i32.add
+        local.get $i i32.const 1 i32.sub i32.const 4 i32.mul i32.load
+        i32.add
+        i32.const 2 i32.shr_u
+        i32.store
+        local.get $i i32.const 1 i32.add local.set $i
+        br 0
+      end end
+      local.get $it i32.const 1 i32.add local.set $it
+      br 0
+    end end
+    i32.const 64 i32.load
+    i32.const 128 i32.load
+    i32.add))"#,
+        fill = fill_func(),
+        bytes = n * 4,
+        n_minus_1 = n - 1,
+    )
+}
+
+/// `n × n` fixed-point matrix multiply (milc/parest/imagick/matrix-shaped):
+/// two-term scaled addressing everywhere — the Figure 1 pattern-2 case.
+pub fn matmul(n: u32, pages: u32) -> String {
+    let a = 0;
+    let b = n * n * 4;
+    let c = 2 * n * n * 4;
+    format!(
+        r#"(module (memory {pages})
+  {fill}
+  (func (export "run") (result i32)
+    (local $i i32) (local $j i32) (local $k i32) (local $sum i32) (local $row i32)
+    i32.const {fill_bytes} call $fill
+    block loop
+      local.get $i i32.const {n} i32.ge_u br_if 1
+      i32.const 0 local.set $j
+      block loop
+        local.get $j i32.const {n} i32.ge_u br_if 1
+        i32.const 0 local.set $sum
+        i32.const 0 local.set $k
+        local.get $i i32.const {row_bytes} i32.mul local.set $row
+        block loop
+          local.get $k i32.const {n} i32.ge_u br_if 1
+          ;; sum += A[i*n+k] * B[k*n+j]
+          local.get $row local.get $k i32.const 4 i32.mul i32.add i32.load offset={a}
+          local.get $k i32.const {row_bytes} i32.mul local.get $j i32.const 4 i32.mul i32.add i32.load offset={b}
+          i32.mul
+          local.get $sum i32.add local.set $sum
+          local.get $k i32.const 1 i32.add local.set $k
+          br 0
+        end end
+        ;; C[i*n+j] = sum
+        local.get $row local.get $j i32.const 4 i32.mul i32.add
+        local.get $sum
+        i32.store offset={c}
+        local.get $j i32.const 1 i32.add local.set $j
+        br 0
+      end end
+      local.get $i i32.const 1 i32.add local.set $i
+      br 0
+    end end
+    i32.const {c} i32.load
+    i32.const {c2} i32.load
+    i32.add))"#,
+        fill = fill_func(),
+        fill_bytes = 2 * n * n * 4,
+        row_bytes = n * 4,
+        c2 = c + 4 * (n + 1),
+    )
+}
+
+/// Branchy evaluation with data-dependent conditions and a small lookup
+/// table (gobmk/sjeng/deepsjeng/leela-shaped).
+pub fn branchy(n: u32, pages: u32) -> String {
+    format!(
+        r#"(module (memory {pages})
+  {fill}
+  (func $eval0 (param $v i32) (result i32)
+    local.get $v i32.const 3 i32.mul i32.const 11 i32.add)
+  (func $eval1 (param $v i32) (result i32)
+    local.get $v i32.const 5 i32.shr_u local.get $v i32.xor)
+  (func $eval2 (param $v i32) (result i32)
+    local.get $v i32.const 2 i32.shl local.get $v i32.sub)
+  (table funcref (elem $eval0 $eval1 $eval2))
+  (func (export "run") (result i32)
+    (local $i i32) (local $x i32) (local $acc i32) (local $v i32)
+    i32.const 65536 call $fill
+    i32.const 7 local.set $x
+    block loop
+      local.get $i i32.const {n} i32.ge_u br_if 1
+      {lcg}
+      local.get $x i32.const 0xFFFC i32.and i32.load local.set $v
+      local.get $v i32.const 3 i32.and i32.eqz
+      if
+        local.get $acc local.get $v i32.add local.set $acc
+      else
+        local.get $v i32.const 1 i32.and
+        if
+          local.get $acc local.get $v i32.xor local.set $acc
+        else
+          local.get $acc i32.const 1 i32.shl
+          local.get $v i32.const 0xFF i32.and
+          i32.add local.set $acc
+        end
+      end
+      ;; table lookup keyed by the low bits
+      local.get $acc
+      local.get $v i32.const 0xFF i32.and i32.const 4 i32.mul i32.load
+      i32.add local.set $acc
+      ;; evaluator dispatch (function-pointer call in the native build,
+      ;; checked call_indirect in the Wasm builds)
+      local.get $acc
+      local.get $v
+      local.get $v i32.const 3 i32.rem_u
+      call_indirect (type $eval0)
+      i32.add local.set $acc
+      local.get $i i32.const 1 i32.add local.set $i
+      br 0
+    end end
+    local.get $acc))"#,
+        fill = fill_func(),
+        lcg = lcg("$x"),
+    )
+}
+
+/// Bit-mixing rounds over a small state array (libquantum/gimli/seqhash-
+/// shaped): ALU-dense, memory-light.
+pub fn bitops(rounds: u32, pages: u32) -> String {
+    format!(
+        r#"(module (memory {pages})
+  (func (export "run") (result i32)
+    (local $r i32) (local $a i32) (local $b i32) (local $c i32) (local $d i32)
+    i32.const 0x9E3779B9 local.set $a
+    i32.const 0x85EBCA6B local.set $b
+    i32.const 0xC2B2AE35 local.set $c
+    i32.const 0x27D4EB2F local.set $d
+    block loop
+      local.get $r i32.const {rounds} i32.ge_u br_if 1
+      local.get $a i32.const 13 i32.rotl local.get $b i32.xor local.set $a
+      local.get $b i32.const 7 i32.shl local.get $c i32.add local.set $b
+      local.get $c i32.const 17 i32.rotr local.get $d i32.xor local.set $c
+      local.get $d local.get $a i32.add local.set $d
+      ;; spill state to memory every round (quantum-register updates)
+      local.get $r i32.const 0xFFF0 i32.and
+      local.get $a local.get $c i32.xor
+      i32.store
+      local.get $r i32.const 1 i32.add local.set $r
+      br 0
+    end end
+    local.get $a local.get $b i32.add local.get $c i32.add local.get $d i32.add))"#
+    )
+}
+
+/// Block copy with a 2×8-byte unrolled inner loop (h264ref/x264/memmove-
+/// shaped) — the exact pattern the WAMR vectorizer targets (§4.2).
+pub fn blockcopy(blocks: u32, block_bytes: u32, pages: u32) -> String {
+    let src = 0;
+    let dst = block_bytes * 2;
+    format!(
+        r#"(module (memory {pages})
+  {fill}
+  (func (export "run") (result i32)
+    (local $b i32) (local $i i32) (local $t i64)
+    i32.const {block_bytes} call $fill
+    block loop
+      local.get $b i32.const {blocks} i32.ge_u br_if 1
+      i32.const 0 local.set $i
+      block loop
+        local.get $i i32.const {block_bytes} i32.ge_u br_if 1
+        ;; two consecutive 8-byte copies (vectorizable pair)
+        local.get $i
+        local.get $i i64.load offset={src}
+        i64.store offset={dst}
+        local.get $i
+        local.get $i i64.load offset={src8}
+        i64.store offset={dst8}
+        local.get $i i32.const 16 i32.add local.set $i
+        br 0
+      end end
+      local.get $b i32.const 1 i32.add local.set $b
+      br 0
+    end end
+    i32.const {dst} i32.load))"#,
+        fill = fill_func(),
+        src8 = src + 8,
+        dst8 = dst + 8,
+    )
+}
+
+/// Block copy with *block-relative* addressing: `src_base + i` two-term
+/// address shapes (h264/x264-style motion-compensation copies). Unlike
+/// [`blockcopy`], the base varies per block, so SFI baselines pay an
+/// address materialization per access.
+pub fn blockcopy_struct(blocks: u32, block_bytes: u32, pages: u32) -> String {
+    format!(
+        r#"(module (memory {pages})
+  {fill}
+  (func (export "run") (result i32)
+    (local $b i32) (local $i i32) (local $sb i32) (local $acc i32)
+    i32.const {fill_bytes} call $fill
+    block loop
+      local.get $b i32.const {blocks} i32.ge_u br_if 1
+      ;; alternate between a few source block bases (motion vectors)
+      local.get $b i32.const 7 i32.mul i32.const 31 i32.and i32.const 64 i32.mul local.set $sb
+      i32.const 0 local.set $i
+      block loop
+        local.get $i i32.const {block_bytes} i32.ge_u br_if 1
+        local.get $i
+        local.get $sb local.get $i i32.add i64.load
+        i64.store offset={dst0}
+        local.get $i
+        local.get $sb local.get $i i32.add i64.load offset=8
+        i64.store offset={dst8}
+        local.get $i i32.const 16 i32.add local.set $i
+        br 0
+      end end
+      local.get $b i32.const 1 i32.add local.set $b
+      br 0
+    end end
+    i32.const {dst0} i32.load))"#,
+        fill = fill_func(),
+        fill_bytes = block_bytes + 32 * 64 + 16,
+        dst0 = block_bytes + 32 * 64 + 64,
+        dst8 = block_bytes + 32 * 64 + 72,
+    )
+}
+
+/// Heapsort over `n` pseudo-random words (astar/leela/sort-shaped):
+/// data-dependent branches plus scaled-index addressing.
+pub fn heapsort(n: u32, pages: u32) -> String {
+    format!(
+        r#"(module (memory {pages})
+  {fill}
+  (func $sift (param $start i32) (param $end i32) (local $root i32) (local $child i32) (local $t i32)
+    local.get $start local.set $root
+    block loop
+      ;; child = 2*root + 1
+      local.get $root i32.const 1 i32.shl i32.const 1 i32.add local.set $child
+      local.get $child local.get $end i32.gt_u br_if 1
+      ;; pick the larger child
+      local.get $child local.get $end i32.lt_u
+      if
+        local.get $child i32.const 4 i32.mul i32.load
+        local.get $child i32.const 1 i32.add i32.const 4 i32.mul i32.load
+        i32.lt_u
+        if
+          local.get $child i32.const 1 i32.add local.set $child
+        end
+      end
+      ;; if a[root] >= a[child], done
+      local.get $root i32.const 4 i32.mul i32.load
+      local.get $child i32.const 4 i32.mul i32.load
+      i32.ge_u
+      br_if 1
+      ;; swap
+      local.get $root i32.const 4 i32.mul i32.load local.set $t
+      local.get $root i32.const 4 i32.mul
+      local.get $child i32.const 4 i32.mul i32.load
+      i32.store
+      local.get $child i32.const 4 i32.mul
+      local.get $t
+      i32.store
+      local.get $child local.set $root
+      br 0
+    end end)
+  (func (export "run") (result i32)
+    (local $start i32) (local $end i32) (local $t i32)
+    i32.const {bytes} call $fill
+    ;; heapify
+    i32.const {half} local.set $start
+    block loop
+      local.get $start i32.const 0 i32.lt_s br_if 1
+      local.get $start i32.const {last_u} call $sift
+      local.get $start i32.const 1 i32.sub local.set $start
+      br 0
+    end end
+    ;; extract
+    i32.const {last_u} local.set $end
+    block loop
+      local.get $end i32.const 0 i32.le_s br_if 1
+      ;; swap a[0], a[end]
+      i32.const 0 i32.load local.set $t
+      i32.const 0
+      local.get $end i32.const 4 i32.mul i32.load
+      i32.store
+      local.get $end i32.const 4 i32.mul
+      local.get $t
+      i32.store
+      i32.const 0 local.get $end i32.const 1 i32.sub call $sift
+      local.get $end i32.const 1 i32.sub local.set $end
+      br 0
+    end end
+    i32.const 0 i32.load
+    i32.const {mid_bytes} i32.load
+    i32.add))"#,
+        fill = fill_func(),
+        bytes = n * 4,
+        half = n / 2 - 1,
+        last_u = n - 1,
+        mid_bytes = (n / 2) * 4,
+    )
+}
+
+/// Histogram + run-length encoding over a pseudo-random buffer
+/// (bzip2/xz/gcc-shaped): byte loads, table updates, output stores.
+pub fn compress(n: u32, pages: u32) -> String {
+    let hist = n + 64; // histogram after the input
+    let out = hist + 1024;
+    format!(
+        r#"(module (memory {pages})
+  {fill}
+  (func (export "run") (result i32)
+    (local $i i32) (local $b i32) (local $run i32) (local $prev i32) (local $o i32) (local $acc i32)
+    i32.const {n} call $fill
+    ;; histogram
+    block loop
+      local.get $i i32.const {n} i32.ge_u br_if 1
+      local.get $i i32.load8_u local.set $b
+      local.get $b i32.const 4 i32.mul
+      local.get $b i32.const 4 i32.mul i32.load offset={hist}
+      i32.const 1 i32.add
+      i32.store offset={hist}
+      local.get $i i32.const 1 i32.add local.set $i
+      br 0
+    end end
+    ;; run-length encode
+    i32.const 0 local.set $i
+    i32.const -1 local.set $prev
+    block loop
+      local.get $i i32.const {n} i32.ge_u br_if 1
+      local.get $i i32.load8_u local.set $b
+      local.get $b local.get $prev i32.eq
+      if
+        local.get $run i32.const 1 i32.add local.set $run
+      else
+        local.get $o i32.const 2 i32.mul
+        local.get $run i32.const 8 i32.shl local.get $prev i32.or
+        i32.store16 offset={out}
+        local.get $o i32.const 1 i32.add local.set $o
+        local.get $b local.set $prev
+        i32.const 1 local.set $run
+      end
+      local.get $i i32.const 1 i32.add local.set $i
+      br 0
+    end end
+    ;; checksum histogram + output length
+    i32.const 65 i32.const 4 i32.mul i32.load offset={hist}
+    local.get $o
+    i32.add))"#,
+        fill = fill_func(),
+    )
+}
+
+/// Recursive Fibonacci (fib2/recursion-shaped): call-heavy, memory-light.
+pub fn fib(n: u32, pages: u32) -> String {
+    format!(
+        r#"(module (memory {pages})
+  (func $fib (param $n i32) (result i32)
+    local.get $n i32.const 2 i32.lt_u
+    if
+      local.get $n return
+    end
+    local.get $n i32.const 1 i32.sub call $fib
+    local.get $n i32.const 2 i32.sub call $fib
+    i32.add)
+  (func (export "run") (result i32)
+    i32.const {n} call $fib))"#
+    )
+}
+
+/// Three nested loops with a tiny body (nestedloop-shaped).
+pub fn nestedloop(a: u32, b: u32, c: u32, pages: u32) -> String {
+    format!(
+        r#"(module (memory {pages})
+  (func (export "run") (result i32)
+    (local $i i32) (local $j i32) (local $k i32) (local $acc i32)
+    block loop
+      local.get $i i32.const {a} i32.ge_u br_if 1
+      i32.const 0 local.set $j
+      block loop
+        local.get $j i32.const {b} i32.ge_u br_if 1
+        i32.const 0 local.set $k
+        block loop
+          local.get $k i32.const {c} i32.ge_u br_if 1
+          local.get $acc i32.const 1 i32.add local.set $acc
+          local.get $k i32.const 1 i32.add local.set $k
+          br 0
+        end end
+        local.get $j i32.const 1 i32.add local.set $j
+        br 0
+      end end
+      local.get $i i32.const 1 i32.add local.set $i
+      br 0
+    end end
+    local.get $acc))"#
+    )
+}
+
+/// Byte scan for a sentinel (strchr-shaped).
+pub fn strchr(len: u32, repeats: u32, pages: u32) -> String {
+    format!(
+        r#"(module (memory {pages})
+  {fill}
+  (func (export "run") (result i32)
+    (local $r i32) (local $i i32) (local $acc i32)
+    i32.const {len} call $fill
+    ;; plant the sentinel near the end
+    i32.const {sentinel_at} i32.const 0 i32.store8
+    block loop
+      local.get $r i32.const {repeats} i32.ge_u br_if 1
+      i32.const 0 local.set $i
+      block loop
+        local.get $i i32.load8_u i32.eqz br_if 1
+        local.get $i i32.const 1 i32.add local.set $i
+        br 0
+      end end
+      local.get $acc local.get $i i32.add local.set $acc
+      local.get $r i32.const 1 i32.add local.set $r
+      br 0
+    end end
+    local.get $acc))"#,
+        fill = fill_func(),
+        sentinel_at = len - 2,
+    )
+}
+
+/// `br_table` dispatch over `cases` cases (switch-shaped).
+pub fn switch_dispatch(n: u32, cases: u32, pages: u32) -> String {
+    assert!(cases >= 2);
+    let mut blocks_open = String::new();
+    let mut targets = String::new();
+    for _ in 0..cases {
+        blocks_open.push_str("block ");
+    }
+    // Selector value v branches to depth v: the innermost case block is
+    // depth 0, and its arm sits right after the first `end`.
+    for i in 0..cases {
+        targets.push_str(&format!("{i} "));
+    }
+    // Each arm closes its case block, runs, then branches out to the
+    // continue block (whose depth shrinks as case blocks close).
+    let mut arms = String::new();
+    for i in 0..cases {
+        let depth_to_cont = cases - 1 - i; // remaining unclosed case blocks
+        arms.push_str(&format!(
+            "end\n  local.get $acc i32.const {} i32.add local.set $acc\n  br {}\n",
+            i * 7 + 1,
+            depth_to_cont
+        ));
+    }
+    format!(
+        r#"(module (memory {pages})
+  (func $h0 (param $v i32) (result i32)
+    local.get $v i32.const 9 i32.mul i32.const 7 i32.add)
+  (func $h1 (param $v i32) (result i32)
+    local.get $v i32.const 11 i32.shr_u local.get $v i32.add)
+  (table funcref (elem $h0 $h1))
+  (func (export "run") (result i32)
+    (local $i i32) (local $x i32) (local $acc i32)
+    i32.const 5 local.set $x
+    block loop
+      local.get $i i32.const {n} i32.ge_u br_if 1
+      {lcg}
+      block
+      {blocks_open}
+      local.get $x i32.const 16 i32.shr_u i32.const {cases} i32.rem_u
+      br_table {targets}0
+      {arms}end
+      ;; post-case handler dispatch
+      local.get $acc
+      local.get $x i32.const 1 i32.and
+      call_indirect (type $h0)
+      local.set $acc
+      local.get $i i32.const 1 i32.add local.set $i
+      br 0
+    end end
+    local.get $acc))"#,
+        lcg = lcg("$x"),
+    )
+}
+
+/// Base64 encoding (base64-shaped): byte loads, shifts, table lookups.
+pub fn base64(len: u32, pages: u32) -> String {
+    let table = len + 64;
+    let out = table + 64;
+    format!(
+        r#"(module (memory {pages})
+  {fill}
+  (func $mktable (local $i i32)
+    block loop
+      local.get $i i32.const 64 i32.ge_u br_if 1
+      local.get $i
+      local.get $i i32.const 17 i32.mul i32.const 33 i32.add i32.const 94 i32.rem_u i32.const 33 i32.add
+      i32.store8 offset={table}
+      local.get $i i32.const 1 i32.add local.set $i
+      br 0
+    end end)
+  (func (export "run") (result i32)
+    (local $i i32) (local $o i32) (local $w i32) (local $acc i32)
+    i32.const {len} call $fill
+    call $mktable
+    block loop
+      local.get $i i32.const {len3} i32.ge_u br_if 1
+      ;; w = 3 bytes
+      local.get $i i32.load8_u i32.const 16 i32.shl
+      local.get $i i32.load8_u offset=1 i32.const 8 i32.shl i32.or
+      local.get $i i32.load8_u offset=2 i32.or
+      local.set $w
+      local.get $o local.get $w i32.const 18 i32.shr_u i32.const 63 i32.and i32.load8_u offset={table} i32.store8 offset={out}
+      local.get $o local.get $w i32.const 12 i32.shr_u i32.const 63 i32.and i32.load8_u offset={table} i32.store8 offset={out1}
+      local.get $o local.get $w i32.const 6 i32.shr_u i32.const 63 i32.and i32.load8_u offset={table} i32.store8 offset={out2}
+      local.get $o local.get $w i32.const 63 i32.and i32.load8_u offset={table} i32.store8 offset={out3}
+      local.get $i i32.const 3 i32.add local.set $i
+      local.get $o i32.const 4 i32.add local.set $o
+      br 0
+    end end
+    i32.const {out} i32.load
+    local.get $o i32.add))"#,
+        fill = fill_func(),
+        len3 = len - 3,
+        out1 = out + 1,
+        out2 = out + 2,
+        out3 = out + 3,
+    )
+}
+
+/// Random-access loads driven by an LCG (random/astar-shaped). With
+/// `unroll > 1` the loop body is replicated — the fetch-bandwidth pressure
+/// behind the 473_astar Segue outlier.
+pub fn random_access(accesses: u32, ws_bytes: u32, unroll: u32, pages: u32) -> String {
+    let mask = (ws_bytes - 1) & !3;
+    let mut body = String::new();
+    for _ in 0..unroll {
+        body.push_str(&format!(
+            r#"      {lcg}
+      local.get $acc
+      local.get $x i32.const {mask} i32.and i32.load
+      i32.add local.set $acc
+"#,
+            lcg = lcg("$x"),
+        ));
+    }
+    format!(
+        r#"(module (memory {pages})
+  {fill}
+  (func $cmp0 (param $a i32) (result i32)
+    local.get $a i32.const 1 i32.shr_u)
+  (func $cmp1 (param $a i32) (result i32)
+    local.get $a i32.const 3 i32.add)
+  (table funcref (elem $cmp0 $cmp1))
+  (func (export "run") (result i32)
+    (local $i i32) (local $x i32) (local $acc i32)
+    i32.const {ws_bytes} call $fill
+    i32.const 3 local.set $x
+    block loop
+      local.get $i i32.const {outer} i32.ge_u br_if 1
+{body}      ;; priority-queue comparator dispatch
+      local.get $acc
+      local.get $x i32.const 1 i32.and
+      call_indirect (type $cmp0)
+      local.set $acc
+      local.get $i i32.const 1 i32.add local.set $i
+      br 0
+    end end
+    local.get $acc))"#,
+        fill = fill_func(),
+        outer = accesses / unroll,
+    )
+}
+
+/// Sieve of Eratosthenes with a template-copy reset phase — the unrolled
+/// 8-byte copy reset is what WAMR's vectorizer accelerates and full Segue
+/// breaks (Figure 4's sieve regression).
+pub fn sieve(limit: u32, rounds: u32, pages: u32) -> String {
+    let template = limit + 64;
+    format!(
+        r#"(module (memory {pages})
+  (func (export "run") (result i32)
+    (local $r i32) (local $i i32) (local $j i32) (local $count i32)
+    ;; template: all ones
+    i32.const {template} i32.const 1 i32.const {limit} memory.fill
+    block loop
+      local.get $r i32.const {rounds} i32.ge_u br_if 1
+      ;; reset the sieve from the template: unrolled 2x8-byte copies
+      i32.const 0 local.set $i
+      block loop
+        local.get $i i32.const {limit} i32.ge_u br_if 1
+        local.get $i
+        local.get $i i64.load offset={template}
+        i64.store
+        local.get $i
+        local.get $i i64.load offset={template8}
+        i64.store offset=8
+        local.get $i i32.const 16 i32.add local.set $i
+        br 0
+      end end
+      ;; sieve
+      i32.const 2 local.set $i
+      block loop
+        local.get $i local.get $i i32.mul i32.const {limit} i32.ge_u br_if 1
+        local.get $i i32.load8_u
+        if
+          local.get $i local.get $i i32.mul local.set $j
+          block loop
+            local.get $j i32.const {limit} i32.ge_u br_if 1
+            local.get $j i32.const 0 i32.store8
+            local.get $j local.get $i i32.add local.set $j
+            br 0
+          end end
+        end
+        local.get $i i32.const 1 i32.add local.set $i
+        br 0
+      end end
+      ;; publish the segment's flags (unrolled 2x8-byte copies again)
+      i32.const 0 local.set $i
+      block loop
+        local.get $i i32.const {limit} i32.ge_u br_if 1
+        local.get $i
+        local.get $i i64.load
+        i64.store offset={publish}
+        local.get $i
+        local.get $i i64.load offset=8
+        i64.store offset={publish8}
+        local.get $i i32.const 16 i32.add local.set $i
+        br 0
+      end end
+      local.get $r i32.const 1 i32.add local.set $r
+      br 0
+    end end
+    ;; count primes
+    i32.const 2 local.set $i
+    block loop
+      local.get $i i32.const {limit} i32.ge_u br_if 1
+      local.get $count local.get $i i32.load8_u i32.add local.set $count
+      local.get $i i32.const 1 i32.add local.set $i
+      br 0
+    end end
+    local.get $count))"#,
+        template8 = template + 8,
+        publish = template + limit + 64,
+        publish8 = template + limit + 72,
+    )
+}
+
+/// Font shaping (libgraphite-shaped, §6.1): per-glyph metric lookups from a
+/// table of 8-byte glyph records ([advance:4][bearing:4]) plus a parallel
+/// kern-class byte array — classic struct-offset (Figure 1 pattern 2)
+/// addressing throughout.
+pub fn font_shaping(glyphs: u32, text_len: u32, pages: u32) -> String {
+    let text = 0;
+    // Glyph records live after the text.
+    let table = text_len.div_ceil(64) * 64;
+    format!(
+        r#"(module (memory {pages})
+  (func $build (local $i i32)
+    ;; synthetic text
+    block loop
+      local.get $i i32.const {text_len} i32.ge_u br_if 1
+      local.get $i
+      local.get $i i32.const 31 i32.mul i32.const 7 i32.add i32.const {glyphs} i32.rem_u
+      i32.store8 offset={text}
+      local.get $i i32.const 1 i32.add local.set $i
+      br 0
+    end end
+    ;; glyph records (8 bytes) + kern-class bytes
+    i32.const 0 local.set $i
+    block loop
+      local.get $i i32.const {glyphs} i32.ge_u br_if 1
+      local.get $i i32.const 8 i32.mul
+      local.get $i i32.const 5 i32.mul i32.const 300 i32.add
+      i32.store offset={table}
+      local.get $i i32.const 8 i32.mul
+      local.get $i i32.const 3 i32.mul i32.const 100 i32.sub
+      i32.store offset={table4}
+      local.get $i
+      local.get $i i32.const 7 i32.and
+      i32.store8 offset={kerncls}
+      local.get $i i32.const 1 i32.add local.set $i
+      br 0
+    end end)
+  (func (export "run") (result i32)
+    (local $i i32) (local $g i32) (local $prev i32) (local $x i32) (local $kc i32)
+    call $build
+    block loop
+      local.get $i i32.const {text_len} i32.ge_u br_if 1
+      local.get $i i32.load8_u offset={text} local.set $g
+      ;; x += advance(g) + bearing(g): *(table + g*8) and *(table + g*8 + 4)
+      ;; — address arithmetic in i32, exactly as wasm2c emits it
+      local.get $x
+      i32.const {table} local.get $g i32.const 8 i32.mul i32.add i32.load
+      i32.add
+      i32.const {table4} local.get $g i32.const 8 i32.mul i32.add i32.load
+      i32.add
+      local.set $x
+      ;; kerning: class pair adjustment
+      i32.const {kerncls} local.get $g i32.add i32.load8_u local.set $kc
+      local.get $kc local.get $prev i32.eq
+      if
+        local.get $x i32.const 2 i32.sub local.set $x
+      end
+      local.get $kc local.set $prev
+      local.get $i i32.const 1 i32.add local.set $i
+      br 0
+    end end
+    local.get $x))"#,
+        table4 = table + 4,
+        kerncls = table + glyphs * 8 + 64,
+    )
+}
+
+/// XML/SVG scanning (libexpat-shaped, §6.1): byte-at-a-time tag parsing
+/// with depth tracking and attribute-name hashing over synthetic markup.
+pub fn xml_parse(len: u32, pages: u32) -> String {
+    format!(
+        r#"(module (memory {pages})
+  (func $gen (local $i i32) (local $x i32)
+    ;; synthetic markup: repeating "<g a=1><p/></g>" shaped bytes
+    i32.const 17 local.set $x
+    block loop
+      local.get $i i32.const {len} i32.ge_u br_if 1
+      {lcg}
+      local.get $i
+      ;; choose from a tiny alphabet including < > = / and letters
+      local.get $x i32.const 20 i32.shr_u i32.const 15 i32.and
+      i32.const 4 i32.mul i32.load8_u offset={alphabet}
+      i32.store8
+      local.get $i i32.const 1 i32.add local.set $i
+      br 0
+    end end)
+  (func (export "run") (result i32)
+    (local $i i32) (local $c i32) (local $depth i32) (local $hash i32) (local $intag i32) (local $acc i32)
+    ;; alphabet table
+    i32.const {alphabet} i32.const 60 i32.store8   ;; '<'
+    i32.const {a1} i32.const 62 i32.store8         ;; '>'
+    i32.const {a2} i32.const 47 i32.store8         ;; '/'
+    i32.const {a3} i32.const 61 i32.store8         ;; '='
+    i32.const {a4} i32.const 97 i32.store8
+    i32.const {a5} i32.const 98 i32.store8
+    i32.const {a6} i32.const 103 i32.store8
+    i32.const {a7} i32.const 112 i32.store8
+    i32.const {a8} i32.const 32 i32.store8
+    i32.const {a9} i32.const 49 i32.store8
+    i32.const {a10} i32.const 115 i32.store8
+    i32.const {a11} i32.const 116 i32.store8
+    i32.const {a12} i32.const 120 i32.store8
+    i32.const {a13} i32.const 121 i32.store8
+    i32.const {a14} i32.const 122 i32.store8
+    i32.const {a15} i32.const 46 i32.store8
+    call $gen
+    block loop
+      local.get $i i32.const {len} i32.ge_u br_if 1
+      local.get $i i32.load8_u local.set $c
+      local.get $c i32.const 60 i32.eq
+      if
+        i32.const 1 local.set $intag
+        local.get $depth i32.const 1 i32.add local.set $depth
+        i32.const 0 local.set $hash
+      else
+        local.get $c i32.const 62 i32.eq
+        if
+          i32.const 0 local.set $intag
+          local.get $acc local.get $hash i32.add local.set $acc
+        else
+          local.get $c i32.const 47 i32.eq
+          if
+            local.get $depth i32.const 1 i32.sub local.set $depth
+          else
+            local.get $intag
+            if
+              local.get $hash i32.const 31 i32.mul local.get $c i32.add local.set $hash
+            end
+          end
+        end
+      end
+      local.get $i i32.const 1 i32.add local.set $i
+      br 0
+    end end
+    local.get $acc local.get $depth i32.add))"#,
+        lcg = lcg("$x"),
+        alphabet = len + 64,
+        a1 = len + 64 + 4,
+        a2 = len + 64 + 8,
+        a3 = len + 64 + 12,
+        a4 = len + 64 + 16,
+        a5 = len + 64 + 20,
+        a6 = len + 64 + 24,
+        a7 = len + 64 + 28,
+        a8 = len + 64 + 32,
+        a9 = len + 64 + 36,
+        a10 = len + 64 + 40,
+        a11 = len + 64 + 44,
+        a12 = len + 64 + 48,
+        a13 = len + 64 + 52,
+        a14 = len + 64 + 56,
+        a15 = len + 64 + 60,
+    )
+}
+
+/// Dhrystone-shaped mix: record copies, enum switches, string-ish compares.
+/// `rec_bytes` is the pointer-width knob: Dhrystone's records hold several
+/// pointers, so the 64-bit native build copies twice the bytes (the paper's
+/// "Dhrystone runs 9.7% faster in Wasm" effect).
+pub fn dhrystone(iters: u32, rec_bytes: u32, pages: u32) -> String {
+    format!(
+        r#"(module (memory {pages})
+  {fill}
+  (func (export "run") (result i32)
+    (local $i i32) (local $acc i32) (local $j i32)
+    i32.const 4096 call $fill
+    block loop
+      local.get $i i32.const {iters} i32.ge_u br_if 1
+      ;; record copy, field-wise
+      i32.const 0 local.set $j
+      block loop
+        local.get $j i32.const {rec_bytes} i32.ge_u br_if 1
+        local.get $j
+        local.get $j i32.load offset=256
+        i32.store offset=512
+        local.get $j i32.const 4 i32.add local.set $j
+        br 0
+      end end
+      ;; enum dispatch
+      local.get $i i32.const 3 i32.and i32.const 1 i32.eq
+      if
+        local.get $acc i32.const 3 i32.add local.set $acc
+      else
+        local.get $acc i32.const 1 i32.add local.set $acc
+      end
+      ;; string-ish compare of two 16-byte regions
+      i32.const 0 local.set $j
+      block loop
+        local.get $j i32.const 16 i32.ge_u br_if 1
+        local.get $j i32.load8_u offset=256
+        local.get $j i32.load8_u offset=512
+        i32.ne
+        br_if 1
+        local.get $j i32.const 1 i32.add local.set $j
+        br 0
+      end end
+      local.get $acc local.get $j i32.add local.set $acc
+      local.get $i i32.const 1 i32.add local.set $i
+      br 0
+    end end
+    local.get $acc))"#,
+        fill = fill_func(),
+    )
+}
+
+/// Fixed-point n-body-ish interaction loop (namd/nab/povray-shaped):
+/// multiply-heavy with structured loads.
+pub fn nbody(bodies: u32, iters: u32, pages: u32) -> String {
+    format!(
+        r#"(module (memory {pages})
+  {fill}
+  (func (export "run") (result i32)
+    (local $it i32) (local $i i32) (local $j i32) (local $f i32) (local $dx i32)
+    i32.const {bytes} call $fill
+    block loop
+      local.get $it i32.const {iters} i32.ge_u br_if 1
+      i32.const 0 local.set $i
+      block loop
+        local.get $i i32.const {bodies} i32.ge_u br_if 1
+        i32.const 0 local.set $j
+        block loop
+          local.get $j i32.const {bodies} i32.ge_u br_if 1
+          ;; dx = x[i] - x[j]; f += dx*dx >> 8
+          local.get $i i32.const 16 i32.mul i32.load
+          local.get $j i32.const 16 i32.mul i32.load
+          i32.sub local.set $dx
+          local.get $f
+          local.get $dx local.get $dx i32.mul i32.const 8 i32.shr_s
+          i32.add local.set $f
+          local.get $j i32.const 1 i32.add local.set $j
+          br 0
+        end end
+        ;; v[i] += f
+        local.get $i i32.const 16 i32.mul
+        local.get $i i32.const 16 i32.mul i32.load offset=4
+        local.get $f i32.add
+        i32.store offset=4
+        local.get $i i32.const 1 i32.add local.set $i
+        br 0
+      end end
+      local.get $it i32.const 1 i32.add local.set $it
+      br 0
+    end end
+    i32.const 4 i32.load
+    local.get $f i32.add))"#,
+        fill = fill_func(),
+        bytes = bodies * 16,
+    )
+}

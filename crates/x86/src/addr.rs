@@ -1,0 +1,261 @@
+//! Memory operands (x86-64 addressing modes).
+
+use crate::{Gpr, Seg};
+
+/// An index-register scale factor (the `*1`, `*2`, `*4`, `*8` in
+/// `[base + index*scale + disp]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// ×1
+    #[default]
+    S1,
+    /// ×2
+    S2,
+    /// ×4
+    S4,
+    /// ×8
+    S8,
+}
+
+impl Scale {
+    /// The multiplication factor as an integer.
+    #[inline]
+    pub const fn factor(self) -> u64 {
+        match self {
+            Scale::S1 => 1,
+            Scale::S2 => 2,
+            Scale::S4 => 4,
+            Scale::S8 => 8,
+        }
+    }
+
+    /// The 2-bit SIB encoding of this scale.
+    #[inline]
+    pub const fn sib_bits(self) -> u8 {
+        match self {
+            Scale::S1 => 0,
+            Scale::S2 => 1,
+            Scale::S4 => 2,
+            Scale::S8 => 3,
+        }
+    }
+
+    /// Creates a scale from a factor of 1, 2, 4 or 8; `None` otherwise.
+    pub const fn from_factor(f: u64) -> Option<Scale> {
+        match f {
+            1 => Some(Scale::S1),
+            2 => Some(Scale::S2),
+            4 => Some(Scale::S4),
+            8 => Some(Scale::S8),
+            _ => None,
+        }
+    }
+}
+
+/// A memory operand: `seg:[base + index*scale + disp]`.
+///
+/// Two fields carry the architectural machinery Segue depends on:
+///
+/// - [`Mem::seg`]: a segment override. When set to [`Seg::Gs`], the segment
+///   base (the sandbox's linear-memory base under Segue) is added to the
+///   effective address *by the hardware*, costing one prefix byte instead of
+///   one extra instruction and one register.
+/// - [`Mem::addr32`]: the address-size override (`0x67` prefix). When set,
+///   the effective address `base + index*scale + disp` is computed **modulo
+///   2³²** and zero-extended — exactly Wasm's 32-bit index arithmetic, for
+///   free. (The segment base is added *after* truncation, so the result
+///   still lands inside the sandbox's 4 GiB + guard window.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mem {
+    /// Optional base register.
+    pub base: Option<Gpr>,
+    /// Optional scaled index register.
+    pub index: Option<(Gpr, Scale)>,
+    /// Displacement, sign-extended at address-generation time.
+    pub disp: i32,
+    /// Optional segment override (`fs`/`gs`).
+    pub seg: Option<Seg>,
+    /// Address-size override: compute the effective address modulo 2³².
+    pub addr32: bool,
+}
+
+impl Mem {
+    /// `[base]`
+    pub const fn base(base: Gpr) -> Mem {
+        Mem { base: Some(base), index: None, disp: 0, seg: None, addr32: false }
+    }
+
+    /// `[base + disp]`
+    pub const fn base_disp(base: Gpr, disp: i32) -> Mem {
+        Mem { base: Some(base), index: None, disp, seg: None, addr32: false }
+    }
+
+    /// `[base + index*scale + disp]`
+    pub const fn bisd(base: Gpr, index: Gpr, scale: Scale, disp: i32) -> Mem {
+        Mem { base: Some(base), index: Some((index, scale)), disp, seg: None, addr32: false }
+    }
+
+    /// `[index*scale + disp]` (no base register).
+    pub const fn isd(index: Gpr, scale: Scale, disp: i32) -> Mem {
+        Mem { base: None, index: Some((index, scale)), disp, seg: None, addr32: false }
+    }
+
+    /// `[disp]` — absolute address, mainly useful in tests.
+    pub const fn abs(disp: i32) -> Mem {
+        Mem { base: None, index: None, disp, seg: None, addr32: false }
+    }
+
+    /// Adds a segment override, returning the modified operand.
+    #[must_use]
+    pub const fn with_seg(mut self, seg: Seg) -> Mem {
+        self.seg = Some(seg);
+        self
+    }
+
+    /// Adds the address-size override (32-bit effective-address arithmetic),
+    /// returning the modified operand.
+    #[must_use]
+    pub const fn with_addr32(mut self) -> Mem {
+        self.addr32 = true;
+        self
+    }
+
+    /// The registers read when computing this operand's effective address.
+    pub fn regs_read(&self) -> impl Iterator<Item = Gpr> + '_ {
+        self.base.into_iter().chain(self.index.map(|(r, _)| r))
+    }
+
+    /// Computes the effective address given a register file and segment bases.
+    ///
+    /// This is the architecturally faithful computation: the linear sum is
+    /// truncated to 32 bits first when [`Mem::addr32`] is set, and the
+    /// segment base is added afterwards.
+    pub fn effective_addr(
+        &self,
+        gpr: impl Fn(Gpr) -> u64,
+        seg_base: impl Fn(Seg) -> u64,
+    ) -> u64 {
+        let mut ea = self.disp as i64 as u64;
+        if let Some(b) = self.base {
+            ea = ea.wrapping_add(gpr(b));
+        }
+        if let Some((i, s)) = self.index {
+            ea = ea.wrapping_add(gpr(i).wrapping_mul(s.factor()));
+        }
+        if self.addr32 {
+            ea &= 0xFFFF_FFFF;
+        }
+        if let Some(seg) = self.seg {
+            ea = ea.wrapping_add(seg_base(seg));
+        }
+        ea
+    }
+}
+
+impl core::fmt::Display for Mem {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if let Some(seg) = self.seg {
+            write!(f, "{seg}:")?;
+        }
+        f.write_str("[")?;
+        let mut wrote = false;
+        if let Some(b) = self.base {
+            if self.addr32 {
+                write!(f, "{}", b.name32())?;
+            } else {
+                write!(f, "{b}")?;
+            }
+            wrote = true;
+        }
+        if let Some((i, s)) = self.index {
+            if wrote {
+                f.write_str(" + ")?;
+            }
+            if self.addr32 {
+                write!(f, "{}", i.name32())?;
+            } else {
+                write!(f, "{i}")?;
+            }
+            if s != Scale::S1 {
+                write!(f, "*{}", s.factor())?;
+            }
+            wrote = true;
+        }
+        if self.disp != 0 || !wrote {
+            if wrote {
+                if self.disp < 0 {
+                    write!(f, " - {:#x}", -(self.disp as i64))?;
+                } else {
+                    write!(f, " + {:#x}", self.disp)?;
+                }
+            } else {
+                write!(f, "{:#x}", self.disp)?;
+            }
+        }
+        f.write_str("]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regs(vals: &[(Gpr, u64)]) -> impl Fn(Gpr) -> u64 + '_ {
+        move |g| vals.iter().find(|(r, _)| *r == g).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    #[test]
+    fn effective_addr_plain() {
+        let m = Mem::bisd(Gpr::Rcx, Gpr::Rdx, Scale::S4, 0x8);
+        let ea = m.effective_addr(regs(&[(Gpr::Rcx, 0x100), (Gpr::Rdx, 3)]), |_| 0);
+        assert_eq!(ea, 0x100 + 12 + 8);
+    }
+
+    #[test]
+    fn addr32_truncates_before_segment_base() {
+        // This is the crux of Segue's "mixed-mode arithmetic" (§3.1): the
+        // 32-bit wrap happens before the 64-bit segment base is added.
+        let m = Mem::bisd(Gpr::Rcx, Gpr::Rdx, Scale::S4, 0x8)
+            .with_seg(Seg::Gs)
+            .with_addr32();
+        let gs_base = 0x7000_0000_0000u64;
+        let ea = m.effective_addr(
+            regs(&[(Gpr::Rcx, 0xFFFF_FFFF), (Gpr::Rdx, 2)]),
+            |_| gs_base,
+        );
+        let wrapped = (0xFFFF_FFFFu64 + 8 + 8) & 0xFFFF_FFFF;
+        assert_eq!(ea, gs_base + wrapped);
+    }
+
+    #[test]
+    fn no_addr32_keeps_64_bit_sum() {
+        // Without the override, a large index lands past 4 GiB — i.e. in the
+        // guard region, where SFI wants it to trap.
+        let m = Mem::base_disp(Gpr::Rcx, 0x10).with_seg(Seg::Gs);
+        let ea = m.effective_addr(regs(&[(Gpr::Rcx, 0xFFFF_FFFF)]), |_| 0x1_0000_0000);
+        assert_eq!(ea, 0x1_0000_0000 + 0xFFFF_FFFF + 0x10);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Mem::base(Gpr::Rax).to_string(), "[rax]");
+        assert_eq!(
+            Mem::bisd(Gpr::Rcx, Gpr::Rdx, Scale::S4, 8).to_string(),
+            "[rcx + rdx*4 + 0x8]"
+        );
+        assert_eq!(
+            Mem::base(Gpr::Rbx).with_seg(Seg::Gs).with_addr32().to_string(),
+            "gs:[ebx]"
+        );
+        assert_eq!(Mem::abs(0x100).to_string(), "[0x100]");
+        assert_eq!(Mem::base_disp(Gpr::Rbp, -8).to_string(), "[rbp - 0x8]");
+    }
+
+    #[test]
+    fn scale_round_trip() {
+        for s in [Scale::S1, Scale::S2, Scale::S4, Scale::S8] {
+            assert_eq!(Scale::from_factor(s.factor()), Some(s));
+        }
+        assert_eq!(Scale::from_factor(3), None);
+    }
+}

@@ -1,0 +1,1170 @@
+//! The deterministic x86-64 emulator.
+//!
+//! [`Machine`] executes a [`Program`] against a pluggable [`MemBus`]
+//! (a flat test memory here; `sfi-vm` provides a paged, MPK/MTE-checking
+//! bus). It retires instructions one at a time, models an L1I/L1D cache and
+//! a 2-bit branch predictor, and charges cycles through
+//! [`crate::cost::CostModel`].
+//!
+//! ## Code-address model
+//!
+//! Code addresses during *execution* are instruction indices (a `Ret` with an
+//! empty shadow call stack ends the run); the byte-accurate layout from
+//! [`crate::encode`] is used for fetch/i-cache accounting. This split keeps
+//! the emulator simple while preserving the size-dependent effects that the
+//! Segue evaluation needs.
+
+use std::collections::HashMap;
+
+use crate::cache::Cache;
+use crate::cost::{CostModel, RunStats};
+use crate::encode::{encode_program, EncodeError, Encoded};
+use crate::inst::{AluOp, ShiftAmount, ShiftOp};
+use crate::{Cond, Gpr, Inst, MemFault, Program, Seg, Trap, Width};
+
+/// Per-access context handed to the bus (the MPK rights register).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessCtx {
+    /// The current PKRU value: 2 bits per key, `(AD, WD)` pairs; key *k*'s
+    /// access-disable bit is `pkru >> (2k) & 1`, write-disable is
+    /// `pkru >> (2k+1) & 1`.
+    pub pkru: u32,
+}
+
+impl AccessCtx {
+    /// A context with all keys enabled (PKRU = 0).
+    pub const ALL_ENABLED: AccessCtx = AccessCtx { pkru: 0 };
+
+    /// Whether reads are permitted for `key` under this PKRU.
+    #[inline]
+    pub fn may_read(&self, key: u8) -> bool {
+        self.pkru >> (2 * key) & 1 == 0
+    }
+
+    /// Whether writes are permitted for `key` under this PKRU.
+    #[inline]
+    pub fn may_write(&self, key: u8) -> bool {
+        self.may_read(key) && (self.pkru >> (2 * key + 1)) & 1 == 0
+    }
+}
+
+/// A data-memory backend for the emulator.
+pub trait MemBus {
+    /// Loads `width` bytes at `addr`, zero-extended.
+    fn load(&mut self, addr: u64, width: Width, ctx: AccessCtx) -> Result<u64, MemFault>;
+    /// Stores the low `width` bytes of `val` at `addr`.
+    fn store(&mut self, addr: u64, width: Width, val: u64, ctx: AccessCtx)
+        -> Result<(), MemFault>;
+
+    /// Loads 16 bytes (for `movdqu`). The default issues two 8-byte loads.
+    fn load128(&mut self, addr: u64, ctx: AccessCtx) -> Result<u128, MemFault> {
+        let lo = self.load(addr, Width::Q, ctx)?;
+        let hi = self.load(addr + 8, Width::Q, ctx)?;
+        Ok((lo as u128) | ((hi as u128) << 64))
+    }
+
+    /// Stores 16 bytes (for `movdqu`). The default issues two 8-byte stores.
+    fn store128(&mut self, addr: u64, val: u128, ctx: AccessCtx) -> Result<(), MemFault> {
+        self.store(addr, Width::Q, val as u64, ctx)?;
+        self.store(addr + 8, Width::Q, (val >> 64) as u64, ctx)
+    }
+}
+
+/// A flat, fully mapped memory for tests and self-contained benchmarks.
+#[derive(Debug, Clone)]
+pub struct FlatMemory {
+    bytes: Vec<u8>,
+}
+
+impl FlatMemory {
+    /// Creates a zeroed flat memory of `size` bytes.
+    pub fn new(size: usize) -> FlatMemory {
+        FlatMemory { bytes: vec![0; size] }
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the memory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Direct view of the backing bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Direct mutable view of the backing bytes.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    fn check(&self, addr: u64, len: u64) -> Result<usize, MemFault> {
+        let end = addr.checked_add(len).ok_or(MemFault::OutOfRange { addr })?;
+        if end as usize > self.bytes.len() {
+            return Err(MemFault::OutOfRange { addr });
+        }
+        Ok(addr as usize)
+    }
+}
+
+impl MemBus for FlatMemory {
+    fn load(&mut self, addr: u64, width: Width, _ctx: AccessCtx) -> Result<u64, MemFault> {
+        let i = self.check(addr, width.bytes())?;
+        let mut buf = [0u8; 8];
+        buf[..width.bytes() as usize].copy_from_slice(&self.bytes[i..i + width.bytes() as usize]);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn store(
+        &mut self,
+        addr: u64,
+        width: Width,
+        val: u64,
+        _ctx: AccessCtx,
+    ) -> Result<(), MemFault> {
+        let i = self.check(addr, width.bytes())?;
+        self.bytes[i..i + width.bytes() as usize]
+            .copy_from_slice(&val.to_le_bytes()[..width.bytes() as usize]);
+        Ok(())
+    }
+}
+
+/// Architectural flags (the subset compilers branch on).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flags {
+    /// Zero flag.
+    pub zf: bool,
+    /// Sign flag.
+    pub sf: bool,
+    /// Carry flag.
+    pub cf: bool,
+    /// Overflow flag.
+    pub of: bool,
+}
+
+impl Flags {
+    /// Evaluates a condition code against these flags.
+    pub fn cond(&self, c: Cond) -> bool {
+        match c {
+            Cond::E => self.zf,
+            Cond::Ne => !self.zf,
+            Cond::L => self.sf != self.of,
+            Cond::Le => self.zf || self.sf != self.of,
+            Cond::G => !self.zf && self.sf == self.of,
+            Cond::Ge => self.sf == self.of,
+            Cond::B => self.cf,
+            Cond::Be => self.cf || self.zf,
+            Cond::A => !self.cf && !self.zf,
+            Cond::Ae => !self.cf,
+            Cond::S => self.sf,
+            Cond::Ns => !self.sf,
+        }
+    }
+}
+
+/// The architectural register state.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct RegFile {
+    gpr: [u64; 16],
+    xmm: [u128; 16],
+    /// `%gs` segment base (Segue's sandbox heap base).
+    pub gs_base: u64,
+    /// `%fs` segment base (conventionally TLS).
+    pub fs_base: u64,
+    /// MPK rights register.
+    pub pkru: u32,
+    /// Current flags.
+    pub flags: Flags,
+}
+
+
+impl RegFile {
+    /// Reads a general-purpose register (full 64 bits).
+    #[inline]
+    pub fn gpr(&self, r: Gpr) -> u64 {
+        self.gpr[r.index()]
+    }
+
+    /// Writes a general-purpose register (full 64 bits).
+    #[inline]
+    pub fn set_gpr(&mut self, r: Gpr, v: u64) {
+        self.gpr[r.index()] = v;
+    }
+
+    /// Writes a register at `width` with x86 merge semantics: 32-bit writes
+    /// zero the upper half; 8/16-bit writes merge into the low bits.
+    #[inline]
+    pub fn write_width(&mut self, r: Gpr, w: Width, v: u64) {
+        let slot = &mut self.gpr[r.index()];
+        *slot = match w {
+            Width::Q => v,
+            Width::D => v & 0xFFFF_FFFF,
+            Width::W => (*slot & !0xFFFF) | (v & 0xFFFF),
+            Width::B => (*slot & !0xFF) | (v & 0xFF),
+        };
+    }
+
+    /// Reads an XMM register.
+    #[inline]
+    pub fn xmm(&self, x: crate::Xmm) -> u128 {
+        self.xmm[x.index()]
+    }
+
+    /// Writes an XMM register.
+    #[inline]
+    pub fn set_xmm(&mut self, x: crate::Xmm, v: u128) {
+        self.xmm[x.index()] = v;
+    }
+
+    fn seg_base(&self, s: Seg) -> u64 {
+        match s {
+            Seg::Fs => self.fs_base,
+            Seg::Gs => self.gs_base,
+        }
+    }
+}
+
+/// A program paired with its encoded byte layout.
+#[derive(Debug, Clone)]
+pub struct Image {
+    program: Program,
+    encoded: Encoded,
+}
+
+impl Image {
+    /// Encodes `program` (with branch relaxation) and pairs it for execution.
+    pub fn load(program: Program) -> Result<Image, EncodeError> {
+        let encoded = encode_program(&program)?;
+        Ok(Image { program, encoded })
+    }
+
+    /// The program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The encoded bytes/offsets.
+    pub fn encoded(&self) -> &Encoded {
+        &self.encoded
+    }
+
+    /// Total code size in bytes.
+    pub fn code_size(&self) -> usize {
+        self.encoded.len()
+    }
+}
+
+/// Host-call handler: receives the host function id, registers and bus.
+///
+/// Returns the extra cycles the host work should be charged (e.g. a bulk
+/// `memory.copy` costs time proportional to its length).
+pub type HostHandler<'a, M> = dyn FnMut(u32, &mut RegFile, &mut M) -> Result<f64, Trap> + 'a;
+
+/// The emulator.
+///
+/// A `Machine` owns register state, caches, and a cost model. Caches stay
+/// warm across [`Machine::run_image`] calls; call [`Machine::reset_caches`]
+/// between unrelated measurements.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Architectural registers.
+    pub regs: RegFile,
+    /// The cycle cost model.
+    pub cost: CostModel,
+    icache: Cache,
+    dcache: Cache,
+    fuel: u64,
+    allow_system: bool,
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::new()
+    }
+}
+
+impl Machine {
+    /// A machine with default cost model and caches.
+    pub fn new() -> Machine {
+        Machine {
+            regs: RegFile::default(),
+            cost: CostModel::default(),
+            icache: Cache::l1i_default(),
+            dcache: Cache::l1d_default(),
+            fuel: 2_000_000_000,
+            allow_system: true,
+        }
+    }
+
+    /// A machine with a custom cost model.
+    pub fn with_cost(cost: CostModel) -> Machine {
+        Machine { cost, ..Machine::new() }
+    }
+
+    /// Sets the instruction budget for subsequent runs.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Forbids `wrpkru`/`wr*base` (models sandbox code, which must never
+    /// contain them — §3.2's "Wasm compilers control which instructions are
+    /// emitted").
+    pub fn forbid_system_instructions(&mut self) {
+        self.allow_system = false;
+    }
+
+    /// Reads a general-purpose register.
+    pub fn gpr(&self, r: Gpr) -> u64 {
+        self.regs.gpr(r)
+    }
+
+    /// Writes a general-purpose register.
+    pub fn set_gpr(&mut self, r: Gpr, v: u64) {
+        self.regs.set_gpr(r, v);
+    }
+
+    /// Invalidates both L1 caches (keeps their counters).
+    pub fn reset_caches(&mut self) {
+        self.icache.flush();
+        self.dcache.flush();
+    }
+
+    /// Shared reference to the data cache (for miss accounting).
+    pub fn dcache(&self) -> &Cache {
+        &self.dcache
+    }
+
+    /// Shared reference to the instruction cache.
+    pub fn icache(&self) -> &Cache {
+        &self.icache
+    }
+
+    /// Encodes and runs `program` from its first instruction with no host.
+    ///
+    /// Convenience wrapper over [`Image::load`] + [`Machine::run_image`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails to encode (unbound label, illegal
+    /// addressing mode) — these are compiler bugs, not runtime conditions.
+    pub fn run(&mut self, program: &Program, bus: &mut impl MemBus) -> Result<RunStats, Trap> {
+        let image = Image::load(program.clone()).expect("program must encode");
+        self.run_image(&image, bus)
+    }
+
+    /// Runs a pre-encoded image from instruction 0 with no host handler.
+    pub fn run_image(&mut self, image: &Image, bus: &mut impl MemBus) -> Result<RunStats, Trap> {
+        self.run_image_from(image, 0, bus, &mut |f, _, _| {
+            Err(Trap::BadControlFlow { target: u64::from(f) })
+        })
+    }
+
+    /// Runs a pre-encoded image with a host-call handler.
+    pub fn run_image_with_host<M: MemBus>(
+        &mut self,
+        image: &Image,
+        bus: &mut M,
+        host: &mut HostHandler<'_, M>,
+    ) -> Result<RunStats, Trap> {
+        self.run_image_from(image, 0, bus, host)
+    }
+
+    /// Runs a pre-encoded image starting at instruction index `entry`.
+    pub fn run_image_from<M: MemBus>(
+        &mut self,
+        image: &Image,
+        entry: usize,
+        bus: &mut M,
+        host: &mut HostHandler<'_, M>,
+    ) -> Result<RunStats, Trap> {
+        let prog = &image.program;
+        let insts = prog.insts();
+        let enc = &image.encoded;
+        let mut stats = RunStats::default();
+        let mut pc = entry;
+        let mut call_stack: Vec<usize> = Vec::with_capacity(64);
+        // 2-bit counters per instruction site (weakly taken initial state).
+        let mut predictor: Vec<u8> = vec![1; insts.len()];
+        let mut btb: HashMap<usize, usize> = HashMap::new();
+        let mut fuel = self.fuel;
+
+        macro_rules! ctx {
+            () => {
+                AccessCtx { pkru: self.regs.pkru }
+            };
+        }
+
+        while pc < insts.len() {
+            if fuel == 0 {
+                return Err(Trap::FuelExhausted);
+            }
+            fuel -= 1;
+
+            let inst = &insts[pc];
+            let ilen = enc.inst_len(pc);
+            stats.insts += 1;
+            stats.code_bytes_fetched += ilen as u64;
+            let mut cycles = self.cost.throughput_cycles(inst, ilen);
+            if !self.icache.access(u64::from(enc.offsets[pc])) {
+                stats.icache_misses += 1;
+                cycles += self.cost.icache_miss_cycles;
+            }
+
+            let mut next = pc + 1;
+            match *inst {
+                Inst::MovRR { dst, src, width } => {
+                    let v = width.mask(self.regs.gpr(src));
+                    self.regs.write_width(dst, width, v);
+                }
+                Inst::MovRI { dst, imm, width } => {
+                    self.regs.write_width(dst, width, imm as u64);
+                }
+                Inst::Load { dst, mem, width } => {
+                    cycles += self.load_latency();
+                    let ea = self.ea(&mem);
+                    cycles += self.data_access(&mut stats, ea, width.bytes());
+                    let v = bus.load(ea, width, ctx!())?;
+                    stats.loads += 1;
+                    // A 32-bit load zero-extends; 8/16-bit merge.
+                    if width == Width::D || width == Width::Q {
+                        self.regs.set_gpr(dst, width.mask(v));
+                    } else {
+                        self.regs.write_width(dst, width, v);
+                    }
+                }
+                Inst::LoadSx { dst, mem, width } => {
+                    cycles += self.load_latency();
+                    let ea = self.ea(&mem);
+                    cycles += self.data_access(&mut stats, ea, width.bytes());
+                    let v = bus.load(ea, width, ctx!())?;
+                    stats.loads += 1;
+                    self.regs.set_gpr(dst, width.sext(v));
+                }
+                Inst::LoadZx { dst, mem, width } => {
+                    cycles += self.load_latency();
+                    let ea = self.ea(&mem);
+                    cycles += self.data_access(&mut stats, ea, width.bytes());
+                    let v = bus.load(ea, width, ctx!())?;
+                    stats.loads += 1;
+                    self.regs.set_gpr(dst, width.mask(v));
+                }
+                Inst::Store { src, mem, width } => {
+                    let ea = self.ea(&mem);
+                    cycles += self.data_access(&mut stats, ea, width.bytes());
+                    bus.store(ea, width, width.mask(self.regs.gpr(src)), ctx!())?;
+                    stats.stores += 1;
+                }
+                Inst::StoreImm { imm, mem, width } => {
+                    let ea = self.ea(&mem);
+                    cycles += self.data_access(&mut stats, ea, width.bytes());
+                    bus.store(ea, width, width.mask(imm as i64 as u64), ctx!())?;
+                    stats.stores += 1;
+                }
+                Inst::Lea { dst, mem, width } => {
+                    // lea ignores the segment base; addr32 still truncates.
+                    let mut ea = mem.disp as i64 as u64;
+                    if let Some(b) = mem.base {
+                        ea = ea.wrapping_add(self.regs.gpr(b));
+                    }
+                    if let Some((i, s)) = mem.index {
+                        ea = ea.wrapping_add(self.regs.gpr(i).wrapping_mul(s.factor()));
+                    }
+                    if mem.addr32 {
+                        ea &= 0xFFFF_FFFF;
+                    }
+                    self.regs.write_width(dst, width, ea);
+                }
+                Inst::Movzx { dst, src, from } => {
+                    self.regs.set_gpr(dst, from.mask(self.regs.gpr(src)));
+                }
+                Inst::Movsx { dst, src, from } => {
+                    self.regs.set_gpr(dst, from.sext(self.regs.gpr(src)));
+                }
+                Inst::AluRR { op, dst, src, width } => {
+                    let a = width.mask(self.regs.gpr(dst));
+                    let b = width.mask(self.regs.gpr(src));
+                    let r = self.alu(op, a, b, width);
+                    if op.writes_dst() {
+                        self.regs.write_width(dst, width, r);
+                    }
+                }
+                Inst::AluRI { op, dst, imm, width } => {
+                    let a = width.mask(self.regs.gpr(dst));
+                    let b = width.mask(imm as i64 as u64);
+                    let r = self.alu(op, a, b, width);
+                    if op.writes_dst() {
+                        self.regs.write_width(dst, width, r);
+                    }
+                }
+                Inst::AluRM { op, dst, mem, width } => {
+                    cycles += self.load_latency();
+                    let ea = self.ea(&mem);
+                    cycles += self.data_access(&mut stats, ea, width.bytes());
+                    let b = bus.load(ea, width, ctx!())?;
+                    stats.loads += 1;
+                    let a = width.mask(self.regs.gpr(dst));
+                    let r = self.alu(op, a, width.mask(b), width);
+                    if op.writes_dst() {
+                        self.regs.write_width(dst, width, r);
+                    }
+                }
+                Inst::TestRR { a, b, width } => {
+                    let x = width.mask(self.regs.gpr(a)) & width.mask(self.regs.gpr(b));
+                    self.regs.flags = Flags {
+                        zf: x == 0,
+                        sf: x >> width.sign_bit() & 1 == 1,
+                        cf: false,
+                        of: false,
+                    };
+                }
+                Inst::Imul { dst, src, width } => {
+                    let r = width
+                        .mask(self.regs.gpr(dst))
+                        .wrapping_mul(width.mask(self.regs.gpr(src)));
+                    self.regs.write_width(dst, width, width.mask(r));
+                }
+                Inst::ImulRRI { dst, src, imm, width } => {
+                    let r = width.mask(self.regs.gpr(src)).wrapping_mul(width.mask(imm as i64 as u64));
+                    self.regs.write_width(dst, width, width.mask(r));
+                }
+                Inst::Div { src, width, signed } => {
+                    self.div(src, width, signed)?;
+                }
+                Inst::Cdq { width } => {
+                    let a = width.mask(self.regs.gpr(Gpr::Rax));
+                    let sign = a >> width.sign_bit() & 1 == 1;
+                    let v = if sign { width.mask(u64::MAX) } else { 0 };
+                    self.regs.write_width(Gpr::Rdx, width, v);
+                }
+                Inst::Shift { op, dst, amount, width } => {
+                    let n = match amount {
+                        ShiftAmount::Imm(i) => u32::from(i),
+                        ShiftAmount::Cl => (self.regs.gpr(Gpr::Rcx) & 0xFF) as u32,
+                    };
+                    let bits = width.bytes() as u32 * 8;
+                    let n = n & (bits - 1);
+                    let a = width.mask(self.regs.gpr(dst));
+                    let r = match op {
+                        ShiftOp::Shl => a.wrapping_shl(n),
+                        ShiftOp::Shr => a.wrapping_shr(n),
+                        ShiftOp::Sar => (width.sext(a) as i64).wrapping_shr(n) as u64,
+                        ShiftOp::Rol => {
+                            if n == 0 {
+                                a
+                            } else {
+                                (a << n | a >> (bits - n)) & width.mask(u64::MAX)
+                            }
+                        }
+                        ShiftOp::Ror => {
+                            if n == 0 {
+                                a
+                            } else {
+                                (a >> n | a << (bits - n)) & width.mask(u64::MAX)
+                            }
+                        }
+                    };
+                    let r = width.mask(r);
+                    self.regs.write_width(dst, width, r);
+                    if n != 0 {
+                        self.regs.flags.zf = r == 0;
+                        self.regs.flags.sf = r >> width.sign_bit() & 1 == 1;
+                    }
+                }
+                Inst::Neg { dst, width } => {
+                    let a = width.mask(self.regs.gpr(dst));
+                    let r = self.alu(AluOp::Sub, 0, a, width);
+                    self.regs.write_width(dst, width, r);
+                }
+                Inst::Not { dst, width } => {
+                    let a = width.mask(self.regs.gpr(dst));
+                    self.regs.write_width(dst, width, width.mask(!a));
+                }
+                Inst::Cmov { cond, dst, src, width } => {
+                    if self.regs.flags.cond(cond) {
+                        let v = width.mask(self.regs.gpr(src));
+                        self.regs.write_width(dst, width, v);
+                    } else if width == Width::D {
+                        // cmov always writes in 32-bit form (zeroes upper).
+                        let v = width.mask(self.regs.gpr(dst));
+                        self.regs.set_gpr(dst, v);
+                    }
+                }
+                Inst::Setcc { cond, dst } => {
+                    let v = u64::from(self.regs.flags.cond(cond));
+                    self.regs.set_gpr(dst, v);
+                }
+                Inst::Jmp { target } => {
+                    next = self.resolve(prog, target)?;
+                    cycles += self.cost.taken_branch_cycles;
+                }
+                Inst::Jcc { cond, target } => {
+                    stats.branches += 1;
+                    let taken = self.regs.flags.cond(cond);
+                    let ctr = &mut predictor[pc];
+                    let predicted_taken = *ctr >= 2;
+                    if predicted_taken != taken {
+                        stats.branch_misses += 1;
+                        cycles += self.cost.branch_miss_cycles;
+                    }
+                    *ctr = match (taken, *ctr) {
+                        (true, c) if c < 3 => c + 1,
+                        (false, c) if c > 0 => c - 1,
+                        (_, c) => c,
+                    };
+                    if taken {
+                        next = self.resolve(prog, target)?;
+                        cycles += self.cost.taken_branch_cycles;
+                    }
+                }
+                Inst::JmpReg { reg } => {
+                    stats.branches += 1;
+                    let t = self.regs.gpr(reg) as usize;
+                    if t >= insts.len() {
+                        return Err(Trap::BadControlFlow { target: t as u64 });
+                    }
+                    if btb.insert(pc, t) != Some(t) {
+                        stats.branch_misses += 1;
+                        cycles += self.cost.branch_miss_cycles;
+                    }
+                    next = t;
+                    cycles += self.cost.taken_branch_cycles;
+                }
+                Inst::Call { target } => {
+                    call_stack.push(pc + 1);
+                    next = self.resolve(prog, target)?;
+                    cycles += self.cost.taken_branch_cycles;
+                }
+                Inst::CallReg { reg } => {
+                    stats.branches += 1;
+                    let t = self.regs.gpr(reg) as usize;
+                    if t >= insts.len() {
+                        return Err(Trap::BadControlFlow { target: t as u64 });
+                    }
+                    if btb.insert(pc, t) != Some(t) {
+                        stats.branch_misses += 1;
+                        cycles += self.cost.branch_miss_cycles;
+                    }
+                    call_stack.push(pc + 1);
+                    next = t;
+                    cycles += self.cost.taken_branch_cycles;
+                }
+                Inst::CallHost { func } => {
+                    stats.host_calls += 1;
+                    cycles += host(func, &mut self.regs, bus)?;
+                }
+                Inst::Ret => match call_stack.pop() {
+                    Some(ra) => {
+                        next = ra;
+                        cycles += self.cost.taken_branch_cycles;
+                    }
+                    None => {
+                        stats.cycles += cycles;
+                        return Ok(stats);
+                    }
+                },
+                Inst::Push { reg } => {
+                    let sp = self.regs.gpr(Gpr::Rsp).wrapping_sub(8);
+                    self.regs.set_gpr(Gpr::Rsp, sp);
+                    cycles += self.data_access(&mut stats, sp, 8);
+                    bus.store(sp, Width::Q, self.regs.gpr(reg), ctx!())?;
+                    stats.stores += 1;
+                }
+                Inst::Pop { reg } => {
+                    cycles += self.load_latency();
+                    let sp = self.regs.gpr(Gpr::Rsp);
+                    cycles += self.data_access(&mut stats, sp, 8);
+                    let v = bus.load(sp, Width::Q, ctx!())?;
+                    stats.loads += 1;
+                    self.regs.set_gpr(reg, v);
+                    self.regs.set_gpr(Gpr::Rsp, sp.wrapping_add(8));
+                }
+                Inst::MovdquLoad { dst, mem } => {
+                    cycles += self.load_latency();
+                    let ea = self.ea(&mem);
+                    cycles += self.data_access(&mut stats, ea, 16);
+                    let v = bus.load128(ea, ctx!())?;
+                    stats.loads += 1;
+                    self.regs.set_xmm(dst, v);
+                }
+                Inst::MovdquStore { src, mem } => {
+                    let ea = self.ea(&mem);
+                    cycles += self.data_access(&mut stats, ea, 16);
+                    bus.store128(ea, self.regs.xmm(src), ctx!())?;
+                    stats.stores += 1;
+                }
+                Inst::MovdqaRR { dst, src } => {
+                    let v = self.regs.xmm(src);
+                    self.regs.set_xmm(dst, v);
+                }
+                Inst::WrGsBase { src } => {
+                    if !self.allow_system {
+                        return Err(Trap::PrivilegedInstruction);
+                    }
+                    self.regs.gs_base = self.regs.gpr(src);
+                }
+                Inst::RdGsBase { dst } => {
+                    let v = self.regs.gs_base;
+                    self.regs.set_gpr(dst, v);
+                }
+                Inst::WrFsBase { src } => {
+                    if !self.allow_system {
+                        return Err(Trap::PrivilegedInstruction);
+                    }
+                    self.regs.fs_base = self.regs.gpr(src);
+                }
+                Inst::WrPkru => {
+                    if !self.allow_system {
+                        return Err(Trap::PrivilegedInstruction);
+                    }
+                    self.regs.pkru = self.regs.gpr(Gpr::Rax) as u32;
+                }
+                Inst::RdPkru => {
+                    let v = u64::from(self.regs.pkru);
+                    self.regs.set_gpr(Gpr::Rax, v);
+                }
+                Inst::Ud2 => return Err(Trap::Undefined),
+                Inst::Nop => {}
+            }
+            cycles += self.cost.serial_cycles(inst);
+            stats.cycles += cycles;
+            pc = next;
+        }
+        Ok(stats)
+    }
+
+    #[inline]
+    fn ea(&self, mem: &crate::Mem) -> u64 {
+        mem.effective_addr(|r| self.regs.gpr(r), |s| self.regs.seg_base(s))
+    }
+
+    #[inline]
+    fn data_access(&mut self, stats: &mut RunStats, ea: u64, len: u64) -> f64 {
+        let misses = self.dcache.access_range(ea, len);
+        stats.dcache_misses += u64::from(misses);
+        f64::from(misses) * self.cost.dcache_miss_cycles
+    }
+
+    /// Exposed-latency charge for load-like instructions.
+    #[inline]
+    fn load_latency(&self) -> f64 {
+        self.cost.load_cycles
+    }
+
+    fn resolve(&self, prog: &Program, target: crate::Label) -> Result<usize, Trap> {
+        prog.resolve(target).ok_or(Trap::BadControlFlow { target: u64::from(target.0) })
+    }
+
+    fn alu(&mut self, op: AluOp, a: u64, b: u64, width: Width) -> u64 {
+        let sign = width.sign_bit();
+        let (r, cf, of) = match op {
+            AluOp::Add => {
+                let r = width.mask(a.wrapping_add(b));
+                let cf = r < a;
+                let of = ((a ^ r) & (b ^ r)) >> sign & 1 == 1;
+                (r, cf, of)
+            }
+            AluOp::Sub | AluOp::Cmp => {
+                let r = width.mask(a.wrapping_sub(b));
+                let cf = a < b;
+                let of = ((a ^ b) & (a ^ r)) >> sign & 1 == 1;
+                (r, cf, of)
+            }
+            AluOp::And => (a & b, false, false),
+            AluOp::Or => (a | b, false, false),
+            AluOp::Xor => (a ^ b, false, false),
+        };
+        self.regs.flags =
+            Flags { zf: r == 0, sf: r >> sign & 1 == 1, cf, of };
+        r
+    }
+
+    fn div(&mut self, src: Gpr, width: Width, signed: bool) -> Result<(), Trap> {
+        let d = width.mask(self.regs.gpr(src));
+        if d == 0 {
+            return Err(Trap::DivideError);
+        }
+        match width {
+            Width::Q => {
+                let lo = self.regs.gpr(Gpr::Rax) as u128;
+                let hi = self.regs.gpr(Gpr::Rdx) as u128;
+                let dividend = (hi << 64) | lo;
+                if signed {
+                    let dividend = dividend as i128;
+                    let divisor = self.regs.gpr(src) as i64 as i128;
+                    let q = dividend / divisor;
+                    let r = dividend % divisor;
+                    if q > i64::MAX as i128 || q < i64::MIN as i128 {
+                        return Err(Trap::DivideError);
+                    }
+                    self.regs.set_gpr(Gpr::Rax, q as u64);
+                    self.regs.set_gpr(Gpr::Rdx, r as u64);
+                } else {
+                    let divisor = self.regs.gpr(src) as u128;
+                    let q = dividend / divisor;
+                    if q > u64::MAX as u128 {
+                        return Err(Trap::DivideError);
+                    }
+                    self.regs.set_gpr(Gpr::Rax, q as u64);
+                    self.regs.set_gpr(Gpr::Rdx, (dividend % divisor) as u64);
+                }
+            }
+            _ => {
+                let bits = width.bytes() as u32 * 8;
+                let lo = width.mask(self.regs.gpr(Gpr::Rax));
+                let hi = width.mask(self.regs.gpr(Gpr::Rdx));
+                let dividend = (u128::from(hi) << bits) | u128::from(lo);
+                if signed {
+                    let shift = 128 - 2 * bits;
+                    let dividend = ((dividend << shift) as i128) >> shift;
+                    let divisor = i128::from(width.sext(d) as i64);
+                    let q = dividend / divisor;
+                    let r = dividend % divisor;
+                    let min = -(1i128 << (bits - 1));
+                    let max = (1i128 << (bits - 1)) - 1;
+                    if q < min || q > max {
+                        return Err(Trap::DivideError);
+                    }
+                    self.regs.write_width(Gpr::Rax, width, width.mask(q as u64));
+                    self.regs.write_width(Gpr::Rdx, width, width.mask(r as u64));
+                } else {
+                    let divisor = u128::from(d);
+                    let q = dividend / divisor;
+                    if q >> bits != 0 {
+                        return Err(Trap::DivideError);
+                    }
+                    self.regs.write_width(Gpr::Rax, width, q as u64);
+                    self.regs.write_width(Gpr::Rdx, width, (dividend % divisor) as u64);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mem;
+
+    fn run_prog(p: &Program, mem_size: usize) -> (Machine, FlatMemory, RunStats) {
+        let mut mem = FlatMemory::new(mem_size);
+        let mut m = Machine::new();
+        let image = Image::load(p.clone()).unwrap();
+        let stats = m.run_image(&image, &mut mem).unwrap();
+        (m, mem, stats)
+    }
+
+    #[test]
+    fn mov_and_alu() {
+        let mut p = Program::new();
+        p.push(Inst::MovRI { dst: Gpr::Rax, imm: 40, width: Width::Q });
+        p.push(Inst::MovRI { dst: Gpr::Rbx, imm: 2, width: Width::Q });
+        p.push(Inst::AluRR { op: AluOp::Add, dst: Gpr::Rax, src: Gpr::Rbx, width: Width::Q });
+        p.push(Inst::Ret);
+        let (m, _, stats) = run_prog(&p, 64);
+        assert_eq!(m.gpr(Gpr::Rax), 42);
+        assert_eq!(stats.insts, 4);
+        assert!(stats.cycles > 0.0);
+    }
+
+    #[test]
+    fn thirty_two_bit_writes_zero_extend() {
+        let mut p = Program::new();
+        p.push(Inst::MovRI { dst: Gpr::Rax, imm: -1, width: Width::Q });
+        p.push(Inst::AluRI { op: AluOp::Add, dst: Gpr::Rax, imm: 1, width: Width::D });
+        p.push(Inst::Ret);
+        let (m, _, _) = run_prog(&p, 64);
+        assert_eq!(m.gpr(Gpr::Rax), 0, "32-bit add must zero the upper half");
+    }
+
+    #[test]
+    fn loop_counts_and_branch_prediction_warms_up() {
+        // for (rcx = 100; rcx != 0; rcx--) {}
+        let mut p = Program::new();
+        p.push(Inst::MovRI { dst: Gpr::Rcx, imm: 100, width: Width::Q });
+        let top = p.here();
+        p.push(Inst::AluRI { op: AluOp::Sub, dst: Gpr::Rcx, imm: 1, width: Width::Q });
+        p.push(Inst::Jcc { cond: Cond::Ne, target: top });
+        p.push(Inst::Ret);
+        let (_, _, stats) = run_prog(&p, 64);
+        assert_eq!(stats.insts, 1 + 200 + 1);
+        assert_eq!(stats.branches, 100);
+        assert!(stats.branch_misses <= 3, "predictor should saturate: {}", stats.branch_misses);
+    }
+
+    #[test]
+    fn segment_relative_load_uses_gs_base() {
+        let mut p = Program::new();
+        // gs:[ebx] with gs_base = 0x100, rbx = 8 → address 0x108.
+        p.push(Inst::Load {
+            dst: Gpr::Rax,
+            mem: Mem::base(Gpr::Rbx).with_seg(Seg::Gs).with_addr32(),
+            width: Width::Q,
+        });
+        p.push(Inst::Ret);
+        let mut mem = FlatMemory::new(0x200);
+        mem.bytes_mut()[0x108..0x110].copy_from_slice(&0xDEADu64.to_le_bytes());
+        let mut m = Machine::new();
+        m.regs.gs_base = 0x100;
+        m.set_gpr(Gpr::Rbx, 8);
+        let image = Image::load(p).unwrap();
+        m.run_image(&image, &mut mem).unwrap();
+        assert_eq!(m.gpr(Gpr::Rax), 0xDEAD);
+    }
+
+    #[test]
+    fn addr32_wraps_index_before_gs() {
+        let mut p = Program::new();
+        p.push(Inst::Load {
+            dst: Gpr::Rax,
+            mem: Mem::base_disp(Gpr::Rbx, 0x10).with_seg(Seg::Gs).with_addr32(),
+            width: Width::B,
+        });
+        p.push(Inst::Ret);
+        let mut mem = FlatMemory::new(0x200);
+        mem.bytes_mut()[0x100 + 0x0F] = 0x77;
+        let mut m = Machine::new();
+        m.regs.gs_base = 0x100;
+        // rbx = 2^32 - 1; (rbx + 0x10) mod 2^32 = 0xF.
+        m.set_gpr(Gpr::Rbx, 0xFFFF_FFFF);
+        let image = Image::load(p).unwrap();
+        m.run_image(&image, &mut mem).unwrap();
+        assert_eq!(m.gpr(Gpr::Rax) & 0xFF, 0x77);
+    }
+
+    #[test]
+    fn division_signed_and_unsigned() {
+        let mut p = Program::new();
+        p.push(Inst::MovRI { dst: Gpr::Rax, imm: -7, width: Width::Q });
+        p.push(Inst::MovRI { dst: Gpr::Rbx, imm: 2, width: Width::Q });
+        p.push(Inst::Cdq { width: Width::Q });
+        p.push(Inst::Div { src: Gpr::Rbx, width: Width::Q, signed: true });
+        p.push(Inst::Ret);
+        let (m, _, _) = run_prog(&p, 64);
+        assert_eq!(m.gpr(Gpr::Rax) as i64, -3);
+        assert_eq!(m.gpr(Gpr::Rdx) as i64, -1);
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut p = Program::new();
+        p.push(Inst::MovRI { dst: Gpr::Rax, imm: 1, width: Width::D });
+        p.push(Inst::MovRI { dst: Gpr::Rdx, imm: 0, width: Width::D });
+        p.push(Inst::MovRI { dst: Gpr::Rbx, imm: 0, width: Width::D });
+        p.push(Inst::Div { src: Gpr::Rbx, width: Width::D, signed: false });
+        p.push(Inst::Ret);
+        let mut mem = FlatMemory::new(64);
+        let mut m = Machine::new();
+        let image = Image::load(p).unwrap();
+        assert_eq!(m.run_image(&image, &mut mem), Err(Trap::DivideError));
+    }
+
+    #[test]
+    fn div32_uses_edx_eax() {
+        let mut p = Program::new();
+        p.push(Inst::MovRI { dst: Gpr::Rax, imm: 100, width: Width::D });
+        p.push(Inst::MovRI { dst: Gpr::Rdx, imm: 0, width: Width::D });
+        p.push(Inst::MovRI { dst: Gpr::Rbx, imm: 7, width: Width::D });
+        p.push(Inst::Div { src: Gpr::Rbx, width: Width::D, signed: false });
+        p.push(Inst::Ret);
+        let (m, _, _) = run_prog(&p, 64);
+        assert_eq!(m.gpr(Gpr::Rax), 14);
+        assert_eq!(m.gpr(Gpr::Rdx), 2);
+    }
+
+    #[test]
+    fn ud2_traps() {
+        let mut p = Program::new();
+        p.push(Inst::Ud2);
+        let mut mem = FlatMemory::new(64);
+        let mut m = Machine::new();
+        let image = Image::load(p).unwrap();
+        assert_eq!(m.run_image(&image, &mut mem), Err(Trap::Undefined));
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let mut p = Program::new();
+        let f = p.fresh_label();
+        p.push(Inst::Call { target: f });
+        p.push(Inst::AluRI { op: AluOp::Add, dst: Gpr::Rax, imm: 1, width: Width::Q });
+        p.push(Inst::Ret); // outer return
+        p.bind(f);
+        p.push(Inst::MovRI { dst: Gpr::Rax, imm: 10, width: Width::Q });
+        p.push(Inst::Ret);
+        let (m, _, _) = run_prog(&p, 64);
+        assert_eq!(m.gpr(Gpr::Rax), 11);
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let mut p = Program::new();
+        p.push(Inst::MovRI { dst: Gpr::Rsp, imm: 64, width: Width::Q });
+        p.push(Inst::MovRI { dst: Gpr::Rax, imm: 0x1234, width: Width::Q });
+        p.push(Inst::Push { reg: Gpr::Rax });
+        p.push(Inst::MovRI { dst: Gpr::Rax, imm: 0, width: Width::Q });
+        p.push(Inst::Pop { reg: Gpr::Rbx });
+        p.push(Inst::Ret);
+        let (m, _, _) = run_prog(&p, 128);
+        assert_eq!(m.gpr(Gpr::Rbx), 0x1234);
+        assert_eq!(m.gpr(Gpr::Rsp), 64);
+    }
+
+    #[test]
+    fn host_calls_are_dispatched() {
+        let mut p = Program::new();
+        p.push(Inst::CallHost { func: 7 });
+        p.push(Inst::Ret);
+        let mut mem = FlatMemory::new(64);
+        let mut m = Machine::new();
+        let image = Image::load(p).unwrap();
+        let mut seen = Vec::new();
+        let stats = m
+            .run_image_with_host(&image, &mut mem, &mut |f, regs, _| {
+                seen.push(f);
+                regs.set_gpr(Gpr::Rax, 99);
+                Ok(0.0)
+            })
+            .unwrap();
+        assert_eq!(seen, vec![7]);
+        assert_eq!(m.gpr(Gpr::Rax), 99);
+        assert_eq!(stats.host_calls, 1);
+    }
+
+    #[test]
+    fn forbidden_system_instructions_trap() {
+        let mut p = Program::new();
+        p.push(Inst::WrPkru);
+        p.push(Inst::Ret);
+        let mut mem = FlatMemory::new(64);
+        let mut m = Machine::new();
+        m.forbid_system_instructions();
+        let image = Image::load(p).unwrap();
+        assert_eq!(m.run_image(&image, &mut mem), Err(Trap::PrivilegedInstruction));
+    }
+
+    #[test]
+    fn wrpkru_updates_pkru_and_costs_cycles() {
+        let mut p = Program::new();
+        p.push(Inst::MovRI { dst: Gpr::Rax, imm: 0b1100, width: Width::D });
+        p.push(Inst::Ret);
+        let mut pk = Program::new();
+        pk.push(Inst::MovRI { dst: Gpr::Rax, imm: 0b1100, width: Width::D });
+        pk.push(Inst::WrPkru);
+        pk.push(Inst::Ret);
+        let (_, _, s_plain) = run_prog(&p, 64);
+        let (m, _, s_pkru) = run_prog(&pk, 64);
+        assert_eq!(m.regs.pkru, 0b1100);
+        let delta = s_pkru.cycles - s_plain.cycles;
+        assert!(delta >= CostModel::default().wrpkru_cycles, "wrpkru must be expensive: {delta}");
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let mut p = Program::new();
+        let top = p.here();
+        p.push(Inst::Jmp { target: top });
+        let mut mem = FlatMemory::new(64);
+        let mut m = Machine::new();
+        m.set_fuel(1000);
+        let image = Image::load(p).unwrap();
+        assert_eq!(m.run_image(&image, &mut mem), Err(Trap::FuelExhausted));
+    }
+
+    #[test]
+    fn indirect_jump_via_register() {
+        let mut p = Program::new();
+        p.push(Inst::MovRI { dst: Gpr::Rax, imm: 3, width: Width::Q }); // 0
+        p.push(Inst::JmpReg { reg: Gpr::Rax }); // 1
+        p.push(Inst::Ud2); // 2 — skipped
+        p.push(Inst::MovRI { dst: Gpr::Rbx, imm: 5, width: Width::Q }); // 3
+        p.push(Inst::Ret); // 4
+        let (m, _, _) = run_prog(&p, 64);
+        assert_eq!(m.gpr(Gpr::Rbx), 5);
+    }
+
+    #[test]
+    fn indirect_jump_out_of_range_traps() {
+        let mut p = Program::new();
+        p.push(Inst::MovRI { dst: Gpr::Rax, imm: 1000, width: Width::Q });
+        p.push(Inst::JmpReg { reg: Gpr::Rax });
+        let mut mem = FlatMemory::new(64);
+        let mut m = Machine::new();
+        let image = Image::load(p).unwrap();
+        assert!(matches!(
+            m.run_image(&image, &mut mem),
+            Err(Trap::BadControlFlow { target: 1000 })
+        ));
+    }
+
+    #[test]
+    fn simd_roundtrip() {
+        let mut p = Program::new();
+        p.push(Inst::MovdquLoad { dst: crate::Xmm(0), mem: Mem::abs(0x10) });
+        p.push(Inst::MovdqaRR { dst: crate::Xmm(1), src: crate::Xmm(0) });
+        p.push(Inst::MovdquStore { src: crate::Xmm(1), mem: Mem::abs(0x30) });
+        p.push(Inst::Ret);
+        let mut mem = FlatMemory::new(0x100);
+        for i in 0..16 {
+            mem.bytes_mut()[0x10 + i] = i as u8;
+        }
+        let mut m = Machine::new();
+        let image = Image::load(p).unwrap();
+        m.run_image(&image, &mut mem).unwrap();
+        assert_eq!(&mem.bytes()[0x30..0x40], &(0..16).map(|i| i as u8).collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    fn dcache_misses_counted() {
+        // Stride through 256 KiB — guaranteed misses with a 48 KiB L1D.
+        let mut p = Program::new();
+        p.push(Inst::MovRI { dst: Gpr::Rcx, imm: 4096, width: Width::Q });
+        p.push(Inst::MovRI { dst: Gpr::Rbx, imm: 0, width: Width::Q });
+        let top = p.here();
+        p.push(Inst::Load {
+            dst: Gpr::Rax,
+            mem: Mem::base(Gpr::Rbx),
+            width: Width::Q,
+        });
+        p.push(Inst::AluRI { op: AluOp::Add, dst: Gpr::Rbx, imm: 64, width: Width::Q });
+        p.push(Inst::AluRI { op: AluOp::Sub, dst: Gpr::Rcx, imm: 1, width: Width::Q });
+        p.push(Inst::Jcc { cond: Cond::Ne, target: top });
+        p.push(Inst::Ret);
+        let (_, _, stats) = run_prog(&p, 4096 * 64);
+        assert_eq!(stats.loads, 4096);
+        assert!(stats.dcache_misses >= 4000, "cold strides must miss: {}", stats.dcache_misses);
+    }
+
+    #[test]
+    fn cmov_and_setcc() {
+        let mut p = Program::new();
+        p.push(Inst::MovRI { dst: Gpr::Rax, imm: 5, width: Width::Q });
+        p.push(Inst::MovRI { dst: Gpr::Rbx, imm: 9, width: Width::Q });
+        p.push(Inst::AluRR { op: AluOp::Cmp, dst: Gpr::Rax, src: Gpr::Rbx, width: Width::Q });
+        p.push(Inst::Cmov { cond: Cond::L, dst: Gpr::Rax, src: Gpr::Rbx, width: Width::Q });
+        p.push(Inst::Setcc { cond: Cond::L, dst: Gpr::Rcx });
+        p.push(Inst::Ret);
+        let (m, _, _) = run_prog(&p, 64);
+        assert_eq!(m.gpr(Gpr::Rax), 9);
+        assert_eq!(m.gpr(Gpr::Rcx), 1);
+    }
+
+    #[test]
+    fn flags_unsigned_compare() {
+        let mut p = Program::new();
+        p.push(Inst::MovRI { dst: Gpr::Rax, imm: 1, width: Width::Q });
+        p.push(Inst::MovRI { dst: Gpr::Rbx, imm: -1, width: Width::Q }); // u64::MAX
+        p.push(Inst::AluRR { op: AluOp::Cmp, dst: Gpr::Rax, src: Gpr::Rbx, width: Width::Q });
+        p.push(Inst::Setcc { cond: Cond::B, dst: Gpr::Rcx }); // 1 < MAX unsigned
+        p.push(Inst::Setcc { cond: Cond::G, dst: Gpr::Rdx }); // 1 > -1 signed
+        p.push(Inst::Ret);
+        let (m, _, _) = run_prog(&p, 64);
+        assert_eq!(m.gpr(Gpr::Rcx), 1);
+        assert_eq!(m.gpr(Gpr::Rdx), 1);
+    }
+}

@@ -1,0 +1,514 @@
+//! The instruction set.
+
+use crate::{Gpr, Label, Mem, Xmm};
+
+/// Operand width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Width {
+    /// 8 bits.
+    B,
+    /// 16 bits.
+    W,
+    /// 32 bits. Writes to a 32-bit register zero the upper 32 bits — the
+    /// property Wasm/SFI compilers exploit for free zero-extension.
+    D,
+    /// 64 bits.
+    Q,
+}
+
+impl Width {
+    /// Width in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            Width::B => 1,
+            Width::W => 2,
+            Width::D => 4,
+            Width::Q => 8,
+        }
+    }
+
+    /// Masks `v` to this width (zero-extension).
+    #[inline]
+    pub const fn mask(self, v: u64) -> u64 {
+        match self {
+            Width::B => v & 0xFF,
+            Width::W => v & 0xFFFF,
+            Width::D => v & 0xFFFF_FFFF,
+            Width::Q => v,
+        }
+    }
+
+    /// Sign-extends the low bits of `v` at this width to 64 bits.
+    #[inline]
+    pub const fn sext(self, v: u64) -> u64 {
+        match self {
+            Width::B => v as u8 as i8 as i64 as u64,
+            Width::W => v as u16 as i16 as i64 as u64,
+            Width::D => v as u32 as i32 as i64 as u64,
+            Width::Q => v,
+        }
+    }
+
+    /// The sign bit position (7, 15, 31 or 63).
+    #[inline]
+    pub const fn sign_bit(self) -> u32 {
+        (self.bytes() as u32) * 8 - 1
+    }
+}
+
+/// Two-operand ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    /// `cmp`: computes `dst - src` for flags only; `dst` is not written.
+    Cmp,
+}
+
+impl AluOp {
+    /// Whether this operation writes its destination.
+    #[inline]
+    pub const fn writes_dst(self) -> bool {
+        !matches!(self, AluOp::Cmp)
+    }
+
+    /// Mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Cmp => "cmp",
+        }
+    }
+}
+
+/// Shift operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ShiftOp {
+    Shl,
+    Shr,
+    Sar,
+    Rol,
+    Ror,
+}
+
+impl ShiftOp {
+    /// Mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftOp::Shl => "shl",
+            ShiftOp::Shr => "shr",
+            ShiftOp::Sar => "sar",
+            ShiftOp::Rol => "rol",
+            ShiftOp::Ror => "ror",
+        }
+    }
+}
+
+/// A shift amount: immediate or the `%cl` register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftAmount {
+    /// Immediate count (masked to the operand width at execution).
+    Imm(u8),
+    /// Count taken from `%cl`.
+    Cl,
+}
+
+/// Condition codes (subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Cond {
+    /// ZF=1 (`je`)
+    E,
+    /// ZF=0 (`jne`)
+    Ne,
+    /// signed less (`jl`)
+    L,
+    /// signed less-or-equal (`jle`)
+    Le,
+    /// signed greater (`jg`)
+    G,
+    /// signed greater-or-equal (`jge`)
+    Ge,
+    /// unsigned below (`jb`)
+    B,
+    /// unsigned below-or-equal (`jbe`)
+    Be,
+    /// unsigned above (`ja`)
+    A,
+    /// unsigned above-or-equal (`jae`)
+    Ae,
+    /// SF=1 (`js`)
+    S,
+    /// SF=0 (`jns`)
+    Ns,
+}
+
+impl Cond {
+    /// Mnemonic suffix (`e`, `ne`, `l`, …).
+    pub const fn suffix(self) -> &'static str {
+        match self {
+            Cond::E => "e",
+            Cond::Ne => "ne",
+            Cond::L => "l",
+            Cond::Le => "le",
+            Cond::G => "g",
+            Cond::Ge => "ge",
+            Cond::B => "b",
+            Cond::Be => "be",
+            Cond::A => "a",
+            Cond::Ae => "ae",
+            Cond::S => "s",
+            Cond::Ns => "ns",
+        }
+    }
+
+    /// The negated condition.
+    pub const fn negate(self) -> Cond {
+        match self {
+            Cond::E => Cond::Ne,
+            Cond::Ne => Cond::E,
+            Cond::L => Cond::Ge,
+            Cond::Le => Cond::G,
+            Cond::G => Cond::Le,
+            Cond::Ge => Cond::L,
+            Cond::B => Cond::Ae,
+            Cond::Be => Cond::A,
+            Cond::A => Cond::Be,
+            Cond::Ae => Cond::B,
+            Cond::S => Cond::Ns,
+            Cond::Ns => Cond::S,
+        }
+    }
+}
+
+/// One x86-64 instruction (or model pseudo-instruction).
+///
+/// Control-flow targets are [`Label`]s resolved by the containing
+/// [`crate::Program`]; indirect targets ([`Inst::JmpReg`], [`Inst::CallReg`])
+/// hold *instruction indices* in the emulator's code-address model, while the
+/// [`crate::encode`] module still assigns every instruction a byte-accurate
+/// length for size and i-cache accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Inst {
+    // ---- data movement ----
+    /// `mov dst, src`
+    MovRR { dst: Gpr, src: Gpr, width: Width },
+    /// `mov dst, imm`
+    MovRI { dst: Gpr, imm: i64, width: Width },
+    /// `mov dst, [mem]` — a 32-bit load zero-extends.
+    Load { dst: Gpr, mem: Mem, width: Width },
+    /// `movsx dst, <width> [mem]` — sign-extending load to 64 bits.
+    LoadSx { dst: Gpr, mem: Mem, width: Width },
+    /// `movzx dst, <width> [mem]` — zero-extending 8/16-bit load (what Wasm
+    /// compilers emit for `i32.load8_u`/`i32.load16_u`).
+    LoadZx { dst: Gpr, mem: Mem, width: Width },
+    /// `mov [mem], src`
+    Store { src: Gpr, mem: Mem, width: Width },
+    /// `mov <width> [mem], imm`
+    StoreImm { imm: i32, mem: Mem, width: Width },
+    /// `lea dst, [mem]` — with `width == D` this is the 32-bit `lea` that
+    /// wraps modulo 2³² and zero-extends (e.g. `lea edi, [ecx+edx*4+8]`).
+    Lea { dst: Gpr, mem: Mem, width: Width },
+    /// `movzx dst, src<from>` (register form).
+    Movzx { dst: Gpr, src: Gpr, from: Width },
+    /// `movsx dst, src<from>` (register form, to 64 bits).
+    Movsx { dst: Gpr, src: Gpr, from: Width },
+
+    // ---- ALU ----
+    /// `op dst, src`
+    AluRR { op: AluOp, dst: Gpr, src: Gpr, width: Width },
+    /// `op dst, imm`
+    AluRI { op: AluOp, dst: Gpr, imm: i32, width: Width },
+    /// `op dst, [mem]` — ALU with a memory source operand.
+    AluRM { op: AluOp, dst: Gpr, mem: Mem, width: Width },
+    /// `test a, b`
+    TestRR { a: Gpr, b: Gpr, width: Width },
+    /// `imul dst, src`
+    Imul { dst: Gpr, src: Gpr, width: Width },
+    /// `imul dst, src, imm`
+    ImulRRI { dst: Gpr, src: Gpr, imm: i32, width: Width },
+    /// `div src` / `idiv src`: divides `rdx:rax` (the emulator requires the
+    /// compiler to have zeroed/sign-extended `rdx` first); quotient → `rax`,
+    /// remainder → `rdx`. Traps on divide-by-zero or overflow.
+    Div { src: Gpr, width: Width, signed: bool },
+    /// `cdq`/`cqo`: sign-extend `rax` into `rdx` at `width`.
+    Cdq { width: Width },
+    /// `shl`/`shr`/`sar`/`rol`/`ror`
+    Shift { op: ShiftOp, dst: Gpr, amount: ShiftAmount, width: Width },
+    /// `neg dst`
+    Neg { dst: Gpr, width: Width },
+    /// `not dst`
+    Not { dst: Gpr, width: Width },
+    /// `cmov<cond> dst, src`
+    Cmov { cond: Cond, dst: Gpr, src: Gpr, width: Width },
+    /// `set<cond> dst` (writes 0/1 into the full register for simplicity).
+    Setcc { cond: Cond, dst: Gpr },
+
+    // ---- control flow ----
+    /// `jmp label`
+    Jmp { target: Label },
+    /// `j<cond> label`
+    Jcc { cond: Cond, target: Label },
+    /// `jmp reg` — indirect jump; the register holds an instruction index.
+    JmpReg { reg: Gpr },
+    /// `call label`
+    Call { target: Label },
+    /// `call reg` — indirect call; the register holds an instruction index.
+    CallReg { reg: Gpr },
+    /// Pseudo: call out of the sandbox into the host runtime (models the
+    /// trampoline that a Wasm engine uses for WASI/host calls).
+    CallHost { func: u32 },
+    /// `ret`
+    Ret,
+    /// `push reg`
+    Push { reg: Gpr },
+    /// `pop reg`
+    Pop { reg: Gpr },
+
+    // ---- SIMD (bulk memory) ----
+    /// `movdqu xmm, [mem]` — 128-bit load.
+    MovdquLoad { dst: Xmm, mem: Mem },
+    /// `movdqu [mem], xmm` — 128-bit store.
+    MovdquStore { src: Xmm, mem: Mem },
+    /// `movdqa dst, src` (register move).
+    MovdqaRR { dst: Xmm, src: Xmm },
+
+    // ---- system ----
+    /// `wrgsbase src` (FSGSBASE extension; Segue's context-switch cost).
+    WrGsBase { src: Gpr },
+    /// `rdgsbase dst`
+    RdGsBase { dst: Gpr },
+    /// `wrfsbase src`
+    WrFsBase { src: Gpr },
+    /// `wrpkru` — writes PKRU from `eax` (requires `ecx = edx = 0`);
+    /// ColorGuard's per-transition cost (~40 cycles, §6.4.1).
+    WrPkru,
+    /// `rdpkru` — reads PKRU into `eax`.
+    RdPkru,
+    /// `ud2` — deterministic trap (bounds-check failure path).
+    Ud2,
+    /// `nop`
+    Nop,
+}
+
+impl Inst {
+    /// The memory operand of this instruction, if it accesses memory.
+    pub fn mem(&self) -> Option<&Mem> {
+        match self {
+            Inst::Load { mem, .. }
+            | Inst::LoadSx { mem, .. }
+            | Inst::LoadZx { mem, .. }
+            | Inst::Store { mem, .. }
+            | Inst::StoreImm { mem, .. }
+            | Inst::AluRM { mem, .. }
+            | Inst::MovdquLoad { mem, .. }
+            | Inst::MovdquStore { mem, .. } => Some(mem),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the memory operand, if any. `lea` is excluded on
+    /// purpose: its operand is an address computation, not an access.
+    pub fn mem_mut(&mut self) -> Option<&mut Mem> {
+        match self {
+            Inst::Load { mem, .. }
+            | Inst::LoadSx { mem, .. }
+            | Inst::LoadZx { mem, .. }
+            | Inst::Store { mem, .. }
+            | Inst::StoreImm { mem, .. }
+            | Inst::AluRM { mem, .. }
+            | Inst::MovdquLoad { mem, .. }
+            | Inst::MovdquStore { mem, .. } => Some(mem),
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction reads memory (data access).
+    pub fn is_load(&self) -> bool {
+        matches!(
+            self,
+            Inst::Load { .. }
+                | Inst::LoadSx { .. }
+                | Inst::LoadZx { .. }
+                | Inst::AluRM { .. }
+                | Inst::MovdquLoad { .. }
+                | Inst::Pop { .. }
+        )
+    }
+
+    /// Whether this instruction writes memory.
+    pub fn is_store(&self) -> bool {
+        matches!(
+            self,
+            Inst::Store { .. } | Inst::StoreImm { .. } | Inst::MovdquStore { .. } | Inst::Push { .. }
+        )
+    }
+
+    /// Whether this is a control-flow instruction.
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Inst::Jmp { .. }
+                | Inst::Jcc { .. }
+                | Inst::JmpReg { .. }
+                | Inst::Call { .. }
+                | Inst::CallReg { .. }
+                | Inst::CallHost { .. }
+                | Inst::Ret
+        )
+    }
+}
+
+impl core::fmt::Display for Inst {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        fn rn(r: Gpr, w: Width) -> String {
+            match w {
+                Width::Q => r.name64().to_owned(),
+                Width::D => r.name32(),
+                Width::W => format!("{}w", r.name64()),
+                Width::B => format!("{}b", r.name64()),
+            }
+        }
+        match *self {
+            Inst::MovRR { dst, src, width } => write!(f, "mov {}, {}", rn(dst, width), rn(src, width)),
+            Inst::MovRI { dst, imm, width } => write!(f, "mov {}, {imm:#x}", rn(dst, width)),
+            Inst::Load { dst, mem, width } => write!(f, "mov {}, {mem}", rn(dst, width)),
+            Inst::LoadSx { dst, mem, width } => {
+                write!(f, "movsx {}, {} ptr {mem}", dst, width.bytes() * 8)
+            }
+            Inst::LoadZx { dst, mem, width } => {
+                write!(f, "movzx {}, {} ptr {mem}", dst, width.bytes() * 8)
+            }
+            Inst::Store { src, mem, width } => write!(f, "mov {mem}, {}", rn(src, width)),
+            Inst::StoreImm { imm, mem, width } => {
+                write!(f, "mov {} ptr {mem}, {imm:#x}", width.bytes() * 8)
+            }
+            Inst::Lea { dst, mem, width } => write!(f, "lea {}, {mem}", rn(dst, width)),
+            Inst::Movzx { dst, src, from } => write!(f, "movzx {dst}, {}", rn(src, from)),
+            Inst::Movsx { dst, src, from } => write!(f, "movsx {dst}, {}", rn(src, from)),
+            Inst::AluRR { op, dst, src, width } => {
+                write!(f, "{} {}, {}", op.mnemonic(), rn(dst, width), rn(src, width))
+            }
+            Inst::AluRI { op, dst, imm, width } => {
+                write!(f, "{} {}, {imm:#x}", op.mnemonic(), rn(dst, width))
+            }
+            Inst::AluRM { op, dst, mem, width } => {
+                write!(f, "{} {}, {mem}", op.mnemonic(), rn(dst, width))
+            }
+            Inst::TestRR { a, b, width } => write!(f, "test {}, {}", rn(a, width), rn(b, width)),
+            Inst::Imul { dst, src, width } => write!(f, "imul {}, {}", rn(dst, width), rn(src, width)),
+            Inst::ImulRRI { dst, src, imm, width } => {
+                write!(f, "imul {}, {}, {imm:#x}", rn(dst, width), rn(src, width))
+            }
+            Inst::Div { src, width, signed } => {
+                write!(f, "{} {}", if signed { "idiv" } else { "div" }, rn(src, width))
+            }
+            Inst::Cdq { width } => f.write_str(if width == Width::Q { "cqo" } else { "cdq" }),
+            Inst::Shift { op, dst, amount, width } => match amount {
+                ShiftAmount::Imm(i) => write!(f, "{} {}, {i}", op.mnemonic(), rn(dst, width)),
+                ShiftAmount::Cl => write!(f, "{} {}, cl", op.mnemonic(), rn(dst, width)),
+            },
+            Inst::Neg { dst, width } => write!(f, "neg {}", rn(dst, width)),
+            Inst::Not { dst, width } => write!(f, "not {}", rn(dst, width)),
+            Inst::Cmov { cond, dst, src, width } => {
+                write!(f, "cmov{} {}, {}", cond.suffix(), rn(dst, width), rn(src, width))
+            }
+            Inst::Setcc { cond, dst } => write!(f, "set{} {}", cond.suffix(), rn(dst, Width::B)),
+            Inst::Jmp { target } => write!(f, "jmp {target}"),
+            Inst::Jcc { cond, target } => write!(f, "j{} {target}", cond.suffix()),
+            Inst::JmpReg { reg } => write!(f, "jmp {reg}"),
+            Inst::Call { target } => write!(f, "call {target}"),
+            Inst::CallReg { reg } => write!(f, "call {reg}"),
+            Inst::CallHost { func } => write!(f, "call <host:{func}>"),
+            Inst::Ret => f.write_str("ret"),
+            Inst::Push { reg } => write!(f, "push {reg}"),
+            Inst::Pop { reg } => write!(f, "pop {reg}"),
+            Inst::MovdquLoad { dst, mem } => write!(f, "movdqu {dst}, {mem}"),
+            Inst::MovdquStore { src, mem } => write!(f, "movdqu {mem}, {src}"),
+            Inst::MovdqaRR { dst, src } => write!(f, "movdqa {dst}, {src}"),
+            Inst::WrGsBase { src } => write!(f, "wrgsbase {src}"),
+            Inst::RdGsBase { dst } => write!(f, "rdgsbase {dst}"),
+            Inst::WrFsBase { src } => write!(f, "wrfsbase {src}"),
+            Inst::WrPkru => f.write_str("wrpkru"),
+            Inst::RdPkru => f.write_str("rdpkru"),
+            Inst::Ud2 => f.write_str("ud2"),
+            Inst::Nop => f.write_str("nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn width_mask_and_sext() {
+        assert_eq!(Width::D.mask(0x1_2345_6789), 0x2345_6789);
+        assert_eq!(Width::B.sext(0x80), 0xFFFF_FFFF_FFFF_FF80);
+        assert_eq!(Width::D.sext(0x8000_0000), 0xFFFF_FFFF_8000_0000);
+        assert_eq!(Width::Q.sext(5), 5);
+        assert_eq!(Width::W.sign_bit(), 15);
+    }
+
+    #[test]
+    fn cond_negation_is_involutive() {
+        for c in [
+            Cond::E,
+            Cond::Ne,
+            Cond::L,
+            Cond::Le,
+            Cond::G,
+            Cond::Ge,
+            Cond::B,
+            Cond::Be,
+            Cond::A,
+            Cond::Ae,
+            Cond::S,
+            Cond::Ns,
+        ] {
+            assert_eq!(c.negate().negate(), c);
+        }
+    }
+
+    #[test]
+    fn figure1_display() {
+        // The two Segue instructions from Figure 1c of the paper.
+        let p1 = Inst::Load {
+            dst: Gpr::R10,
+            mem: Mem::base(Gpr::Rbx).with_seg(crate::Seg::Gs).with_addr32(),
+            width: Width::Q,
+        };
+        assert_eq!(p1.to_string(), "mov r10, gs:[ebx]");
+        let p2 = Inst::Load {
+            dst: Gpr::R11,
+            mem: Mem::bisd(Gpr::Rcx, Gpr::Rdx, Scale::S4, 0x8)
+                .with_seg(crate::Seg::Gs)
+                .with_addr32(),
+            width: Width::Q,
+        };
+        assert_eq!(p2.to_string(), "mov r11, gs:[ecx + edx*4 + 0x8]");
+    }
+
+    #[test]
+    fn classification() {
+        let l = Inst::Load { dst: Gpr::Rax, mem: Mem::base(Gpr::Rbx), width: Width::D };
+        assert!(l.is_load() && !l.is_store() && !l.is_control_flow());
+        let s = Inst::Store { src: Gpr::Rax, mem: Mem::base(Gpr::Rbx), width: Width::D };
+        assert!(s.is_store() && !s.is_load());
+        assert!(Inst::Ret.is_control_flow());
+        let lea = Inst::Lea { dst: Gpr::Rax, mem: Mem::base(Gpr::Rbx), width: Width::Q };
+        assert!(lea.mem().is_none(), "lea does not access memory");
+    }
+}

@@ -1,0 +1,230 @@
+//! Programs: instruction sequences with resolved labels.
+
+use crate::Inst;
+
+/// A branch target, resolved by the owning [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub u32);
+
+impl core::fmt::Display for Label {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, ".L{}", self.0)
+    }
+}
+
+/// A straight-line sequence of instructions plus label bindings.
+///
+/// Code addresses in the emulator are *instruction indices*; the
+/// [`crate::encode`] module separately assigns byte offsets so that code
+/// size and i-cache behaviour use real x86-64 encodings.
+///
+/// Labels are created with [`Program::fresh_label`] and later bound to the
+/// current position with [`Program::bind`]; forward references are the norm.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    insts: Vec<Inst>,
+    /// `labels[l] == usize::MAX` means "not yet bound".
+    labels: Vec<usize>,
+    /// Indirect-call table: function index → label (models the table that a
+    /// Wasm engine uses for `call_indirect`).
+    func_table: Vec<Label>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Appends an instruction, returning its index.
+    pub fn push(&mut self, inst: Inst) -> usize {
+        self.insts.push(inst);
+        self.insts.len() - 1
+    }
+
+    /// Creates a new, unbound label.
+    pub fn fresh_label(&mut self) -> Label {
+        self.labels.push(usize::MAX);
+        Label(self.labels.len() as u32 - 1)
+    }
+
+    /// Binds `label` to the *next* instruction to be pushed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0 as usize];
+        assert_eq!(*slot, usize::MAX, "label {label:?} bound twice");
+        *slot = self.insts.len();
+    }
+
+    /// Creates a label already bound to the next instruction.
+    pub fn here(&mut self) -> Label {
+        let l = self.fresh_label();
+        self.bind(l);
+        l
+    }
+
+    /// Resolves a label to an instruction index, or `None` if unbound.
+    pub fn resolve(&self, label: Label) -> Option<usize> {
+        let idx = *self.labels.get(label.0 as usize)?;
+        (idx != usize::MAX).then_some(idx)
+    }
+
+    /// The instructions.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Mutable access to the instructions (used by rewriting passes).
+    pub fn insts_mut(&mut self) -> &mut [Inst] {
+        &mut self.insts
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Registers a function in the indirect-call table; returns its index.
+    pub fn add_func_table_entry(&mut self, target: Label) -> u32 {
+        self.func_table.push(target);
+        self.func_table.len() as u32 - 1
+    }
+
+    /// Looks up a function-table entry.
+    pub fn func_table_entry(&self, idx: u32) -> Option<Label> {
+        self.func_table.get(idx as usize).copied()
+    }
+
+    /// Number of function-table entries.
+    pub fn func_table_len(&self) -> usize {
+        self.func_table.len()
+    }
+
+    /// All bound labels with their instruction positions.
+    pub fn label_positions(&self) -> Vec<(Label, usize)> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &idx)| idx != usize::MAX)
+            .map(|(i, &idx)| (Label(i as u32), idx))
+            .collect()
+    }
+
+    /// Creates `n` fresh unbound labels (used by program-rewriting passes
+    /// that must preserve existing label ids).
+    pub fn reserve_labels(&mut self, n: usize) {
+        self.labels.resize(self.labels.len() + n, usize::MAX);
+    }
+
+    /// Binds `label` to an explicit instruction index (rewriter use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind_at(&mut self, label: Label, index: usize) {
+        let slot = &mut self.labels[label.0 as usize];
+        assert_eq!(*slot, usize::MAX, "label {label:?} bound twice");
+        *slot = index;
+    }
+
+    /// Returns `Err` with the first unbound label, if any. Run this before
+    /// emulation or encoding.
+    pub fn check_labels(&self) -> Result<(), Label> {
+        for (i, &idx) in self.labels.iter().enumerate() {
+            if idx == usize::MAX {
+                return Err(Label(i as u32));
+            }
+        }
+        Ok(())
+    }
+
+    /// A human-readable listing (labels interleaved with instructions).
+    pub fn listing(&self) -> String {
+        use core::fmt::Write as _;
+        let mut by_pos: std::collections::BTreeMap<usize, Vec<u32>> = Default::default();
+        for (i, &idx) in self.labels.iter().enumerate() {
+            if idx != usize::MAX {
+                by_pos.entry(idx).or_default().push(i as u32);
+            }
+        }
+        let mut out = String::new();
+        for (i, inst) in self.insts.iter().enumerate() {
+            if let Some(ls) = by_pos.get(&i) {
+                for l in ls {
+                    let _ = writeln!(out, ".L{l}:");
+                }
+            }
+            let _ = writeln!(out, "    {inst}");
+        }
+        if let Some(ls) = by_pos.get(&self.insts.len()) {
+            for l in ls {
+                let _ = writeln!(out, ".L{l}:");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gpr, Width};
+
+    #[test]
+    fn labels_bind_and_resolve() {
+        let mut p = Program::new();
+        let top = p.fresh_label();
+        assert_eq!(p.resolve(top), None);
+        p.bind(top);
+        p.push(Inst::Nop);
+        p.push(Inst::Jmp { target: top });
+        assert_eq!(p.resolve(top), Some(0));
+        assert!(p.check_labels().is_ok());
+    }
+
+    #[test]
+    fn unbound_labels_detected() {
+        let mut p = Program::new();
+        let l = p.fresh_label();
+        p.push(Inst::Jmp { target: l });
+        assert_eq!(p.check_labels(), Err(l));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut p = Program::new();
+        let l = p.fresh_label();
+        p.bind(l);
+        p.bind(l);
+    }
+
+    #[test]
+    fn func_table() {
+        let mut p = Program::new();
+        let l = p.here();
+        p.push(Inst::Ret);
+        let idx = p.add_func_table_entry(l);
+        assert_eq!(p.func_table_entry(idx), Some(l));
+        assert_eq!(p.func_table_entry(99), None);
+    }
+
+    #[test]
+    fn listing_contains_labels() {
+        let mut p = Program::new();
+        let l = p.here();
+        p.push(Inst::MovRI { dst: Gpr::Rax, imm: 1, width: Width::Q });
+        p.push(Inst::Jmp { target: l });
+        let s = p.listing();
+        assert!(s.contains(".L0:"), "{s}");
+        assert!(s.contains("jmp .L0"), "{s}");
+    }
+}

@@ -1,0 +1,208 @@
+//! Register definitions.
+
+/// The sixteen x86-64 general-purpose registers.
+///
+/// Register numbering follows the hardware encoding (`Rax = 0` … `R15 = 15`),
+/// so [`Gpr::index`] can be used directly when building REX/ModRM bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+#[repr(u8)]
+pub enum Gpr {
+    Rax = 0,
+    Rcx = 1,
+    Rdx = 2,
+    Rbx = 3,
+    Rsp = 4,
+    Rbp = 5,
+    Rsi = 6,
+    Rdi = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Gpr {
+    /// All sixteen registers, in encoding order.
+    pub const ALL: [Gpr; 16] = [
+        Gpr::Rax,
+        Gpr::Rcx,
+        Gpr::Rdx,
+        Gpr::Rbx,
+        Gpr::Rsp,
+        Gpr::Rbp,
+        Gpr::Rsi,
+        Gpr::Rdi,
+        Gpr::R8,
+        Gpr::R9,
+        Gpr::R10,
+        Gpr::R11,
+        Gpr::R12,
+        Gpr::R13,
+        Gpr::R14,
+        Gpr::R15,
+    ];
+
+    /// The hardware encoding of this register (0–15).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Returns the register with hardware encoding `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 16`.
+    #[inline]
+    pub const fn from_index(idx: usize) -> Gpr {
+        Self::ALL[idx]
+    }
+
+    /// Whether encoding this register in the reg or r/m field of a 64-bit
+    /// instruction needs a REX extension bit (i.e. `R8`–`R15`).
+    #[inline]
+    pub const fn needs_rex_bit(self) -> bool {
+        (self as u8) >= 8
+    }
+
+    /// The conventional AT&T-style name of the 64-bit register.
+    pub const fn name64(self) -> &'static str {
+        match self {
+            Gpr::Rax => "rax",
+            Gpr::Rcx => "rcx",
+            Gpr::Rdx => "rdx",
+            Gpr::Rbx => "rbx",
+            Gpr::Rsp => "rsp",
+            Gpr::Rbp => "rbp",
+            Gpr::Rsi => "rsi",
+            Gpr::Rdi => "rdi",
+            Gpr::R8 => "r8",
+            Gpr::R9 => "r9",
+            Gpr::R10 => "r10",
+            Gpr::R11 => "r11",
+            Gpr::R12 => "r12",
+            Gpr::R13 => "r13",
+            Gpr::R14 => "r14",
+            Gpr::R15 => "r15",
+        }
+    }
+
+    /// The name of the 32-bit sub-register (`eax`, `r8d`, …).
+    pub fn name32(self) -> String {
+        match self {
+            Gpr::Rax => "eax".to_owned(),
+            Gpr::Rcx => "ecx".to_owned(),
+            Gpr::Rdx => "edx".to_owned(),
+            Gpr::Rbx => "ebx".to_owned(),
+            Gpr::Rsp => "esp".to_owned(),
+            Gpr::Rbp => "ebp".to_owned(),
+            Gpr::Rsi => "esi".to_owned(),
+            Gpr::Rdi => "edi".to_owned(),
+            other => format!("{}d", other.name64()),
+        }
+    }
+}
+
+impl core::fmt::Display for Gpr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name64())
+    }
+}
+
+/// The two segment registers that survive in x86-64 long mode.
+///
+/// Segment *limits* are not enforced in long mode; only the segment *base*
+/// participates in address generation, and only for `%fs`/`%gs`. Segue stores
+/// the sandbox heap base here (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Seg {
+    /// `%fs` — conventionally reserved for thread-local storage on Linux.
+    Fs,
+    /// `%gs` — the register Segue uses for the linear-memory base.
+    Gs,
+}
+
+impl Seg {
+    /// The legacy prefix byte that selects this segment (0x64 / 0x65).
+    #[inline]
+    pub const fn prefix_byte(self) -> u8 {
+        match self {
+            Seg::Fs => 0x64,
+            Seg::Gs => 0x65,
+        }
+    }
+}
+
+impl core::fmt::Display for Seg {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Seg::Fs => "fs",
+            Seg::Gs => "gs",
+        })
+    }
+}
+
+/// The sixteen SSE registers (used for 128-bit bulk-memory moves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Xmm(pub u8);
+
+impl Xmm {
+    /// The hardware encoding of this register (0–15).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this register needs a REX extension bit.
+    #[inline]
+    pub const fn needs_rex_bit(self) -> bool {
+        self.0 >= 8
+    }
+}
+
+impl core::fmt::Display for Xmm {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "xmm{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for (i, r) in Gpr::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Gpr::from_index(i), *r);
+        }
+    }
+
+    #[test]
+    fn rex_bits() {
+        assert!(!Gpr::Rdi.needs_rex_bit());
+        assert!(Gpr::R8.needs_rex_bit());
+        assert!(Xmm(9).needs_rex_bit());
+        assert!(!Xmm(7).needs_rex_bit());
+    }
+
+    #[test]
+    fn segment_prefixes_match_isa() {
+        assert_eq!(Seg::Fs.prefix_byte(), 0x64);
+        assert_eq!(Seg::Gs.prefix_byte(), 0x65);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Gpr::Rax.to_string(), "rax");
+        assert_eq!(Gpr::R10.name32(), "r10d");
+        assert_eq!(Gpr::Rcx.name32(), "ecx");
+        assert_eq!(Seg::Gs.to_string(), "gs");
+        assert_eq!(Xmm(3).to_string(), "xmm3");
+    }
+}

@@ -1,0 +1,89 @@
+//! A FaaS edge node with ColorGuard (§3.2/§6.4): pack many tenant
+//! instances into one address space with MPK stripes, serve requests
+//! through the multi-instance runtime, and demonstrate both the density
+//! win and the isolation property.
+//!
+//! ```text
+//! cargo run --release --example faas_edge
+//! ```
+
+use std::sync::Arc;
+
+use segue_colorguard::core::{compile, CompilerConfig, Strategy};
+use segue_colorguard::pool::{compute_layout, PoolConfig};
+use segue_colorguard::runtime::{Runtime, RuntimeConfig, RuntimeError};
+
+fn main() {
+    // --- density: the §6.4.2 numbers ---
+    let without = compute_layout(&PoolConfig::scaling_benchmark(0)).expect("layout");
+    let with = compute_layout(&PoolConfig::scaling_benchmark(15)).expect("layout");
+    println!(
+        "address-space capacity with 408 MiB tenants: {} instances → {} with ColorGuard ({:.1}×)\n",
+        without.num_slots,
+        with.num_slots,
+        with.num_slots as f64 / without.num_slots as f64
+    );
+
+    // --- a running edge node (scaled down so the demo is instant) ---
+    // Each tenant deploys a tiny request counter.
+    let tenant_app = segue_colorguard::wasm::wat::parse(
+        r#"(module (memory 1)
+             (global $requests (mut i32) (i32.const 0))
+             (func (export "handle") (param $key i32) (result i32)
+               global.get $requests i32.const 1 i32.add global.set $requests
+               ;; remember the key, return the per-tenant request count
+               i32.const 0 local.get $key i32.store
+               global.get $requests))"#,
+    )
+    .expect("WAT parses");
+    let cm = Arc::new(
+        compile(&tenant_app, &CompilerConfig::for_strategy(Strategy::Segue)).expect("compiles"),
+    );
+
+    let mut node = Runtime::new(RuntimeConfig::small_test(true)).expect("node boots");
+    let tenants: Vec<_> = (0..4)
+        .map(|_| node.instantiate(Arc::clone(&cm)).expect("slot"))
+        .collect();
+    println!("edge node: {} tenants live in one process", node.instance_count());
+
+    // Serve interleaved requests; each tenant keeps its own state.
+    for round in 1..=3u64 {
+        for (t, &id) in tenants.iter().enumerate() {
+            let out = node.invoke(id, "handle", &[0xC0FFEE + t as u64]).expect("handles");
+            assert_eq!(out.result, Some(round), "tenant-private request counts");
+        }
+    }
+    println!("served 3 rounds; every tenant's private counter reads 3  ✓");
+
+    // Isolation: a hostile tenant tries to poke one slot-stride over —
+    // straight into its neighbour's memory. The stripe color stops it.
+    let stride = node.pool().layout().slot_bytes;
+    let hostile = segue_colorguard::wasm::wat::parse(&format!(
+        r#"(module (memory 1)
+             (func (export "handle") (param $key i32) (result i32)
+               i32.const {stride}
+               i32.const 0x41414141
+               i32.store
+               i32.const 0))"#
+    ))
+    .expect("WAT parses");
+    let hostile_cm = Arc::new(
+        compile(&hostile, &CompilerConfig::for_strategy(Strategy::Segue)).expect("compiles"),
+    );
+    let attacker = node.instantiate(hostile_cm).expect("slot");
+    match node.invoke(attacker, "handle", &[0]) {
+        Err(RuntimeError::Trapped(trap)) => {
+            println!("hostile cross-tenant store trapped: {trap}  ✓");
+        }
+        other => panic!("expected a trap, got {other:?}"),
+    }
+    let mut probe = [0u8; 4];
+    node.read_heap(tenants[1], 0, &mut probe).expect("host view");
+    assert_ne!(u32::from_le_bytes(probe), 0x4141_4141, "neighbour unharmed");
+    println!("neighbour memory unharmed  ✓");
+
+    println!(
+        "\ntransitions so far: {} (ColorGuard adds one wrpkru per direction, ~21 ns each)",
+        node.transitions.count
+    );
+}

@@ -1,0 +1,83 @@
+//! Library sandboxing, Firefox-style (§6.1 of the paper): run a
+//! font-shaping "library" inside a Wasm sandbox, call it per glyph run,
+//! and compare the overhead with and without Segue — including the
+//! segment-base switch each re-entry costs.
+//!
+//! ```text
+//! cargo run --release --example firefox_sandboxing
+//! ```
+
+use segue_colorguard::core::harness::execute_export;
+use segue_colorguard::core::{compile, Strategy};
+use segue_colorguard::runtime::{TransitionKind, TransitionModel};
+
+fn main() {
+    let workload = segue_colorguard::workloads::firefox_font();
+    let module = workload.module();
+    println!(
+        "sandboxing a libgraphite-shaped font shaper ({} Wasm functions, {} pages of memory)\n",
+        module.funcs.len(),
+        module.mem_min_pages
+    );
+
+    let tm = TransitionModel::default();
+    let glyph_runs = 800u64;
+
+    let mut rows = Vec::new();
+    for strategy in [Strategy::Native, Strategy::GuardRegion, Strategy::Segue] {
+        let cfg = {
+            let mut c = segue_colorguard::core::CompilerConfig::for_strategy(strategy);
+            // The corpus workload needs more memory than the test default.
+            c.layout.mem_size =
+                (u64::from(module.mem_min_pages) * 65536).next_power_of_two();
+            c
+        };
+        let cm = compile(&module, &cfg).expect("compiles");
+        let out = execute_export(&cm, "run", &[]).expect("shapes text");
+
+        // Per-entry transition: plain for the baseline, +wrgsbase for Segue
+        // (and the arch_prctl fallback for pre-FSGSBASE CPUs, §4.1).
+        let per_entry = match strategy {
+            Strategy::Native => 0.0,
+            Strategy::Segue => tm.cycles(TransitionKind {
+                set_segment_base: true,
+                ..TransitionKind::default()
+            }) + tm.cycles(TransitionKind::default()),
+            _ => 2.0 * tm.cycles(TransitionKind::default()),
+        };
+        let total = out.stats.cycles + glyph_runs as f64 * per_entry;
+        println!(
+            "{strategy:>12}: {:>10.0} guest cycles + {glyph_runs} entries → {:>10.0} total",
+            out.stats.cycles, total
+        );
+        rows.push((strategy, total));
+    }
+
+    let native = rows[0].1;
+    let guard = rows[1].1;
+    let segue = rows[2].1;
+    println!(
+        "\nsandboxing overhead: {:.1}% → {:.1}% with Segue ({:.0}% of it eliminated)",
+        (guard / native - 1.0) * 100.0,
+        (segue / native - 1.0) * 100.0,
+        (guard - segue) / (guard - native) * 100.0
+    );
+    println!("(the paper measures Firefox font rendering: 264→356 ms sandboxed, 287 ms with Segue)");
+
+    // Legacy CPUs: no FSGSBASE → arch_prctl per entry. This is why Firefox
+    // must detect the extension (§4.1).
+    let syscall_entry = tm.cycles(TransitionKind {
+        set_segment_base: true,
+        segment_base_via_syscall: true,
+        ..TransitionKind::default()
+    }) + tm.cycles(TransitionKind::default());
+    let segue_legacy = rows[2].1 - glyph_runs as f64
+        * (tm.cycles(TransitionKind { set_segment_base: true, ..TransitionKind::default() })
+            + tm.cycles(TransitionKind::default()))
+        + glyph_runs as f64 * syscall_entry;
+    println!(
+        "on a pre-FSGSBASE CPU the same Segue build would cost {:.1}% over native \
+         (arch_prctl per entry)",
+        (segue_legacy / native - 1.0) * 100.0
+    );
+}

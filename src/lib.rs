@@ -1,0 +1,56 @@
+//! # segue-colorguard: a reproduction of *Segue & ColorGuard* (ASPLOS 2025)
+//!
+//! This workspace reimplements, from scratch in Rust, the two SFI
+//! optimizations of Narayan et al.'s *Segue & ColorGuard: Optimizing SFI
+//! Performance and Scalability on Modern Architectures* — together with
+//! every substrate the paper's evaluation depends on. See `DESIGN.md` for
+//! the system inventory and `EXPERIMENTS.md` for the paper-vs-measured
+//! results of every table and figure.
+//!
+//! ## The layers
+//!
+//! | Crate | What it is |
+//! |---|---|
+//! | [`x86`] | x86-64 subset model: byte-accurate encoder, cycle-level emulator, cache/branch models |
+//! | [`vm`] | Virtual-memory substrate: VMAs, `mmap`/`mprotect`/`madvise`, MPK, MTE, dTLB |
+//! | [`wasm`] | Mini-Wasm: IR, WAT parser, validator, reference interpreter |
+//! | [`core`] | **Segue**: the Wasm→x86 compiler with pluggable SFI strategies |
+//! | [`lfi`] | LFI-style native-code rewriter, with and without Segue |
+//! | [`pool`] | **ColorGuard**: the MPK-striped pooling allocator plus its verified layout contract |
+//! | [`runtime`] | Multi-instance runtime: transitions, PKRU switching, epochs |
+//! | [`faas`] | Deterministic FaaS-edge simulation with from-scratch regex/templating/hash engines |
+//! | [`workloads`] | The benchmark corpus (SPEC-, Sightglass-, PolybenchC-, Firefox-shaped kernels) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use segue_colorguard::core::{compile, CompilerConfig, Strategy};
+//!
+//! // The paper's Figure 1, as a program: an array read inside a struct.
+//! let module = segue_colorguard::wasm::wat::parse(r#"
+//!   (module (memory 1)
+//!     (func (export "get") (param $obj i32) (param $idx i32) (result i32)
+//!       local.get $obj
+//!       local.get $idx i32.const 4 i32.mul i32.add
+//!       i32.load))
+//! "#).unwrap();
+//!
+//! let segue = compile(&module, &CompilerConfig::for_strategy(Strategy::Segue)).unwrap();
+//! let baseline = compile(&module, &CompilerConfig::for_strategy(Strategy::GuardRegion)).unwrap();
+//! assert!(segue.code_size() < baseline.code_size());
+//!
+//! let out = segue_colorguard::core::harness::execute_export(&segue, "get", &[100, 3]).unwrap();
+//! assert_eq!(out.result, Some(0)); // fresh memory reads zero
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use sfi_core as core;
+pub use sfi_faas as faas;
+pub use sfi_lfi as lfi;
+pub use sfi_pool as pool;
+pub use sfi_runtime as runtime;
+pub use sfi_vm as vm;
+pub use sfi_wasm as wasm;
+pub use sfi_workloads as workloads;
+pub use sfi_x86 as x86;

@@ -1,0 +1,122 @@
+//! Cross-crate integration: every benchmark-corpus workload, compiled under
+//! every protection strategy, must agree with the reference interpreter.
+//!
+//! (The full corpus at full iteration counts is benchmark-sized; these tests
+//! run a representative fast subset in debug time. The figure binaries
+//! exercise the rest under `--release`.)
+
+use segue_colorguard::core::harness::execute_export;
+use segue_colorguard::core::{compile, Strategy};
+use segue_colorguard::wasm::interp::Interpreter;
+
+/// Workloads small enough to interpret in a debug test run.
+fn fast_subset() -> Vec<segue_colorguard::workloads::Workload> {
+    let sg = segue_colorguard::workloads::sightglass();
+    let names = ["fib2", "nestedloop", "matrix", "strchr", "memmove"];
+    sg.into_iter().filter(|w| names.contains(&w.name)).collect()
+}
+
+#[test]
+fn corpus_compiled_matches_interpreter() {
+    for w in fast_subset() {
+        let module = w.module();
+        let mut interp = Interpreter::new(&module).expect("instantiates");
+        let expected = interp
+            .invoke_export("run", &[])
+            .expect("interprets")
+            .expect("corpus returns a checksum");
+
+        for strategy in [
+            Strategy::GuardRegion,
+            Strategy::Segue,
+            Strategy::SegueLoads,
+            Strategy::BoundsCheck,
+            Strategy::BoundsCheckSegue,
+        ] {
+            let cfg = sfi_bench_config(strategy, module.mem_min_pages);
+            let cm = compile(&module, &cfg).expect("compiles");
+            let out = execute_export(&cm, "run", &[]).expect("runs");
+            assert_eq!(
+                out.result.map(|r| r & 0xFFFF_FFFF),
+                Some(expected),
+                "{} diverged under {strategy}",
+                w.name
+            );
+            // Heap contents must match too.
+            assert_eq!(
+                interp.memory[..1024],
+                out.heap[..1024],
+                "{} heap prefix diverged under {strategy}",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn vectorizer_never_changes_results() {
+    for w in fast_subset() {
+        let module = w.module();
+        for strategy in [Strategy::GuardRegion, Strategy::Segue, Strategy::SegueLoads] {
+            let plain = {
+                let cfg = sfi_bench_config(strategy, module.mem_min_pages);
+                let cm = compile(&module, &cfg).expect("compiles");
+                execute_export(&cm, "run", &[]).expect("runs").result
+            };
+            let vectorized = {
+                let mut cfg = sfi_bench_config(strategy, module.mem_min_pages);
+                cfg.vectorize = true;
+                let cm = compile(&module, &cfg).expect("compiles");
+                execute_export(&cm, "run", &[]).expect("runs").result
+            };
+            assert_eq!(plain, vectorized, "{} under {strategy}", w.name);
+        }
+    }
+}
+
+#[test]
+fn lfi_rewriting_preserves_results() {
+    use segue_colorguard::lfi::{execute_rewritten, LfiConfig};
+    for w in fast_subset() {
+        let module = w.native_module();
+        let mut cfg = sfi_bench_config(Strategy::Native, module.mem_min_pages);
+        cfg.lfi_reserved_regs = true;
+        cfg.stack_check = false;
+        cfg.layout.heap_base = 0;
+        relocate_regions_above_heap(&mut cfg);
+        let cm = compile(&module, &cfg).expect("compiles");
+        let native = execute_export(&cm, "run", &[]).expect("runs").result;
+        let (base, _) =
+            execute_rewritten(&cm, &LfiConfig { sandbox_base: 0, ..LfiConfig::default() }, "run", &[]);
+        let (segue, _) =
+            execute_rewritten(&cm, &LfiConfig { sandbox_base: 0, ..LfiConfig::with_segue() }, "run", &[]);
+        assert_eq!(Some(base), native.map(|r| r & 0xFFFF_FFFF), "{}", w.name);
+        assert_eq!(base, segue, "{}", w.name);
+    }
+}
+
+/// Mirrors `sfi_bench::config_for` without depending on the bench crate
+/// (which is dev-only plumbing).
+fn sfi_bench_config(
+    strategy: Strategy,
+    mem_pages: u32,
+) -> segue_colorguard::core::CompilerConfig {
+    let mem_size = (u64::from(mem_pages) * 65536).next_power_of_two();
+    let mut cfg = segue_colorguard::core::CompilerConfig::for_strategy(strategy);
+    cfg.layout.mem_size = mem_size;
+    if strategy == Strategy::Native {
+        cfg.layout.heap_base = 0;
+        cfg.stack_check = false;
+        relocate_regions_above_heap(&mut cfg);
+    }
+    cfg
+}
+
+fn relocate_regions_above_heap(cfg: &mut segue_colorguard::core::CompilerConfig) {
+    let m = cfg.layout.mem_size as u32;
+    cfg.regions.header_base = 0x14_0000 + m;
+    cfg.regions.globals_base = 0x14_1000 + m;
+    cfg.regions.table_base = 0x15_0000 + m;
+    cfg.regions.stack_limit = 0x16_0000 + m;
+    cfg.regions.stack_top = 0x1C_0000 + m;
+}

@@ -1,0 +1,136 @@
+//! Whole-system integration: the paper's claims as executable assertions,
+//! spanning compiler, pool, runtime, VM and simulation.
+
+use std::sync::Arc;
+
+use segue_colorguard::core::{compile, CompilerConfig, Strategy};
+use segue_colorguard::pool::{compute_layout, PoolConfig};
+use segue_colorguard::runtime::{Runtime, RuntimeConfig, RuntimeError};
+
+#[test]
+fn segue_reduces_spec_code_size_and_cycles() {
+    // Table 2 + Figure 3 in miniature: on a memory-dense kernel Segue must
+    // shrink both the binary and the modeled runtime.
+    let w = &segue_colorguard::workloads::sightglass()[4]; // matrix
+    assert_eq!(w.name, "matrix");
+    let module = w.module();
+    let mk = |s| {
+        let mut c = CompilerConfig::for_strategy(s);
+        c.layout.mem_size = (u64::from(module.mem_min_pages) * 65536).next_power_of_two();
+        compile(&module, &c).expect("compiles")
+    };
+    let guard = mk(Strategy::GuardRegion);
+    let segue = mk(Strategy::Segue);
+    assert!(segue.code_size() < guard.code_size(), "Table 2 direction");
+    let g = segue_colorguard::core::harness::execute_export(&guard, "run", &[]).expect("runs");
+    let s = segue_colorguard::core::harness::execute_export(&segue, "run", &[]).expect("runs");
+    assert_eq!(g.result, s.result);
+    assert!(s.stats.cycles < g.stats.cycles, "Figure 3 direction");
+}
+
+#[test]
+fn colorguard_scaling_is_about_15x() {
+    // §6.4.2.
+    let without = compute_layout(&PoolConfig::scaling_benchmark(0)).expect("layout");
+    let with = compute_layout(&PoolConfig::scaling_benchmark(15)).expect("layout");
+    let ratio = with.num_slots as f64 / without.num_slots as f64;
+    assert!((13.0..=15.5).contains(&ratio), "scaling ratio {ratio}");
+}
+
+#[test]
+fn multi_tenant_node_serves_and_isolates() {
+    let app = segue_colorguard::wasm::wat::parse(
+        r#"(module (memory 1)
+             (global $n (mut i32) (i32.const 0))
+             (func (export "handle") (result i32)
+               global.get $n i32.const 1 i32.add global.set $n
+               global.get $n))"#,
+    )
+    .expect("parses");
+    let cm = Arc::new(compile(&app, &CompilerConfig::for_strategy(Strategy::Segue)).expect("compiles"));
+    let mut node = Runtime::new(RuntimeConfig::small_test(true)).expect("boots");
+    let a = node.instantiate(Arc::clone(&cm)).expect("slot");
+    let b = node.instantiate(Arc::clone(&cm)).expect("slot");
+    for i in 1..=5 {
+        assert_eq!(node.invoke(a, "handle", &[]).expect("runs").result, Some(i));
+    }
+    assert_eq!(node.invoke(b, "handle", &[]).expect("runs").result, Some(1));
+    // Terminate and recycle: state resets.
+    node.terminate(a).expect("recycles");
+    let c = node.instantiate(cm).expect("slot reuse");
+    assert_eq!(node.invoke(c, "handle", &[]).expect("runs").result, Some(1));
+}
+
+#[test]
+fn cross_stripe_attack_traps_end_to_end() {
+    let poke = segue_colorguard::wasm::wat::parse(
+        r#"(module (memory 1)
+             (func (export "handle") (param $p i32)
+               local.get $p i32.const 1 i32.store))"#,
+    )
+    .expect("parses");
+    let cm = Arc::new(compile(&poke, &CompilerConfig::for_strategy(Strategy::Segue)).expect("compiles"));
+    let mut node = Runtime::new(RuntimeConfig::small_test(true)).expect("boots");
+    let attacker = node.instantiate(Arc::clone(&cm)).expect("slot");
+    let victim = node.instantiate(cm).expect("slot");
+    let stride = node.pool().layout().slot_bytes;
+    let r = node.invoke(attacker, "handle", &[stride]);
+    assert!(matches!(r, Err(RuntimeError::Trapped(_))), "{r:?}");
+    let mut probe = [0u8; 1];
+    node.read_heap(victim, 0, &mut probe).expect("host view");
+    assert_eq!(probe[0], 0);
+}
+
+#[test]
+fn transition_costs_match_the_paper() {
+    use segue_colorguard::runtime::{TransitionKind, TransitionModel};
+    let tm = TransitionModel::default();
+    let base = tm.ns(TransitionKind::default());
+    let cg = tm.ns(TransitionKind { colorguard: true, ..TransitionKind::default() });
+    assert!((base - 30.34).abs() < 1.0, "baseline {base} ns");
+    assert!((cg - 51.52).abs() < 1.0, "colorguard {cg} ns");
+}
+
+#[test]
+fn faas_gain_shape_holds() {
+    use segue_colorguard::faas::{simulate, FaasWorkload, ScalingMode, SimConfig};
+    let mut cfg = SimConfig::paper_rig(FaasWorkload::HashLoadBalance, ScalingMode::ColorGuard);
+    cfg.duration_ms = 1_000;
+    let cg = simulate(&cfg);
+    cfg.mode = ScalingMode::MultiProcess { processes: 15 };
+    let mp15 = simulate(&cfg);
+    cfg.mode = ScalingMode::MultiProcess { processes: 2 };
+    let mp2 = simulate(&cfg);
+    let g15 = (cg.throughput_rps - mp15.throughput_rps) / mp15.throughput_rps * 100.0;
+    let g2 = (cg.throughput_rps - mp2.throughput_rps) / mp2.throughput_rps * 100.0;
+    assert!(g15 > g2, "gain grows with process count: {g2:.1}% → {g15:.1}%");
+    assert!(g15 > 10.0, "substantial gain at 15 processes: {g15:.1}%");
+    assert!(mp15.dtlb_misses > 3 * cg.dtlb_misses, "Figure 7b direction");
+    assert!(mp15.context_switches > 10 * cg.context_switches, "Figure 7a direction");
+}
+
+#[test]
+fn verification_finds_the_upstream_bugs() {
+    use segue_colorguard::pool::{buggy, verify};
+    assert!(verify::find_violation(segue_colorguard::pool::compute_layout).is_none());
+    assert!(verify::find_violation(buggy::compute_layout).is_some());
+}
+
+#[test]
+fn mte_observations_hold() {
+    use segue_colorguard::vm::mte::TagStore;
+    use segue_colorguard::vm::{AddressSpace, Prot};
+    // Observation 1: tagging 64 KiB costs ~2.1 ms of user-level work.
+    let us = TagStore::user_tag_cost_ns(65536) / 1000.0;
+    assert!((1800.0..=2400.0).contains(&us), "{us} µs");
+    // Observation 2: madvise discards MTE tags but keeps MPK keys.
+    let mut space = AddressSpace::new_48bit();
+    let base = space.mmap(65536, Prot::READ_WRITE).expect("mmap");
+    let key = space.keys.pkey_alloc().expect("key");
+    space.pkey_mprotect(base, 65536, Prot::READ_WRITE, key).expect("pkey");
+    space.set_mte(base, 65536, true).expect("mte");
+    space.tags.set_range(base, 65536, 0x5);
+    space.madvise_dontneed(base, 65536).expect("madvise");
+    assert_eq!(space.tags.tag_at(base), 0, "MTE tags discarded");
+    assert_eq!(space.vma_at(base).expect("mapped").pkey, key, "MPK keys survive");
+}
