@@ -1,0 +1,219 @@
+//! Offline compatibility shim for the subset of `criterion` 0.5 used by
+//! this workspace's benches.
+//!
+//! The build environment has no registry access, so the workspace patches
+//! `criterion` to this path crate. Benches compile against the same names
+//! (`criterion_group!`, `criterion_main!`, `Criterion`, groups, throughput,
+//! `black_box`) and, when run with `cargo bench`, execute each benchmark a
+//! small, fixed number of timed iterations and print a one-line
+//! median/mean summary — no warm-up modeling, outlier analysis or plots.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value laundering to defeat constant folding.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: format!("{name}/{parameter}") }
+    }
+
+    /// An id made of the parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkName {
+    /// The display name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkName for &str {
+    fn into_name(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkName for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Elements per iteration.
+    Elements(u64),
+}
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u32,
+}
+
+impl Bencher {
+    fn with_samples(n: usize) -> Bencher {
+        Bencher { samples: Vec::with_capacity(n), iters_per_sample: 1 }
+    }
+
+    /// Times `routine`, collecting one sample per configured sample count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let n = self.samples.capacity().max(1);
+        for _ in 0..n {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / self.iters_per_sample);
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{name:<48} (no samples)");
+            return;
+        }
+        let mut ns: Vec<u128> = self.samples.iter().map(|d| d.as_nanos()).collect();
+        ns.sort_unstable();
+        let median = ns[ns.len() / 2];
+        let mean = ns.iter().sum::<u128>() / ns.len() as u128;
+        let rate = throughput.map(|t| match t {
+            Throughput::Bytes(b) if median > 0 => {
+                format!("  {:.1} MiB/s", b as f64 / (median as f64 / 1e9) / (1 << 20) as f64)
+            }
+            Throughput::Elements(e) if median > 0 => {
+                format!("  {:.1} Melem/s", e as f64 / (median as f64 / 1e9) / 1e6)
+            }
+            _ => String::new(),
+        });
+        println!(
+            "{name:<48} median {median:>10} ns   mean {mean:>10} ns{}",
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// A named benchmark group with shared settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<N, F>(&mut self, id: N, mut f: F) -> &mut Self
+    where
+        N: IntoBenchmarkName,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::with_samples(self.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.into_name()), self.throughput);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<N, I, F>(&mut self, id: N, input: &I, mut f: F) -> &mut Self
+    where
+        N: IntoBenchmarkName,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::with_samples(self.sample_size);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.into_name()), self.throughput);
+        self
+    }
+
+    /// Ends the group (a no-op here; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::with_samples(self.default_sample_size.max(10));
+        f(&mut b);
+        b.report(name, None);
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size.max(10);
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark function with a
+/// shared [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,158 @@
+//! Offline compatibility shim for the subset of `proptest` 1.x used by this
+//! workspace.
+//!
+//! The build environment has no registry access, so the workspace patches
+//! `proptest` to this path crate. It keeps the *surface* of the upstream
+//! API — `proptest!`, `Strategy` with `prop_map`/`prop_filter`/
+//! `prop_recursive`, `prop_oneof!`, `any::<T>()`, ranges-as-strategies,
+//! `proptest::collection::vec`, `proptest::option::of`, the `prop_assert*`
+//! and `prop_assume!` macros and `ProptestConfig` — but not shrinking:
+//! failing cases are reported with their generated inputs (every strategy
+//! value is `Debug`) instead of being minimized. Generation is
+//! deterministic per test (the RNG is seeded from the test's name), so a
+//! failure always reproduces.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// Defines deterministic property tests over sampled inputs.
+///
+/// Mirrors upstream syntax: an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions whose
+/// parameters are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_inner!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_inner!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_inner {
+    ( ($cfg:expr) $( $(#[$meta:meta])+ fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(16).max(1024);
+                while accepted < config.cases {
+                    if attempts >= max_attempts {
+                        panic!(
+                            "proptest '{}': too many rejected cases ({} accepted of {} wanted after {} attempts)",
+                            stringify!($name), accepted, config.cases, attempts
+                        );
+                    }
+                    attempts += 1;
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng); )+
+                    // Render inputs before the body runs: the body takes the
+                    // bindings by value, so they may not exist afterwards.
+                    let inputs: ::std::string::String =
+                        format!(concat!($(stringify!($arg), " = {:?}; "),+), $(&$arg),+);
+                    let case: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { { $body }; ::std::result::Result::Ok(()) })();
+                    match case {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest '{}' failed at case #{}: {}\ninputs: {}",
+                                stringify!($name),
+                                accepted,
+                                msg,
+                                inputs,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Chooses uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a proptest body (fails the case, with
+/// formatted context, rather than panicking directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}: {}", a, b, format!($($fmt)*));
+    }};
+}
+
+/// Asserts inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}: {}", a, b, format!($($fmt)*));
+    }};
+}
+
+/// Rejects the current case (it is regenerated and does not count toward
+/// the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(format!($($fmt)*)),
+            );
+        }
+    };
+}

@@ -1,0 +1,33 @@
+//! Option strategies (`proptest::option::of`).
+
+use core::fmt;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `Some` of the inner strategy three times out of four, `None`
+/// otherwise (matching upstream's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S>
+where
+    S::Value: fmt::Debug,
+{
+    type Value = Option<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.sample(rng))
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! The conventional `use proptest::prelude::*;` import surface.
+
+pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+/// Upstream re-exports the crate under `prop` for `prop::collection::vec`
+/// style paths.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+}

@@ -36,5 +36,6 @@ pub mod template;
 mod sim;
 
 pub use sim::{
-    simulate, throughput_gain_percent, FaasWorkload, ScalingMode, SimConfig, SimCosts, SimReport,
+    simulate, throughput_gain_percent, FaasWorkload, FailureModel, ScalingMode, SimConfig,
+    SimCosts, SimReport,
 };

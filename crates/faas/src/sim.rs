@@ -163,6 +163,46 @@ pub enum ScalingMode {
     },
 }
 
+/// The chaos knobs: guest traps and infrastructure faults injected into the
+/// simulation, plus the platform's retry policy. All decisions are
+/// stateless hashes of `(seed, request, stage, attempt)`, so a run is fully
+/// deterministic and the zero-rate model is bit-identical to no model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureModel {
+    /// Probability that a compute stage traps its sandbox (per attempt).
+    pub trap_prob: f64,
+    /// Probability that replacing a faulted instance transiently fails
+    /// (injected `ENOMEM`/map-count pressure), forcing a second teardown.
+    pub infra_fault_prob: f64,
+    /// Retries per request before it is dead-lettered.
+    pub max_retries: u32,
+    /// First retry backoff (ns); doubled on every subsequent attempt.
+    pub backoff_base_ns: u64,
+    /// Cost of recycling the poisoned instance and instantiating a
+    /// replacement (quarantine scrub + re-color + write-in), charged as
+    /// overhead on the faulting process's CPU.
+    pub recycle_ns: u64,
+}
+
+impl Default for FailureModel {
+    fn default() -> Self {
+        FailureModel {
+            trap_prob: 0.0,
+            infra_fault_prob: 0.0,
+            max_retries: 3,
+            backoff_base_ns: 250_000, // 0.25 ms
+            recycle_ns: 40_000,       // madvise + pkey_mprotect + write-in
+        }
+    }
+}
+
+impl FailureModel {
+    /// A model injecting guest traps at `rate` with default retry policy.
+    pub fn with_trap_rate(rate: f64) -> FailureModel {
+        FailureModel { trap_prob: rate, infra_fault_prob: rate / 4.0, ..FailureModel::default() }
+    }
+}
+
 /// Simulation parameters.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -182,6 +222,8 @@ pub struct SimConfig {
     pub seed: u64,
     /// Cost constants.
     pub costs: SimCosts,
+    /// Injected-failure model (zero rates by default).
+    pub failures: FailureModel,
 }
 
 /// Cost constants for the scheduler models.
@@ -239,6 +281,7 @@ impl SimConfig {
             stages: 3,
             seed: 0x5E65E9,
             costs: SimCosts::default(),
+            failures: FailureModel::default(),
         }
     }
 }
@@ -267,6 +310,20 @@ pub struct SimReport {
     /// 99th-percentile request latency (ms) — the tail FaaS platforms care
     /// about.
     pub p99_latency_ms: f64,
+    /// Injected guest traps (poisoned instances).
+    pub faults: u64,
+    /// Injected infrastructure faults during instance replacement.
+    pub infra_faults: u64,
+    /// Request attempts re-queued after a fault.
+    pub retries: u64,
+    /// Requests abandoned after exhausting the retry budget.
+    pub dead_lettered: u64,
+    /// Fraction of *resolved* requests (completed or dead-lettered) that
+    /// completed. 1.0 when nothing was dead-lettered.
+    pub availability: f64,
+    /// Completions per second that needed no retry — throughput with the
+    /// rework discounted.
+    pub goodput_rps: f64,
 }
 
 #[derive(Debug, Clone)]
@@ -311,6 +368,20 @@ fn generate_requests(cfg: &SimConfig) -> Vec<Request> {
     reqs
 }
 
+/// Stateless fault draw: uniform in [0, 1) from (seed, stream, index) —
+/// the same construction the vm chaos layer uses, so fault schedules are a
+/// pure function of the seed.
+fn fault_draw(seed: u64, stream: u64, index: u64) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(index.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 /// Runs the simulation.
 pub fn simulate(cfg: &SimConfig) -> SimReport {
     let requests = generate_requests(cfg);
@@ -348,6 +419,15 @@ pub fn simulate(cfg: &SimConfig) -> SimReport {
     let mut busy_ns = 0u64;
     let mut overhead_ns = 0u64;
     let mut latencies = Vec::new();
+
+    // Failure-model state.
+    let fm = cfg.failures;
+    let mut attempts: Vec<u32> = vec![0; requests.len()];
+    let mut faults = 0u64;
+    let mut infra_faults = 0u64;
+    let mut retries = 0u64;
+    let mut dead_lettered = 0u64;
+    let mut clean_completed = 0u64;
 
     let epoch_ns = 1_000_000u64;
     let contention = f64::from(nproc.min(15)) / 15.0;
@@ -447,17 +527,62 @@ pub fn simulate(cfg: &SimConfig) -> SimReport {
                     ready[proc as usize].push_back((rid, stage, remaining));
                 } else {
                     let req = &requests[rid as usize];
-                    let next = stage + 1;
-                    if (next as usize) < req.compute_ns.len() {
-                        push(
-                            &mut heap,
-                            &mut seq,
-                            t + req.io_ns[next as usize],
-                            Event::Ready { rid, stage: next },
-                        );
+                    let attempt = attempts[rid as usize];
+                    let trapped = fm.trap_prob > 0.0
+                        && fault_draw(
+                            cfg.seed ^ 0xC4A05,
+                            u64::from(rid) << 8 | u64::from(stage),
+                            u64::from(attempt),
+                        ) < fm.trap_prob;
+                    if trapped {
+                        // The sandbox trapped: poison, recycle the slot and
+                        // instantiate a replacement — all charged as
+                        // overhead. A transient infra fault during
+                        // replacement forces a second teardown.
+                        faults += 1;
+                        let mut repl_ns = fm.recycle_ns;
+                        if fm.infra_fault_prob > 0.0
+                            && fault_draw(
+                                cfg.seed ^ 0x1F4A,
+                                u64::from(rid) << 8 | u64::from(stage),
+                                u64::from(attempt),
+                            ) < fm.infra_fault_prob
+                        {
+                            infra_faults += 1;
+                            repl_ns += 2 * fm.recycle_ns;
+                        }
+                        overhead_ns += repl_ns;
+                        attempts[rid as usize] = attempt + 1;
+                        if attempt + 1 > fm.max_retries {
+                            dead_lettered += 1;
+                        } else {
+                            // Exponential backoff, then re-run this stage on
+                            // the replacement instance.
+                            retries += 1;
+                            let backoff = fm.backoff_base_ns << attempt.min(16);
+                            push(
+                                &mut heap,
+                                &mut seq,
+                                t + repl_ns + backoff,
+                                Event::Ready { rid, stage },
+                            );
+                        }
                     } else {
-                        completed += 1;
-                        latencies.push((t - req.arrival_ns) as f64 / 1e6);
+                        let next = stage + 1;
+                        if (next as usize) < req.compute_ns.len() {
+                            push(
+                                &mut heap,
+                                &mut seq,
+                                t + req.io_ns[next as usize],
+                                Event::Ready { rid, stage: next },
+                            );
+                        } else {
+                            completed += 1;
+                            if attempt == 0 {
+                                clean_completed += 1;
+                            }
+                            latencies.push((t - req.arrival_ns) as f64 / 1e6);
+                        }
                     }
                 }
                 cpu_busy = false;
@@ -505,6 +630,16 @@ pub fn simulate(cfg: &SimConfig) -> SimReport {
         mean_latency_ms: crate::stats::mean(&latencies),
         p50_latency_ms: p50,
         p99_latency_ms: p99,
+        faults,
+        infra_faults,
+        retries,
+        dead_lettered,
+        availability: if completed + dead_lettered == 0 {
+            1.0
+        } else {
+            completed as f64 / (completed + dead_lettered) as f64
+        },
+        goodput_rps: clean_completed as f64 / (cfg.duration_ms as f64 / 1000.0),
     }
 }
 
@@ -614,6 +749,73 @@ mod tests {
         assert!(r.busy_ns > 0);
         assert!(r.p50_latency_ms <= r.p99_latency_ms);
         assert!(r.p50_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn zero_rate_failure_model_changes_nothing() {
+        let clean = quick(FaasWorkload::RegexFilter, ScalingMode::ColorGuard);
+        assert_eq!(clean.faults, 0);
+        assert_eq!(clean.retries, 0);
+        assert_eq!(clean.dead_lettered, 0);
+        assert_eq!(clean.availability, 1.0);
+        assert_eq!(clean.goodput_rps, clean.throughput_rps, "no rework ⇒ goodput = throughput");
+    }
+
+    #[test]
+    fn failure_runs_are_deterministic() {
+        let run = |_: ()| {
+            let mut cfg = SimConfig::paper_rig(FaasWorkload::RegexFilter, ScalingMode::ColorGuard);
+            cfg.duration_ms = 600;
+            cfg.failures = FailureModel::with_trap_rate(0.15);
+            simulate(&cfg)
+        };
+        let a = run(());
+        let b = run(());
+        assert_eq!(a, b);
+        assert!(a.faults > 0, "a 15% rate over hundreds of stages must fire");
+        assert!(a.retries > 0);
+    }
+
+    #[test]
+    fn degradation_is_graceful_and_monotone() {
+        let at = |rate: f64| {
+            let mut cfg = SimConfig::paper_rig(FaasWorkload::HashLoadBalance, ScalingMode::ColorGuard);
+            cfg.duration_ms = 600;
+            cfg.failures = FailureModel::with_trap_rate(rate);
+            simulate(&cfg)
+        };
+        let clean = at(0.0);
+        let light = at(0.1);
+        let heavy = at(0.4);
+        assert!(light.throughput_rps <= clean.throughput_rps);
+        assert!(heavy.throughput_rps < light.throughput_rps);
+        // Graceful: even at a 40% per-stage trap rate the platform keeps
+        // completing a meaningful share of the load — no cliff to zero.
+        assert!(
+            heavy.throughput_rps > 0.25 * clean.throughput_rps,
+            "collapse: {} vs clean {}",
+            heavy.throughput_rps,
+            clean.throughput_rps
+        );
+        assert!(heavy.faults > light.faults);
+        assert!(heavy.goodput_rps < heavy.throughput_rps || heavy.retries == 0);
+        assert!(heavy.availability > 0.5, "retries keep most requests alive");
+    }
+
+    #[test]
+    fn retry_cap_dead_letters() {
+        let mut cfg = SimConfig::paper_rig(FaasWorkload::HtmlTemplate, ScalingMode::ColorGuard);
+        cfg.duration_ms = 400;
+        cfg.failures = FailureModel {
+            trap_prob: 0.9,
+            max_retries: 1,
+            ..FailureModel::default()
+        };
+        let r = simulate(&cfg);
+        assert!(r.dead_lettered > 0, "a 90% trap rate with 1 retry must dead-letter");
+        assert!(r.availability < 1.0);
+        // Accounting sanity: every dead-letter burned its retry budget.
+        assert!(r.faults >= r.dead_lettered * u64::from(cfg.failures.max_retries + 1));
     }
 
     #[test]

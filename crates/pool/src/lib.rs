@@ -49,7 +49,7 @@ mod layout;
 mod pool;
 
 pub use layout::{compute_layout, LayoutError, PoolConfig, SlotLayout};
-pub use pool::{MemoryPool, PoolError, SlotHandle};
+pub use pool::{MemoryPool, PoolError, QuarantineOutcome, QuarantinePolicy, SlotHandle};
 
 /// Wasm's linear-memory page size (64 KiB) — layout granularity per
 /// Table 1, invariants 7–8.

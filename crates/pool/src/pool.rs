@@ -6,6 +6,15 @@
 //! [`SlotLayout`], colors each slot's memory with `pkey_mprotect`, and
 //! recycles finished slots with `madvise(MADV_DONTNEED)` — which keeps MPK
 //! colors (they live in PTEs), so recycling needs no re-striping.
+//!
+//! Slots whose sandbox *trapped* take the crash-containment path instead:
+//! [`MemoryPool::quarantine`] scrubs the slot, fences it `PROT_NONE`, and
+//! parks it in a FIFO quarantine ring. A slot leaves the ring only through a
+//! deterministic teardown (re-commit, re-apply its stripe color, scrub
+//! again); a slot that faults [`QuarantinePolicy::max_faults`] times is
+//! retired and never returned to circulation.
+
+use std::collections::VecDeque;
 
 use sfi_vm::{AddressSpace, MapError, Prot};
 
@@ -64,6 +73,33 @@ impl From<MapError> for PoolError {
     }
 }
 
+/// Policy governing the crash-containment path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantinePolicy {
+    /// Quarantined slots the ring holds before the oldest is rehabilitated
+    /// back to the free list. `0` rehabilitates immediately.
+    pub ring_capacity: usize,
+    /// Lifetime fault count at which a slot is retired for good.
+    pub max_faults: u32,
+}
+
+impl Default for QuarantinePolicy {
+    fn default() -> Self {
+        QuarantinePolicy { ring_capacity: 2, max_faults: 3 }
+    }
+}
+
+/// What [`MemoryPool::quarantine`] did with the slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineOutcome {
+    /// The slot entered the quarantine ring and will eventually circulate
+    /// again.
+    Quarantined,
+    /// The slot hit its fault budget (or could not be scrubbed) and is
+    /// permanently out of circulation.
+    Retired,
+}
+
 /// The pooling allocator.
 #[derive(Debug)]
 pub struct MemoryPool {
@@ -76,6 +112,13 @@ pub struct MemoryPool {
     /// Whether slot memory is eagerly committed+colored (done at creation,
     /// so recycling never re-stripes — the MPK advantage of §7 Obs. 2).
     eager_commit: bool,
+    /// FIFO ring of faulted slots awaiting rehabilitation.
+    quarantine: VecDeque<u64>,
+    /// Lifetime fault count per slot.
+    faults: Vec<u32>,
+    /// Slots permanently removed from circulation.
+    retired: Vec<u64>,
+    policy: QuarantinePolicy,
 }
 
 impl MemoryPool {
@@ -114,6 +157,10 @@ impl MemoryPool {
             free: (0..layout.num_slots).rev().collect(),
             in_use: 0,
             eager_commit,
+            quarantine: VecDeque::new(),
+            faults: vec![0; layout.num_slots as usize],
+            retired: Vec::new(),
+            policy: QuarantinePolicy::default(),
         };
         if eager_commit {
             for i in 0..layout.num_slots {
@@ -169,7 +216,12 @@ impl MemoryPool {
     pub fn allocate(&mut self, space: &mut AddressSpace) -> Result<SlotHandle, PoolError> {
         let index = self.free.pop().ok_or(PoolError::Exhausted)?;
         if !self.eager_commit {
-            self.commit_slot(space, index)?;
+            // Failed commits (e.g. injected map faults) must not leak the
+            // slot: put it back so a later attempt can retry it.
+            if let Err(e) = self.commit_slot(space, index) {
+                self.free.push(index);
+                return Err(e);
+            }
         }
         self.in_use += 1;
         Ok(SlotHandle { index, heap_base: self.slot_base(index), pkey: self.slot_key(index) })
@@ -183,13 +235,112 @@ impl MemoryPool {
         space: &mut AddressSpace,
         handle: SlotHandle,
     ) -> Result<(), PoolError> {
-        if handle.index >= self.layout.num_slots || self.free.contains(&handle.index) {
+        if !self.is_live(handle.index) {
             return Err(PoolError::BadHandle);
         }
         space.madvise_dontneed(self.slot_base(handle.index), self.layout.max_memory_bytes)?;
         self.free.push(handle.index);
         self.in_use -= 1;
         Ok(())
+    }
+
+    /// Whether `index` names a slot that is currently allocated (not free,
+    /// quarantined or retired).
+    fn is_live(&self, index: u64) -> bool {
+        index < self.layout.num_slots
+            && !self.free.contains(&index)
+            && !self.quarantine.contains(&index)
+            && !self.retired.contains(&index)
+    }
+
+    /// Sets the crash-containment policy (applies to future quarantines).
+    pub fn set_quarantine_policy(&mut self, policy: QuarantinePolicy) {
+        self.policy = policy;
+    }
+
+    /// The active crash-containment policy.
+    pub fn quarantine_policy(&self) -> QuarantinePolicy {
+        self.policy
+    }
+
+    /// Slots currently parked in the quarantine ring.
+    pub fn quarantined(&self) -> usize {
+        self.quarantine.len()
+    }
+
+    /// Slots permanently retired.
+    pub fn retired(&self) -> usize {
+        self.retired.len()
+    }
+
+    /// Lifetime fault count of slot `i`.
+    pub fn fault_count(&self, i: u64) -> u32 {
+        self.faults.get(i as usize).copied().unwrap_or(0)
+    }
+
+    /// Takes a *faulted* slot out of circulation: scrubs its contents,
+    /// fences the memory `PROT_NONE` (so any stale pointer into it traps),
+    /// and parks it in the quarantine ring. When the ring overflows
+    /// [`QuarantinePolicy::ring_capacity`], the oldest occupant is
+    /// rehabilitated back to the free list.
+    ///
+    /// A slot that reaches [`QuarantinePolicy::max_faults`] lifetime faults
+    /// is retired instead, as is a slot whose scrub/fence itself fails
+    /// (e.g. under fault injection): a slot that cannot be proven clean
+    /// never circulates again.
+    pub fn quarantine(
+        &mut self,
+        space: &mut AddressSpace,
+        handle: SlotHandle,
+    ) -> Result<QuarantineOutcome, PoolError> {
+        if !self.is_live(handle.index) {
+            return Err(PoolError::BadHandle);
+        }
+        let i = handle.index;
+        self.in_use -= 1;
+        self.faults[i as usize] += 1;
+
+        let base = self.slot_base(i);
+        let scrubbed = space
+            .madvise_dontneed(base, self.layout.max_memory_bytes)
+            .and_then(|()| space.mprotect(base, self.layout.max_memory_bytes, Prot::NONE));
+
+        if scrubbed.is_err() || self.faults[i as usize] >= self.policy.max_faults {
+            self.retired.push(i);
+            return Ok(QuarantineOutcome::Retired);
+        }
+
+        self.quarantine.push_back(i);
+        while self.quarantine.len() > self.policy.ring_capacity {
+            self.rehabilitate_oldest(space);
+        }
+        Ok(QuarantineOutcome::Quarantined)
+    }
+
+    /// Rehabilitates every quarantined slot immediately (shutdown / tests).
+    pub fn drain_quarantine(&mut self, space: &mut AddressSpace) {
+        while !self.quarantine.is_empty() {
+            self.rehabilitate_oldest(space);
+        }
+    }
+
+    /// Deterministic teardown of the oldest quarantined slot: re-commit
+    /// read-write, re-apply the stripe color, scrub once more, and only then
+    /// return it to the free list. If any step fails the slot is retired.
+    fn rehabilitate_oldest(&mut self, space: &mut AddressSpace) {
+        let Some(i) = self.quarantine.pop_front() else { return };
+        let restored = self
+            .commit_slot(space, i)
+            .and_then(|()| {
+                space
+                    .madvise_dontneed(self.slot_base(i), self.layout.max_memory_bytes)
+                    .map_err(PoolError::from)
+            });
+        if restored.is_ok() {
+            self.free.push(i);
+        } else {
+            self.retired.push(i);
+        }
     }
 }
 
@@ -289,6 +440,83 @@ mod tests {
         space.keys.reserve(14);
         let err = MemoryPool::create(&mut space, &small_cfg());
         assert!(matches!(err, Err(PoolError::KeysUnavailable)), "{err:?}");
+    }
+
+    #[test]
+    fn quarantine_fences_and_rehabilitates() {
+        let mut space = AddressSpace::new_48bit();
+        let mut pool = MemoryPool::create(&mut space, &small_cfg()).unwrap();
+        pool.set_quarantine_policy(QuarantinePolicy { ring_capacity: 1, max_faults: 10 });
+        let a = pool.allocate(&mut space).unwrap();
+        let ctx = AccessCtx { pkru: Pkru::only_stripe(a.pkey).0 };
+        space.store(a.heap_base, Width::Q, 0xDEAD, ctx).unwrap();
+
+        assert_eq!(pool.quarantine(&mut space, a).unwrap(), QuarantineOutcome::Quarantined);
+        assert_eq!(pool.quarantined(), 1);
+        assert_eq!(pool.fault_count(a.index), 1);
+        // While quarantined the slot is fenced: even its own color traps.
+        assert!(matches!(
+            space.load(a.heap_base, Width::Q, ctx),
+            Err(MemFault::Protection { .. })
+        ));
+        // Double-quarantine / deallocate of a parked slot is a bad handle.
+        assert_eq!(pool.quarantine(&mut space, a).unwrap_err(), PoolError::BadHandle);
+        assert_eq!(pool.deallocate(&mut space, a).unwrap_err(), PoolError::BadHandle);
+
+        // Rehabilitate: the slot circulates again, same color, scrubbed.
+        pool.drain_quarantine(&mut space);
+        assert_eq!(pool.quarantined(), 0);
+        let free_before = pool.capacity() - pool.in_use();
+        assert_eq!(free_before, pool.capacity());
+        // Allocate everything; the rehabilitated slot must come back usable.
+        let handles: Vec<_> =
+            (0..pool.capacity()).map(|_| pool.allocate(&mut space).unwrap()).collect();
+        let back = handles.iter().find(|h| h.index == a.index).expect("slot circulates");
+        assert_eq!(back.pkey, a.pkey, "stripe color re-applied");
+        assert_eq!(space.load(back.heap_base, Width::Q, ctx).unwrap(), 0, "scrubbed");
+    }
+
+    #[test]
+    fn quarantine_ring_defers_reuse() {
+        let mut space = AddressSpace::new_48bit();
+        let mut pool = MemoryPool::create(&mut space, &small_cfg()).unwrap();
+        pool.set_quarantine_policy(QuarantinePolicy { ring_capacity: 2, max_faults: 10 });
+        let a = pool.allocate(&mut space).unwrap();
+        let b = pool.allocate(&mut space).unwrap();
+        let c = pool.allocate(&mut space).unwrap();
+        pool.quarantine(&mut space, a).unwrap();
+        pool.quarantine(&mut space, b).unwrap();
+        assert_eq!(pool.quarantined(), 2, "ring holds both");
+        // Third entry overflows the ring: the oldest (a) is rehabilitated.
+        pool.quarantine(&mut space, c).unwrap();
+        assert_eq!(pool.quarantined(), 2);
+        let ctx = AccessCtx { pkru: Pkru::only_stripe(a.pkey).0 };
+        assert!(space.load(a.heap_base, Width::Q, ctx).is_ok(), "a circulates again");
+    }
+
+    #[test]
+    fn repeat_offender_is_retired() {
+        let mut space = AddressSpace::new_48bit();
+        let mut pool = MemoryPool::create(&mut space, &small_cfg()).unwrap();
+        pool.set_quarantine_policy(QuarantinePolicy { ring_capacity: 0, max_faults: 2 });
+        let first = pool.allocate(&mut space).unwrap();
+        assert_eq!(pool.quarantine(&mut space, first).unwrap(), QuarantineOutcome::Quarantined);
+        // ring_capacity 0 rehabilitates immediately; fault it again.
+        let again = loop {
+            let h = pool.allocate(&mut space).unwrap();
+            if h.index == first.index {
+                break h;
+            }
+        };
+        assert_eq!(pool.quarantine(&mut space, again).unwrap(), QuarantineOutcome::Retired);
+        assert_eq!(pool.retired(), 1);
+        assert_eq!(pool.fault_count(first.index), 2);
+        // The retired slot never comes back.
+        let mut seen = Vec::new();
+        while let Ok(h) = pool.allocate(&mut space) {
+            seen.push(h.index);
+        }
+        assert!(!seen.contains(&first.index), "retired slot must not circulate");
     }
 
     #[test]

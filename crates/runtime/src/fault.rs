@@ -1,0 +1,197 @@
+//! The sandbox fault taxonomy and per-fault recovery contract.
+//!
+//! Every way a sandboxed invocation can go wrong maps to one
+//! [`SandboxFault`], and every fault prescribes one [`RecoveryAction`].
+//! The split matters for containment: *guest* faults (the sandbox touched
+//! a guard page, another stripe's color, a mismatched MTE tag, or an
+//! illegal control-flow target) mean the instance's internal state can no
+//! longer be trusted — the runtime poisons it and its slot must go through
+//! the quarantine teardown. *Infrastructure* faults (map-count pressure,
+//! pool exhaustion, injected `ENOMEM`) say nothing about the guest: they
+//! are retryable. Host-API errors and epoch interruption leave the
+//! instance healthy.
+
+use sfi_vm::MapError;
+use sfi_x86::{MemFault, Trap};
+
+/// Classified cause of a failed invocation or runtime operation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SandboxFault {
+    /// The sandbox hit a guard region (unmapped or `PROT_NONE` page) — the
+    /// classic SFI bounds violation.
+    GuardHit {
+        /// Faulting virtual address.
+        addr: u64,
+    },
+    /// The sandbox touched memory colored with another stripe's MPK key
+    /// while PKRU denied it — ColorGuard's containment boundary.
+    ColorFault {
+        /// Faulting virtual address.
+        addr: u64,
+        /// The page's protection key.
+        key: u8,
+    },
+    /// MTE tag mismatch between the pointer's top byte and the granule.
+    TagFault {
+        /// Faulting virtual address.
+        addr: u64,
+        /// Tag carried in the pointer.
+        ptr_tag: u8,
+        /// Tag stored on the granule.
+        mem_tag: u8,
+    },
+    /// An indirect branch or call left the sandbox's valid target set.
+    BadControlFlow {
+        /// The offending target.
+        target: u64,
+    },
+    /// Any other guest-originated trap (divide error, `ud2`, forbidden
+    /// privileged instruction).
+    GuestTrap(Trap),
+    /// The invocation ran past its epoch budget (cooperative preemption).
+    EpochInterrupted,
+    /// A host API function returned an error.
+    HostError(String),
+    /// The pool had no free slot.
+    PoolExhausted,
+    /// A mapping operation failed (`vm.max_map_count`, injected `ENOMEM`…).
+    MapFault(MapError),
+}
+
+/// What the runtime (or an orchestrator above it) should do about a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// The instance's state is untrusted: it is poisoned and its slot must
+    /// be recycled through quarantine before reuse.
+    PoisonAndRecycle,
+    /// Transient infrastructure failure: retry (with backoff) on a fresh
+    /// slot or after resources free up.
+    Retry,
+    /// The instance is healthy and may be resumed or re-invoked as-is.
+    Resume,
+    /// Surface the error to the caller; the instance stays healthy.
+    Propagate,
+}
+
+impl SandboxFault {
+    /// Classifies a guest trap.
+    pub fn from_trap(trap: &Trap) -> SandboxFault {
+        match *trap {
+            Trap::Mem(MemFault::Unmapped { addr }) | Trap::Mem(MemFault::Protection { addr }) => {
+                SandboxFault::GuardHit { addr }
+            }
+            Trap::Mem(MemFault::PkuViolation { addr, key }) => SandboxFault::ColorFault { addr, key },
+            Trap::Mem(MemFault::MteTagMismatch { addr, ptr_tag, mem_tag }) => {
+                SandboxFault::TagFault { addr, ptr_tag, mem_tag }
+            }
+            Trap::BadControlFlow { target } => SandboxFault::BadControlFlow { target },
+            Trap::FuelExhausted => SandboxFault::EpochInterrupted,
+            ref t => SandboxFault::GuestTrap(t.clone()),
+        }
+    }
+
+    /// The prescribed recovery for this fault.
+    pub fn recovery(&self) -> RecoveryAction {
+        match self {
+            SandboxFault::GuardHit { .. }
+            | SandboxFault::ColorFault { .. }
+            | SandboxFault::TagFault { .. }
+            | SandboxFault::BadControlFlow { .. }
+            | SandboxFault::GuestTrap(_) => RecoveryAction::PoisonAndRecycle,
+            SandboxFault::EpochInterrupted => RecoveryAction::Resume,
+            SandboxFault::HostError(_) => RecoveryAction::Propagate,
+            SandboxFault::PoolExhausted | SandboxFault::MapFault(_) => RecoveryAction::Retry,
+        }
+    }
+
+    /// Whether this fault means the guest escaped its contract (and the
+    /// instance must be poisoned).
+    pub fn poisons(&self) -> bool {
+        self.recovery() == RecoveryAction::PoisonAndRecycle
+    }
+}
+
+impl core::fmt::Display for SandboxFault {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SandboxFault::GuardHit { addr } => write!(f, "guard hit at {addr:#x}"),
+            SandboxFault::ColorFault { addr, key } => {
+                write!(f, "PKRU color fault at {addr:#x} (key {key})")
+            }
+            SandboxFault::TagFault { addr, ptr_tag, mem_tag } => {
+                write!(f, "MTE tag fault at {addr:#x} (ptr {ptr_tag:#x}, mem {mem_tag:#x})")
+            }
+            SandboxFault::BadControlFlow { target } => {
+                write!(f, "bad control-flow target {target:#x}")
+            }
+            SandboxFault::GuestTrap(t) => write!(f, "guest trap: {t}"),
+            SandboxFault::EpochInterrupted => f.write_str("epoch interrupted"),
+            SandboxFault::HostError(m) => write!(f, "host error: {m}"),
+            SandboxFault::PoolExhausted => f.write_str("pool exhausted"),
+            SandboxFault::MapFault(e) => write!(f, "map fault: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guest_traps_poison() {
+        let faults = [
+            SandboxFault::from_trap(&Trap::Mem(MemFault::Unmapped { addr: 0x1000 })),
+            SandboxFault::from_trap(&Trap::Mem(MemFault::PkuViolation { addr: 0x2000, key: 3 })),
+            SandboxFault::from_trap(&Trap::Mem(MemFault::MteTagMismatch {
+                addr: 0x3000,
+                ptr_tag: 1,
+                mem_tag: 2,
+            })),
+            SandboxFault::from_trap(&Trap::BadControlFlow { target: 99 }),
+            SandboxFault::from_trap(&Trap::DivideError),
+            SandboxFault::from_trap(&Trap::PrivilegedInstruction),
+        ];
+        for fault in faults {
+            assert_eq!(fault.recovery(), RecoveryAction::PoisonAndRecycle, "{fault}");
+            assert!(fault.poisons());
+        }
+    }
+
+    #[test]
+    fn classification_is_structural() {
+        assert_eq!(
+            SandboxFault::from_trap(&Trap::Mem(MemFault::Protection { addr: 7 })),
+            SandboxFault::GuardHit { addr: 7 }
+        );
+        assert_eq!(
+            SandboxFault::from_trap(&Trap::Mem(MemFault::PkuViolation { addr: 7, key: 4 })),
+            SandboxFault::ColorFault { addr: 7, key: 4 }
+        );
+        assert_eq!(
+            SandboxFault::from_trap(&Trap::FuelExhausted),
+            SandboxFault::EpochInterrupted
+        );
+    }
+
+    #[test]
+    fn non_guest_faults_do_not_poison() {
+        assert_eq!(SandboxFault::EpochInterrupted.recovery(), RecoveryAction::Resume);
+        assert_eq!(
+            SandboxFault::HostError("x".into()).recovery(),
+            RecoveryAction::Propagate
+        );
+        assert_eq!(SandboxFault::PoolExhausted.recovery(), RecoveryAction::Retry);
+        assert_eq!(
+            SandboxFault::MapFault(MapError::Injected).recovery(),
+            RecoveryAction::Retry
+        );
+        for fault in [
+            SandboxFault::EpochInterrupted,
+            SandboxFault::HostError("x".into()),
+            SandboxFault::PoolExhausted,
+        ] {
+            assert!(!fault.poisons());
+        }
+    }
+}

@@ -37,12 +37,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod runtime;
 mod transition;
 
+pub use fault::{RecoveryAction, SandboxFault};
 pub use runtime::{
     HostApi, InstanceId, InvokeOutcome, NoHostApi, Runtime, RuntimeConfig, RuntimeError,
 };
+pub use sfi_pool::{QuarantineOutcome, QuarantinePolicy};
 pub use transition::{TransitionKind, TransitionModel, TransitionStats};
 
 #[cfg(test)]
@@ -244,6 +247,119 @@ mod tests {
         rt.terminate(ids[0]).unwrap();
         let fresh = rt.instantiate(Arc::clone(&cm)).unwrap();
         assert_eq!(rt.invoke(fresh, "bump", &[0]).unwrap().result, Some(1));
+    }
+
+    #[test]
+    fn trap_poisons_instance_until_recycled() {
+        let cm = module(POKE, Strategy::Segue);
+        let mut rt = Runtime::new(RuntimeConfig::small_test(true)).unwrap();
+        let a = rt.instantiate(Arc::clone(&cm)).unwrap();
+        assert_eq!(rt.is_poisoned(a), Some(false));
+
+        let oob = rt.invoke(a, "poke", &[65536]);
+        assert!(matches!(oob, Err(RuntimeError::Trapped(_))), "{oob:?}");
+        assert_eq!(rt.is_poisoned(a), Some(true));
+        assert!(
+            matches!(rt.last_fault(a), Some(SandboxFault::GuardHit { .. })),
+            "{:?}",
+            rt.last_fault(a)
+        );
+        assert_eq!(rt.last_fault(a).unwrap().recovery(), RecoveryAction::PoisonAndRecycle);
+
+        // Poisoned: every further invoke refuses, even in-bounds ones.
+        assert!(matches!(rt.invoke(a, "poke", &[0]), Err(RuntimeError::Poisoned)));
+        assert!(matches!(rt.invoke(a, "poke", &[0]), Err(RuntimeError::Poisoned)));
+
+        // Recycle tears it down; the id is gone and capacity recovers
+        // (through quarantine, so allocate until the slot circulates back).
+        rt.recycle(a).unwrap();
+        assert_eq!(rt.is_poisoned(a), None);
+        assert!(matches!(rt.invoke(a, "poke", &[0]), Err(RuntimeError::BadInstance)));
+        let fresh = rt.instantiate(cm).unwrap();
+        rt.invoke(fresh, "poke", &[0]).unwrap();
+    }
+
+    #[test]
+    fn neighbour_trap_does_not_disturb_interleaved_instance() {
+        // Satellite regression: interleave two instances across a trap. B's
+        // observable behaviour must be identical to a fault-free run — the
+        // low regions are scrubbed and rewritten on every invoke, so A's
+        // trapped invocation leaves nothing behind for B to see.
+        let cm = module(COUNTER, Strategy::Segue);
+
+        // Reference: B alone, three bumps.
+        let mut reference = Runtime::new(RuntimeConfig::small_test(true)).unwrap();
+        let rb = reference.instantiate(Arc::clone(&cm)).unwrap();
+        let expect: Vec<_> =
+            (0..3).map(|_| reference.invoke(rb, "bump", &[8]).unwrap().result).collect();
+
+        // Interleaved: A bumps, B bumps, A traps, B bumps, B bumps.
+        let pm = module(POKE, Strategy::Segue);
+        let mut rt = Runtime::new(RuntimeConfig::small_test(true)).unwrap();
+        let a = rt.instantiate(pm).unwrap();
+        let b = rt.instantiate(Arc::clone(&cm)).unwrap();
+        rt.invoke(a, "poke", &[0]).unwrap();
+        let got1 = rt.invoke(b, "bump", &[8]).unwrap().result;
+        assert!(rt.invoke(a, "poke", &[65536]).is_err(), "A traps");
+        let got2 = rt.invoke(b, "bump", &[8]).unwrap().result;
+        let got3 = rt.invoke(b, "bump", &[8]).unwrap().result;
+        assert_eq!(vec![got1, got2, got3], expect);
+        assert_eq!(rt.invoke(b, "calls", &[]).unwrap().result, Some(3));
+    }
+
+    #[test]
+    fn host_state_restored_on_every_exit_path() {
+        // PKRU and the segment base must read as host values (0) after Ok,
+        // Trapped, EpochInterrupted and Host-error outcomes alike.
+        let cm = module(POKE, Strategy::Segue);
+        let mut rt = Runtime::new(RuntimeConfig::small_test(true)).unwrap();
+        let a = rt.instantiate(Arc::clone(&cm)).unwrap();
+
+        rt.invoke(a, "poke", &[0]).unwrap();
+        assert_eq!((rt.host_pkru(), rt.host_gs_base()), (0, 0), "after Ok");
+
+        assert!(rt.invoke(a, "poke", &[65536]).is_err());
+        assert_eq!((rt.host_pkru(), rt.host_gs_base()), (0, 0), "after trap");
+
+        let spin = module(
+            r#"(module (memory 1) (func (export "spin") loop br 0 end))"#,
+            Strategy::Segue,
+        );
+        let mut cfg = RuntimeConfig::small_test(true);
+        cfg.epoch_fuel = Some(1_000);
+        let mut rt2 = Runtime::new(cfg).unwrap();
+        let s = rt2.instantiate(spin).unwrap();
+        assert!(matches!(rt2.invoke(s, "spin", &[]), Err(RuntimeError::EpochInterrupted)));
+        assert_eq!((rt2.host_pkru(), rt2.host_gs_base()), (0, 0), "after epoch");
+        // Epoch interruption does not poison.
+        assert_eq!(rt2.is_poisoned(s), Some(false));
+    }
+
+    #[test]
+    fn heap_access_is_bounds_checked() {
+        let cm = module(COUNTER, Strategy::Segue);
+        let mut rt = Runtime::new(RuntimeConfig::small_test(true)).unwrap();
+        let a = rt.instantiate(cm).unwrap();
+        let mem = 65536u64; // 1 Wasm page
+
+        let mut buf = [0u8; 4];
+        rt.read_heap(a, mem - 4, &mut buf).unwrap();
+        assert!(matches!(
+            rt.read_heap(a, mem - 3, &mut buf),
+            Err(RuntimeError::HeapOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            rt.read_heap(a, u64::MAX - 1, &mut buf),
+            Err(RuntimeError::HeapOutOfBounds { .. })
+        ));
+
+        rt.write_heap(a, 16, &[1, 2, 3, 4]).unwrap();
+        rt.read_heap(a, 16, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+        assert!(matches!(
+            rt.write_heap(a, mem, &[9]),
+            Err(RuntimeError::HeapOutOfBounds { .. })
+        ));
     }
 
     #[test]

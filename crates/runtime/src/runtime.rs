@@ -7,7 +7,7 @@ use std::sync::Arc;
 use sfi_core::compile::{hostcall, CompiledModule};
 use sfi_core::config::regs;
 use sfi_core::Strategy;
-use sfi_pool::{MemoryPool, PoolConfig, PoolError, SlotHandle};
+use sfi_pool::{MemoryPool, PoolConfig, PoolError, QuarantineOutcome, SlotHandle};
 use sfi_vm::mpk::Pkru;
 use sfi_vm::{AddressSpace, MapError, Prot};
 use sfi_wasm::PAGE_SIZE;
@@ -15,7 +15,13 @@ use sfi_x86::cost::RunStats;
 use sfi_x86::emu::{Machine, RegFile};
 use sfi_x86::{Gpr, Trap};
 
+use crate::fault::SandboxFault;
 use crate::transition::{TransitionKind, TransitionModel, TransitionStats};
+
+/// The low runtime region (header, globals, table, native stack) mapped at
+/// startup and scrubbed before every invocation.
+const LOW_REGION_BASE: u64 = 0x1000;
+const LOW_REGION_LEN: u64 = 0xF_F000; // 4 KiB .. 1 MiB
 
 /// A host API: named functions the sandbox may import (mini-WASI).
 pub trait HostApi {
@@ -45,6 +51,12 @@ struct Instance {
     slot: SlotHandle,
     globals: Vec<u64>,
     mem_pages: u32,
+    /// Set when a guest trap makes this instance's state untrusted. A
+    /// poisoned instance refuses further invocations; its slot can only be
+    /// returned through [`Runtime::recycle`].
+    poisoned: bool,
+    /// The classified cause of the most recent failed invocation.
+    last_fault: Option<SandboxFault>,
 }
 
 /// Runtime failures.
@@ -67,6 +79,18 @@ pub enum RuntimeError {
     EpochInterrupted,
     /// A host function failed.
     Host(String),
+    /// The instance previously trapped and its state is untrusted; it must
+    /// be recycled.
+    Poisoned,
+    /// A host-side heap access was out of the instance's memory bounds.
+    HeapOutOfBounds {
+        /// Requested offset into the heap.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// The instance's current memory size in bytes.
+        size: u64,
+    },
 }
 
 impl core::fmt::Display for RuntimeError {
@@ -80,6 +104,10 @@ impl core::fmt::Display for RuntimeError {
             RuntimeError::Trapped(t) => write!(f, "trap: {t}"),
             RuntimeError::EpochInterrupted => f.write_str("epoch interrupted"),
             RuntimeError::Host(m) => write!(f, "host: {m}"),
+            RuntimeError::Poisoned => f.write_str("instance is poisoned (previous trap)"),
+            RuntimeError::HeapOutOfBounds { offset, len, size } => {
+                write!(f, "heap access [{offset:#x}, +{len}) out of bounds (memory is {size} bytes)")
+            }
         }
     }
 }
@@ -163,7 +191,7 @@ impl Runtime {
     pub fn new(config: RuntimeConfig) -> Result<Runtime, RuntimeError> {
         let mut space = AddressSpace::new_48bit();
         // Low runtime regions (key 0, always accessible).
-        space.mmap_fixed(0x1000, 0xF_F000, Prot::READ_WRITE)?; // 4 KiB..1 MiB
+        space.mmap_fixed(LOW_REGION_BASE, LOW_REGION_LEN, Prot::READ_WRITE)?;
         let pool = MemoryPool::create(&mut space, &config.pool)?;
         Ok(Runtime {
             space,
@@ -184,6 +212,17 @@ impl Runtime {
     /// The address space (for test assertions).
     pub fn space(&self) -> &AddressSpace {
         &self.space
+    }
+
+    /// Attaches a deterministic fault-injection plan to the runtime's
+    /// address space (see [`sfi_vm::chaos`]).
+    pub fn set_fault_plan(&mut self, plan: Option<sfi_vm::FaultPlan>) {
+        self.space.set_fault_plan(plan);
+    }
+
+    /// Sets the pool's crash-containment policy.
+    pub fn set_quarantine_policy(&mut self, policy: sfi_pool::QuarantinePolicy) {
+        self.pool.set_quarantine_policy(policy);
     }
 
     /// Live instance count.
@@ -219,16 +258,56 @@ impl Runtime {
                 mem_pages: module.mem_min_pages,
                 module,
                 slot,
+                poisoned: false,
+                last_fault: None,
             },
         );
         Ok(InstanceId(id))
     }
 
-    /// Destroys an instance, recycling its slot (`madvise`).
+    /// Destroys a healthy instance, recycling its slot (`madvise`).
+    /// Poisoned instances are routed through [`Runtime::recycle`] so their
+    /// slot never skips quarantine.
     pub fn terminate(&mut self, id: InstanceId) -> Result<(), RuntimeError> {
+        if self.instances.get(&id.0).ok_or(RuntimeError::BadInstance)?.poisoned {
+            self.recycle(id)?;
+            return Ok(());
+        }
         let inst = self.instances.remove(&id.0).ok_or(RuntimeError::BadInstance)?;
         self.pool.deallocate(&mut self.space, inst.slot)?;
         Ok(())
+    }
+
+    /// Deterministic teardown of an instance whose sandbox trapped: the
+    /// instance is destroyed and its slot goes through the pool's
+    /// quarantine path (heap scrubbed with `madvise(MADV_DONTNEED)`,
+    /// fenced `PROT_NONE`, stripe color re-applied on rehabilitation, slot
+    /// retired after repeated faults).
+    pub fn recycle(&mut self, id: InstanceId) -> Result<QuarantineOutcome, RuntimeError> {
+        let inst = self.instances.remove(&id.0).ok_or(RuntimeError::BadInstance)?;
+        Ok(self.pool.quarantine(&mut self.space, inst.slot)?)
+    }
+
+    /// Whether `id` is poisoned (trapped and awaiting recycle). `None` for
+    /// unknown instances.
+    pub fn is_poisoned(&self, id: InstanceId) -> Option<bool> {
+        self.instances.get(&id.0).map(|i| i.poisoned)
+    }
+
+    /// The classified cause of `id`'s most recent failed invocation.
+    pub fn last_fault(&self, id: InstanceId) -> Option<&SandboxFault> {
+        self.instances.get(&id.0)?.last_fault.as_ref()
+    }
+
+    /// The host's PKRU view after the last invocation (0 = full access —
+    /// the value every exit path must restore).
+    pub fn host_pkru(&self) -> u32 {
+        self.machine.regs.pkru
+    }
+
+    /// The host's segment base after the last invocation (0 = restored).
+    pub fn host_gs_base(&self) -> u64 {
+        self.machine.regs.gs_base
     }
 
     /// Invokes an export with no host API.
@@ -253,6 +332,9 @@ impl Runtime {
         host: &mut dyn HostApi,
     ) -> Result<InvokeOutcome, RuntimeError> {
         let inst = self.instances.get(&id.0).ok_or(RuntimeError::BadInstance)?;
+        if inst.poisoned {
+            return Err(RuntimeError::Poisoned);
+        }
         let module = Arc::clone(&inst.module);
         let entry = module
             .export_entry(export)
@@ -264,6 +346,12 @@ impl Runtime {
         let pkey = inst.slot.pkey;
         let max_pages =
             (self.pool.layout().max_memory_bytes / PAGE_SIZE).min(u64::from(module.mem_max_pages));
+
+        // Scrub the shared low regions (header, globals, table, stack)
+        // before writing this instance's state in. Unconditional: a trap in
+        // a previous invocation must not leave another instance's state —
+        // or a partially clobbered table — visible to this one.
+        self.space.madvise_dontneed(LOW_REGION_BASE, LOW_REGION_LEN)?;
 
         // Install per-instance runtime state into the shared low regions.
         self.space.write_unchecked(
@@ -419,24 +507,40 @@ impl Runtime {
             self.machine.run_image_from(&module.image, entry, space, &mut handler)
         };
 
-        // Exit transition.
+        // Exit transition: restore the full host state (PKRU and segment
+        // base) on every path — success, trap, epoch, host error.
         self.transitions.record(&self.config.transition, exit);
         invocation_transition_cycles += self.config.transition.cycles(exit);
         invocation_transition_cycles += host_transition_cycles;
         self.transitions.count += host_transitions;
         self.transitions.cycles += host_transition_cycles;
         self.machine.regs.pkru = 0;
+        self.machine.regs.gs_base = 0;
 
         let stats = match stats {
             Ok(s) => s,
             Err(Trap::FuelExhausted) if self.config.epoch_fuel.is_some() => {
-                return Err(RuntimeError::EpochInterrupted)
+                let inst = self.instances.get_mut(&id.0).expect("checked above");
+                inst.last_fault = Some(SandboxFault::EpochInterrupted);
+                return Err(RuntimeError::EpochInterrupted);
             }
             Err(t) => {
+                let inst = self.instances.get_mut(&id.0).expect("checked above");
                 return Err(match host_err {
-                    Some(m) => RuntimeError::Host(m),
-                    None => RuntimeError::Trapped(t),
-                })
+                    Some(m) => {
+                        // Host API errors say nothing about the guest: the
+                        // instance stays healthy and re-invocable.
+                        inst.last_fault = Some(SandboxFault::HostError(m.clone()));
+                        RuntimeError::Host(m)
+                    }
+                    None => {
+                        // A guest trap: the sandbox violated its contract,
+                        // so its state is untrusted from here on.
+                        inst.last_fault = Some(SandboxFault::from_trap(&t));
+                        inst.poisoned = true;
+                        RuntimeError::Trapped(t)
+                    }
+                });
             }
         };
 
@@ -462,10 +566,35 @@ impl Runtime {
         })
     }
 
+    /// Bounds-checks a host-side heap access against the instance's
+    /// *current* memory size (the host must not reach into guard space or a
+    /// neighbouring slot on behalf of a caller).
+    fn heap_access(inst: &Instance, offset: u64, len: usize) -> Result<u64, RuntimeError> {
+        let size = u64::from(inst.mem_pages) * PAGE_SIZE;
+        let oob = RuntimeError::HeapOutOfBounds { offset, len: len as u64, size };
+        let end = offset.checked_add(len as u64).ok_or(oob.clone())?;
+        if end > size {
+            return Err(oob);
+        }
+        Ok(inst.slot.heap_base + offset)
+    }
+
     /// Reads bytes from an instance's heap (host-side inspection).
+    /// Fails with [`RuntimeError::HeapOutOfBounds`] if the range leaves the
+    /// instance's memory.
     pub fn read_heap(&self, id: InstanceId, offset: u64, buf: &mut [u8]) -> Result<(), RuntimeError> {
         let inst = self.instances.get(&id.0).ok_or(RuntimeError::BadInstance)?;
-        self.space.read_unchecked(inst.slot.heap_base + offset, buf);
+        let addr = Self::heap_access(inst, offset, buf.len())?;
+        self.space.read_unchecked(addr, buf);
+        Ok(())
+    }
+
+    /// Writes bytes into an instance's heap, with the same bounds check as
+    /// [`Runtime::read_heap`].
+    pub fn write_heap(&mut self, id: InstanceId, offset: u64, bytes: &[u8]) -> Result<(), RuntimeError> {
+        let inst = self.instances.get(&id.0).ok_or(RuntimeError::BadInstance)?;
+        let addr = Self::heap_access(inst, offset, bytes.len())?;
+        self.space.write_unchecked(addr, bytes);
         Ok(())
     }
 

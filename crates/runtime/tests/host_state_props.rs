@@ -1,0 +1,166 @@
+//! Host-state invariants under arbitrary invoke interleavings.
+//!
+//! Two properties the transition protocol must keep on EVERY exit path —
+//! success, guest trap, epoch interruption, host-API error, poisoned
+//! rejection, injected map fault:
+//!
+//! 1. The host's PKRU reads 0 (full access) and the segment base reads 0
+//!    after every invocation, however it ended.
+//! 2. Transition accounting stays balanced: every entry transition has a
+//!    matching exit transition (host out/in legs come in pairs too), so
+//!    the cumulative count is always even.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sfi_core::{compile, CompilerConfig, Strategy as SfiStrategy};
+use sfi_runtime::{HostApi, InstanceId, Runtime, RuntimeConfig, RuntimeError};
+
+fn guest_module() -> Arc<sfi_core::CompiledModule> {
+    let m = sfi_wasm::wat::parse(
+        r#"(module (memory 1)
+             (func (export "bump") (param $p i32) (result i32)
+               local.get $p
+               local.get $p i32.load i32.const 1 i32.add
+               i32.store
+               local.get $p i32.load)
+             (func (export "spin") loop br 0 end))"#,
+    )
+    .expect("parses");
+    Arc::new(compile(&m, &CompilerConfig::for_strategy(SfiStrategy::Segue)).expect("compiles"))
+}
+
+/// A module whose single export calls out to the host, so the Host-error
+/// exit path is reachable (the WAT surface has no import syntax).
+fn hostcall_module() -> Arc<sfi_core::CompiledModule> {
+    let mut m = sfi_wasm::Module::new(1);
+    m.push_import(sfi_wasm::HostImport {
+        name: "env.maybe".into(),
+        params: vec![],
+        result: Some(sfi_wasm::ValType::I32),
+    });
+    let f = m.push_func(
+        sfi_wasm::FuncBuilder::new("callhost")
+            .result(sfi_wasm::ValType::I32)
+            .body(vec![sfi_wasm::Op::Call(0), sfi_wasm::Op::End])
+            .build(),
+    );
+    m.export("callhost", f);
+    Arc::new(compile(&m, &CompilerConfig::for_strategy(SfiStrategy::Segue)).expect("compiles"))
+}
+
+struct FlakyHost {
+    fail: bool,
+}
+
+impl HostApi for FlakyHost {
+    fn call(&mut self, _name: &str, _args: &[u64], _heap: &mut [u8]) -> Result<Option<u64>, String> {
+        if self.fail {
+            Err("host refused".into())
+        } else {
+            Ok(Some(7))
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// In-bounds store: the Ok path.
+    Bump { offset: u32 },
+    /// Guard hit: the trap path (poisons, so also exercises the Poisoned
+    /// rejection and the recycle + reinstantiate path).
+    Oob,
+    /// Infinite loop under an epoch budget: the EpochInterrupted path.
+    Spin,
+    /// Import dispatch, failing or succeeding: the Host(-error) path.
+    HostCall { fail: bool },
+    /// Deterministic teardown through quarantine, then a fresh instance.
+    Recycle,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..64).prop_map(|o| Op::Bump { offset: o * 4 }),
+        Just(Op::Oob),
+        Just(Op::Spin),
+        any::<bool>().prop_map(|fail| Op::HostCall { fail }),
+        Just(Op::Recycle),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pkru_and_transitions_survive_every_exit_path(
+        ops in prop::collection::vec(op_strategy(), 1..32),
+    ) {
+        let guest = guest_module();
+        let hostcall = hostcall_module();
+        let mut cfg = RuntimeConfig::small_test(true);
+        cfg.epoch_fuel = Some(5_000);
+        let mut rt = Runtime::new(cfg).unwrap();
+        let mut a: Option<InstanceId> = Some(rt.instantiate(Arc::clone(&guest)).unwrap());
+        let h = rt.instantiate(Arc::clone(&hostcall)).unwrap();
+
+        for op in ops {
+            match op {
+                Op::Bump { offset } => {
+                    if let Some(id) = a {
+                        match rt.invoke(id, "bump", &[u64::from(offset)]) {
+                            Ok(_) | Err(RuntimeError::Poisoned) => {}
+                            Err(e) => prop_assert!(false, "bump: unexpected {e:?}"),
+                        }
+                    }
+                }
+                Op::Oob => {
+                    if let Some(id) = a {
+                        let r = rt.invoke(id, "bump", &[65536]);
+                        prop_assert!(
+                            matches!(r, Err(RuntimeError::Trapped(_) | RuntimeError::Poisoned)),
+                            "oob: unexpected {r:?}"
+                        );
+                    }
+                }
+                Op::Spin => {
+                    if let Some(id) = a {
+                        let r = rt.invoke(id, "spin", &[]);
+                        prop_assert!(
+                            matches!(
+                                r,
+                                Err(RuntimeError::EpochInterrupted | RuntimeError::Poisoned)
+                            ),
+                            "spin: unexpected {r:?}"
+                        );
+                        // Epoch interruption must never poison.
+                        if matches!(r, Err(RuntimeError::EpochInterrupted)) {
+                            prop_assert_eq!(rt.is_poisoned(id), Some(false));
+                        }
+                    }
+                }
+                Op::HostCall { fail } => {
+                    let r = rt.invoke_with_host(h, "callhost", &[], &mut FlakyHost { fail });
+                    if fail {
+                        prop_assert!(matches!(r, Err(RuntimeError::Host(_))), "{r:?}");
+                        // Host errors say nothing about the guest.
+                        prop_assert_eq!(rt.is_poisoned(h), Some(false));
+                    } else {
+                        prop_assert_eq!(r.unwrap().result, Some(7));
+                    }
+                }
+                Op::Recycle => {
+                    if let Some(id) = a.take() {
+                        rt.recycle(id).unwrap();
+                    }
+                    a = rt.instantiate(Arc::clone(&guest)).ok();
+                }
+            }
+
+            // Property 1: full host state after every outcome.
+            prop_assert_eq!(rt.host_pkru(), 0, "PKRU not restored");
+            prop_assert_eq!(rt.host_gs_base(), 0, "segment base not restored");
+            // Property 2: entries and exits pair up on every path.
+            prop_assert_eq!(rt.transitions.count % 2, 0, "unbalanced transitions");
+        }
+    }
+}

@@ -21,14 +21,21 @@
 //! runs directly against this substrate and out-of-bounds accesses surface
 //! as the same faults real hardware would raise (unmapped guard page, PKU
 //! violation, MTE tag mismatch).
+//!
+//! For robustness testing, [`chaos`] provides a deterministic fault-injection
+//! plan that can be attached to an [`AddressSpace`] to fail mapping calls
+//! (transiently or persistently) and raise spurious bus faults, all derived
+//! from one seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod mpk;
 pub mod mte;
 pub mod tlb;
 
 mod space;
 
+pub use chaos::{ChaosConfig, ChaosStats, FaultPlan, SyscallKind};
 pub use space::{AddressSpace, MapError, Prot, VmaInfo, DEFAULT_MAX_MAP_COUNT, OS_PAGE_SIZE};

@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, HashMap};
 use sfi_x86::emu::{AccessCtx, MemBus};
 use sfi_x86::{MemFault, Width};
 
+use crate::chaos::{FaultPlan, SyscallKind};
 use crate::mpk::KeyAllocator;
 use crate::mte::TagStore;
 use crate::tlb::Tlb;
@@ -52,6 +53,9 @@ pub enum MapError {
     NotMapped,
     /// An invalid or unallocated protection key was used.
     BadKey,
+    /// A fault injected by the attached [`FaultPlan`] (models transient
+    /// `ENOMEM`/`EAGAIN` from the kernel).
+    Injected,
 }
 
 impl core::fmt::Display for MapError {
@@ -63,6 +67,7 @@ impl core::fmt::Display for MapError {
             MapError::TooManyMappings => f.write_str("vm.max_map_count exceeded"),
             MapError::NotMapped => f.write_str("range is not fully mapped"),
             MapError::BadKey => f.write_str("invalid protection key"),
+            MapError::Injected => f.write_str("injected fault (chaos plan)"),
         }
     }
 }
@@ -114,6 +119,8 @@ pub struct AddressSpace {
     /// dTLB model, consulted on every emulated access.
     pub dtlb: Tlb,
     mmap_cursor: u64,
+    /// Optional deterministic fault-injection plan.
+    chaos: Option<FaultPlan>,
 }
 
 impl AddressSpace {
@@ -140,6 +147,34 @@ impl AddressSpace {
             tags: TagStore::new(),
             dtlb: Tlb::for_va_bits(va_bits),
             mmap_cursor: 0x10_0000, // skip the traditional NULL-guard low MiB
+            chaos: None,
+        }
+    }
+
+    /// Attaches (or detaches, with `None`) a deterministic fault-injection
+    /// plan. An attached plan that never fires leaves behaviour identical
+    /// to no plan at all.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.chaos = plan;
+    }
+
+    /// The attached fault plan, if any (counters and stats are visible
+    /// through it).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.chaos.as_ref()
+    }
+
+    /// Consults the chaos plan for one mapping call of `kind`.
+    fn chaos_gate(&mut self, kind: SyscallKind) -> Result<(), MapError> {
+        match &mut self.chaos {
+            Some(plan) => {
+                if plan.syscall_fires(kind) {
+                    Err(MapError::Injected)
+                } else {
+                    Ok(())
+                }
+            }
+            None => Ok(()),
         }
     }
 
@@ -219,6 +254,7 @@ impl AddressSpace {
     /// Maps `[addr, addr+len)` (like `mmap(MAP_FIXED_NOREPLACE)`): fails on
     /// overlap.
     pub fn mmap_fixed(&mut self, addr: u64, len: u64, prot: Prot) -> Result<(), MapError> {
+        self.chaos_gate(SyscallKind::Mmap)?;
         self.check_range(addr, len)?;
         let end = addr + len;
         if self.overlaps(addr, end) {
@@ -244,6 +280,7 @@ impl AddressSpace {
 
     /// Changes protection on a fully mapped range (`mprotect`).
     pub fn mprotect(&mut self, addr: u64, len: u64, prot: Prot) -> Result<(), MapError> {
+        self.chaos_gate(SyscallKind::Mprotect)?;
         self.update_range(addr, len, |v| v.prot = prot)
     }
 
@@ -252,6 +289,7 @@ impl AddressSpace {
     /// The key must have been allocated from [`AddressSpace::keys`] (key 0,
     /// the default, is always valid).
     pub fn pkey_mprotect(&mut self, addr: u64, len: u64, prot: Prot, key: u8) -> Result<(), MapError> {
+        self.chaos_gate(SyscallKind::PkeyMprotect)?;
         if key != 0 && !self.keys.is_allocated(key) {
             return Err(MapError::BadKey);
         }
@@ -273,6 +311,7 @@ impl AddressSpace {
     /// the range (§7, Observation 2) while MPK keys (stored in PTEs) are
     /// left intact.
     pub fn madvise_dontneed(&mut self, addr: u64, len: u64) -> Result<(), MapError> {
+        self.chaos_gate(SyscallKind::Madvise)?;
         self.check_range(addr, len)?;
         if !self.fully_mapped(addr, addr + len) {
             return Err(MapError::NotMapped);
@@ -463,6 +502,11 @@ fn round_up(len: u64) -> u64 {
 
 impl MemBus for AddressSpace {
     fn load(&mut self, addr: u64, width: Width, ctx: AccessCtx) -> Result<u64, MemFault> {
+        if let Some(plan) = &mut self.chaos {
+            if let Some(fault) = plan.bus_fires(addr) {
+                return Err(fault);
+            }
+        }
         let addr = self.check_access(addr, width.bytes(), false, ctx)?;
         let mut buf = [0u8; 8];
         self.read_unchecked(addr, &mut buf[..width.bytes() as usize]);
@@ -470,6 +514,11 @@ impl MemBus for AddressSpace {
     }
 
     fn store(&mut self, addr: u64, width: Width, val: u64, ctx: AccessCtx) -> Result<(), MemFault> {
+        if let Some(plan) = &mut self.chaos {
+            if let Some(fault) = plan.bus_fires(addr) {
+                return Err(fault);
+            }
+        }
         let addr = self.check_access(addr, width.bytes(), true, ctx)?;
         self.write_unchecked(addr, &val.to_le_bytes()[..width.bytes() as usize]);
         Ok(())

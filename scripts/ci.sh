@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Local CI gate: everything runs offline (the workspace vendors its
+# compatibility shims under compat/ and has no registry dependencies).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --offline
+
+echo "== tests (workspace) =="
+cargo test -q --offline --workspace
+
+echo "== clippy (deny warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -1,0 +1,145 @@
+//! Cross-crate containment property: chaos (vm) → quarantine (pool) →
+//! poisoning (runtime).
+//!
+//! For ANY injected fault sequence — seeded syscall failures, spurious bus
+//! faults mid-execution, deliberate guest traps, recycles through the
+//! quarantine ring — every *surviving* (live, unpoisoned) instance's heap
+//! and globals must be bit-identical to a fault-free reference run that
+//! replays only the operations that completed on it. A fault anywhere in
+//! the system may cost throughput; it must never leave a footprint in a
+//! neighbouring sandbox.
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+use segue_colorguard::core::{compile, CompiledModule, CompilerConfig};
+use segue_colorguard::runtime::{InstanceId, Runtime, RuntimeConfig, RuntimeError};
+use segue_colorguard::vm::{ChaosConfig, FaultPlan};
+
+const SLOTS: usize = 3;
+
+/// One Wasm page of memory, one mutable global: enough observable state to
+/// catch any cross-instance leak through the shared low regions or a
+/// neighbouring slot.
+fn module() -> Arc<CompiledModule> {
+    static M: OnceLock<Arc<CompiledModule>> = OnceLock::new();
+    Arc::clone(M.get_or_init(|| {
+        let m = segue_colorguard::wasm::wat::parse(
+            r#"(module (memory 1)
+                 (global $calls (mut i32) (i32.const 0))
+                 (func (export "bump") (param $p i32) (result i32)
+                   global.get $calls i32.const 1 i32.add global.set $calls
+                   local.get $p
+                   local.get $p i32.load i32.const 1 i32.add
+                   i32.store
+                   local.get $p i32.load))"#,
+        )
+        .expect("parses");
+        let strategy = segue_colorguard::core::Strategy::Segue;
+        Arc::new(compile(&m, &CompilerConfig::for_strategy(strategy)).expect("compiles"))
+    }))
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// In-bounds read-modify-write at a 4-byte-aligned offset.
+    Bump { slot: usize, offset: u32 },
+    /// Deliberate guard hit: poisons the instance.
+    OobPoke { slot: usize },
+    /// Tear the instance down through quarantine and start a fresh one.
+    Recycle { slot: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..SLOTS, 0u32..64).prop_map(|(slot, o)| Op::Bump { slot, offset: o * 4 }),
+        (0usize..SLOTS).prop_map(|slot| Op::OobPoke { slot }),
+        (0usize..SLOTS).prop_map(|slot| Op::Recycle { slot }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn surviving_instances_match_a_fault_free_reference(
+        seed in any::<u64>(),
+        ops in prop::collection::vec(op_strategy(), 1..24),
+    ) {
+        let cm = module();
+
+        // Chaotic run: seeded transient/persistent syscall faults plus
+        // spurious bus faults, on top of the scripted traps and recycles.
+        let mut rt = Runtime::new(RuntimeConfig::small_test(true)).unwrap();
+        rt.set_fault_plan(Some(FaultPlan::seeded(seed, ChaosConfig {
+            syscall_fault_rate: 0.04,
+            persistent_prob: 0.02,
+            bus_fault_rate: 0.0005,
+        })));
+
+        let mut ids: Vec<Option<InstanceId>> = Vec::new();
+        // Per logical slot: the bump offsets that *completed* since the
+        // slot's last (re)instantiation.
+        let mut logs: Vec<Vec<u32>> = vec![Vec::new(); SLOTS];
+        for _ in 0..SLOTS {
+            ids.push(rt.instantiate(Arc::clone(&cm)).ok());
+        }
+
+        for op in ops {
+            match op {
+                Op::Bump { slot, offset } => {
+                    let Some(id) = ids[slot] else { continue };
+                    match rt.invoke(id, "bump", &[u64::from(offset)]) {
+                        Ok(_) => logs[slot].push(offset),
+                        // A spurious bus fault poisoned it mid-run; it is
+                        // no longer a survivor.
+                        Err(RuntimeError::Trapped(_)) => {}
+                        Err(RuntimeError::Poisoned) => {}
+                        // Injected infra fault before entry: must leave no
+                        // footprint (the reference run omits this op).
+                        Err(RuntimeError::Map(_)) => {}
+                        Err(e) => prop_assert!(false, "unexpected error: {e:?}"),
+                    }
+                }
+                Op::OobPoke { slot } => {
+                    let Some(id) = ids[slot] else { continue };
+                    let r = rt.invoke(id, "bump", &[65536]);
+                    prop_assert!(r.is_err(), "OOB bump must not succeed: {r:?}");
+                }
+                Op::Recycle { slot } => {
+                    if let Some(id) = ids[slot].take() {
+                        rt.recycle(id).unwrap();
+                    }
+                    logs[slot].clear();
+                    // Re-instantiation may itself hit an injected fault or
+                    // an exhausted (quarantined/retired) pool; the logical
+                    // slot then just stays dead for the rest of the case.
+                    ids[slot] = rt.instantiate(Arc::clone(&cm)).ok();
+                }
+            }
+        }
+
+        // Fault-free reference: replay each survivor's completed ops on a
+        // clean runtime. Heap and globals must match bit for bit.
+        let mut reference = Runtime::new(RuntimeConfig::small_test(true)).unwrap();
+        for slot in 0..SLOTS {
+            let Some(id) = ids[slot] else { continue };
+            if rt.is_poisoned(id) != Some(false) {
+                continue; // poisoned: excluded, awaiting recycle
+            }
+            let rid = reference.instantiate(Arc::clone(&cm)).unwrap();
+            for &off in &logs[slot] {
+                reference.invoke(rid, "bump", &[u64::from(off)]).unwrap();
+            }
+            let (mut got, mut want) = (vec![0u8; 65536], vec![0u8; 65536]);
+            rt.read_heap(id, 0, &mut got).unwrap();
+            reference.read_heap(rid, 0, &mut want).unwrap();
+            prop_assert!(got == want, "slot {slot}: heap diverged from fault-free reference");
+            prop_assert_eq!(
+                rt.global(id, 0), reference.global(rid, 0),
+                "slot {slot}: globals diverged"
+            );
+            reference.terminate(rid).unwrap();
+        }
+    }
+}
