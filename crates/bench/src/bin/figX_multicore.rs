@@ -1,0 +1,110 @@
+//! Multi-core sharded-engine sweep: 1–8 cores × {cold, warm-cache} ×
+//! {multiprocess, ColorGuard}, on the hash-load-balance workload. Emits
+//! `BENCH_multicore.json` (byte-identical across same-seed runs).
+//!
+//! `--check` re-runs the sweep and asserts the acceptance criteria:
+//! warm-cache ColorGuard throughput scales ≥ 3× from 1→4 cores, a warm
+//! spawn is ≥ 5× cheaper than a cold compile, warm-cache throughput beats
+//! the cold path at 1 core, and two same-seed runs are byte-identical.
+
+use sfi_bench::row;
+use sfi_faas::{multicore_sweep_json, simulate_multicore, CacheMode, MultiCoreConfig, ScalingMode};
+
+const SEED: u64 = 0x5E65E9;
+const DURATION_MS: u64 = 400;
+const CORES: [u32; 4] = [1, 2, 4, 8];
+
+fn json_field(row: &str, field: &str) -> Option<f64> {
+    let pat = format!("\"{field}\": ");
+    let start = row.find(&pat)? + pat.len();
+    let rest = &row[start..];
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn check(json: &str) {
+    let rerun = multicore_sweep_json(SEED, DURATION_MS, &CORES);
+    assert_eq!(json, rerun, "same seed must reproduce BENCH_multicore.json byte-identically");
+
+    let throughput = |cores: u32, mode: &str, cache: &str| -> f64 {
+        let tag = format!("\"cores\": {cores}, \"mode\": \"{mode}\", \"cache\": \"{cache}\"");
+        let line = json.lines().find(|l| l.contains(&tag)).expect("sweep row present");
+        json_field(line, "throughput_rps").expect("throughput field")
+    };
+    let warm1 = throughput(1, "colorguard", "warm");
+    let cold1 = throughput(1, "colorguard", "cold");
+    let warm4 = throughput(4, "colorguard", "warm");
+    assert!(
+        warm1 >= cold1,
+        "warm-cache throughput must beat the cold path at 1 core: {warm1:.0} vs {cold1:.0}"
+    );
+    let scaling = warm4 / warm1;
+    assert!(scaling >= 3.0, "warm ColorGuard 1→4 core scaling {scaling:.2}× (need ≥ 3×)");
+
+    let derived = json.lines().find(|l| l.contains("cold_over_warm_spawn_cost")).expect("derived");
+    let ratio = json_field(derived, "cold_over_warm_spawn_cost").expect("ratio field");
+    assert!(ratio >= 5.0, "warm spawn must be ≥ 5× cheaper than cold compile: {ratio:.2}×");
+
+    println!(
+        "check OK: scaling 1→4 = {scaling:.2}x, cold/warm spawn = {ratio:.1}x, \
+         warm {warm1:.0} rps >= cold {cold1:.0} rps at 1 core, output reproducible"
+    );
+}
+
+fn main() {
+    let check_mode = std::env::args().any(|a| a == "--check");
+    let json = multicore_sweep_json(SEED, DURATION_MS, &CORES);
+    std::fs::write("BENCH_multicore.json", &json).expect("write BENCH_multicore.json");
+
+    println!("Figure X: sharded multi-core engine, {DURATION_MS} ms, hash load-balance\n");
+    let widths = [6, 14, 6, 12, 14, 8, 12, 12];
+    row(
+        &[
+            "cores".into(),
+            "mode".into(),
+            "cache".into(),
+            "throughput".into(),
+            "rps/core".into(),
+            "steals".into(),
+            "cold spawns".into(),
+            "warm spawns".into(),
+        ],
+        &widths,
+    );
+    for &cores in &CORES {
+        for mode in [ScalingMode::ColorGuard, ScalingMode::MultiProcess { processes: 15 }] {
+            for cache in [CacheMode::Cold, CacheMode::Warm] {
+                let mut cfg = MultiCoreConfig::paper_rig(
+                    sfi_faas::FaasWorkload::HashLoadBalance,
+                    mode,
+                    cache,
+                    cores,
+                );
+                cfg.seed = SEED;
+                cfg.duration_ms = DURATION_MS;
+                let r = simulate_multicore(&cfg);
+                row(
+                    &[
+                        format!("{cores}"),
+                        match mode {
+                            ScalingMode::ColorGuard => "colorguard".into(),
+                            ScalingMode::MultiProcess { .. } => "multiproc".into(),
+                        },
+                        cache.name().into(),
+                        format!("{:.0}", r.throughput_rps),
+                        format!("{:.0}", r.throughput_rps / f64::from(cores)),
+                        format!("{}", r.totals.steals),
+                        format!("{}", r.totals.cold_spawns),
+                        format!("{}", r.totals.warm_spawns),
+                    ],
+                    &widths,
+                );
+            }
+        }
+    }
+    println!("\nwrote BENCH_multicore.json");
+
+    if check_mode {
+        check(&json);
+    }
+}

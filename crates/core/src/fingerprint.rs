@@ -1,0 +1,121 @@
+//! Stable fingerprints for code-cache keys.
+//!
+//! A compiled-code cache must key on everything that can change the emitted
+//! bytes: the module itself ([`module_hash`]) and every compiler option that
+//! influences codegen ([`CompilerConfig::cache_fingerprint`]). The module
+//! hash is computed over the canonical WAT printing from `sfi_wasm::print`,
+//! which round-trips function bodies, tables, globals and data segments —
+//! two modules that print identically compile identically.
+
+use crate::config::CompilerConfig;
+use sfi_wasm::Module;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice, continuing from `h`.
+pub(crate) fn fnv1a_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A stable 64-bit content hash of a module, computed over its canonical
+/// WAT printing. Any semantic difference that survives printing — bodies,
+/// signatures, exports, imports, tables, globals, memory limits, data —
+/// perturbs the hash.
+pub fn module_hash(m: &Module) -> u64 {
+    fnv1a_bytes(FNV_OFFSET, sfi_wasm::print::print(m).as_bytes())
+}
+
+impl CompilerConfig {
+    /// A stable 64-bit fingerprint of every field that influences code
+    /// generation. Two configs with equal fingerprints produce identical
+    /// code for the same module; any differing field produces a different
+    /// fingerprint, so cached code is never reused across strategies,
+    /// vectorizer settings, or memory-layout contracts.
+    pub fn cache_fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        h = fnv1a_bytes(h, self.strategy.name().as_bytes());
+        h = fnv1a_bytes(
+            h,
+            &[
+                u8::from(self.vectorize),
+                u8::from(self.stack_check),
+                u8::from(self.lfi_reserved_regs),
+                u8::from(self.segment_entry_protocol),
+            ],
+        );
+        for field in [self.layout.heap_base, self.layout.mem_size, self.layout.guard_size] {
+            h = fnv1a_bytes(h, &field.to_le_bytes());
+        }
+        for field in [
+            self.regions.globals_base,
+            self.regions.table_base,
+            self.regions.header_base,
+            self.regions.stack_limit,
+            self.regions.stack_top,
+        ] {
+            h = fnv1a_bytes(h, &field.to_le_bytes());
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Strategy;
+    use sfi_wasm::wat;
+
+    #[test]
+    fn module_hash_is_stable_and_content_sensitive() {
+        let a = wat::parse("(module (memory 1) (func (export \"f\") (result i32) i32.const 1))")
+            .unwrap();
+        let a2 = wat::parse("(module (memory 1) (func (export \"f\") (result i32) i32.const 1))")
+            .unwrap();
+        let b = wat::parse("(module (memory 1) (func (export \"f\") (result i32) i32.const 2))")
+            .unwrap();
+        assert_eq!(module_hash(&a), module_hash(&a2), "same source, same hash");
+        assert_ne!(module_hash(&a), module_hash(&b), "different body, different hash");
+    }
+
+    #[test]
+    fn config_fingerprint_separates_strategy_and_flags() {
+        let base = CompilerConfig::for_strategy(Strategy::Segue);
+        let fp = base.cache_fingerprint();
+        assert_eq!(fp, base.cache_fingerprint(), "stable");
+
+        for s in Strategy::ALL {
+            if s != Strategy::Segue {
+                assert_ne!(
+                    fp,
+                    CompilerConfig::for_strategy(s).cache_fingerprint(),
+                    "strategy {s} must not collide with segue"
+                );
+            }
+        }
+
+        let mut c = base.clone();
+        c.vectorize = true;
+        assert_ne!(fp, c.cache_fingerprint(), "vectorize flag");
+
+        let mut c = base.clone();
+        c.stack_check = !c.stack_check;
+        assert_ne!(fp, c.cache_fingerprint(), "stack_check flag");
+
+        let mut c = base.clone();
+        c.layout.mem_size *= 2;
+        assert_ne!(fp, c.cache_fingerprint(), "memory layout");
+
+        let mut c = base.clone();
+        c.regions.stack_top += 0x1000;
+        assert_ne!(fp, c.cache_fingerprint(), "runtime regions");
+
+        let mut c = base;
+        c.segment_entry_protocol = true;
+        assert_ne!(fp, c.cache_fingerprint(), "segment entry protocol");
+    }
+}

@@ -43,11 +43,13 @@
 
 pub mod compile;
 pub mod config;
+pub mod fingerprint;
 pub mod harness;
 pub mod vectorize;
 
 pub use compile::{compile, CompileError, CompiledModule};
 pub use config::{CompilerConfig, FuncStats, MemLayout, RuntimeRegions, Strategy};
+pub use fingerprint::module_hash;
 
 #[cfg(test)]
 mod tests {

@@ -33,8 +33,13 @@ pub mod regex;
 pub mod stats;
 pub mod template;
 
+mod shard;
 mod sim;
 
+pub use shard::{
+    multicore_sweep_json, simulate_multicore, CacheMode, CoreMetrics, MultiCoreConfig,
+    MultiCoreReport, SpawnModel,
+};
 pub use sim::{
     simulate, throughput_gain_percent, FaasWorkload, FailureModel, ScalingMode, SimConfig,
     SimCosts, SimReport,

@@ -1,0 +1,696 @@
+//! The M-core sharded FaaS engine.
+//!
+//! Extends the single-core rig of [`crate::simulate`] across cores, the way
+//! a production edge host would shard the paper's §6.4.3 workloads:
+//!
+//! - **Per-core run queues.** Every request has a *home core* chosen by the
+//!   crate's consistent-hash ring ([`crate::hashlb::HashRing`]) over
+//!   `core-0..core-{M-1}`, so placement is sticky and deterministic.
+//! - **Per-core ColorGuard pools.** Each core owns a 15-color MPK pool, so
+//!   resident capacity scales as `cores × 15`. A request occupies a color
+//!   from admission to completion; when the pool is full, arrivals queue
+//!   and are admitted on a slot recycle (quarantine scrub + re-color,
+//!   charged as overhead). The multi-process comparator instead gives each
+//!   core K worker processes, one resident instance each.
+//! - **Deterministic work-stealing.** After every event, each idle core
+//!   attempts one steal: the victim scan order is a seeded rotation (the
+//!   same stateless splitmix draw the chaos layer uses), and the thief
+//!   takes the *newest* task from the first victim with at least two queued
+//!   — classic steal-from-the-back. A migration penalty (cold cache + dTLB
+//!   refill on the thief) is charged to the stolen task.
+//! - **Spawn model.** A request's first slice pays an instance spawn. With
+//!   the compiled-code cache *cold* (disabled) every spawn pays full
+//!   `sfi-core` codegen; *warm*, the first compile per cache domain fills
+//!   the cache and every later spawn is a cache hit. ColorGuard's single
+//!   address space shares one cache across all cores; each multi-process
+//!   worker has its own, so the cold-compile tax is paid once per process.
+//!
+//! Everything — arrivals, compute, routing, steal order — is a pure
+//! function of the seed, so `BENCH_multicore.json` replays byte-identically.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::hashlb::HashRing;
+use crate::sim::{fault_draw, generate_stream};
+use crate::{FaasWorkload, ScalingMode, SimCosts};
+
+/// One scheduling epoch / preemption quantum (ns).
+const EPOCH_NS: u64 = 1_000_000;
+
+/// Whether instance spawns may use the compiled-code cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheMode {
+    /// Cache disabled: every spawn pays full codegen (the per-invoke
+    /// compile tax).
+    Cold,
+    /// Cache enabled: the first compile per cache domain fills it; later
+    /// spawns are hits.
+    Warm,
+}
+
+impl CacheMode {
+    /// Display name used in benchmark tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheMode::Cold => "cold",
+            CacheMode::Warm => "warm",
+        }
+    }
+}
+
+/// Modeled costs of instance spawn paths (calibrated against the
+/// `sfi-runtime` engine: a cold spawn runs `sfi_core::compile`, a warm
+/// spawn is a cache lookup plus pool instantiation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpawnModel {
+    /// Full `sfi-core` codegen + instantiation (ns).
+    pub cold_compile_ns: u64,
+    /// Cache-hit spawn: key hash + `Arc` clone + instantiation (ns).
+    pub warm_spawn_ns: u64,
+    /// Recycling a freed slot for a queued request (madvise scrub +
+    /// `pkey_mprotect` re-color + data write-in, ns).
+    pub recycle_ns: u64,
+    /// MPK colors per core — the per-core resident-instance capacity under
+    /// ColorGuard.
+    pub colors_per_core: u32,
+}
+
+impl Default for SpawnModel {
+    fn default() -> Self {
+        SpawnModel {
+            cold_compile_ns: 150_000,
+            warm_spawn_ns: 8_000,
+            recycle_ns: 2_000,
+            colors_per_core: 15,
+        }
+    }
+}
+
+/// Configuration for a multi-core run.
+#[derive(Debug, Clone)]
+pub struct MultiCoreConfig {
+    /// Which workload.
+    pub workload: FaasWorkload,
+    /// Scaling strategy. [`ScalingMode::MultiProcess`]'s `processes` is
+    /// interpreted *per core* here.
+    pub mode: ScalingMode,
+    /// Spawn cache behaviour.
+    pub cache: CacheMode,
+    /// Number of cores.
+    pub cores: u32,
+    /// Simulated duration in milliseconds.
+    pub duration_ms: u64,
+    /// New requests injected per 1 ms epoch, per core (offered load scales
+    /// with the core count).
+    pub requests_per_epoch_per_core: u32,
+    /// Mean IO delay before a request's first compute stage (ms).
+    pub io_mean_ms: f64,
+    /// IO/compute stages per request.
+    pub stages: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Scheduler cost constants (shared with the single-core rig).
+    pub costs: SimCosts,
+    /// Spawn-path cost model.
+    pub spawn: SpawnModel,
+}
+
+impl MultiCoreConfig {
+    /// The multi-core rig: FaaS-granularity requests (single compute stage
+    /// after a ~1 ms arrival IO) at a per-core offered load that saturates
+    /// the warm path, so throughput measures the schedulers rather than
+    /// idle time.
+    pub fn paper_rig(
+        workload: FaasWorkload,
+        mode: ScalingMode,
+        cache: CacheMode,
+        cores: u32,
+    ) -> MultiCoreConfig {
+        MultiCoreConfig {
+            workload,
+            mode,
+            cache,
+            cores,
+            duration_ms: 400,
+            requests_per_epoch_per_core: 40,
+            io_mean_ms: 1.0,
+            stages: 1,
+            seed: 0x5E65E9,
+            costs: SimCosts::default(),
+            spawn: SpawnModel::default(),
+        }
+    }
+}
+
+/// Per-core counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreMetrics {
+    /// Requests whose final slice ran on this core.
+    pub completed: u64,
+    /// Tasks this core stole from other cores' queues.
+    pub steals: u64,
+    /// OS context switches (process changes + timer ticks).
+    pub ctx_switches: u64,
+    /// dTLB misses.
+    pub dtlb_misses: u64,
+    /// Useful guest compute (ns).
+    pub busy_ns: u64,
+    /// Scheduling/transition/spawn overhead (ns).
+    pub overhead_ns: u64,
+    /// Spawns that paid full codegen.
+    pub cold_spawns: u64,
+    /// Spawns served from the compiled-code cache.
+    pub warm_spawns: u64,
+    /// Slot recycles (a freed color handed to a queued request).
+    pub recycles: u64,
+    /// ns spent in spawn paths (cold compiles + warm hits), a subset of
+    /// `overhead_ns`.
+    pub spawn_ns: u64,
+}
+
+impl CoreMetrics {
+    fn add(&mut self, o: &CoreMetrics) {
+        self.completed += o.completed;
+        self.steals += o.steals;
+        self.ctx_switches += o.ctx_switches;
+        self.dtlb_misses += o.dtlb_misses;
+        self.busy_ns += o.busy_ns;
+        self.overhead_ns += o.overhead_ns;
+        self.cold_spawns += o.cold_spawns;
+        self.warm_spawns += o.warm_spawns;
+        self.recycles += o.recycles;
+        self.spawn_ns += o.spawn_ns;
+    }
+}
+
+/// Results of one multi-core run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiCoreReport {
+    /// Cores simulated.
+    pub cores: u32,
+    /// Requests offered.
+    pub offered: u64,
+    /// Requests completed within the window.
+    pub completed: u64,
+    /// Completions per second (all cores).
+    pub throughput_rps: f64,
+    /// Mean request latency (ms).
+    pub mean_latency_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_latency_ms: f64,
+    /// Aggregate counters (sum over cores).
+    pub totals: CoreMetrics,
+    /// Per-core counters.
+    pub per_core: Vec<CoreMetrics>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Task {
+    rid: u32,
+    stage: u32,
+    remaining: u64,
+    /// This slice must pay the instance-spawn cost first.
+    spawn: bool,
+    /// One-shot extra overhead attached to the task (slot recycle,
+    /// steal-migration penalty).
+    extra_ns: u64,
+}
+
+struct Core {
+    ready: VecDeque<Task>,
+    /// Requests awaiting a free resident slot (admission queue).
+    wait: VecDeque<u32>,
+    /// Occupied resident slots (colors / worker processes).
+    resident: u32,
+    busy: bool,
+    running: Option<Task>,
+    /// Current process (multi-process mode); `u32::MAX` = none yet.
+    cur_proc: u32,
+    /// Per-process code-cache state (multi-process warm mode).
+    primed: Vec<bool>,
+    steal_attempts: u64,
+    m: CoreMetrics,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// A request's stage is ready to compute at its home core.
+    Ready { rid: u32, stage: u32 },
+    /// A core finishes its current slice.
+    SliceDone { core: u32 },
+}
+
+struct Ctx {
+    costs: SimCosts,
+    spawn: SpawnModel,
+    cache: CacheMode,
+    colorguard: bool,
+    procs: u32,
+    contention: f64,
+}
+
+/// Starts the next slice on `core` at `now`; returns its completion time.
+fn start_slice(core: &mut Core, cg_primed: &mut bool, ctx: &Ctx, now: u64) -> Option<u64> {
+    let mut task = core.ready.pop_front()?;
+    let mut over = 0.0f64;
+    if !ctx.colorguard {
+        let proc = task.rid % ctx.procs;
+        if proc != core.cur_proc {
+            if core.cur_proc != u32::MAX {
+                // A real OS process switch: refill and warm-up grow with the
+                // number of competing processes on this core.
+                core.m.ctx_switches += 1;
+                let refill = (ctx.costs.tlb_refill_entries as f64 * ctx.contention).round() as u64;
+                core.m.dtlb_misses += refill;
+                over += ctx.costs.process_switch_ns
+                    + refill as f64 * ctx.costs.tlb_miss_ns
+                    + ctx.costs.cache_warm_ns * ctx.contention;
+            }
+            core.cur_proc = proc;
+        }
+    }
+    over += ctx.costs.task_switch_ns + ctx.costs.transition_pair_ns;
+    if ctx.colorguard {
+        over += ctx.costs.colorguard_extra_ns;
+    }
+    core.m.dtlb_misses += ctx.costs.base_slice_tlb_misses;
+
+    let mut spawn_ns = 0u64;
+    if task.spawn {
+        spawn_ns = match ctx.cache {
+            CacheMode::Cold => {
+                core.m.cold_spawns += 1;
+                ctx.spawn.cold_compile_ns
+            }
+            CacheMode::Warm => {
+                let primed = if ctx.colorguard {
+                    // One address space, one shared cache across all cores.
+                    cg_primed
+                } else {
+                    &mut core.primed[(task.rid % ctx.procs) as usize]
+                };
+                if *primed {
+                    core.m.warm_spawns += 1;
+                    ctx.spawn.warm_spawn_ns
+                } else {
+                    *primed = true;
+                    core.m.cold_spawns += 1;
+                    ctx.spawn.cold_compile_ns
+                }
+            }
+        };
+        core.m.spawn_ns += spawn_ns;
+        task.spawn = false;
+    }
+    let extra = task.extra_ns;
+    task.extra_ns = 0;
+
+    let slice = task.remaining.min(EPOCH_NS);
+    let overhead = over as u64 + spawn_ns + extra;
+    core.m.busy_ns += slice;
+    core.m.overhead_ns += overhead;
+    task.remaining -= slice;
+    core.running = Some(task);
+    core.busy = true;
+    Some(now + overhead + slice)
+}
+
+/// One steal round: every idle core with an empty queue attempts to take
+/// the newest task from the first victim (in a seeded rotation) holding at
+/// least two. Deterministic: thief scan order is fixed, victim order is a
+/// pure function of `(seed, thief, attempt)`.
+fn steal_pass(cores: &mut [Core], seed: u64, costs: &SimCosts) {
+    let n = cores.len();
+    if n < 2 {
+        return;
+    }
+    for thief in 0..n {
+        if cores[thief].busy || !cores[thief].ready.is_empty() {
+            continue;
+        }
+        let draw = fault_draw(seed ^ 0x57EA1, thief as u64, cores[thief].steal_attempts);
+        cores[thief].steal_attempts += 1;
+        let start = (draw * n as f64) as usize % n;
+        let mut stolen: Option<Task> = None;
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if victim == thief || cores[victim].ready.len() < 2 {
+                continue;
+            }
+            stolen = cores[victim].ready.pop_back();
+            break;
+        }
+        if let Some(mut t) = stolen {
+            // Migration penalty: the stolen task's working set is cold on
+            // the thief (cache warm-up + a full dTLB refill).
+            cores[thief].m.dtlb_misses += costs.tlb_refill_entries;
+            t.extra_ns +=
+                (costs.cache_warm_ns + costs.tlb_refill_entries as f64 * costs.tlb_miss_ns) as u64;
+            cores[thief].m.steals += 1;
+            cores[thief].ready.push_back(t);
+        }
+    }
+}
+
+/// Runs the sharded multi-core simulation.
+pub fn simulate_multicore(cfg: &MultiCoreConfig) -> MultiCoreReport {
+    let ncores = cfg.cores.max(1);
+    let requests = generate_stream(
+        cfg.workload,
+        cfg.duration_ms,
+        cfg.requests_per_epoch_per_core.saturating_mul(ncores),
+        cfg.io_mean_ms,
+        cfg.stages,
+        cfg.seed,
+    );
+
+    // Sticky home-core placement via the consistent-hash ring.
+    let ring = HashRing::new((0..ncores).map(|i| format!("core-{i}")).collect::<Vec<_>>(), 64);
+    let home: Vec<u32> = (0..requests.len())
+        .map(|rid| {
+            let name = ring.route(&format!("req-{rid}"));
+            name.strip_prefix("core-").and_then(|s| s.parse().ok()).expect("ring backend name")
+        })
+        .collect();
+
+    let (procs, colorguard) = match cfg.mode {
+        ScalingMode::ColorGuard => (1u32, true),
+        ScalingMode::MultiProcess { processes } => (processes.max(1), false),
+    };
+    let capacity = if colorguard { cfg.spawn.colors_per_core.max(1) } else { procs };
+    let ctx = Ctx {
+        costs: cfg.costs.clone(),
+        spawn: cfg.spawn,
+        cache: cfg.cache,
+        colorguard,
+        procs,
+        contention: f64::from(procs.min(15)) / 15.0,
+    };
+
+    let mut cores: Vec<Core> = (0..ncores)
+        .map(|_| Core {
+            ready: VecDeque::new(),
+            wait: VecDeque::new(),
+            resident: 0,
+            busy: false,
+            running: None,
+            cur_proc: u32::MAX,
+            primed: vec![false; procs as usize],
+            steal_attempts: 0,
+            m: CoreMetrics::default(),
+        })
+        .collect();
+    let mut cg_primed = false;
+
+    let mut heap: BinaryHeap<Reverse<(u64, u64, Ev)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut push = |heap: &mut BinaryHeap<Reverse<(u64, u64, Ev)>>, t: u64, e: Ev| {
+        seq += 1;
+        heap.push(Reverse((t, seq, e)));
+    };
+    for (rid, r) in requests.iter().enumerate() {
+        push(&mut heap, r.arrival_ns + r.io_ns[0], Ev::Ready { rid: rid as u32, stage: 0 });
+    }
+
+    let horizon_ns = cfg.duration_ms * 1_000_000;
+    let mut completed = 0u64;
+    let mut latencies = Vec::new();
+
+    while let Some(Reverse((t, _, ev))) = heap.pop() {
+        if t > horizon_ns {
+            break;
+        }
+        match ev {
+            Ev::Ready { rid, stage } => {
+                let h = home[rid as usize] as usize;
+                let remaining = requests[rid as usize].compute_ns[stage as usize];
+                if stage == 0 {
+                    // Admission: take a resident slot or queue for one.
+                    if cores[h].resident < capacity {
+                        cores[h].resident += 1;
+                        cores[h]
+                            .ready
+                            .push_back(Task { rid, stage, remaining, spawn: true, extra_ns: 0 });
+                    } else {
+                        cores[h].wait.push_back(rid);
+                    }
+                } else {
+                    cores[h].ready.push_back(Task { rid, stage, remaining, spawn: false, extra_ns: 0 });
+                }
+            }
+            Ev::SliceDone { core: c } => {
+                let c = c as usize;
+                let task = cores[c].running.take().expect("SliceDone implies a running slice");
+                cores[c].busy = false;
+                if task.remaining > 0 {
+                    // Epoch-preempted: yield to the back of the queue.
+                    cores[c].ready.push_back(task);
+                } else {
+                    let req = &requests[task.rid as usize];
+                    let next = task.stage + 1;
+                    if (next as usize) < req.compute_ns.len() {
+                        // The slot stays resident across the IO wait.
+                        push(
+                            &mut heap,
+                            t + req.io_ns[next as usize],
+                            Ev::Ready { rid: task.rid, stage: next },
+                        );
+                    } else {
+                        completed += 1;
+                        cores[c].m.completed += 1;
+                        latencies.push((t - req.arrival_ns) as f64 / 1e6);
+                        // Free the home slot; hand it to a queued request
+                        // (a recycle: scrub + re-color before reuse).
+                        let h = home[task.rid as usize] as usize;
+                        cores[h].resident -= 1;
+                        if let Some(w) = cores[h].wait.pop_front() {
+                            cores[h].resident += 1;
+                            cores[h].m.recycles += 1;
+                            cores[h].ready.push_back(Task {
+                                rid: w,
+                                stage: 0,
+                                remaining: requests[w as usize].compute_ns[0],
+                                spawn: true,
+                                extra_ns: cfg.spawn.recycle_ns,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Rebalance, then start slices on every idle core with work.
+        steal_pass(&mut cores, cfg.seed, &ctx.costs);
+        for (c, core) in cores.iter_mut().enumerate() {
+            if !core.busy {
+                if let Some(done) = start_slice(core, &mut cg_primed, &ctx, t) {
+                    push(&mut heap, done, Ev::SliceDone { core: c as u32 });
+                }
+            }
+        }
+    }
+
+    // The OS timer tick floor, per core.
+    let ticks = cfg.duration_ms / 1000 * cfg.costs.timer_hz;
+    for c in &mut cores {
+        c.m.ctx_switches += ticks;
+    }
+
+    let mut sorted = latencies.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let pct = |p: f64| -> f64 {
+        if sorted.is_empty() {
+            0.0
+        } else {
+            sorted[((sorted.len() - 1) as f64 * p) as usize]
+        }
+    };
+
+    let per_core: Vec<CoreMetrics> = cores.iter().map(|c| c.m).collect();
+    let mut totals = CoreMetrics::default();
+    for m in &per_core {
+        totals.add(m);
+    }
+    MultiCoreReport {
+        cores: ncores,
+        offered: requests.len() as u64,
+        completed,
+        throughput_rps: completed as f64 / (cfg.duration_ms as f64 / 1000.0),
+        mean_latency_ms: if latencies.is_empty() { 0.0 } else { crate::stats::mean(&latencies) },
+        p99_latency_ms: pct(0.99),
+        totals,
+        per_core,
+    }
+}
+
+fn mode_name(mode: ScalingMode) -> &'static str {
+    match mode {
+        ScalingMode::ColorGuard => "colorguard",
+        ScalingMode::MultiProcess { .. } => "multiprocess",
+    }
+}
+
+/// Runs the full sweep — `cores_list` × {multiprocess, ColorGuard} ×
+/// {cold, warm-cache} — and renders it as deterministic JSON (fixed field
+/// order, fixed float precision): the contents of `BENCH_multicore.json`.
+/// Byte-identical for a given `(seed, duration_ms, cores_list)`.
+pub fn multicore_sweep_json(seed: u64, duration_ms: u64, cores_list: &[u32]) -> String {
+    let mut rows: Vec<(u32, &'static str, &'static str, MultiCoreReport)> = Vec::new();
+    for &cores in cores_list {
+        for mode in [ScalingMode::ColorGuard, ScalingMode::MultiProcess { processes: 15 }] {
+            for cache in [CacheMode::Cold, CacheMode::Warm] {
+                let mut cfg = MultiCoreConfig::paper_rig(
+                    FaasWorkload::HashLoadBalance,
+                    mode,
+                    cache,
+                    cores,
+                );
+                cfg.seed = seed;
+                cfg.duration_ms = duration_ms;
+                let r = simulate_multicore(&cfg);
+                rows.push((cores, mode_name(mode), cache.name(), r));
+            }
+        }
+    }
+
+    let find = |cores: u32, mode: &str, cache: &str| -> Option<&MultiCoreReport> {
+        rows.iter().find(|(c, m, ca, _)| *c == cores && *m == mode && *ca == cache).map(|r| &r.3)
+    };
+    let mean_spawn = |r: &MultiCoreReport| {
+        r.totals.spawn_ns as f64 / (r.totals.cold_spawns + r.totals.warm_spawns).max(1) as f64
+    };
+    let scaling_1_to_4 = match (find(1, "colorguard", "warm"), find(4, "colorguard", "warm")) {
+        (Some(a), Some(b)) if a.throughput_rps > 0.0 => b.throughput_rps / a.throughput_rps,
+        _ => 0.0,
+    };
+    let spawn_ratio = match (find(1, "colorguard", "cold"), find(1, "colorguard", "warm")) {
+        (Some(c), Some(w)) if mean_spawn(w) > 0.0 => mean_spawn(c) / mean_spawn(w),
+        _ => 0.0,
+    };
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"figX_multicore\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"duration_ms\": {duration_ms},\n"));
+    out.push_str("  \"workload\": \"hash_load_balance\",\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, (cores, mode, cache, r)) in rows.iter().enumerate() {
+        let steals: Vec<String> = r.per_core.iter().map(|m| m.steals.to_string()).collect();
+        out.push_str(&format!(
+            "    {{\"cores\": {cores}, \"mode\": \"{mode}\", \"cache\": \"{cache}\", \
+             \"offered\": {}, \"completed\": {}, \"throughput_rps\": {:.3}, \
+             \"steals\": {}, \"ctx_switches\": {}, \"dtlb_misses\": {}, \
+             \"cold_spawns\": {}, \"warm_spawns\": {}, \"recycles\": {}, \
+             \"spawn_ns\": {}, \"busy_ns\": {}, \"overhead_ns\": {}, \
+             \"mean_latency_ms\": {:.3}, \"p99_latency_ms\": {:.3}, \
+             \"per_core_steals\": [{}]}}{}\n",
+            r.offered,
+            r.completed,
+            r.throughput_rps,
+            r.totals.steals,
+            r.totals.ctx_switches,
+            r.totals.dtlb_misses,
+            r.totals.cold_spawns,
+            r.totals.warm_spawns,
+            r.totals.recycles,
+            r.totals.spawn_ns,
+            r.totals.busy_ns,
+            r.totals.overhead_ns,
+            r.mean_latency_ms,
+            r.p99_latency_ms,
+            steals.join(", "),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"derived\": {\n");
+    out.push_str(&format!(
+        "    \"warm_colorguard_scaling_1_to_4\": {scaling_1_to_4:.3},\n"
+    ));
+    out.push_str(&format!("    \"cold_over_warm_spawn_cost\": {spawn_ratio:.3}\n"));
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(mode: ScalingMode, cache: CacheMode, cores: u32) -> MultiCoreReport {
+        let mut cfg = MultiCoreConfig::paper_rig(FaasWorkload::HashLoadBalance, mode, cache, cores);
+        cfg.duration_ms = 120;
+        simulate_multicore(&cfg)
+    }
+
+    #[test]
+    fn determinism() {
+        let a = quick(ScalingMode::ColorGuard, CacheMode::Warm, 4);
+        let b = quick(ScalingMode::ColorGuard, CacheMode::Warm, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn warm_cache_beats_cold() {
+        let cold = quick(ScalingMode::ColorGuard, CacheMode::Cold, 2);
+        let warm = quick(ScalingMode::ColorGuard, CacheMode::Warm, 2);
+        assert!(
+            warm.throughput_rps > cold.throughput_rps,
+            "warm {} vs cold {}",
+            warm.throughput_rps,
+            cold.throughput_rps
+        );
+        assert!(warm.totals.warm_spawns > 0);
+        assert_eq!(cold.totals.warm_spawns, 0, "cold mode never hits the cache");
+    }
+
+    #[test]
+    fn colorguard_shares_one_cache_processes_do_not() {
+        let cg = quick(ScalingMode::ColorGuard, CacheMode::Warm, 4);
+        assert_eq!(cg.totals.cold_spawns, 1, "one address space, one compile");
+        let mp = quick(ScalingMode::MultiProcess { processes: 15 }, CacheMode::Warm, 4);
+        assert!(
+            mp.totals.cold_spawns > cg.totals.cold_spawns,
+            "every worker process pays its own compile: {}",
+            mp.totals.cold_spawns
+        );
+    }
+
+    #[test]
+    fn throughput_scales_with_cores() {
+        let one = quick(ScalingMode::ColorGuard, CacheMode::Warm, 1);
+        let four = quick(ScalingMode::ColorGuard, CacheMode::Warm, 4);
+        let ratio = four.throughput_rps / one.throughput_rps;
+        assert!(ratio >= 3.0, "1→4 core scaling {ratio:.2}× (need ≥ 3×)");
+        assert_eq!(four.offered, one.offered * 4, "offered load scales per core");
+    }
+
+    #[test]
+    fn stealing_fires_and_is_deterministic() {
+        // Ring placement is uneven, so lighter cores steal from heavier
+        // ones once their own queues drain.
+        let a = quick(ScalingMode::ColorGuard, CacheMode::Warm, 8);
+        let b = quick(ScalingMode::ColorGuard, CacheMode::Warm, 8);
+        assert_eq!(a.per_core, b.per_core);
+        assert!(a.totals.steals > 0, "8 uneven cores must steal");
+    }
+
+    #[test]
+    fn residency_is_bounded_and_recycled() {
+        let r = quick(ScalingMode::ColorGuard, CacheMode::Cold, 1);
+        // Cold spawns are slow enough that the 15-color pool saturates and
+        // queued requests are admitted via recycles.
+        assert!(r.totals.recycles > 0, "overload must recycle slots");
+    }
+
+    #[test]
+    fn sweep_json_is_byte_identical_across_runs() {
+        let a = multicore_sweep_json(7, 60, &[1, 2]);
+        let b = multicore_sweep_json(7, 60, &[1, 2]);
+        assert_eq!(a, b);
+        assert!(a.contains("\"cores\": 2"));
+        assert!(a.contains("\"derived\""));
+    }
+}

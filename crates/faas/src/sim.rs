@@ -327,10 +327,10 @@ pub struct SimReport {
 }
 
 #[derive(Debug, Clone)]
-struct Request {
-    arrival_ns: u64,
-    io_ns: Vec<u64>,
-    compute_ns: Vec<u64>,
+pub(crate) struct Request {
+    pub(crate) arrival_ns: u64,
+    pub(crate) io_ns: Vec<u64>,
+    pub(crate) compute_ns: Vec<u64>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -341,37 +341,59 @@ enum Event {
     SliceDone,
 }
 
-/// Pre-generates the request stream (identical across modes for a seed).
-fn generate_requests(cfg: &SimConfig) -> Vec<Request> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+/// Pre-generates a request stream: `requests_per_epoch` arrivals per 1 ms
+/// epoch for `duration_ms` epochs, with per-request compute derived from
+/// real executions of the workload engines. The stream is a pure function of
+/// its arguments, so any two simulations given the same parameters see
+/// identical arrivals, IO delays and compute (the shared basis for both the
+/// single-core and the sharded multi-core schedulers).
+pub(crate) fn generate_stream(
+    workload: FaasWorkload,
+    duration_ms: u64,
+    requests_per_epoch: u32,
+    io_mean_ms: f64,
+    stages: u32,
+    seed: u64,
+) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(seed);
     let rt = WorkloadRt::new();
     let mut reqs = Vec::new();
-    let epochs = cfg.duration_ms;
-    for e in 0..epochs {
-        for _ in 0..cfg.requests_per_epoch {
+    for e in 0..duration_ms {
+        for _ in 0..requests_per_epoch {
             let arrival_ns = e * 1_000_000 + rng.gen_range(0..1_000_000);
-            let total_work = cfg.workload.service_work(&mut rng, &rt);
-            let per_stage_ns =
-                (total_work as f64 * cfg.workload.ns_per_work_unit() / f64::from(cfg.stages))
-                    .max(1_000.0) as u64;
-            let io_ns = (0..cfg.stages)
+            let total_work = workload.service_work(&mut rng, &rt);
+            let per_stage_ns = (total_work as f64 * workload.ns_per_work_unit() / f64::from(stages))
+                .max(1_000.0) as u64;
+            let io_ns = (0..stages)
                 .map(|_| {
                     // Poisson in ms, jittered within the ms by an exponential.
-                    let ms = poisson(&mut rng, cfg.io_mean_ms).max(1);
+                    let ms = poisson(&mut rng, io_mean_ms).max(1);
                     ms * 1_000_000 + (exponential(&mut rng, 0.2) * 1e6) as u64
                 })
                 .collect();
-            let compute_ns = vec![per_stage_ns; cfg.stages as usize];
+            let compute_ns = vec![per_stage_ns; stages as usize];
             reqs.push(Request { arrival_ns, io_ns, compute_ns });
         }
     }
     reqs
 }
 
+/// Pre-generates the request stream (identical across modes for a seed).
+fn generate_requests(cfg: &SimConfig) -> Vec<Request> {
+    generate_stream(
+        cfg.workload,
+        cfg.duration_ms,
+        cfg.requests_per_epoch,
+        cfg.io_mean_ms,
+        cfg.stages,
+        cfg.seed,
+    )
+}
+
 /// Stateless fault draw: uniform in [0, 1) from (seed, stream, index) —
 /// the same construction the vm chaos layer uses, so fault schedules are a
 /// pure function of the seed.
-fn fault_draw(seed: u64, stream: u64, index: u64) -> f64 {
+pub(crate) fn fault_draw(seed: u64, stream: u64, index: u64) -> f64 {
     let mut z = seed
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(stream.wrapping_mul(0xBF58_476D_1CE4_E5B9))

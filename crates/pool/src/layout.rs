@@ -90,6 +90,30 @@ impl SlotLayout {
     pub fn bytes_to_next_stripe_slot(&self) -> u64 {
         self.slot_bytes.saturating_mul(u64::from(self.num_stripes))
     }
+
+    /// A stable 64-bit fingerprint of the allocator↔compiler contract.
+    ///
+    /// Guard-elision decisions baked into compiled code are sound only for
+    /// the layout they were compiled against, so any code cache keyed on a
+    /// module must also be keyed on this fingerprint: two layouts that
+    /// differ in *any* Table 1 field must never share compiled code.
+    pub fn contract_fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for field in [
+            self.slot_bytes,
+            self.max_memory_bytes,
+            self.pre_slot_guard_bytes,
+            self.post_slot_guard_bytes,
+            self.num_slots,
+            u64::from(self.num_stripes),
+        ] {
+            for b in field.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
 }
 
 /// Why a layout could not be computed.
@@ -348,6 +372,25 @@ mod tests {
         // Paper's absolute scale: ~14.5K and ~218K.
         assert!((12_000..=18_000).contains(&without.num_slots), "{}", without.num_slots);
         assert!((190_000..=240_000).contains(&with.num_slots), "{}", with.num_slots);
+    }
+
+    #[test]
+    fn contract_fingerprint_separates_every_field() {
+        let base = compute_layout(&small_cfg()).unwrap();
+        let fp = base.contract_fingerprint();
+        assert_eq!(fp, base.contract_fingerprint(), "fingerprint is stable");
+        for i in 0..6 {
+            let mut l = base;
+            match i {
+                0 => l.slot_bytes += WASM_PAGE_SIZE,
+                1 => l.max_memory_bytes += WASM_PAGE_SIZE,
+                2 => l.pre_slot_guard_bytes += OS_PAGE_SIZE,
+                3 => l.post_slot_guard_bytes += OS_PAGE_SIZE,
+                4 => l.num_slots += 1,
+                _ => l.num_stripes += 1,
+            }
+            assert_ne!(fp, l.contract_fingerprint(), "field {i} must perturb the fingerprint");
+        }
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Property-based verification of *sharded* pools: several per-core pools
+//! carved out of one shared address space (the multi-core engine's layout),
+//! driven through random allocate / deallocate / quarantine interleavings
+//! with transient commit faults injected.
+//!
+//! Invariants, checked after every operation:
+//!
+//! - a slot's linear memory belongs to exactly one shard — no heap base is
+//!   ever live in two pools, and live ranges never overlap;
+//! - each pool's `in_use` matches the model exactly;
+//! - a failed lazy commit (injected `mprotect`/`pkey_mprotect` fault) leaks
+//!   nothing: after draining quarantines, allocate-until-exhausted yields
+//!   precisely `capacity − retired` slots per shard.
+
+use proptest::prelude::*;
+use sfi_pool::{MemoryPool, PoolConfig, PoolError, SlotHandle};
+use sfi_vm::{AddressSpace, FaultPlan, SyscallKind};
+
+const WASM_PAGE: u64 = 65536;
+const SHARDS: usize = 3;
+
+fn shard_config(slots: u64, pkeys: u8) -> PoolConfig {
+    PoolConfig {
+        num_slots: slots,
+        max_memory_bytes: WASM_PAGE,
+        expected_slot_bytes: 2 * WASM_PAGE,
+        guard_bytes: WASM_PAGE,
+        guard_before_slots: true,
+        num_pkeys_available: pkeys,
+        total_memory_bytes: 1 << 40,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Allocate from shard `.0`.
+    Allocate(u8),
+    /// Deallocate the `.1`-th live slot of shard `.0`.
+    Deallocate(u8, u8),
+    /// Quarantine (fault) the `.1`-th live slot of shard `.0`.
+    Quarantine(u8, u8),
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0u8..3, 0u8..SHARDS as u8, any::<u8>()).prop_map(|(op, s, k)| match op {
+            0 => Op::Allocate(s),
+            1 => Op::Deallocate(s, k),
+            _ => Op::Quarantine(s, k),
+        }),
+        1..100,
+    )
+}
+
+/// Checks the cross-shard exclusivity invariant: every live handle's range
+/// is inside its own shard and disjoint from every other live range.
+fn check_exclusive(pools: &[MemoryPool], live: &[Vec<SlotHandle>]) -> Result<(), TestCaseError> {
+    let mut ranges: Vec<(u64, u64, usize)> = Vec::new();
+    for (s, handles) in live.iter().enumerate() {
+        for h in handles {
+            prop_assert_eq!(
+                pools[s].slot_base(h.index),
+                h.heap_base,
+                "shard {}'s handle {:?} does not map into its own slab",
+                s,
+                h
+            );
+            ranges.push((h.heap_base, h.heap_base + WASM_PAGE, s));
+        }
+    }
+    ranges.sort_unstable();
+    for w in ranges.windows(2) {
+        prop_assert!(
+            w[0].1 <= w[1].0,
+            "live slots overlap: {:?} (shard {}) and {:?} (shard {})",
+            (w[0].0, w[0].1),
+            w[0].2,
+            (w[1].0, w[1].1),
+            w[1].2
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The sharded-pool state machine: any interleaving, with transient
+    /// commit faults, preserves exclusivity and leaks nothing.
+    #[test]
+    fn sharded_pools_share_a_space_without_leaks_or_overlap(
+        ops in ops_strategy(),
+        slots_per_shard in 2u64..6,
+        pkeys in (0u8..3).prop_map(|i| [0u8, 2, 4][i as usize]),
+        fault_mprotect in 1u64..60,
+        fault_pkey in 1u64..60,
+    ) {
+        let mut space = AddressSpace::new_48bit();
+        // Lazy commit so allocation exercises the commit-fault path.
+        let mut pools: Vec<MemoryPool> = (0..SHARDS)
+            .map(|_| {
+                MemoryPool::create_with(&mut space, &shard_config(slots_per_shard, pkeys), false)
+                    .expect("shard creation")
+            })
+            .collect();
+        // Transient faults: the nth mprotect / pkey_mprotect fails, once.
+        space.set_fault_plan(Some(
+            FaultPlan::new()
+                .fail_at(SyscallKind::Mprotect, fault_mprotect)
+                .fail_at(SyscallKind::PkeyMprotect, fault_pkey),
+        ));
+
+        let mut live: Vec<Vec<SlotHandle>> = vec![Vec::new(); SHARDS];
+
+        for op in ops {
+            match op {
+                Op::Allocate(s) => {
+                    let s = s as usize;
+                    let before = pools[s].in_use();
+                    match pools[s].allocate(&mut space) {
+                        Ok(h) => live[s].push(h),
+                        Err(PoolError::Exhausted) => {
+                            prop_assert!(pools[s].in_use() == before, "failed allocate must not move in_use");
+                        }
+                        Err(PoolError::Map(_)) => {
+                            // Injected commit fault: the slot must return to
+                            // the free list (checked by the final drain).
+                            prop_assert_eq!(pools[s].in_use(), before, "faulted commit must not leak");
+                        }
+                        Err(e) => prop_assert!(false, "unexpected allocate error: {e}"),
+                    }
+                }
+                Op::Deallocate(s, k) => {
+                    let s = s as usize;
+                    if live[s].is_empty() { continue; }
+                    let i = k as usize % live[s].len();
+                    let h = live[s].remove(i);
+                    pools[s].deallocate(&mut space, h).expect("deallocate live slot");
+                }
+                Op::Quarantine(s, k) => {
+                    let s = s as usize;
+                    if live[s].is_empty() { continue; }
+                    let i = k as usize % live[s].len();
+                    let h = live[s].remove(i);
+                    // Quarantined or Retired — both take the slot out of the
+                    // live set; neither may error for a live handle.
+                    pools[s].quarantine(&mut space, h).expect("quarantine live slot");
+                }
+            }
+            for (s, pool) in pools.iter().enumerate() {
+                prop_assert_eq!(pool.in_use(), live[s].len() as u64, "shard {} in_use", s);
+            }
+            check_exclusive(&pools, &live)?;
+        }
+
+        // Leak accounting: clear faults, return everything, then drain every
+        // shard to exactly capacity − retired.
+        space.set_fault_plan(None);
+        for (s, pool) in pools.iter_mut().enumerate() {
+            for h in live[s].drain(..) {
+                pool.deallocate(&mut space, h).expect("final deallocate");
+            }
+            pool.drain_quarantine(&mut space);
+            let mut drained = 0u64;
+            while pool.allocate(&mut space).is_ok() {
+                drained += 1;
+            }
+            prop_assert_eq!(
+                drained,
+                pool.capacity() - pool.retired() as u64,
+                "shard {} must drain to capacity − retired (nothing leaked)",
+                s
+            );
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The compiled-code cache and the [`Engine`] that fronts `sfi-core`.
+//!
+//! Per-invoke compilation dominates FaaS spawn cost (Kolosick et al. — the
+//! transition/setup tax), so the engine memoizes compilation keyed on
+//! *everything* that can change the emitted bytes:
+//!
+//! - the module's content hash ([`sfi_core::module_hash`]),
+//! - the compile-options fingerprint ([`CompilerConfig::cache_fingerprint`]
+//!   — strategy, vectorizer, stack checks, memory layout, runtime regions),
+//! - the allocator's [`SlotLayout::contract_fingerprint`] — guard-elision
+//!   decisions baked into code are sound only for the slot layout they were
+//!   compiled against (the Table 1 contract), so code must never migrate
+//!   between pools with different layouts.
+//!
+//! Eviction is deterministic LRU (least-recently-*used* by a monotonic
+//! logical tick, ties impossible because ticks are unique), and the cache
+//! keeps hit/miss/eviction counters so benches can report warm-path rates.
+//!
+//! [`SlotLayout::contract_fingerprint`]: sfi_pool::SlotLayout::contract_fingerprint
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sfi_core::{compile, CompileError, CompiledModule, CompilerConfig};
+use sfi_wasm::Module;
+
+/// The full cache key: module content × compile options × layout contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Content hash of the module ([`sfi_core::module_hash`]).
+    pub module_hash: u64,
+    /// Fingerprint of the [`CompilerConfig`] (strategy, vectorizer flags,
+    /// layout contract fields, runtime regions).
+    pub options_fingerprint: u64,
+    /// The pool's slot-layout contract fingerprint.
+    pub layout_fingerprint: u64,
+}
+
+/// Cache observability counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups satisfied from the cache (no codegen).
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Entries evicted by LRU capacity pressure.
+    pub evictions: u64,
+    /// Entries inserted (== misses unless insertion failed).
+    pub inserts: u64,
+}
+
+struct CacheEntry {
+    module: Arc<CompiledModule>,
+    /// Logical last-use tick; strictly increasing, so LRU order is total
+    /// and eviction is deterministic.
+    last_used: u64,
+}
+
+/// An LRU-bounded map from [`CacheKey`] to compiled code.
+pub struct CodeCache {
+    entries: HashMap<CacheKey, CacheEntry>,
+    capacity: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl CodeCache {
+    /// Creates a cache holding at most `capacity` compiled modules
+    /// (`capacity` 0 disables caching: every load is a miss and nothing is
+    /// retained).
+    pub fn new(capacity: usize) -> CodeCache {
+        CodeCache { entries: HashMap::new(), capacity, tick: 0, stats: CacheStats::default() }
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up `key`, refreshing its LRU position on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<CompiledModule>> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(Arc::clone(&e.module))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether `key` is resident, without touching LRU order or counters.
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Inserts compiled code under `key`, evicting the least-recently-used
+    /// entry if the cache is at capacity. Returns the evicted key, if any.
+    pub fn insert(&mut self, key: CacheKey, module: Arc<CompiledModule>) -> Option<CacheKey> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.tick += 1;
+        let mut evicted = None;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            // Unique ticks make min_by_key deterministic.
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty at capacity");
+            self.entries.remove(&victim);
+            self.stats.evictions += 1;
+            evicted = Some(victim);
+        }
+        self.entries.insert(key, CacheEntry { module, last_used: self.tick });
+        self.stats.inserts += 1;
+        evicted
+    }
+}
+
+/// The engine: a [`CodeCache`] plus the compile path that fills it.
+///
+/// `Engine::load` is the only compilation entry point a sharded FaaS host
+/// needs: a warm spawn is a cache hit (an `Arc` clone), a cold spawn pays
+/// `sfi_core::compile`.
+pub struct Engine {
+    cache: CodeCache,
+}
+
+impl Engine {
+    /// Creates an engine with a cache of `capacity` modules.
+    pub fn new(capacity: usize) -> Engine {
+        Engine { cache: CodeCache::new(capacity) }
+    }
+
+    /// The cache (for stats and direct inspection).
+    pub fn cache(&self) -> &CodeCache {
+        &self.cache
+    }
+
+    /// Mutable cache access (tests exercise LRU behaviour directly).
+    pub fn cache_mut(&mut self) -> &mut CodeCache {
+        &mut self.cache
+    }
+
+    /// The cache key `load` would use for this (module, config, layout)
+    /// triple.
+    pub fn key_for(module: &Module, config: &CompilerConfig, layout_fingerprint: u64) -> CacheKey {
+        CacheKey {
+            module_hash: sfi_core::module_hash(module),
+            options_fingerprint: config.cache_fingerprint(),
+            layout_fingerprint,
+        }
+    }
+
+    /// Returns compiled code for `module` under `config`, bound to the pool
+    /// layout identified by `layout_fingerprint` — from the cache when
+    /// possible, compiling (and caching) otherwise.
+    pub fn load(
+        &mut self,
+        module: &Module,
+        config: &CompilerConfig,
+        layout_fingerprint: u64,
+    ) -> Result<Arc<CompiledModule>, CompileError> {
+        let key = Self::key_for(module, config, layout_fingerprint);
+        if let Some(cm) = self.cache.get(&key) {
+            return Ok(cm);
+        }
+        let cm = Arc::new(compile(module, config)?);
+        self.cache.insert(key, Arc::clone(&cm));
+        Ok(cm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfi_core::Strategy;
+    use sfi_wasm::wat;
+
+    fn tiny(n: u32) -> Module {
+        wat::parse(&format!(
+            "(module (memory 1) (func (export \"f\") (result i32) i32.const {n}))"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn warm_load_is_a_hit_and_shares_the_arc() {
+        let mut eng = Engine::new(4);
+        let m = tiny(7);
+        let cfg = CompilerConfig::for_strategy(Strategy::Segue);
+        let a = eng.load(&m, &cfg, 1).unwrap();
+        let b = eng.load(&m, &cfg, 1).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "cache hit must return the same code");
+        let s = eng.cache().stats();
+        assert_eq!((s.hits, s.misses, s.inserts, s.evictions), (1, 1, 1, 0));
+    }
+
+    #[test]
+    fn any_key_component_separates_entries() {
+        let mut eng = Engine::new(8);
+        let m = tiny(7);
+        let cfg = CompilerConfig::for_strategy(Strategy::Segue);
+        let base = eng.load(&m, &cfg, 1).unwrap();
+
+        let other_module = eng.load(&tiny(8), &cfg, 1).unwrap();
+        assert!(!Arc::ptr_eq(&base, &other_module));
+
+        let other_cfg = eng.load(&m, &CompilerConfig::for_strategy(Strategy::BoundsCheck), 1).unwrap();
+        assert!(!Arc::ptr_eq(&base, &other_cfg));
+
+        let other_layout = eng.load(&m, &cfg, 2).unwrap();
+        assert!(!Arc::ptr_eq(&base, &other_layout));
+
+        assert_eq!(eng.cache().len(), 4);
+        assert_eq!(eng.cache().stats().hits, 0);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let mut eng = Engine::new(2);
+        let cfg = CompilerConfig::for_strategy(Strategy::Segue);
+        let (m1, m2, m3) = (tiny(1), tiny(2), tiny(3));
+        eng.load(&m1, &cfg, 0).unwrap();
+        eng.load(&m2, &cfg, 0).unwrap();
+        eng.load(&m1, &cfg, 0).unwrap(); // refresh m1 → m2 is now LRU
+        eng.load(&m3, &cfg, 0).unwrap(); // evicts m2
+        assert_eq!(eng.cache().stats().evictions, 1);
+        assert!(eng.cache().contains(&Engine::key_for(&m1, &cfg, 0)), "m1 kept (recently used)");
+        assert!(!eng.cache().contains(&Engine::key_for(&m2, &cfg, 0)), "m2 evicted");
+        assert!(eng.cache().contains(&Engine::key_for(&m3, &cfg, 0)));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut eng = Engine::new(0);
+        let m = tiny(1);
+        let cfg = CompilerConfig::for_strategy(Strategy::Segue);
+        let a = eng.load(&m, &cfg, 0).unwrap();
+        let b = eng.load(&m, &cfg, 0).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "nothing retained at capacity 0");
+        assert_eq!(eng.cache().stats().misses, 2);
+        assert_eq!(eng.cache().len(), 0);
+    }
+}

@@ -37,10 +37,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod fault;
 mod runtime;
 mod transition;
 
+pub use cache::{CacheKey, CacheStats, CodeCache, Engine};
 pub use fault::{RecoveryAction, SandboxFault};
 pub use runtime::{
     HostApi, InstanceId, InvokeOutcome, NoHostApi, Runtime, RuntimeConfig, RuntimeError,

@@ -73,6 +73,8 @@ pub enum RuntimeError {
     NoSuchExport(String),
     /// The module was compiled with an incompatible configuration.
     IncompatibleModule(String),
+    /// Compiling the module failed (spawn fast path).
+    Compile(sfi_core::CompileError),
     /// The sandbox trapped.
     Trapped(Trap),
     /// The instance exceeded its epoch budget (cooperative preemption).
@@ -101,6 +103,7 @@ impl core::fmt::Display for RuntimeError {
             RuntimeError::BadInstance => f.write_str("unknown instance"),
             RuntimeError::NoSuchExport(n) => write!(f, "no export named {n}"),
             RuntimeError::IncompatibleModule(m) => write!(f, "incompatible module: {m}"),
+            RuntimeError::Compile(e) => write!(f, "compile: {e}"),
             RuntimeError::Trapped(t) => write!(f, "trap: {t}"),
             RuntimeError::EpochInterrupted => f.write_str("epoch interrupted"),
             RuntimeError::Host(m) => write!(f, "host: {m}"),
@@ -265,6 +268,29 @@ impl Runtime {
         Ok(InstanceId(id))
     }
 
+    /// The pool's slot-layout contract fingerprint — the third component of
+    /// the engine's cache key.
+    pub fn layout_fingerprint(&self) -> u64 {
+        self.pool.layout().contract_fingerprint()
+    }
+
+    /// The spawn fast path: obtains compiled code from the engine's cache
+    /// (compiling only on a miss) and instantiates it. A warm spawn —
+    /// module already cached for this pool's layout contract — skips
+    /// `sfi-core` codegen entirely; observationally it is identical to a
+    /// cold spawn.
+    pub fn spawn(
+        &mut self,
+        engine: &mut crate::cache::Engine,
+        module: &sfi_wasm::Module,
+        config: &sfi_core::CompilerConfig,
+    ) -> Result<InstanceId, RuntimeError> {
+        let cm = engine
+            .load(module, config, self.layout_fingerprint())
+            .map_err(RuntimeError::Compile)?;
+        self.instantiate(cm)
+    }
+
     /// Destroys a healthy instance, recycling its slot (`madvise`).
     /// Poisoned instances are routed through [`Runtime::recycle`] so their
     /// slot never skips quarantine.
@@ -297,6 +323,13 @@ impl Runtime {
     /// The classified cause of `id`'s most recent failed invocation.
     pub fn last_fault(&self, id: InstanceId) -> Option<&SandboxFault> {
         self.instances.get(&id.0)?.last_fault.as_ref()
+    }
+
+    /// The heap base of `id`'s slot in the shared address space — the frame
+    /// in which guard/color fault addresses are reported. `None` for
+    /// unknown instances.
+    pub fn heap_base(&self, id: InstanceId) -> Option<u64> {
+        self.instances.get(&id.0).map(|i| i.slot.heap_base)
     }
 
     /// The host's PKRU view after the last invocation (0 = full access —

@@ -1,0 +1,247 @@
+//! Property-based verification of the compiled-code cache:
+//!
+//! 1. **Key-collision soundness** — code compiled against one pool's slot
+//!    layout must never be served to a runtime with a different layout
+//!    contract (guard-elision baked into code is only sound for the layout
+//!    it was compiled against);
+//! 2. **LRU fidelity** — the implementation tracks a reference model
+//!    exactly (membership, hit/miss/eviction/insert counters) for any
+//!    operation sequence;
+//! 3. **Poison isolation** — a trapped instance and its slot quarantine
+//!    must never evict, mutate, or otherwise reach the cached code other
+//!    instances are running.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sfi_core::{compile, CompilerConfig, Strategy as SfiStrategy};
+use sfi_runtime::{CacheKey, CodeCache, Engine, Runtime, RuntimeConfig};
+use sfi_wasm::wat;
+
+fn tiny() -> sfi_wasm::Module {
+    wat::parse("(module (memory 1) (func (export \"f\") (result i32) i32.const 9))").unwrap()
+}
+
+/// A store probe used to poison an instance (OOB at 128 KiB).
+const POKE: &str = r#"(module (memory 1)
+    (func (export "poke") (param $p i32) (result i32)
+      local.get $p
+      i32.const 1
+      i32.store
+      i32.const 7))"#;
+
+// ---------------------------------------------------------------------------
+// 1. Key-collision soundness across pool layouts.
+// ---------------------------------------------------------------------------
+
+/// Two runtimes with different pool shapes have different layout contracts,
+/// so one engine serving both must keep (and compile) separate entries for
+/// the same (module, config) pair.
+#[test]
+fn different_pool_layouts_never_share_cached_code() {
+    let mut rt_mp = Runtime::new(RuntimeConfig::small_test(false)).unwrap();
+    let mut rt_cg = Runtime::new(RuntimeConfig::small_test(true)).unwrap();
+    assert_ne!(
+        rt_mp.layout_fingerprint(),
+        rt_cg.layout_fingerprint(),
+        "striped and unstriped pools must have distinct layout contracts"
+    );
+
+    let mut engine = Engine::new(16);
+    let m = tiny();
+    let cfg = CompilerConfig::for_strategy(SfiStrategy::Segue);
+
+    let a = rt_mp.spawn(&mut engine, &m, &cfg).unwrap();
+    let b = rt_cg.spawn(&mut engine, &m, &cfg).unwrap();
+    assert_eq!(engine.cache().len(), 2, "one entry per layout contract");
+    assert_eq!(engine.cache().stats().misses, 2, "no cross-layout hit");
+
+    // Same layout → shared entry (and both instances run).
+    let a2 = rt_mp.spawn(&mut engine, &m, &cfg).unwrap();
+    assert_eq!(engine.cache().stats().hits, 1);
+    assert_eq!(rt_mp.invoke(a, "f", &[]).unwrap().result, Some(9));
+    assert_eq!(rt_cg.invoke(b, "f", &[]).unwrap().result, Some(9));
+    assert_eq!(rt_mp.invoke(a2, "f", &[]).unwrap().result, Some(9));
+}
+
+/// The two compiled entries for the two layouts are distinct objects — a
+/// collision would hand one pool's guard-elision decisions to the other.
+#[test]
+fn layout_fingerprint_separates_identical_modules() {
+    let mut engine = Engine::new(4);
+    let m = tiny();
+    let cfg = CompilerConfig::for_strategy(SfiStrategy::Segue);
+    let rt_mp = Runtime::new(RuntimeConfig::small_test(false)).unwrap();
+    let rt_cg = Runtime::new(RuntimeConfig::small_test(true)).unwrap();
+    let a = engine.load(&m, &cfg, rt_mp.layout_fingerprint()).unwrap();
+    let b = engine.load(&m, &cfg, rt_cg.layout_fingerprint()).unwrap();
+    assert!(!Arc::ptr_eq(&a, &b), "separate layouts must compile separately");
+}
+
+// ---------------------------------------------------------------------------
+// 2. LRU model-vs-implementation equivalence.
+// ---------------------------------------------------------------------------
+
+/// Reference LRU: same tick discipline as `CodeCache`, brute-force scans.
+struct ModelLru {
+    entries: Vec<(CacheKey, u64)>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    inserts: u64,
+}
+
+impl ModelLru {
+    fn new(capacity: usize) -> ModelLru {
+        ModelLru { entries: Vec::new(), capacity, tick: 0, hits: 0, misses: 0, evictions: 0, inserts: 0 }
+    }
+
+    fn get(&mut self, key: CacheKey) -> bool {
+        self.tick += 1;
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            e.1 = self.tick;
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    fn insert(&mut self, key: CacheKey) -> Option<CacheKey> {
+        self.tick += 1;
+        let mut evicted = None;
+        let resident = self.entries.iter().any(|(k, _)| *k == key);
+        if !resident && self.entries.len() >= self.capacity {
+            let (i, _) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .expect("non-empty at capacity");
+            evicted = Some(self.entries.remove(i).0);
+            self.evictions += 1;
+        }
+        self.entries.retain(|(k, _)| *k != key);
+        self.entries.push((key, self.tick));
+        self.inserts += 1;
+        evicted
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Get(u8),
+    Insert(u8),
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (any::<bool>(), 0u8..12).prop_map(|(g, k)| if g { Op::Get(k) } else { Op::Insert(k) }),
+        1..200,
+    )
+}
+
+fn synthetic_key(k: u8) -> CacheKey {
+    CacheKey {
+        module_hash: u64::from(k),
+        options_fingerprint: 0xC0FFEE,
+        layout_fingerprint: u64::from(k % 3),
+    }
+}
+
+proptest! {
+    /// For any operation sequence and capacity, the implementation agrees
+    /// with the reference model on membership, the evicted victim, and all
+    /// four counters.
+    #[test]
+    fn lru_matches_the_reference_model(ops in ops_strategy(), capacity in 1usize..6) {
+        let code = Arc::new(
+            compile(&tiny(), &CompilerConfig::for_strategy(SfiStrategy::Segue)).unwrap(),
+        );
+        let mut cache = CodeCache::new(capacity);
+        let mut model = ModelLru::new(capacity);
+
+        for op in ops {
+            match op {
+                Op::Get(k) => {
+                    let key = synthetic_key(k);
+                    let hit = cache.get(&key).is_some();
+                    prop_assert_eq!(hit, model.get(key), "get({:?})", key);
+                }
+                Op::Insert(k) => {
+                    let key = synthetic_key(k);
+                    let evicted = cache.insert(key, Arc::clone(&code));
+                    prop_assert_eq!(evicted, model.insert(key), "insert({:?})", key);
+                }
+            }
+            prop_assert_eq!(cache.len(), model.entries.len());
+            prop_assert!(cache.len() <= capacity, "capacity is a hard bound");
+            for (k, _) in &model.entries {
+                prop_assert!(cache.contains(k), "model key {:?} missing", k);
+            }
+            let s = cache.stats();
+            prop_assert_eq!(
+                (s.hits, s.misses, s.evictions, s.inserts),
+                (model.hits, model.misses, model.evictions, model.inserts)
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Poisoned instances never corrupt the cache.
+// ---------------------------------------------------------------------------
+
+/// Trapping an instance and quarantining its slot leaves the cache
+/// untouched: same entries, same stats (modulo the reload's hit), and the
+/// reloaded code is the very same `Arc` — running it still works.
+#[test]
+fn poisoned_recycle_never_evicts_or_corrupts_cached_code() {
+    let m = wat::parse(POKE).unwrap();
+    let cfg = CompilerConfig::for_strategy(SfiStrategy::Segue);
+    let mut engine = Engine::new(8);
+    let mut rt = Runtime::new(RuntimeConfig::small_test(true)).unwrap();
+    let fp = rt.layout_fingerprint();
+
+    let id = rt.spawn(&mut engine, &m, &cfg).unwrap();
+    let cached = engine.load(&m, &cfg, fp).unwrap();
+    let before = engine.cache().stats();
+    let len_before = engine.cache().len();
+
+    // Poison: OOB store, then quarantine the slot.
+    assert!(rt.invoke(id, "poke", &[0x2_0000]).is_err());
+    assert_eq!(rt.is_poisoned(id), Some(true));
+    rt.recycle(id).unwrap();
+
+    assert_eq!(engine.cache().len(), len_before, "no entry disappeared");
+    assert_eq!(engine.cache().stats(), before, "no counter moved");
+
+    // A respawn is a warm hit on the *same* code object, and it runs.
+    let reloaded = engine.load(&m, &cfg, fp).unwrap();
+    assert!(Arc::ptr_eq(&cached, &reloaded), "reload must be the identical Arc");
+    let id2 = rt.spawn(&mut engine, &m, &cfg).unwrap();
+    assert_eq!(rt.invoke(id2, "poke", &[100]).unwrap().result, Some(7));
+}
+
+/// Repeated poison/recycle cycles (the chaos-injection slot path) never
+/// touch cache counters: warm spawns stay warm throughout.
+#[test]
+fn poison_cycles_keep_spawns_warm() {
+    let m = wat::parse(POKE).unwrap();
+    let cfg = CompilerConfig::for_strategy(SfiStrategy::Segue);
+    let mut engine = Engine::new(8);
+    let mut rt = Runtime::new(RuntimeConfig::small_test(true)).unwrap();
+
+    for round in 0..6 {
+        let id = rt.spawn(&mut engine, &m, &cfg).unwrap();
+        assert!(rt.invoke(id, "poke", &[0x2_0000]).is_err(), "round {round}");
+        rt.recycle(id).unwrap();
+    }
+    let s = engine.cache().stats();
+    assert_eq!(s.misses, 1, "only the first spawn compiles");
+    assert_eq!(s.hits, 5, "every later spawn is warm");
+    assert_eq!(s.evictions, 0);
+}

@@ -471,11 +471,6 @@ impl AddressSpace {
         let ptr_tag = ((addr >> 56) & 0xF) as u8;
         let addr = addr & 0x00FF_FFFF_FFFF_FFFF;
         let vma = self.vma_at(addr).ok_or(MemFault::Unmapped { addr })?;
-        // Accesses must not straddle out of the VMA into unmapped space;
-        // check the last byte too (common case: same VMA).
-        if addr + len > vma.end && !self.fully_mapped(addr, addr + len) {
-            return Err(MemFault::Unmapped { addr: vma.end });
-        }
         if !vma.prot.r || (write && !vma.prot.w) {
             return Err(MemFault::Protection { addr });
         }
@@ -483,6 +478,22 @@ impl AddressSpace {
             let ok = if write { ctx.may_write(vma.pkey) } else { ctx.may_read(vma.pkey) };
             if !ok {
                 return Err(MemFault::PkuViolation { addr, key: vma.pkey });
+            }
+        }
+        // Hardware faults per page: an access that straddles out of this VMA
+        // must satisfy mapping, protection, and pkey on the tail VMA too.
+        // (Widths are <= 16 bytes, so an access spans at most two VMAs.)
+        if addr + len > vma.end {
+            let tail = self.vma_at(addr + len - 1).ok_or(MemFault::Unmapped { addr: vma.end })?;
+            if !tail.prot.r || (write && !tail.prot.w) {
+                return Err(MemFault::Protection { addr: vma.end });
+            }
+            if tail.pkey != 0 {
+                let ok =
+                    if write { ctx.may_write(tail.pkey) } else { ctx.may_read(tail.pkey) };
+                if !ok {
+                    return Err(MemFault::PkuViolation { addr: vma.end, key: tail.pkey });
+                }
             }
         }
         if vma.mte {
@@ -564,6 +575,41 @@ mod tests {
             s.store(a, Width::D, 1, ctx),
             Err(MemFault::Protection { .. })
         ));
+    }
+
+    #[test]
+    fn straddling_access_checks_the_tail_vma() {
+        let mut s = AddressSpace::new_48bit();
+        let a = s.mmap(4096, Prot::READ_WRITE).unwrap();
+        let ctx = AccessCtx::ALL_ENABLED;
+        // Last byte lands in an adjacent PROT_NONE guard: per-page fault.
+        s.mmap_fixed(a + 4096, 4096, Prot::NONE).unwrap();
+        assert_eq!(
+            s.load(a + 4096 - 2, Width::D, ctx),
+            Err(MemFault::Protection { addr: a + 4096 })
+        );
+        // Last byte lands past the end of the mapping entirely.
+        let b = s.mmap(4096, Prot::READ_WRITE).unwrap();
+        assert_eq!(
+            s.load(b + 4096 - 2, Width::D, ctx),
+            Err(MemFault::Unmapped { addr: b + 4096 })
+        );
+        // Straddling into another readable VMA is fine.
+        s.mprotect(a + 4096, 4096, Prot::READ_WRITE).unwrap();
+        assert_eq!(s.load(a + 4096 - 2, Width::D, ctx).unwrap(), 0);
+    }
+
+    #[test]
+    fn straddling_into_a_foreign_pkey_faults() {
+        let mut s = AddressSpace::new_48bit();
+        let a = s.mmap(8192, Prot::READ_WRITE).unwrap();
+        let key = s.keys.pkey_alloc().unwrap();
+        s.pkey_mprotect(a + 4096, 4096, Prot::READ_WRITE, key).unwrap();
+        let deny = AccessCtx { pkru: 1 << (2 * key) };
+        assert_eq!(
+            s.load(a + 4096 - 2, Width::D, deny),
+            Err(MemFault::PkuViolation { addr: a + 4096, key })
+        );
     }
 
     #[test]

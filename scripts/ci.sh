@@ -10,6 +10,12 @@ cargo build --release --offline
 echo "== tests (workspace) =="
 cargo test -q --offline --workspace
 
+echo "== full-corpus differential (release, includes cache path) =="
+cargo test -q --offline --release --test corpus_differential -- --include-ignored
+
+echo "== multi-core sweep: determinism + warm/cold + scaling checks =="
+cargo run -q --offline --release -p sfi-bench --bin figX_multicore -- --check
+
 echo "== clippy (deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

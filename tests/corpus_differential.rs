@@ -7,7 +7,17 @@
 
 use segue_colorguard::core::harness::execute_export;
 use segue_colorguard::core::{compile, Strategy};
+use segue_colorguard::runtime::Engine;
 use segue_colorguard::wasm::interp::Interpreter;
+
+/// The five protection strategies of the cross-strategy sweep.
+const PROTECTED: [Strategy; 5] = [
+    Strategy::GuardRegion,
+    Strategy::Segue,
+    Strategy::SegueLoads,
+    Strategy::BoundsCheck,
+    Strategy::BoundsCheckSegue,
+];
 
 /// Workloads small enough to interpret in a debug test run.
 fn fast_subset() -> Vec<segue_colorguard::workloads::Workload> {
@@ -72,6 +82,84 @@ fn vectorizer_never_changes_results() {
             assert_eq!(plain, vectorized, "{} under {strategy}", w.name);
         }
     }
+}
+
+/// The exhaustive sweep: every workload in the corpus, under all five
+/// protection strategies × vectorizer on/off, bit-identical (return value
+/// *and* memory) to the reference interpreter — including when the compiled
+/// code comes out of the engine's cache instead of a fresh compile.
+///
+/// Benchmark-sized, so debug runs skip it; `scripts/ci.sh` runs it in
+/// release with `--include-ignored`.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full corpus is benchmark-sized; ci.sh runs it in release")]
+fn full_corpus_all_strategies_and_vectorizer_match_interpreter() {
+    let mut engine = Engine::new(1024);
+    let mut checked = 0u32;
+    for w in segue_colorguard::workloads::all() {
+        let module = w.module();
+        let mut interp = Interpreter::new(&module).expect("instantiates");
+        let expected = interp
+            .invoke_export("run", &[])
+            .expect("interprets")
+            .expect("corpus returns a checksum");
+
+        for strategy in PROTECTED {
+            for vectorize in [false, true] {
+                let mut cfg = sfi_bench_config(strategy, module.mem_min_pages);
+                cfg.vectorize = vectorize;
+                // Through the cache: the first load compiles and caches,
+                // and must be observationally identical to a fresh compile.
+                let cached = engine.load(&module, &cfg, 0).expect("compiles");
+                let out = execute_export(&cached, "run", &[]).expect("runs");
+                assert_eq!(
+                    out.result.map(|r| r & 0xFFFF_FFFF),
+                    Some(expected),
+                    "{} diverged under {strategy} (vectorize={vectorize})",
+                    w.name
+                );
+                let n = interp.memory.len().min(out.heap.len());
+                assert_eq!(
+                    interp.memory[..n],
+                    out.heap[..n],
+                    "{} memory diverged under {strategy} (vectorize={vectorize})",
+                    w.name
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 500, "expected the full corpus sweep, got {checked} combinations");
+    assert_eq!(engine.cache().stats().misses, u64::from(checked), "every combination is distinct");
+}
+
+/// A cache hit must be observationally identical to a fresh compile: same
+/// machine code object (shared `Arc`), same result, same memory.
+#[test]
+fn cache_hit_is_observationally_identical_to_fresh_compile() {
+    let mut engine = Engine::new(64);
+    for w in fast_subset() {
+        let module = w.module();
+        for strategy in [Strategy::Segue, Strategy::BoundsCheck] {
+            let cfg = sfi_bench_config(strategy, module.mem_min_pages);
+
+            let first = engine.load(&module, &cfg, 7).expect("compiles");
+            let hit = engine.load(&module, &cfg, 7).expect("cache hit");
+            assert!(
+                std::sync::Arc::ptr_eq(&first, &hit),
+                "{} under {strategy}: second load must be a cache hit",
+                w.name
+            );
+
+            let fresh = compile(&module, &cfg).expect("compiles");
+            let from_cache = execute_export(&hit, "run", &[]).expect("runs");
+            let from_fresh = execute_export(&fresh, "run", &[]).expect("runs");
+            assert_eq!(from_cache.result, from_fresh.result, "{} under {strategy}", w.name);
+            assert_eq!(from_cache.heap, from_fresh.heap, "{} heap under {strategy}", w.name);
+        }
+    }
+    let s = engine.cache().stats();
+    assert_eq!(s.hits, 10, "5 workloads x 2 strategies, one hit each");
 }
 
 #[test]

@@ -1,0 +1,203 @@
+//! Safety-model trap matrix: every out-of-bounds shape must produce the
+//! *correct* [`SandboxFault`] under every protection strategy — and
+//! Masking's documented corrupt-not-trap divergence must hold.
+//!
+//! The shapes cover the four ways guest code escapes its heap:
+//!
+//! - **heap-oob-near** — first byte past the memory limit, lands in the
+//!   slot's own guard region;
+//! - **heap-oob-far** — a full page further; under ColorGuard this reaches
+//!   the *neighbour stripe's* pages, so MPK (not the guard) must catch it;
+//! - **neg-offset** — a wrapped 32-bit index (`-4`), which after zero
+//!   extension lands ~4 GiB above the heap base;
+//! - **straddle** — a 4-byte load whose first byte is in bounds but whose
+//!   tail crosses into the guard (hardware faults per page, so the guard
+//!   still catches it; BoundsCheck catches it via the explicit width check);
+//! - **stack-overflow** — unbounded recursion tripping the prologue check.
+
+use std::sync::Arc;
+
+use segue_colorguard::core::{compile, CompilerConfig, Strategy};
+use segue_colorguard::runtime::{Runtime, RuntimeConfig, RuntimeError, SandboxFault};
+
+const PAGE: u64 = 65536;
+
+/// A store probe: writes 1 at the given byte address, returns 7.
+const POKE: &str = r#"(module (memory 1)
+    (func (export "poke") (param $p i32) (result i32)
+      local.get $p
+      i32.const 1
+      i32.store
+      i32.const 7))"#;
+
+/// A 4-byte load probe.
+const PEEK: &str = r#"(module (memory 1)
+    (func (export "peek") (param $p i32) (result i32)
+      local.get $p
+      i32.load))"#;
+
+/// Infinite recursion: must hit the prologue stack check.
+const RECURSE: &str = r#"(module (memory 1)
+    (func $inf (export "inf") (result i32) call $inf))"#;
+
+/// Strategies that interpose on memory with guard regions (the fault
+/// arrives as a page-level trap, classified by address).
+const GUARD_BASED: [Strategy; 3] = [Strategy::GuardRegion, Strategy::Segue, Strategy::SegueLoads];
+
+/// Strategies with an explicit bounds check (the fault arrives as a guest
+/// trap before any access is issued).
+const BOUNDS_BASED: [Strategy; 2] = [Strategy::BoundsCheck, Strategy::BoundsCheckSegue];
+
+struct Probe {
+    result: Result<Option<u64>, RuntimeError>,
+    fault: Option<SandboxFault>,
+    poisoned: bool,
+    heap_word0: u32,
+    /// The slot's heap base — the frame fault addresses are reported in.
+    heap: u64,
+}
+
+fn probe(src: &str, export: &str, arg: u64, strategy: Strategy, colorguard: bool) -> Probe {
+    let m = segue_colorguard::wasm::wat::parse(src).unwrap();
+    let cm = Arc::new(compile(&m, &CompilerConfig::for_strategy(strategy)).unwrap());
+    let mut rt = Runtime::new(RuntimeConfig::small_test(colorguard)).unwrap();
+    let id = rt.instantiate(cm).unwrap();
+    let result = rt.invoke(id, export, &[arg]).map(|o| o.result);
+    let mut w0 = [0u8; 4];
+    rt.read_heap(id, 0, &mut w0).unwrap();
+    Probe {
+        result,
+        fault: rt.last_fault(id).cloned(),
+        poisoned: rt.is_poisoned(id).unwrap(),
+        heap_word0: u32::from_le_bytes(w0),
+        heap: rt.heap_base(id).unwrap(),
+    }
+}
+
+/// The address-classified faults: every OOB shape, under every guard-based
+/// strategy, with and without ColorGuard striping.
+#[test]
+fn guard_based_strategies_classify_every_oob_shape() {
+    for colorguard in [false, true] {
+        for strategy in GUARD_BASED {
+            let ctx = |shape: &str| format!("{strategy} cg={colorguard} {shape}");
+
+            // One byte past the memory limit: the slot's own guard page.
+            let p = probe(POKE, "poke", PAGE, strategy, colorguard);
+            assert_eq!(
+                p.fault,
+                Some(SandboxFault::GuardHit { addr: p.heap + PAGE }),
+                "{}",
+                ctx("near")
+            );
+
+            // A page further: past the guard under ColorGuard's dense
+            // striping, where the *neighbour stripe's* protection key — not
+            // the guard — must contain the access.
+            let p = probe(POKE, "poke", 2 * PAGE, strategy, colorguard);
+            let far = p.heap + 2 * PAGE;
+            if colorguard {
+                assert_eq!(
+                    p.fault,
+                    Some(SandboxFault::ColorFault { addr: far, key: 2 }),
+                    "{}",
+                    ctx("far: MPK must catch the cross-stripe access")
+                );
+            } else {
+                assert_eq!(p.fault, Some(SandboxFault::GuardHit { addr: far }), "{}", ctx("far"));
+            }
+
+            // Wrapped negative index: ~4 GiB above the heap, unmapped.
+            let neg = (-4i32) as u32 as u64;
+            let p = probe(POKE, "poke", neg, strategy, colorguard);
+            assert_eq!(
+                p.fault,
+                Some(SandboxFault::GuardHit { addr: p.heap + neg }),
+                "{}",
+                ctx("neg")
+            );
+
+            // Straddling load: base in bounds, tail in the guard. Hardware
+            // faults per page, so this must trap even though byte 0 is fine.
+            let p = probe(PEEK, "peek", PAGE - 2, strategy, colorguard);
+            assert_eq!(
+                p.fault,
+                Some(SandboxFault::GuardHit { addr: p.heap + PAGE }),
+                "{}",
+                ctx("straddle")
+            );
+
+            // Stack overflow: caught by the prologue check as a guest trap.
+            let p = probe(RECURSE, "inf", 0, strategy, colorguard);
+            assert!(
+                matches!(p.fault, Some(SandboxFault::GuestTrap(_))),
+                "{}: {:?}",
+                ctx("stack"),
+                p.fault
+            );
+        }
+    }
+}
+
+/// Bounds-checked strategies reject every shape *before* the access is
+/// issued, so each one surfaces as a guest trap — including the straddle,
+/// which the explicit width check catches.
+#[test]
+fn bounds_based_strategies_trap_every_oob_shape_as_guest_traps() {
+    for colorguard in [false, true] {
+        for strategy in BOUNDS_BASED {
+            for (shape, src, export, arg) in [
+                ("near", POKE, "poke", PAGE),
+                ("far", POKE, "poke", 2 * PAGE),
+                ("neg", POKE, "poke", (-4i32) as u32 as u64),
+                ("straddle", PEEK, "peek", PAGE - 2),
+                ("stack", RECURSE, "inf", 0),
+            ] {
+                let p = probe(src, export, arg, strategy, colorguard);
+                assert!(
+                    matches!(p.fault, Some(SandboxFault::GuestTrap(_))),
+                    "{strategy} cg={colorguard} {shape}: {:?}",
+                    p.fault
+                );
+                assert!(p.result.is_err(), "{strategy} cg={colorguard} {shape}");
+            }
+        }
+    }
+}
+
+/// Every trapping probe must leave the instance poisoned (awaiting
+/// recycle), and a poisoned instance must refuse further invocations.
+#[test]
+fn every_fault_poisons_the_instance() {
+    for strategy in [Strategy::GuardRegion, Strategy::Segue, Strategy::BoundsCheck] {
+        for colorguard in [false, true] {
+            let p = probe(POKE, "poke", 2 * PAGE, strategy, colorguard);
+            assert!(p.result.is_err() && p.poisoned, "{strategy} cg={colorguard}");
+        }
+    }
+    // ...and a clean run must not poison.
+    let p = probe(POKE, "poke", 100, Strategy::Segue, true);
+    assert_eq!(p.result.as_ref().ok(), Some(&Some(7)));
+    assert!(!p.poisoned);
+}
+
+/// Masking's documented divergence: the out-of-bounds store *wraps* back
+/// into the sandbox instead of trapping. Containment holds (nothing outside
+/// the slot is touched) but the guest's own heap is silently corrupted —
+/// the corrupt-not-trap trade-off of footnote 1.
+#[test]
+fn masking_corrupts_in_sandbox_instead_of_trapping() {
+    for colorguard in [false, true] {
+        // 128 KiB store into a 64 KiB memory: wraps to offset 0.
+        let p = probe(POKE, "poke", 2 * PAGE, Strategy::Masking, colorguard);
+        assert_eq!(p.result.as_ref().ok(), Some(&Some(7)), "cg={colorguard}: no trap");
+        assert!(p.fault.is_none(), "cg={colorguard}: no fault recorded");
+        assert!(!p.poisoned, "cg={colorguard}: instance stays live");
+        assert_eq!(p.heap_word0, 1, "cg={colorguard}: the store wrapped to offset 0");
+
+        // The same input faults under a guard-based strategy: the divergence
+        // is Masking-specific, not an artifact of the probe.
+        let g = probe(POKE, "poke", 2 * PAGE, Strategy::Segue, colorguard);
+        assert!(g.result.is_err() && g.heap_word0 == 0, "cg={colorguard}");
+    }
+}
