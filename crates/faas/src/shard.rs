@@ -31,6 +31,8 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use sfi_telemetry::{FlightRecorder, Registry, TraceEvent, TraceKind};
+
 use crate::hashlb::HashRing;
 use crate::sim::{fault_draw, generate_stream};
 use crate::{FaasWorkload, ScalingMode, SimCosts};
@@ -114,6 +116,11 @@ pub struct MultiCoreConfig {
     pub costs: SimCosts,
     /// Spawn-path cost model.
     pub spawn: SpawnModel,
+    /// Per-core flight-recorder capacity in events (0 disables tracing —
+    /// the telemetry-off configuration of the overhead gate). Events are
+    /// stamped with simulated nanoseconds, so same-seed runs produce
+    /// byte-identical traces.
+    pub trace_capacity: usize,
 }
 
 impl MultiCoreConfig {
@@ -139,6 +146,7 @@ impl MultiCoreConfig {
             seed: 0x5E65E9,
             costs: SimCosts::default(),
             spawn: SpawnModel::default(),
+            trace_capacity: 512,
         }
     }
 }
@@ -203,6 +211,12 @@ pub struct MultiCoreReport {
     pub totals: CoreMetrics,
     /// Per-core counters.
     pub per_core: Vec<CoreMetrics>,
+    /// Per-core flight-recorder traces, oldest first (empty vectors when
+    /// [`MultiCoreConfig::trace_capacity`] is 0).
+    pub traces: Vec<Vec<TraceEvent>>,
+    /// The merged per-core metrics registry as a deterministic JSON
+    /// snapshot (embedded verbatim in `BENCH_multicore.json`).
+    pub telemetry_json: String,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -218,11 +232,15 @@ struct Task {
 }
 
 struct Core {
+    /// This core's index (stamped into trace events).
+    idx: u32,
     ready: VecDeque<Task>,
     /// Requests awaiting a free resident slot (admission queue).
     wait: VecDeque<u32>,
     /// Occupied resident slots (colors / worker processes).
     resident: u32,
+    /// High-water mark of `resident`.
+    peak_resident: u32,
     busy: bool,
     running: Option<Task>,
     /// Current process (multi-process mode); `u32::MAX` = none yet.
@@ -231,6 +249,14 @@ struct Core {
     primed: Vec<bool>,
     steal_attempts: u64,
     m: CoreMetrics,
+    /// This core's flight recorder (ticks are simulated ns).
+    rec: FlightRecorder,
+}
+
+impl Core {
+    fn trace(&mut self, tick: u64, sandbox: u64, kind: TraceKind, arg: u64) {
+        self.rec.record(TraceEvent { tick, core: self.idx, sandbox, kind, arg });
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -278,6 +304,7 @@ fn start_slice(core: &mut Core, cg_primed: &mut bool, ctx: &Ctx, now: u64) -> Op
 
     let mut spawn_ns = 0u64;
     if task.spawn {
+        let mut cold = true;
         spawn_ns = match ctx.cache {
             CacheMode::Cold => {
                 core.m.cold_spawns += 1;
@@ -291,6 +318,7 @@ fn start_slice(core: &mut Core, cg_primed: &mut bool, ctx: &Ctx, now: u64) -> Op
                     &mut core.primed[(task.rid % ctx.procs) as usize]
                 };
                 if *primed {
+                    cold = false;
                     core.m.warm_spawns += 1;
                     ctx.spawn.warm_spawn_ns
                 } else {
@@ -300,6 +328,9 @@ fn start_slice(core: &mut Core, cg_primed: &mut bool, ctx: &Ctx, now: u64) -> Op
                 }
             }
         };
+        if cold {
+            core.trace(now, u64::from(task.rid), TraceKind::Compile, spawn_ns);
+        }
         core.m.spawn_ns += spawn_ns;
         task.spawn = false;
     }
@@ -311,6 +342,7 @@ fn start_slice(core: &mut Core, cg_primed: &mut bool, ctx: &Ctx, now: u64) -> Op
     core.m.busy_ns += slice;
     core.m.overhead_ns += overhead;
     task.remaining -= slice;
+    core.trace(now, u64::from(task.rid), TraceKind::Enter, u64::from(task.stage));
     core.running = Some(task);
     core.busy = true;
     Some(now + overhead + slice)
@@ -320,7 +352,7 @@ fn start_slice(core: &mut Core, cg_primed: &mut bool, ctx: &Ctx, now: u64) -> Op
 /// the newest task from the first victim (in a seeded rotation) holding at
 /// least two. Deterministic: thief scan order is fixed, victim order is a
 /// pure function of `(seed, thief, attempt)`.
-fn steal_pass(cores: &mut [Core], seed: u64, costs: &SimCosts) {
+fn steal_pass(cores: &mut [Core], seed: u64, costs: &SimCosts, now: u64) {
     let n = cores.len();
     if n < 2 {
         return;
@@ -332,22 +364,23 @@ fn steal_pass(cores: &mut [Core], seed: u64, costs: &SimCosts) {
         let draw = fault_draw(seed ^ 0x57EA1, thief as u64, cores[thief].steal_attempts);
         cores[thief].steal_attempts += 1;
         let start = (draw * n as f64) as usize % n;
-        let mut stolen: Option<Task> = None;
+        let mut stolen: Option<(Task, usize)> = None;
         for k in 0..n {
             let victim = (start + k) % n;
             if victim == thief || cores[victim].ready.len() < 2 {
                 continue;
             }
-            stolen = cores[victim].ready.pop_back();
+            stolen = cores[victim].ready.pop_back().map(|t| (t, victim));
             break;
         }
-        if let Some(mut t) = stolen {
+        if let Some((mut t, victim)) = stolen {
             // Migration penalty: the stolen task's working set is cold on
             // the thief (cache warm-up + a full dTLB refill).
             cores[thief].m.dtlb_misses += costs.tlb_refill_entries;
             t.extra_ns +=
                 (costs.cache_warm_ns + costs.tlb_refill_entries as f64 * costs.tlb_miss_ns) as u64;
             cores[thief].m.steals += 1;
+            cores[thief].trace(now, u64::from(t.rid), TraceKind::Steal, victim as u64);
             cores[thief].ready.push_back(t);
         }
     }
@@ -389,16 +422,19 @@ pub fn simulate_multicore(cfg: &MultiCoreConfig) -> MultiCoreReport {
     };
 
     let mut cores: Vec<Core> = (0..ncores)
-        .map(|_| Core {
+        .map(|i| Core {
+            idx: i,
             ready: VecDeque::new(),
             wait: VecDeque::new(),
             resident: 0,
+            peak_resident: 0,
             busy: false,
             running: None,
             cur_proc: u32::MAX,
             primed: vec![false; procs as usize],
             steal_attempts: 0,
             m: CoreMetrics::default(),
+            rec: FlightRecorder::new(cfg.trace_capacity),
         })
         .collect();
     let mut cg_primed = false;
@@ -429,6 +465,9 @@ pub fn simulate_multicore(cfg: &MultiCoreConfig) -> MultiCoreReport {
                     // Admission: take a resident slot or queue for one.
                     if cores[h].resident < capacity {
                         cores[h].resident += 1;
+                        cores[h].peak_resident = cores[h].peak_resident.max(cores[h].resident);
+                        let occupied = u64::from(cores[h].resident);
+                        cores[h].trace(t, u64::from(rid), TraceKind::Spawn, occupied);
                         cores[h]
                             .ready
                             .push_back(Task { rid, stage, remaining, spawn: true, extra_ns: 0 });
@@ -459,6 +498,7 @@ pub fn simulate_multicore(cfg: &MultiCoreConfig) -> MultiCoreReport {
                     } else {
                         completed += 1;
                         cores[c].m.completed += 1;
+                        cores[c].trace(t, u64::from(task.rid), TraceKind::Exit, u64::from(task.stage));
                         latencies.push((t - req.arrival_ns) as f64 / 1e6);
                         // Free the home slot; hand it to a queued request
                         // (a recycle: scrub + re-color before reuse).
@@ -466,7 +506,9 @@ pub fn simulate_multicore(cfg: &MultiCoreConfig) -> MultiCoreReport {
                         cores[h].resident -= 1;
                         if let Some(w) = cores[h].wait.pop_front() {
                             cores[h].resident += 1;
+                            cores[h].peak_resident = cores[h].peak_resident.max(cores[h].resident);
                             cores[h].m.recycles += 1;
+                            cores[h].trace(t, u64::from(w), TraceKind::Recycle, u64::from(task.rid));
                             cores[h].ready.push_back(Task {
                                 rid: w,
                                 stage: 0,
@@ -481,7 +523,7 @@ pub fn simulate_multicore(cfg: &MultiCoreConfig) -> MultiCoreReport {
         }
 
         // Rebalance, then start slices on every idle core with work.
-        steal_pass(&mut cores, cfg.seed, &ctx.costs);
+        steal_pass(&mut cores, cfg.seed, &ctx.costs, t);
         for (c, core) in cores.iter_mut().enumerate() {
             if !core.busy {
                 if let Some(done) = start_slice(core, &mut cg_primed, &ctx, t) {
@@ -497,31 +539,62 @@ pub fn simulate_multicore(cfg: &MultiCoreConfig) -> MultiCoreReport {
         c.m.ctx_switches += ticks;
     }
 
-    let mut sorted = latencies.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    let pct = |p: f64| -> f64 {
-        if sorted.is_empty() {
-            0.0
-        } else {
-            sorted[((sorted.len() - 1) as f64 * p) as usize]
-        }
-    };
-
     let per_core: Vec<CoreMetrics> = cores.iter().map(|c| c.m).collect();
     let mut totals = CoreMetrics::default();
     for m in &per_core {
         totals.add(m);
     }
+    let traces: Vec<Vec<TraceEvent>> = cores.iter().map(|c| c.rec.events()).collect();
+    let telemetry_json = {
+        // Built once at the end from the per-core counters — zero hot-path
+        // cost — then folded into one registry, the same merge-at-export
+        // shape the runtime uses per shard.
+        let mut merged = Registry::new();
+        for core in &cores {
+            merged.merge_from(&core_registry(core));
+        }
+        sfi_telemetry::json_snapshot(&merged)
+    };
     MultiCoreReport {
         cores: ncores,
         offered: requests.len() as u64,
         completed,
         throughput_rps: completed as f64 / (cfg.duration_ms as f64 / 1000.0),
-        mean_latency_ms: if latencies.is_empty() { 0.0 } else { crate::stats::mean(&latencies) },
-        p99_latency_ms: pct(0.99),
+        mean_latency_ms: crate::stats::mean(&latencies),
+        p99_latency_ms: crate::stats::p99(&latencies),
         totals,
         per_core,
+        traces,
+        telemetry_json,
     }
+}
+
+/// Renders one core's counters as a metrics registry. Per-core registries
+/// merge into the run-wide snapshot embedded in `BENCH_multicore.json`.
+fn core_registry(core: &Core) -> Registry {
+    let mut reg = Registry::new();
+    let counters: [(&str, u64); 11] = [
+        ("sfi_shard_completed_total", core.m.completed),
+        ("sfi_shard_steals_total", core.m.steals),
+        ("sfi_shard_ctx_switches_total", core.m.ctx_switches),
+        ("sfi_shard_dtlb_misses_total", core.m.dtlb_misses),
+        ("sfi_shard_busy_ns_total", core.m.busy_ns),
+        ("sfi_shard_overhead_ns_total", core.m.overhead_ns),
+        ("sfi_shard_cold_spawns_total", core.m.cold_spawns),
+        ("sfi_shard_warm_spawns_total", core.m.warm_spawns),
+        ("sfi_shard_recycles_total", core.m.recycles),
+        ("sfi_shard_spawn_ns_total", core.m.spawn_ns),
+        ("sfi_shard_trace_events_total", core.rec.total_recorded()),
+    ];
+    for (name, v) in counters {
+        let id = reg.counter(name);
+        reg.add(id, v);
+    }
+    let resident = reg.gauge("sfi_shard_resident_slots");
+    reg.set(resident, i64::from(core.resident));
+    let peak = reg.gauge("sfi_shard_peak_resident_slots");
+    reg.set(peak, i64::from(core.peak_resident));
+    reg
 }
 
 fn mode_name(mode: ScalingMode) -> &'static str {
@@ -610,7 +683,24 @@ pub fn multicore_sweep_json(seed: u64, duration_ms: u64, cores_list: &[u32]) -> 
         "    \"warm_colorguard_scaling_1_to_4\": {scaling_1_to_4:.3},\n"
     ));
     out.push_str(&format!("    \"cold_over_warm_spawn_cost\": {spawn_ratio:.3}\n"));
-    out.push_str("  }\n");
+    out.push_str("  },\n");
+    // The merged registry snapshot for the headline configuration
+    // (ColorGuard, warm cache, most cores) — already deterministic JSON,
+    // embedded verbatim.
+    let max_cores = cores_list.iter().copied().max().unwrap_or(1);
+    let telemetry = find(max_cores, "colorguard", "warm")
+        .map(|r| r.telemetry_json.clone())
+        .unwrap_or_else(|| "{}".to_string());
+    out.push_str("  \"telemetry\": ");
+    for (i, line) in telemetry.trim_end().lines().enumerate() {
+        if i > 0 {
+            out.push_str("  ");
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.pop();
+    out.push('\n');
     out.push_str("}\n");
     out
 }
@@ -692,5 +782,60 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.contains("\"cores\": 2"));
         assert!(a.contains("\"derived\""));
+        assert!(a.contains("\"telemetry\""));
+        assert!(a.contains("sfi_shard_completed_total"));
+        assert!(sfi_telemetry::json_is_valid(&a), "sweep JSON must stay parseable");
+    }
+
+    #[test]
+    fn traces_are_recorded_and_deterministic() {
+        // Spawn events all land in the first milliseconds (before the color
+        // pool saturates and admissions shift to recycles), so use a ring
+        // deep enough that wraparound doesn't evict them.
+        let deep = |_| {
+            let mut cfg = MultiCoreConfig::paper_rig(
+                FaasWorkload::HashLoadBalance,
+                ScalingMode::ColorGuard,
+                CacheMode::Warm,
+                4,
+            );
+            cfg.duration_ms = 120;
+            cfg.trace_capacity = 1 << 16;
+            simulate_multicore(&cfg)
+        };
+        let a = deep(());
+        let b = deep(());
+        assert_eq!(a.traces, b.traces, "same seed, same traces");
+        assert_eq!(a.telemetry_json, b.telemetry_json);
+        assert_eq!(a.traces.len(), 4, "one trace ring per core");
+        let all: Vec<&TraceEvent> = a.traces.iter().flatten().collect();
+        assert!(!all.is_empty());
+        for kind in [TraceKind::Spawn, TraceKind::Enter, TraceKind::Exit, TraceKind::Steal] {
+            assert!(all.iter().any(|e| e.kind == kind), "missing {} events", kind.name());
+        }
+        // Every core's ring is in tick order (oldest first).
+        for ring in &a.traces {
+            assert!(ring.windows(2).all(|w| w[0].tick <= w[1].tick));
+        }
+        assert!(a.telemetry_json.contains("sfi_shard_steals_total"));
+    }
+
+    #[test]
+    fn trace_capacity_zero_disables_recording() {
+        let mut cfg = MultiCoreConfig::paper_rig(
+            FaasWorkload::HashLoadBalance,
+            ScalingMode::ColorGuard,
+            CacheMode::Warm,
+            2,
+        );
+        cfg.duration_ms = 120;
+        cfg.trace_capacity = 0;
+        let off = simulate_multicore(&cfg);
+        assert!(off.traces.iter().all(Vec::is_empty));
+        // Tracing must not perturb the simulation itself.
+        let on = quick(ScalingMode::ColorGuard, CacheMode::Warm, 2);
+        assert_eq!(off.completed, on.completed);
+        assert_eq!(off.totals, on.totals);
+        assert_eq!(off.p99_latency_ms, on.p99_latency_ms);
     }
 }

@@ -632,14 +632,10 @@ pub fn simulate(cfg: &SimConfig) -> SimReport {
 
     let mut sorted = latencies.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    let pct = |p: f64| -> f64 {
-        if sorted.is_empty() {
-            0.0
-        } else {
-            sorted[((sorted.len() - 1) as f64 * p) as usize]
-        }
-    };
-    let (p50, p99) = (pct(0.50), pct(0.99));
+    let (p50, p99) = (
+        crate::stats::percentile_sorted(&sorted, 0.50),
+        crate::stats::percentile_sorted(&sorted, 0.99),
+    );
 
     SimReport {
         offered: requests.len() as u64,

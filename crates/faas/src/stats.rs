@@ -46,6 +46,36 @@ pub fn stddev(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
 }
 
+/// Nearest-rank percentile by the index rule `sorted[⌊(len−1)·p⌋]` — the
+/// one formula every report in this workspace uses for latency tails, kept
+/// here so no bench or simulator re-derives its own variant. Empty input
+/// yields 0.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+    percentile_sorted(&sorted, p)
+}
+
+/// [`percentile`] over an already-sorted slice (avoids re-sorting when
+/// several quantiles are taken from one sample set).
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        0.0
+    } else {
+        sorted[((sorted.len() - 1) as f64 * p) as usize]
+    }
+}
+
+/// Median ([`percentile`] at 0.50).
+pub fn p50(xs: &[f64]) -> f64 {
+    percentile(xs, 0.50)
+}
+
+/// 99th percentile ([`percentile`] at 0.99).
+pub fn p99(xs: &[f64]) -> f64 {
+    percentile(xs, 0.99)
+}
+
 /// Geometric mean (used by the SPEC figures).
 pub fn geomean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -87,6 +117,22 @@ mod tests {
         let b: Vec<u64> =
             (0..10).map(|_| poisson(&mut StdRng::seed_from_u64(1), 4.0)).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn percentiles_use_the_index_rule() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(p50(&xs), 50.0, "⌊99·0.5⌋ = 49 → 50.0");
+        assert_eq!(p99(&xs), 99.0, "⌊99·0.99⌋ = 98 → 99.0");
+        assert_eq!(percentile(&xs, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        // Input order must not matter.
+        let mut rev = xs.clone();
+        rev.reverse();
+        assert_eq!(p99(&rev), p99(&xs));
+        // The pre-sorted form agrees.
+        assert_eq!(percentile_sorted(&xs, 0.99), p99(&xs));
     }
 
     #[test]

@@ -49,7 +49,9 @@ mod layout;
 mod pool;
 
 pub use layout::{compute_layout, LayoutError, PoolConfig, SlotLayout};
-pub use pool::{MemoryPool, PoolError, QuarantineOutcome, QuarantinePolicy, SlotHandle};
+pub use pool::{
+    MemoryPool, PoolError, QuarantineOutcome, QuarantinePolicy, QuarantineStats, SlotHandle,
+};
 
 /// Wasm's linear-memory page size (64 KiB) — layout granularity per
 /// Table 1, invariants 7–8.

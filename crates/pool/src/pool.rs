@@ -89,6 +89,21 @@ impl Default for QuarantinePolicy {
     }
 }
 
+/// Lifetime counters for the crash-containment path, scraped by the
+/// telemetry layer (quarantine-ring depth and retirement rate are the
+/// observable cost of containment).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuarantineStats {
+    /// Slots that entered the quarantine ring.
+    pub quarantines: u64,
+    /// Slots rehabilitated from the ring back to circulation.
+    pub rehabilitations: u64,
+    /// Slots permanently retired (fault budget exhausted or scrub failed).
+    pub retirements: u64,
+    /// High-water mark of the quarantine ring's occupancy.
+    pub peak_quarantined: usize,
+}
+
 /// What [`MemoryPool::quarantine`] did with the slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QuarantineOutcome {
@@ -119,6 +134,7 @@ pub struct MemoryPool {
     /// Slots permanently removed from circulation.
     retired: Vec<u64>,
     policy: QuarantinePolicy,
+    stats: QuarantineStats,
 }
 
 impl MemoryPool {
@@ -161,6 +177,7 @@ impl MemoryPool {
             faults: vec![0; layout.num_slots as usize],
             retired: Vec::new(),
             policy: QuarantinePolicy::default(),
+            stats: QuarantineStats::default(),
         };
         if eager_commit {
             for i in 0..layout.num_slots {
@@ -278,6 +295,11 @@ impl MemoryPool {
         self.faults.get(i as usize).copied().unwrap_or(0)
     }
 
+    /// Lifetime crash-containment counters.
+    pub fn quarantine_stats(&self) -> QuarantineStats {
+        self.stats
+    }
+
     /// Takes a *faulted* slot out of circulation: scrubs its contents,
     /// fences the memory `PROT_NONE` (so any stale pointer into it traps),
     /// and parks it in the quarantine ring. When the ring overflows
@@ -307,10 +329,13 @@ impl MemoryPool {
 
         if scrubbed.is_err() || self.faults[i as usize] >= self.policy.max_faults {
             self.retired.push(i);
+            self.stats.retirements += 1;
             return Ok(QuarantineOutcome::Retired);
         }
 
         self.quarantine.push_back(i);
+        self.stats.quarantines += 1;
+        self.stats.peak_quarantined = self.stats.peak_quarantined.max(self.quarantine.len());
         while self.quarantine.len() > self.policy.ring_capacity {
             self.rehabilitate_oldest(space);
         }
@@ -338,8 +363,10 @@ impl MemoryPool {
             });
         if restored.is_ok() {
             self.free.push(i);
+            self.stats.rehabilitations += 1;
         } else {
             self.retired.push(i);
+            self.stats.retirements += 1;
         }
     }
 }

@@ -47,6 +47,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries inserted (== misses unless insertion failed).
     pub inserts: u64,
+    /// Entries dropped by [`CodeCache::poison`] (compiled code implicated
+    /// in repeated guest faults — never serve it warm again).
+    pub poisons: u64,
 }
 
 struct CacheEntry {
@@ -136,6 +139,17 @@ impl CodeCache {
         self.entries.insert(key, CacheEntry { module, last_used: self.tick });
         self.stats.inserts += 1;
         evicted
+    }
+
+    /// Drops `key` from the cache because its compiled code is implicated
+    /// in repeated guest faults — the next load recompiles from scratch.
+    /// Returns whether the entry was resident.
+    pub fn poison(&mut self, key: &CacheKey) -> bool {
+        let hit = self.entries.remove(key).is_some();
+        if hit {
+            self.stats.poisons += 1;
+        }
+        hit
     }
 }
 
@@ -251,6 +265,21 @@ mod tests {
         assert!(eng.cache().contains(&Engine::key_for(&m1, &cfg, 0)), "m1 kept (recently used)");
         assert!(!eng.cache().contains(&Engine::key_for(&m2, &cfg, 0)), "m2 evicted");
         assert!(eng.cache().contains(&Engine::key_for(&m3, &cfg, 0)));
+    }
+
+    #[test]
+    fn poison_drops_the_entry_and_counts() {
+        let mut eng = Engine::new(4);
+        let m = tiny(9);
+        let cfg = CompilerConfig::for_strategy(Strategy::Segue);
+        let key = Engine::key_for(&m, &cfg, 1);
+        let a = eng.load(&m, &cfg, 1).unwrap();
+        assert!(eng.cache_mut().poison(&key), "resident entry dropped");
+        assert!(!eng.cache_mut().poison(&key), "second poison is a no-op");
+        let b = eng.load(&m, &cfg, 1).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "poisoned code is recompiled, not served warm");
+        let s = eng.cache().stats();
+        assert_eq!((s.poisons, s.misses), (1, 2));
     }
 
     #[test]

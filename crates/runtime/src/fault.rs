@@ -110,6 +110,37 @@ impl SandboxFault {
     pub fn poisons(&self) -> bool {
         self.recovery() == RecoveryAction::PoisonAndRecycle
     }
+
+    /// Stable taxonomy name, used as the telemetry label value (one
+    /// counter series per variant).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            SandboxFault::GuardHit { .. } => "guard_hit",
+            SandboxFault::ColorFault { .. } => "color_fault",
+            SandboxFault::TagFault { .. } => "tag_fault",
+            SandboxFault::BadControlFlow { .. } => "bad_control_flow",
+            SandboxFault::GuestTrap(_) => "guest_trap",
+            SandboxFault::EpochInterrupted => "epoch_interrupted",
+            SandboxFault::HostError(_) => "host_error",
+            SandboxFault::PoolExhausted => "pool_exhausted",
+            SandboxFault::MapFault(_) => "map_fault",
+        }
+    }
+
+    /// All taxonomy names, in declaration order — the telemetry layer
+    /// pre-registers one counter per name so a fault-free run still exports
+    /// explicit zeros.
+    pub const KIND_NAMES: [&'static str; 9] = [
+        "guard_hit",
+        "color_fault",
+        "tag_fault",
+        "bad_control_flow",
+        "guest_trap",
+        "epoch_interrupted",
+        "host_error",
+        "pool_exhausted",
+        "map_fault",
+    ];
 }
 
 impl core::fmt::Display for SandboxFault {

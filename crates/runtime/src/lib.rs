@@ -40,6 +40,7 @@
 mod cache;
 mod fault;
 mod runtime;
+mod telemetry;
 mod transition;
 
 pub use cache::{CacheKey, CacheStats, CodeCache, Engine};
@@ -47,7 +48,8 @@ pub use fault::{RecoveryAction, SandboxFault};
 pub use runtime::{
     HostApi, InstanceId, InvokeOutcome, NoHostApi, Runtime, RuntimeConfig, RuntimeError,
 };
-pub use sfi_pool::{QuarantineOutcome, QuarantinePolicy};
+pub use sfi_pool::{QuarantineOutcome, QuarantinePolicy, QuarantineStats};
+pub use telemetry::RuntimeTelemetry;
 pub use transition::{TransitionKind, TransitionModel, TransitionStats};
 
 #[cfg(test)]

@@ -15,7 +15,10 @@ use sfi_x86::cost::RunStats;
 use sfi_x86::emu::{Machine, RegFile};
 use sfi_x86::{Gpr, Trap};
 
+use sfi_telemetry::TraceKind;
+
 use crate::fault::SandboxFault;
+use crate::telemetry::RuntimeTelemetry;
 use crate::transition::{TransitionKind, TransitionModel, TransitionStats};
 
 /// The low runtime region (header, globals, table, native stack) mapped at
@@ -44,6 +47,14 @@ impl HostApi for NoHostApi {
 /// Identifies a live instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InstanceId(u64);
+
+impl InstanceId {
+    /// The raw numeric id — stable across the instance's lifetime, used as
+    /// the `sandbox` field of flight-recorder events.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
 
 #[derive(Debug)]
 struct Instance {
@@ -154,6 +165,9 @@ pub struct RuntimeConfig {
     /// Guest instruction budget per invocation (epoch interruption);
     /// `None` = unlimited.
     pub epoch_fuel: Option<u64>,
+    /// Flight-recorder capacity in events (0 disables tracing — the
+    /// telemetry-off configuration of the overhead gate).
+    pub recorder_capacity: usize,
 }
 
 impl RuntimeConfig {
@@ -172,6 +186,7 @@ impl RuntimeConfig {
             colorguard,
             transition: TransitionModel::default(),
             epoch_fuel: None,
+            recorder_capacity: 256,
         }
     }
 }
@@ -186,6 +201,8 @@ pub struct Runtime {
     next_id: u64,
     /// Cumulative transition accounting.
     pub transitions: TransitionStats,
+    /// Metrics registry, flight recorder and virtual clock.
+    telemetry: RuntimeTelemetry,
 }
 
 impl Runtime {
@@ -196,6 +213,7 @@ impl Runtime {
         // Low runtime regions (key 0, always accessible).
         space.mmap_fixed(LOW_REGION_BASE, LOW_REGION_LEN, Prot::READ_WRITE)?;
         let pool = MemoryPool::create(&mut space, &config.pool)?;
+        let telemetry = RuntimeTelemetry::new(config.recorder_capacity, 0);
         Ok(Runtime {
             space,
             pool,
@@ -204,12 +222,56 @@ impl Runtime {
             instances: HashMap::new(),
             next_id: 0,
             transitions: TransitionStats::default(),
+            telemetry,
         })
     }
 
     /// The pool (e.g. for capacity checks).
     pub fn pool(&self) -> &MemoryPool {
         &self.pool
+    }
+
+    /// The telemetry bundle (registry, flight recorder, virtual clock).
+    /// Gauges are synced lazily: call [`Runtime::sync_telemetry`] first for
+    /// a snapshot that reflects current occupancies.
+    pub fn telemetry(&self) -> &RuntimeTelemetry {
+        &self.telemetry
+    }
+
+    /// Mutable telemetry access (sharded hosts stamp their own events and
+    /// merge registries through this).
+    pub fn telemetry_mut(&mut self) -> &mut RuntimeTelemetry {
+        &mut self.telemetry
+    }
+
+    /// Syncs occupancy gauges and scrapes the pool / chaos counters into
+    /// the registry. Call before exporting.
+    pub fn sync_telemetry(&mut self) {
+        self.telemetry.scrape(&self.pool, &self.space, self.instances.len());
+    }
+
+    /// A deterministic JSON metrics snapshot (gauges synced first).
+    pub fn telemetry_snapshot(&mut self) -> String {
+        self.sync_telemetry();
+        sfi_telemetry::export::json_snapshot(self.telemetry.registry())
+    }
+
+    /// The post-mortem report for an instance whose last invocation failed:
+    /// the classified fault, the slot and MPK color it ran in, and the
+    /// flight recorder's recent events for that sandbox. `None` when the
+    /// instance is unknown or has never faulted.
+    pub fn fault_report(&self, id: InstanceId) -> Option<String> {
+        let inst = self.instances.get(&id.0)?;
+        let fault = inst.last_fault.as_ref()?;
+        let mut out = format!(
+            "fault: {fault}\ninstance: {} slot: {} color: {}\nrecent events:\n",
+            id.0, inst.slot.index, inst.slot.pkey
+        );
+        for e in self.telemetry.recorder.last_for_sandbox(id.0, 16) {
+            out.push_str(&e.dump_line());
+            out.push('\n');
+        }
+        Some(out)
     }
 
     /// The address space (for test assertions).
@@ -265,6 +327,7 @@ impl Runtime {
                 last_fault: None,
             },
         );
+        self.telemetry.trace(TraceKind::Spawn, id, slot.index);
         Ok(InstanceId(id))
     }
 
@@ -285,10 +348,17 @@ impl Runtime {
         module: &sfi_wasm::Module,
         config: &sfi_core::CompilerConfig,
     ) -> Result<InstanceId, RuntimeError> {
+        let misses_before = engine.cache().stats().misses;
         let cm = engine
             .load(module, config, self.layout_fingerprint())
             .map_err(RuntimeError::Compile)?;
-        self.instantiate(cm)
+        let cold = engine.cache().stats().misses > misses_before;
+        let id = self.instantiate(cm)?;
+        if cold {
+            self.telemetry.trace(TraceKind::Compile, id.0, 0);
+        }
+        self.telemetry.scrape_cache(engine.cache().stats());
+        Ok(id)
     }
 
     /// Destroys a healthy instance, recycling its slot (`madvise`).
@@ -311,7 +381,11 @@ impl Runtime {
     /// retired after repeated faults).
     pub fn recycle(&mut self, id: InstanceId) -> Result<QuarantineOutcome, RuntimeError> {
         let inst = self.instances.remove(&id.0).ok_or(RuntimeError::BadInstance)?;
-        Ok(self.pool.quarantine(&mut self.space, inst.slot)?)
+        let outcome = self.pool.quarantine(&mut self.space, inst.slot)?;
+        self.telemetry
+            .trace(TraceKind::Recycle, id.0, u64::from(outcome == QuarantineOutcome::Retired));
+        self.sync_telemetry();
+        Ok(outcome)
     }
 
     /// Whether `id` is poisoned (trapped and awaiting recycle). `None` for
@@ -411,6 +485,8 @@ impl Runtime {
             TransitionKind { colorguard: self.config.colorguard, ..TransitionKind::default() };
         self.transitions.record(&self.config.transition, enter);
         let mut invocation_transition_cycles = self.config.transition.cycles(enter);
+        self.telemetry.on_transition(enter, self.config.transition.cycles(enter));
+        self.telemetry.trace(TraceKind::Enter, id.0, u64::from(pkey));
 
         self.machine.regs = RegFile::default();
         self.machine.regs.gs_base = heap_base;
@@ -547,6 +623,13 @@ impl Runtime {
         invocation_transition_cycles += host_transition_cycles;
         self.transitions.count += host_transitions;
         self.transitions.cycles += host_transition_cycles;
+        self.transitions.wrpkru += if colorguard { host_transitions } else { 0 };
+        self.telemetry.on_transition(exit, self.config.transition.cycles(exit));
+        // Each host-call transition is architecturally an `exit`-shaped
+        // transition (restore/narrow PKRU, no segment-base change).
+        for _ in 0..host_transitions {
+            self.telemetry.on_transition(exit, tm.cycles(exit));
+        }
         self.machine.regs.pkru = 0;
         self.machine.regs.gs_base = 0;
 
@@ -555,27 +638,44 @@ impl Runtime {
             Err(Trap::FuelExhausted) if self.config.epoch_fuel.is_some() => {
                 let inst = self.instances.get_mut(&id.0).expect("checked above");
                 inst.last_fault = Some(SandboxFault::EpochInterrupted);
+                self.telemetry.on_fault(&SandboxFault::EpochInterrupted);
                 return Err(RuntimeError::EpochInterrupted);
             }
             Err(t) => {
                 let inst = self.instances.get_mut(&id.0).expect("checked above");
-                return Err(match host_err {
+                let (err, fault) = match host_err {
                     Some(m) => {
                         // Host API errors say nothing about the guest: the
                         // instance stays healthy and re-invocable.
-                        inst.last_fault = Some(SandboxFault::HostError(m.clone()));
-                        RuntimeError::Host(m)
+                        let fault = SandboxFault::HostError(m.clone());
+                        inst.last_fault = Some(fault.clone());
+                        (RuntimeError::Host(m), fault)
                     }
                     None => {
                         // A guest trap: the sandbox violated its contract,
                         // so its state is untrusted from here on.
-                        inst.last_fault = Some(SandboxFault::from_trap(&t));
+                        let fault = SandboxFault::from_trap(&t);
+                        inst.last_fault = Some(fault.clone());
                         inst.poisoned = true;
-                        RuntimeError::Trapped(t)
+                        (RuntimeError::Trapped(t), fault)
                     }
-                });
+                };
+                self.telemetry.on_fault(&fault);
+                let trap_arg = match &fault {
+                    SandboxFault::GuardHit { addr }
+                    | SandboxFault::ColorFault { addr, .. }
+                    | SandboxFault::TagFault { addr, .. } => *addr,
+                    SandboxFault::BadControlFlow { target } => *target,
+                    _ => 0,
+                };
+                self.telemetry.trace(TraceKind::Trap, id.0, trap_arg);
+                return Err(err);
             }
         };
+        self.telemetry.clock.advance_cycles(stats.cycles);
+        self.telemetry.observe_invocation_transition_cycles(invocation_transition_cycles);
+        self.telemetry
+            .trace(TraceKind::Exit, id.0, invocation_transition_cycles.round() as u64);
 
         // Read back per-instance state.
         let mut hdr = [0u8; 4];

@@ -1,0 +1,272 @@
+//! Runtime telemetry: the metrics registry, flight recorder and virtual
+//! clock threaded through [`crate::Runtime`].
+//!
+//! Everything here is deterministic: the clock advances only by *modeled*
+//! cycles (never wall time), counters are bumped at well-defined lifecycle
+//! edges, and gauges are synced by scraping the pool / address space /
+//! code cache at snapshot time. Two same-seed runs therefore export
+//! byte-identical Prometheus text, JSON snapshots and flight-recorder
+//! dumps — the acceptance property the telemetry CI gate checks.
+
+use sfi_pool::{MemoryPool, QuarantineStats};
+use sfi_telemetry::{
+    CounterId, FlightRecorder, GaugeId, HistogramId, Registry, TraceEvent, TraceKind, VirtualClock,
+};
+use sfi_vm::{AddressSpace, ChaosStats, SyscallKind};
+
+use crate::cache::CacheStats;
+use crate::fault::SandboxFault;
+use crate::transition::TransitionKind;
+
+/// The telemetry bundle owned by one [`crate::Runtime`] (or one FaaS
+/// shard): a registry with every runtime metric pre-registered, a bounded
+/// flight recorder, and the virtual clock that stamps its events.
+#[derive(Debug)]
+pub struct RuntimeTelemetry {
+    registry: Registry,
+    /// The flight recorder (capacity 0 = disabled).
+    pub recorder: FlightRecorder,
+    /// Virtual time: modeled cycles, advanced by the transition and guest
+    /// cost models.
+    pub clock: VirtualClock,
+    core: u32,
+
+    t_total: CounterId,
+    t_wrpkru: CounterId,
+    t_wrgsbase: CounterId,
+    t_arch_prctl: CounterId,
+    t_async: CounterId,
+    h_transition_cycles: HistogramId,
+    faults: [CounterId; SandboxFault::KIND_NAMES.len()],
+    q_quarantines: CounterId,
+    q_rehabilitations: CounterId,
+    q_retirements: CounterId,
+    g_quarantine_depth: GaugeId,
+    g_quarantine_peak: GaugeId,
+    c_hits: CounterId,
+    c_misses: CounterId,
+    c_evictions: CounterId,
+    c_inserts: CounterId,
+    c_poisons: CounterId,
+    chaos_failed: [CounterId; 4],
+    chaos_bus: CounterId,
+    g_slots_in_use: GaugeId,
+    g_slots_capacity: GaugeId,
+    g_slots_retired: GaugeId,
+    g_map_count: GaugeId,
+    g_peak_map_count: GaugeId,
+    g_instances: GaugeId,
+
+    /// Last scraped snapshots, so scraping adds deltas into monotonic
+    /// counters instead of double counting.
+    last_quarantine: QuarantineStats,
+    last_cache: CacheStats,
+    last_chaos: ChaosStats,
+}
+
+impl RuntimeTelemetry {
+    /// Builds the bundle, pre-registering every metric (name collisions
+    /// panic here — the startup gate). `recorder_capacity` 0 disables the
+    /// flight recorder; `core` stamps this runtime's trace events (a
+    /// sharded host passes the shard index).
+    pub fn new(recorder_capacity: usize, core: u32) -> RuntimeTelemetry {
+        let mut r = Registry::new();
+        let faults = SandboxFault::KIND_NAMES
+            .map(|name| r.counter_with("sfi_faults_total", &[("kind", name)]));
+        let chaos_failed = [
+            SyscallKind::Mmap,
+            SyscallKind::Mprotect,
+            SyscallKind::PkeyMprotect,
+            SyscallKind::Madvise,
+        ]
+        .map(|k| r.counter_with("sfi_chaos_syscalls_failed_total", &[("kind", k.name())]));
+        RuntimeTelemetry {
+            t_total: r.counter("sfi_transitions_total"),
+            t_wrpkru: r.counter_with("sfi_transition_ops_total", &[("op", "wrpkru")]),
+            t_wrgsbase: r.counter_with("sfi_transition_ops_total", &[("op", "wrgsbase")]),
+            t_arch_prctl: r.counter_with("sfi_transition_ops_total", &[("op", "arch_prctl")]),
+            t_async: r.counter_with("sfi_transition_ops_total", &[("op", "async_stack_switch")]),
+            h_transition_cycles: r.histogram("sfi_invocation_transition_cycles"),
+            faults,
+            q_quarantines: r.counter("sfi_quarantine_total"),
+            q_rehabilitations: r.counter("sfi_quarantine_rehabilitations_total"),
+            q_retirements: r.counter("sfi_quarantine_retirements_total"),
+            g_quarantine_depth: r.gauge("sfi_quarantine_ring_depth"),
+            g_quarantine_peak: r.gauge("sfi_quarantine_ring_peak"),
+            c_hits: r.counter("sfi_code_cache_hits_total"),
+            c_misses: r.counter("sfi_code_cache_misses_total"),
+            c_evictions: r.counter("sfi_code_cache_evictions_total"),
+            c_inserts: r.counter("sfi_code_cache_inserts_total"),
+            c_poisons: r.counter("sfi_code_cache_poisons_total"),
+            chaos_failed,
+            chaos_bus: r.counter("sfi_chaos_bus_faults_total"),
+            g_slots_in_use: r.gauge("sfi_pool_slots_in_use"),
+            g_slots_capacity: r.gauge("sfi_pool_slots_capacity"),
+            g_slots_retired: r.gauge("sfi_pool_slots_retired"),
+            g_map_count: r.gauge("sfi_vm_map_count"),
+            g_peak_map_count: r.gauge("sfi_vm_peak_map_count"),
+            g_instances: r.gauge("sfi_instances_live"),
+            last_quarantine: QuarantineStats::default(),
+            last_cache: CacheStats::default(),
+            last_chaos: ChaosStats::default(),
+            registry: r,
+            recorder: FlightRecorder::new(recorder_capacity),
+            clock: VirtualClock::new(),
+            core,
+        }
+    }
+
+    /// The registry (export via [`sfi_telemetry::export`]).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Records a trace event at the current virtual tick.
+    pub fn trace(&mut self, kind: TraceKind, sandbox: u64, arg: u64) {
+        let ev = TraceEvent { tick: self.clock.now(), core: self.core, sandbox, kind, arg };
+        self.recorder.record(ev);
+    }
+
+    /// Accounts one transition: total + per-op counters, and the virtual
+    /// clock advances by its modeled cycles.
+    pub fn on_transition(&mut self, kind: TransitionKind, cycles: f64) {
+        self.registry.inc(self.t_total);
+        if kind.colorguard {
+            self.registry.inc(self.t_wrpkru);
+        }
+        if kind.set_segment_base {
+            if kind.segment_base_via_syscall {
+                self.registry.inc(self.t_arch_prctl);
+            } else {
+                self.registry.inc(self.t_wrgsbase);
+            }
+        }
+        if kind.async_stack_switch {
+            self.registry.inc(self.t_async);
+        }
+        self.clock.advance_cycles(cycles);
+    }
+
+    /// Observes one invocation's total transition cycles (entry + exit +
+    /// host-call pairs) into the cycle histogram.
+    pub fn observe_invocation_transition_cycles(&mut self, cycles: f64) {
+        self.registry.observe(self.h_transition_cycles, cycles.round() as u64);
+    }
+
+    /// Counts one classified fault.
+    pub fn on_fault(&mut self, fault: &SandboxFault) {
+        let idx = SandboxFault::KIND_NAMES
+            .iter()
+            .position(|n| *n == fault.kind_name())
+            .expect("every fault kind is pre-registered");
+        self.registry.inc(self.faults[idx]);
+    }
+
+    /// Syncs gauges and scrapes the pool's quarantine counters and the
+    /// address space's chaos counters (delta-based, so repeated scrapes
+    /// never double count).
+    pub fn scrape(&mut self, pool: &MemoryPool, space: &AddressSpace, instances: usize) {
+        self.registry.set(self.g_slots_in_use, pool.in_use() as i64);
+        self.registry.set(self.g_slots_capacity, pool.capacity() as i64);
+        self.registry.set(self.g_slots_retired, pool.retired() as i64);
+        self.registry.set(self.g_quarantine_depth, pool.quarantined() as i64);
+        self.registry.set(self.g_map_count, space.map_count() as i64);
+        self.registry.set(self.g_peak_map_count, space.peak_map_count() as i64);
+        self.registry.set(self.g_instances, instances as i64);
+
+        let q = pool.quarantine_stats();
+        self.registry.add(self.q_quarantines, q.quarantines - self.last_quarantine.quarantines);
+        self.registry.add(
+            self.q_rehabilitations,
+            q.rehabilitations - self.last_quarantine.rehabilitations,
+        );
+        self.registry.add(self.q_retirements, q.retirements - self.last_quarantine.retirements);
+        self.registry.set(self.g_quarantine_peak, q.peak_quarantined as i64);
+        self.last_quarantine = q;
+
+        if let Some(plan) = space.fault_plan() {
+            let c = plan.stats;
+            for (i, id) in self.chaos_failed.iter().enumerate() {
+                self.registry.add(
+                    *id,
+                    c.syscalls_failed_by_kind[i] - self.last_chaos.syscalls_failed_by_kind[i],
+                );
+            }
+            self.registry.add(self.chaos_bus, c.bus_faults - self.last_chaos.bus_faults);
+            self.last_chaos = c;
+        }
+    }
+
+    /// Scrapes code-cache counters (the cache lives in the [`crate::Engine`]
+    /// above the runtime, so the owner hands in its stats).
+    pub fn scrape_cache(&mut self, stats: CacheStats) {
+        self.registry.add(self.c_hits, stats.hits - self.last_cache.hits);
+        self.registry.add(self.c_misses, stats.misses - self.last_cache.misses);
+        self.registry.add(self.c_evictions, stats.evictions - self.last_cache.evictions);
+        self.registry.add(self.c_inserts, stats.inserts - self.last_cache.inserts);
+        self.registry.add(self.c_poisons, stats.poisons - self.last_cache.poisons);
+        self.last_cache = stats;
+    }
+
+    /// Merges another bundle's registry into this one (sharded hosts merge
+    /// per-core registries at export).
+    pub fn merge_registry_from(&mut self, other: &RuntimeTelemetry) {
+        self.registry.merge_from(&other.registry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfi_telemetry::export::json_snapshot;
+
+    #[test]
+    fn preregistered_metrics_export_zeros() {
+        let t = RuntimeTelemetry::new(0, 0);
+        let snap = json_snapshot(t.registry());
+        assert!(snap.contains("\"sfi_faults_total{kind=\\\"color_fault\\\"}\": 0"), "{snap}");
+        assert!(snap.contains("\"sfi_transitions_total\": 0"));
+        assert!(snap.contains("\"sfi_code_cache_poisons_total\": 0"));
+    }
+
+    #[test]
+    fn transition_accounting_advances_the_clock() {
+        let mut t = RuntimeTelemetry::new(8, 3);
+        let kind = TransitionKind { colorguard: true, ..Default::default() };
+        t.on_transition(kind, 113.3);
+        t.trace(TraceKind::Enter, 7, 2);
+        assert_eq!(t.clock.now(), 113);
+        assert_eq!(t.registry().counter_value("sfi_transitions_total"), Some(1));
+        assert_eq!(
+            t.registry().counter_value("sfi_transition_ops_total{op=\"wrpkru\"}"),
+            Some(1)
+        );
+        let ev = t.recorder.events();
+        assert_eq!((ev[0].tick, ev[0].core, ev[0].sandbox), (113, 3, 7));
+    }
+
+    #[test]
+    fn fault_taxonomy_counts_by_kind() {
+        let mut t = RuntimeTelemetry::new(0, 0);
+        t.on_fault(&SandboxFault::GuardHit { addr: 0x1000 });
+        t.on_fault(&SandboxFault::ColorFault { addr: 0x2000, key: 3 });
+        t.on_fault(&SandboxFault::ColorFault { addr: 0x3000, key: 4 });
+        let r = t.registry();
+        assert_eq!(r.counter_value("sfi_faults_total{kind=\"guard_hit\"}"), Some(1));
+        assert_eq!(r.counter_value("sfi_faults_total{kind=\"color_fault\"}"), Some(2));
+        assert_eq!(r.counter_value("sfi_faults_total{kind=\"tag_fault\"}"), Some(0));
+    }
+
+    #[test]
+    fn cache_scrape_is_delta_based() {
+        let mut t = RuntimeTelemetry::new(0, 0);
+        let mut s = CacheStats { hits: 5, misses: 2, ..CacheStats::default() };
+        t.scrape_cache(s);
+        t.scrape_cache(s); // same snapshot again: no change
+        assert_eq!(t.registry().counter_value("sfi_code_cache_hits_total"), Some(5));
+        s.hits = 9;
+        t.scrape_cache(s);
+        assert_eq!(t.registry().counter_value("sfi_code_cache_hits_total"), Some(9));
+        assert_eq!(t.registry().counter_value("sfi_code_cache_misses_total"), Some(2));
+    }
+}

@@ -81,13 +81,24 @@ impl TransitionModel {
     }
 }
 
-/// Cumulative transition accounting.
+/// Cumulative transition accounting, broken down by what each transition
+/// had to do — `wrpkru` vs `wrgsbase` vs the `arch_prctl` fallback are the
+/// separable costs §6.4.1 measures, so telemetry keeps them separable.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TransitionStats {
     /// Transitions performed (each direction counts).
     pub count: u64,
     /// Total modeled cycles spent transitioning.
     pub cycles: f64,
+    /// Transitions that wrote PKRU (ColorGuard).
+    pub wrpkru: u64,
+    /// Transitions that set the segment base via FSGSBASE (Segue).
+    pub wrgsbase: u64,
+    /// Transitions that set the segment base via the `arch_prctl` syscall
+    /// fallback.
+    pub arch_prctl: u64,
+    /// Async (fiber) stack-swap transitions.
+    pub async_switches: u64,
 }
 
 impl TransitionStats {
@@ -95,6 +106,19 @@ impl TransitionStats {
     pub fn record(&mut self, model: &TransitionModel, kind: TransitionKind) {
         self.count += 1;
         self.cycles += model.cycles(kind);
+        if kind.colorguard {
+            self.wrpkru += 1;
+        }
+        if kind.set_segment_base {
+            if kind.segment_base_via_syscall {
+                self.arch_prctl += 1;
+            } else {
+                self.wrgsbase += 1;
+            }
+        }
+        if kind.async_stack_switch {
+            self.async_switches += 1;
+        }
     }
 
     /// Mean ns per transition.
@@ -167,5 +191,24 @@ mod tests {
         }
         assert_eq!(s.count, 10);
         assert!((s.mean_ns(&m) - 51.52).abs() < 2.0);
+    }
+
+    #[test]
+    fn stats_break_down_by_kind() {
+        let m = TransitionModel::default();
+        let mut s = TransitionStats::default();
+        s.record(&m, TransitionKind { colorguard: true, ..Default::default() });
+        s.record(&m, TransitionKind { set_segment_base: true, ..Default::default() });
+        s.record(&m, TransitionKind {
+            set_segment_base: true,
+            segment_base_via_syscall: true,
+            ..Default::default()
+        });
+        s.record(&m, TransitionKind { async_stack_switch: true, ..Default::default() });
+        s.record(&m, TransitionKind::default());
+        assert_eq!(
+            (s.count, s.wrpkru, s.wrgsbase, s.arch_prctl, s.async_switches),
+            (5, 1, 1, 1, 1)
+        );
     }
 }

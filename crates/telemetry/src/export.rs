@@ -1,0 +1,321 @@
+//! Exporters: Prometheus text, JSON snapshot, chrome://tracing.
+//!
+//! All three are deterministic — series sorted by key, fixed float
+//! precision — so same-seed runs export byte-identical artifacts and the
+//! snapshots embedded in `BENCH_*.json` diff cleanly.
+
+use crate::recorder::TraceEvent;
+use crate::registry::Registry;
+
+/// Renders the registry in the Prometheus text exposition format:
+/// `# TYPE` headers, series sorted by key, label values escaped. Histograms
+/// export their count, sum and nearest-rank p50/p95/p99 as `_count`,
+/// `_sum`, and `{quantile="…"}` series (summary-style — fixed buckets stay
+/// internal).
+pub fn prometheus_text(r: &Registry) -> String {
+    let mut out = String::new();
+    for (key, v) in r.sorted_counters() {
+        let name = base_name(&key);
+        out.push_str(&format!("# TYPE {name} counter\n{key} {v}\n"));
+    }
+    for (key, v) in r.sorted_gauges() {
+        let name = base_name(&key);
+        out.push_str(&format!("# TYPE {name} gauge\n{key} {v}\n"));
+    }
+    for (key, h) in r.sorted_histograms() {
+        let name = base_name(&key);
+        out.push_str(&format!("# TYPE {name} summary\n"));
+        for (q, v) in [("0.5", h.p50()), ("0.95", h.p95()), ("0.99", h.p99())] {
+            out.push_str(&format!("{} {v}\n", with_label(&key, "quantile", q)));
+        }
+        out.push_str(&format!("{name}_sum{} {}\n", label_suffix(&key), h.sum()));
+        out.push_str(&format!("{name}_count{} {}\n", label_suffix(&key), h.count()));
+    }
+    out
+}
+
+/// The metric name part of a series key (`name{labels}` → `name`).
+fn base_name(key: &str) -> &str {
+    key.split('{').next().unwrap_or(key)
+}
+
+/// The `{labels}` part of a series key, or `""`.
+fn label_suffix(key: &str) -> &str {
+    match key.find('{') {
+        Some(i) => &key[i..],
+        None => "",
+    }
+}
+
+/// Adds one more label to a series key (used for `quantile`).
+fn with_label(key: &str, label: &str, value: &str) -> String {
+    match key.find('{') {
+        Some(i) => format!("{}{{{label}=\"{value}\",{}", &key[..i], &key[i + 1..]),
+        None => format!("{key}{{{label}=\"{value}\"}}"),
+    }
+}
+
+/// Escapes a string for embedding as a JSON string value.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the registry as one deterministic JSON object:
+/// `{"counters": {…}, "gauges": {…}, "histograms": {key: {count, sum, mean,
+/// p50, p95, p99, max}}}` with keys sorted. Suitable for embedding in
+/// `BENCH_*.json`.
+pub fn json_snapshot(r: &Registry) -> String {
+    let mut out = String::from("{");
+    out.push_str("\"counters\": {");
+    let counters = r.sorted_counters();
+    for (i, (k, v)) in counters.iter().enumerate() {
+        out.push_str(&format!("\"{}\": {v}", json_escape(k)));
+        if i + 1 < counters.len() {
+            out.push_str(", ");
+        }
+    }
+    out.push_str("}, \"gauges\": {");
+    let gauges = r.sorted_gauges();
+    for (i, (k, v)) in gauges.iter().enumerate() {
+        out.push_str(&format!("\"{}\": {v}", json_escape(k)));
+        if i + 1 < gauges.len() {
+            out.push_str(", ");
+        }
+    }
+    out.push_str("}, \"histograms\": {");
+    let hists = r.sorted_histograms();
+    for (i, (k, h)) in hists.iter().enumerate() {
+        out.push_str(&format!(
+            "\"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {:.3}, \
+             \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
+            json_escape(k),
+            h.count(),
+            h.sum(),
+            h.mean(),
+            h.p50(),
+            h.p95(),
+            h.p99(),
+            h.max()
+        ));
+        if i + 1 < hists.len() {
+            out.push_str(", ");
+        }
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Renders trace events as chrome://tracing "trace event format" JSON
+/// (load the file at `chrome://tracing` or <https://ui.perfetto.dev> to see
+/// the run as a timeline). Each event becomes an instant event (`"ph":
+/// "i"`); `tid` is the core, `ts` is the virtual tick converted to µs via
+/// `ns_per_tick`.
+pub fn chrome_trace(events: &[TraceEvent], ns_per_tick: f64) -> String {
+    let mut out = String::from("{\"traceEvents\": [\n");
+    for (i, e) in events.iter().enumerate() {
+        let ts_us = e.tick as f64 * ns_per_tick / 1000.0;
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \"ts\": {ts_us:.3}, \
+             \"pid\": 0, \"tid\": {}, \"args\": {{\"sandbox\": {}, \"arg\": {}}}}}{}\n",
+            e.kind.name(),
+            e.core,
+            if e.sandbox == u64::MAX { -1i64 } else { e.sandbox as i64 },
+            e.arg,
+            if i + 1 < events.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// A minimal JSON syntax validator (no third-party crates in this
+/// workspace). Checks string/escape/number/literal syntax and
+/// bracket/brace balance — enough for the CI gate's "the exported snapshot
+/// parses" check, not a full RFC 8259 parser.
+pub fn json_is_valid(s: &str) -> bool {
+    let mut stack: Vec<u8> = Vec::new();
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    let mut saw_value = false;
+    while i < b.len() {
+        match b[i] {
+            b'{' => stack.push(b'}'),
+            b'[' => stack.push(b']'),
+            b'}' | b']' => {
+                if stack.pop() != Some(b[i]) {
+                    return false;
+                }
+                saw_value = true;
+            }
+            b'"' => {
+                // Consume the string, honouring escapes.
+                i += 1;
+                loop {
+                    if i >= b.len() {
+                        return false;
+                    }
+                    match b[i] {
+                        b'\\' => {
+                            i += 1;
+                            match b.get(i) {
+                                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {}
+                                Some(b'u') => {
+                                    if i + 4 >= b.len()
+                                        || !b[i + 1..i + 5]
+                                            .iter()
+                                            .all(|c| c.is_ascii_hexdigit())
+                                    {
+                                        return false;
+                                    }
+                                    i += 4;
+                                }
+                                _ => return false,
+                            }
+                        }
+                        b'"' => break,
+                        c if c < 0x20 => return false,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                saw_value = true;
+            }
+            b' ' | b'\t' | b'\n' | b'\r' | b':' | b',' => {}
+            b't' => {
+                if !s[i..].starts_with("true") {
+                    return false;
+                }
+                i += 3;
+                saw_value = true;
+            }
+            b'f' => {
+                if !s[i..].starts_with("false") {
+                    return false;
+                }
+                i += 4;
+                saw_value = true;
+            }
+            b'n' => {
+                if !s[i..].starts_with("null") {
+                    return false;
+                }
+                i += 3;
+                saw_value = true;
+            }
+            b'-' | b'0'..=b'9' => {
+                let start = i;
+                i += 1;
+                while i < b.len()
+                    && matches!(b[i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                {
+                    i += 1;
+                }
+                if s[start..i].parse::<f64>().is_err() {
+                    return false;
+                }
+                saw_value = true;
+                continue;
+            }
+            _ => return false,
+        }
+        i += 1;
+    }
+    stack.is_empty() && saw_value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::TraceKind;
+
+    fn sample() -> Registry {
+        let mut r = Registry::new();
+        let c = r.counter_with("sfi_transitions_total", &[("kind", "wrpkru")]);
+        let g = r.gauge("sfi_pool_slots_in_use");
+        let h = r.histogram("sfi_transition_cycles");
+        r.add(c, 42);
+        r.set(g, 7);
+        for v in [60u64, 67, 113, 113, 813] {
+            r.observe(h, v);
+        }
+        r
+    }
+
+    #[test]
+    fn prometheus_text_format() {
+        let text = prometheus_text(&sample());
+        assert!(text.contains("# TYPE sfi_transitions_total counter\n"));
+        assert!(text.contains("sfi_transitions_total{kind=\"wrpkru\"} 42\n"));
+        assert!(text.contains("# TYPE sfi_pool_slots_in_use gauge\nsfi_pool_slots_in_use 7\n"));
+        assert!(text.contains("sfi_transition_cycles{quantile=\"0.5\"}"));
+        assert!(text.contains("sfi_transition_cycles_count 5\n"));
+        assert!(text.contains("sfi_transition_cycles_sum 1166\n"));
+    }
+
+    #[test]
+    fn quantile_label_composes_with_existing_labels() {
+        let mut r = Registry::new();
+        let h = r.try_histogram("sfi_h", &[("core", "0")]).unwrap();
+        r.observe(h, 5);
+        let text = prometheus_text(&r);
+        assert!(text.contains("sfi_h{quantile=\"0.5\",core=\"0\"} 5\n"), "{text}");
+        assert!(text.contains("sfi_h_count{core=\"0\"} 1\n"), "{text}");
+    }
+
+    #[test]
+    fn json_snapshot_is_valid_and_deterministic() {
+        let a = json_snapshot(&sample());
+        let b = json_snapshot(&sample());
+        assert_eq!(a, b);
+        assert!(json_is_valid(&a), "{a}");
+        assert!(a.contains("\"sfi_transitions_total{kind=\\\"wrpkru\\\"}\": 42"));
+        assert!(a.contains("\"count\": 5"));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json() {
+        let events = vec![
+            TraceEvent { tick: 100, core: 0, sandbox: 1, kind: TraceKind::Enter, arg: 2 },
+            TraceEvent { tick: 250, core: 1, sandbox: u64::MAX, kind: TraceKind::Steal, arg: 0 },
+        ];
+        let t = chrome_trace(&events, 1.0);
+        assert!(json_is_valid(&t), "{t}");
+        assert!(t.contains("\"name\": \"enter\""));
+        assert!(t.contains("\"tid\": 1"));
+        assert!(t.contains("\"sandbox\": -1"), "absent sandbox renders as -1");
+    }
+
+    #[test]
+    fn json_validator_rejects_malformed() {
+        for bad in [
+            "{", "}", "{]", "[}", "{\"a\": }x", "{\"a\"", "\"unterminated", "{\"a\": 1e}",
+            "nope", "{\"bad\\q\": 1}", "",
+        ] {
+            assert!(!json_is_valid(bad), "{bad:?} accepted");
+        }
+        for good in ["{}", "[]", "{\"a\": [1, 2.5, -3e4, true, false, null, \"s\\n\"]}"] {
+            assert!(json_is_valid(good), "{good:?} rejected");
+        }
+    }
+
+    #[test]
+    fn empty_registry_exports_cleanly() {
+        let r = Registry::new();
+        assert_eq!(prometheus_text(&r), "");
+        let j = json_snapshot(&r);
+        assert!(json_is_valid(&j));
+        assert_eq!(j, "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}");
+    }
+}

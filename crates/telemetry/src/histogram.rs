@@ -1,0 +1,223 @@
+//! Fixed-bucket cycle histograms: p50/p95/p99 without allocation.
+
+/// Number of buckets in a [`CycleHistogram`]. Bucket `i` (for `i > 0`)
+/// holds values in `[2^(i-1), 2^i)`; bucket 0 holds zero. The last bucket
+/// is open-ended. 40 buckets cover everything from a single cycle to ~10^11
+/// — minutes of 2.2 GHz time — with power-of-two resolution.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A fixed-bucket histogram of cycle (or virtual-ns) observations.
+///
+/// Buckets are power-of-two spaced and allocated inline, so recording is a
+/// shift and an add — cheap enough for always-on hot-path instrumentation —
+/// and quantile queries allocate nothing. Quantiles are *nearest-rank over
+/// buckets*: the reported value is the inclusive upper bound of the bucket
+/// containing the rank, a deterministic overestimate of at most 2×.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleHistogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for CycleHistogram {
+    fn default() -> Self {
+        CycleHistogram::new()
+    }
+}
+
+impl CycleHistogram {
+    /// An empty histogram.
+    pub fn new() -> CycleHistogram {
+        CycleHistogram { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// The bucket index a value lands in.
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// The inclusive upper bound of bucket `i` (`u64::MAX` for the last,
+    /// open-ended bucket).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= HISTOGRAM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts (index per [`CycleHistogram::bucket_upper_bound`]).
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Nearest-rank quantile over buckets: the upper bound of the bucket
+    /// containing observation number `ceil(p × count)`. `p` is clamped to
+    /// [0, 1]; returns 0 for an empty histogram. For the open-ended last
+    /// bucket the recorded maximum is returned instead of `u64::MAX`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let rank = ((p * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i >= HISTOGRAM_BUCKETS - 1 {
+                    self.max
+                } else {
+                    Self::bucket_upper_bound(i).min(self.max)
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Median (nearest-rank over buckets).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Adds every bucket, count and extremum of `other` into `self`
+    /// (per-shard histogram merge).
+    pub fn merge_from(&mut self, other: &CycleHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        // Values 2^k-1, 2^k, 2^k+1 must land in buckets k, k+1, k+1: the
+        // boundary is *inclusive below* the power of two.
+        for k in 1..20u32 {
+            let v = 1u64 << k;
+            assert_eq!(CycleHistogram::bucket_of(v - 1), k as usize, "2^{k}-1");
+            assert_eq!(CycleHistogram::bucket_of(v), k as usize + 1, "2^{k}");
+            assert_eq!(CycleHistogram::bucket_of(v + 1), k as usize + 1, "2^{k}+1");
+        }
+        assert_eq!(CycleHistogram::bucket_of(0), 0);
+        assert_eq!(CycleHistogram::bucket_of(1), 1);
+        assert_eq!(CycleHistogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Upper bounds agree with bucket_of: a bucket's bound is in it.
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(CycleHistogram::bucket_of(CycleHistogram::bucket_upper_bound(i)), i);
+        }
+    }
+
+    #[test]
+    fn quantiles_without_allocation() {
+        let mut h = CycleHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert_eq!((h.min(), h.max()), (1, 1000));
+        // Nearest-rank over power-of-two buckets: p50's rank (500) falls in
+        // the [256, 512) bucket, so the reported value is 511 — within the
+        // documented 2× bucket overestimate of the exact 500.
+        assert_eq!(h.p50(), 511);
+        assert!(h.p99() >= 990 && h.p99() <= 1023, "{}", h.p99());
+        assert_eq!(h.percentile(1.0), 1000, "max is exact");
+        assert_eq!(h.percentile(0.0), 1, "rank clamps to the first observation");
+    }
+
+    #[test]
+    fn empty_and_single_value() {
+        let mut h = CycleHistogram::new();
+        assert_eq!((h.p50(), h.p99(), h.min(), h.max()), (0, 0, 0, 0));
+        h.record(67);
+        assert_eq!(h.p50(), 67, "single observation: every quantile is it");
+        assert_eq!(h.p99(), 67);
+        assert_eq!(h.mean(), 67.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CycleHistogram::new();
+        let mut b = CycleHistogram::new();
+        for v in [1u64, 10, 100] {
+            a.record(v);
+        }
+        for v in [1000u64, 10_000] {
+            b.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.sum(), 11_111);
+        assert_eq!((a.min(), a.max()), (1, 10_000));
+    }
+}

@@ -1,0 +1,41 @@
+//! # sfi-telemetry: deterministic observability for the SFI stack
+//!
+//! The paper's claims are all *measurements* — 30.34 ns vs 51.52 ns
+//! transitions (§6.4.1), per-`wrpkru` cost, pool occupancy at 256 K
+//! instances — so the reproduction instruments exactly those primitives as
+//! first-class, always-on telemetry. Three pieces:
+//!
+//! - [`Registry`]: a per-shard metrics registry of [counters](Registry::counter),
+//!   [gauges](Registry::gauge) and fixed-bucket [cycle
+//!   histograms](Registry::histogram) keyed by static names (plus optional
+//!   labels). Registration detects name collisions at startup; shards each
+//!   own a registry (no locks, no atomics) and merge at export time with
+//!   [`Registry::merge_from`].
+//! - [`FlightRecorder`]: a bounded ring buffer of structured
+//!   [`TraceEvent`]s stamped with a **deterministic virtual tick clock**
+//!   ([`VirtualClock`] — modeled cycles in the runtime, simulated ns in the
+//!   FaaS rig, never wall time), so same-seed runs produce byte-identical
+//!   traces, and the last N events can be dumped on a fault for
+//!   post-mortem.
+//! - Exporters ([`export`]): Prometheus text (with label escaping), a JSON
+//!   snapshot for embedding in `BENCH_*.json`, and chrome://tracing
+//!   trace-event JSON so a FaaS sim run renders as a timeline.
+//!
+//! The contract (DESIGN.md §8): telemetry must never perturb the simulated
+//! system — disabling it (recorder capacity 0) changes no modeled number —
+//! and its host-side overhead is gated in CI by `figX_multicore --check`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+pub mod export;
+mod histogram;
+mod recorder;
+mod registry;
+
+pub use clock::VirtualClock;
+pub use export::{chrome_trace, json_is_valid, json_snapshot, prometheus_text};
+pub use histogram::{CycleHistogram, HISTOGRAM_BUCKETS};
+pub use recorder::{FlightRecorder, TraceEvent, TraceKind};
+pub use registry::{CounterId, GaugeId, HistogramId, Registry, RegistryError};

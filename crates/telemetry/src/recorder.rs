@@ -1,0 +1,241 @@
+//! The flight recorder: a bounded per-core ring of structured trace events.
+
+/// What happened. The variants cover every lifecycle edge the runtime and
+/// the sharded FaaS engine expose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceKind {
+    /// An instance was created (slot allocated, data segments installed).
+    Spawn,
+    /// Control transitioned into a sandbox (`arg` = MPK color).
+    Enter,
+    /// Control transitioned back to the host (`arg` = modeled transition
+    /// cycles for the invocation).
+    Exit,
+    /// The sandbox trapped (`arg` = faulting address or target).
+    Trap,
+    /// A slot was recycled through quarantine (`arg` = 1 if retired).
+    Recycle,
+    /// A task was stolen onto this core (`arg` = victim core).
+    Steal,
+    /// Compiled code was produced — a code-cache miss (`arg` = modeled
+    /// compile ns).
+    Compile,
+}
+
+impl TraceKind {
+    /// Stable lowercase name, used by the dump and the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Spawn => "spawn",
+            TraceKind::Enter => "enter",
+            TraceKind::Exit => "exit",
+            TraceKind::Trap => "trap",
+            TraceKind::Recycle => "recycle",
+            TraceKind::Steal => "steal",
+            TraceKind::Compile => "compile",
+        }
+    }
+}
+
+/// One structured trace event. Fixed-size and `Copy`, so recording is a
+/// bounds check and a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual tick at which the event occurred ([`crate::VirtualClock`] —
+    /// modeled cycles or simulated ns, never wall time).
+    pub tick: u64,
+    /// The core (shard) the event occurred on.
+    pub core: u32,
+    /// The sandbox / instance / request the event concerns (`u64::MAX` when
+    /// not applicable).
+    pub sandbox: u64,
+    /// The event kind.
+    pub kind: TraceKind,
+    /// Kind-specific argument (see [`TraceKind`]).
+    pub arg: u64,
+}
+
+impl TraceEvent {
+    /// The deterministic one-line dump form:
+    /// `tick=… core=… sandbox=… kind=… arg=…`.
+    pub fn dump_line(&self) -> String {
+        let sandbox = if self.sandbox == u64::MAX {
+            "-".to_owned()
+        } else {
+            self.sandbox.to_string()
+        };
+        format!(
+            "tick={} core={} sandbox={} kind={} arg={:#x}",
+            self.tick,
+            self.core,
+            sandbox,
+            self.kind.name(),
+            self.arg
+        )
+    }
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s.
+///
+/// Capacity 0 disables recording entirely (the telemetry-off configuration
+/// of the overhead gate). When full, the oldest event is overwritten;
+/// [`FlightRecorder::total_recorded`] keeps counting, so wraparound is
+/// observable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightRecorder {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the oldest event (once wrapped).
+    head: usize,
+    total: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` events.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder { buf: Vec::with_capacity(capacity.min(4096)), capacity, head: 0, total: 0 }
+    }
+
+    /// A disabled recorder (capacity 0 — every record is a no-op).
+    pub fn disabled() -> FlightRecorder {
+        FlightRecorder::new(0)
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events ever recorded (including overwritten ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.total += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// The last `n` retained events concerning `sandbox`, oldest first —
+    /// the post-mortem view attached to a fault report.
+    pub fn last_for_sandbox(&self, sandbox: u64, n: usize) -> Vec<TraceEvent> {
+        let mut hits: Vec<TraceEvent> =
+            self.events().into_iter().filter(|e| e.sandbox == sandbox).collect();
+        if hits.len() > n {
+            hits.drain(..hits.len() - n);
+        }
+        hits
+    }
+
+    /// The deterministic text dump: one [`TraceEvent::dump_line`] per
+    /// retained event, oldest first, trailing newline.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&e.dump_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tick: u64, sandbox: u64) -> TraceEvent {
+        TraceEvent { tick, core: 0, sandbox, kind: TraceKind::Enter, arg: 0 }
+    }
+
+    #[test]
+    fn ring_wraps_keeping_the_newest() {
+        let mut r = FlightRecorder::new(3);
+        for t in 0..7 {
+            r.record(ev(t, t));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_recorded(), 7);
+        let ticks: Vec<u64> = r.events().iter().map(|e| e.tick).collect();
+        assert_eq!(ticks, [4, 5, 6], "oldest-first, newest retained");
+        // Exactly at the boundary: capacity events, no wrap yet.
+        let mut r = FlightRecorder::new(3);
+        for t in 0..3 {
+            r.record(ev(t, t));
+        }
+        assert_eq!(r.events().iter().map(|e| e.tick).collect::<Vec<_>>(), [0, 1, 2]);
+        // One more wraps the single oldest.
+        r.record(ev(3, 3));
+        assert_eq!(r.events().iter().map(|e| e.tick).collect::<Vec<_>>(), [1, 2, 3]);
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let mut r = FlightRecorder::disabled();
+        r.record(ev(1, 1));
+        assert!(!r.is_enabled());
+        assert!(r.is_empty());
+        assert_eq!(r.total_recorded(), 0);
+        assert_eq!(r.dump(), "");
+    }
+
+    #[test]
+    fn per_sandbox_postmortem_view() {
+        let mut r = FlightRecorder::new(16);
+        for t in 0..10 {
+            r.record(ev(t, t % 2));
+        }
+        let s1 = r.last_for_sandbox(1, 3);
+        assert_eq!(s1.iter().map(|e| e.tick).collect::<Vec<_>>(), [5, 7, 9]);
+        assert!(r.last_for_sandbox(99, 3).is_empty());
+    }
+
+    #[test]
+    fn dump_is_deterministic_text() {
+        let mut r = FlightRecorder::new(4);
+        r.record(TraceEvent { tick: 5, core: 1, sandbox: 2, kind: TraceKind::Trap, arg: 0x1000 });
+        r.record(TraceEvent {
+            tick: 6,
+            core: 1,
+            sandbox: u64::MAX,
+            kind: TraceKind::Steal,
+            arg: 3,
+        });
+        assert_eq!(
+            r.dump(),
+            "tick=5 core=1 sandbox=2 kind=trap arg=0x1000\n\
+             tick=6 core=1 sandbox=- kind=steal arg=0x3\n"
+        );
+    }
+}

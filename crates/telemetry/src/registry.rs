@@ -1,0 +1,398 @@
+//! The per-shard metrics registry.
+//!
+//! Each shard (a runtime, a simulated core) owns one [`Registry`] and
+//! updates it through plain `&mut` — no locks, no atomics — which keeps the
+//! hot path to an array index and an add. Registries with the same schema
+//! are merged at export time ([`Registry::merge_from`]), the classic
+//! shard-and-scrape layout.
+//!
+//! Metric identity is `name` plus an ordered label list; registering the
+//! same identity twice is a startup error ([`RegistryError::Collision`]),
+//! surfaced by the CI gate so two subsystems can never silently write to
+//! the same series.
+
+use std::collections::BTreeMap;
+
+use crate::histogram::CycleHistogram;
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// Registration failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The (name, labels) identity is already registered.
+    Collision(String),
+    /// The metric name is not a valid Prometheus identifier
+    /// (`[a-zA-Z_][a-zA-Z0-9_]*`).
+    BadName(String),
+}
+
+impl core::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RegistryError::Collision(k) => write!(f, "metric name collision: {k}"),
+            RegistryError::BadName(n) => write!(f, "invalid metric name: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// A metric's identity: static name + ordered labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct Series {
+    pub(crate) name: &'static str,
+    pub(crate) labels: Vec<(&'static str, String)>,
+}
+
+impl Series {
+    /// The Prometheus-style series key, with label values escaped
+    /// (`\` → `\\`, `"` → `\"`, newline → `\n`).
+    pub(crate) fn key(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.to_owned();
+        }
+        let labels: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+            .collect();
+        format!("{}{{{}}}", self.name, labels.join(","))
+    }
+}
+
+/// Escapes a label value per the Prometheus text-format rules.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter(usize),
+    Gauge(usize),
+    Histogram(usize),
+}
+
+/// A lock-free-per-shard registry of counters, gauges and cycle histograms.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    /// Identity → slot, for collision detection and named lookups.
+    index: BTreeMap<String, Kind>,
+    counters: Vec<(Series, u64)>,
+    gauges: Vec<(Series, i64)>,
+    histograms: Vec<(Series, CycleHistogram)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn admit(&mut self, name: &'static str, labels: &[(&'static str, &str)], kind: Kind) -> Result<Series, RegistryError> {
+        if !valid_name(name) || labels.iter().any(|(k, _)| !valid_name(k)) {
+            return Err(RegistryError::BadName(name.to_owned()));
+        }
+        let series = Series {
+            name,
+            labels: labels.iter().map(|(k, v)| (*k, (*v).to_owned())).collect(),
+        };
+        let key = series.key();
+        if self.index.contains_key(&key) {
+            return Err(RegistryError::Collision(key));
+        }
+        self.index.insert(key, kind);
+        Ok(series)
+    }
+
+    /// Registers a labelless counter; see [`Registry::try_counter`] for the
+    /// non-panicking form. Panics on a name collision — by design, at
+    /// startup, so a duplicated metric name can never ship.
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        self.try_counter(name, &[]).expect("metric registration")
+    }
+
+    /// Registers a counter with labels, panicking on collision.
+    pub fn counter_with(&mut self, name: &'static str, labels: &[(&'static str, &str)]) -> CounterId {
+        self.try_counter(name, labels).expect("metric registration")
+    }
+
+    /// Registers a counter, reporting collisions as errors.
+    pub fn try_counter(
+        &mut self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Result<CounterId, RegistryError> {
+        let id = self.counters.len();
+        let series = self.admit(name, labels, Kind::Counter(id))?;
+        self.counters.push((series, 0));
+        Ok(CounterId(id))
+    }
+
+    /// Registers a labelless gauge, panicking on collision.
+    pub fn gauge(&mut self, name: &'static str) -> GaugeId {
+        self.try_gauge(name, &[]).expect("metric registration")
+    }
+
+    /// Registers a gauge, reporting collisions as errors.
+    pub fn try_gauge(
+        &mut self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Result<GaugeId, RegistryError> {
+        let id = self.gauges.len();
+        let series = self.admit(name, labels, Kind::Gauge(id))?;
+        self.gauges.push((series, 0));
+        Ok(GaugeId(id))
+    }
+
+    /// Registers a labelless histogram, panicking on collision.
+    pub fn histogram(&mut self, name: &'static str) -> HistogramId {
+        self.try_histogram(name, &[]).expect("metric registration")
+    }
+
+    /// Registers a histogram, reporting collisions as errors.
+    pub fn try_histogram(
+        &mut self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Result<HistogramId, RegistryError> {
+        let id = self.histograms.len();
+        let series = self.admit(name, labels, Kind::Histogram(id))?;
+        self.histograms.push((series, CycleHistogram::new()));
+        Ok(HistogramId(id))
+    }
+
+    /// Increments a counter by one.
+    pub fn inc(&mut self, id: CounterId) {
+        self.counters[id.0].1 += 1;
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0].1 += n;
+    }
+
+    /// Sets a gauge.
+    pub fn set(&mut self, id: GaugeId, v: i64) {
+        self.gauges[id.0].1 = v;
+    }
+
+    /// Records a histogram observation.
+    pub fn observe(&mut self, id: HistogramId, v: u64) {
+        self.histograms[id.0].1.record(v);
+    }
+
+    /// A counter's current value, by series key (for tests and exporters).
+    pub fn counter_value(&self, key: &str) -> Option<u64> {
+        match self.index.get(key)? {
+            Kind::Counter(i) => Some(self.counters[*i].1),
+            _ => None,
+        }
+    }
+
+    /// A gauge's current value, by series key.
+    pub fn gauge_value(&self, key: &str) -> Option<i64> {
+        match self.index.get(key)? {
+            Kind::Gauge(i) => Some(self.gauges[*i].1),
+            _ => None,
+        }
+    }
+
+    /// A histogram, by series key.
+    pub fn histogram_values(&self, key: &str) -> Option<&CycleHistogram> {
+        match self.index.get(key)? {
+            Kind::Histogram(i) => Some(&self.histograms[*i].1),
+            _ => None,
+        }
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether no series are registered.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// All counters, sorted by series key (deterministic export order).
+    pub(crate) fn sorted_counters(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> =
+            self.counters.iter().map(|(s, n)| (s.key(), *n)).collect();
+        v.sort();
+        v
+    }
+
+    /// All gauges, sorted by series key.
+    pub(crate) fn sorted_gauges(&self) -> Vec<(String, i64)> {
+        let mut v: Vec<(String, i64)> = self.gauges.iter().map(|(s, n)| (s.key(), *n)).collect();
+        v.sort();
+        v
+    }
+
+    /// All histograms, sorted by series key.
+    pub(crate) fn sorted_histograms(&self) -> Vec<(String, &CycleHistogram)> {
+        let mut v: Vec<(String, &CycleHistogram)> =
+            self.histograms.iter().map(|(s, h)| (s.key(), h)).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Merges another shard's registry into this one: counters and gauges
+    /// add, histograms merge bucket-wise. Series missing from `self` are
+    /// created with `other`'s identity (so shards may register lazily).
+    /// Gauges *add* because every per-shard gauge in this workspace is an
+    /// occupancy (slots in use, ring depth, VMAs) whose fleet-wide value is
+    /// the sum.
+    pub fn merge_from(&mut self, other: &Registry) {
+        for (series, n) in &other.counters {
+            let key = series.key();
+            match self.index.get(&key) {
+                Some(Kind::Counter(i)) => self.counters[*i].1 += n,
+                Some(_) => panic!("metric kind mismatch for {key}"),
+                None => {
+                    let id = self.counters.len();
+                    self.index.insert(key, Kind::Counter(id));
+                    self.counters.push((series.clone(), *n));
+                }
+            }
+        }
+        for (series, v) in &other.gauges {
+            let key = series.key();
+            match self.index.get(&key) {
+                Some(Kind::Gauge(i)) => self.gauges[*i].1 += v,
+                Some(_) => panic!("metric kind mismatch for {key}"),
+                None => {
+                    let id = self.gauges.len();
+                    self.index.insert(key, Kind::Gauge(id));
+                    self.gauges.push((series.clone(), *v));
+                }
+            }
+        }
+        for (series, h) in &other.histograms {
+            let key = series.key();
+            match self.index.get(&key) {
+                Some(Kind::Histogram(i)) => self.histograms[*i].1.merge_from(h),
+                Some(_) => panic!("metric kind mismatch for {key}"),
+                None => {
+                    let id = self.histograms.len();
+                    self.index.insert(key, Kind::Histogram(id));
+                    self.histograms.push((series.clone(), h.clone()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_roundtrip() {
+        let mut r = Registry::new();
+        let c = r.counter("sfi_test_total");
+        let g = r.gauge("sfi_test_depth");
+        let h = r.histogram("sfi_test_cycles");
+        r.inc(c);
+        r.add(c, 9);
+        r.set(g, -3);
+        r.observe(h, 100);
+        assert_eq!(r.counter_value("sfi_test_total"), Some(10));
+        assert_eq!(r.gauge_value("sfi_test_depth"), Some(-3));
+        assert_eq!(r.histogram_values("sfi_test_cycles").unwrap().count(), 1);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn collisions_are_startup_errors() {
+        let mut r = Registry::new();
+        r.counter("sfi_dup_total");
+        let err = r.try_counter("sfi_dup_total", &[]).unwrap_err();
+        assert!(matches!(err, RegistryError::Collision(_)), "{err}");
+        // Cross-kind collisions count too: one namespace.
+        assert!(r.try_gauge("sfi_dup_total", &[]).is_err());
+        // Same name with different labels is a different series.
+        assert!(r.try_counter("sfi_dup_total", &[("kind", "a")]).is_ok());
+        assert!(r.try_counter("sfi_dup_total", &[("kind", "b")]).is_ok());
+        assert!(r.try_counter("sfi_dup_total", &[("kind", "a")]).is_err());
+    }
+
+    #[test]
+    fn names_are_validated() {
+        let mut r = Registry::new();
+        assert!(matches!(r.try_counter("9bad", &[]), Err(RegistryError::BadName(_))));
+        assert!(matches!(r.try_counter("has space", &[]), Err(RegistryError::BadName(_))));
+        assert!(r.try_counter("_ok_123", &[]).is_ok());
+    }
+
+    #[test]
+    fn label_values_escape() {
+        assert_eq!(escape_label_value(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape_label_value("line\nbreak"), r"line\nbreak");
+        let mut r = Registry::new();
+        let c = r.counter_with("sfi_esc_total", &[("path", "a\"b\\c\nd")]);
+        r.inc(c);
+        let key = r.sorted_counters()[0].0.clone();
+        assert_eq!(key, "sfi_esc_total{path=\"a\\\"b\\\\c\\nd\"}");
+        assert_eq!(r.counter_value(&key), Some(1));
+    }
+
+    #[test]
+    fn per_shard_merge_sums() {
+        let build = |n: u64| {
+            let mut r = Registry::new();
+            let c = r.counter("sfi_shard_total");
+            let g = r.gauge("sfi_shard_depth");
+            let h = r.histogram("sfi_shard_cycles");
+            r.add(c, n);
+            r.set(g, n as i64);
+            r.observe(h, n);
+            r
+        };
+        let mut a = build(3);
+        let b = build(5);
+        a.merge_from(&b);
+        assert_eq!(a.counter_value("sfi_shard_total"), Some(8));
+        assert_eq!(a.gauge_value("sfi_shard_depth"), Some(8));
+        let h = a.histogram_values("sfi_shard_cycles").unwrap();
+        assert_eq!((h.count(), h.sum()), (2, 8));
+
+        // Series unknown to the target are created, not dropped.
+        let mut extra = Registry::new();
+        let c = extra.counter("sfi_only_here_total");
+        extra.add(c, 7);
+        a.merge_from(&extra);
+        assert_eq!(a.counter_value("sfi_only_here_total"), Some(7));
+    }
+}

@@ -44,6 +44,16 @@ impl SyscallKind {
     pub const ALL: [SyscallKind; 4] =
         [SyscallKind::Mmap, SyscallKind::Mprotect, SyscallKind::PkeyMprotect, SyscallKind::Madvise];
 
+    /// Stable lowercase name, used as the telemetry label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyscallKind::Mmap => "mmap",
+            SyscallKind::Mprotect => "mprotect",
+            SyscallKind::PkeyMprotect => "pkey_mprotect",
+            SyscallKind::Madvise => "madvise",
+        }
+    }
+
     fn index(self) -> usize {
         match self {
             SyscallKind::Mmap => 0,
@@ -76,10 +86,22 @@ impl Default for ChaosConfig {
 /// Counters of faults actually injected (for reports and assertions).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChaosStats {
-    /// Mapping calls failed.
+    /// Mapping calls failed (all kinds).
     pub syscalls_failed: u64,
+    /// Mapping calls failed, broken down per [`SyscallKind`] (indexed as
+    /// [`SyscallKind::ALL`]) — the telemetry exporter reads this so
+    /// injected `mmap` pressure is distinguishable from `madvise` scrub
+    /// failures.
+    pub syscalls_failed_by_kind: [u64; 4],
     /// Bus accesses failed.
     pub bus_faults: u64,
+}
+
+impl ChaosStats {
+    /// Injected failures of one syscall kind.
+    pub fn failed_of(&self, kind: SyscallKind) -> u64 {
+        self.syscalls_failed_by_kind[kind.index()]
+    }
 }
 
 /// A deterministic fault-injection plan.
@@ -191,6 +213,7 @@ impl FaultPlan {
             });
         if fires {
             self.stats.syscalls_failed += 1;
+            self.stats.syscalls_failed_by_kind[k] += 1;
         }
         fires
     }

@@ -121,6 +121,9 @@ pub struct AddressSpace {
     mmap_cursor: u64,
     /// Optional deterministic fault-injection plan.
     chaos: Option<FaultPlan>,
+    /// High-water mark of [`AddressSpace::map_count`] — the telemetry gauge
+    /// behind the `vm.max_map_count` sizing guidance (§5.1).
+    peak_map_count: usize,
 }
 
 impl AddressSpace {
@@ -148,6 +151,7 @@ impl AddressSpace {
             dtlb: Tlb::for_va_bits(va_bits),
             mmap_cursor: 0x10_0000, // skip the traditional NULL-guard low MiB
             chaos: None,
+            peak_map_count: 0,
         }
     }
 
@@ -192,6 +196,12 @@ impl AddressSpace {
     /// Current number of VMAs.
     pub fn map_count(&self) -> usize {
         self.vmas.len()
+    }
+
+    /// The highest VMA count this space ever reached — the number a
+    /// deployment must provision `vm.max_map_count` for.
+    pub fn peak_map_count(&self) -> usize {
+        self.peak_map_count
     }
 
     /// Snapshot of all VMAs in address order.
@@ -369,6 +379,7 @@ impl AddressSpace {
             self.vmas.remove(&start);
             return Err(MapError::TooManyMappings);
         }
+        self.peak_map_count = self.peak_map_count.max(self.vmas.len());
         Ok(())
     }
 
@@ -384,6 +395,7 @@ impl AddressSpace {
                 }
                 self.vmas.insert(start, Vma { end: at, ..v });
                 self.vmas.insert(at, v);
+                self.peak_map_count = self.peak_map_count.max(self.vmas.len());
             }
         }
         Ok(())

@@ -16,6 +16,15 @@ cargo test -q --offline --release --test corpus_differential -- --include-ignore
 echo "== multi-core sweep: determinism + warm/cold + scaling checks =="
 cargo run -q --offline --release -p sfi-bench --bin figX_multicore -- --check
 
+echo "== telemetry: snapshot embedded, overhead gate, collision-free schema =="
+# figX_multicore --check (above) runs the telemetry gates: snapshot present
+# and parseable, tracing on-vs-off byte-identical in every modeled field,
+# self-overhead within the DESIGN.md §8 budget, and the runtime metric
+# schema registered without a name collision. Verify the artifacts landed.
+grep -q '"telemetry"' BENCH_multicore.json
+grep -q 'sfi_shard_completed_total' BENCH_multicore.json
+grep -q '"traceEvents"' TRACE_multicore.json
+
 echo "== clippy (deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

@@ -19,6 +19,7 @@
 //! | [`pool`] | **ColorGuard**: the MPK-striped pooling allocator plus its verified layout contract |
 //! | [`runtime`] | Multi-instance runtime: transitions, PKRU switching, epochs |
 //! | [`faas`] | Deterministic FaaS-edge simulation with from-scratch regex/templating/hash engines |
+//! | [`telemetry`] | Deterministic observability: metrics registry, flight recorder, exporters |
 //! | [`workloads`] | The benchmark corpus (SPEC-, Sightglass-, PolybenchC-, Firefox-shaped kernels) |
 //!
 //! ## Quickstart
@@ -50,6 +51,7 @@ pub use sfi_faas as faas;
 pub use sfi_lfi as lfi;
 pub use sfi_pool as pool;
 pub use sfi_runtime as runtime;
+pub use sfi_telemetry as telemetry;
 pub use sfi_vm as vm;
 pub use sfi_wasm as wasm;
 pub use sfi_workloads as workloads;

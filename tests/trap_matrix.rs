@@ -181,6 +181,44 @@ fn every_fault_poisons_the_instance() {
     assert!(!p.poisoned);
 }
 
+/// The post-mortem path: after a fault, [`Runtime::fault_report`] must name
+/// the faulting instance, its slot and MPK color, and end with the flight
+/// recorder's recent events for that sandbox — including the trap itself,
+/// stamped with the faulting address.
+#[test]
+fn fault_report_names_the_slot_color_and_trap() {
+    let m = segue_colorguard::wasm::wat::parse(POKE).unwrap();
+    let cm = Arc::new(compile(&m, &CompilerConfig::for_strategy(Strategy::Segue)).unwrap());
+    let mut rt = Runtime::new(RuntimeConfig::small_test(true)).unwrap();
+    let id = rt.instantiate(cm).unwrap();
+    assert!(rt.fault_report(id).is_none(), "no report before any fault");
+
+    let heap = rt.heap_base(id).unwrap();
+    let far = heap + 2 * PAGE;
+    assert!(rt.invoke(id, "poke", &[2 * PAGE]).is_err(), "cross-stripe store must fault");
+
+    let report = rt.fault_report(id).expect("a faulted instance has a post-mortem");
+    assert!(report.starts_with("fault: "), "{report}");
+    assert!(report.contains(&format!("instance: {}", id.raw())), "{report}");
+    // Slot and color are real numbers, not placeholders.
+    let field = |name: &str| -> u64 {
+        let tail = &report[report.find(name).unwrap_or_else(|| panic!("{name} in {report}"))
+            + name.len()..];
+        tail.split_whitespace().next().and_then(|w| w.parse().ok()).expect(name)
+    };
+    let slot = field("slot: ");
+    let color = field("color: ");
+    assert!(color > 0, "MPK color 0 is the host's; a sandbox never runs there");
+    assert!(slot < 64, "slot index within the small_test pool");
+    // The dump ends with this sandbox's recent events: the enter and the
+    // trap, the latter stamped with the faulting address.
+    assert!(report.contains(&format!("sandbox={} kind=enter", id.raw())), "{report}");
+    assert!(
+        report.contains(&format!("sandbox={} kind=trap arg={far:#x}", id.raw())),
+        "trap event must carry the faulting address {far:#x}: {report}"
+    );
+}
+
 /// Masking's documented divergence: the out-of-bounds store *wraps* back
 /// into the sandbox instead of trapping. Containment holds (nothing outside
 /// the slot is touched) but the guest's own heap is silently corrupted —
