@@ -1,0 +1,216 @@
+//! `faas_serve`: the multi-core FaaS engine behind a live telemetry
+//! endpoint (DESIGN.md §8).
+//!
+//! Runs [`sfi_faas::ServeEngine`] rounds on a driver thread while a
+//! std-only HTTP/1.1 loop serves:
+//!
+//! - `GET /metrics`   — Prometheus text (modeled registry + scrape meta)
+//! - `GET /snapshot`  — the modeled registry as JSON (no meta: byte-equal
+//!   to an offline replay of the same config and round count)
+//! - `GET /trace?since=<cursor>` — incremental chrome-trace lines from the
+//!   cumulative flight-recorder stream
+//! - `GET /healthz`   — failure-model availability + quarantine (the one
+//!   endpoint allowed wall time: its uptime field)
+//! - `GET /quit`      — answer, then shut the server down cleanly
+//!
+//! Modes:
+//!
+//! - `faas_serve [--port N] [--rounds N]` — serve until `/quit` (port 0
+//!   picks an ephemeral port and prints it; `--rounds` caps the driver).
+//! - `faas_serve --get ADDR PATH` — one-shot scrape client (exit 0 on
+//!   HTTP 200), used by the CI smoke step instead of curl.
+//! - `faas_serve --check` — self-contained acceptance gate: all four
+//!   endpoints respond on a loopback server; the drained `/trace` stream
+//!   re-wraps byte-identically to the batch export; the served `/snapshot`
+//!   equals a server-off replay byte-for-byte; and scraping under load
+//!   stays within the overhead budget.
+
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use sfi_faas::{serve_blocking, ServeConfig, ServeEngine};
+use sfi_telemetry::{chrome_trace_wrap, http_get, json_is_valid};
+
+/// Documented scrape-under-load budget (DESIGN.md §8): driving the engine
+/// with a scraper attached may cost at most this factor over driving it
+/// dark, best-of-3 wall clock.
+const OVERHEAD_BUDGET: f64 = 1.35;
+
+/// Rounds per timed check pass (short rounds: ServeConfig::paper_rig).
+const CHECK_ROUNDS: u64 = 3;
+
+fn arg_after(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--check") {
+        check();
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--get") {
+        let addr = args.get(i + 1).expect("--get ADDR PATH");
+        let path = args.get(i + 2).expect("--get ADDR PATH");
+        let (status, body) = http_get(addr, path).expect("request failed");
+        // Rust ignores SIGPIPE, so a downstream `| head` surfaces as EPIPE
+        // on the write — the exit code must still reflect the HTTP status.
+        use std::io::Write;
+        if let Err(e) = std::io::stdout().write_all(body.as_bytes()) {
+            assert_eq!(e.kind(), std::io::ErrorKind::BrokenPipe, "write body: {e}");
+        }
+        std::process::exit(if status == 200 { 0 } else { 1 });
+    }
+
+    let port: u16 = arg_after("--port").map(|p| p.parse().expect("numeric port")).unwrap_or(9100);
+    let max_rounds: Option<u64> = arg_after("--rounds").map(|r| r.parse().expect("numeric rounds"));
+
+    let listener = TcpListener::bind(("127.0.0.1", port)).expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let engine = Arc::new(Mutex::new(ServeEngine::new(ServeConfig::paper_rig(4))));
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    println!("faas_serve: listening on http://{addr}  (GET /metrics /snapshot /trace /healthz /quit)");
+
+    let driver = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut rounds = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                engine.lock().expect("engine lock").run_round();
+                rounds += 1;
+                if max_rounds.is_some_and(|m| rounds >= m) {
+                    break;
+                }
+            }
+        })
+    };
+
+    serve_blocking(&listener, &engine, started).expect("serve loop");
+    stop.store(true, Ordering::Relaxed);
+    driver.join().expect("driver thread");
+    let eng = engine.lock().expect("engine lock");
+    println!("faas_serve: quit after {} rounds, {} trace events", eng.rounds(), eng.stream().total_recorded());
+}
+
+/// Drives `rounds` engine rounds; when `addr` is given, performs a full
+/// scrape set (all four endpoints) between rounds — the "under load"
+/// configuration of the overhead gate. Returns elapsed wall time.
+fn drive(engine: &Mutex<ServeEngine>, rounds: u64, addr: Option<&str>) -> std::time::Duration {
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        engine.lock().expect("engine lock").run_round();
+        if let Some(a) = addr {
+            for path in ["/metrics", "/snapshot", "/trace?since=0", "/healthz"] {
+                let (status, _) = http_get(a, path).expect("scrape");
+                assert_eq!(status, 200, "{path} under load");
+            }
+        }
+    }
+    t0.elapsed()
+}
+
+fn check() {
+    let mut cfg = ServeConfig::paper_rig(2);
+    // Longer rounds than the interactive default: the overhead gate
+    // compares per-round scrape cost against round cost, and CI machines
+    // vary — headroom comes from amortizing over a realistic round length.
+    cfg.engine.duration_ms = 150;
+
+    // Server-off reference: a pure replay of the same config and rounds.
+    let mut offline = ServeEngine::new(cfg.clone());
+    for _ in 0..CHECK_ROUNDS {
+        offline.run_round();
+    }
+    let offline_snapshot = offline.snapshot_json();
+    let offline_trace = offline.trace_batch();
+
+    // Live server on an ephemeral loopback port.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let engine = Arc::new(Mutex::new(ServeEngine::new(cfg.clone())));
+    let started = Instant::now();
+    let server = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || serve_blocking(&listener, &engine, started).expect("serve"))
+    };
+
+    // Run rounds, draining /trace incrementally after each one.
+    let mut cursor = 0u64;
+    let mut streamed: Vec<String> = Vec::new();
+    for _ in 0..CHECK_ROUNDS {
+        engine.lock().expect("engine lock").run_round();
+        let (status, body) = http_get(&addr, &format!("/trace?since={cursor}")).expect("trace");
+        assert_eq!(status, 200, "/trace must respond");
+        let mut lines = body.lines();
+        let head = lines.next().expect("metadata line");
+        assert!(head.contains("\"dropped\": 0"), "stream deep enough: {head}");
+        cursor = head
+            .split("\"next\": ")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.parse().ok())
+            .expect("next cursor");
+        streamed.extend(lines.map(str::to_owned));
+    }
+
+    // 1. All four endpoints respond.
+    let (ms, metrics) = http_get(&addr, "/metrics").expect("metrics");
+    let (ss, snapshot) = http_get(&addr, "/snapshot").expect("snapshot");
+    let (hs, health) = http_get(&addr, "/healthz").expect("healthz");
+    assert_eq!((ms, ss, hs), (200, 200, 200), "endpoints must respond");
+    assert!(metrics.contains("sfi_shard_completed_total"), "metrics carries shard counters");
+    assert!(metrics.contains("sfi_serve_scrapes_total"), "metrics carries scrape meta");
+    assert!(metrics.contains("sample_rate=\"64\""), "sampled series declares its rate");
+    assert!(json_is_valid(&snapshot), "/snapshot must be valid JSON");
+    assert!(json_is_valid(&health), "/healthz must be valid JSON");
+    assert!(health.contains("\"availability\""), "{health}");
+
+    // 2. The drained stream re-wraps byte-identically to the batch export.
+    let rewrapped = chrome_trace_wrap(&streamed);
+    assert_eq!(rewrapped, offline_trace, "streamed trace must equal the batch export");
+
+    // 3. Serving has zero observer effect on modeled telemetry: the served
+    // snapshot equals the server-off replay byte-for-byte (scrape meta is
+    // excluded from /snapshot by construction).
+    assert_eq!(snapshot, offline_snapshot, "served snapshot must equal offline replay");
+    assert!(snapshot.contains("sfi_shard_request_latency_ns"), "latency histograms present");
+    assert!(snapshot.contains("\"p99\""), "histogram quantiles present");
+
+    // 4. Scrape-under-load overhead: best-of-3, scraped vs dark rounds.
+    let dark = (0..3)
+        .map(|_| drive(&Mutex::new(ServeEngine::new(cfg.clone())), CHECK_ROUNDS, None))
+        .min()
+        .expect("timed runs");
+    let scraped = (0..3)
+        .map(|_| {
+            let eng = Mutex::new(ServeEngine::new(cfg.clone()));
+            drive(&eng, CHECK_ROUNDS, Some(&addr))
+        })
+        .min()
+        .expect("timed runs");
+    // The scraped runs above hit the live server (fixed state) while
+    // driving a local engine: the cost measured is the full scrape set per
+    // round — client, server lock, render — landing on the driver's clock.
+    let factor = scraped.as_secs_f64() / dark.as_secs_f64().max(1e-9);
+    assert!(
+        factor <= OVERHEAD_BUDGET,
+        "scrape-under-load overhead {factor:.2}x exceeds {OVERHEAD_BUDGET:.2}x \
+         (scraped {scraped:?} vs dark {dark:?})"
+    );
+
+    // 5. Clean shutdown via /quit.
+    let (qs, _) = http_get(&addr, "/quit").expect("quit");
+    assert_eq!(qs, 200, "/quit must answer before stopping");
+    server.join().expect("server thread");
+
+    println!(
+        "check OK: 4 endpoints live, streamed trace == batch export ({} events), \
+         snapshot == offline replay, scrape overhead {factor:.2}x (budget {OVERHEAD_BUDGET:.2}x)",
+        streamed.len()
+    );
+}

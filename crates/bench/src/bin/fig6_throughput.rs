@@ -1,9 +1,14 @@
 //! Figure 6: ColorGuard throughput gain over multi-process scaling, for
 //! 1–15 processes and the three FaaS workloads (the paper reports gains
 //! growing with process count up to ≈29%).
+//!
+//! Emits `BENCH_fig6.json` with the gain table plus a `"telemetry"`
+//! section — the per-run metrics registries (labeled by workload and mode)
+//! merged into one snapshot, the same shape `figX_multicore` embeds.
 
 use sfi_bench::row;
-use sfi_faas::{simulate, FaasWorkload, ScalingMode, SimConfig};
+use sfi_faas::{sim_registry, simulate, FaasWorkload, ScalingMode, SimConfig};
+use sfi_telemetry::{json_snapshot, Registry};
 
 fn main() {
     println!("Figure 6: ColorGuard throughput gain vs multi-process scaling (single core)\n");
@@ -18,22 +23,52 @@ fn main() {
         &widths,
     );
 
+    let mut telemetry = Registry::new();
+
     // One ColorGuard run per workload; the request stream is identical
     // across modes (same seed).
     let cg: Vec<f64> = FaasWorkload::ALL
         .iter()
-        .map(|&w| simulate(&SimConfig::paper_rig(w, ScalingMode::ColorGuard)).throughput_rps)
+        .map(|&w| {
+            let r = simulate(&SimConfig::paper_rig(w, ScalingMode::ColorGuard));
+            telemetry
+                .merge_from(&sim_registry(&r, &[("workload", w.name()), ("mode", "colorguard")]));
+            r.throughput_rps
+        })
         .collect();
 
+    let mut rows_json: Vec<String> = Vec::new();
     for k in 1..=15u32 {
         let mut cells = vec![format!("{k}")];
         for (i, &w) in FaasWorkload::ALL.iter().enumerate() {
             let mp = simulate(&SimConfig::paper_rig(w, ScalingMode::MultiProcess { processes: k }));
             let gain = (cg[i] - mp.throughput_rps) / mp.throughput_rps * 100.0;
             cells.push(format!("{gain:+.1}%"));
+            rows_json.push(format!(
+                "    {{\"workload\": \"{}\", \"processes\": {k}, \
+                 \"multiprocess_rps\": {:.3}, \"colorguard_rps\": {:.3}, \
+                 \"gain_percent\": {gain:.3}}}",
+                w.name(),
+                mp.throughput_rps,
+                cg[i],
+            ));
+            if k == 15 {
+                telemetry.merge_from(&sim_registry(
+                    &mp,
+                    &[("workload", w.name()), ("mode", "multiprocess")],
+                ));
+            }
         }
         row(&cells, &widths);
     }
-    println!("\n(paper: gain grows with process count, up to ≈29% at 15 processes,\n\
+
+    let json = format!(
+        "{{\n  \"bench\": \"fig6_throughput\",\n  \"rows\": [\n{}\n  ],\n  \"telemetry\": {}\n}}\n",
+        rows_json.join(",\n"),
+        json_snapshot(&telemetry)
+    );
+    std::fs::write("BENCH_fig6.json", &json).expect("write BENCH_fig6.json");
+    println!("\nwrote BENCH_fig6.json");
+    println!("(paper: gain grows with process count, up to ≈29% at 15 processes,\n\
               with all three workloads within a few percent of each other)");
 }

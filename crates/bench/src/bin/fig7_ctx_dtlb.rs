@@ -4,9 +4,14 @@
 //! The paper's shape: ColorGuard's rates stay flat as the process count
 //! grows; multi-process rates climb (to ~700 K switches and tens of
 //! millions of dTLB misses over the run).
+//!
+//! Emits `BENCH_fig7.json` with the sweep plus a `"telemetry"` section
+//! (per-run registries labeled by mode and process count, merged — the
+//! same shape `figX_multicore` embeds).
 
 use sfi_bench::row;
-use sfi_faas::{simulate, FaasWorkload, ScalingMode, SimConfig};
+use sfi_faas::{sim_registry, simulate, FaasWorkload, ScalingMode, SimConfig};
+use sfi_telemetry::{json_snapshot, Registry};
 
 fn main() {
     println!("Figure 7: context switches and dTLB misses vs process count\n");
@@ -23,8 +28,19 @@ fn main() {
     );
     let w = FaasWorkload::RegexFilter;
     let cg = simulate(&SimConfig::paper_rig(w, ScalingMode::ColorGuard));
+    let mut telemetry = Registry::new();
+    telemetry.merge_from(&sim_registry(&cg, &[("mode", "colorguard")]));
+    let mut rows_json: Vec<String> = Vec::new();
     for k in [1u32, 2, 4, 6, 8, 10, 12, 15] {
         let mp = simulate(&SimConfig::paper_rig(w, ScalingMode::MultiProcess { processes: k }));
+        let procs = k.to_string();
+        telemetry
+            .merge_from(&sim_registry(&mp, &[("mode", "multiprocess"), ("processes", &procs)]));
+        rows_json.push(format!(
+            "    {{\"processes\": {k}, \"mp_ctx_switches\": {}, \"cg_ctx_switches\": {}, \
+             \"mp_dtlb_misses\": {}, \"cg_dtlb_misses\": {}}}",
+            mp.context_switches, cg.context_switches, mp.dtlb_misses, cg.dtlb_misses,
+        ));
         row(
             &[
                 format!("{k}"),
@@ -36,6 +52,15 @@ fn main() {
             &widths,
         );
     }
+    let json = format!(
+        "{{\n  \"bench\": \"fig7_ctx_dtlb\",\n  \"workload\": \"{}\",\n  \"rows\": [\n{}\n  ],\n  \
+         \"telemetry\": {}\n}}\n",
+        w.name(),
+        rows_json.join(",\n"),
+        json_snapshot(&telemetry)
+    );
+    std::fs::write("BENCH_fig7.json", &json).expect("write BENCH_fig7.json");
+
     println!("\nAll three workloads behave alike; per-workload numbers at 15 processes:");
     for wl in FaasWorkload::ALL {
         let cg = simulate(&SimConfig::paper_rig(wl, ScalingMode::ColorGuard));
@@ -49,6 +74,7 @@ fn main() {
             cg.dtlb_misses as f64 / 1e6,
         );
     }
-    println!("\n(paper: multiprocess grows to ~700K switches / tens of millions of dTLB\n\
+    println!("\nwrote BENCH_fig7.json");
+    println!("(paper: multiprocess grows to ~700K switches / tens of millions of dTLB\n\
               misses while ColorGuard stays flat)");
 }

@@ -41,6 +41,7 @@ fn main() {
         compile(&module, &CompilerConfig::for_strategy(Strategy::Segue)).expect("compiles"),
     );
 
+    let mut snapshots: Vec<String> = Vec::new();
     for colorguard in [false, true] {
         let mut rt = Runtime::new(RuntimeConfig::small_test(colorguard)).expect("runtime");
         let inst = rt.instantiate(Arc::clone(&cm)).expect("slot available");
@@ -54,7 +55,26 @@ fn main() {
             rt.transitions.count,
             rt.transitions.mean_ns(&rt.config_transition())
         );
+        snapshots
+            .push(format!("    {{\"colorguard\": {colorguard}, \"telemetry\": {}}}", rt.telemetry_snapshot()));
     }
+
+    // The cross-check runs' full runtime metric registries — transition op
+    // counters, the invocation-transition cycle histogram, pool gauges —
+    // exported per configuration, the same `"telemetry"` shape
+    // `figX_multicore` embeds.
+    let json = format!(
+        "{{\n  \"bench\": \"sec641_transitions\",\n  \"modeled_ns\": {{\
+         \"baseline\": {:.3}, \"colorguard\": {:.3}, \"segue_wrgsbase\": {:.3}, \
+         \"segue_arch_prctl\": {:.3}}},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        tm.ns(plain),
+        tm.ns(cg),
+        tm.ns(seg),
+        tm.ns(seg_syscall),
+        snapshots.join(",\n"),
+    );
+    std::fs::write("BENCH_sec641.json", &json).expect("write BENCH_sec641.json");
+    println!("\nwrote BENCH_sec641.json");
 }
 
 trait RtExt {

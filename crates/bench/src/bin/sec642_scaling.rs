@@ -56,4 +56,24 @@ fn main() {
     );
     let stripes: std::collections::BTreeSet<u8> = handles.iter().map(|h| h.pkey).collect();
     println!("instances span {} distinct MPK colors", stripes.len());
+
+    // Export the built pool's occupancy through the runtime telemetry
+    // bundle (scrape syncs the pool/VM gauges), embedding the same
+    // `"telemetry"` section `figX_multicore` carries.
+    let mut telem = sfi_runtime::RuntimeTelemetry::new(0, 0);
+    telem.scrape(&pool, &space, handles.len());
+    let json = format!(
+        "{{\n  \"bench\": \"sec642_scaling\",\n  \"slots_without_colorguard\": {},\n  \
+         \"slots_with_colorguard\": {},\n  \"built_capacity\": {},\n  \"allocated\": {},\n  \
+         \"vmas\": {},\n  \"colors\": {},\n  \"telemetry\": {}\n}}\n",
+        without.num_slots,
+        with.num_slots,
+        pool.capacity(),
+        handles.len(),
+        space.map_count(),
+        stripes.len(),
+        sfi_telemetry::json_snapshot(telem.registry()),
+    );
+    std::fs::write("BENCH_sec642.json", &json).expect("write BENCH_sec642.json");
+    println!("wrote BENCH_sec642.json");
 }

@@ -33,14 +33,18 @@ pub mod regex;
 pub mod stats;
 pub mod template;
 
+mod serve;
 mod shard;
 mod sim;
 
+pub use serve::{
+    flatten_traces, round_seed, serve_blocking, ServeConfig, ServeEngine, NS_PER_TICK,
+};
 pub use shard::{
     multicore_sweep_json, simulate_multicore, CacheMode, CoreMetrics, MultiCoreConfig,
-    MultiCoreReport, SpawnModel,
+    MultiCoreReport, SpawnModel, DTLB_SAMPLE_RATE,
 };
 pub use sim::{
-    simulate, throughput_gain_percent, FaasWorkload, FailureModel, ScalingMode, SimConfig,
-    SimCosts, SimReport,
+    sim_registry, simulate, throughput_gain_percent, FaasWorkload, FailureModel, ScalingMode,
+    SimConfig, SimCosts, SimReport,
 };

@@ -1,0 +1,366 @@
+//! Live telemetry serving: the sharded engine driven in rounds behind the
+//! std-only HTTP loop from `sfi-telemetry`.
+//!
+//! Post-mortem artifacts (`BENCH_*.json`, TRACE dumps) answer "what
+//! happened"; operators also need "what is happening" — a Prometheus scrape
+//! of `/metrics`, a trace viewer tailing `/trace`. This module is the
+//! engine-side half of that: a [`ServeEngine`] that runs the multi-core
+//! simulation in back-to-back **rounds** (each a full
+//! [`simulate_multicore`] pass with a per-round seed), folds every round's
+//! registry into one cumulative modeled registry, and appends the round's
+//! flight-recorder events — restamped onto one continuous virtual
+//! timeline — into a single cumulative stream recorder that scrapers drain
+//! with cursors.
+//!
+//! The determinism contract survives serving (DESIGN.md §8):
+//!
+//! - Everything *modeled* — the `/snapshot` registry, the trace stream —
+//!   is a pure function of `(config, rounds run)`. A second engine given
+//!   the same config replays byte-identical bytes; `faas_serve --check`
+//!   gates exactly that (server on vs off).
+//! - Scrape bookkeeping (`sfi_serve_scrapes_total`) lives in a separate
+//!   meta registry that appears in `/metrics` only, so observing the
+//!   engine never changes `/snapshot` — zero observer effect.
+//! - Wall time appears in exactly one place: the `/healthz` uptime field.
+//!
+//! `/healthz` reports availability and quarantine counts from a
+//! [`FailureModel`](crate::FailureModel)-bearing single-core probe
+//! simulation run alongside each round.
+
+use std::net::TcpListener;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use sfi_telemetry::{
+    chrome_trace, chrome_trace_lines, json_snapshot, prometheus_text, CounterId, FlightRecorder,
+    HttpRequest, HttpResponse, Registry, TraceEvent,
+};
+
+use crate::shard::{simulate_multicore, CacheMode, MultiCoreConfig, MultiCoreReport};
+use crate::sim::{simulate, FailureModel, ScalingMode, SimConfig};
+use crate::FaasWorkload;
+
+/// The faas rig's virtual ticks are simulated nanoseconds.
+pub const NS_PER_TICK: f64 = 1.0;
+
+/// Configuration for a serving engine.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The multi-core engine config run every round. `engine.seed` is the
+    /// *base* seed; round `r` runs with [`round_seed`]`(seed, r)`.
+    pub engine: MultiCoreConfig,
+    /// The single-core probe simulation behind `/healthz` (carries the
+    /// [`FailureModel`]; its seed advances per round like the engine's).
+    pub probe: SimConfig,
+    /// Capacity of the cumulative stream recorder scraped via `/trace`
+    /// (events beyond it age out and are reported as `dropped`).
+    pub stream_capacity: usize,
+}
+
+impl ServeConfig {
+    /// A serving rig sized for interactive scraping: short engine rounds
+    /// (50 ms), a short fault-injecting health probe, and a stream deep
+    /// enough that a scraper polling once per round never drops events.
+    pub fn paper_rig(cores: u32) -> ServeConfig {
+        let mut engine = MultiCoreConfig::paper_rig(
+            FaasWorkload::HashLoadBalance,
+            ScalingMode::ColorGuard,
+            CacheMode::Warm,
+            cores,
+        );
+        engine.duration_ms = 50;
+        let mut probe = SimConfig::paper_rig(FaasWorkload::HashLoadBalance, ScalingMode::ColorGuard);
+        probe.duration_ms = 25;
+        probe.failures = FailureModel::with_trap_rate(0.02);
+        ServeConfig { engine, probe, stream_capacity: 65_536 }
+    }
+}
+
+/// The seed round `r` runs with: a splitmix-style mix of the base seed and
+/// the round index, so rounds are decorrelated but the whole serving
+/// session stays a pure function of the base seed.
+pub fn round_seed(base: u64, round: u64) -> u64 {
+    let mut z = base ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+/// Flattens per-core flight-recorder dumps onto one timeline: cores are
+/// chained in index order, then stably sorted by tick — ties keep core
+/// order, so the result is deterministic.
+pub fn flatten_traces(traces: &[Vec<TraceEvent>]) -> Vec<TraceEvent> {
+    let mut all: Vec<TraceEvent> = traces.iter().flatten().copied().collect();
+    all.sort_by_key(|e| e.tick);
+    all
+}
+
+/// The live serving engine: cumulative modeled state plus scrape
+/// bookkeeping. Drive it with [`ServeEngine::run_round`]; read it through
+/// the endpoint renderers (all `&self` — scraping mutates nothing modeled).
+#[derive(Debug)]
+pub struct ServeEngine {
+    cfg: ServeConfig,
+    rounds: u64,
+    /// Cumulative modeled registry (merge of every round's report
+    /// registry). This — and nothing else — backs `/snapshot`.
+    registry: Registry,
+    /// Cumulative event stream on the continuous timeline.
+    stream: FlightRecorder,
+    /// Poisoned instances quarantined+recycled by the health probe so far.
+    quarantined: u64,
+    /// Probe requests dead-lettered so far.
+    dead_lettered: u64,
+    /// The most recent probe's availability (1.0 before the first round).
+    availability: f64,
+    /// Scrape bookkeeping: merged into `/metrics` output only, never into
+    /// `/snapshot`, so serving has zero observer effect on modeled series.
+    meta: Registry,
+    scrapes: [CounterId; 4],
+}
+
+impl ServeEngine {
+    /// A fresh engine; no rounds run yet.
+    pub fn new(cfg: ServeConfig) -> ServeEngine {
+        let stream = FlightRecorder::new(cfg.stream_capacity);
+        let mut meta = Registry::new();
+        let scrapes = ["metrics", "snapshot", "trace", "healthz"]
+            .map(|ep| meta.counter_with("sfi_serve_scrapes_total", &[("endpoint", ep)]));
+        ServeEngine {
+            cfg,
+            rounds: 0,
+            registry: Registry::new(),
+            stream,
+            quarantined: 0,
+            dead_lettered: 0,
+            availability: 1.0,
+            meta,
+            scrapes,
+        }
+    }
+
+    /// Runs one engine round plus one health-probe round, folds both into
+    /// the cumulative state, and returns the round's report.
+    pub fn run_round(&mut self) -> MultiCoreReport {
+        let mut engine = self.cfg.engine.clone();
+        engine.seed = round_seed(self.cfg.engine.seed, self.rounds);
+        let report = simulate_multicore(&engine);
+        self.registry.merge_from(&report.registry);
+        // Each round models [0, duration) ns; restamp onto the session
+        // timeline so the stream's ticks are monotone across rounds.
+        let offset = self.rounds * self.cfg.engine.duration_ms * 1_000_000;
+        for ev in flatten_traces(&report.traces) {
+            self.stream.record(TraceEvent { tick: ev.tick + offset, ..ev });
+        }
+        let mut probe = self.cfg.probe.clone();
+        probe.seed = round_seed(self.cfg.probe.seed, self.rounds);
+        let health = simulate(&probe);
+        self.quarantined += health.faults + health.infra_faults;
+        self.dead_lettered += health.dead_lettered;
+        self.availability = health.availability;
+        self.rounds += 1;
+        report
+    }
+
+    /// Rounds completed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The cumulative modeled registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The cumulative event stream.
+    pub fn stream(&self) -> &FlightRecorder {
+        &self.stream
+    }
+
+    /// `/metrics`: Prometheus text of the modeled registry plus the serve
+    /// meta registry (scrape counters).
+    pub fn metrics_text(&self) -> String {
+        let mut merged = self.registry.clone();
+        merged.merge_from(&self.meta);
+        prometheus_text(&merged)
+    }
+
+    /// `/snapshot`: the modeled registry as JSON — byte-identical to what
+    /// an offline replay of the same config and round count exports.
+    pub fn snapshot_json(&self) -> String {
+        json_snapshot(&self.registry)
+    }
+
+    /// `/trace?since=<cursor>`: a metadata line (`next` cursor, events
+    /// `dropped` before the cursor, line count) followed by one
+    /// chrome-trace event line per `\n`. A client that concatenates the
+    /// lines from successive drains and wraps them with
+    /// [`sfi_telemetry::chrome_trace_wrap`] reproduces
+    /// [`ServeEngine::trace_batch`] byte-for-byte.
+    pub fn trace_body(&self, since: u64) -> String {
+        let d = self.stream.events_since(since);
+        let lines = chrome_trace_lines(&d.events, NS_PER_TICK);
+        let mut body = format!(
+            "{{\"next\": {}, \"dropped\": {}, \"lines\": {}}}\n",
+            d.next,
+            d.dropped,
+            lines.len()
+        );
+        for l in &lines {
+            body.push_str(l);
+            body.push('\n');
+        }
+        body
+    }
+
+    /// The post-mortem batch export of the full retained stream — the
+    /// byte-identity reference for incremental `/trace` drains.
+    pub fn trace_batch(&self) -> String {
+        chrome_trace(&self.stream.events(), NS_PER_TICK)
+    }
+
+    /// `/healthz`: availability and quarantine state from the failure-model
+    /// probe. `uptime_seconds` is the one place wall time is allowed.
+    pub fn healthz_body(&self, uptime_seconds: f64) -> String {
+        let status = if self.availability >= 0.9 { "ok" } else { "degraded" };
+        format!(
+            "{{\"status\": \"{}\", \"rounds\": {}, \"availability\": {:.6}, \
+             \"quarantined_instances\": {}, \"dead_lettered\": {}, \"uptime_seconds\": {:.3}}}\n",
+            status, self.rounds, self.availability, self.quarantined, self.dead_lettered,
+            uptime_seconds
+        )
+    }
+
+    /// Dispatches one request. Returns the response plus the stop flag
+    /// (`/quit` answers then stops the accept loop — the clean shutdown
+    /// path CI exercises). GET only.
+    pub fn route(&mut self, req: &HttpRequest, uptime_seconds: f64) -> (HttpResponse, bool) {
+        if req.method != "GET" {
+            return (HttpResponse::method_not_allowed(), false);
+        }
+        match req.path.as_str() {
+            "/metrics" => {
+                self.meta.inc(self.scrapes[0]);
+                (HttpResponse::prometheus(self.metrics_text()), false)
+            }
+            "/snapshot" => {
+                self.meta.inc(self.scrapes[1]);
+                (HttpResponse::json(self.snapshot_json()), false)
+            }
+            "/trace" => {
+                self.meta.inc(self.scrapes[2]);
+                let since = req.query_u64("since").unwrap_or(0);
+                (HttpResponse::json(self.trace_body(since)), false)
+            }
+            "/healthz" => {
+                self.meta.inc(self.scrapes[3]);
+                (HttpResponse::json(self.healthz_body(uptime_seconds)), false)
+            }
+            "/quit" => (HttpResponse::ok("text/plain", "bye\n".to_owned()), true),
+            _ => (HttpResponse::not_found(), false),
+        }
+    }
+}
+
+/// Runs the blocking accept loop for a shared engine: each request locks
+/// the engine, routes, answers. Returns when `/quit` is served. `started`
+/// anchors the `/healthz` uptime (the only wall-clock reading).
+pub fn serve_blocking(
+    listener: &TcpListener,
+    engine: &Mutex<ServeEngine>,
+    started: Instant,
+) -> std::io::Result<()> {
+    sfi_telemetry::serve(listener, |req| {
+        let mut eng = engine.lock().expect("engine lock");
+        eng.route(req, started.elapsed().as_secs_f64())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfi_telemetry::chrome_trace_wrap;
+
+    fn small_cfg() -> ServeConfig {
+        let mut cfg = ServeConfig::paper_rig(2);
+        cfg.engine.duration_ms = 20;
+        cfg.probe.duration_ms = 10;
+        cfg
+    }
+
+    #[test]
+    fn replay_reproduces_modeled_state_byte_for_byte() {
+        let run = |scrapes: u32| {
+            let mut eng = ServeEngine::new(small_cfg());
+            for _ in 0..3 {
+                eng.run_round();
+                // Scraping between rounds must not perturb anything modeled.
+                for _ in 0..scrapes {
+                    let _ = eng.metrics_text();
+                    let _ = eng.trace_body(0);
+                }
+            }
+            (eng.snapshot_json(), eng.trace_batch())
+        };
+        let (snap_quiet, trace_quiet) = run(0);
+        let (snap_scraped, trace_scraped) = run(5);
+        assert_eq!(snap_quiet, snap_scraped, "scraping changed the modeled snapshot");
+        assert_eq!(trace_quiet, trace_scraped, "scraping changed the trace stream");
+        assert!(snap_quiet.contains("sfi_shard_completed_total"));
+        assert!(snap_quiet.contains("sfi_shard_request_latency_ns"));
+    }
+
+    #[test]
+    fn incremental_drains_concatenate_to_the_batch_export() {
+        let mut eng = ServeEngine::new(small_cfg());
+        let mut cursor = 0u64;
+        let mut lines: Vec<String> = Vec::new();
+        for _ in 0..3 {
+            eng.run_round();
+            let body = eng.trace_body(cursor);
+            let mut it = body.lines();
+            let head = it.next().unwrap();
+            assert!(head.contains("\"dropped\": 0"), "{head}");
+            let next_str =
+                head.split("\"next\": ").nth(1).unwrap().split(',').next().unwrap();
+            cursor = next_str.parse().unwrap();
+            lines.extend(it.map(str::to_owned));
+        }
+        assert_eq!(cursor, eng.stream().total_recorded());
+        assert_eq!(chrome_trace_wrap(&lines), eng.trace_batch());
+        // A fully drained cursor yields an empty incremental body.
+        let empty = eng.trace_body(cursor);
+        assert!(empty.contains("\"lines\": 0"), "{empty}");
+    }
+
+    #[test]
+    fn rounds_restamp_onto_a_monotone_timeline() {
+        let mut eng = ServeEngine::new(small_cfg());
+        eng.run_round();
+        eng.run_round();
+        let events = eng.stream().events();
+        assert!(!events.is_empty());
+        assert!(events.windows(2).all(|w| w[0].tick <= w[1].tick), "ticks regressed");
+        let round_ns = 20 * 1_000_000;
+        assert!(events.last().unwrap().tick >= round_ns, "round 2 not offset");
+    }
+
+    #[test]
+    fn meta_counters_show_in_metrics_but_not_snapshot() {
+        let mut eng = ServeEngine::new(small_cfg());
+        eng.run_round();
+        let req = HttpRequest::parse("GET /metrics HTTP/1.1").unwrap();
+        let (resp, stop) = eng.route(&req, 0.0);
+        assert!(!stop);
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("sfi_serve_scrapes_total{endpoint=\"metrics\"} 1"));
+        assert!(!eng.snapshot_json().contains("sfi_serve_scrapes_total"));
+
+        let (health, _) = eng.route(&HttpRequest::parse("GET /healthz HTTP/1.1").unwrap(), 1.5);
+        assert!(health.body.contains("\"status\""), "{}", health.body);
+        assert!(health.body.contains("\"uptime_seconds\": 1.500"));
+        let (resp, stop) = eng.route(&HttpRequest::parse("GET /quit HTTP/1.1").unwrap(), 0.0);
+        assert_eq!((resp.status, stop), (200, true));
+        let (resp, _) = eng.route(&HttpRequest::parse("GET /nope HTTP/1.1").unwrap(), 0.0);
+        assert_eq!(resp.status, 404);
+    }
+}

@@ -31,7 +31,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-use sfi_telemetry::{FlightRecorder, Registry, TraceEvent, TraceKind};
+use sfi_telemetry::{CycleHistogram, FlightRecorder, Registry, TraceEvent, TraceKind};
 
 use crate::hashlb::HashRing;
 use crate::sim::{fault_draw, generate_stream};
@@ -214,8 +214,18 @@ pub struct MultiCoreReport {
     /// Per-core flight-recorder traces, oldest first (empty vectors when
     /// [`MultiCoreConfig::trace_capacity`] is 0).
     pub traces: Vec<Vec<TraceEvent>>,
-    /// The merged per-core metrics registry as a deterministic JSON
-    /// snapshot (embedded verbatim in `BENCH_multicore.json`).
+    /// Per-core request-latency distributions (simulated ns, recorded on
+    /// the core that ran the completing slice). Scalar `mean_latency_ms` /
+    /// `p99_latency_ms` above summarize the same completions; these carry
+    /// the full cross-shard distribution.
+    pub latency_per_core: Vec<CycleHistogram>,
+    /// The merged per-core metrics registry (counters, occupancy gauges,
+    /// and the latency histograms — both per-core `{core="N"}` series and
+    /// the bucket-wise cross-shard merge). A live server folds successive
+    /// reports' registries together with [`Registry::merge_from`].
+    pub registry: Registry,
+    /// [`MultiCoreReport::registry`] as a deterministic JSON snapshot
+    /// (embedded verbatim in `BENCH_multicore.json`).
     pub telemetry_json: String,
 }
 
@@ -251,6 +261,8 @@ struct Core {
     m: CoreMetrics,
     /// This core's flight recorder (ticks are simulated ns).
     rec: FlightRecorder,
+    /// Request-latency distribution (ns) of completions on this core.
+    lat: CycleHistogram,
 }
 
 impl Core {
@@ -435,6 +447,7 @@ pub fn simulate_multicore(cfg: &MultiCoreConfig) -> MultiCoreReport {
             steal_attempts: 0,
             m: CoreMetrics::default(),
             rec: FlightRecorder::new(cfg.trace_capacity),
+            lat: CycleHistogram::new(),
         })
         .collect();
     let mut cg_primed = false;
@@ -499,6 +512,7 @@ pub fn simulate_multicore(cfg: &MultiCoreConfig) -> MultiCoreReport {
                         completed += 1;
                         cores[c].m.completed += 1;
                         cores[c].trace(t, u64::from(task.rid), TraceKind::Exit, u64::from(task.stage));
+                        cores[c].lat.record(t - req.arrival_ns);
                         latencies.push((t - req.arrival_ns) as f64 / 1e6);
                         // Free the home slot; hand it to a queued request
                         // (a recycle: scrub + re-color before reuse).
@@ -545,16 +559,15 @@ pub fn simulate_multicore(cfg: &MultiCoreConfig) -> MultiCoreReport {
         totals.add(m);
     }
     let traces: Vec<Vec<TraceEvent>> = cores.iter().map(|c| c.rec.events()).collect();
-    let telemetry_json = {
-        // Built once at the end from the per-core counters — zero hot-path
-        // cost — then folded into one registry, the same merge-at-export
-        // shape the runtime uses per shard.
-        let mut merged = Registry::new();
-        for core in &cores {
-            merged.merge_from(&core_registry(core));
-        }
-        sfi_telemetry::json_snapshot(&merged)
-    };
+    let latency_per_core: Vec<CycleHistogram> = cores.iter().map(|c| c.lat.clone()).collect();
+    // Built once at the end from the per-core counters — zero hot-path
+    // cost — then folded into one registry, the same merge-at-export
+    // shape the runtime uses per shard.
+    let mut registry = Registry::new();
+    for core in &cores {
+        registry.merge_from(&core_registry(core, cfg.seed));
+    }
+    let telemetry_json = sfi_telemetry::json_snapshot(&registry);
     MultiCoreReport {
         cores: ncores,
         offered: requests.len() as u64,
@@ -565,13 +578,19 @@ pub fn simulate_multicore(cfg: &MultiCoreConfig) -> MultiCoreReport {
         totals,
         per_core,
         traces,
+        latency_per_core,
+        registry,
         telemetry_json,
     }
 }
 
 /// Renders one core's counters as a metrics registry. Per-core registries
-/// merge into the run-wide snapshot embedded in `BENCH_multicore.json`.
-fn core_registry(core: &Core) -> Registry {
+/// merge into the run-wide snapshot embedded in `BENCH_multicore.json`:
+/// counters sum, and the latency histogram is registered twice — once
+/// labeled `{core="N"}` (per-shard distribution, distinct series survive
+/// the merge) and once unlabeled (the same buckets, which `merge_from`
+/// sums bucket-wise into the cross-shard distribution).
+fn core_registry(core: &Core, seed: u64) -> Registry {
     let mut reg = Registry::new();
     let counters: [(&str, u64); 11] = [
         ("sfi_shard_completed_total", core.m.completed),
@@ -590,12 +609,31 @@ fn core_registry(core: &Core) -> Registry {
         let id = reg.counter(name);
         reg.add(id, v);
     }
+    // Per-access dTLB events are the hottest series the shard produces, so
+    // they additionally export through the deterministic 1-in-N sampler
+    // (rate in the labels; each shard samples at its own seeded phase). The
+    // exact counter above stays — the sampled series exists so scrapers of
+    // the live endpoint can verify the documented `value × rate` estimate.
+    let sampled =
+        reg.sampled_counter("sfi_shard_dtlb_events_total", &[], DTLB_SAMPLE_RATE, seed ^ u64::from(core.idx));
+    reg.sample_trials(sampled, core.m.dtlb_misses);
     let resident = reg.gauge("sfi_shard_resident_slots");
     reg.set(resident, i64::from(core.resident));
     let peak = reg.gauge("sfi_shard_peak_resident_slots");
     reg.set(peak, i64::from(core.peak_resident));
+    let core_label = core.idx.to_string();
+    let per_core = reg.try_histogram("sfi_shard_request_latency_ns", &[("core", &core_label)])
+        .expect("one registry per core");
+    let merged = reg.histogram("sfi_shard_request_latency_ns");
+    for (id, hist) in [(per_core, &core.lat), (merged, &core.lat)] {
+        reg.merge_histogram(id, hist);
+    }
     reg
 }
+
+/// Sampling rate for the per-access dTLB event series (recorded in the
+/// series' `sample_rate` label).
+pub const DTLB_SAMPLE_RATE: u64 = 64;
 
 fn mode_name(mode: ScalingMode) -> &'static str {
     match mode {

@@ -326,6 +326,44 @@ pub struct SimReport {
     pub goodput_rps: f64,
 }
 
+/// Renders a single-core [`SimReport`] as a metrics registry, the same
+/// series shapes the sharded engine exports (`sfi_sim_*` namespace), so the
+/// fig6/fig7/§6.4.x bench binaries can embed a `"telemetry"` JSON section
+/// exactly like `figX_multicore` does. `labels` are applied to every series
+/// (e.g. `mode="colorguard"`), letting a bench merge several runs'
+/// registries into one snapshot with each run's series kept distinct.
+/// Gauges carry the float summary statistics scaled to integers (`_milli`
+/// = value × 1000, rounded).
+pub fn sim_registry(r: &SimReport, labels: &[(&'static str, &str)]) -> sfi_telemetry::Registry {
+    let mut reg = sfi_telemetry::Registry::new();
+    let counters: [(&'static str, u64); 9] = [
+        ("sfi_sim_offered_total", r.offered),
+        ("sfi_sim_completed_total", r.completed),
+        ("sfi_sim_ctx_switches_total", r.context_switches),
+        ("sfi_sim_dtlb_misses_total", r.dtlb_misses),
+        ("sfi_sim_busy_ns_total", r.busy_ns),
+        ("sfi_sim_overhead_ns_total", r.overhead_ns),
+        ("sfi_sim_faults_total", r.faults + r.infra_faults),
+        ("sfi_sim_retries_total", r.retries),
+        ("sfi_sim_dead_lettered_total", r.dead_lettered),
+    ];
+    for (name, v) in counters {
+        let id = reg.try_counter(name, labels).expect("one registry per run");
+        reg.add(id, v);
+    }
+    let gauges: [(&'static str, f64); 4] = [
+        ("sfi_sim_throughput_rps_milli", r.throughput_rps),
+        ("sfi_sim_mean_latency_ms_milli", r.mean_latency_ms),
+        ("sfi_sim_p99_latency_ms_milli", r.p99_latency_ms),
+        ("sfi_sim_availability_milli", r.availability),
+    ];
+    for (name, v) in gauges {
+        let id = reg.try_gauge(name, labels).expect("one registry per run");
+        reg.set(id, (v * 1000.0).round() as i64);
+    }
+    reg
+}
+
 #[derive(Debug, Clone)]
 pub(crate) struct Request {
     pub(crate) arrival_ns: u64,

@@ -49,7 +49,7 @@ pub use runtime::{
     HostApi, InstanceId, InvokeOutcome, NoHostApi, Runtime, RuntimeConfig, RuntimeError,
 };
 pub use sfi_pool::{QuarantineOutcome, QuarantinePolicy, QuarantineStats};
-pub use telemetry::RuntimeTelemetry;
+pub use telemetry::{RuntimeTelemetry, MEM_ACCESS_SAMPLE_RATE};
 pub use transition::{TransitionKind, TransitionModel, TransitionStats};
 
 #[cfg(test)]

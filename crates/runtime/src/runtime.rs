@@ -673,6 +673,7 @@ impl Runtime {
             }
         };
         self.telemetry.clock.advance_cycles(stats.cycles);
+        self.telemetry.on_guest_mem_accesses(stats.loads, stats.stores);
         self.telemetry.observe_invocation_transition_cycles(invocation_transition_cycles);
         self.telemetry
             .trace(TraceKind::Exit, id.0, invocation_transition_cycles.round() as u64);

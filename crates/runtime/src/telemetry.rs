@@ -10,13 +10,19 @@
 
 use sfi_pool::{MemoryPool, QuarantineStats};
 use sfi_telemetry::{
-    CounterId, FlightRecorder, GaugeId, HistogramId, Registry, TraceEvent, TraceKind, VirtualClock,
+    CounterId, FlightRecorder, GaugeId, HistogramId, Registry, SampledCounterId, TraceEvent,
+    TraceKind, VirtualClock,
 };
 use sfi_vm::{AddressSpace, ChaosStats, SyscallKind};
 
 use crate::cache::CacheStats;
 use crate::fault::SandboxFault;
 use crate::transition::TransitionKind;
+
+/// Sampling rate of the per-access `sfi_guest_mem_accesses_total` series
+/// (declared in its `sample_rate` label; estimate = value × rate, with
+/// absolute error bounded below one rate's worth of trials).
+pub const MEM_ACCESS_SAMPLE_RATE: u64 = 256;
 
 /// The telemetry bundle owned by one [`crate::Runtime`] (or one FaaS
 /// shard): a registry with every runtime metric pre-registered, a bounded
@@ -56,6 +62,7 @@ pub struct RuntimeTelemetry {
     g_map_count: GaugeId,
     g_peak_map_count: GaugeId,
     g_instances: GaugeId,
+    s_mem_accesses: SampledCounterId,
 
     /// Last scraped snapshots, so scraping adds deltas into monotonic
     /// counters instead of double counting.
@@ -106,6 +113,18 @@ impl RuntimeTelemetry {
             g_map_count: r.gauge("sfi_vm_map_count"),
             g_peak_map_count: r.gauge("sfi_vm_peak_map_count"),
             g_instances: r.gauge("sfi_instances_live"),
+            // Guest memory accesses are per-*instruction* events — orders of
+            // magnitude hotter than any lifecycle counter — so the series is
+            // sampled 1-in-N (rate declared in its `sample_rate` label,
+            // scrapers un-bias with value × rate). The phase is seeded from
+            // the core index so shards sample out of lockstep yet every run
+            // with the same topology exports identical bytes.
+            s_mem_accesses: r.sampled_counter(
+                "sfi_guest_mem_accesses_total",
+                &[],
+                MEM_ACCESS_SAMPLE_RATE,
+                0x00D1_CE5A ^ u64::from(core),
+            ),
             last_quarantine: QuarantineStats::default(),
             last_cache: CacheStats::default(),
             last_chaos: ChaosStats::default(),
@@ -151,6 +170,15 @@ impl RuntimeTelemetry {
     /// host-call pairs) into the cycle histogram.
     pub fn observe_invocation_transition_cycles(&mut self, cycles: f64) {
         self.registry.observe(self.h_transition_cycles, cycles.round() as u64);
+    }
+
+    /// Feeds one invocation's guest loads + stores as sampling trials into
+    /// the 1-in-N `sfi_guest_mem_accesses_total` series. Batch form: the
+    /// interpreter already counts accesses per run, and batch selection is
+    /// O(1), so this costs the same whether the guest touched ten words or
+    /// ten million.
+    pub fn on_guest_mem_accesses(&mut self, loads: u64, stores: u64) {
+        self.registry.sample_trials(self.s_mem_accesses, loads + stores);
     }
 
     /// Counts one classified fault.
@@ -255,6 +283,32 @@ mod tests {
         assert_eq!(r.counter_value("sfi_faults_total{kind=\"guard_hit\"}"), Some(1));
         assert_eq!(r.counter_value("sfi_faults_total{kind=\"color_fault\"}"), Some(2));
         assert_eq!(r.counter_value("sfi_faults_total{kind=\"tag_fault\"}"), Some(0));
+    }
+
+    #[test]
+    fn guest_mem_accesses_sample_deterministically() {
+        let feed = |batches: &[(u64, u64)]| {
+            let mut t = RuntimeTelemetry::new(0, 1);
+            for &(l, s) in batches {
+                t.on_guest_mem_accesses(l, s);
+            }
+            t.registry()
+                .counter_value(&format!(
+                    "sfi_guest_mem_accesses_total{{sample_rate=\"{MEM_ACCESS_SAMPLE_RATE}\"}}"
+                ))
+                .unwrap()
+        };
+        // Same trials → same sampled value, however they are batched.
+        let a = feed(&[(700, 300), (4_000, 1_000)]);
+        let b = feed(&[(0, 1_000), (700, 0), (4_000, 300)]);
+        assert_eq!(a, b, "batching must not change selection");
+        // Unbiased within one rate's worth of trials: 6000 trials at 1/256.
+        let est = a * MEM_ACCESS_SAMPLE_RATE;
+        assert!(est.abs_diff(6_000) < MEM_ACCESS_SAMPLE_RATE, "estimate {est}");
+        // Cores sample out of phase but each is self-consistent.
+        let t0 = RuntimeTelemetry::new(0, 0);
+        let t1 = RuntimeTelemetry::new(0, 1);
+        assert_eq!(t0.registry().len(), t1.registry().len());
     }
 
     #[test]

@@ -117,27 +117,49 @@ pub fn json_snapshot(r: &Registry) -> String {
     out
 }
 
+/// Renders one trace event as its chrome://tracing line (no separator):
+/// the unit of incremental streaming. A `/trace?since=` response carries
+/// these lines; [`chrome_trace_wrap`] joins any concatenation of them back
+/// into the exact batch document, which is what makes a drained stream
+/// byte-identical to the post-mortem export.
+pub fn chrome_trace_line(e: &TraceEvent, ns_per_tick: f64) -> String {
+    let ts_us = e.tick as f64 * ns_per_tick / 1000.0;
+    format!(
+        "  {{\"name\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \"ts\": {ts_us:.3}, \
+         \"pid\": 0, \"tid\": {}, \"args\": {{\"sandbox\": {}, \"arg\": {}}}}}",
+        e.kind.name(),
+        e.core,
+        if e.sandbox == u64::MAX { -1i64 } else { e.sandbox as i64 },
+        e.arg,
+    )
+}
+
+/// [`chrome_trace_line`] over a batch, one line per event, in order.
+pub fn chrome_trace_lines(events: &[TraceEvent], ns_per_tick: f64) -> Vec<String> {
+    events.iter().map(|e| chrome_trace_line(e, ns_per_tick)).collect()
+}
+
+/// Wraps [`chrome_trace_line`]s into the complete chrome://tracing
+/// document. `chrome_trace(events) == chrome_trace_wrap(&chrome_trace_lines(events))`
+/// by construction, so a client that concatenates streamed lines and wraps
+/// them reproduces the batch export byte-for-byte.
+pub fn chrome_trace_wrap(lines: &[String]) -> String {
+    let mut out = String::from("{\"traceEvents\": [\n");
+    out.push_str(&lines.join(",\n"));
+    if !lines.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
 /// Renders trace events as chrome://tracing "trace event format" JSON
 /// (load the file at `chrome://tracing` or <https://ui.perfetto.dev> to see
 /// the run as a timeline). Each event becomes an instant event (`"ph":
 /// "i"`); `tid` is the core, `ts` is the virtual tick converted to µs via
 /// `ns_per_tick`.
 pub fn chrome_trace(events: &[TraceEvent], ns_per_tick: f64) -> String {
-    let mut out = String::from("{\"traceEvents\": [\n");
-    for (i, e) in events.iter().enumerate() {
-        let ts_us = e.tick as f64 * ns_per_tick / 1000.0;
-        out.push_str(&format!(
-            "  {{\"name\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \"ts\": {ts_us:.3}, \
-             \"pid\": 0, \"tid\": {}, \"args\": {{\"sandbox\": {}, \"arg\": {}}}}}{}\n",
-            e.kind.name(),
-            e.core,
-            if e.sandbox == u64::MAX { -1i64 } else { e.sandbox as i64 },
-            e.arg,
-            if i + 1 < events.len() { "," } else { "" },
-        ));
-    }
-    out.push_str("]}\n");
-    out
+    chrome_trace_wrap(&chrome_trace_lines(events, ns_per_tick))
 }
 
 /// A minimal JSON syntax validator (no third-party crates in this
@@ -295,6 +317,30 @@ mod tests {
         assert!(t.contains("\"name\": \"enter\""));
         assert!(t.contains("\"tid\": 1"));
         assert!(t.contains("\"sandbox\": -1"), "absent sandbox renders as -1");
+    }
+
+    #[test]
+    fn streamed_lines_rewrap_to_the_batch_document() {
+        let events: Vec<TraceEvent> = (0..7)
+            .map(|i| TraceEvent {
+                tick: i * 10,
+                core: (i % 2) as u32,
+                sandbox: i,
+                kind: TraceKind::Enter,
+                arg: i,
+            })
+            .collect();
+        let batch = chrome_trace(&events, 1.0);
+        // Stream in uneven chunks, concatenate, wrap: must be byte-identical.
+        let mut lines = Vec::new();
+        for chunk in [&events[..2], &events[2..3], &events[3..]] {
+            lines.extend(chrome_trace_lines(chunk, 1.0));
+        }
+        assert_eq!(chrome_trace_wrap(&lines), batch);
+        assert!(json_is_valid(&chrome_trace_wrap(&lines)));
+        // The empty stream wraps to the empty document.
+        assert_eq!(chrome_trace_wrap(&[]), chrome_trace(&[], 1.0));
+        assert!(json_is_valid(&chrome_trace_wrap(&[])));
     }
 
     #[test]

@@ -206,6 +206,36 @@ mod tests {
     }
 
     #[test]
+    fn merge_into_empty_is_identity() {
+        // Regression guard for the per-core → merged export path: a merged
+        // registry starts from empty histograms, and folding one shard's
+        // histogram into a fresh one must preserve exact bucket counts,
+        // count, sum, min and max — so merged percentiles are identical to
+        // the percentiles a single-registry run would have reported.
+        let mut shard = CycleHistogram::new();
+        for v in [0u64, 1, 3, 67, 113, 813, 1 << 20, u64::MAX] {
+            shard.record(v);
+        }
+        let mut merged = CycleHistogram::new();
+        merged.merge_from(&shard);
+        assert_eq!(merged, shard, "merge into empty must be bit-identical");
+        assert_eq!(merged.buckets(), shard.buckets());
+        assert_eq!((merged.min(), merged.max()), (shard.min(), shard.max()));
+        for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(merged.percentile(p), shard.percentile(p), "p={p}");
+        }
+        // The other direction: merging an empty histogram changes nothing,
+        // in particular it must not clobber min with the empty sentinel.
+        let before = merged.clone();
+        merged.merge_from(&CycleHistogram::new());
+        assert_eq!(merged, before);
+        // Empty into empty stays empty (and min() keeps reporting 0).
+        let mut e = CycleHistogram::new();
+        e.merge_from(&CycleHistogram::new());
+        assert_eq!((e.count(), e.min(), e.max(), e.p50()), (0, 0, 0, 0));
+    }
+
+    #[test]
     fn merge_accumulates() {
         let mut a = CycleHistogram::new();
         let mut b = CycleHistogram::new();

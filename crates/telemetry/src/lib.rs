@@ -20,10 +20,18 @@
 //! - Exporters ([`export`]): Prometheus text (with label escaping), a JSON
 //!   snapshot for embedding in `BENCH_*.json`, and chrome://tracing
 //!   trace-event JSON so a FaaS sim run renders as a timeline.
+//! - A live serving substrate ([`server`]): a std-only HTTP/1.1 loop plus
+//!   matching scrape client, so the exports above can be *served* from a
+//!   running engine (`/metrics`, `/snapshot`, `/trace?since=<cursor>`,
+//!   `/healthz`) instead of only dumped post-mortem. Streaming rides on the
+//!   recorder's cursor API ([`FlightRecorder::events_since`]); hot series
+//!   can opt into deterministic 1-in-N sampling
+//!   ([`Registry::sampled_counter`], rate recorded in the series labels).
 //!
 //! The contract (DESIGN.md §8): telemetry must never perturb the simulated
 //! system — disabling it (recorder capacity 0) changes no modeled number —
-//! and its host-side overhead is gated in CI by `figX_multicore --check`.
+//! and its host-side overhead is gated in CI by `figX_multicore --check`
+//! and `faas_serve --check`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,9 +41,16 @@ pub mod export;
 mod histogram;
 mod recorder;
 mod registry;
+pub mod server;
 
 pub use clock::VirtualClock;
-pub use export::{chrome_trace, json_is_valid, json_snapshot, prometheus_text};
+pub use export::{
+    chrome_trace, chrome_trace_line, chrome_trace_lines, chrome_trace_wrap, json_is_valid,
+    json_snapshot, prometheus_text,
+};
 pub use histogram::{CycleHistogram, HISTOGRAM_BUCKETS};
-pub use recorder::{FlightRecorder, TraceEvent, TraceKind};
-pub use registry::{CounterId, GaugeId, HistogramId, Registry, RegistryError};
+pub use recorder::{Drained, FlightRecorder, TraceEvent, TraceKind};
+pub use registry::{
+    CounterId, GaugeId, HistogramId, Registry, RegistryError, SampledCounterId,
+};
+pub use server::{http_get, serve, HttpRequest, HttpResponse};

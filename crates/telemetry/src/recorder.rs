@@ -75,6 +75,20 @@ impl TraceEvent {
     }
 }
 
+/// One incremental drain from a [`FlightRecorder`] cursor
+/// ([`FlightRecorder::events_since`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Drained {
+    /// The events at or after the requested cursor, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// The cursor to pass next time (one past the newest event returned,
+    /// or the recorder's current end if nothing was new).
+    pub next: u64,
+    /// Requested events the ring had already overwritten (0 when the
+    /// stream kept up with the recorder).
+    pub dropped: u64,
+}
+
 /// A bounded ring buffer of [`TraceEvent`]s.
 ///
 /// Capacity 0 disables recording entirely (the telemetry-off configuration
@@ -148,6 +162,41 @@ impl FlightRecorder {
         out
     }
 
+    /// The sequence number of the oldest retained event. Every recorded
+    /// event has a stable sequence number (the value of
+    /// [`FlightRecorder::total_recorded`] *before* it was recorded, i.e.
+    /// event *k* overall has sequence *k*); wraparound discards old events
+    /// but never renumbers the survivors.
+    pub fn first_retained_seq(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// The cursor one past the newest event — pass it back to
+    /// [`FlightRecorder::events_since`] to receive only what arrives later.
+    pub fn next_seq(&self) -> u64 {
+        self.total
+    }
+
+    /// Cursor-based incremental drain, the live-streaming counterpart of
+    /// the post-mortem [`FlightRecorder::events`] dump: returns every
+    /// retained event with sequence ≥ `cursor` (oldest first) plus how many
+    /// requested events the ring had already overwritten. The recorder is
+    /// not mutated — the caller owns its cursor, so independent scrapers
+    /// can stream at their own pace — and repeatedly draining from cursor 0
+    /// on a ring that never wrapped reproduces `events()` exactly, which is
+    /// what makes a concatenated stream byte-identical to the batch export.
+    pub fn events_since(&self, cursor: u64) -> Drained {
+        let first = self.first_retained_seq();
+        let dropped = first.saturating_sub(cursor);
+        let skip = cursor.saturating_sub(first) as usize;
+        let events = if skip >= self.buf.len() {
+            Vec::new()
+        } else {
+            self.events().split_off(skip)
+        };
+        Drained { events, next: self.total, dropped }
+    }
+
     /// The last `n` retained events concerning `sandbox`, oldest first —
     /// the post-mortem view attached to a fault report.
     pub fn last_for_sandbox(&self, sandbox: u64, n: usize) -> Vec<TraceEvent> {
@@ -219,6 +268,58 @@ mod tests {
         let s1 = r.last_for_sandbox(1, 3);
         assert_eq!(s1.iter().map(|e| e.tick).collect::<Vec<_>>(), [5, 7, 9]);
         assert!(r.last_for_sandbox(99, 3).is_empty());
+    }
+
+    #[test]
+    fn cursor_drain_streams_incrementally() {
+        let mut r = FlightRecorder::new(8);
+        for t in 0..3 {
+            r.record(ev(t, t));
+        }
+        // First drain from the start sees everything recorded so far.
+        let d = r.events_since(0);
+        assert_eq!(d.events.iter().map(|e| e.tick).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!((d.next, d.dropped), (3, 0));
+        // Nothing new: an empty drain at the same cursor.
+        let d2 = r.events_since(d.next);
+        assert!(d2.events.is_empty());
+        assert_eq!((d2.next, d2.dropped), (3, 0));
+        // New events appear after the cursor only.
+        for t in 3..5 {
+            r.record(ev(t, t));
+        }
+        let d3 = r.events_since(d.next);
+        assert_eq!(d3.events.iter().map(|e| e.tick).collect::<Vec<_>>(), [3, 4]);
+        assert_eq!(d3.next, 5);
+        // The concatenated stream equals the batch dump.
+        let mut streamed = d.events.clone();
+        streamed.extend(d3.events);
+        assert_eq!(streamed, r.events(), "stream must concatenate to the batch view");
+    }
+
+    #[test]
+    fn cursor_drain_reports_wraparound_drops() {
+        let mut r = FlightRecorder::new(3);
+        for t in 0..7 {
+            r.record(ev(t, t));
+        }
+        assert_eq!(r.first_retained_seq(), 4);
+        assert_eq!(r.next_seq(), 7);
+        // A stale cursor loses exactly the overwritten span.
+        let d = r.events_since(1);
+        assert_eq!(d.events.iter().map(|e| e.tick).collect::<Vec<_>>(), [4, 5, 6]);
+        assert_eq!(d.dropped, 3, "cursor 1 missed events 1..4");
+        // A cursor inside the retained window drops nothing.
+        let d = r.events_since(5);
+        assert_eq!(d.events.iter().map(|e| e.tick).collect::<Vec<_>>(), [5, 6]);
+        assert_eq!(d.dropped, 0);
+        // A cursor beyond the end is an empty, clean drain.
+        let d = r.events_since(99);
+        assert!(d.events.is_empty());
+        assert_eq!((d.next, d.dropped), (7, 0));
+        // A disabled recorder streams nothing, forever.
+        let off = FlightRecorder::disabled();
+        assert_eq!(off.events_since(0), Drained { events: vec![], next: 0, dropped: 0 });
     }
 
     #[test]

@@ -27,6 +27,12 @@ pub struct GaugeId(usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistogramId(usize);
 
+/// Handle to a registered sampled counter (a counter that records only a
+/// deterministic 1-in-N subset of its trials; see
+/// [`Registry::sampled_counter`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampledCounterId(usize);
+
 /// Registration failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RegistryError {
@@ -101,14 +107,36 @@ enum Kind {
     Histogram(usize),
 }
 
+/// Per-series sampling state: which 1-in-`rate` trials hit the underlying
+/// counter. The selected phase is a seeded pure function of the series, so
+/// two same-seed runs sample the *same* trials — deterministic sampling,
+/// not statistical sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Sampler {
+    counter: usize,
+    rate: u64,
+    phase: u64,
+    trials: u64,
+}
+
+impl Sampler {
+    /// Trials selected among absolute trial indices `[lo, lo + n)`: those
+    /// with `(index + phase) % rate == 0`, counted in O(1).
+    fn selected(&self, lo: u64, n: u64) -> u64 {
+        let multiples_below = |x: u64| x.div_ceil(self.rate);
+        multiples_below(lo + self.phase + n) - multiples_below(lo + self.phase)
+    }
+}
+
 /// A lock-free-per-shard registry of counters, gauges and cycle histograms.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Registry {
     /// Identity → slot, for collision detection and named lookups.
     index: BTreeMap<String, Kind>,
     counters: Vec<(Series, u64)>,
     gauges: Vec<(Series, i64)>,
     histograms: Vec<(Series, CycleHistogram)>,
+    samplers: Vec<Sampler>,
 }
 
 impl Registry {
@@ -191,6 +219,94 @@ impl Registry {
         Ok(HistogramId(id))
     }
 
+    /// Registers a **sampled** counter: a counter that records only a
+    /// deterministic 1-in-`rate` subset of its trials
+    /// ([`Registry::sample_inc`] / [`Registry::sample_trials`]), for series
+    /// hot enough that counting every event would dominate the path (e.g.
+    /// per-access dTLB events). The rate is recorded in the series labels
+    /// (`sample_rate="N"`), so every exporter and scraper can un-bias the
+    /// value (`value × rate`). Which trials hit is a pure function of
+    /// `(seed, series identity, rate)` — same seed, same sampled series —
+    /// and the estimate error is bounded: `|value × rate − trials| < rate`.
+    /// Panics on collision like the other registration forms; `rate` 0 is
+    /// clamped to 1 (sample everything).
+    pub fn sampled_counter(
+        &mut self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        rate: u64,
+        seed: u64,
+    ) -> SampledCounterId {
+        self.try_sampled_counter(name, labels, rate, seed).expect("metric registration")
+    }
+
+    /// Registers a sampled counter, reporting collisions as errors.
+    pub fn try_sampled_counter(
+        &mut self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        rate: u64,
+        seed: u64,
+    ) -> Result<SampledCounterId, RegistryError> {
+        let rate = rate.max(1);
+        let rate_label = rate.to_string();
+        let mut all: Vec<(&'static str, &str)> = labels.to_vec();
+        all.push(("sample_rate", &rate_label));
+        let counter = self.try_counter(name, &all)?;
+        // The phase (which residue class of trial indices is kept) is a
+        // splitmix-style hash of the seed and the series key, so distinct
+        // series sample out of lockstep while staying seed-deterministic.
+        let key = self.counters[counter.0].0.key();
+        let mut z = seed ^ 0x5A17_F1E0_D000_0001;
+        for b in key.bytes() {
+            z = (z ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        }
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let id = self.samplers.len();
+        self.samplers.push(Sampler {
+            counter: counter.0,
+            rate,
+            phase: (z ^ (z >> 31)) % rate,
+            trials: 0,
+        });
+        Ok(SampledCounterId(id))
+    }
+
+    /// One sampling trial: increments the underlying counter iff this trial
+    /// is in the series' deterministic 1-in-N subset.
+    pub fn sample_inc(&mut self, id: SampledCounterId) {
+        self.sample_trials(id, 1);
+    }
+
+    /// `n` sampling trials at once (the batch form for hot paths that
+    /// already count events in bulk). Selection is computed in O(1), so a
+    /// million-trial batch costs the same as one.
+    pub fn sample_trials(&mut self, id: SampledCounterId, n: u64) {
+        let s = &mut self.samplers[id.0];
+        let hits = s.selected(s.trials, n);
+        s.trials += n;
+        self.counters[s.counter].1 += hits;
+    }
+
+    /// Trials offered to a sampled counter so far (for tests and for
+    /// documenting the estimate error; the exported series carries only the
+    /// sampled value).
+    pub fn sampler_trials(&self, id: SampledCounterId) -> u64 {
+        self.samplers[id.0].trials
+    }
+
+    /// A sampled counter's configured rate.
+    pub fn sampler_rate(&self, id: SampledCounterId) -> u64 {
+        self.samplers[id.0].rate
+    }
+
+    /// A sampled counter's recorded (sampled) value; multiply by the rate
+    /// for the unbiased estimate.
+    pub fn sampler_value(&self, id: SampledCounterId) -> u64 {
+        self.counters[self.samplers[id.0].counter].1
+    }
+
     /// Increments a counter by one.
     pub fn inc(&mut self, id: CounterId) {
         self.counters[id.0].1 += 1;
@@ -209,6 +325,14 @@ impl Registry {
     /// Records a histogram observation.
     pub fn observe(&mut self, id: HistogramId, v: u64) {
         self.histograms[id.0].1.record(v);
+    }
+
+    /// Folds a pre-accumulated histogram into a registered series
+    /// (bucket-wise, like [`Registry::merge_from`]). Lets a component that
+    /// keeps its own inline [`CycleHistogram`] on the hot path publish it
+    /// under a series key at export time without replaying observations.
+    pub fn merge_histogram(&mut self, id: HistogramId, h: &CycleHistogram) {
+        self.histograms[id.0].1.merge_from(h);
     }
 
     /// A counter's current value, by series key (for tests and exporters).
@@ -273,7 +397,10 @@ impl Registry {
     /// created with `other`'s identity (so shards may register lazily).
     /// Gauges *add* because every per-shard gauge in this workspace is an
     /// occupancy (slots in use, ring depth, VMAs) whose fleet-wide value is
-    /// the sum.
+    /// the sum. Sampled counters merge as the plain counters they export to
+    /// (same rate ⇒ same `sample_rate` label ⇒ one summed series); sampler
+    /// *state* (trial cursors) stays with the recording shard — a merged
+    /// export registry is read, never recorded into.
     pub fn merge_from(&mut self, other: &Registry) {
         for (series, n) in &other.counters {
             let key = series.key();
@@ -366,6 +493,54 @@ mod tests {
         let key = r.sorted_counters()[0].0.clone();
         assert_eq!(key, "sfi_esc_total{path=\"a\\\"b\\\\c\\nd\"}");
         assert_eq!(r.counter_value(&key), Some(1));
+    }
+
+    #[test]
+    fn sampled_counters_are_deterministic_and_bounded() {
+        let run = |seed: u64, trials: u64| {
+            let mut r = Registry::new();
+            let s = r.sampled_counter("sfi_sampled_total", &[("kind", "dtlb")], 16, seed);
+            for _ in 0..trials {
+                r.sample_inc(s);
+            }
+            (r.sampler_value(s), r)
+        };
+        let (a, ra) = run(7, 1000);
+        let (b, _) = run(7, 1000);
+        assert_eq!(a, b, "same seed + rate ⇒ identical sampled series");
+        // 1-in-16 of 1000 trials: exactly 62 or 63 depending on phase.
+        assert!(a == 62 || a == 63, "{a}");
+        assert!((a * 16).abs_diff(1000) < 16, "documented error bound |v×N − trials| < N");
+        // The rate is recorded in the series labels.
+        assert_eq!(
+            ra.counter_value("sfi_sampled_total{kind=\"dtlb\",sample_rate=\"16\"}"),
+            Some(a)
+        );
+        // A different seed may select a different phase but obeys the bound.
+        let (c, _) = run(8, 1000);
+        assert!((c * 16).abs_diff(1000) < 16);
+    }
+
+    #[test]
+    fn sampled_batch_equals_per_trial() {
+        let mut one = Registry::new();
+        let s1 = one.sampled_counter("sfi_batch_total", &[], 7, 3);
+        for _ in 0..500 {
+            one.sample_inc(s1);
+        }
+        let mut batch = Registry::new();
+        let s2 = batch.sampled_counter("sfi_batch_total", &[], 7, 3);
+        batch.sample_trials(s2, 123);
+        batch.sample_trials(s2, 0);
+        batch.sample_trials(s2, 377);
+        assert_eq!(one.sampler_value(s1), batch.sampler_value(s2), "batching must not change selection");
+        assert_eq!(batch.sampler_trials(s2), 500);
+        assert_eq!(batch.sampler_rate(s2), 7);
+        // Rate 0 clamps to 1: every trial counts.
+        let mut all = Registry::new();
+        let s = all.sampled_counter("sfi_all_total", &[], 0, 0);
+        all.sample_trials(s, 9);
+        assert_eq!(all.sampler_value(s), 9);
     }
 
     #[test]

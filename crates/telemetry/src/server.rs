@@ -1,0 +1,281 @@
+//! A minimal std-only HTTP/1.1 serving loop for live telemetry.
+//!
+//! Production metrics are scraped, not dumped: a Prometheus server polls
+//! `GET /metrics`, a trace viewer tails `GET /trace?since=<cursor>`. This
+//! module provides exactly the plumbing that takes — a request-line parser,
+//! a response writer, a blocking accept loop, and a matching one-shot
+//! client ([`http_get`]) for self-checks and loopback tests — with no
+//! third-party dependencies (the workspace is offline by policy).
+//!
+//! Scope is deliberately narrow: `GET` only, one request per connection
+//! (`Connection: close`), no TLS, no chunked encoding. A scrape endpoint
+//! needs nothing more, and everything beyond it would be untestable weight.
+//! The *content* served stays deterministic (it comes from the registry and
+//! recorder exporters); only socket timing is wall-clock, which is why the
+//! DESIGN.md §8 contract confines wall time to `/healthz` uptime.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+/// How long a single request may take to arrive or drain before the
+/// connection is abandoned (defends the serve loop against a stalled
+/// peer; generous compared to any loopback scrape).
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One parsed HTTP request line (the only part of a scrape request that
+/// carries information; headers are read and discarded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// The method verb, uppercased as received (`GET`, `HEAD`, …).
+    pub method: String,
+    /// The path component, without the query string (`/trace`).
+    pub path: String,
+    /// Query parameters in request order, undecoded (`since=42`).
+    pub query: Vec<(String, String)>,
+}
+
+impl HttpRequest {
+    /// Parses a request line (`GET /trace?since=5 HTTP/1.1`). Returns
+    /// `None` for anything that is not `<method> <target> HTTP/1.x`.
+    pub fn parse(line: &str) -> Option<HttpRequest> {
+        let mut parts = line.trim_end().split(' ');
+        let method = parts.next()?.to_owned();
+        let target = parts.next()?;
+        let version = parts.next()?;
+        if method.is_empty() || !target.starts_with('/') || !version.starts_with("HTTP/1.") {
+            return None;
+        }
+        let (path, query_str) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        let query = query_str
+            .split('&')
+            .filter(|kv| !kv.is_empty())
+            .map(|kv| match kv.split_once('=') {
+                Some((k, v)) => (k.to_owned(), v.to_owned()),
+                None => (kv.to_owned(), String::new()),
+            })
+            .collect();
+        Some(HttpRequest { method, path: path.to_owned(), query })
+    }
+
+    /// The first query parameter named `key`, parsed as `u64` (the shape
+    /// every cursor parameter uses).
+    pub fn query_u64(&self, key: &str) -> Option<u64> {
+        self.query.iter().find(|(k, _)| k == key).and_then(|(_, v)| v.parse().ok())
+    }
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code (200, 400, 404, 405, …).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A `200 OK` with an explicit content type.
+    pub fn ok(content_type: &'static str, body: String) -> HttpResponse {
+        HttpResponse { status: 200, content_type, body }
+    }
+
+    /// A `200 OK` with the Prometheus text-exposition content type.
+    pub fn prometheus(body: String) -> HttpResponse {
+        HttpResponse::ok("text/plain; version=0.0.4", body)
+    }
+
+    /// A `200 OK` carrying JSON.
+    pub fn json(body: String) -> HttpResponse {
+        HttpResponse::ok("application/json", body)
+    }
+
+    /// A `404 Not Found`.
+    pub fn not_found() -> HttpResponse {
+        HttpResponse { status: 404, content_type: "text/plain", body: "not found\n".to_owned() }
+    }
+
+    /// A `405 Method Not Allowed` (everything here is `GET`).
+    pub fn method_not_allowed() -> HttpResponse {
+        HttpResponse {
+            status: 405,
+            content_type: "text/plain",
+            body: "method not allowed\n".to_owned(),
+        }
+    }
+
+    /// A `400 Bad Request` with a reason.
+    pub fn bad_request(reason: &str) -> HttpResponse {
+        HttpResponse { status: 400, content_type: "text/plain", body: format!("{reason}\n") }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Error",
+        }
+    }
+
+    /// Serializes the response (status line, minimal headers,
+    /// `Connection: close`, body) onto `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+/// Reads one request head (request line + headers, discarded) from a
+/// connection. Returns `None` for a malformed or empty request.
+fn read_request(stream: &TcpStream) -> Option<HttpRequest> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    let req = HttpRequest::parse(&line)?;
+    // Drain headers up to the blank line; a GET has no body to consume.
+    loop {
+        let mut h = String::new();
+        match reader.read_line(&mut h) {
+            Ok(0) => break,
+            Ok(_) if h == "\r\n" || h == "\n" => break,
+            Ok(_) => {}
+            Err(_) => return None,
+        }
+    }
+    Some(req)
+}
+
+/// Runs the blocking accept loop: one request per connection, dispatched
+/// through `handler`, which returns the response plus whether the loop
+/// should stop *after* answering (a `/quit` endpoint can thereby shut the
+/// server down cleanly from the outside — the test/CI teardown path).
+/// Malformed requests get a `400` and do not reach the handler. Per-
+/// connection I/O errors (a scraper that vanished mid-write) are swallowed:
+/// a broken peer must never take the serving loop down.
+pub fn serve<H: FnMut(&HttpRequest) -> (HttpResponse, bool)>(
+    listener: &TcpListener,
+    mut handler: H,
+) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+        let mut stream = stream;
+        let (response, stop) = match read_request(&stream) {
+            Some(req) => handler(&req),
+            None => (HttpResponse::bad_request("malformed request"), false),
+        };
+        let _ = response.write_to(&mut stream);
+        if stop {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// A one-shot HTTP/1.1 GET against `addr` (e.g. `127.0.0.1:9100`):
+/// the scrape client used by `faas_serve --check`, the loopback tests and
+/// the CI smoke step (curl-equivalent, but offline-policy clean). Returns
+/// `(status, body)`.
+pub fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header break"))?;
+    let status = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, body.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn request_lines_parse() {
+        let r = HttpRequest::parse("GET /trace?since=42&limit=7 HTTP/1.1\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/trace");
+        assert_eq!(r.query_u64("since"), Some(42));
+        assert_eq!(r.query_u64("limit"), Some(7));
+        assert_eq!(r.query_u64("missing"), None);
+
+        let plain = HttpRequest::parse("GET /metrics HTTP/1.0").unwrap();
+        assert_eq!(plain.path, "/metrics");
+        assert!(plain.query.is_empty());
+
+        // Valueless and empty params are tolerated, non-numeric cursors are None.
+        let odd = HttpRequest::parse("GET /trace?flag&since=x& HTTP/1.1").unwrap();
+        assert_eq!(odd.query.len(), 2);
+        assert_eq!(odd.query_u64("since"), None);
+
+        for bad in ["", "GET", "GET /x", "PUT noslash HTTP/1.1", "GET /x SPDY/3"] {
+            assert!(HttpRequest::parse(bad).is_none(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_close() {
+        let mut buf = Vec::new();
+        HttpResponse::json("{\"a\": 1}".to_owned()).write_to(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 8\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"a\": 1}"));
+
+        let mut buf = Vec::new();
+        HttpResponse::not_found().write_to(&mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().starts_with("HTTP/1.1 404 Not Found\r\n"));
+    }
+
+    #[test]
+    fn loopback_roundtrip_serves_and_stops() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            serve(&listener, |req| match req.path.as_str() {
+                "/ping" => (HttpResponse::prometheus("pong 1\n".to_owned()), false),
+                "/quit" => (HttpResponse::ok("text/plain", "bye\n".to_owned()), true),
+                _ => (HttpResponse::not_found(), false),
+            })
+            .unwrap();
+        });
+        let (status, body) = http_get(&addr, "/ping").unwrap();
+        assert_eq!((status, body.as_str()), (200, "pong 1\n"));
+        let (status, _) = http_get(&addr, "/nope").unwrap();
+        assert_eq!(status, 404);
+        let (status, body) = http_get(&addr, "/quit").unwrap();
+        assert_eq!((status, body.as_str()), (200, "bye\n"));
+        server.join().unwrap();
+    }
+}

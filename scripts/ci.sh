@@ -25,6 +25,47 @@ grep -q '"telemetry"' BENCH_multicore.json
 grep -q 'sfi_shard_completed_total' BENCH_multicore.json
 grep -q '"traceEvents"' TRACE_multicore.json
 
+echo "== live serving: endpoint checks, stream==batch, observer effect, overhead =="
+cargo run -q --offline --release -p sfi-bench --bin faas_serve -- --check
+
+echo "== live serving: headless smoke (start, scrape, validate, clean shutdown) =="
+# Start the server on an ephemeral port with a capped driver, scrape every
+# endpoint with the binary's own std-only client (no curl: offline policy),
+# then shut it down via /quit and require a clean exit.
+SERVE_LOG=$(mktemp)
+cargo run -q --offline --release -p sfi-bench --bin faas_serve -- --port 0 --rounds 2 >"$SERVE_LOG" &
+SERVE_PID=$!
+# Never orphan the server: if any scrape below fails, set -e exits before
+# /quit — take the server (and the log) down with us.
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f "$SERVE_LOG"' EXIT
+ADDR=""
+for _ in $(seq 1 50); do
+  ADDR=$(sed -n 's|.*listening on http://\([0-9.:]*\).*|\1|p' "$SERVE_LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "faas_serve did not report its address"; kill "$SERVE_PID"; exit 1; }
+FAAS_SERVE=target/release/faas_serve
+"$FAAS_SERVE" --get "$ADDR" /metrics | grep -q 'sfi_serve_scrapes_total'
+"$FAAS_SERVE" --get "$ADDR" /snapshot | grep -q '"histograms"'
+"$FAAS_SERVE" --get "$ADDR" '/trace?since=0' | head -1 | grep -q '"next"'
+"$FAAS_SERVE" --get "$ADDR" /healthz | grep -q '"availability"'
+"$FAAS_SERVE" --get "$ADDR" /quit >/dev/null
+wait "$SERVE_PID"   # exit-code check: the serve loop must stop cleanly
+rm -f "$SERVE_LOG"
+trap - EXIT
+
+echo "== bench artifacts embed telemetry sections =="
+cargo run -q --offline --release -p sfi-bench --bin fig6_throughput >/dev/null
+cargo run -q --offline --release -p sfi-bench --bin fig7_ctx_dtlb >/dev/null
+cargo run -q --offline --release -p sfi-bench --bin sec641_transitions >/dev/null
+cargo run -q --offline --release -p sfi-bench --bin sec642_scaling >/dev/null
+for f in BENCH_fig6.json BENCH_fig7.json BENCH_sec641.json BENCH_sec642.json; do
+  grep -q '"telemetry"' "$f"
+done
+grep -q 'sfi_shard_request_latency_ns' BENCH_multicore.json
+grep -q 'sample_rate' BENCH_sec641.json
+
 echo "== clippy (deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,89 @@
+//! Deterministic sampling regression (DESIGN.md §8): the 1-in-N sampled
+//! counter must be a pure function of `(seed, series identity, rate)`, its
+//! rate must be declared in the exported labels, and the un-biased estimate
+//! `value × rate` must sit within the documented error bound (strictly less
+//! than one rate's worth of trials) for ANY trial sequence — checked with a
+//! small-N property test over random batch splits.
+
+use proptest::prelude::*;
+use segue_colorguard::telemetry::{prometheus_text, Registry};
+
+/// Same seed and rate → byte-identical exported series, run after run.
+#[test]
+fn same_seed_and_rate_reproduce_the_series_exactly() {
+    let run = || {
+        let mut r = Registry::new();
+        let id = r.sampled_counter("sfi_sampled_events_total", &[("kind", "dtlb")], 16, 0xC0FFEE);
+        for batch in [13u64, 1, 700, 0, 86, 4_000] {
+            r.sample_trials(id, batch);
+        }
+        prometheus_text(&r)
+    };
+    let a = run();
+    assert_eq!(a, run(), "sampling must be seed-deterministic");
+    // The rate is recorded in the series labels.
+    assert!(
+        a.contains("sfi_sampled_events_total{kind=\"dtlb\",sample_rate=\"16\"}"),
+        "rate label missing:\n{a}"
+    );
+}
+
+/// Different seeds may select different trials (the phase moves), but the
+/// estimate stays within the bound for every seed.
+#[test]
+fn phase_depends_on_seed_but_bound_holds_for_all() {
+    let trials = 10_000u64;
+    let rate = 64u64;
+    let mut values = std::collections::BTreeSet::new();
+    for seed in 0..32u64 {
+        let mut r = Registry::new();
+        let id = r.sampled_counter("sfi_s_total", &[], rate, seed);
+        r.sample_trials(id, trials);
+        let v = r.sampler_value(id);
+        assert!(
+            (v * rate).abs_diff(trials) < rate,
+            "seed {seed}: estimate {} vs {trials}",
+            v * rate
+        );
+        values.insert(v * rate);
+    }
+    // 10_000 = 156×64 + 16: phases 0..=15 select 157 trials, the rest 156,
+    // so both estimates must occur across 32 seeds.
+    assert!(values.len() > 1, "32 seeds all chose the same phase class");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// For ANY rate, seed and batch split, the sampled value is identical
+    /// to feeding the trials one at a time (batching is invisible) and the
+    /// documented error bound holds: |value × rate − trials| < rate.
+    #[test]
+    fn sampled_estimate_is_batch_invariant_and_bounded(
+        rate in 1u64..100,
+        seed in any::<u64>(),
+        batches in prop::collection::vec(0u64..2_000, 1..12),
+    ) {
+        let total: u64 = batches.iter().sum();
+
+        let mut batched = Registry::new();
+        let b = batched.sampled_counter("sfi_p_total", &[], rate, seed);
+        for &n in &batches {
+            batched.sample_trials(b, n);
+        }
+
+        let mut single = Registry::new();
+        let s = single.sampled_counter("sfi_p_total", &[], rate, seed);
+        for _ in 0..total {
+            single.sample_inc(s);
+        }
+
+        prop_assert_eq!(batched.sampler_value(b), single.sampler_value(s));
+        prop_assert_eq!(batched.sampler_trials(b), total);
+        let estimate = batched.sampler_value(b) * rate;
+        prop_assert!(
+            estimate.abs_diff(total) < rate,
+            "estimate {} for {} trials at rate {}", estimate, total, rate
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Live-serving integration: the `faas_serve` loop on a loopback ephemeral
+//! port (DESIGN.md §8).
+//!
+//! Starts the exact server the `faas_serve` binary runs —
+//! [`serve_blocking`] over a shared [`ServeEngine`] — drives engine rounds,
+//! and scrapes it over real TCP: `/metrics` twice (observer effect must be
+//! confined to the scrape-meta series), `/trace?since=<cursor>`
+//! incrementally (the drained stream must concatenate byte-identically to
+//! the post-mortem batch export), `/snapshot` (byte-equal to a server-off
+//! replay), `/healthz`, and `/quit` for clean shutdown.
+
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use segue_colorguard::faas::{serve_blocking, ServeConfig, ServeEngine};
+use segue_colorguard::telemetry::{chrome_trace_wrap, http_get, json_is_valid};
+
+const ROUNDS: u64 = 3;
+
+fn small_cfg() -> ServeConfig {
+    let mut cfg = ServeConfig::paper_rig(2);
+    cfg.engine.duration_ms = 20;
+    cfg.probe.duration_ms = 10;
+    cfg
+}
+
+#[test]
+fn loopback_scrapes_match_postmortem_exports() {
+    // Server-off reference: replay the same config and round count.
+    let mut offline = ServeEngine::new(small_cfg());
+    for _ in 0..ROUNDS {
+        offline.run_round();
+    }
+    let offline_snapshot = offline.snapshot_json();
+    let offline_trace = offline.trace_batch();
+
+    // Live server on an ephemeral loopback port.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let engine = Arc::new(Mutex::new(ServeEngine::new(small_cfg())));
+    let server = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            serve_blocking(&listener, &engine, Instant::now()).expect("serve loop")
+        })
+    };
+
+    // Drive rounds, draining /trace incrementally after each.
+    let mut cursor = 0u64;
+    let mut streamed: Vec<String> = Vec::new();
+    for _ in 0..ROUNDS {
+        engine.lock().unwrap().run_round();
+        let (status, body) = http_get(&addr, &format!("/trace?since={cursor}")).expect("trace");
+        assert_eq!(status, 200);
+        let mut lines = body.lines();
+        let head = lines.next().expect("metadata line");
+        assert!(head.contains("\"dropped\": 0"), "{head}");
+        cursor = head
+            .split("\"next\": ")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.parse().ok())
+            .expect("next cursor in metadata");
+        streamed.extend(lines.map(str::to_owned));
+    }
+
+    // Scrape /metrics twice: both succeed, modeled series identical, and
+    // only the scrape-meta counter differs between the two bodies.
+    let (s1, m1) = http_get(&addr, "/metrics").expect("first metrics scrape");
+    let (s2, m2) = http_get(&addr, "/metrics").expect("second metrics scrape");
+    assert_eq!((s1, s2), (200, 200));
+    assert!(m1.contains("sfi_shard_completed_total"));
+    assert!(m1.contains("sfi_shard_dtlb_events_total{sample_rate=\"64\"}"), "{m1}");
+    assert!(m1.contains("sfi_serve_scrapes_total{endpoint=\"metrics\"} 1"), "{m1}");
+    assert!(m2.contains("sfi_serve_scrapes_total{endpoint=\"metrics\"} 2"), "{m2}");
+    let modeled = |m: &str| -> String {
+        m.lines().filter(|l| !l.contains("sfi_serve_scrapes_total")).collect::<Vec<_>>().join("\n")
+    };
+    assert_eq!(modeled(&m1), modeled(&m2), "scraping must not move modeled series");
+
+    // The incremental drains re-wrap to the byte-identical batch export,
+    // which in turn equals the server-off replay.
+    let rewrapped = chrome_trace_wrap(&streamed);
+    assert_eq!(rewrapped, engine.lock().unwrap().trace_batch());
+    assert_eq!(rewrapped, offline_trace);
+
+    // /snapshot is modeled-only and byte-equal to the offline replay.
+    let (ss, snapshot) = http_get(&addr, "/snapshot").expect("snapshot");
+    assert_eq!(ss, 200);
+    assert!(json_is_valid(&snapshot));
+    assert_eq!(snapshot, offline_snapshot, "serving must have zero observer effect");
+    assert!(!snapshot.contains("sfi_serve_scrapes_total"), "meta must stay out of /snapshot");
+
+    // /healthz answers with availability; unknown paths 404; /quit stops.
+    let (hs, health) = http_get(&addr, "/healthz").expect("healthz");
+    assert_eq!(hs, 200);
+    assert!(json_is_valid(&health), "{health}");
+    assert!(health.contains("\"availability\""));
+    assert!(health.contains("\"quarantined_instances\""));
+    let (nf, _) = http_get(&addr, "/no-such-endpoint").expect("404 path");
+    assert_eq!(nf, 404);
+    let (qs, _) = http_get(&addr, "/quit").expect("quit");
+    assert_eq!(qs, 200);
+    server.join().expect("server thread exits after /quit");
+}
