@@ -31,7 +31,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use sfi_faas::{serve_blocking, ServeConfig, ServeEngine};
-use sfi_telemetry::{chrome_trace_wrap, http_get, json_is_valid};
+use sfi_telemetry::{chrome_trace_wrap, http_get, http_get_retry, json_is_valid, RetryPolicy};
 
 /// Documented scrape-under-load budget (DESIGN.md §8): driving the engine
 /// with a scraper attached may cost at most this factor over driving it
@@ -55,7 +55,12 @@ fn main() {
     if let Some(i) = args.iter().position(|a| a == "--get") {
         let addr = args.get(i + 1).expect("--get ADDR PATH");
         let path = args.get(i + 2).expect("--get ADDR PATH");
-        let (status, body) = http_get(addr, path).expect("request failed");
+        // Bounded deterministic retries: a refused connection or timeout is
+        // retried with backoff, and the exit is nonzero only once the
+        // budget is exhausted — a server still binding its port no longer
+        // fails the CI smoke scrape.
+        let (status, body, _attempts) =
+            http_get_retry(addr, path, &RetryPolicy::default()).expect("request failed");
         // Rust ignores SIGPIPE, so a downstream `| head` surfaces as EPIPE
         // on the write — the exit code must still reflect the HTTP status.
         use std::io::Write;

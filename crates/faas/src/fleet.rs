@@ -1,0 +1,956 @@
+//! The fleet supervisor: N serving engines behind one federated scrape
+//! surface, with engine-level fault budgets and deterministic
+//! crash-recovery.
+//!
+//! The paper's scalability story (§6.4.2) is about *density* — thousands of
+//! sandboxed instances per host — and density multiplies the failure
+//! surface: a single wedged engine must not take the whole telemetry plane
+//! down. This module escalates PR 1's slot-level quarantine machinery to
+//! the engine level:
+//!
+//! - A [`FleetSupervisor`] owns N [`ServeEngine`] members (each with its
+//!   own seed and shard set) and drives them in lock-step rounds. After
+//!   each member's round, an in-process **aggregator poll** scrapes the
+//!   member's `/healthz` and `/metrics` renderings under a bounded
+//!   deterministic [`RetryPolicy`] — backoff and timeouts are charged to a
+//!   [`VirtualClock`], so a recovery trace is byte-reproducible.
+//! - Engine-grade chaos rides the same seeded [`FaultPlan`]s as PR 1's
+//!   syscall/bus faults: [`EngineFault::HangOnAccept`] burns the poll's
+//!   retry budget, [`EngineFault::TornResponse`] truncates the scrape body
+//!   mid-JSON, and [`EngineFault::MidRoundPanic`] panics the member's
+//!   driver for real (caught with `catch_unwind`; the torn engine is
+//!   discarded).
+//! - Fault budgets reuse [`QuarantinePolicy`] from `sfi-pool`: a member
+//!   that accumulates [`QuarantinePolicy::max_faults`] faulted rounds is
+//!   **retired** — its queued work is dead-lettered and it answers no more
+//!   polls. Below the budget, a crashed member is **recovered by replay**:
+//!   a fresh engine re-runs `(seed, completed_rounds)` from the checkpoint,
+//!   which — because every [`ServeEngine`] is a pure function of its config
+//!   and round count — reproduces the pre-crash modeled state *byte for
+//!   byte*, then re-runs the interrupted round.
+//! - The federated scrape surface merges member registries with
+//!   [`Registry::merge_labeled_from`] under an `engine="<id>"` label, so
+//!   same-schema members cannot collide while genuine kind collisions still
+//!   panic. `/snapshot` serves the merged modeled registry only; all
+//!   supervision bookkeeping (poll attempts, faults, restarts, retirements)
+//!   lives in a separate fleet meta registry (`/metrics` only) — chaos on
+//!   vs off therefore differs *only* in the injected-fault series, the
+//!   fleet-level restatement of the DESIGN.md §8 zero-observer-effect
+//!   contract.
+
+use std::net::TcpListener;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use sfi_pool::QuarantinePolicy;
+use sfi_telemetry::{
+    chrome_trace, chrome_trace_gap_line, chrome_trace_lines, json_is_valid, json_snapshot,
+    prometheus_text, retry_with, CounterId, FlightRecorder, GaugeId, HttpRequest, HttpResponse,
+    Registry, Retention, RetryPolicy, TraceEvent, TraceKind, VirtualClock,
+};
+use sfi_vm::{EngineFault, FaultPlan};
+
+use crate::serve::{ServeConfig, ServeEngine, NS_PER_TICK};
+
+/// Modeled round-trip of one successful in-process aggregator poll, in
+/// virtual ns (a loopback scrape, not a WAN hop).
+const POLL_RTT_NS: u64 = 50_000;
+
+/// Modeled virtual-ns cost of a poll attempt that hangs until the
+/// aggregator's timeout fires.
+const POLL_TIMEOUT_NS: u64 = 2_000_000;
+
+/// Configuration for a supervised fleet.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// One serving config per member. Seeds should differ per member
+    /// ([`FleetConfig::paper_rig`] decorrelates them for you).
+    pub members: Vec<ServeConfig>,
+    /// Engine-level fault budget: `max_faults` faulted rounds retire a
+    /// member for good (shared with the slot-level pool policy — same
+    /// escalation ladder, one level up).
+    pub policy: QuarantinePolicy,
+    /// Engine-grade chaos plan (explicit kills and/or seeded rates). An
+    /// empty plan never fires.
+    pub chaos: FaultPlan,
+    /// Aggregator poll schedule: bounded attempts with exponential
+    /// backoff, charged to the virtual clock.
+    pub retry: RetryPolicy,
+    /// Capacity of the fleet's supervision trace ring (fault events are
+    /// pinned past it: [`Retention::PinFaults`]).
+    pub stream_capacity: usize,
+}
+
+impl FleetConfig {
+    /// A fleet of `members` engines, each a [`ServeConfig::paper_rig`] with
+    /// `cores` cores and a member-decorrelated seed.
+    pub fn paper_rig(members: u32, cores: u32) -> FleetConfig {
+        let members = (0..members)
+            .map(|m| {
+                let mut cfg = ServeConfig::paper_rig(cores);
+                // Same splitmix-style mix the round seeds use: members are
+                // decorrelated but the fleet stays a pure function of the
+                // per-member base seeds.
+                cfg.engine.seed = crate::serve::round_seed(cfg.engine.seed, 0x4_0000 + m as u64);
+                cfg.probe.seed = crate::serve::round_seed(cfg.probe.seed, 0x8_0000 + m as u64);
+                cfg
+            })
+            .collect();
+        FleetConfig {
+            members,
+            policy: QuarantinePolicy::default(),
+            chaos: FaultPlan::new(),
+            retry: RetryPolicy::default(),
+            stream_capacity: 4096,
+        }
+    }
+}
+
+/// A member's lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberState {
+    /// Serving rounds and answering polls.
+    Live,
+    /// Fault budget exhausted: frozen at its last checkpoint, queued work
+    /// dead-lettered, answers no more polls.
+    Retired,
+}
+
+impl MemberState {
+    /// Stable lowercase name for JSON and telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemberState::Live => "live",
+            MemberState::Retired => "retired",
+        }
+    }
+}
+
+/// A point-in-time view of one member (the `/fleet` endpoint's unit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberStatus {
+    /// Member id (index into [`FleetConfig::members`]).
+    pub id: u64,
+    /// Lifecycle state.
+    pub state: MemberState,
+    /// Rounds the member's engine has completed.
+    pub rounds: u64,
+    /// Faulted rounds so far (any injected kind; at most one per round).
+    pub faults: u32,
+    /// Crash-recoveries by checkpoint replay.
+    pub restarts: u64,
+    /// Rounds completed as of the last checkpoint.
+    pub checkpoint_rounds: u64,
+    /// Rounds of queued work dead-lettered (the interrupted round at
+    /// retirement plus one per round spent retired).
+    pub dead_lettered_rounds: u64,
+}
+
+/// One supervised member.
+#[derive(Debug)]
+struct Member {
+    id: u64,
+    cfg: ServeConfig,
+    engine: ServeEngine,
+    state: MemberState,
+    faults: u32,
+    restarts: u64,
+    checkpoint_rounds: u64,
+    dead_lettered_rounds: u64,
+}
+
+impl Member {
+    /// An uninterrupted replay of this member's config for `rounds`
+    /// rounds — the crash-recovery primitive *and* the byte-equality
+    /// reference the `--check` gate diffs against.
+    fn replay(cfg: &ServeConfig, rounds: u64) -> ServeEngine {
+        let mut eng = ServeEngine::new(cfg.clone());
+        for _ in 0..rounds {
+            eng.run_round();
+        }
+        eng
+    }
+
+    fn status(&self) -> MemberStatus {
+        MemberStatus {
+            id: self.id,
+            state: self.state,
+            rounds: self.engine.rounds(),
+            faults: self.faults,
+            restarts: self.restarts,
+            checkpoint_rounds: self.checkpoint_rounds,
+            dead_lettered_rounds: self.dead_lettered_rounds,
+        }
+    }
+}
+
+/// Fleet meta-registry counter ids (supervision bookkeeping; `/metrics`
+/// only, never `/snapshot`).
+#[derive(Debug)]
+struct FleetMeta {
+    rounds: CounterId,
+    polls: CounterId,
+    poll_failures: CounterId,
+    poll_attempts: CounterId,
+    faults_by_kind: [CounterId; 3],
+    restarts: CounterId,
+    retirements: CounterId,
+    dead_lettered: CounterId,
+    members_live: GaugeId,
+    scrapes: [CounterId; 5],
+}
+
+impl FleetMeta {
+    fn register(reg: &mut Registry) -> FleetMeta {
+        FleetMeta {
+            rounds: reg.counter("sfi_fleet_rounds_total"),
+            polls: reg.counter("sfi_fleet_polls_total"),
+            poll_failures: reg.counter("sfi_fleet_poll_failures_total"),
+            poll_attempts: reg.counter("sfi_fleet_poll_attempts_total"),
+            faults_by_kind: [
+                EngineFault::HangOnAccept,
+                EngineFault::TornResponse,
+                EngineFault::MidRoundPanic,
+            ]
+            .map(|f| reg.counter_with("sfi_fleet_member_faults_total", &[("kind", f.name())])),
+            restarts: reg.counter("sfi_fleet_restarts_total"),
+            retirements: reg.counter("sfi_fleet_retirements_total"),
+            dead_lettered: reg.counter("sfi_fleet_dead_lettered_rounds_total"),
+            members_live: reg.gauge("sfi_fleet_members_live"),
+            scrapes: ["metrics", "snapshot", "trace", "healthz", "fleet"]
+                .map(|ep| reg.counter_with("sfi_fleet_scrapes_total", &[("endpoint", ep)])),
+        }
+    }
+}
+
+/// The supervised fleet: members, their lifecycle, the aggregator, and the
+/// federated scrape surface. Drive it with [`FleetSupervisor::run_round`];
+/// scrape it through the endpoint renderers.
+#[derive(Debug)]
+pub struct FleetSupervisor {
+    policy: QuarantinePolicy,
+    retry: RetryPolicy,
+    chaos: FaultPlan,
+    members: Vec<Member>,
+    /// Virtual time: round durations, poll RTTs, timeouts and backoff all
+    /// advance this clock, so the supervision trace is byte-reproducible.
+    clock: VirtualClock,
+    /// The supervision trace: member lifecycle + poll outcomes, fault
+    /// events pinned.
+    stream: FlightRecorder,
+    /// Supervision bookkeeping (merged into `/metrics` only).
+    reg: Registry,
+    meta: FleetMeta,
+    rounds: u64,
+    polls: u64,
+    failed_polls: u64,
+}
+
+impl FleetSupervisor {
+    /// A fresh fleet; no rounds run yet, all members live.
+    pub fn new(cfg: FleetConfig) -> FleetSupervisor {
+        let mut reg = Registry::new();
+        let meta = FleetMeta::register(&mut reg);
+        let mut clock = VirtualClock::new();
+        let mut stream = FlightRecorder::with_retention(cfg.stream_capacity, Retention::PinFaults);
+        let members: Vec<Member> = cfg
+            .members
+            .into_iter()
+            .enumerate()
+            .map(|(i, mcfg)| Member {
+                id: i as u64,
+                engine: ServeEngine::new(mcfg.clone()),
+                cfg: mcfg,
+                state: MemberState::Live,
+                faults: 0,
+                restarts: 0,
+                checkpoint_rounds: 0,
+                dead_lettered_rounds: 0,
+            })
+            .collect();
+        for m in &members {
+            stream.record(TraceEvent {
+                tick: clock.now(),
+                core: m.id as u32,
+                sandbox: m.id,
+                kind: TraceKind::Spawn,
+                arg: 0,
+            });
+            clock.advance(1);
+        }
+        reg.set(meta.members_live, members.len() as i64);
+        FleetSupervisor {
+            policy: cfg.policy,
+            retry: cfg.retry,
+            chaos: cfg.chaos,
+            members,
+            clock,
+            stream,
+            reg,
+            meta,
+            rounds: 0,
+            polls: 0,
+            failed_polls: 0,
+        }
+    }
+
+    /// Drives one fleet round: every live member runs an engine round
+    /// (under chaos, with crash-recovery), then the aggregator polls it
+    /// under the retry budget. Retired members contribute a dead-lettered
+    /// round and a failed poll.
+    pub fn run_round(&mut self) {
+        let r = self.rounds;
+        for idx in 0..self.members.len() {
+            if self.members[idx].state == MemberState::Retired {
+                self.members[idx].dead_lettered_rounds += 1;
+                self.reg.inc(self.meta.dead_lettered);
+                self.polls += 1;
+                self.failed_polls += 1;
+                self.reg.inc(self.meta.polls);
+                self.reg.inc(self.meta.poll_failures);
+                continue;
+            }
+            // The round's attempt-0 chaos draw decides the member's fate:
+            // a mid-round panic strikes the driver; a hang or torn response
+            // strikes the first poll attempt instead.
+            let fault0 = self.chaos.engine_fires(self.members[idx].id, r, 0);
+            let duration_ns = self.members[idx].cfg.engine.duration_ms * 1_000_000;
+            if fault0 == Some(EngineFault::MidRoundPanic) {
+                self.crash_and_recover(idx, r);
+            } else {
+                self.members[idx].engine.run_round();
+                self.members[idx].checkpoint_rounds = self.members[idx].engine.rounds();
+            }
+            self.clock.advance(duration_ns);
+            if let Some(f) = fault0 {
+                self.note_fault(idx, f);
+            }
+            // Budget check before the poll: a round whose fault exhausted
+            // the budget is dead-lettered — its work is lost, so it counts
+            // as a failed poll, not a served one.
+            if self.members[idx].faults >= self.policy.max_faults {
+                self.retire(idx);
+                self.members[idx].dead_lettered_rounds += 1;
+                self.reg.inc(self.meta.dead_lettered);
+                self.polls += 1;
+                self.failed_polls += 1;
+                self.reg.inc(self.meta.polls);
+                self.reg.inc(self.meta.poll_failures);
+            } else {
+                self.poll_member(idx, r, fault0);
+            }
+        }
+        self.rounds += 1;
+        self.reg.inc(self.meta.rounds);
+    }
+
+    /// Runs member `idx`'s round with a real injected panic, catches the
+    /// unwind, discards the torn engine, and — if the fault budget allows —
+    /// recovers by replaying the checkpoint and re-running the interrupted
+    /// round. Decrementing nothing and renumbering nothing: the recovered
+    /// engine's modeled state is byte-equal to an uninterrupted run.
+    fn crash_and_recover(&mut self, idx: usize, round: u64) {
+        let m = &mut self.members[idx];
+        let crashed = catch_unwind(AssertUnwindSafe(|| {
+            m.engine.run_round();
+            // The panic lands after the round mutated the engine but
+            // *before* the supervisor advanced the checkpoint: the engine
+            // is ahead of its checkpoint and cannot be trusted.
+            panic!("chaos: injected mid-round panic (member {}, round {round})", m.id);
+        }));
+        assert!(crashed.is_err(), "injected panic must unwind");
+        let checkpoint = m.checkpoint_rounds;
+        let will_retire = m.faults + 1 >= self.policy.max_faults;
+        // Replay to the checkpoint in both cases; only a surviving member
+        // re-runs the interrupted round (a retiree's round is dead-lettered
+        // by the caller's budget check).
+        let mut fresh = Member::replay(&m.cfg, checkpoint);
+        if !will_retire {
+            fresh.run_round();
+            m.checkpoint_rounds = fresh.rounds();
+            m.restarts += 1;
+        }
+        m.engine = fresh;
+        if !will_retire {
+            self.reg.inc(self.meta.restarts);
+            self.stream.record(TraceEvent {
+                tick: self.clock.now(),
+                core: idx as u32,
+                sandbox: idx as u64,
+                kind: TraceKind::Spawn,
+                arg: 1,
+            });
+        }
+    }
+
+    /// Records an injected fault against member `idx` (telemetry + trace;
+    /// the budget itself is checked by the round driver).
+    fn note_fault(&mut self, idx: usize, fault: EngineFault) {
+        self.members[idx].faults += 1;
+        let kind_idx = EngineFault::ALL.iter().position(|f| *f == fault).expect("known kind");
+        self.reg.inc(self.meta.faults_by_kind[kind_idx]);
+        self.stream.record(TraceEvent {
+            tick: self.clock.now(),
+            core: idx as u32,
+            sandbox: idx as u64,
+            kind: TraceKind::Trap,
+            arg: kind_idx as u64,
+        });
+    }
+
+    /// Retires member `idx`: frozen at its checkpoint, no more rounds or
+    /// polls. The engine is already clean (crash recovery replays before
+    /// the budget check), so the frozen registry stays scrapeable.
+    fn retire(&mut self, idx: usize) {
+        self.members[idx].state = MemberState::Retired;
+        self.reg.inc(self.meta.retirements);
+        let live = self.members.iter().filter(|m| m.state == MemberState::Live).count();
+        self.reg.set(self.meta.members_live, live as i64);
+        self.stream.record(TraceEvent {
+            tick: self.clock.now(),
+            core: idx as u32,
+            sandbox: idx as u64,
+            kind: TraceKind::Recycle,
+            arg: 1,
+        });
+    }
+
+    /// The aggregator's poll of member `idx` after round `round`: scrapes
+    /// the member's `/healthz` and `/metrics` renderings in-process, under
+    /// the retry budget. `fault0` is the round's attempt-0 draw (already
+    /// taken by the driver); retries draw fresh from the seeded stream.
+    fn poll_member(&mut self, idx: usize, round: u64, fault0: Option<EngineFault>) {
+        self.polls += 1;
+        self.reg.inc(self.meta.polls);
+        let member_id = self.members[idx].id;
+        // Mid-round panics were handled by the driver; what reaches the
+        // poll from attempt 0 is the scrape-phase kinds only.
+        let poll_fault0 = fault0
+            .filter(|f| matches!(f, EngineFault::HangOnAccept | EngineFault::TornResponse));
+        let engine = &self.members[idx].engine;
+        let chaos = &mut self.chaos;
+        // Both retry closures (backoff and attempt) charge the virtual
+        // clock; share it through a RefCell — single-threaded, no borrow
+        // overlaps at runtime.
+        let clock = std::cell::RefCell::new(&mut self.clock);
+        let stream = &mut self.stream;
+        let outcome = retry_with(
+            &self.retry,
+            |backoff_ms| clock.borrow_mut().advance(backoff_ms * 1_000_000),
+            |attempt| {
+                let mut clock = clock.borrow_mut();
+                stream.record(TraceEvent {
+                    tick: clock.now(),
+                    core: idx as u32,
+                    sandbox: member_id,
+                    kind: TraceKind::Enter,
+                    arg: attempt as u64,
+                });
+                let fault = if attempt == 0 {
+                    poll_fault0
+                } else {
+                    chaos.engine_fires(member_id, round, attempt)
+                };
+                match fault {
+                    None => {
+                        clock.advance(POLL_RTT_NS);
+                        let health = engine.healthz_body(0.0);
+                        let metrics = engine.metrics_text();
+                        if json_is_valid(&health) && !metrics.is_empty() {
+                            Ok(())
+                        } else {
+                            Err(EngineFault::TornResponse)
+                        }
+                    }
+                    Some(EngineFault::TornResponse) => {
+                        // The member answers, but the connection is cut
+                        // mid-body: half a JSON document fails validation.
+                        clock.advance(POLL_RTT_NS);
+                        let health = engine.healthz_body(0.0);
+                        let torn = &health[..health.len() / 2];
+                        assert!(!json_is_valid(torn), "torn body must not validate");
+                        Err(EngineFault::TornResponse)
+                    }
+                    Some(f) => {
+                        // Hang on accept (or a member that died mid-poll):
+                        // nothing arrives until the aggregator's timeout.
+                        clock.advance(POLL_TIMEOUT_NS);
+                        Err(f)
+                    }
+                }
+            },
+        );
+        match outcome {
+            Ok(((), attempts)) => {
+                self.reg.add(self.meta.poll_attempts, attempts as u64);
+                self.stream.record(TraceEvent {
+                    tick: self.clock.now(),
+                    core: idx as u32,
+                    sandbox: member_id,
+                    kind: TraceKind::Exit,
+                    arg: attempts as u64,
+                });
+                // A poll that needed retries recovered within budget: the
+                // member is back — the quarantine ladder's "rehabilitated"
+                // rung, one level up.
+                if attempts > 1 {
+                    self.stream.record(TraceEvent {
+                        tick: self.clock.now(),
+                        core: idx as u32,
+                        sandbox: member_id,
+                        kind: TraceKind::Recycle,
+                        arg: 0,
+                    });
+                }
+            }
+            Err(_) => {
+                self.reg.add(self.meta.poll_attempts, self.retry.max_attempts.max(1) as u64);
+                self.failed_polls += 1;
+                self.reg.inc(self.meta.poll_failures);
+            }
+        }
+    }
+
+    /// Fleet rounds completed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The virtual clock (modeled supervision time).
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The supervision trace stream.
+    pub fn stream(&self) -> &FlightRecorder {
+        &self.stream
+    }
+
+    /// Fleet availability: the fraction of member-rounds whose poll
+    /// succeeded (after recovery and retries). A retired member fails every
+    /// subsequent round, so mass retirement drives this to the 0.0 floor —
+    /// never below it, and never NaN (1.0 before any poll).
+    pub fn availability(&self) -> f64 {
+        if self.polls == 0 {
+            1.0
+        } else {
+            1.0 - self.failed_polls as f64 / self.polls as f64
+        }
+    }
+
+    /// Point-in-time member statuses, id order.
+    pub fn members(&self) -> Vec<MemberStatus> {
+        self.members.iter().map(Member::status).collect()
+    }
+
+    /// Live members.
+    pub fn members_live(&self) -> usize {
+        self.members.iter().filter(|m| m.state == MemberState::Live).count()
+    }
+
+    /// One member's modeled snapshot (the byte-equality unit the `--check`
+    /// gate diffs against an uninterrupted replay).
+    pub fn member_snapshot(&self, id: u64) -> Option<String> {
+        self.members.get(id as usize).map(|m| m.engine.snapshot_json())
+    }
+
+    /// One member's config and completed rounds — the checkpoint an
+    /// external verifier replays.
+    pub fn member_checkpoint(&self, id: u64) -> Option<(ServeConfig, u64)> {
+        self.members.get(id as usize).map(|m| (m.cfg.clone(), m.engine.rounds()))
+    }
+
+    /// The federated modeled registry: every member's cumulative registry
+    /// merged under its `engine="<id>"` label. Built fresh per call —
+    /// members keep owning their registries, so a retired member's frozen
+    /// series stay visible.
+    pub fn merged_registry(&self) -> Registry {
+        let mut merged = Registry::new();
+        for m in &self.members {
+            merged.merge_labeled_from(m.engine.registry(), "engine", &m.id.to_string());
+        }
+        merged
+    }
+
+    /// `/metrics`: Prometheus text of the federated modeled registry plus
+    /// the fleet meta registry.
+    pub fn metrics_text(&self) -> String {
+        let mut merged = self.merged_registry();
+        merged.merge_from(&self.reg);
+        prometheus_text(&merged)
+    }
+
+    /// `/snapshot`: the federated modeled registry as JSON — equal to the
+    /// label-disambiguated sum of the member snapshots, and (chaos or not)
+    /// to a fault-free fleet of the same configs and round counts.
+    pub fn snapshot_json(&self) -> String {
+        json_snapshot(&self.merged_registry())
+    }
+
+    /// `/fleet`: per-member liveness, restart count and quarantine state.
+    pub fn fleet_json(&self) -> String {
+        let mut body = format!(
+            "{{\"rounds\": {}, \"availability\": {:.6}, \"members_live\": {}, \"members\": [",
+            self.rounds,
+            self.availability(),
+            self.members_live(),
+        );
+        for (i, m) in self.members.iter().enumerate() {
+            if i > 0 {
+                body.push_str(", ");
+            }
+            let s = m.status();
+            body.push_str(&format!(
+                "{{\"id\": {}, \"state\": \"{}\", \"rounds\": {}, \"faults\": {}, \
+                 \"restarts\": {}, \"checkpoint_rounds\": {}, \"dead_lettered_rounds\": {}}}",
+                s.id,
+                s.state.name(),
+                s.rounds,
+                s.faults,
+                s.restarts,
+                s.checkpoint_rounds,
+                s.dead_lettered_rounds,
+            ));
+        }
+        body.push_str("]}\n");
+        body
+    }
+
+    /// `/trace?since=<cursor>`: the supervision stream, same wire shape as
+    /// the per-engine endpoint (metadata line + chrome-trace lines, gap
+    /// marker when events were lost).
+    pub fn trace_body(&self, since: u64) -> String {
+        let d = self.stream.events_since(since);
+        let mut lines = Vec::with_capacity(d.events.len() + 1);
+        if d.dropped > 0 {
+            let next_tick = d.events.first().map_or(0, |e| e.tick);
+            lines.push(chrome_trace_gap_line(d.dropped, next_tick, NS_PER_TICK));
+        }
+        lines.extend(chrome_trace_lines(&d.events, NS_PER_TICK));
+        let mut body = format!(
+            "{{\"next\": {}, \"dropped\": {}, \"lines\": {}}}\n",
+            d.next,
+            d.dropped,
+            lines.len()
+        );
+        for l in &lines {
+            body.push_str(l);
+            body.push('\n');
+        }
+        body
+    }
+
+    /// The post-mortem batch export of the supervision stream.
+    pub fn trace_batch(&self) -> String {
+        chrome_trace(&self.stream.events(), NS_PER_TICK)
+    }
+
+    /// `/healthz`: fleet availability and liveness. `uptime_seconds` is the
+    /// one wall-clock field, as in the per-engine contract.
+    pub fn healthz_body(&self, uptime_seconds: f64) -> String {
+        let availability = self.availability();
+        let live = self.members_live();
+        let status = if live == 0 {
+            "down"
+        } else if availability >= 0.9 && live == self.members.len() {
+            "ok"
+        } else {
+            "degraded"
+        };
+        format!(
+            "{{\"status\": \"{}\", \"rounds\": {}, \"availability\": {:.6}, \
+             \"members_live\": {}, \"members_total\": {}, \"uptime_seconds\": {:.3}}}\n",
+            status,
+            self.rounds,
+            availability,
+            live,
+            self.members.len(),
+            uptime_seconds
+        )
+    }
+
+    /// Dispatches one request against the federated surface. GET only;
+    /// `/quit` answers then stops the accept loop.
+    pub fn route(&mut self, req: &HttpRequest, uptime_seconds: f64) -> (HttpResponse, bool) {
+        if req.method != "GET" {
+            return (HttpResponse::method_not_allowed(), false);
+        }
+        match req.path.as_str() {
+            "/metrics" => {
+                self.reg.inc(self.meta.scrapes[0]);
+                (HttpResponse::prometheus(self.metrics_text()), false)
+            }
+            "/snapshot" => {
+                self.reg.inc(self.meta.scrapes[1]);
+                (HttpResponse::json(self.snapshot_json()), false)
+            }
+            "/trace" => {
+                self.reg.inc(self.meta.scrapes[2]);
+                let since = req.query_u64("since").unwrap_or(0);
+                (HttpResponse::json(self.trace_body(since)), false)
+            }
+            "/healthz" => {
+                self.reg.inc(self.meta.scrapes[3]);
+                if self.members_live() == 0 {
+                    return (HttpResponse::service_unavailable("no live members"), false);
+                }
+                (HttpResponse::json(self.healthz_body(uptime_seconds)), false)
+            }
+            "/fleet" => {
+                self.reg.inc(self.meta.scrapes[4]);
+                (HttpResponse::json(self.fleet_json()), false)
+            }
+            "/quit" => (HttpResponse::ok("text/plain", "bye\n".to_owned()), true),
+            _ => (HttpResponse::not_found(), false),
+        }
+    }
+}
+
+/// Runs the blocking accept loop for a shared fleet: each request locks the
+/// supervisor, routes, answers. Returns when `/quit` is served. A poisoned
+/// lock (a driver thread that panicked mid-round) is recovered, not
+/// propagated — the scrape surface must outlive member crashes.
+pub fn fleet_serve_blocking(
+    listener: &TcpListener,
+    fleet: &Mutex<FleetSupervisor>,
+    started: Instant,
+) -> std::io::Result<()> {
+    sfi_telemetry::serve(listener, |req| {
+        let mut sup = fleet.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        sup.route(req, started.elapsed().as_secs_f64())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_fleet(n: u32) -> FleetConfig {
+        let mut cfg = FleetConfig::paper_rig(n, 2);
+        for m in &mut cfg.members {
+            m.engine.duration_ms = 10;
+            m.probe.duration_ms = 5;
+        }
+        cfg
+    }
+
+    fn silenced<T>(f: impl FnOnce() -> T) -> T {
+        // Injected panics are caught, but the default hook still prints
+        // them; suppress exactly those and keep everything else (genuine
+        // assertion failures must stay visible). The hook is process-global
+        // — fine for this crate's tests, the only injectors.
+        std::panic::set_hook(Box::new(|info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .unwrap_or_default();
+            if !msg.starts_with("chaos: injected") {
+                eprintln!("{info}");
+            }
+        }));
+        let out = f();
+        let _ = std::panic::take_hook(); // restore the default hook
+        out
+    }
+
+    #[test]
+    fn fault_free_fleet_matches_independent_replays() {
+        let mut fleet = FleetSupervisor::new(small_fleet(3));
+        for _ in 0..3 {
+            fleet.run_round();
+        }
+        assert_eq!(fleet.availability(), 1.0);
+        assert_eq!(fleet.members_live(), 3);
+        // Each member equals an uninterrupted replay of its checkpoint.
+        for id in 0..3u64 {
+            let (cfg, rounds) = fleet.member_checkpoint(id).unwrap();
+            assert_eq!(rounds, 3);
+            let replay = Member::replay(&cfg, rounds);
+            assert_eq!(
+                fleet.member_snapshot(id).unwrap(),
+                replay.snapshot_json(),
+                "member {id} diverged from its replay"
+            );
+        }
+        // The fleet snapshot equals the label-disambiguated sum.
+        let mut manual = Registry::new();
+        for id in 0..3u64 {
+            let (cfg, rounds) = fleet.member_checkpoint(id).unwrap();
+            let replay = Member::replay(&cfg, rounds);
+            manual.merge_labeled_from(replay.registry(), "engine", &id.to_string());
+        }
+        assert_eq!(fleet.snapshot_json(), json_snapshot(&manual));
+        assert!(fleet.snapshot_json().contains("engine=\\\"2\\\""), "engine labels present");
+    }
+
+    #[test]
+    fn mid_round_panic_recovers_byte_equal_by_checkpoint_replay() {
+        silenced(|| {
+            let mut cfg = small_fleet(2);
+            cfg.chaos = FaultPlan::new().engine_fail_at(1, 1, EngineFault::MidRoundPanic);
+            let mut fleet = FleetSupervisor::new(cfg);
+            for _ in 0..3 {
+                fleet.run_round();
+            }
+            let status = fleet.members();
+            assert_eq!(status[1].restarts, 1, "member 1 crashed and recovered");
+            assert_eq!(status[1].faults, 1);
+            assert_eq!(status[1].state, MemberState::Live);
+            assert_eq!(status[1].rounds, 3, "interrupted round re-ran");
+            assert_eq!(status[0].restarts, 0);
+            // Recovered state is byte-equal to an uninterrupted run.
+            let (mcfg, rounds) = fleet.member_checkpoint(1).unwrap();
+            assert_eq!(
+                fleet.member_snapshot(1).unwrap(),
+                Member::replay(&mcfg, rounds).snapshot_json()
+            );
+            // The poll after recovery succeeded: availability stays 1.0
+            // (the work was replayed, not lost).
+            assert_eq!(fleet.availability(), 1.0);
+            // The fault is on the supervision ledger.
+            let metrics = fleet.metrics_text();
+            assert!(
+                metrics
+                    .contains("sfi_fleet_member_faults_total{kind=\"mid_round_panic\"} 1"),
+                "{metrics}"
+            );
+            assert!(metrics.contains("sfi_fleet_restarts_total 1"), "{metrics}");
+        });
+    }
+
+    #[test]
+    fn chaos_changes_only_the_injected_fault_series() {
+        silenced(|| {
+            let quiet = {
+                let mut fleet = FleetSupervisor::new(small_fleet(2));
+                for _ in 0..3 {
+                    fleet.run_round();
+                }
+                fleet.snapshot_json()
+            };
+            let mut cfg = small_fleet(2);
+            cfg.chaos = FaultPlan::new()
+                .engine_fail_at(0, 0, EngineFault::MidRoundPanic)
+                .engine_fail_at(1, 1, EngineFault::HangOnAccept)
+                .engine_fail_at(1, 2, EngineFault::TornResponse);
+            let mut fleet = FleetSupervisor::new(cfg);
+            for _ in 0..3 {
+                fleet.run_round();
+            }
+            // Modeled state is chaos-invariant (recovery is byte-exact).
+            assert_eq!(fleet.snapshot_json(), quiet, "chaos leaked into modeled series");
+            // The injected-fault series differ — that, and only that, is
+            // the visible difference.
+            let metrics = fleet.metrics_text();
+            for kind in ["mid_round_panic", "hang_on_accept", "torn_response"] {
+                assert!(
+                    metrics.contains(&format!(
+                        "sfi_fleet_member_faults_total{{kind=\"{kind}\"}} 1"
+                    )),
+                    "{kind} missing from {metrics}"
+                );
+            }
+            assert_eq!(fleet.availability(), 1.0, "all faults recovered within budget");
+        });
+    }
+
+    #[test]
+    fn budget_exhaustion_retires_and_dead_letters() {
+        silenced(|| {
+            let mut cfg = small_fleet(2);
+            cfg.policy = QuarantinePolicy { ring_capacity: 2, max_faults: 2 };
+            cfg.chaos = FaultPlan::new()
+                .engine_fail_at(0, 0, EngineFault::MidRoundPanic)
+                .engine_fail_at(0, 1, EngineFault::MidRoundPanic);
+            let mut fleet = FleetSupervisor::new(cfg);
+            for _ in 0..4 {
+                fleet.run_round();
+            }
+            let status = fleet.members();
+            assert_eq!(status[0].state, MemberState::Retired);
+            assert_eq!(status[0].faults, 2);
+            assert_eq!(status[0].restarts, 1, "first crash recovered, second retired");
+            // Frozen at the checkpoint before the fatal round; later rounds
+            // dead-lettered (the fatal round + rounds 2 and 3).
+            assert_eq!(status[0].rounds, 1);
+            assert_eq!(status[0].dead_lettered_rounds, 3);
+            assert_eq!(fleet.members_live(), 1);
+            // The frozen member still equals its replay (scrapeable corpse).
+            let (mcfg, rounds) = fleet.member_checkpoint(0).unwrap();
+            assert_eq!(
+                fleet.member_snapshot(0).unwrap(),
+                Member::replay(&mcfg, rounds).snapshot_json()
+            );
+            // Availability: member 0 failed rounds 1..4 (3 of 8 polls).
+            assert!((fleet.availability() - 0.625).abs() < 1e-9, "{}", fleet.availability());
+            let metrics = fleet.metrics_text();
+            assert!(metrics.contains("sfi_fleet_retirements_total 1"), "{metrics}");
+            assert!(metrics.contains("sfi_fleet_members_live 1"), "{metrics}");
+            // /healthz degrades but stays valid JSON.
+            let health = fleet.healthz_body(0.5);
+            assert!(json_is_valid(&health), "{health}");
+            assert!(health.contains("\"status\": \"degraded\""), "{health}");
+        });
+    }
+
+    #[test]
+    fn scrape_faults_burn_retries_not_availability() {
+        let mut cfg = small_fleet(1);
+        cfg.chaos = FaultPlan::new()
+            .engine_fail_at(0, 0, EngineFault::HangOnAccept)
+            .engine_fail_at(0, 1, EngineFault::TornResponse);
+        let mut fleet = FleetSupervisor::new(cfg);
+        let t0 = fleet.clock().now();
+        fleet.run_round();
+        let t1 = fleet.clock().now();
+        fleet.run_round();
+        assert_eq!(fleet.availability(), 1.0, "retries recovered both polls");
+        let metrics = fleet.metrics_text();
+        // Round 0: hang (timeout + backoff + clean retry) = 2 attempts;
+        // round 1: torn = 2 attempts. 4 attempts over 2 polls.
+        assert!(metrics.contains("sfi_fleet_poll_attempts_total 4"), "{metrics}");
+        assert!(metrics.contains("sfi_fleet_poll_failures_total 0"), "{metrics}");
+        // The hang charged the aggregator's timeout to the virtual clock.
+        assert!(t1 - t0 >= POLL_TIMEOUT_NS, "timeout not charged: {}", t1 - t0);
+        // Deterministic replay: same config, same virtual timeline.
+        let mut cfg2 = small_fleet(1);
+        cfg2.chaos = FaultPlan::new()
+            .engine_fail_at(0, 0, EngineFault::HangOnAccept)
+            .engine_fail_at(0, 1, EngineFault::TornResponse);
+        let mut replay = FleetSupervisor::new(cfg2);
+        replay.run_round();
+        replay.run_round();
+        assert_eq!(replay.clock().now(), fleet.clock().now());
+        assert_eq!(replay.trace_batch(), fleet.trace_batch(), "recovery trace not reproducible");
+    }
+
+    #[test]
+    fn fleet_endpoints_route_and_quit() {
+        let mut fleet = FleetSupervisor::new(small_fleet(2));
+        fleet.run_round();
+        let get = |f: &mut FleetSupervisor, path: &str| {
+            let req = HttpRequest::parse(&format!("GET {path} HTTP/1.1")).unwrap();
+            f.route(&req, 0.25)
+        };
+        let (resp, _) = get(&mut fleet, "/fleet");
+        assert_eq!(resp.status, 200);
+        assert!(json_is_valid(&resp.body), "{}", resp.body);
+        assert!(resp.body.contains("\"state\": \"live\""));
+        let (resp, _) = get(&mut fleet, "/metrics");
+        assert!(resp.body.contains("sfi_fleet_rounds_total 1"));
+        assert!(resp.body.contains("engine=\"1\""), "member series labeled");
+        let (resp, _) = get(&mut fleet, "/snapshot");
+        assert!(json_is_valid(&resp.body));
+        assert!(!resp.body.contains("sfi_fleet_"), "meta must not leak into /snapshot");
+        let (resp, _) = get(&mut fleet, "/trace?since=0");
+        assert!(resp.body.starts_with("{\"next\": "));
+        let (resp, _) = get(&mut fleet, "/healthz");
+        assert!(resp.body.contains("\"uptime_seconds\": 0.250"));
+        let (resp, stop) = get(&mut fleet, "/quit");
+        assert_eq!((resp.status, stop), (200, true));
+        let (resp, _) = get(&mut fleet, "/nope");
+        assert_eq!(resp.status, 404);
+    }
+}

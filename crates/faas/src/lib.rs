@@ -33,10 +33,14 @@ pub mod regex;
 pub mod stats;
 pub mod template;
 
+mod fleet;
 mod serve;
 mod shard;
 mod sim;
 
+pub use fleet::{
+    fleet_serve_blocking, FleetConfig, FleetSupervisor, MemberState, MemberStatus,
+};
 pub use serve::{
     flatten_traces, round_seed, serve_blocking, ServeConfig, ServeEngine, NS_PER_TICK,
 };

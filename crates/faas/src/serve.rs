@@ -32,8 +32,8 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use sfi_telemetry::{
-    chrome_trace, chrome_trace_lines, json_snapshot, prometheus_text, CounterId, FlightRecorder,
-    HttpRequest, HttpResponse, Registry, TraceEvent,
+    chrome_trace, chrome_trace_gap_line, chrome_trace_lines, json_snapshot, prometheus_text,
+    CounterId, FlightRecorder, HttpRequest, HttpResponse, Registry, Retention, TraceEvent,
 };
 
 use crate::shard::{simulate_multicore, CacheMode, MultiCoreConfig, MultiCoreReport};
@@ -119,9 +119,12 @@ pub struct ServeEngine {
 }
 
 impl ServeEngine {
-    /// A fresh engine; no rounds run yet.
+    /// A fresh engine; no rounds run yet. The stream recorder pins fault
+    /// events ([`Retention::PinFaults`]): a long-serving engine ages out
+    /// enter/exit chatter, never the traps and quarantine recycles a
+    /// post-mortem needs.
     pub fn new(cfg: ServeConfig) -> ServeEngine {
-        let stream = FlightRecorder::new(cfg.stream_capacity);
+        let stream = FlightRecorder::with_retention(cfg.stream_capacity, Retention::PinFaults);
         let mut meta = Registry::new();
         let scrapes = ["metrics", "snapshot", "trace", "healthz"]
             .map(|ep| meta.counter_with("sfi_serve_scrapes_total", &[("endpoint", ep)]));
@@ -195,10 +198,18 @@ impl ServeEngine {
     /// chrome-trace event line per `\n`. A client that concatenates the
     /// lines from successive drains and wraps them with
     /// [`sfi_telemetry::chrome_trace_wrap`] reproduces
-    /// [`ServeEngine::trace_batch`] byte-for-byte.
+    /// [`ServeEngine::trace_batch`] byte-for-byte. A drain that observed
+    /// `dropped > 0` leads with a `trace_gap` marker line
+    /// ([`chrome_trace_gap_line`]) so the re-wrapped document both stays
+    /// valid JSON and shows the gap on the timeline.
     pub fn trace_body(&self, since: u64) -> String {
         let d = self.stream.events_since(since);
-        let lines = chrome_trace_lines(&d.events, NS_PER_TICK);
+        let mut lines = Vec::with_capacity(d.events.len() + 1);
+        if d.dropped > 0 {
+            let next_tick = d.events.first().map_or(0, |e| e.tick);
+            lines.push(chrome_trace_gap_line(d.dropped, next_tick, NS_PER_TICK));
+        }
+        lines.extend(chrome_trace_lines(&d.events, NS_PER_TICK));
         let mut body = format!(
             "{{\"next\": {}, \"dropped\": {}, \"lines\": {}}}\n",
             d.next,

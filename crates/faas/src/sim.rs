@@ -875,6 +875,32 @@ mod tests {
     }
 
     #[test]
+    fn dead_letter_saturation_floors_availability_without_nan() {
+        // The pathological edge: every attempt traps and there is no retry
+        // budget, so *every* resolved request dead-letters. Availability
+        // must hit its 0.0 floor exactly — a finite number, not NaN or a
+        // panic — because /healthz serves this value verbatim.
+        let mut cfg = SimConfig::paper_rig(FaasWorkload::HashLoadBalance, ScalingMode::ColorGuard);
+        cfg.duration_ms = 400;
+        cfg.failures = FailureModel { trap_prob: 1.0, max_retries: 0, ..FailureModel::default() };
+        let r = simulate(&cfg);
+        assert_eq!(r.completed, 0, "a 100% trap rate with no retries completes nothing");
+        assert!(r.dead_lettered > 0, "offered load must resolve to dead letters");
+        assert_eq!(r.availability, 0.0, "availability must floor at exactly 0.0");
+        assert!(r.availability.is_finite());
+        assert!(r.goodput_rps == 0.0 && r.goodput_rps.is_finite());
+        assert!(r.mean_latency_ms.is_finite(), "empty latency set must not yield NaN");
+        assert!(r.p99_latency_ms.is_finite());
+        // The degenerate-but-different edge: nothing resolved at all (zero
+        // duration) reports availability 1.0 by convention, not 0/0.
+        let mut empty = cfg.clone();
+        empty.duration_ms = 0;
+        let e = simulate(&empty);
+        assert_eq!((e.completed, e.dead_lettered), (0, 0));
+        assert_eq!(e.availability, 1.0, "no resolved requests ⇒ vacuous availability");
+    }
+
+    #[test]
     fn multiprocess_overload_shows_up_in_tail_latency() {
         let cg = quick(FaasWorkload::RegexFilter, ScalingMode::ColorGuard);
         let mp = quick(FaasWorkload::RegexFilter, ScalingMode::MultiProcess { processes: 15 });

@@ -74,6 +74,11 @@ impl From<MapError> for PoolError {
 }
 
 /// Policy governing the crash-containment path.
+///
+/// The same budget is applied at two scales: inside an engine it retires
+/// an instance slot, and `sfi-faas::FleetSupervisor` reuses it verbatim as
+/// the engine-level escalation — a member whose lifetime fault count
+/// reaches `max_faults` is retired from the fleet (DESIGN.md §11).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QuarantinePolicy {
     /// Quarantined slots the ring holds before the oldest is rehabilitated

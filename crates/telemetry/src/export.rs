@@ -153,6 +153,21 @@ pub fn chrome_trace_wrap(lines: &[String]) -> String {
     out
 }
 
+/// A gap marker for a trace stream that lost events to ring wraparound:
+/// one global-scope instant event named `trace_gap`, placed at the tick of
+/// the first event *after* the gap, carrying the drop count in its args.
+/// It is a [`chrome_trace_line`]-shaped line, so a client that interleaves
+/// it with streamed event lines and calls [`chrome_trace_wrap`] still gets
+/// a valid chrome://tracing document — the gap is visible on the timeline
+/// instead of silently absent.
+pub fn chrome_trace_gap_line(dropped: u64, next_tick: u64, ns_per_tick: f64) -> String {
+    let ts_us = next_tick as f64 * ns_per_tick / 1000.0;
+    format!(
+        "  {{\"name\": \"trace_gap\", \"ph\": \"i\", \"s\": \"g\", \"ts\": {ts_us:.3}, \
+         \"pid\": 0, \"tid\": 0, \"args\": {{\"dropped\": {dropped}}}}}"
+    )
+}
+
 /// Renders trace events as chrome://tracing "trace event format" JSON
 /// (load the file at `chrome://tracing` or <https://ui.perfetto.dev> to see
 /// the run as a timeline). Each event becomes an instant event (`"ph":
@@ -341,6 +356,22 @@ mod tests {
         // The empty stream wraps to the empty document.
         assert_eq!(chrome_trace_wrap(&[]), chrome_trace(&[], 1.0));
         assert!(json_is_valid(&chrome_trace_wrap(&[])));
+    }
+
+    #[test]
+    fn gap_marker_wraps_into_a_valid_document() {
+        let events = vec![
+            TraceEvent { tick: 500, core: 0, sandbox: 9, kind: TraceKind::Exit, arg: 1 },
+        ];
+        let mut lines = vec![chrome_trace_gap_line(42, 500, 1.0)];
+        lines.extend(chrome_trace_lines(&events, 1.0));
+        let doc = chrome_trace_wrap(&lines);
+        assert!(json_is_valid(&doc), "{doc}");
+        assert!(doc.contains("\"name\": \"trace_gap\""));
+        assert!(doc.contains("\"dropped\": 42"));
+        assert!(doc.contains("\"s\": \"g\""), "gap marker is global-scope");
+        // A gap-only stream is also valid (everything readable was lost).
+        assert!(json_is_valid(&chrome_trace_wrap(&[chrome_trace_gap_line(7, 0, 1.0)])));
     }
 
     #[test]

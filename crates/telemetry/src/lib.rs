@@ -45,12 +45,14 @@ pub mod server;
 
 pub use clock::VirtualClock;
 pub use export::{
-    chrome_trace, chrome_trace_line, chrome_trace_lines, chrome_trace_wrap, json_is_valid,
-    json_snapshot, prometheus_text,
+    chrome_trace, chrome_trace_gap_line, chrome_trace_line, chrome_trace_lines,
+    chrome_trace_wrap, json_is_valid, json_snapshot, prometheus_text,
 };
 pub use histogram::{CycleHistogram, HISTOGRAM_BUCKETS};
-pub use recorder::{Drained, FlightRecorder, TraceEvent, TraceKind};
+pub use recorder::{Drained, FlightRecorder, Retention, TraceEvent, TraceKind};
 pub use registry::{
     CounterId, GaugeId, HistogramId, Registry, RegistryError, SampledCounterId,
 };
-pub use server::{http_get, serve, HttpRequest, HttpResponse};
+pub use server::{
+    http_get, http_get_retry, retry_with, serve, HttpRequest, HttpResponse, RetryPolicy,
+};

@@ -1,5 +1,7 @@
 //! The flight recorder: a bounded per-core ring of structured trace events.
 
+use std::collections::VecDeque;
+
 /// What happened. The variants cover every lifecycle edge the runtime and
 /// the sharded FaaS engine expose.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -35,6 +37,47 @@ impl TraceKind {
             TraceKind::Compile => "compile",
         }
     }
+
+    /// Whether this kind is a *fault* event — the post-mortem evidence a
+    /// long-running server must never age out of its ring
+    /// ([`Retention::PinFaults`]): the trap itself and the
+    /// quarantine/recycle that contained it.
+    pub fn is_fault(self) -> bool {
+        matches!(self, TraceKind::Trap | TraceKind::Recycle)
+    }
+
+    /// Dense index (for per-kind counters).
+    pub(crate) fn index(self) -> usize {
+        match self {
+            TraceKind::Spawn => 0,
+            TraceKind::Enter => 1,
+            TraceKind::Exit => 2,
+            TraceKind::Trap => 3,
+            TraceKind::Recycle => 4,
+            TraceKind::Steal => 5,
+            TraceKind::Compile => 6,
+        }
+    }
+}
+
+/// Number of [`TraceKind`] variants (per-kind counter array size).
+pub(crate) const TRACE_KINDS: usize = 7;
+
+/// How a full [`FlightRecorder`] decides what to evict.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Retention {
+    /// One ring for every kind: when full, the oldest event is overwritten
+    /// regardless of what it is (the original policy; keeps the recorder a
+    /// strict ring).
+    #[default]
+    Uniform,
+    /// Per-kind retention for long-running servers: fault events
+    /// ([`TraceKind::is_fault`] — traps and quarantine recycles) are pinned
+    /// and never evicted; ring eviction applies only to the high-rate
+    /// lifecycle kinds (enter/exit/spawn/steal/compile). Pinned events sit
+    /// outside the configured capacity — faults are rare by design, and a
+    /// fault-saturated server has bigger problems than its trace budget.
+    PinFaults,
 }
 
 /// One structured trace event. Fixed-size and `Copy`, so recording is a
@@ -92,22 +135,52 @@ pub struct Drained {
 /// A bounded ring buffer of [`TraceEvent`]s.
 ///
 /// Capacity 0 disables recording entirely (the telemetry-off configuration
-/// of the overhead gate). When full, the oldest event is overwritten;
+/// of the overhead gate). When full, the oldest *evictable* event is
+/// overwritten — which events are evictable is the [`Retention`] policy;
 /// [`FlightRecorder::total_recorded`] keeps counting, so wraparound is
-/// observable.
+/// observable. Every recorded event has a stable sequence number (event *k*
+/// overall has sequence *k*); eviction discards old events but never
+/// renumbers the survivors, which is what keeps cursors valid across
+/// wraparound.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlightRecorder {
-    buf: Vec<TraceEvent>,
+    /// The evictable ring: `(sequence, event)` in sequence order.
+    ring: VecDeque<(u64, TraceEvent)>,
+    /// Pinned events ([`Retention::PinFaults`] only): never evicted, in
+    /// sequence order, outside the ring capacity.
+    pinned: Vec<(u64, TraceEvent)>,
     capacity: usize,
-    /// Index of the oldest event (once wrapped).
-    head: usize,
+    retention: Retention,
     total: u64,
+    /// Events evicted so far, and per kind (for retention diagnostics).
+    evicted: u64,
+    evicted_by_kind: [u64; TRACE_KINDS],
+    /// Sequence of the newest evicted event. Evictions happen in sequence
+    /// order, so every evictable event at or below this is gone and every
+    /// one above it is retained.
+    max_evicted_seq: Option<u64>,
 }
 
 impl FlightRecorder {
-    /// A recorder holding at most `capacity` events.
+    /// A recorder holding at most `capacity` events, uniform retention.
     pub fn new(capacity: usize) -> FlightRecorder {
-        FlightRecorder { buf: Vec::with_capacity(capacity.min(4096)), capacity, head: 0, total: 0 }
+        FlightRecorder::with_retention(capacity, Retention::Uniform)
+    }
+
+    /// A recorder with an explicit [`Retention`] policy. Under
+    /// [`Retention::PinFaults`], `capacity` bounds the evictable ring only;
+    /// pinned fault events are retained beyond it.
+    pub fn with_retention(capacity: usize, retention: Retention) -> FlightRecorder {
+        FlightRecorder {
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            pinned: Vec::new(),
+            capacity,
+            retention,
+            total: 0,
+            evicted: 0,
+            evicted_by_kind: [0; TRACE_KINDS],
+            max_evicted_seq: None,
+        }
     }
 
     /// A disabled recorder (capacity 0 — every record is a no-op).
@@ -120,19 +193,24 @@ impl FlightRecorder {
         self.capacity > 0
     }
 
-    /// The configured capacity.
+    /// The configured capacity (of the evictable ring).
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// Events currently retained (≤ capacity).
+    /// The active retention policy.
+    pub fn retention(&self) -> Retention {
+        self.retention
+    }
+
+    /// Events currently retained (ring + pinned).
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.ring.len() + self.pinned.len()
     }
 
     /// Whether no events are retained.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.ring.is_empty() && self.pinned.is_empty()
     }
 
     /// Events ever recorded (including overwritten ones).
@@ -140,35 +218,77 @@ impl FlightRecorder {
         self.total
     }
 
+    /// Events evicted by ring wraparound so far (never includes pinned
+    /// kinds under [`Retention::PinFaults`]).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Events of `kind` evicted so far — under [`Retention::PinFaults`]
+    /// this stays 0 for fault kinds by construction, which is the
+    /// per-kind retention guarantee in one assertable number.
+    pub fn evicted_of(&self, kind: TraceKind) -> u64 {
+        self.evicted_by_kind[kind.index()]
+    }
+
     /// Records an event (no-op when disabled).
     pub fn record(&mut self, ev: TraceEvent) {
         if self.capacity == 0 {
             return;
         }
+        let seq = self.total;
         self.total += 1;
-        if self.buf.len() < self.capacity {
-            self.buf.push(ev);
-        } else {
-            self.buf[self.head] = ev;
-            self.head = (self.head + 1) % self.capacity;
+        if self.retention == Retention::PinFaults && ev.kind.is_fault() {
+            self.pinned.push((seq, ev));
+            return;
         }
+        if self.ring.len() == self.capacity {
+            let (old_seq, old) = self.ring.pop_front().expect("capacity > 0");
+            self.evicted += 1;
+            self.evicted_by_kind[old.kind.index()] += 1;
+            self.max_evicted_seq = Some(old_seq);
+        }
+        self.ring.push_back((seq, ev));
     }
 
-    /// Retained events, oldest first.
+    /// Retained events, oldest first (sequence order; pinned and ring
+    /// events interleave exactly as recorded).
     pub fn events(&self) -> Vec<TraceEvent> {
-        let mut out = Vec::with_capacity(self.buf.len());
-        out.extend_from_slice(&self.buf[self.head..]);
-        out.extend_from_slice(&self.buf[..self.head]);
+        self.retained(0).into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// Retained `(seq, event)` pairs with sequence ≥ `cursor`, merged in
+    /// sequence order.
+    fn retained(&self, cursor: u64) -> Vec<(u64, TraceEvent)> {
+        let ring_from = self.ring.partition_point(|(s, _)| *s < cursor);
+        let pin_from = self.pinned.partition_point(|(s, _)| *s < cursor);
+        let mut out = Vec::with_capacity(self.ring.len() - ring_from + self.pinned.len() - pin_from);
+        let (mut i, mut j) = (ring_from, pin_from);
+        while i < self.ring.len() && j < self.pinned.len() {
+            if self.ring[i].0 < self.pinned[j].0 {
+                out.push(self.ring[i]);
+                i += 1;
+            } else {
+                out.push(self.pinned[j]);
+                j += 1;
+            }
+        }
+        out.extend(self.ring.iter().skip(i));
+        out.extend_from_slice(&self.pinned[j..]);
         out
     }
 
-    /// The sequence number of the oldest retained event. Every recorded
-    /// event has a stable sequence number (the value of
-    /// [`FlightRecorder::total_recorded`] *before* it was recorded, i.e.
-    /// event *k* overall has sequence *k*); wraparound discards old events
-    /// but never renumbers the survivors.
+    /// The sequence number of the oldest retained event (the recorder's
+    /// current end when nothing is retained).
     pub fn first_retained_seq(&self) -> u64 {
-        self.total - self.buf.len() as u64
+        let ring = self.ring.front().map(|(s, _)| *s);
+        let pin = self.pinned.first().map(|(s, _)| *s);
+        match (ring, pin) {
+            (Some(r), Some(p)) => r.min(p),
+            (Some(r), None) => r,
+            (None, Some(p)) => p,
+            (None, None) => self.total,
+        }
     }
 
     /// The cursor one past the newest event — pass it back to
@@ -180,20 +300,30 @@ impl FlightRecorder {
     /// Cursor-based incremental drain, the live-streaming counterpart of
     /// the post-mortem [`FlightRecorder::events`] dump: returns every
     /// retained event with sequence ≥ `cursor` (oldest first) plus how many
-    /// requested events the ring had already overwritten. The recorder is
-    /// not mutated — the caller owns its cursor, so independent scrapers
-    /// can stream at their own pace — and repeatedly draining from cursor 0
-    /// on a ring that never wrapped reproduces `events()` exactly, which is
-    /// what makes a concatenated stream byte-identical to the batch export.
+    /// requested events the ring had already overwritten. `dropped` counts
+    /// *lost* events only: under [`Retention::PinFaults`], a pinned trap
+    /// older than the ring window is returned, not counted as dropped —
+    /// per-kind retention keeps the drop accounting honest per kind. The
+    /// recorder is not mutated — the caller owns its cursor, so independent
+    /// scrapers can stream at their own pace — and repeatedly draining from
+    /// cursor 0 on a ring that never wrapped reproduces `events()` exactly,
+    /// which is what makes a concatenated stream byte-identical to the
+    /// batch export.
     pub fn events_since(&self, cursor: u64) -> Drained {
-        let first = self.first_retained_seq();
-        let dropped = first.saturating_sub(cursor);
-        let skip = cursor.saturating_sub(first) as usize;
-        let events = if skip >= self.buf.len() {
-            Vec::new()
-        } else {
-            self.events().split_off(skip)
+        // Evictions happen in sequence order, so the evicted set is exactly
+        // the non-pinned sequences ≤ max_evicted_seq. The count at or after
+        // the cursor is that span's width minus its retained (pinned)
+        // events.
+        let dropped = match self.max_evicted_seq {
+            Some(m) if cursor <= m => {
+                let span = m + 1 - cursor;
+                let pinned_in_span = self.pinned.partition_point(|(s, _)| *s <= m) as u64
+                    - self.pinned.partition_point(|(s, _)| *s < cursor) as u64;
+                span - pinned_in_span
+            }
+            _ => 0,
         };
+        let events = self.retained(cursor).into_iter().map(|(_, e)| e).collect();
         Drained { events, next: self.total, dropped }
     }
 
@@ -320,6 +450,62 @@ mod tests {
         // A disabled recorder streams nothing, forever.
         let off = FlightRecorder::disabled();
         assert_eq!(off.events_since(0), Drained { events: vec![], next: 0, dropped: 0 });
+    }
+
+    #[test]
+    fn pin_faults_survive_wraparound_with_honest_drop_counts() {
+        let fault = |t: u64| TraceEvent {
+            tick: t,
+            core: 0,
+            sandbox: t,
+            kind: TraceKind::Trap,
+            arg: 0,
+        };
+        let mut r = FlightRecorder::with_retention(3, Retention::PinFaults);
+        // seq 0..2: enters; seq 3: trap; seq 4..9: enters — the ring (cap 3)
+        // wraps while the trap is pinned outside it.
+        for t in 0..3 {
+            r.record(ev(t, t));
+        }
+        r.record(fault(3));
+        for t in 4..10 {
+            r.record(ev(t, t));
+        }
+        assert_eq!(r.total_recorded(), 10);
+        // Ring kept the newest 3 evictable events; the trap survived even
+        // though every enter recorded before it was evicted.
+        let ticks: Vec<u64> = r.events().iter().map(|e| e.tick).collect();
+        assert_eq!(ticks, [3, 7, 8, 9], "pinned trap outlives the ring window");
+        assert_eq!(r.evicted(), 6);
+        assert_eq!(r.evicted_of(TraceKind::Enter), 6);
+        assert_eq!(r.evicted_of(TraceKind::Trap), 0, "faults are never evicted");
+        // Drop accounting is per kind: cursor 0 missed the 6 evicted enters
+        // but receives the pinned trap, so it is not counted as dropped.
+        let d = r.events_since(0);
+        assert_eq!(d.events.iter().map(|e| e.tick).collect::<Vec<_>>(), [3, 7, 8, 9]);
+        assert_eq!(d.dropped, 6, "only evicted events count as dropped");
+        assert_eq!(d.next, 10);
+        // A cursor past the trap but inside the evicted span: seq 4..=6
+        // were evicted (3 events), none pinned in that range.
+        let d = r.events_since(4);
+        assert_eq!(d.events.iter().map(|e| e.tick).collect::<Vec<_>>(), [7, 8, 9]);
+        assert_eq!(d.dropped, 3);
+        // A cursor inside the retained window drops nothing.
+        let d = r.events_since(7);
+        assert_eq!(d.dropped, 0);
+        // Uniform retention on the same sequence evicts the trap like
+        // anything else — PinFaults is the difference, not the kind.
+        let mut u = FlightRecorder::new(3);
+        for t in 0..3 {
+            u.record(ev(t, t));
+        }
+        u.record(fault(3));
+        for t in 4..10 {
+            u.record(ev(t, t));
+        }
+        assert_eq!(u.events().iter().map(|e| e.tick).collect::<Vec<_>>(), [7, 8, 9]);
+        assert_eq!(u.evicted_of(TraceKind::Trap), 1);
+        assert_eq!(u.events_since(0).dropped, 7);
     }
 
     #[test]

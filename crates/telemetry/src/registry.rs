@@ -402,7 +402,45 @@ impl Registry {
     /// *state* (trial cursors) stays with the recording shard — a merged
     /// export registry is read, never recorded into.
     pub fn merge_from(&mut self, other: &Registry) {
+        self.merge_impl(other, None);
+    }
+
+    /// [`Registry::merge_from`], with every incoming series disambiguated by
+    /// an extra leading label — the fleet-federation merge: engine `i`'s
+    /// `sfi_shard_completed_total{core="0"}` lands as
+    /// `sfi_shard_completed_total{engine="i",core="0"}`, so N same-schema
+    /// member registries coexist in one fleet registry instead of silently
+    /// summing. Panics if an incoming series already carries `label` (the
+    /// disambiguator must disambiguate, not shadow) or on a kind mismatch —
+    /// the same collision-panic contract registration has, preserved across
+    /// engines.
+    pub fn merge_labeled_from(&mut self, other: &Registry, label: &'static str, value: &str) {
+        self.merge_impl(other, Some((label, value)));
+    }
+
+    /// A series identity with the disambiguating label prepended.
+    fn relabel(series: &Series, label: Option<(&'static str, &str)>) -> Series {
+        match label {
+            None => series.clone(),
+            Some((k, v)) => {
+                if series.labels.iter().any(|(lk, _)| *lk == k) {
+                    panic!(
+                        "merge label {k:?} already present on series {} — \
+                         the disambiguator must not shadow an existing label",
+                        series.key()
+                    );
+                }
+                let mut labels = Vec::with_capacity(series.labels.len() + 1);
+                labels.push((k, v.to_owned()));
+                labels.extend(series.labels.iter().cloned());
+                Series { name: series.name, labels }
+            }
+        }
+    }
+
+    fn merge_impl(&mut self, other: &Registry, label: Option<(&'static str, &str)>) {
         for (series, n) in &other.counters {
+            let series = Self::relabel(series, label);
             let key = series.key();
             match self.index.get(&key) {
                 Some(Kind::Counter(i)) => self.counters[*i].1 += n,
@@ -410,11 +448,12 @@ impl Registry {
                 None => {
                     let id = self.counters.len();
                     self.index.insert(key, Kind::Counter(id));
-                    self.counters.push((series.clone(), *n));
+                    self.counters.push((series, *n));
                 }
             }
         }
         for (series, v) in &other.gauges {
+            let series = Self::relabel(series, label);
             let key = series.key();
             match self.index.get(&key) {
                 Some(Kind::Gauge(i)) => self.gauges[*i].1 += v,
@@ -422,11 +461,12 @@ impl Registry {
                 None => {
                     let id = self.gauges.len();
                     self.index.insert(key, Kind::Gauge(id));
-                    self.gauges.push((series.clone(), *v));
+                    self.gauges.push((series, *v));
                 }
             }
         }
         for (series, h) in &other.histograms {
+            let series = Self::relabel(series, label);
             let key = series.key();
             match self.index.get(&key) {
                 Some(Kind::Histogram(i)) => self.histograms[*i].1.merge_from(h),
@@ -434,7 +474,7 @@ impl Registry {
                 None => {
                     let id = self.histograms.len();
                     self.index.insert(key, Kind::Histogram(id));
-                    self.histograms.push((series.clone(), h.clone()));
+                    self.histograms.push((series, h.clone()));
                 }
             }
         }
@@ -569,5 +609,61 @@ mod tests {
         extra.add(c, 7);
         a.merge_from(&extra);
         assert_eq!(a.counter_value("sfi_only_here_total"), Some(7));
+    }
+
+    #[test]
+    fn labeled_merge_disambiguates_same_schema_members() {
+        let member = |n: u64| {
+            let mut r = Registry::new();
+            let c = r.counter_with("sfi_shard_completed_total", &[("core", "0")]);
+            let g = r.gauge("sfi_pool_slots_in_use");
+            let h = r.histogram("sfi_shard_request_latency_ns");
+            r.add(c, n);
+            r.set(g, n as i64);
+            r.observe(h, n);
+            r
+        };
+        let mut fleet = Registry::new();
+        fleet.merge_labeled_from(&member(3), "engine", "0");
+        fleet.merge_labeled_from(&member(5), "engine", "1");
+        // Same schema, two engines: distinct series, no silent summing; the
+        // disambiguator leads the label list.
+        assert_eq!(
+            fleet.counter_value("sfi_shard_completed_total{engine=\"0\",core=\"0\"}"),
+            Some(3)
+        );
+        assert_eq!(
+            fleet.counter_value("sfi_shard_completed_total{engine=\"1\",core=\"0\"}"),
+            Some(5)
+        );
+        assert_eq!(fleet.gauge_value("sfi_pool_slots_in_use{engine=\"1\"}"), Some(5));
+        let h = fleet.histogram_values("sfi_shard_request_latency_ns{engine=\"0\"}").unwrap();
+        assert_eq!(h.count(), 1);
+        // Re-merging the same engine id sums into the labeled series (the
+        // cumulative-rounds path a live fleet aggregator uses).
+        fleet.merge_labeled_from(&member(4), "engine", "0");
+        assert_eq!(
+            fleet.counter_value("sfi_shard_completed_total{engine=\"0\",core=\"0\"}"),
+            Some(7)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must not shadow")]
+    fn labeled_merge_rejects_shadowed_disambiguator() {
+        let mut member = Registry::new();
+        member.counter_with("sfi_x_total", &[("engine", "9")]);
+        let mut fleet = Registry::new();
+        fleet.merge_labeled_from(&member, "engine", "0");
+    }
+
+    #[test]
+    #[should_panic(expected = "metric kind mismatch")]
+    fn labeled_merge_preserves_kind_collision_panic() {
+        let mut a = Registry::new();
+        a.counter_with("sfi_clash", &[("engine", "0")]);
+        let mut b = Registry::new();
+        b.gauge("sfi_clash");
+        a.merge_labeled_from(&b, "engine", "0");
     }
 }

@@ -114,12 +114,20 @@ impl HttpResponse {
         HttpResponse { status: 400, content_type: "text/plain", body: format!("{reason}\n") }
     }
 
+    /// A `503 Service Unavailable` with a reason — what a federated
+    /// aggregator answers while a member is down and its scrape budget is
+    /// not yet exhausted (retryable, unlike a 404).
+    pub fn service_unavailable(reason: &str) -> HttpResponse {
+        HttpResponse { status: 503, content_type: "text/plain", body: format!("{reason}\n") }
+    }
+
     fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            503 => "Service Unavailable",
             _ => "Error",
         }
     }
@@ -214,6 +222,92 @@ pub fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
     Ok((status, body.to_owned()))
 }
 
+/// A bounded, deterministic retry schedule for scrape clients and
+/// federated aggregators: exponential backoff, doubling from
+/// `backoff_base_ms` per failed attempt up to `backoff_cap_ms`, at most
+/// `max_attempts` tries. The schedule is a pure function of the policy and
+/// the attempt index — no jitter — so a recovery trace driven off a
+/// virtual clock is byte-reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total tries including the first (≥ 1; 1 means no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in milliseconds.
+    pub backoff_base_ms: u64,
+    /// Ceiling on any single backoff, in milliseconds.
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 4 attempts, 25 ms → 50 ms → 100 ms between them: generous for a
+    /// loopback scrape yet under a second end-to-end.
+    fn default() -> RetryPolicy {
+        RetryPolicy { max_attempts: 4, backoff_base_ms: 25, backoff_cap_ms: 400 }
+    }
+}
+
+impl RetryPolicy {
+    /// A one-shot policy (no retries, no backoff) — the pre-hardening
+    /// behavior, for callers that want a single probe.
+    pub fn one_shot() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, backoff_base_ms: 0, backoff_cap_ms: 0 }
+    }
+
+    /// The backoff after failed attempt `attempt` (0-based), in
+    /// milliseconds: `base << attempt`, capped.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        let shifted = self.backoff_base_ms.checked_shl(attempt).unwrap_or(u64::MAX);
+        shifted.min(self.backoff_cap_ms)
+    }
+}
+
+/// Runs `op` under `policy`, sleeping `sleep(backoff_ms)` between failed
+/// attempts. Returns the first success together with the number of
+/// attempts spent (1-based), or the last error once the budget is
+/// exhausted. `sleep` is injected so deterministic callers (the fleet
+/// aggregator) can charge the backoff to a virtual clock instead of the
+/// wall; `op` receives the 0-based attempt index so seeded fault plans can
+/// draw per attempt.
+pub fn retry_with<T, E>(
+    policy: &RetryPolicy,
+    mut sleep: impl FnMut(u64),
+    mut op: impl FnMut(u32) -> Result<T, E>,
+) -> Result<(T, u32), E> {
+    let attempts = policy.max_attempts.max(1);
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        match op(attempt) {
+            Ok(v) => return Ok((v, attempt + 1)),
+            Err(e) => {
+                last_err = Some(e);
+                if attempt + 1 < attempts {
+                    sleep(policy.backoff_ms(attempt));
+                }
+            }
+        }
+    }
+    Err(last_err.expect("at least one attempt"))
+}
+
+/// [`http_get`] under a [`RetryPolicy`]: retries refused connections and
+/// timeouts with real (wall-clock) backoff sleeps. Returns
+/// `(status, body, attempts)` — the attempt count feeds the scrape-meta
+/// registry so a flaky member is visible in `/metrics`, not just in logs.
+/// Non-200 statuses are *returned*, not retried: the server answered, and
+/// whether e.g. a 503 warrants another round is the caller's policy.
+pub fn http_get_retry(
+    addr: &str,
+    path: &str,
+    policy: &RetryPolicy,
+) -> std::io::Result<(u16, String, u32)> {
+    retry_with(
+        policy,
+        |ms| std::thread::sleep(Duration::from_millis(ms)),
+        |_| http_get(addr, path),
+    )
+    .map(|((status, body), attempts)| (status, body, attempts))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +350,85 @@ mod tests {
         let mut buf = Vec::new();
         HttpResponse::not_found().write_to(&mut buf).unwrap();
         assert!(String::from_utf8(buf).unwrap().starts_with("HTTP/1.1 404 Not Found\r\n"));
+    }
+
+    #[test]
+    fn retry_schedule_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        assert_eq!(
+            (0..4).map(|a| p.backoff_ms(a)).collect::<Vec<_>>(),
+            [25, 50, 100, 200],
+            "doubling from the base"
+        );
+        let capped = RetryPolicy { max_attempts: 8, backoff_base_ms: 100, backoff_cap_ms: 400 };
+        assert_eq!(
+            (0..6).map(|a| capped.backoff_ms(a)).collect::<Vec<_>>(),
+            [100, 200, 400, 400, 400, 400],
+            "capped, even past shift overflow territory"
+        );
+        assert_eq!(capped.backoff_ms(70), 400, "shift overflow saturates to the cap");
+        assert_eq!(RetryPolicy::one_shot().max_attempts, 1);
+    }
+
+    #[test]
+    fn retry_with_spends_the_budget_then_surfaces_the_last_error() {
+        let p = RetryPolicy { max_attempts: 4, backoff_base_ms: 10, backoff_cap_ms: 1000 };
+        // Succeeds on the third attempt: two backoffs charged, attempts = 3.
+        let mut slept = Vec::new();
+        let (value, attempts) = retry_with(
+            &p,
+            |ms| slept.push(ms),
+            |attempt| if attempt < 2 { Err("down") } else { Ok(attempt * 10) },
+        )
+        .unwrap();
+        assert_eq!((value, attempts), (20, 3));
+        assert_eq!(slept, [10, 20], "backoff charged between failures only");
+        // Never succeeds: budget exhausted, last error out, no backoff
+        // after the final attempt.
+        let mut slept = Vec::new();
+        let err = retry_with(&p, |ms| slept.push(ms), |a| Err::<(), _>(format!("fail {a}")))
+            .unwrap_err();
+        assert_eq!(err, "fail 3");
+        assert_eq!(slept, [10, 20, 40], "three backoffs for four attempts");
+        // First-try success sleeps never.
+        let mut slept = Vec::new();
+        let (v, attempts) = retry_with(&p, |ms| slept.push(ms), |_| Ok::<_, ()>(7)).unwrap();
+        assert_eq!((v, attempts), (7, 1));
+        assert!(slept.is_empty());
+    }
+
+    #[test]
+    fn http_get_retry_recovers_from_a_late_server() {
+        // Reserve a port, drop the listener, and rebind it from a helper
+        // thread after a delay: the first attempt(s) get connection refused,
+        // a later one lands. The retry budget is generous enough that the
+        // race always resolves inside it.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap().to_string();
+        drop(probe);
+        let rebind = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(60));
+                let listener = TcpListener::bind(&addr).expect("rebind reserved port");
+                serve(&listener, |_| {
+                    (HttpResponse::ok("text/plain", "late\n".to_owned()), true)
+                })
+                .unwrap();
+            })
+        };
+        let policy = RetryPolicy { max_attempts: 10, backoff_base_ms: 30, backoff_cap_ms: 200 };
+        let (status, body, attempts) = http_get_retry(&addr, "/", &policy).unwrap();
+        assert_eq!((status, body.as_str()), (200, "late\n"));
+        assert!(attempts >= 1, "attempt count is 1-based");
+        rebind.join().unwrap();
+        // With nobody listening and a tiny budget, the error surfaces after
+        // the attempts are spent.
+        let gone = TcpListener::bind("127.0.0.1:0").unwrap();
+        let gone_addr = gone.local_addr().unwrap().to_string();
+        drop(gone);
+        let tiny = RetryPolicy { max_attempts: 2, backoff_base_ms: 1, backoff_cap_ms: 1 };
+        assert!(http_get_retry(&gone_addr, "/", &tiny).is_err());
     }
 
     #[test]

@@ -64,6 +64,47 @@ impl SyscallKind {
     }
 }
 
+/// Engine-grade fault injections — what the fleet supervisor's chaos mode
+/// does to a whole serving member, driven by the same seeded plans as the
+/// syscall/bus faults above. These model the host-level failure surface a
+/// dense multi-engine deployment actually sees: a wedged accept loop, a
+/// scrape connection cut mid-body, a member process dying mid-round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineFault {
+    /// The member stops answering its listener: every poll times out until
+    /// the member recovers (the aggregator burns its retry budget).
+    HangOnAccept,
+    /// The member answers but the response is truncated mid-body — the
+    /// scrape parses as garbage and counts as a failed attempt.
+    TornResponse,
+    /// The member panics mid-round: in-flight work is lost and the
+    /// supervisor must recover it by checkpoint replay (or retire it).
+    MidRoundPanic,
+}
+
+impl EngineFault {
+    /// All injectable engine fault kinds.
+    pub const ALL: [EngineFault; 3] =
+        [EngineFault::HangOnAccept, EngineFault::TornResponse, EngineFault::MidRoundPanic];
+
+    /// Stable lowercase name, used as the telemetry label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineFault::HangOnAccept => "hang_on_accept",
+            EngineFault::TornResponse => "torn_response",
+            EngineFault::MidRoundPanic => "mid_round_panic",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            EngineFault::HangOnAccept => 0,
+            EngineFault::TornResponse => 1,
+            EngineFault::MidRoundPanic => 2,
+        }
+    }
+}
+
 /// Seeded fault probabilities for [`FaultPlan::seeded`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChaosConfig {
@@ -75,11 +116,19 @@ pub struct ChaosConfig {
     /// Probability that any given emulated memory access raises a spurious
     /// fault.
     pub bus_fault_rate: f64,
+    /// Probability that a given (member, round, attempt) poll draws an
+    /// [`EngineFault`] (kind chosen by a second seeded draw).
+    pub engine_fault_rate: f64,
 }
 
 impl Default for ChaosConfig {
     fn default() -> Self {
-        ChaosConfig { syscall_fault_rate: 0.0, persistent_prob: 0.0, bus_fault_rate: 0.0 }
+        ChaosConfig {
+            syscall_fault_rate: 0.0,
+            persistent_prob: 0.0,
+            bus_fault_rate: 0.0,
+            engine_fault_rate: 0.0,
+        }
     }
 }
 
@@ -95,12 +144,22 @@ pub struct ChaosStats {
     pub syscalls_failed_by_kind: [u64; 4],
     /// Bus accesses failed.
     pub bus_faults: u64,
+    /// Engine-grade faults injected (all kinds).
+    pub engine_faults: u64,
+    /// Engine-grade faults, broken down per [`EngineFault`] (indexed as
+    /// [`EngineFault::ALL`]).
+    pub engine_faults_by_kind: [u64; 3],
 }
 
 impl ChaosStats {
     /// Injected failures of one syscall kind.
     pub fn failed_of(&self, kind: SyscallKind) -> u64 {
         self.syscalls_failed_by_kind[kind.index()]
+    }
+
+    /// Injected engine faults of one kind.
+    pub fn engine_faults_of(&self, kind: EngineFault) -> u64 {
+        self.engine_faults_by_kind[kind.index()]
     }
 }
 
@@ -116,6 +175,9 @@ pub struct FaultPlan {
     persistent_from: [Option<u64>; 4],
     /// Explicit bus-fault access indices.
     bus_at: BTreeSet<u64>,
+    /// Explicit engine-fault directives: (member, round) → fault kind
+    /// index. Fires on the first poll attempt of that round only.
+    engine_at: BTreeSet<(u64, u64, usize)>,
     /// Calls observed so far, per kind.
     calls: [u64; 4],
     /// Bus accesses observed so far.
@@ -140,6 +202,7 @@ impl FaultPlan {
             explicit: BTreeSet::new(),
             persistent_from: [None; 4],
             bus_at: BTreeSet::new(),
+            engine_at: BTreeSet::new(),
             calls: [0; 4],
             accesses: 0,
             stats: ChaosStats::default(),
@@ -168,6 +231,16 @@ impl FaultPlan {
     #[must_use]
     pub fn bus_fault_at(mut self, n: u64) -> FaultPlan {
         self.bus_at.insert(n);
+        self
+    }
+
+    /// Adds an explicit engine fault: member `member` suffers `fault` in
+    /// round `round` (0-based), on the first poll attempt of that round —
+    /// retries after recovery re-draw from the seeded stream instead, so a
+    /// scheduled kill cannot re-fire forever.
+    #[must_use]
+    pub fn engine_fail_at(mut self, member: u64, round: u64, fault: EngineFault) -> FaultPlan {
+        self.engine_at.insert((member, round, fault.index()));
         self
     }
 
@@ -216,6 +289,47 @@ impl FaultPlan {
             self.stats.syscalls_failed_by_kind[k] += 1;
         }
         fires
+    }
+
+    /// Decides whether poll `attempt` (0-based) of `member` in `round`
+    /// suffers an engine-grade fault, and which kind. Stateless per index,
+    /// like the syscall stream: the decision is a pure function of
+    /// `(seed, member, round, attempt)` plus the explicit directives, so a
+    /// supervisor replaying a recovered member observes the identical fault
+    /// schedule. Explicit [`FaultPlan::engine_fail_at`] directives fire at
+    /// attempt 0 only; seeded draws apply to every attempt (a flaky member
+    /// can fail retries too). Public, unlike the syscall/bus hooks: the
+    /// fleet supervisor lives in another crate.
+    pub fn engine_fires(&mut self, member: u64, round: u64, attempt: u32) -> Option<EngineFault> {
+        let explicit = if attempt == 0 {
+            EngineFault::ALL
+                .into_iter()
+                .find(|f| self.engine_at.contains(&(member, round, f.index())))
+        } else {
+            None
+        };
+        let fired = explicit.or_else(|| {
+            if self.cfg.engine_fault_rate <= 0.0 {
+                return None;
+            }
+            // Pack (member, round, attempt) into one index; the stream
+            // constant keeps engine draws independent of syscall/bus draws.
+            let index = member
+                .wrapping_mul(0x1_0000_0000)
+                .wrapping_add(round.wrapping_mul(0x1_0000))
+                .wrapping_add(attempt as u64);
+            if self.draw(0xE1, index) < self.cfg.engine_fault_rate {
+                let kind = (self.draw(0xE2, index) * EngineFault::ALL.len() as f64) as usize;
+                Some(EngineFault::ALL[kind.min(EngineFault::ALL.len() - 1)])
+            } else {
+                None
+            }
+        });
+        if let Some(f) = fired {
+            self.stats.engine_faults += 1;
+            self.stats.engine_faults_by_kind[f.index()] += 1;
+        }
+        fired
     }
 
     /// Records one bus access and decides whether it raises a spurious
@@ -275,7 +389,12 @@ mod tests {
 
     #[test]
     fn seeded_plans_are_deterministic() {
-        let cfg = ChaosConfig { syscall_fault_rate: 0.3, persistent_prob: 0.2, bus_fault_rate: 0.1 };
+        let cfg = ChaosConfig {
+            syscall_fault_rate: 0.3,
+            persistent_prob: 0.2,
+            bus_fault_rate: 0.1,
+            ..ChaosConfig::default()
+        };
         let mut a = FaultPlan::seeded(42, cfg);
         let mut b = FaultPlan::seeded(42, cfg);
         for i in 0..500 {
@@ -296,6 +415,55 @@ mod tests {
         let fa: Vec<bool> = (0..64).map(|_| a.syscall_fires(SyscallKind::Mmap)).collect();
         let fb: Vec<bool> = (0..64).map(|_| b.syscall_fires(SyscallKind::Mmap)).collect();
         assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn explicit_engine_faults_fire_on_first_attempt_only() {
+        let mut p = FaultPlan::new()
+            .engine_fail_at(1, 2, EngineFault::MidRoundPanic)
+            .engine_fail_at(0, 0, EngineFault::HangOnAccept);
+        assert_eq!(p.engine_fires(0, 0, 0), Some(EngineFault::HangOnAccept));
+        assert_eq!(p.engine_fires(0, 0, 1), None, "retry re-draws, directive spent");
+        assert_eq!(p.engine_fires(1, 2, 0), Some(EngineFault::MidRoundPanic));
+        assert_eq!(p.engine_fires(1, 1, 0), None, "other rounds untouched");
+        assert_eq!(p.engine_fires(2, 2, 0), None, "other members untouched");
+        assert_eq!(p.stats.engine_faults, 2);
+        assert_eq!(p.stats.engine_faults_of(EngineFault::HangOnAccept), 1);
+        assert_eq!(p.stats.engine_faults_of(EngineFault::MidRoundPanic), 1);
+        assert_eq!(p.stats.engine_faults_of(EngineFault::TornResponse), 0);
+    }
+
+    #[test]
+    fn seeded_engine_faults_are_deterministic_and_stateless() {
+        let cfg = ChaosConfig { engine_fault_rate: 0.25, ..ChaosConfig::default() };
+        let mut a = FaultPlan::seeded(7, cfg);
+        let mut b = FaultPlan::seeded(7, cfg);
+        let mut fired = 0;
+        for member in 0..4u64 {
+            for round in 0..32u64 {
+                for attempt in 0..3u32 {
+                    let fa = a.engine_fires(member, round, attempt);
+                    assert_eq!(fa, b.engine_fires(member, round, attempt));
+                    fired += u64::from(fa.is_some());
+                }
+            }
+        }
+        assert!(fired > 0, "a 25% rate over 384 draws must fire");
+        assert_eq!(a.stats.engine_faults, fired);
+        // Stateless: re-querying the same index gives the same answer, and
+        // draws are independent of the syscall/bus call history.
+        let first = FaultPlan::seeded(7, cfg).engine_fires(2, 5, 0);
+        let mut busy = FaultPlan::seeded(7, cfg);
+        for _ in 0..100 {
+            busy.syscall_fires(SyscallKind::Mmap);
+            busy.bus_fires(0x1000);
+        }
+        assert_eq!(busy.engine_fires(2, 5, 0), first);
+        // A zero rate never fires and an empty plan stays inert.
+        let mut off = FaultPlan::new();
+        for round in 0..64 {
+            assert_eq!(off.engine_fires(0, round, 0), None);
+        }
     }
 
     #[test]

@@ -55,6 +55,9 @@ wait "$SERVE_PID"   # exit-code check: the serve loop must stop cleanly
 rm -f "$SERVE_LOG"
 trap - EXIT
 
+echo "== fleet federation: K kills, recovery byte-equality, merged scrape surface =="
+cargo run -q --offline --release -p sfi-bench --bin fleet_serve -- --check
+
 echo "== bench artifacts embed telemetry sections =="
 cargo run -q --offline --release -p sfi-bench --bin fig6_throughput >/dev/null
 cargo run -q --offline --release -p sfi-bench --bin fig7_ctx_dtlb >/dev/null
@@ -65,6 +68,30 @@ for f in BENCH_fig6.json BENCH_fig7.json BENCH_sec641.json BENCH_sec642.json; do
 done
 grep -q 'sfi_shard_request_latency_ns' BENCH_multicore.json
 grep -q 'sample_rate' BENCH_sec641.json
+
+echo "== calibration drift watch (sec641 p50 vs DESIGN.md §10 record) =="
+# The transition microbench p50s are the cost-model canary: recompute them
+# from the artifact just generated above and compare against the values
+# recorded in DESIGN.md §10. A deliberate cost-model change must update the
+# record in the same commit; anything else drifting >25% fails CI.
+REF_LINE=$(grep -o 'calibration: sec641 transition_cycles p50 baseline=[0-9]* colorguard=[0-9]*' DESIGN.md)
+[ -n "$REF_LINE" ] || { echo "DESIGN.md §10 calibration record missing"; exit 1; }
+BASE_REF=$(echo "$REF_LINE" | sed 's/.*baseline=\([0-9]*\).*/\1/')
+COLOR_REF=$(echo "$REF_LINE" | sed 's/.*colorguard=\([0-9]*\).*/\1/')
+# Run order in the artifact: baseline histogram first, ColorGuard second.
+P50S=$(grep -o '"sfi_invocation_transition_cycles": {[^}]*}' BENCH_sec641.json \
+       | grep -o '"p50": [0-9]*' | awk '{print $2}')
+BASE_GOT=$(echo "$P50S" | sed -n 1p)
+COLOR_GOT=$(echo "$P50S" | sed -n 2p)
+[ -n "$BASE_GOT" ] && [ -n "$COLOR_GOT" ] || { echo "sec641 p50s not found in artifact"; exit 1; }
+for pair in "baseline $BASE_GOT $BASE_REF" "colorguard $COLOR_GOT $COLOR_REF"; do
+  set -- $pair
+  awk -v name="$1" -v got="$2" -v ref="$3" 'BEGIN {
+    drift = (got > ref ? got - ref : ref - got) / ref;
+    printf "calibration %s: p50 %d vs recorded %d (drift %.1f%%)\n", name, got, ref, drift * 100;
+    exit !(drift <= 0.25);
+  }' || { echo "calibration drift watch FAILED for $1"; exit 1; }
+done
 
 echo "== clippy (deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings

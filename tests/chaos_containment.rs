@@ -75,6 +75,7 @@ proptest! {
             syscall_fault_rate: 0.04,
             persistent_prob: 0.02,
             bus_fault_rate: 0.0005,
+            ..ChaosConfig::default()
         })));
 
         let mut ids: Vec<Option<InstanceId>> = Vec::new();

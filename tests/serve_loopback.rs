@@ -13,8 +13,14 @@ use std::net::TcpListener;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use segue_colorguard::faas::{serve_blocking, ServeConfig, ServeEngine};
-use segue_colorguard::telemetry::{chrome_trace_wrap, http_get, json_is_valid};
+use segue_colorguard::faas::{
+    fleet_serve_blocking, serve_blocking, FailureModel, FleetConfig, FleetSupervisor,
+    ServeConfig, ServeEngine,
+};
+use segue_colorguard::telemetry::{
+    chrome_trace_wrap, http_get, http_get_retry, json_is_valid, Registry, RetryPolicy,
+};
+use segue_colorguard::vm::{EngineFault, FaultPlan};
 
 const ROUNDS: u64 = 3;
 
@@ -101,6 +107,151 @@ fn loopback_scrapes_match_postmortem_exports() {
     let (nf, _) = http_get(&addr, "/no-such-endpoint").expect("404 path");
     assert_eq!(nf, 404);
     let (qs, _) = http_get(&addr, "/quit").expect("quit");
+    assert_eq!(qs, 200);
+    server.join().expect("server thread exits after /quit");
+}
+
+#[test]
+fn wrapped_trace_stream_flags_the_gap_and_stays_valid() {
+    // A stream ring far smaller than one round's event volume: the first
+    // scrape after two rounds must observe dropped > 0 — and the response
+    // must still re-wrap to valid chrome-trace JSON with the gap flagged.
+    let mut cfg = small_cfg();
+    cfg.stream_capacity = 32;
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let engine = Arc::new(Mutex::new(ServeEngine::new(cfg)));
+    let server = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            serve_blocking(&listener, &engine, Instant::now()).expect("serve loop")
+        })
+    };
+    for _ in 0..2 {
+        engine.lock().unwrap().run_round();
+    }
+    {
+        let eng = engine.lock().unwrap();
+        assert!(
+            eng.stream().total_recorded() > 32 + 32,
+            "rounds must overflow the ring decisively (got {})",
+            eng.stream().total_recorded()
+        );
+    }
+    let (status, body) = http_get(&addr, "/trace?since=0").expect("trace");
+    assert_eq!(status, 200);
+    let mut lines = body.lines();
+    let head = lines.next().expect("metadata line");
+    assert!(!head.contains("\"dropped\": 0"), "wraparound must be reported: {head}");
+    let streamed: Vec<String> = lines.map(str::to_owned).collect();
+    // The gap marker leads the event lines, carries the drop count, and the
+    // re-wrapped document is still valid chrome-trace JSON.
+    assert!(streamed[0].contains("\"name\": \"trace_gap\""), "{}", streamed[0]);
+    assert!(streamed[0].contains("\"dropped\": "), "{}", streamed[0]);
+    let dropped: u64 = head
+        .split("\"dropped\": ")
+        .nth(1)
+        .and_then(|s| s.split(',').next())
+        .and_then(|s| s.trim_end_matches('}').parse().ok())
+        .expect("dropped count in metadata");
+    assert!(streamed[0].contains(&format!("\"dropped\": {dropped}")), "gap != metadata");
+    let rewrapped = chrome_trace_wrap(&streamed);
+    assert!(json_is_valid(&rewrapped), "gap-bearing stream must re-wrap to valid JSON");
+    // The line count in the metadata includes the gap marker.
+    assert!(head.contains(&format!("\"lines\": {}", streamed.len())), "{head}");
+    let (qs, _) = http_get(&addr, "/quit").expect("quit");
+    assert_eq!(qs, 200);
+    server.join().expect("server thread exits after /quit");
+}
+
+#[test]
+fn saturated_dead_letters_serve_a_floored_healthz() {
+    // FailureModel edge over the wire: every probe attempt traps with no
+    // retry budget, so dead-letters saturate. /healthz must serve exactly
+    // 0.0 availability — a parseable number, not NaN and not a panic.
+    let mut cfg = small_cfg();
+    cfg.probe.failures = FailureModel { trap_prob: 1.0, max_retries: 0, ..Default::default() };
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let engine = Arc::new(Mutex::new(ServeEngine::new(cfg)));
+    let server = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            serve_blocking(&listener, &engine, Instant::now()).expect("serve loop")
+        })
+    };
+    for _ in 0..2 {
+        engine.lock().unwrap().run_round();
+    }
+    let (status, health) = http_get(&addr, "/healthz").expect("healthz");
+    assert_eq!(status, 200, "a saturated engine still answers");
+    assert!(json_is_valid(&health), "{health}");
+    assert!(health.contains("\"availability\": 0.000000"), "floored, not NaN: {health}");
+    assert!(health.contains("\"status\": \"degraded\""), "{health}");
+    assert!(!health.contains("NaN") && !health.contains("nan"), "{health}");
+    let dead: u64 = health
+        .split("\"dead_lettered\": ")
+        .nth(1)
+        .and_then(|s| s.split(',').next())
+        .and_then(|s| s.parse().ok())
+        .expect("dead_lettered in healthz");
+    assert!(dead > 0, "saturation must dead-letter: {health}");
+    let (qs, _) = http_get(&addr, "/quit").expect("quit");
+    assert_eq!(qs, 200);
+    server.join().expect("server thread exits after /quit");
+}
+
+#[test]
+fn fleet_loopback_serves_the_federated_surface() {
+    // A two-member fleet with one injected kill, scraped over real TCP
+    // with the hardened retry client: the federated /snapshot must equal a
+    // manual label-disambiguated merge of uninterrupted member replays.
+    let mut cfg = FleetConfig::paper_rig(2, 2);
+    for m in &mut cfg.members {
+        m.engine.duration_ms = 10;
+        m.probe.duration_ms = 5;
+    }
+    cfg.chaos = FaultPlan::new().engine_fail_at(0, 1, EngineFault::MidRoundPanic);
+    let member_cfgs: Vec<ServeConfig> = cfg.members.clone();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let fleet = Arc::new(Mutex::new(FleetSupervisor::new(cfg)));
+    let server = {
+        let fleet = Arc::clone(&fleet);
+        std::thread::spawn(move || {
+            fleet_serve_blocking(&listener, &fleet, Instant::now()).expect("fleet serve")
+        })
+    };
+    const ROUNDS: u64 = 3;
+    for _ in 0..ROUNDS {
+        fleet.lock().unwrap_or_else(|p| p.into_inner()).run_round();
+    }
+    let policy = RetryPolicy::default();
+    let (fs, fleet_body, _) = http_get_retry(&addr, "/fleet", &policy).expect("fleet");
+    assert_eq!(fs, 200);
+    assert!(json_is_valid(&fleet_body), "{fleet_body}");
+    assert!(fleet_body.contains("\"restarts\": 1"), "the kill must recover: {fleet_body}");
+    assert!(fleet_body.contains("\"members_live\": 2"), "{fleet_body}");
+    let (ss, snapshot, _) = http_get_retry(&addr, "/snapshot", &policy).expect("snapshot");
+    assert_eq!(ss, 200);
+    let mut manual = Registry::new();
+    for (id, mcfg) in member_cfgs.iter().enumerate() {
+        let mut replay = ServeEngine::new(mcfg.clone());
+        for _ in 0..ROUNDS {
+            replay.run_round();
+        }
+        manual.merge_labeled_from(replay.registry(), "engine", &id.to_string());
+    }
+    assert_eq!(
+        snapshot,
+        segue_colorguard::telemetry::json_snapshot(&manual),
+        "federated snapshot != labeled sum of uninterrupted member replays"
+    );
+    let (ms, metrics, _) = http_get_retry(&addr, "/metrics", &policy).expect("metrics");
+    assert_eq!(ms, 200);
+    assert!(metrics.contains("engine=\"0\"") && metrics.contains("engine=\"1\""), "{metrics}");
+    assert!(metrics.contains("sfi_fleet_member_faults_total{kind=\"mid_round_panic\"} 1"));
+    let (qs, _, _) = http_get_retry(&addr, "/quit", &policy).expect("quit");
     assert_eq!(qs, 200);
     server.join().expect("server thread exits after /quit");
 }
