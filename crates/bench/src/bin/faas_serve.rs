@@ -17,8 +17,10 @@
 //!
 //! - `faas_serve [--port N] [--rounds N]` — serve until `/quit` (port 0
 //!   picks an ephemeral port and prints it; `--rounds` caps the driver).
-//! - `faas_serve --get ADDR PATH` — one-shot scrape client (exit 0 on
-//!   HTTP 200), used by the CI smoke step instead of curl.
+//! - `faas_serve --get ADDR PATH [--timeout-ms N]` — one-shot scrape
+//!   client (exit 0 on HTTP 200), used by the CI smoke step instead of
+//!   curl; the optional deadline bounds each attempt's connect/read/write
+//!   so a hung server cannot wedge the scrape.
 //! - `faas_serve --check` — self-contained acceptance gate: all four
 //!   endpoints respond on a loopback server; the drained `/trace` stream
 //!   re-wraps byte-identically to the batch export; the served `/snapshot`
@@ -31,7 +33,9 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use sfi_faas::{serve_blocking, ServeConfig, ServeEngine};
-use sfi_telemetry::{chrome_trace_wrap, http_get, http_get_retry, json_is_valid, RetryPolicy};
+use sfi_telemetry::{
+    chrome_trace_wrap, http_get, http_get_retry_with_timeout, json_is_valid, RetryPolicy,
+};
 
 /// Documented scrape-under-load budget (DESIGN.md §8): driving the engine
 /// with a scraper attached may cost at most this factor over driving it
@@ -58,9 +62,15 @@ fn main() {
         // Bounded deterministic retries: a refused connection or timeout is
         // retried with backoff, and the exit is nonzero only once the
         // budget is exhausted — a server still binding its port no longer
-        // fails the CI smoke scrape.
+        // fails the CI smoke scrape. `--timeout-ms` bounds each attempt's
+        // connect/read/write deadline so a server that accepts and hangs
+        // cannot wedge a CI scrape either.
+        let timeout = std::time::Duration::from_millis(
+            arg_after("--timeout-ms").map(|t| t.parse().expect("numeric timeout")).unwrap_or(10_000),
+        );
         let (status, body, _attempts) =
-            http_get_retry(addr, path, &RetryPolicy::default()).expect("request failed");
+            http_get_retry_with_timeout(addr, path, &RetryPolicy::default(), timeout)
+                .expect("request failed");
         // Rust ignores SIGPIPE, so a downstream `| head` surfaces as EPIPE
         // on the write — the exit code must still reflect the HTTP status.
         use std::io::Write;

@@ -35,7 +35,10 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use sfi_faas::{fleet_serve_blocking, FleetConfig, FleetSupervisor, MemberState};
-use sfi_telemetry::{http_get_retry, json_is_valid, json_snapshot, Registry, RetryPolicy};
+use sfi_telemetry::{
+    http_get_retry, http_get_retry_with_timeout, json_is_valid, json_snapshot, Registry,
+    RetryPolicy,
+};
 use sfi_vm::{EngineFault, FaultPlan};
 
 /// Fleet size for `--check` (N engines, K=3 of them killed).
@@ -97,8 +100,14 @@ fn main() {
     if let Some(i) = args.iter().position(|a| a == "--get") {
         let addr = args.get(i + 1).expect("--get ADDR PATH");
         let path = args.get(i + 2).expect("--get ADDR PATH");
+        // `--timeout-ms` bounds each attempt's connect/read/write deadline
+        // so a member hung on accept cannot wedge a CI scrape.
+        let timeout = std::time::Duration::from_millis(
+            arg_after("--timeout-ms").map(|t| t.parse().expect("numeric timeout")).unwrap_or(10_000),
+        );
         let (status, body, _attempts) =
-            http_get_retry(addr, path, &RetryPolicy::default()).expect("request failed");
+            http_get_retry_with_timeout(addr, path, &RetryPolicy::default(), timeout)
+                .expect("request failed");
         use std::io::Write;
         if let Err(e) = std::io::stdout().write_all(body.as_bytes()) {
             assert_eq!(e.kind(), std::io::ErrorKind::BrokenPipe, "write body: {e}");

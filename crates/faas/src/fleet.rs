@@ -80,6 +80,77 @@ pub struct FleetConfig {
     /// Capacity of the fleet's supervision trace ring (fault events are
     /// pinned past it: [`Retention::PinFaults`]).
     pub stream_capacity: usize,
+    /// Elastic sizing on sustained occupancy crossings; `None` (the
+    /// default) keeps the fleet static, byte-identical to the pre-elastic
+    /// supervisor.
+    pub autoscale: Option<AutoscalePolicy>,
+}
+
+/// Elastic fleet sizing. The supervisor watches the mean engine occupancy
+/// of the live members after every round; a sustained crossing of the high
+/// watermark spawns a new member (up to `max_members`), a sustained
+/// crossing below the low watermark retires the newest live member
+/// gracefully (down to `min_members`, reason [`RetireReason::ScaledIn`] —
+/// no dead-letters, no failed polls).
+///
+/// Occupancy is *modeled* state — a pure function of a member's config and
+/// round count — so scale decisions replay byte-identically, including
+/// through a mid-round crash recovered from checkpoint. New members derive
+/// their seeds from the template by the same splitmix mix
+/// [`FleetConfig::paper_rig`] uses, keyed by a monotone member id that is
+/// never reused: the whole elastic trajectory is a pure function of the
+/// initial config.
+#[derive(Debug, Clone)]
+pub struct AutoscalePolicy {
+    /// Scale-in floor (never retires below this many live members).
+    pub min_members: usize,
+    /// Scale-out ceiling (never spawns above this many live members).
+    pub max_members: usize,
+    /// Mean occupancy at or above which a round counts toward scale-out.
+    pub high_occupancy: f64,
+    /// Mean occupancy at or below which a round counts toward scale-in.
+    pub low_occupancy: f64,
+    /// Consecutive qualifying rounds required before a scale event fires
+    /// (clamped to ≥ 1); the streak resets after every event.
+    pub sustain_rounds: u32,
+    /// Config template for spawned members (seeds are re-derived per id).
+    pub template: ServeConfig,
+}
+
+impl AutoscalePolicy {
+    /// Watermarks sized for the paper rig: scale out when the color pools
+    /// sit ≥ 95% full for 2 rounds, scale in below 50%.
+    pub fn paper_rig(template: ServeConfig) -> AutoscalePolicy {
+        AutoscalePolicy {
+            min_members: 1,
+            max_members: 8,
+            high_occupancy: 0.95,
+            low_occupancy: 0.5,
+            sustain_rounds: 2,
+            template,
+        }
+    }
+}
+
+/// Why a member was retired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetireReason {
+    /// Fault budget exhausted ([`QuarantinePolicy::max_faults`]): queued
+    /// work dead-lettered, every later poll fails.
+    FaultBudget,
+    /// Gracefully drained by the autoscaler on sustained low occupancy: no
+    /// dead-letters, no failed polls.
+    ScaledIn,
+}
+
+impl RetireReason {
+    /// Stable lowercase name for JSON and telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            RetireReason::FaultBudget => "fault_budget",
+            RetireReason::ScaledIn => "scaled_in",
+        }
+    }
 }
 
 impl FleetConfig {
@@ -103,6 +174,7 @@ impl FleetConfig {
             chaos: FaultPlan::new(),
             retry: RetryPolicy::default(),
             stream_capacity: 4096,
+            autoscale: None,
         }
     }
 }
@@ -143,8 +215,14 @@ pub struct MemberStatus {
     /// Rounds completed as of the last checkpoint.
     pub checkpoint_rounds: u64,
     /// Rounds of queued work dead-lettered (the interrupted round at
-    /// retirement plus one per round spent retired).
+    /// retirement plus one per round spent retired; scale-in retirement is
+    /// graceful and dead-letters nothing).
     pub dead_lettered_rounds: u64,
+    /// Requests dead-lettered by the member's own health probe (cumulative
+    /// engine-level count, distinct from the supervisor's round ledger).
+    pub dead_lettered_requests: u64,
+    /// Why the member was retired (`None` while live).
+    pub retire_reason: Option<RetireReason>,
 }
 
 /// One supervised member.
@@ -158,6 +236,7 @@ struct Member {
     restarts: u64,
     checkpoint_rounds: u64,
     dead_lettered_rounds: u64,
+    retire_reason: Option<RetireReason>,
 }
 
 impl Member {
@@ -181,6 +260,8 @@ impl Member {
             restarts: self.restarts,
             checkpoint_rounds: self.checkpoint_rounds,
             dead_lettered_rounds: self.dead_lettered_rounds,
+            dead_lettered_requests: self.engine.dead_lettered(),
+            retire_reason: self.retire_reason,
         }
     }
 }
@@ -197,6 +278,8 @@ struct FleetMeta {
     restarts: CounterId,
     retirements: CounterId,
     dead_lettered: CounterId,
+    scale_out: CounterId,
+    scale_in: CounterId,
     members_live: GaugeId,
     scrapes: [CounterId; 5],
 }
@@ -217,6 +300,8 @@ impl FleetMeta {
             restarts: reg.counter("sfi_fleet_restarts_total"),
             retirements: reg.counter("sfi_fleet_retirements_total"),
             dead_lettered: reg.counter("sfi_fleet_dead_lettered_rounds_total"),
+            scale_out: reg.counter("sfi_fleet_scale_out_total"),
+            scale_in: reg.counter("sfi_fleet_scale_in_total"),
             members_live: reg.gauge("sfi_fleet_members_live"),
             scrapes: ["metrics", "snapshot", "trace", "healthz", "fleet"]
                 .map(|ep| reg.counter_with("sfi_fleet_scrapes_total", &[("endpoint", ep)])),
@@ -245,6 +330,14 @@ pub struct FleetSupervisor {
     rounds: u64,
     polls: u64,
     failed_polls: u64,
+    autoscale: Option<AutoscalePolicy>,
+    /// Next member id to assign — monotone, never reused, so spawned
+    /// members' derived seeds are a pure function of the spawn order.
+    next_member_id: u64,
+    /// Consecutive rounds at/above the high watermark.
+    high_streak: u32,
+    /// Consecutive rounds at/below the low watermark.
+    low_streak: u32,
 }
 
 impl FleetSupervisor {
@@ -267,6 +360,7 @@ impl FleetSupervisor {
                 restarts: 0,
                 checkpoint_rounds: 0,
                 dead_lettered_rounds: 0,
+                retire_reason: None,
             })
             .collect();
         for m in &members {
@@ -280,6 +374,7 @@ impl FleetSupervisor {
             clock.advance(1);
         }
         reg.set(meta.members_live, members.len() as i64);
+        let next_member_id = members.len() as u64;
         FleetSupervisor {
             policy: cfg.policy,
             retry: cfg.retry,
@@ -292,6 +387,10 @@ impl FleetSupervisor {
             rounds: 0,
             polls: 0,
             failed_polls: 0,
+            autoscale: cfg.autoscale,
+            next_member_id,
+            high_streak: 0,
+            low_streak: 0,
         }
     }
 
@@ -303,6 +402,12 @@ impl FleetSupervisor {
         let r = self.rounds;
         for idx in 0..self.members.len() {
             if self.members[idx].state == MemberState::Retired {
+                // A gracefully drained member holds no queued work and is
+                // off the poll schedule entirely — retirement by scale-in
+                // must not bleed availability.
+                if self.members[idx].retire_reason == Some(RetireReason::ScaledIn) {
+                    continue;
+                }
                 self.members[idx].dead_lettered_rounds += 1;
                 self.reg.inc(self.meta.dead_lettered);
                 self.polls += 1;
@@ -330,7 +435,7 @@ impl FleetSupervisor {
             // the budget is dead-lettered — its work is lost, so it counts
             // as a failed poll, not a served one.
             if self.members[idx].faults >= self.policy.max_faults {
-                self.retire(idx);
+                self.retire(idx, RetireReason::FaultBudget);
                 self.members[idx].dead_lettered_rounds += 1;
                 self.reg.inc(self.meta.dead_lettered);
                 self.polls += 1;
@@ -343,6 +448,85 @@ impl FleetSupervisor {
         }
         self.rounds += 1;
         self.reg.inc(self.meta.rounds);
+        self.autoscale_pass();
+    }
+
+    /// Evaluates the autoscale watermarks after a round: mean live-member
+    /// occupancy against the policy, with a sustain streak before any
+    /// event. Occupancy is modeled state, so this whole pass — and
+    /// therefore the fleet's size trajectory — replays byte-identically,
+    /// crash recovery included.
+    fn autoscale_pass(&mut self) {
+        let Some(policy) = &self.autoscale else { return };
+        let live: Vec<usize> = (0..self.members.len())
+            .filter(|i| self.members[*i].state == MemberState::Live)
+            .collect();
+        if live.is_empty() {
+            return;
+        }
+        let occ = live.iter().map(|i| self.members[*i].engine.occupancy()).sum::<f64>()
+            / live.len() as f64;
+        let sustain = policy.sustain_rounds.max(1);
+        if occ >= policy.high_occupancy {
+            self.high_streak += 1;
+        } else {
+            self.high_streak = 0;
+        }
+        if occ <= policy.low_occupancy {
+            self.low_streak += 1;
+        } else {
+            self.low_streak = 0;
+        }
+        if self.high_streak >= sustain && live.len() < policy.max_members {
+            self.high_streak = 0;
+            self.scale_out();
+        } else if self.low_streak >= sustain && live.len() > policy.min_members {
+            self.low_streak = 0;
+            // Drain the newest live member first (LIFO: the scale-out
+            // surge capacity goes first, the founding members last).
+            let idx = *live.last().expect("nonempty");
+            self.scale_in(idx);
+        }
+    }
+
+    /// Spawns a new member from the autoscale template with seeds derived
+    /// from its (monotone, never-reused) id — the same splitmix mix
+    /// [`FleetConfig::paper_rig`] applies to the founding members.
+    fn scale_out(&mut self) {
+        let policy = self.autoscale.as_ref().expect("autoscale_pass checked");
+        let id = self.next_member_id;
+        self.next_member_id += 1;
+        let mut cfg = policy.template.clone();
+        cfg.engine.seed = crate::serve::round_seed(policy.template.engine.seed, 0x4_0000 + id);
+        cfg.probe.seed = crate::serve::round_seed(policy.template.probe.seed, 0x8_0000 + id);
+        self.members.push(Member {
+            id,
+            engine: ServeEngine::new(cfg.clone()),
+            cfg,
+            state: MemberState::Live,
+            faults: 0,
+            restarts: 0,
+            checkpoint_rounds: 0,
+            dead_lettered_rounds: 0,
+            retire_reason: None,
+        });
+        self.reg.inc(self.meta.scale_out);
+        self.reg.set(self.meta.members_live, self.members_live() as i64);
+        self.stream.record(TraceEvent {
+            tick: self.clock.now(),
+            core: id as u32,
+            sandbox: id,
+            kind: TraceKind::Spawn,
+            arg: 2,
+        });
+    }
+
+    /// Gracefully retires member `idx` (reason `ScaledIn`): it drains off
+    /// the round and poll schedules without dead-letters or failed polls,
+    /// and its frozen registry stays on the scrape surface.
+    fn scale_in(&mut self, idx: usize) {
+        self.retire(idx, RetireReason::ScaledIn);
+        self.reg.inc(self.meta.scale_in);
     }
 
     /// Runs member `idx`'s round with a real injected panic, catches the
@@ -401,10 +585,16 @@ impl FleetSupervisor {
 
     /// Retires member `idx`: frozen at its checkpoint, no more rounds or
     /// polls. The engine is already clean (crash recovery replays before
-    /// the budget check), so the frozen registry stays scrapeable.
-    fn retire(&mut self, idx: usize) {
+    /// the budget check), so the frozen registry stays scrapeable. The
+    /// `retirements` counter tracks fault-budget evictions only; graceful
+    /// scale-in is counted by `scale_in` instead. The trace `arg` encodes
+    /// the reason (1 = fault budget, 2 = scaled in).
+    fn retire(&mut self, idx: usize, reason: RetireReason) {
         self.members[idx].state = MemberState::Retired;
-        self.reg.inc(self.meta.retirements);
+        self.members[idx].retire_reason = Some(reason);
+        if reason == RetireReason::FaultBudget {
+            self.reg.inc(self.meta.retirements);
+        }
         let live = self.members.iter().filter(|m| m.state == MemberState::Live).count();
         self.reg.set(self.meta.members_live, live as i64);
         self.stream.record(TraceEvent {
@@ -412,7 +602,10 @@ impl FleetSupervisor {
             core: idx as u32,
             sandbox: idx as u64,
             kind: TraceKind::Recycle,
-            arg: 1,
+            arg: match reason {
+                RetireReason::FaultBudget => 1,
+                RetireReason::ScaledIn => 2,
+            },
         });
     }
 
@@ -549,6 +742,18 @@ impl FleetSupervisor {
         self.members.iter().filter(|m| m.state == MemberState::Live).count()
     }
 
+    /// Mean occupancy of the live members (0.0 with none live) — the
+    /// autoscaler's input signal, exposed for benches and tests.
+    pub fn mean_occupancy(&self) -> f64 {
+        let live: Vec<&Member> =
+            self.members.iter().filter(|m| m.state == MemberState::Live).collect();
+        if live.is_empty() {
+            0.0
+        } else {
+            live.iter().map(|m| m.engine.occupancy()).sum::<f64>() / live.len() as f64
+        }
+    }
+
     /// One member's modeled snapshot (the byte-equality unit the `--check`
     /// gate diffs against an uninterrupted replay).
     pub fn member_snapshot(&self, id: u64) -> Option<String> {
@@ -603,7 +808,8 @@ impl FleetSupervisor {
             let s = m.status();
             body.push_str(&format!(
                 "{{\"id\": {}, \"state\": \"{}\", \"rounds\": {}, \"faults\": {}, \
-                 \"restarts\": {}, \"checkpoint_rounds\": {}, \"dead_lettered_rounds\": {}}}",
+                 \"restarts\": {}, \"checkpoint_rounds\": {}, \"dead_lettered_rounds\": {}, \
+                 \"dead_lettered_requests\": {}, \"retire_reason\": {}}}",
                 s.id,
                 s.state.name(),
                 s.rounds,
@@ -611,6 +817,11 @@ impl FleetSupervisor {
                 s.restarts,
                 s.checkpoint_rounds,
                 s.dead_lettered_rounds,
+                s.dead_lettered_requests,
+                match s.retire_reason {
+                    Some(r) => format!("\"{}\"", r.name()),
+                    None => "null".to_string(),
+                },
             ));
         }
         body.push_str("]}\n");
@@ -952,5 +1163,111 @@ mod tests {
         assert_eq!((resp.status, stop), (200, true));
         let (resp, _) = get(&mut fleet, "/nope");
         assert_eq!(resp.status, 404);
+    }
+
+    /// A small fleet with open-loop members at `rate_rps` and autoscale on
+    /// (1–3 members, scale out ≥ 0.9 occupancy, in ≤ 0.5, sustain 2).
+    fn elastic_fleet(members: u32, rate_rps: f64) -> FleetConfig {
+        let mut cfg = small_fleet(members);
+        for m in &mut cfg.members {
+            m.engine.arrivals = crate::sim::ArrivalModel::Poisson { rate_rps };
+        }
+        let mut template = ServeConfig::paper_rig(2);
+        template.engine.duration_ms = 10;
+        template.probe.duration_ms = 5;
+        template.engine.arrivals = crate::sim::ArrivalModel::Poisson { rate_rps };
+        cfg.autoscale = Some(AutoscalePolicy {
+            min_members: 1,
+            max_members: 3,
+            high_occupancy: 0.9,
+            low_occupancy: 0.5,
+            sustain_rounds: 2,
+            template,
+        });
+        cfg
+    }
+
+    #[test]
+    fn autoscaler_scales_out_on_sustained_saturation() {
+        // 200k rps over 2 cores is ~2.5× the closed-loop saturation point:
+        // occupancy pins at 1.0 and the fleet grows to the ceiling.
+        let mut fleet = FleetSupervisor::new(elastic_fleet(1, 200_000.0));
+        for _ in 0..8 {
+            fleet.run_round();
+        }
+        assert_eq!(fleet.members_live(), 3, "grew to max_members");
+        assert!(fleet.mean_occupancy() > 0.9, "{}", fleet.mean_occupancy());
+        assert_eq!(fleet.availability(), 1.0, "scale events never fail polls");
+        let metrics = fleet.metrics_text();
+        assert!(metrics.contains("sfi_fleet_scale_out_total 2"), "{metrics}");
+        assert!(metrics.contains("sfi_fleet_members_live 3"), "{metrics}");
+        // Spawned members serve real rounds under their own engine label.
+        assert!(fleet.snapshot_json().contains("engine=\\\"2\\\""));
+        // The elastic trajectory is a pure function of the config.
+        let mut again = FleetSupervisor::new(elastic_fleet(1, 200_000.0));
+        for _ in 0..8 {
+            again.run_round();
+        }
+        assert_eq!(fleet.fleet_json(), again.fleet_json());
+        assert_eq!(fleet.snapshot_json(), again.snapshot_json());
+    }
+
+    #[test]
+    fn autoscaler_drains_gracefully_on_low_load() {
+        // 2k rps over 2 cores keeps ~1/15 of each color pool resident:
+        // sustained low occupancy drains the fleet down to the floor,
+        // newest member first, without bleeding availability.
+        let mut fleet = FleetSupervisor::new(elastic_fleet(3, 2_000.0));
+        for _ in 0..8 {
+            fleet.run_round();
+        }
+        assert_eq!(fleet.members_live(), 1, "drained to min_members");
+        assert_eq!(fleet.availability(), 1.0, "graceful drain never fails a poll");
+        let status = fleet.members();
+        assert_eq!(status[0].retire_reason, None, "founding member survives");
+        for s in &status[1..] {
+            assert_eq!(s.state, MemberState::Retired);
+            assert_eq!(s.retire_reason, Some(RetireReason::ScaledIn));
+            assert_eq!(s.dead_lettered_rounds, 0, "drain dead-letters nothing");
+        }
+        let body = fleet.fleet_json();
+        assert!(json_is_valid(&body), "{body}");
+        assert!(body.contains("\"retire_reason\": \"scaled_in\""), "{body}");
+        assert!(body.contains("\"retire_reason\": null"), "{body}");
+        assert!(body.contains("\"dead_lettered_requests\": "), "{body}");
+        let metrics = fleet.metrics_text();
+        assert!(metrics.contains("sfi_fleet_scale_in_total 2"), "{metrics}");
+        assert!(
+            metrics.contains("sfi_fleet_retirements_total 0"),
+            "scale-in is not a fault-budget retirement: {metrics}"
+        );
+        // Drained members' frozen series stay on the scrape surface.
+        assert!(fleet.snapshot_json().contains("engine=\\\"2\\\""));
+    }
+
+    #[test]
+    fn autoscale_trajectory_is_chaos_invariant() {
+        silenced(|| {
+            let quiet = {
+                let mut fleet = FleetSupervisor::new(elastic_fleet(1, 200_000.0));
+                for _ in 0..6 {
+                    fleet.run_round();
+                }
+                (fleet.members_live(), fleet.snapshot_json())
+            };
+            // A mid-round crash on the founding member while the fleet is
+            // scaling: recovery replays the checkpoint, occupancy is modeled
+            // state, so the scale decisions — and every spawned member's
+            // series — land byte-identically.
+            let mut cfg = elastic_fleet(1, 200_000.0);
+            cfg.chaos = FaultPlan::new().engine_fail_at(0, 1, EngineFault::MidRoundPanic);
+            let mut fleet = FleetSupervisor::new(cfg);
+            for _ in 0..6 {
+                fleet.run_round();
+            }
+            assert_eq!(fleet.members_live(), quiet.0, "chaos bent the size trajectory");
+            assert_eq!(fleet.snapshot_json(), quiet.1, "chaos leaked into modeled series");
+            assert_eq!(fleet.members()[0].restarts, 1, "the crash really happened");
+        });
     }
 }

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod hashlb;
+pub mod qos;
 pub mod regex;
 pub mod stats;
 pub mod template;
@@ -39,16 +40,18 @@ mod shard;
 mod sim;
 
 pub use fleet::{
-    fleet_serve_blocking, FleetConfig, FleetSupervisor, MemberState, MemberStatus,
+    fleet_serve_blocking, AutoscalePolicy, FleetConfig, FleetSupervisor, MemberState,
+    MemberStatus, RetireReason,
 };
+pub use qos::{ClassReport, QosConfig, QosReport, SloClass};
 pub use serve::{
     flatten_traces, round_seed, serve_blocking, ServeConfig, ServeEngine, NS_PER_TICK,
 };
 pub use shard::{
-    multicore_sweep_json, simulate_multicore, CacheMode, CoreMetrics, MultiCoreConfig,
-    MultiCoreReport, SpawnModel, DTLB_SAMPLE_RATE,
+    multicore_sweep_json, overload_sweep_json, simulate_multicore, CacheMode, CoreMetrics,
+    MultiCoreConfig, MultiCoreReport, SpawnModel, DTLB_SAMPLE_RATE,
 };
 pub use sim::{
-    sim_registry, simulate, throughput_gain_percent, FaasWorkload, FailureModel, ScalingMode,
-    SimConfig, SimCosts, SimReport,
+    sim_registry, simulate, throughput_gain_percent, ArrivalModel, ArrivalPhase, FaasWorkload,
+    FailureModel, ScalingMode, SimConfig, SimCosts, SimReport,
 };

@@ -112,6 +112,10 @@ pub struct ServeEngine {
     dead_lettered: u64,
     /// The most recent probe's availability (1.0 before the first round).
     availability: f64,
+    /// The most recent engine round's occupancy (0.0 before the first
+    /// round). Modeled state: a pure function of `(config, rounds)`, which
+    /// is what lets autoscale decisions replay byte-identically.
+    occupancy: f64,
     /// Scrape bookkeeping: merged into `/metrics` output only, never into
     /// `/snapshot`, so serving has zero observer effect on modeled series.
     meta: Registry,
@@ -136,6 +140,7 @@ impl ServeEngine {
             quarantined: 0,
             dead_lettered: 0,
             availability: 1.0,
+            occupancy: 0.0,
             meta,
             scrapes,
         }
@@ -160,6 +165,7 @@ impl ServeEngine {
         self.quarantined += health.faults + health.infra_faults;
         self.dead_lettered += health.dead_lettered;
         self.availability = health.availability;
+        self.occupancy = report.occupancy;
         self.rounds += 1;
         report
     }
@@ -167,6 +173,17 @@ impl ServeEngine {
     /// Rounds completed.
     pub fn rounds(&self) -> u64 {
         self.rounds
+    }
+
+    /// The most recent round's engine occupancy (the autoscale signal);
+    /// 0.0 before any round has run.
+    pub fn occupancy(&self) -> f64 {
+        self.occupancy
+    }
+
+    /// Probe requests dead-lettered so far (cumulative).
+    pub fn dead_lettered(&self) -> u64 {
+        self.dead_lettered
     }
 
     /// The cumulative modeled registry.

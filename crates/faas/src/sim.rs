@@ -151,6 +151,101 @@ impl WorkloadRt {
     }
 }
 
+/// How request arrivals are generated.
+///
+/// The legacy rig is *closed-loop*: exactly `requests_per_epoch` arrivals
+/// per 1 ms epoch, which can never overrun the server faster than the
+/// configured constant. The open-loop variants model internet traffic that
+/// does not wait for responses: a seeded Poisson process whose per-epoch
+/// counts are drawn from the same RNG stream as the request bodies, so a
+/// run stays a pure function of the seed. `ClosedLoop` consumes the RNG
+/// exactly as the pre-arrival-model code did — same seed, byte-identical
+/// stream — which is what keeps the PR-5 artifacts stable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum ArrivalModel {
+    /// Fixed `requests_per_epoch` arrivals every epoch (legacy default).
+    #[default]
+    ClosedLoop,
+    /// Open-loop Poisson arrivals at `rate_rps` requests per second.
+    Poisson {
+        /// Mean offered load (requests per second).
+        rate_rps: f64,
+    },
+    /// Open-loop Poisson arrivals modulated by a cyclic phase schedule —
+    /// bursty or diurnal load shapes.
+    Phases {
+        /// Base offered load (requests per second) a multiplier of 1.0
+        /// corresponds to.
+        base_rps: f64,
+        /// The schedule, applied in order and repeated. Must be non-empty
+        /// with a positive total duration (enforced at stream generation).
+        phases: Vec<ArrivalPhase>,
+    },
+}
+
+/// One segment of an [`ArrivalModel::Phases`] schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalPhase {
+    /// How long this phase lasts (ms of simulated time).
+    pub duration_ms: u64,
+    /// Rate multiplier applied to the base rate during the phase (0.0 is a
+    /// legal idle phase).
+    pub rate_multiplier: f64,
+}
+
+impl ArrivalModel {
+    /// A flash-crowd shape: 80 ms at 60% of base load, then a 20 ms burst
+    /// at 2.6×, repeating — mean ≈ base, peak ≈ 2.6× base.
+    pub fn bursty(base_rps: f64) -> ArrivalModel {
+        ArrivalModel::Phases {
+            base_rps,
+            phases: vec![
+                ArrivalPhase { duration_ms: 80, rate_multiplier: 0.6 },
+                ArrivalPhase { duration_ms: 20, rate_multiplier: 2.6 },
+            ],
+        }
+    }
+
+    /// A compressed diurnal cycle over `period_ms`: trough, shoulder, peak,
+    /// shoulder (0.4× / 1.0× / 1.6× / 1.0×).
+    pub fn diurnal(base_rps: f64, period_ms: u64) -> ArrivalModel {
+        let q = (period_ms / 4).max(1);
+        ArrivalModel::Phases {
+            base_rps,
+            phases: vec![
+                ArrivalPhase { duration_ms: q, rate_multiplier: 0.4 },
+                ArrivalPhase { duration_ms: q, rate_multiplier: 1.0 },
+                ArrivalPhase { duration_ms: q, rate_multiplier: 1.6 },
+                ArrivalPhase { duration_ms: q, rate_multiplier: 1.0 },
+            ],
+        }
+    }
+
+    /// Expected arrivals during epoch `epoch_ms` (requests per ms), or
+    /// `None` in closed-loop mode.
+    fn epoch_rate(&self, epoch_ms: u64) -> Option<f64> {
+        match self {
+            ArrivalModel::ClosedLoop => None,
+            ArrivalModel::Poisson { rate_rps } => Some(rate_rps / 1_000.0),
+            ArrivalModel::Phases { base_rps, phases } => {
+                let total: u64 = phases.iter().map(|p| p.duration_ms).sum();
+                assert!(
+                    !phases.is_empty() && total > 0,
+                    "a phase schedule needs a positive cycle length"
+                );
+                let mut pos = epoch_ms % total;
+                for p in phases {
+                    if pos < p.duration_ms {
+                        return Some(base_rps / 1_000.0 * p.rate_multiplier);
+                    }
+                    pos -= p.duration_ms;
+                }
+                unreachable!("pos < total by construction");
+            }
+        }
+    }
+}
+
 /// How the load is scaled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScalingMode {
@@ -212,8 +307,12 @@ pub struct SimConfig {
     pub mode: ScalingMode,
     /// Simulated duration in milliseconds.
     pub duration_ms: u64,
-    /// New requests injected per 1 ms epoch.
+    /// New requests injected per 1 ms epoch (closed-loop mode; open-loop
+    /// models ignore it).
     pub requests_per_epoch: u32,
+    /// Arrival generation — closed-loop by default (byte-compatible with
+    /// the legacy rig), or an open-loop seeded process.
+    pub arrivals: ArrivalModel,
     /// Mean IO delay (ms), Poisson-distributed (§6.4.3 uses 5 ms).
     pub io_mean_ms: f64,
     /// IO/compute stages per request.
@@ -277,6 +376,7 @@ impl SimConfig {
             mode,
             duration_ms: 10_000,
             requests_per_epoch: 40,
+            arrivals: ArrivalModel::ClosedLoop,
             io_mean_ms: 5.0,
             stages: 3,
             seed: 0x5E65E9,
@@ -379,12 +479,15 @@ enum Event {
     SliceDone,
 }
 
-/// Pre-generates a request stream: `requests_per_epoch` arrivals per 1 ms
-/// epoch for `duration_ms` epochs, with per-request compute derived from
-/// real executions of the workload engines. The stream is a pure function of
-/// its arguments, so any two simulations given the same parameters see
-/// identical arrivals, IO delays and compute (the shared basis for both the
-/// single-core and the sharded multi-core schedulers).
+/// Pre-generates a request stream for `duration_ms` 1 ms epochs, with
+/// per-request compute derived from real executions of the workload
+/// engines. Closed-loop mode injects exactly `requests_per_epoch` arrivals
+/// per epoch and consumes the RNG exactly as the legacy generator did;
+/// open-loop models draw the per-epoch count from the same RNG stream
+/// first. Either way the stream is a pure function of its arguments, so any
+/// two simulations given the same parameters see identical arrivals, IO
+/// delays and compute (the shared basis for both the single-core and the
+/// sharded multi-core schedulers).
 pub(crate) fn generate_stream(
     workload: FaasWorkload,
     duration_ms: u64,
@@ -392,12 +495,17 @@ pub(crate) fn generate_stream(
     io_mean_ms: f64,
     stages: u32,
     seed: u64,
+    arrivals: &ArrivalModel,
 ) -> Vec<Request> {
     let mut rng = StdRng::seed_from_u64(seed);
     let rt = WorkloadRt::new();
     let mut reqs = Vec::new();
     for e in 0..duration_ms {
-        for _ in 0..requests_per_epoch {
+        let count = match arrivals.epoch_rate(e) {
+            None => requests_per_epoch,
+            Some(rate_per_ms) => crate::stats::poisson_count(&mut rng, rate_per_ms) as u32,
+        };
+        for _ in 0..count {
             let arrival_ns = e * 1_000_000 + rng.gen_range(0..1_000_000);
             let total_work = workload.service_work(&mut rng, &rt);
             let per_stage_ns = (total_work as f64 * workload.ns_per_work_unit() / f64::from(stages))
@@ -425,6 +533,7 @@ fn generate_requests(cfg: &SimConfig) -> Vec<Request> {
         cfg.io_mean_ms,
         cfg.stages,
         cfg.seed,
+        &cfg.arrivals,
     )
 }
 
@@ -898,6 +1007,76 @@ mod tests {
         let e = simulate(&empty);
         assert_eq!((e.completed, e.dead_lettered), (0, 0));
         assert_eq!(e.availability, 1.0, "no resolved requests ⇒ vacuous availability");
+    }
+
+    #[test]
+    fn open_loop_arrivals_are_deterministic_and_scale_with_rate() {
+        let at = |rate: f64| {
+            let mut cfg = SimConfig::paper_rig(FaasWorkload::HashLoadBalance, ScalingMode::ColorGuard);
+            cfg.duration_ms = 600;
+            cfg.arrivals = ArrivalModel::Poisson { rate_rps: rate };
+            simulate(&cfg)
+        };
+        let a = at(20_000.0);
+        let b = at(20_000.0);
+        assert_eq!(a, b, "open-loop runs replay byte-identically");
+        let heavy = at(60_000.0);
+        // Poisson(λ) over 600 epochs: mean within a few percent of λ·T.
+        let expect = |rate: f64| rate / 1000.0 * 600.0;
+        assert!((a.offered as f64 - expect(20_000.0)).abs() < 0.1 * expect(20_000.0));
+        assert!((heavy.offered as f64 - expect(60_000.0)).abs() < 0.1 * expect(60_000.0));
+        assert!(heavy.offered > 2 * a.offered, "offered load follows the rate");
+    }
+
+    #[test]
+    fn closed_loop_flag_is_byte_compatible_with_legacy_stream() {
+        // The explicit flag and the default must generate the *same* stream
+        // — the byte-compat contract the PR-5 artifacts rest on. Both paths
+        // must also match a stream generated with a different (ignored)
+        // open-loop-only knob untouched.
+        let base = generate_stream(
+            FaasWorkload::RegexFilter, 50, 7, 5.0, 3, 0xA5A5, &ArrivalModel::ClosedLoop,
+        );
+        let dflt = generate_stream(
+            FaasWorkload::RegexFilter, 50, 7, 5.0, 3, 0xA5A5, &ArrivalModel::default(),
+        );
+        assert_eq!(base.len(), dflt.len());
+        for (a, b) in base.iter().zip(&dflt) {
+            assert_eq!((a.arrival_ns, &a.io_ns, &a.compute_ns), (b.arrival_ns, &b.io_ns, &b.compute_ns));
+        }
+        assert_eq!(base.len(), 50 * 7, "closed loop injects exactly N per epoch");
+    }
+
+    #[test]
+    fn phase_schedules_cycle_and_shape_the_load() {
+        // Bursty: same mean neighborhood as flat Poisson, but per-epoch
+        // counts must swing between trough and burst phases.
+        let burst = ArrivalModel::bursty(40_000.0);
+        let s = generate_stream(
+            FaasWorkload::HashLoadBalance, 200, 0, 1.0, 1, 0x7777, &burst,
+        );
+        assert!(!s.is_empty());
+        let mut per_epoch = vec![0u64; 200];
+        for r in &s {
+            per_epoch[(r.arrival_ns / 1_000_000) as usize] += 1;
+        }
+        // Phase boundaries at 80/100 per the bursty schedule: compare mean
+        // arrivals inside trough epochs vs burst epochs across both cycles.
+        let trough: u64 = (0..80).chain(100..180).map(|e| per_epoch[e]).sum();
+        let burst_n: u64 = (80..100).chain(180..200).map(|e| per_epoch[e]).sum();
+        // 160 trough epochs at 24/ms vs 40 burst epochs at 104/ms.
+        assert!(
+            burst_n * 160 > 2 * trough * 40,
+            "burst epochs must run far hotter: burst {burst_n} vs trough {trough}"
+        );
+        // Diurnal constructor produces a positive-length 4-phase cycle.
+        match ArrivalModel::diurnal(10_000.0, 400) {
+            ArrivalModel::Phases { phases, .. } => {
+                assert_eq!(phases.len(), 4);
+                assert_eq!(phases.iter().map(|p| p.duration_ms).sum::<u64>(), 400);
+            }
+            other => panic!("diurnal must be a phase schedule, got {other:?}"),
+        }
     }
 
     #[test]

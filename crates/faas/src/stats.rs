@@ -22,6 +22,17 @@ pub fn poisson(rng: &mut impl Rng, lambda: f64) -> u64 {
     }
 }
 
+/// [`poisson`] guarded for arrival-rate use: λ ≤ 0 (an idle phase of a
+/// schedule) yields 0 without touching the RNG stream, and λ is clamped
+/// below the Knuth sampler's breakdown point so a hostile sweep
+/// multiplier cannot panic the generator mid-run.
+pub fn poisson_count(rng: &mut impl Rng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    poisson(rng, lambda.min(400.0))
+}
+
 /// Samples an Exponential(mean) variate.
 pub fn exponential(rng: &mut impl Rng, mean: f64) -> f64 {
     let u: f64 = rng.gen::<f64>().max(1e-12);
@@ -133,6 +144,19 @@ mod tests {
         assert_eq!(p99(&rev), p99(&xs));
         // The pre-sorted form agrees.
         assert_eq!(percentile_sorted(&xs, 0.99), p99(&xs));
+    }
+
+    #[test]
+    fn poisson_count_guards_edge_lambdas() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(poisson_count(&mut rng, 0.0), 0);
+        assert_eq!(poisson_count(&mut rng, -1.0), 0);
+        // λ = 0 must not consume randomness: the next draw matches a fresh
+        // stream (open-loop idle phases stay byte-compatible).
+        let mut fresh = StdRng::seed_from_u64(3);
+        assert_eq!(poisson_count(&mut rng, 4.0), poisson_count(&mut fresh, 4.0));
+        // Far past the Knuth breakdown point: clamps instead of panicking.
+        assert!(poisson_count(&mut rng, 1e9) > 0);
     }
 
     #[test]

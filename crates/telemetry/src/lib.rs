@@ -54,5 +54,6 @@ pub use registry::{
     CounterId, GaugeId, HistogramId, Registry, RegistryError, SampledCounterId,
 };
 pub use server::{
-    http_get, http_get_retry, retry_with, serve, HttpRequest, HttpResponse, RetryPolicy,
+    http_get, http_get_retry, http_get_retry_with_timeout, http_get_with_timeout, retry_with,
+    serve, HttpRequest, HttpResponse, RetryPolicy,
 };

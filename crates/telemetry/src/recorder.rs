@@ -22,6 +22,9 @@ pub enum TraceKind {
     /// Compiled code was produced — a code-cache miss (`arg` = modeled
     /// compile ns).
     Compile,
+    /// An arrival was shed by admission control (`arg` = SLO class index,
+    /// highest priority = 0).
+    Shed,
 }
 
 impl TraceKind {
@@ -35,6 +38,7 @@ impl TraceKind {
             TraceKind::Recycle => "recycle",
             TraceKind::Steal => "steal",
             TraceKind::Compile => "compile",
+            TraceKind::Shed => "shed",
         }
     }
 
@@ -56,12 +60,13 @@ impl TraceKind {
             TraceKind::Recycle => 4,
             TraceKind::Steal => 5,
             TraceKind::Compile => 6,
+            TraceKind::Shed => 7,
         }
     }
 }
 
 /// Number of [`TraceKind`] variants (per-kind counter array size).
-pub(crate) const TRACE_KINDS: usize = 7;
+pub(crate) const TRACE_KINDS: usize = 8;
 
 /// How a full [`FlightRecorder`] decides what to evict.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

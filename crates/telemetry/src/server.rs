@@ -204,9 +204,27 @@ pub fn serve<H: FnMut(&HttpRequest) -> (HttpResponse, bool)>(
 /// the CI smoke step (curl-equivalent, but offline-policy clean). Returns
 /// `(status, body)`.
 pub fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    http_get_with_timeout(addr, path, IO_TIMEOUT)
+}
+
+/// [`http_get`] with an explicit IO deadline instead of the default:
+/// `timeout` bounds the connect, each write, and each read. A server that
+/// accepts and then hangs (the `HangOnAccept` chaos mode) surfaces as a
+/// timeout error within the deadline instead of wedging the caller —
+/// which is what lets CI scrape steps run un-supervised.
+pub fn http_get_with_timeout(
+    addr: &str,
+    path: &str,
+    timeout: Duration,
+) -> std::io::Result<(u16, String)> {
+    use std::net::ToSocketAddrs;
+    let sock = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+    let mut stream = TcpStream::connect_timeout(&sock, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
     write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
     stream.flush()?;
     let mut raw = String::new();
@@ -300,10 +318,22 @@ pub fn http_get_retry(
     path: &str,
     policy: &RetryPolicy,
 ) -> std::io::Result<(u16, String, u32)> {
+    http_get_retry_with_timeout(addr, path, policy, IO_TIMEOUT)
+}
+
+/// [`http_get_retry`] with an explicit per-attempt IO deadline: the whole
+/// scrape is bounded by `max_attempts × timeout` plus the backoff sum, so
+/// a hung server cannot wedge the client past its budget.
+pub fn http_get_retry_with_timeout(
+    addr: &str,
+    path: &str,
+    policy: &RetryPolicy,
+    timeout: Duration,
+) -> std::io::Result<(u16, String, u32)> {
     retry_with(
         policy,
         |ms| std::thread::sleep(Duration::from_millis(ms)),
-        |_| http_get(addr, path),
+        |_| http_get_with_timeout(addr, path, timeout),
     )
     .map(|((status, body), attempts)| (status, body, attempts))
 }
@@ -395,6 +425,75 @@ mod tests {
         let (v, attempts) = retry_with(&p, |ms| slept.push(ms), |_| Ok::<_, ()>(7)).unwrap();
         assert_eq!((v, attempts), (7, 1));
         assert!(slept.is_empty());
+    }
+
+    #[test]
+    fn bounded_get_times_out_on_a_hung_server() {
+        // A server that accepts and then never answers — the HangOnAccept
+        // chaos mode for real. The bounded client must surface a timeout
+        // within its deadline instead of wedging.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let hang = std::thread::spawn(move || {
+            let (_stream, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(500));
+        });
+        let t0 = std::time::Instant::now();
+        let err = http_get_with_timeout(&addr, "/metrics", Duration::from_millis(50))
+            .expect_err("hung server must not yield a response");
+        assert!(
+            matches!(err.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut),
+            "unexpected error kind: {err:?}"
+        );
+        assert!(t0.elapsed() < Duration::from_millis(400), "deadline not honored");
+        hang.join().unwrap();
+    }
+
+    #[test]
+    fn retry_edges_and_virtual_clock_charge_match_closed_form() {
+        use crate::clock::VirtualClock;
+        use std::cell::RefCell;
+
+        // max_attempts = 0 clamps to one attempt: the op still runs once
+        // and no backoff is ever charged.
+        let zero_budget = RetryPolicy { max_attempts: 0, backoff_base_ms: 25, backoff_cap_ms: 400 };
+        let mut calls = 0u32;
+        let err = retry_with(&zero_budget, |_| panic!("no backoff on a single attempt"), |a| {
+            calls += 1;
+            Err::<(), _>(a)
+        })
+        .unwrap_err();
+        assert_eq!((calls, err), (1, 0), "zero-attempt budget still probes once");
+
+        // Zero-backoff policy: sleep is invoked between attempts but must
+        // charge nothing.
+        let free = RetryPolicy { max_attempts: 3, backoff_base_ms: 0, backoff_cap_ms: 0 };
+        let clock = RefCell::new(VirtualClock::new());
+        let _ = retry_with(
+            &free,
+            |ms| clock.borrow_mut().advance(ms * 1_000_000),
+            |_| Err::<(), _>("down"),
+        );
+        assert_eq!(clock.borrow().now(), 0, "zero-backoff retries are free on the clock");
+
+        // Exhausting an n-attempt budget charges exactly the closed-form
+        // sum of the n-1 inter-attempt backoffs (base << a, capped).
+        let p = RetryPolicy { max_attempts: 6, backoff_base_ms: 25, backoff_cap_ms: 200 };
+        let clock = RefCell::new(VirtualClock::new());
+        let _ = retry_with(
+            &p,
+            |ms| clock.borrow_mut().advance(ms * 1_000_000),
+            |_| Err::<(), _>("down"),
+        );
+        let expected_ms: u64 = (0..p.max_attempts - 1)
+            .map(|a| (p.backoff_base_ms << a).min(p.backoff_cap_ms))
+            .sum();
+        assert_eq!(expected_ms, 25 + 50 + 100 + 200 + 200);
+        assert_eq!(
+            clock.borrow().now(),
+            expected_ms * 1_000_000,
+            "virtual-clock charge must equal the closed-form backoff sum"
+        );
     }
 
     #[test]

@@ -46,17 +46,26 @@ for _ in $(seq 1 50); do
 done
 [ -n "$ADDR" ] || { echo "faas_serve did not report its address"; kill "$SERVE_PID"; exit 1; }
 FAAS_SERVE=target/release/faas_serve
-"$FAAS_SERVE" --get "$ADDR" /metrics | grep -q 'sfi_serve_scrapes_total'
-"$FAAS_SERVE" --get "$ADDR" /snapshot | grep -q '"histograms"'
-"$FAAS_SERVE" --get "$ADDR" '/trace?since=0' | head -1 | grep -q '"next"'
-"$FAAS_SERVE" --get "$ADDR" /healthz | grep -q '"availability"'
-"$FAAS_SERVE" --get "$ADDR" /quit >/dev/null
+# --timeout-ms bounds every scrape attempt: a server wedged on accept
+# fails the step within its deadline instead of hanging CI.
+"$FAAS_SERVE" --get "$ADDR" /metrics --timeout-ms 5000 | grep -q 'sfi_serve_scrapes_total'
+"$FAAS_SERVE" --get "$ADDR" /snapshot --timeout-ms 5000 | grep -q '"histograms"'
+"$FAAS_SERVE" --get "$ADDR" '/trace?since=0' --timeout-ms 5000 | head -1 | grep -q '"next"'
+"$FAAS_SERVE" --get "$ADDR" /healthz --timeout-ms 5000 | grep -q '"availability"'
+"$FAAS_SERVE" --get "$ADDR" /quit --timeout-ms 5000 >/dev/null
 wait "$SERVE_PID"   # exit-code check: the serve loop must stop cleanly
 rm -f "$SERVE_LOG"
 trap - EXIT
 
 echo "== fleet federation: K kills, recovery byte-equality, merged scrape surface =="
 cargo run -q --offline --release -p sfi-bench --bin fleet_serve -- --check
+
+echo "== overload: open-loop sweep, QoS shedding, elastic determinism, legacy bytes =="
+# Runs after figX_multicore: gate 3 byte-compares the recomputed closed-loop
+# sweep against the BENCH_multicore.json written above.
+cargo run -q --offline --release -p sfi-bench --bin figX_overload -- --check
+grep -q '"telemetry"' BENCH_overload.json
+grep -q 'sfi_qos_shed_total' BENCH_overload.json
 
 echo "== bench artifacts embed telemetry sections =="
 cargo run -q --offline --release -p sfi-bench --bin fig6_throughput >/dev/null

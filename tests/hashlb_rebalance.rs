@@ -1,0 +1,85 @@
+//! Rebalancing churn property for the consistent-hash ring (the balancer
+//! the fleet's scale events lean on): when a member retires or spawns,
+//! the ONLY keys that may move are the ones owned by the changed member.
+//! Every key routed to a surviving member keeps its route byte-for-byte —
+//! that is what bounds reshuffle churn at a scale event to ~1/n of the
+//! keyspace instead of a full reshuffle.
+
+use proptest::prelude::*;
+use segue_colorguard::faas::hashlb::HashRing;
+
+fn members(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("member-{i}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Retiring one member (scale-in, or a fault-budget eviction) moves
+    /// only the keys that member owned: every other key's route is
+    /// unchanged.
+    #[test]
+    fn retiring_a_member_moves_only_its_own_keys(
+        n in 3usize..8,
+        vnodes in 8u32..96,
+        victim_pick in any::<u64>(),
+        salt in any::<u64>(),
+    ) {
+        let names = members(n);
+        let victim = names[(victim_pick % n as u64) as usize].clone();
+        let survivors: Vec<String> =
+            names.iter().filter(|m| **m != victim).cloned().collect();
+        let before = HashRing::new(names.clone(), vnodes);
+        let after = HashRing::new(survivors, vnodes);
+        let mut moved = 0u32;
+        let total = 400u32;
+        for k in 0..total {
+            let key = format!("/req/{salt:x}/{k}");
+            let owner = before.route(&key);
+            if owner == victim {
+                moved += 1;
+                prop_assert!(
+                    after.route(&key) != victim,
+                    "key {key} still routed to the retired member"
+                );
+            } else {
+                prop_assert_eq!(
+                    after.route(&key), owner,
+                    "key {} moved although its owner {} survived", key, owner
+                );
+            }
+        }
+        // The churn bound follows: only the victim's keys moved, and with a
+        // roughly even distribution that is ~1/n of the keyspace.
+        prop_assert!(
+            u64::from(moved) <= 3 * u64::from(total) / n as u64,
+            "churn {}/{} exceeds ~1/{} of the keyspace", moved, total, n
+        );
+    }
+
+    /// Spawning a member (scale-out) moves keys only TO the new member:
+    /// no key is reshuffled between pre-existing members.
+    #[test]
+    fn spawning_a_member_moves_keys_only_to_the_new_member(
+        n in 2usize..7,
+        vnodes in 8u32..96,
+        salt in any::<u64>(),
+    ) {
+        let names = members(n);
+        let grown = members(n + 1);
+        let newcomer = grown.last().expect("nonempty").clone();
+        let before = HashRing::new(names, vnodes);
+        let after = HashRing::new(grown, vnodes);
+        for k in 0..400u32 {
+            let key = format!("/req/{salt:x}/{k}");
+            let old = before.route(&key);
+            let new = after.route(&key);
+            if new != old {
+                prop_assert_eq!(
+                    new, newcomer.as_str(),
+                    "key {} reshuffled between surviving members ({} -> {})", key, old, new
+                );
+            }
+        }
+    }
+}
