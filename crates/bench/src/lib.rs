@@ -25,7 +25,7 @@
 
 #![forbid(unsafe_code)]
 
-use sfi_core::{compile, CompiledModule, CompilerConfig, MemLayout, RuntimeRegions, Strategy};
+use sfi_core::{compile, CompiledModule, CompilerConfig, MemLayout, OptLevel, RuntimeRegions, Strategy};
 use sfi_wasm::PAGE_SIZE;
 use sfi_workloads::Workload;
 use sfi_x86::cost::RunStats;
@@ -58,6 +58,7 @@ pub fn config_for(strategy: Strategy, mem_pages: u32, vectorize: bool) -> Compil
             stack_check: false,
             lfi_reserved_regs: false,
             segment_entry_protocol: false,
+            opt_level: OptLevel::Baseline,
             layout: MemLayout { heap_base: 0, mem_size, guard_size: 0 },
             regions: RuntimeRegions {
                 header_base: 0x14_0000 + mem_size as u32,
@@ -74,6 +75,7 @@ pub fn config_for(strategy: Strategy, mem_pages: u32, vectorize: bool) -> Compil
         stack_check: true,
         lfi_reserved_regs: false,
         segment_entry_protocol: false,
+        opt_level: OptLevel::Baseline,
         layout: MemLayout { heap_base: 0x10_0000, mem_size, guard_size: 0x1_0000 },
         regions: RuntimeRegions::small_test(),
     }

@@ -23,7 +23,8 @@ use sfi_x86::emu::Image;
 use sfi_x86::inst::{AluOp, ShiftAmount, ShiftOp};
 use sfi_x86::{Cond, Gpr, Inst, Label, Mem, Program, Scale, Width};
 
-use crate::config::{regs, CompilerConfig, FuncStats, Strategy};
+use crate::config::{regs, CompilerConfig, FuncStats, OptLevel, Strategy};
+use crate::opt::{self, LiveRange, OptStats};
 
 /// Host-call ids for the compiler's built-in runtime helpers (the ids above
 /// the module's import space).
@@ -104,6 +105,9 @@ pub struct CompiledModule {
     pub func_has_result: Vec<bool>,
     /// Per-defined-function statistics.
     pub func_stats: Vec<FuncStats>,
+    /// What the optimizing tier did (all zeros under
+    /// [`OptLevel::Baseline`]).
+    pub opt_stats: OptStats,
     /// The configuration used.
     pub config: CompilerConfig,
 }
@@ -160,6 +164,15 @@ pub fn compile(module: &Module, config: &CompilerConfig) -> Result<CompiledModul
         func_stats.push(stats);
     }
 
+    // The optimizing tier runs over the finished program, before
+    // vectorization, so that the vectorizer sees the fused/cleaned code.
+    // Baseline output is byte-identical to a build without the tier.
+    let opt_stats = if config.opt_level == OptLevel::Optimized {
+        opt::optimize(&mut program)
+    } else {
+        OptStats::default()
+    };
+
     if config.vectorize {
         crate::vectorize::vectorize(&mut program, config.strategy);
     }
@@ -205,6 +218,7 @@ pub fn compile(module: &Module, config: &CompilerConfig) -> Result<CompiledModul
             .map(|i| module.signature(i).is_some_and(|(_, r)| r.is_some()))
             .collect(),
         func_stats,
+        opt_stats,
         config: config.clone(),
     })
 }
@@ -313,6 +327,39 @@ struct CtrlFrame {
     stack_height: usize,
 }
 
+/// Estimates a dynamic use count per local: each static `local.get/set/tee`
+/// counts `8^depth` where `depth` is the loop-nesting depth (capped so the
+/// weight cannot overflow). The optimizing tier's register allocator uses
+/// these as spill weights.
+fn local_weights(func: &Func) -> Vec<u64> {
+    let mut weights = vec![0u64; func.local_count() as usize];
+    let mut kinds: Vec<bool> = Vec::new(); // true = loop frame
+    let mut loop_depth = 0u32;
+    for op in &func.body {
+        match op {
+            Op::Block | Op::If => kinds.push(false),
+            Op::Loop => {
+                kinds.push(true);
+                loop_depth += 1;
+            }
+            Op::End => {
+                if let Some(was_loop) = kinds.pop() {
+                    if was_loop {
+                        loop_depth -= 1;
+                    }
+                }
+            }
+            Op::LocalGet(i) | Op::LocalSet(i) | Op::LocalTee(i) => {
+                if let Some(w) = weights.get_mut(*i as usize) {
+                    *w = w.saturating_add(1u64 << (3 * loop_depth.min(6)));
+                }
+            }
+            _ => {}
+        }
+    }
+    weights
+}
+
 struct FuncCompiler<'a> {
     module: &'a Module,
     func: &'a Func,
@@ -325,6 +372,10 @@ struct FuncCompiler<'a> {
     n_frame_locals: u32,
     stack: Vec<Slot>,
     free_regs: Vec<Gpr>,
+    /// The registers that belong to the operand pool *for this function*:
+    /// the optimizing tier may steal operand registers for hot locals, and
+    /// a stolen register must never be returned to `free_regs`.
+    operand_regs: Vec<Gpr>,
     ctrl: Vec<CtrlFrame>,
     epilogue: Label,
     trap: Label,
@@ -344,29 +395,80 @@ impl<'a> FuncCompiler<'a> {
         // Assign locals to registers from the local pool; the heap-base
         // register is only available when the strategy does not reserve it,
         // and LFI builds additionally set aside %r14.
-        let mut pool: Vec<Gpr> = regs::LOCAL_POOL
+        let local_pool: Vec<Gpr> = regs::LOCAL_POOL
             .iter()
             .copied()
             .filter(|&r| !(config.strategy.reserves_heap_gpr() && r == regs::HEAP_BASE))
             .filter(|&r| !(config.lfi_reserved_regs && r == Gpr::R14))
             .collect();
-        pool.reverse(); // pop() yields R12 first
-        let total = func.local_count();
-        let mut locals = Vec::with_capacity(total as usize);
+        let operand_pool: Vec<Gpr> = regs::OPERAND_POOL
+            .iter()
+            .copied()
+            .filter(|&r| !(config.lfi_reserved_regs && r == Gpr::R10))
+            .collect();
+
+        let total = func.local_count() as usize;
+        let mut locals = Vec::with_capacity(total);
         let mut reg_locals = Vec::new();
         let mut n_frame = 0u32;
-        for _ in 0..total {
-            match pool.pop() {
-                Some(r) => {
-                    reg_locals.push(r);
-                    locals.push(LocalLoc::Reg(r));
+        let mut free_regs = operand_pool.clone();
+
+        if config.opt_level == OptLevel::Optimized {
+            // Optimizing tier: weight-driven allocation. Loop-nested locals
+            // get registers first, and when the local pool runs out the
+            // allocator borrows registers from the tail of the operand
+            // pool — the transient operand pressure rarely exceeds three
+            // registers, so up to `len - 4` can be lent to hot locals.
+            // Borrowed registers are part of `reg_locals` and therefore
+            // caller-saved around calls by the existing push/pop protocol.
+            let weights = local_weights(func);
+            let lend = total
+                .saturating_sub(local_pool.len())
+                .min(operand_pool.len().saturating_sub(4));
+            let mut candidates = local_pool.clone();
+            candidates.extend(operand_pool.iter().rev().take(lend));
+            let ranges: Vec<LiveRange> = (0..total)
+                .map(|i| LiveRange {
+                    vreg: i,
+                    start: 0,
+                    end: func.body.len(),
+                    weight: weights[i],
+                })
+                .collect();
+            let assignment = opt::linear_scan(&ranges, candidates.len());
+            for slot in assignment.iter().take(total) {
+                match slot {
+                    Some(k) => {
+                        let r = candidates[*k];
+                        reg_locals.push(r);
+                        locals.push(LocalLoc::Reg(r));
+                        free_regs.retain(|&f| f != r);
+                    }
+                    None => {
+                        locals.push(LocalLoc::Frame(n_frame));
+                        n_frame += 1;
+                    }
                 }
-                None => {
-                    locals.push(LocalLoc::Frame(n_frame));
-                    n_frame += 1;
+            }
+        } else {
+            // Baseline tier: first-come-first-served, byte-identical to the
+            // pre-tiering compiler.
+            let mut pool = local_pool;
+            pool.reverse(); // pop() yields R12 first
+            for _ in 0..total {
+                match pool.pop() {
+                    Some(r) => {
+                        reg_locals.push(r);
+                        locals.push(LocalLoc::Reg(r));
+                    }
+                    None => {
+                        locals.push(LocalLoc::Frame(n_frame));
+                        n_frame += 1;
+                    }
                 }
             }
         }
+        let operand_regs = free_regs.clone();
         FuncCompiler {
             module,
             func,
@@ -377,11 +479,8 @@ impl<'a> FuncCompiler<'a> {
             reg_locals,
             n_frame_locals: n_frame,
             stack: Vec::new(),
-            free_regs: regs::OPERAND_POOL
-                .iter()
-                .copied()
-                .filter(|&r| !(config.lfi_reserved_regs && r == Gpr::R10))
-                .collect(),
+            free_regs,
+            operand_regs,
             ctrl: Vec::new(),
             epilogue: Label(u32::MAX),
             trap: Label(u32::MAX),
@@ -554,7 +653,7 @@ impl<'a> FuncCompiler<'a> {
 
     fn free_reg(&mut self, r: Gpr) {
         debug_assert!(!self.free_regs.contains(&r));
-        if regs::OPERAND_POOL.contains(&r) {
+        if self.operand_regs.contains(&r) {
             self.free_regs.push(r);
         }
     }

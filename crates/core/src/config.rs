@@ -185,11 +185,50 @@ impl RuntimeRegions {
     }
 }
 
+/// The compilation tier.
+///
+/// [`OptLevel::Baseline`] is the single-pass compiler unchanged — cold
+/// spawns pay exactly the codegen they always did, and its output is
+/// byte-identical to what this crate produced before tiering existed.
+/// [`OptLevel::Optimized`] additionally runs the [`crate::opt`] pipeline
+/// (constant folding, redundant truncation/bounds-check elimination,
+/// Segue-aware addressing fusion) and the widened register allocator that
+/// exploits the GPR Segue frees. The two tiers must be *observationally*
+/// identical (the differential-equivalence gate); they are deliberately not
+/// byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OptLevel {
+    /// Single-pass baseline codegen (the cold-spawn tier).
+    #[default]
+    Baseline,
+    /// Baseline codegen followed by the optimizing pass pipeline and the
+    /// widened local register allocation (the hot-module tier).
+    Optimized,
+}
+
+impl OptLevel {
+    /// Stable name, used in cache fingerprints and telemetry labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            OptLevel::Baseline => "baseline",
+            OptLevel::Optimized => "optimized",
+        }
+    }
+}
+
+impl core::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Full compiler configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompilerConfig {
     /// The SFI strategy.
     pub strategy: Strategy,
+    /// The compilation tier (defaults to [`OptLevel::Baseline`]).
+    pub opt_level: OptLevel,
     /// Run the WAMR-style store-vectorization pass (§4.2).
     pub vectorize: bool,
     /// Emit a stack-overflow check in every prologue (on for sandboxed
@@ -217,6 +256,7 @@ impl CompilerConfig {
     pub fn for_strategy(strategy: Strategy) -> CompilerConfig {
         CompilerConfig {
             strategy,
+            opt_level: OptLevel::Baseline,
             vectorize: false,
             stack_check: strategy != Strategy::Native,
             layout: MemLayout::small_test(),
@@ -224,6 +264,14 @@ impl CompilerConfig {
             lfi_reserved_regs: false,
             segment_entry_protocol: false,
         }
+    }
+
+    /// This configuration at [`OptLevel::Optimized`] — the hot-module tier
+    /// the runtime promotes to.
+    #[must_use]
+    pub fn optimized(mut self) -> CompilerConfig {
+        self.opt_level = OptLevel::Optimized;
+        self
     }
 }
 

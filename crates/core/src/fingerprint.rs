@@ -39,6 +39,7 @@ impl CompilerConfig {
     pub fn cache_fingerprint(&self) -> u64 {
         let mut h = FNV_OFFSET;
         h = fnv1a_bytes(h, self.strategy.name().as_bytes());
+        h = fnv1a_bytes(h, self.opt_level.name().as_bytes());
         h = fnv1a_bytes(
             h,
             &[
@@ -114,8 +115,14 @@ mod tests {
         c.regions.stack_top += 0x1000;
         assert_ne!(fp, c.cache_fingerprint(), "runtime regions");
 
-        let mut c = base;
+        let mut c = base.clone();
         c.segment_entry_protocol = true;
         assert_ne!(fp, c.cache_fingerprint(), "segment entry protocol");
+
+        // The tier is part of the key: promoted (optimized) code must never
+        // be served under a baseline lookup or vice versa.
+        let opt = base.optimized();
+        assert_ne!(fp, opt.cache_fingerprint(), "opt level");
+        assert_eq!(opt.cache_fingerprint(), opt.clone().cache_fingerprint(), "stable");
     }
 }

@@ -258,7 +258,8 @@ fn is_probably_i32(v: u64) -> bool {
 }
 
 /// Convenience: run a strategy sweep and confirm every strategy (except the
-/// wrap-divergent `Masking` on trapping inputs) matches the interpreter.
+/// wrap-divergent `Masking` on trapping inputs) matches the interpreter —
+/// at both the baseline and the optimizing tier.
 pub fn differential_check(module: &sfi_wasm::Module, export: &str, args: &[u64]) {
     for strategy in [
         Strategy::Native,
@@ -268,9 +269,12 @@ pub fn differential_check(module: &sfi_wasm::Module, export: &str, args: &[u64])
         Strategy::BoundsCheck,
         Strategy::BoundsCheckSegue,
     ] {
-        let config = crate::config::CompilerConfig::for_strategy(strategy);
-        let cm = crate::compile::compile(module, &config)
-            .unwrap_or_else(|e| panic!("compile under {strategy}: {e}"));
-        assert_matches_interpreter(module, &cm, export, args);
+        let baseline = crate::config::CompilerConfig::for_strategy(strategy);
+        for config in [baseline.clone(), baseline.clone().optimized()] {
+            let cm = crate::compile::compile(module, &config).unwrap_or_else(|e| {
+                panic!("compile under {strategy} ({}): {e}", config.opt_level.name())
+            });
+            assert_matches_interpreter(module, &cm, export, args);
+        }
     }
 }

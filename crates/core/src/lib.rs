@@ -45,11 +45,13 @@ pub mod compile;
 pub mod config;
 pub mod fingerprint;
 pub mod harness;
+pub mod opt;
 pub mod vectorize;
 
 pub use compile::{compile, CompileError, CompiledModule};
-pub use config::{CompilerConfig, FuncStats, MemLayout, RuntimeRegions, Strategy};
+pub use config::{CompilerConfig, FuncStats, MemLayout, OptLevel, RuntimeRegions, Strategy};
 pub use fingerprint::module_hash;
+pub use opt::OptStats;
 
 #[cfg(test)]
 mod tests {
@@ -530,6 +532,112 @@ mod tests {
 }
 
 #[cfg(test)]
+mod tier_tests {
+    use crate::harness::{differential_check, execute_export};
+    use crate::{compile, CompilerConfig, OptLevel, Strategy};
+
+    /// A hot loop with more live locals than the baseline local pool: the
+    /// optimizing tier must keep them all in registers (borrowing from the
+    /// operand pool) and fold the Segue addressing.
+    const HOT_SRC: &str = r#"(module (memory 1)
+        (func (export "kern") (param $n i32) (result i32)
+          (local $i i32) (local $a i32) (local $b i32) (local $c i32)
+          (local $d i32) (local $acc i32)
+          i32.const 1 local.set $a
+          i32.const 2 local.set $b
+          i32.const 3 local.set $c
+          i32.const 4 local.set $d
+          block loop
+            local.get $i local.get $n i32.ge_u br_if 1
+            local.get $acc
+            local.get $i i32.const 4 i32.mul i32.load
+            local.get $a i32.add local.get $b i32.xor
+            local.get $c i32.add local.get $d i32.xor
+            i32.add local.set $acc
+            local.get $i i32.const 1 i32.add local.set $i
+            br 0
+          end end
+          local.get $acc))"#;
+
+    #[test]
+    fn optimized_tier_matches_interpreter_and_baseline() {
+        let m = sfi_wasm::wat::parse(HOT_SRC).unwrap();
+        differential_check(&m, "kern", &[37]);
+    }
+
+    #[test]
+    fn optimized_tier_cuts_cycles_on_hot_loop() {
+        let m = sfi_wasm::wat::parse(HOT_SRC).unwrap();
+        let cfg = CompilerConfig::for_strategy(Strategy::Segue);
+        let base = compile(&m, &cfg).unwrap();
+        let opt = compile(&m, &cfg.clone().optimized()).unwrap();
+        assert!(opt.opt_stats.total() > 0, "the tier must do work: {:?}", opt.opt_stats);
+        let b = execute_export(&base, "kern", &[200]).unwrap();
+        let o = execute_export(&opt, "kern", &[200]).unwrap();
+        assert_eq!(b.result, o.result, "tiers must agree");
+        assert!(
+            o.stats.cycles < b.stats.cycles,
+            "optimized {} vs baseline {} cycles",
+            o.stats.cycles,
+            b.stats.cycles
+        );
+        assert!(
+            o.stats.loads < b.stats.loads,
+            "register-allocated locals must cut frame traffic: {} vs {}",
+            o.stats.loads,
+            b.stats.loads
+        );
+    }
+
+    #[test]
+    fn baseline_tier_is_byte_identical_to_default() {
+        // With tiering off the artifact is byte-for-byte the pre-tier output.
+        let m = sfi_wasm::wat::parse(HOT_SRC).unwrap();
+        for s in Strategy::ALL {
+            let cfg = CompilerConfig::for_strategy(s);
+            assert_eq!(cfg.opt_level, OptLevel::Baseline, "default is baseline");
+            let a = compile(&m, &cfg).unwrap();
+            let b = compile(&m, &cfg).unwrap();
+            assert_eq!(a.image.encoded().bytes, b.image.encoded().bytes, "{s}");
+            assert_eq!(a.opt_stats.total(), 0, "baseline runs no passes");
+        }
+    }
+
+    #[test]
+    fn operand_pool_borrowing_survives_deep_stacks_and_calls() {
+        // 8 locals (borrows operand registers) + a call (caller-save path)
+        // + deep operand stack (spill path with the narrowed pool).
+        let m = sfi_wasm::wat::parse(
+            r#"(module (memory 1)
+                 (func $leaf (param i32) (result i32)
+                   local.get 0 i32.const 1 i32.add)
+                 (func (export "f") (param $n i32) (result i32)
+                   (local $a i32) (local $b i32) (local $c i32) (local $d i32)
+                   (local $e i32) (local $f i32) (local $g i32)
+                   block loop
+                     local.get $n i32.eqz br_if 1
+                     local.get $a i32.const 3 i32.mul i32.const 7 i32.add local.set $a
+                     local.get $b local.get $a i32.xor local.set $b
+                     local.get $c local.get $b call $leaf i32.add local.set $c
+                     local.get $d i32.const 1 i32.add local.set $d
+                     local.get $e local.get $d i32.or local.set $e
+                     local.get $f local.get $e i32.add local.set $f
+                     local.get $g i32.const 2 i32.mul local.get $f i32.add local.set $g
+                     local.get $n i32.const 1 i32.sub local.set $n
+                     br 0
+                   end end
+                   local.get $a local.get $b i32.add local.get $c i32.add
+                   local.get $d i32.add local.get $e i32.add
+                   local.get $f i32.add local.get $g i32.add))"#,
+        )
+        .unwrap();
+        differential_check(&m, "f", &[0]);
+        differential_check(&m, "f", &[1]);
+        differential_check(&m, "f", &[23]);
+    }
+}
+
+#[cfg(test)]
 mod segment_entry_tests {
     use crate::harness::execute_export;
     use crate::{compile, CompilerConfig, Strategy};
@@ -587,3 +695,4 @@ mod segment_entry_tests {
         );
     }
 }
+

@@ -1,0 +1,362 @@
+//! Segue-aware addressing-mode fusion.
+//!
+//! The paper's Figure 1 point: on x86-64, a sandboxed heap access can carry
+//! its entire guest address computation — `e_idx + e_ofs*s + d` — in one
+//! `gs:`-relative operand with an address-size override, instead of
+//! materializing the address with `lea`/`mov` first. The baseline compiler
+//! materializes; this pass folds the materialization back into the memory
+//! operand wherever that is *provably* legal:
+//!
+//! - **Constant components**: after `mov t, imm`, a memory operand using
+//!   `t` as base or index absorbs the constant into its displacement. This
+//!   is exact arithmetic at both address sizes, provided the combined
+//!   displacement fits the 32-bit displacement field — checked by
+//!   [`Mem::fold_constant_base`] / an explicit `i32::try_from`; overflowing
+//!   folds are rejected, never truncated.
+//! - **`lea`-computed bases**: after `lea t, [b + i*s + d]`, an access
+//!   `seg:[t + d']` absorbs the whole address expression via
+//!   [`Mem::substitute_base`]. Legality is subtle: a 32-bit `lea` wraps
+//!   modulo 2³² *before* the access, so the fused form is only equivalent
+//!   when the access itself carries the address-size override (then both
+//!   sides reduce modulo 2³²). A 32-bit `lea` feeding a non-`addr32`
+//!   access is **rejected** — folding it would turn an intended
+//!   guard-page trap into a silent wrap. A 64-bit `lea` of a non-`addr32`
+//!   operand is exact and fuses into any access. Encoding limits
+//!   (one index register, displacement range) are enforced by
+//!   `substitute_base` returning `None`.
+//!
+//! When every use of the producer folds away and the register is then
+//! overwritten, the producer itself becomes `nop`.
+
+use sfi_x86::{Gpr, Inst, Mem, Width};
+
+use super::{defines, is_barrier, reads, OptStats};
+
+pub(super) fn run(insts: &mut [Inst], leaders: &[bool], stats: &mut OptStats) {
+    for i in 0..insts.len() {
+        match insts[i] {
+            Inst::MovRI { dst, imm, width: Width::D } => {
+                fuse_constant(insts, leaders, stats, i, dst, imm as u32);
+            }
+            Inst::MovRI { dst, imm, width: Width::Q }
+                if imm >= 0 && imm <= i64::from(u32::MAX) =>
+            {
+                fuse_constant(insts, leaders, stats, i, dst, imm as u32);
+            }
+            Inst::Lea { dst, mem, width } if matches!(width, Width::D | Width::Q) => {
+                fuse_lea(insts, leaders, stats, i, dst, mem, width);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Folds the known constant value `v` of register `t` into the memory
+/// operands of following instructions (same extended basic block, `t` not
+/// redefined). Nops the producer when `t` dies with every use folded.
+fn fuse_constant(
+    insts: &mut [Inst],
+    leaders: &[bool],
+    stats: &mut OptStats,
+    i: usize,
+    t: Gpr,
+    v: u32,
+) {
+    let mut any = false;
+    let mut all_folded = true;
+    let mut dead = false;
+    for j in i + 1..insts.len() {
+        if leaders[j] || is_barrier(&insts[j]) || insts[j].is_control_flow() {
+            break; // t escapes the region
+        }
+        if let Some(mem) = insts[j].mem_mut() {
+            let m = *mem;
+            if m.base == Some(t) {
+                if let Some(f) = m.fold_constant_base(v) {
+                    *mem = f;
+                    any = true;
+                    stats.addresses_fused += 1;
+                }
+            } else if let Some((r, s)) = m.index {
+                if r == t {
+                    // Index contribution is exactly v * factor at either
+                    // address size; reject if the displacement field
+                    // cannot hold the sum.
+                    let sum = i64::from(v) * s.factor() as i64 + i64::from(m.disp);
+                    if let Ok(disp) = i32::try_from(sum) {
+                        *mem = Mem { index: None, disp, ..m };
+                        any = true;
+                        stats.addresses_fused += 1;
+                    }
+                }
+            }
+        }
+        let now = insts[j];
+        if reads(&now, t) {
+            all_folded = false;
+        }
+        if defines(&now, t) {
+            dead = all_folded;
+            break;
+        }
+    }
+    if dead && any {
+        insts[i] = Inst::Nop;
+        stats.fused_producers_removed += 1;
+    }
+}
+
+/// Folds `lea t, [m]` into following accesses based on `t`.
+fn fuse_lea(
+    insts: &mut [Inst],
+    leaders: &[bool],
+    stats: &mut OptStats,
+    i: usize,
+    t: Gpr,
+    m: Mem,
+    lea_width: Width,
+) {
+    let srcs: Vec<Gpr> = m.regs_read().collect();
+    let mut any = false;
+    let mut all_folded = true;
+    let mut dead = false;
+    for j in i + 1..insts.len() {
+        if leaders[j] || is_barrier(&insts[j]) || insts[j].is_control_flow() {
+            break;
+        }
+        if let Some(mem) = insts[j].mem_mut() {
+            let a = *mem;
+            // Equivalence: with addr32 on the access both forms reduce
+            // mod 2³²; without it the lea's value must be the exact 64-bit
+            // address, i.e. a 64-bit lea of a non-truncating operand.
+            let legal = a.addr32 || (lea_width == Width::Q && !m.addr32);
+            if a.base == Some(t) && legal {
+                if let Some(f) = a.substitute_base(m) {
+                    *mem = f;
+                    any = true;
+                    stats.addresses_fused += 1;
+                }
+            }
+        }
+        let now = insts[j];
+        if reads(&now, t) {
+            all_folded = false;
+        }
+        if defines(&now, t) {
+            dead = all_folded;
+            break;
+        }
+        // Once an address component changes, later accesses through `t`
+        // would fold the *new* component values: stop.
+        if srcs.iter().any(|&r| defines(&now, r)) {
+            break;
+        }
+    }
+    if dead && any {
+        insts[i] = Inst::Nop;
+        stats.fused_producers_removed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::leaders;
+    use super::*;
+    use sfi_x86::{Scale, Seg};
+
+    fn run_pass(p: &mut sfi_x86::Program) -> OptStats {
+        let mut stats = OptStats::default();
+        let l = leaders(p);
+        run(p.insts_mut(), &l, &mut stats);
+        stats
+    }
+
+    fn gs32(m: Mem) -> Mem {
+        m.with_seg(Seg::Gs).with_addr32()
+    }
+
+    #[test]
+    fn lea32_fuses_into_segue_access() {
+        // lea ebx, [ecx + edx*4 + 8] ; mov rax, gs:[ebx] ; mov rbx, 0
+        // => mov rax, gs:[ecx + edx*4 + 8]  (Figure 1c in one operand)
+        let mut p = sfi_x86::Program::new();
+        p.push(Inst::Lea {
+            dst: Gpr::Rbx,
+            mem: Mem::bisd(Gpr::Rcx, Gpr::Rdx, Scale::S4, 8),
+            width: Width::D,
+        });
+        p.push(Inst::Load { dst: Gpr::Rax, mem: gs32(Mem::base(Gpr::Rbx)), width: Width::Q });
+        p.push(Inst::MovRI { dst: Gpr::Rbx, imm: 0, width: Width::Q });
+        p.push(Inst::Ret);
+        let stats = run_pass(&mut p);
+        assert_eq!(stats.addresses_fused, 1);
+        assert_eq!(stats.fused_producers_removed, 1);
+        assert_eq!(p.insts()[0], Inst::Nop, "dead lea removed");
+        assert_eq!(
+            p.insts()[1],
+            Inst::Load {
+                dst: Gpr::Rax,
+                mem: gs32(Mem::bisd(Gpr::Rcx, Gpr::Rdx, Scale::S4, 8)),
+                width: Width::Q
+            }
+        );
+    }
+
+    #[test]
+    fn lea32_into_non_addr32_access_is_rejected() {
+        // A 32-bit lea wraps mod 2^32 before the access; without the
+        // address-size override the fused form would not wrap — folding
+        // would turn a guard-page trap into a silent wrap.
+        let mut p = sfi_x86::Program::new();
+        p.push(Inst::Lea {
+            dst: Gpr::Rbx,
+            mem: Mem::base_disp(Gpr::Rcx, 8),
+            width: Width::D,
+        });
+        p.push(Inst::Load { dst: Gpr::Rax, mem: Mem::base(Gpr::Rbx), width: Width::Q });
+        p.push(Inst::Ret);
+        let before = p.insts().to_vec();
+        let stats = run_pass(&mut p);
+        assert_eq!(stats.addresses_fused, 0);
+        assert_eq!(p.insts(), &before[..]);
+    }
+
+    #[test]
+    fn lea64_fuses_into_plain_access() {
+        // Exact 64-bit arithmetic: lea rbx, [r15 + rcx] ; mov rax, [rbx+16]
+        // => mov rax, [r15 + rcx + 16].
+        let mut p = sfi_x86::Program::new();
+        p.push(Inst::Lea {
+            dst: Gpr::Rbx,
+            mem: Mem::bisd(Gpr::R15, Gpr::Rcx, Scale::S1, 0),
+            width: Width::Q,
+        });
+        p.push(Inst::Load { dst: Gpr::Rax, mem: Mem::base_disp(Gpr::Rbx, 16), width: Width::Q });
+        p.push(Inst::MovRI { dst: Gpr::Rbx, imm: 0, width: Width::Q });
+        p.push(Inst::Ret);
+        let stats = run_pass(&mut p);
+        assert_eq!(stats.addresses_fused, 1);
+        assert_eq!(
+            p.insts()[1],
+            Inst::Load {
+                dst: Gpr::Rax,
+                mem: Mem::bisd(Gpr::R15, Gpr::Rcx, Scale::S1, 16),
+                width: Width::Q
+            }
+        );
+    }
+
+    #[test]
+    fn fusion_rejected_when_both_sides_have_an_index() {
+        // x86 encodes at most one index register per operand.
+        let mut p = sfi_x86::Program::new();
+        p.push(Inst::Lea {
+            dst: Gpr::Rbx,
+            mem: Mem::bisd(Gpr::Rcx, Gpr::Rdx, Scale::S4, 0),
+            width: Width::D,
+        });
+        p.push(Inst::Load {
+            dst: Gpr::Rax,
+            mem: gs32(Mem::bisd(Gpr::Rbx, Gpr::Rsi, Scale::S2, 0)),
+            width: Width::Q,
+        });
+        p.push(Inst::Ret);
+        let stats = run_pass(&mut p);
+        assert_eq!(stats.addresses_fused, 0, "two index registers cannot encode");
+        assert!(matches!(p.insts()[0], Inst::Lea { .. }), "producer kept");
+    }
+
+    #[test]
+    fn fusion_rejected_on_displacement_overflow() {
+        let mut p = sfi_x86::Program::new();
+        p.push(Inst::Lea {
+            dst: Gpr::Rbx,
+            mem: Mem::base_disp(Gpr::Rcx, i32::MAX),
+            width: Width::D,
+        });
+        p.push(Inst::Load {
+            dst: Gpr::Rax,
+            mem: gs32(Mem::base_disp(Gpr::Rbx, 1)),
+            width: Width::Q,
+        });
+        p.push(Inst::Ret);
+        let stats = run_pass(&mut p);
+        assert_eq!(stats.addresses_fused, 0, "disp32 field cannot hold the sum");
+    }
+
+    #[test]
+    fn constant_base_folds_into_displacement() {
+        let mut p = sfi_x86::Program::new();
+        p.push(Inst::MovRI { dst: Gpr::Rbx, imm: 0x1000, width: Width::D });
+        p.push(Inst::Load { dst: Gpr::Rax, mem: gs32(Mem::base_disp(Gpr::Rbx, 8)), width: Width::D });
+        p.push(Inst::MovRI { dst: Gpr::Rbx, imm: 0, width: Width::Q });
+        p.push(Inst::Ret);
+        let stats = run_pass(&mut p);
+        assert_eq!(stats.addresses_fused, 1);
+        assert_eq!(stats.fused_producers_removed, 1);
+        assert_eq!(p.insts()[0], Inst::Nop);
+        assert_eq!(
+            p.insts()[1],
+            Inst::Load { dst: Gpr::Rax, mem: gs32(Mem::abs(0x1008)), width: Width::D }
+        );
+    }
+
+    #[test]
+    fn constant_index_folds_scaled() {
+        let mut p = sfi_x86::Program::new();
+        p.push(Inst::MovRI { dst: Gpr::Rdx, imm: 5, width: Width::D });
+        p.push(Inst::Load {
+            dst: Gpr::Rax,
+            mem: gs32(Mem::bisd(Gpr::Rbx, Gpr::Rdx, Scale::S8, 4)),
+            width: Width::D,
+        });
+        p.push(Inst::MovRI { dst: Gpr::Rdx, imm: 0, width: Width::Q });
+        p.push(Inst::Ret);
+        let stats = run_pass(&mut p);
+        assert_eq!(stats.addresses_fused, 1);
+        assert_eq!(
+            p.insts()[1],
+            Inst::Load { dst: Gpr::Rax, mem: gs32(Mem::base_disp(Gpr::Rbx, 44)), width: Width::D }
+        );
+    }
+
+    #[test]
+    fn oversized_constant_is_rejected() {
+        // 3 GiB as a base cannot live in a disp32 field.
+        let mut p = sfi_x86::Program::new();
+        p.push(Inst::MovRI { dst: Gpr::Rbx, imm: 0xC000_0000, width: Width::D });
+        p.push(Inst::Load { dst: Gpr::Rax, mem: gs32(Mem::base(Gpr::Rbx)), width: Width::D });
+        p.push(Inst::Ret);
+        let before = p.insts().to_vec();
+        let stats = run_pass(&mut p);
+        assert_eq!(stats.addresses_fused, 0);
+        assert_eq!(p.insts(), &before[..]);
+    }
+
+    #[test]
+    fn producer_kept_when_register_still_read() {
+        // The constant also feeds a non-memory use: fold the address but
+        // keep the producer.
+        let mut p = sfi_x86::Program::new();
+        p.push(Inst::MovRI { dst: Gpr::Rbx, imm: 0x40, width: Width::D });
+        p.push(Inst::Load { dst: Gpr::Rax, mem: gs32(Mem::base(Gpr::Rbx)), width: Width::D });
+        p.push(Inst::AluRR { op: sfi_x86::AluOp::Add, dst: Gpr::Rsi, src: Gpr::Rbx, width: Width::Q });
+        p.push(Inst::MovRI { dst: Gpr::Rbx, imm: 0, width: Width::Q });
+        p.push(Inst::Ret);
+        let stats = run_pass(&mut p);
+        assert_eq!(stats.addresses_fused, 1);
+        assert_eq!(stats.fused_producers_removed, 0);
+        assert_eq!(p.insts()[0], Inst::MovRI { dst: Gpr::Rbx, imm: 0x40, width: Width::D });
+    }
+
+    #[test]
+    fn lea_fusion_stops_when_component_is_redefined() {
+        let mut p = sfi_x86::Program::new();
+        p.push(Inst::Lea { dst: Gpr::Rbx, mem: Mem::base_disp(Gpr::Rcx, 8), width: Width::D });
+        p.push(Inst::MovRI { dst: Gpr::Rcx, imm: 0, width: Width::Q }); // rcx changes
+        p.push(Inst::Load { dst: Gpr::Rax, mem: gs32(Mem::base(Gpr::Rbx)), width: Width::Q });
+        p.push(Inst::Ret);
+        let stats = run_pass(&mut p);
+        assert_eq!(stats.addresses_fused, 0, "rcx no longer holds the address component");
+    }
+}

@@ -1,0 +1,251 @@
+//! A weight-driven linear-scan register allocator.
+//!
+//! The optimizing tier uses this to decide which Wasm locals live in
+//! registers. Segue frees a GPR (no `%r15` heap base), and the widened
+//! allocation additionally borrows registers from the tail of the operand
+//! pool; the allocator picks *which* locals get them by use-count weight
+//! (uses inside loops count exponentially more).
+//!
+//! The algorithm is classic linear scan over [`LiveRange`]s with
+//! lowest-weight eviction: ranges are visited in `(start, vreg)` order;
+//! when no register is free, the lowest-weight active range is evicted —
+//! but only if the incoming range weighs strictly more, so the allocation
+//! is stable and deterministic. An evicted or unallocatable range is
+//! spilled for its whole lifetime (`None`); there is no live-range
+//! splitting.
+//!
+//! The correctness contract, enforced by the property tests below, is the
+//! one the satellite task names: **no two overlapping live ranges ever
+//! share a register**, and a spill/reload simulation over random
+//! interference graphs is value-preserving (every read observes the value
+//! last written to that vreg, whether it lives in a register or a stack
+//! slot).
+
+/// One allocation request: virtual register `vreg` is live over the
+/// inclusive instruction interval `[start, end]` and is worth `weight`
+/// (higher = more profitable to keep in a register).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveRange {
+    /// Virtual register (for locals: the local index).
+    pub vreg: usize,
+    /// First instruction at which the value is live (inclusive).
+    pub start: usize,
+    /// Last instruction at which the value is live (inclusive).
+    pub end: usize,
+    /// Spill weight: estimated dynamic use count.
+    pub weight: u64,
+}
+
+impl LiveRange {
+    /// Whether two inclusive ranges overlap.
+    pub fn overlaps(&self, other: &LiveRange) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+}
+
+/// Allocates `num_regs` physical registers to `ranges`.
+///
+/// Returns one entry per input range, in input order: `Some(r)` assigns
+/// physical register index `r` (`0..num_regs`), `None` spills the range.
+/// Deterministic for a given input; no two overlapping ranges receive the
+/// same register.
+pub fn linear_scan(ranges: &[LiveRange], num_regs: usize) -> Vec<Option<usize>> {
+    let mut assignment: Vec<Option<usize>> = vec![None; ranges.len()];
+    if num_regs == 0 {
+        return assignment;
+    }
+
+    let mut order: Vec<usize> = (0..ranges.len()).collect();
+    order.sort_by_key(|&i| (ranges[i].start, ranges[i].vreg, ranges[i].end));
+
+    // Active ranges: (range index, assigned register).
+    let mut active: Vec<(usize, usize)> = Vec::new();
+    let mut free: Vec<bool> = vec![true; num_regs];
+
+    for &i in &order {
+        let cur = ranges[i];
+        // Expire ranges that ended before this one starts.
+        active.retain(|&(j, r)| {
+            if ranges[j].end < cur.start {
+                free[r] = true;
+                false
+            } else {
+                true
+            }
+        });
+
+        if let Some(r) = free.iter().position(|&f| f) {
+            free[r] = false;
+            active.push((i, r));
+            assignment[i] = Some(r);
+            continue;
+        }
+
+        // No free register: evict the lowest-weight active range if the
+        // incoming one is strictly heavier (ties keep the incumbent, so
+        // the result is order-stable).
+        if let Some(pos) = (0..active.len()).min_by_key(|&p| {
+            let (j, _) = active[p];
+            (ranges[j].weight, ranges[j].vreg)
+        }) {
+            let (j, r) = active[pos];
+            if ranges[j].weight < cur.weight {
+                assignment[j] = None;
+                active[pos] = (i, r);
+                assignment[i] = Some(r);
+            }
+            // else: spill the incoming range (assignment[i] stays None).
+        }
+    }
+
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn disjoint_ranges_share_a_register() {
+        let ranges = [
+            LiveRange { vreg: 0, start: 0, end: 4, weight: 1 },
+            LiveRange { vreg: 1, start: 5, end: 9, weight: 1 },
+        ];
+        let a = linear_scan(&ranges, 1);
+        assert_eq!(a, vec![Some(0), Some(0)]);
+    }
+
+    #[test]
+    fn heavier_range_evicts_lighter() {
+        let ranges = [
+            LiveRange { vreg: 0, start: 0, end: 10, weight: 1 },
+            LiveRange { vreg: 1, start: 2, end: 8, weight: 100 },
+        ];
+        let a = linear_scan(&ranges, 1);
+        assert_eq!(a, vec![None, Some(0)], "hot range wins the only register");
+    }
+
+    #[test]
+    fn equal_weight_keeps_incumbent() {
+        let ranges = [
+            LiveRange { vreg: 0, start: 0, end: 10, weight: 5 },
+            LiveRange { vreg: 1, start: 2, end: 8, weight: 5 },
+        ];
+        let a = linear_scan(&ranges, 1);
+        assert_eq!(a, vec![Some(0), None]);
+    }
+
+    #[test]
+    fn zero_registers_spills_everything() {
+        let ranges = [LiveRange { vreg: 0, start: 0, end: 1, weight: 9 }];
+        assert_eq!(linear_scan(&ranges, 0), vec![None]);
+    }
+
+    fn range_strategy(max_point: usize) -> impl Strategy<Value = LiveRange> {
+        (0..max_point, 0..max_point, 0u64..1000).prop_map(move |(a, b, weight)| LiveRange {
+            vreg: 0, // filled in by the caller with the input position
+            start: a.min(b),
+            end: a.max(b),
+            weight,
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn no_overlapping_ranges_share_a_register(
+            raw in proptest::collection::vec(range_strategy(64), 0..24),
+            num_regs in 1usize..6,
+        ) {
+            let ranges: Vec<LiveRange> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, r)| LiveRange { vreg: i, ..*r })
+                .collect();
+            let a = linear_scan(&ranges, num_regs);
+            prop_assert_eq!(a.len(), ranges.len());
+            for i in 0..ranges.len() {
+                if let Some(r) = a[i] {
+                    prop_assert!(r < num_regs, "register index in range");
+                    for j in i + 1..ranges.len() {
+                        if a[j] == Some(r) {
+                            prop_assert!(
+                                !ranges[i].overlaps(&ranges[j]),
+                                "ranges {:?} and {:?} share register {}",
+                                ranges[i], ranges[j], r
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn allocation_is_deterministic(
+            raw in proptest::collection::vec(range_strategy(48), 0..16),
+            num_regs in 1usize..5,
+        ) {
+            let ranges: Vec<LiveRange> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, r)| LiveRange { vreg: i, ..*r })
+                .collect();
+            prop_assert_eq!(linear_scan(&ranges, num_regs), linear_scan(&ranges, num_regs));
+        }
+
+        /// Spill/reload round-trip: simulate a machine with `num_regs`
+        /// registers and one stack slot per vreg. Each vreg is written at
+        /// its range start and read back at every point of its range; the
+        /// read must always observe the written value, whether the vreg
+        /// was allocated a register or spilled. Register values are stored
+        /// by physical index, so any illegal sharing of a register between
+        /// two live vregs would corrupt the readback.
+        #[test]
+        fn spill_reload_round_trip_preserves_values(
+            raw in proptest::collection::vec(range_strategy(40), 1..20),
+            num_regs in 1usize..5,
+        ) {
+            let ranges: Vec<LiveRange> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, r)| LiveRange { vreg: i, ..*r })
+                .collect();
+            let assign = linear_scan(&ranges, num_regs);
+
+            let mut regs: Vec<Option<(usize, u64)>> = vec![None; num_regs]; // (vreg, value)
+            let mut stack: Vec<Option<u64>> = vec![None; ranges.len()];
+            let max_end = ranges.iter().map(|r| r.end).max().unwrap_or(0);
+
+            for t in 0..=max_end {
+                // Writes: a range starting here stores its value.
+                for (i, range) in ranges.iter().enumerate() {
+                    if range.start == t {
+                        let value = 0xC0FFEE00 + range.vreg as u64;
+                        match assign[i] {
+                            Some(r) => regs[r] = Some((range.vreg, value)),
+                            None => stack[i] = Some(value), // spill store
+                        }
+                    }
+                }
+                // Reads: every live range must observe its own value.
+                for (i, range) in ranges.iter().enumerate() {
+                    if range.start <= t && t <= range.end {
+                        let expect = 0xC0FFEE00 + range.vreg as u64;
+                        let got = match assign[i] {
+                            Some(r) => {
+                                let (owner, value) = regs[r].expect("register must hold a value");
+                                prop_assert_eq!(
+                                    owner, range.vreg,
+                                    "register {} stolen from vreg {} at t={}", r, range.vreg, t
+                                );
+                                value
+                            }
+                            None => stack[i].expect("spill slot must hold a value"), // reload
+                        };
+                        prop_assert_eq!(got, expect, "vreg {} corrupted at t={}", range.vreg, t);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -153,19 +153,96 @@ impl CodeCache {
     }
 }
 
+/// Which compiler tier produced a served module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// The single-pass baseline compiler (cold spawns).
+    Baseline,
+    /// The optimizing tier (hot modules past the promotion threshold).
+    Optimized,
+}
+
+impl Tier {
+    /// Stable lowercase name (metric label value).
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Baseline => "baseline",
+            Tier::Optimized => "optimized",
+        }
+    }
+}
+
+/// When to recompile a module at the optimizing tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierPolicy {
+    /// Number of baseline loads of the same key after which the next load
+    /// recompiles at [`Tier::Optimized`]. `u64::MAX` disables promotion.
+    pub promote_after: u64,
+}
+
+impl Default for TierPolicy {
+    fn default() -> TierPolicy {
+        TierPolicy { promote_after: 8 }
+    }
+}
+
+/// Tiering observability counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Hot-count threshold crossings that compiled an optimized body.
+    pub promotions: u64,
+    /// Demotions (optimized entry poisoned, hot count reset).
+    pub demotions: u64,
+}
+
 /// The engine: a [`CodeCache`] plus the compile path that fills it.
 ///
 /// `Engine::load` is the only compilation entry point a sharded FaaS host
 /// needs: a warm spawn is a cache hit (an `Arc` clone), a cold spawn pays
-/// `sfi_core::compile`.
+/// `sfi_core::compile`. [`Engine::load_tiered`] adds hot-count promotion on
+/// top: cold modules are served by the baseline single-pass compiler, and a
+/// module loaded more than [`TierPolicy::promote_after`] times is
+/// recompiled at the optimizing tier (a *different* cache key — the tier is
+/// part of [`CompilerConfig::cache_fingerprint`], so a stale baseline body
+/// can never be served as optimized or vice versa).
 pub struct Engine {
     cache: CodeCache,
+    tier_policy: TierPolicy,
+    tier_stats: TierStats,
+    /// Baseline-key → load count (reset by [`Engine::demote`]).
+    hot_counts: HashMap<CacheKey, u64>,
 }
 
 impl Engine {
     /// Creates an engine with a cache of `capacity` modules.
     pub fn new(capacity: usize) -> Engine {
-        Engine { cache: CodeCache::new(capacity) }
+        Engine {
+            cache: CodeCache::new(capacity),
+            tier_policy: TierPolicy::default(),
+            tier_stats: TierStats::default(),
+            hot_counts: HashMap::new(),
+        }
+    }
+
+    /// Creates an engine with an explicit promotion policy.
+    pub fn with_tier_policy(capacity: usize, policy: TierPolicy) -> Engine {
+        Engine { tier_policy: policy, ..Engine::new(capacity) }
+    }
+
+    /// The active promotion policy.
+    pub fn tier_policy(&self) -> TierPolicy {
+        self.tier_policy
+    }
+
+    /// Tiering counters snapshot.
+    pub fn tier_stats(&self) -> TierStats {
+        self.tier_stats
+    }
+
+    /// The baseline load count for this (module, config, layout) triple.
+    pub fn hot_count(&self, module: &Module, config: &CompilerConfig, layout_fingerprint: u64) -> u64 {
+        let key = Self::key_for(module, &Self::baseline_config(config), layout_fingerprint);
+        self.hot_counts.get(&key).copied().unwrap_or(0)
     }
 
     /// The cache (for stats and direct inspection).
@@ -204,6 +281,73 @@ impl Engine {
         let cm = Arc::new(compile(module, config)?);
         self.cache.insert(key, Arc::clone(&cm));
         Ok(cm)
+    }
+
+    fn baseline_config(config: &CompilerConfig) -> CompilerConfig {
+        let mut c = config.clone();
+        c.opt_level = sfi_core::OptLevel::Baseline;
+        c
+    }
+
+    /// Tiered load: serves the optimizing tier when this module is hot,
+    /// the baseline otherwise.
+    ///
+    /// - If an optimized body is resident it is served immediately (no
+    ///   hot-count bump — the module already earned its tier).
+    /// - Otherwise the baseline load count is bumped; once it exceeds
+    ///   [`TierPolicy::promote_after`], the module is recompiled at
+    ///   [`Tier::Optimized`] under its own cache key.
+    /// - Below the threshold, this is exactly [`Engine::load`] with the
+    ///   baseline config.
+    ///
+    /// Returns the compiled module and the tier that produced it.
+    pub fn load_tiered(
+        &mut self,
+        module: &Module,
+        config: &CompilerConfig,
+        layout_fingerprint: u64,
+    ) -> Result<(Arc<CompiledModule>, Tier), CompileError> {
+        let base_cfg = Self::baseline_config(config);
+        let opt_cfg = base_cfg.clone().optimized();
+        let opt_key = Self::key_for(module, &opt_cfg, layout_fingerprint);
+
+        // A resident optimized body wins outright. `contains` first so a
+        // cold module does not pollute the miss counter with a speculative
+        // optimized-tier probe.
+        if self.cache.contains(&opt_key) {
+            let cm = self.cache.get(&opt_key).expect("checked residency");
+            return Ok((cm, Tier::Optimized));
+        }
+
+        let base_key = Self::key_for(module, &base_cfg, layout_fingerprint);
+        let count = self.hot_counts.entry(base_key).or_insert(0);
+        *count += 1;
+        if *count > self.tier_policy.promote_after {
+            let cm = self.load(module, &opt_cfg, layout_fingerprint)?;
+            self.tier_stats.promotions += 1;
+            return Ok((cm, Tier::Optimized));
+        }
+        let cm = self.load(module, &base_cfg, layout_fingerprint)?;
+        Ok((cm, Tier::Baseline))
+    }
+
+    /// Demotes a module: poisons its optimized-tier cache entry and resets
+    /// its hot count, so subsequent loads fall back to the still-cached
+    /// baseline body *without recompiling or re-validating anything*.
+    /// Returns whether an optimized body was resident.
+    pub fn demote(
+        &mut self,
+        module: &Module,
+        config: &CompilerConfig,
+        layout_fingerprint: u64,
+    ) -> bool {
+        let base_cfg = Self::baseline_config(config);
+        let opt_key = Self::key_for(module, &base_cfg.clone().optimized(), layout_fingerprint);
+        let base_key = Self::key_for(module, &base_cfg, layout_fingerprint);
+        self.hot_counts.remove(&base_key);
+        let dropped = self.cache.poison(&opt_key);
+        self.tier_stats.demotions += 1;
+        dropped
     }
 }
 
@@ -292,5 +436,82 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &b), "nothing retained at capacity 0");
         assert_eq!(eng.cache().stats().misses, 2);
         assert_eq!(eng.cache().len(), 0);
+    }
+
+    #[test]
+    fn tier_fingerprints_differ_so_promotion_cannot_hit_stale_code() {
+        let m = tiny(5);
+        let base = CompilerConfig::for_strategy(Strategy::Segue);
+        let opt = base.clone().optimized();
+        let bk = Engine::key_for(&m, &base, 1);
+        let ok = Engine::key_for(&m, &opt, 1);
+        assert_ne!(
+            bk.options_fingerprint, ok.options_fingerprint,
+            "the optimizing tier must land under its own cache key"
+        );
+    }
+
+    #[test]
+    fn promotion_recompiles_under_a_distinct_key_after_the_threshold() {
+        let mut eng = Engine::with_tier_policy(8, TierPolicy { promote_after: 2 });
+        let m = tiny(11);
+        let cfg = CompilerConfig::for_strategy(Strategy::Segue);
+
+        let (a, t1) = eng.load_tiered(&m, &cfg, 1).unwrap();
+        let (b, t2) = eng.load_tiered(&m, &cfg, 1).unwrap();
+        assert_eq!((t1, t2), (Tier::Baseline, Tier::Baseline));
+        assert!(Arc::ptr_eq(&a, &b), "warm baseline served while cold");
+
+        let (c, t3) = eng.load_tiered(&m, &cfg, 1).unwrap();
+        assert_eq!(t3, Tier::Optimized, "third spawn crosses promote_after = 2");
+        assert!(!Arc::ptr_eq(&a, &c), "promotion is a real recompile, not a stale hit");
+        assert_eq!(eng.tier_stats().promotions, 1);
+        assert_eq!(eng.cache().len(), 2, "baseline and optimized coexist under distinct keys");
+
+        let (d, t4) = eng.load_tiered(&m, &cfg, 1).unwrap();
+        assert_eq!(t4, Tier::Optimized);
+        assert!(Arc::ptr_eq(&c, &d), "later spawns hit the optimized entry directly");
+        assert_eq!(eng.tier_stats().promotions, 1, "a warm optimized hit is not a new promotion");
+    }
+
+    #[test]
+    fn demote_falls_back_to_warm_baseline_without_revalidation() {
+        let mut eng = Engine::with_tier_policy(8, TierPolicy { promote_after: 1 });
+        let m = tiny(13);
+        let cfg = CompilerConfig::for_strategy(Strategy::Segue);
+
+        let (base_code, _) = eng.load_tiered(&m, &cfg, 1).unwrap();
+        let (_, tier) = eng.load_tiered(&m, &cfg, 1).unwrap();
+        assert_eq!(tier, Tier::Optimized);
+
+        let misses_before = eng.cache().stats().misses;
+        assert!(eng.demote(&m, &cfg, 1), "optimized entry was resident and dropped");
+        assert_eq!(eng.tier_stats().demotions, 1);
+
+        let (after, tier) = eng.load_tiered(&m, &cfg, 1).unwrap();
+        assert_eq!(tier, Tier::Baseline, "demoted module restarts at the baseline tier");
+        assert!(
+            Arc::ptr_eq(&base_code, &after),
+            "fallback serves the still-resident baseline entry"
+        );
+        assert_eq!(
+            eng.cache().stats().misses,
+            misses_before,
+            "demotion fallback must not recompile anything"
+        );
+    }
+
+    #[test]
+    fn tiering_respects_explicitly_requested_opt_levels() {
+        // A caller who asks for the optimized config outright still goes
+        // through the hot-count ladder: load_tiered normalizes to baseline
+        // first so tier decisions stay deterministic per module.
+        let mut eng = Engine::with_tier_policy(8, TierPolicy { promote_after: 1 });
+        let m = tiny(17);
+        let opt_cfg = CompilerConfig::for_strategy(Strategy::Segue).optimized();
+        let (_, t1) = eng.load_tiered(&m, &opt_cfg, 1).unwrap();
+        assert_eq!(t1, Tier::Baseline, "first spawn is cold regardless of requested level");
+        let (_, t2) = eng.load_tiered(&m, &opt_cfg, 1).unwrap();
+        assert_eq!(t2, Tier::Optimized);
     }
 }

@@ -43,7 +43,7 @@ mod runtime;
 mod telemetry;
 mod transition;
 
-pub use cache::{CacheKey, CacheStats, CodeCache, Engine};
+pub use cache::{CacheKey, CacheStats, CodeCache, Engine, Tier, TierPolicy, TierStats};
 pub use fault::{RecoveryAction, SandboxFault};
 pub use runtime::{
     HostApi, InstanceId, InvokeOutcome, NoHostApi, Runtime, RuntimeConfig, RuntimeError,
@@ -383,5 +383,66 @@ mod tests {
         let mut rt = Runtime::new(RuntimeConfig::small_test(false)).unwrap();
         let a = rt.instantiate(cm).unwrap();
         assert_eq!(rt.invoke(a, "bump", &[8]).unwrap().result, Some(1));
+    }
+
+    #[test]
+    fn tiered_spawns_promote_hot_modules_and_record_telemetry() {
+        let m = sfi_wasm::wat::parse(COUNTER).unwrap();
+        let cfg = CompilerConfig::for_strategy(Strategy::Segue);
+        let mut eng = Engine::with_tier_policy(8, TierPolicy { promote_after: 2 });
+        let mut rt = Runtime::new(RuntimeConfig::small_test(true)).unwrap();
+
+        // Two cold spawns stay at baseline; the third crosses the threshold.
+        let (a, t1) = rt.spawn_tiered(&mut eng, &m, &cfg).unwrap();
+        let (_, t2) = rt.spawn_tiered(&mut eng, &m, &cfg).unwrap();
+        let (c, t3) = rt.spawn_tiered(&mut eng, &m, &cfg).unwrap();
+        assert_eq!((t1, t2, t3), (Tier::Baseline, Tier::Baseline, Tier::Optimized));
+
+        // Both tiers compute the same answers on the same heap offsets.
+        assert_eq!(rt.invoke(a, "bump", &[8]).unwrap().result, Some(1));
+        assert_eq!(rt.invoke(c, "bump", &[8]).unwrap().result, Some(1));
+        assert_eq!(rt.invoke(c, "bump", &[8]).unwrap().result, Some(2));
+
+        // The promotion landed in the counter and the flight recorder…
+        let reg = rt.telemetry().registry();
+        assert_eq!(reg.counter_value("sfi_tier_promotions_total"), Some(1));
+        let promotes: Vec<_> = rt
+            .telemetry()
+            .recorder
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == sfi_telemetry::TraceKind::Promote)
+            .collect();
+        assert_eq!(promotes.len(), 1, "exactly one promotion trace");
+
+        // …and invocations split across the per-tier cycle histograms.
+        let base_h = reg
+            .histogram_values("sfi_tier_guest_cycles{tier=\"baseline\"}")
+            .expect("baseline histogram registered");
+        let opt_h = reg
+            .histogram_values("sfi_tier_guest_cycles{tier=\"optimized\"}")
+            .expect("optimized histogram registered");
+        assert_eq!(base_h.count(), 1, "one baseline invocation observed");
+        assert_eq!(opt_h.count(), 2, "two optimized invocations observed");
+    }
+
+    #[test]
+    fn demoted_module_spawns_fall_back_to_baseline() {
+        let m = sfi_wasm::wat::parse(COUNTER).unwrap();
+        let cfg = CompilerConfig::for_strategy(Strategy::Segue);
+        let mut eng = Engine::with_tier_policy(8, TierPolicy { promote_after: 1 });
+        let mut rt = Runtime::new(RuntimeConfig::small_test(true)).unwrap();
+
+        let (_, t1) = rt.spawn_tiered(&mut eng, &m, &cfg).unwrap();
+        let (_, t2) = rt.spawn_tiered(&mut eng, &m, &cfg).unwrap();
+        assert_eq!((t1, t2), (Tier::Baseline, Tier::Optimized));
+
+        assert!(eng.demote(&m, &cfg, rt.layout_fingerprint()));
+        let (d, t3) = rt.spawn_tiered(&mut eng, &m, &cfg).unwrap();
+        assert_eq!(t3, Tier::Baseline, "demoted module restarts cold");
+        assert_eq!(rt.invoke(d, "bump", &[8]).unwrap().result, Some(1));
+        rt.telemetry_mut().scrape_tiers(eng.tier_stats());
+        let reg = rt.telemetry().registry();
+        assert_eq!(reg.counter_value("sfi_tier_demotions_total"), Some(1));
     }
 }

@@ -361,6 +361,37 @@ impl Runtime {
         Ok(id)
     }
 
+    /// The tiered spawn path: like [`Runtime::spawn`], but hot modules are
+    /// recompiled at the optimizing tier once they cross the engine's
+    /// [`TierPolicy`](crate::cache::TierPolicy) threshold. Promotions are
+    /// traced ([`TraceKind::Promote`]) and counted
+    /// (`sfi_tier_promotions_total`); invocations of the returned instance
+    /// land in the per-tier cycle histogram automatically, because the tier
+    /// rides in the compiled module's config.
+    pub fn spawn_tiered(
+        &mut self,
+        engine: &mut crate::cache::Engine,
+        module: &sfi_wasm::Module,
+        config: &sfi_core::CompilerConfig,
+    ) -> Result<(InstanceId, crate::cache::Tier), RuntimeError> {
+        let misses_before = engine.cache().stats().misses;
+        let promotions_before = engine.tier_stats().promotions;
+        let (cm, tier) = engine
+            .load_tiered(module, config, self.layout_fingerprint())
+            .map_err(RuntimeError::Compile)?;
+        let cold = engine.cache().stats().misses > misses_before;
+        let id = self.instantiate(cm)?;
+        if cold {
+            self.telemetry.trace(TraceKind::Compile, id.0, 0);
+        }
+        if engine.tier_stats().promotions > promotions_before {
+            self.telemetry.trace(TraceKind::Promote, id.0, engine.tier_stats().promotions);
+        }
+        self.telemetry.scrape_cache(engine.cache().stats());
+        self.telemetry.scrape_tiers(engine.tier_stats());
+        Ok((id, tier))
+    }
+
     /// Destroys a healthy instance, recycling its slot (`madvise`).
     /// Poisoned instances are routed through [`Runtime::recycle`] so their
     /// slot never skips quarantine.
@@ -674,6 +705,11 @@ impl Runtime {
         };
         self.telemetry.clock.advance_cycles(stats.cycles);
         self.telemetry.on_guest_mem_accesses(stats.loads, stats.stores);
+        let tier = match module.config.opt_level {
+            sfi_core::OptLevel::Optimized => crate::cache::Tier::Optimized,
+            _ => crate::cache::Tier::Baseline,
+        };
+        self.telemetry.observe_guest_cycles(tier, stats.cycles);
         self.telemetry.observe_invocation_transition_cycles(invocation_transition_cycles);
         self.telemetry
             .trace(TraceKind::Exit, id.0, invocation_transition_cycles.round() as u64);

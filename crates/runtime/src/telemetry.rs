@@ -15,7 +15,7 @@ use sfi_telemetry::{
 };
 use sfi_vm::{AddressSpace, ChaosStats, SyscallKind};
 
-use crate::cache::CacheStats;
+use crate::cache::{CacheStats, Tier, TierStats};
 use crate::fault::SandboxFault;
 use crate::transition::TransitionKind;
 
@@ -54,6 +54,11 @@ pub struct RuntimeTelemetry {
     c_evictions: CounterId,
     c_inserts: CounterId,
     c_poisons: CounterId,
+    tier_promotions: CounterId,
+    tier_demotions: CounterId,
+    /// Guest cycle histograms keyed by compiler tier
+    /// (indexed like [`Tier::Baseline`], [`Tier::Optimized`]).
+    h_tier_cycles: [HistogramId; 2],
     chaos_failed: [CounterId; 4],
     chaos_bus: CounterId,
     g_slots_in_use: GaugeId,
@@ -69,6 +74,7 @@ pub struct RuntimeTelemetry {
     last_quarantine: QuarantineStats,
     last_cache: CacheStats,
     last_chaos: ChaosStats,
+    last_tiers: TierStats,
 }
 
 impl RuntimeTelemetry {
@@ -105,6 +111,12 @@ impl RuntimeTelemetry {
             c_evictions: r.counter("sfi_code_cache_evictions_total"),
             c_inserts: r.counter("sfi_code_cache_inserts_total"),
             c_poisons: r.counter("sfi_code_cache_poisons_total"),
+            tier_promotions: r.counter("sfi_tier_promotions_total"),
+            tier_demotions: r.counter("sfi_tier_demotions_total"),
+            h_tier_cycles: [Tier::Baseline, Tier::Optimized].map(|t| {
+                r.try_histogram("sfi_tier_guest_cycles", &[("tier", t.name())])
+                    .expect("metric registration")
+            }),
             chaos_failed,
             chaos_bus: r.counter("sfi_chaos_bus_faults_total"),
             g_slots_in_use: r.gauge("sfi_pool_slots_in_use"),
@@ -128,6 +140,7 @@ impl RuntimeTelemetry {
             last_quarantine: QuarantineStats::default(),
             last_cache: CacheStats::default(),
             last_chaos: ChaosStats::default(),
+            last_tiers: TierStats::default(),
             registry: r,
             recorder: FlightRecorder::new(recorder_capacity),
             clock: VirtualClock::new(),
@@ -234,6 +247,23 @@ impl RuntimeTelemetry {
         self.registry.add(self.c_inserts, stats.inserts - self.last_cache.inserts);
         self.registry.add(self.c_poisons, stats.poisons - self.last_cache.poisons);
         self.last_cache = stats;
+    }
+
+    /// Scrapes the engine's tiering counters (delta-based, like the cache
+    /// scrape).
+    pub fn scrape_tiers(&mut self, stats: TierStats) {
+        self.registry.add(self.tier_promotions, stats.promotions - self.last_tiers.promotions);
+        self.registry.add(self.tier_demotions, stats.demotions - self.last_tiers.demotions);
+        self.last_tiers = stats;
+    }
+
+    /// Observes one invocation's guest cycles into the per-tier histogram.
+    pub fn observe_guest_cycles(&mut self, tier: Tier, cycles: f64) {
+        let idx = match tier {
+            Tier::Baseline => 0,
+            Tier::Optimized => 1,
+        };
+        self.registry.observe(self.h_tier_cycles[idx], cycles.round() as u64);
     }
 
     /// Merges another bundle's registry into this one (sharded hosts merge

@@ -25,6 +25,9 @@ pub enum TraceKind {
     /// An arrival was shed by admission control (`arg` = SLO class index,
     /// highest priority = 0).
     Shed,
+    /// A module crossed the hot-count threshold and was recompiled at the
+    /// optimizing tier (`arg` = the promotion count for that module).
+    Promote,
 }
 
 impl TraceKind {
@@ -39,6 +42,7 @@ impl TraceKind {
             TraceKind::Steal => "steal",
             TraceKind::Compile => "compile",
             TraceKind::Shed => "shed",
+            TraceKind::Promote => "promote",
         }
     }
 
@@ -61,12 +65,13 @@ impl TraceKind {
             TraceKind::Steal => 5,
             TraceKind::Compile => 6,
             TraceKind::Shed => 7,
+            TraceKind::Promote => 8,
         }
     }
 }
 
 /// Number of [`TraceKind`] variants (per-kind counter array size).
-pub(crate) const TRACE_KINDS: usize = 8;
+pub(crate) const TRACE_KINDS: usize = 9;
 
 /// How a full [`FlightRecorder`] decides what to evict.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

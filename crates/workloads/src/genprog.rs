@@ -1,0 +1,696 @@
+//! Seeded random mini-Wasm program generator with shrinking.
+//!
+//! Fuel for the tiered compiler's differential-equivalence harness: each
+//! seed deterministically expands into a structured program (bounded
+//! loops, nested conditionals, masked memory traffic, i32/i64 arithmetic)
+//! that exports `run : [] -> i32`. Programs are generated as an AST and
+//! lowered to ops, so a failing program can be *shrunk*: the AST is
+//! repeatedly reduced (drop a statement, inline a branch, unwrap an
+//! operand) while the caller's failure predicate keeps holding, yielding
+//! a minimal counterexample instead of a 40-statement haystack.
+//!
+//! Dependency-free by design (the container pins the crate graph): the
+//! RNG is splitmix64, the shrinker is hand-rolled greedy delta debugging.
+//! Determinism contract: `generate(seed)` and `shrink` never consult
+//! ambient state, so a seed printed by a failing CI run reproduces the
+//! exact program (and the exact shrink sequence) anywhere.
+
+use sfi_wasm::{FuncBuilder, Module, Op, ValType};
+
+/// General-purpose locals the generator reads and writes.
+const VARS: u32 = 6;
+/// Loop-counter locals, reserved: loop bodies may read but never write
+/// them, which is what makes every generated loop provably bounded. One
+/// per nesting level (loops only generate at depth 0–2), so an inner loop
+/// can never reset the counter an enclosing loop is advancing.
+const COUNTERS: u32 = 3;
+
+/// splitmix64: tiny, full-period, and good enough to shake out compiler
+/// bugs (the corpus cares about structural variety, not statistical
+/// quality).
+#[derive(Clone, Copy)]
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish pick in `0..n`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Binary operators the generator emits (all total on the masked operand
+/// shapes except division, whose traps the differential harness matches
+/// against the interpreter's).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    DivS,
+    DivU,
+    RemS,
+    RemU,
+    And,
+    Or,
+    Xor,
+    Shl,
+    ShrS,
+    ShrU,
+    Rotl,
+    Eq,
+    Ne,
+    LtS,
+    LtU,
+    GeS,
+    GeU,
+}
+
+const BINOPS: [BinOp; 20] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::DivS,
+    BinOp::DivU,
+    BinOp::RemS,
+    BinOp::RemU,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::ShrS,
+    BinOp::ShrU,
+    BinOp::Rotl,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::LtS,
+    BinOp::LtU,
+    BinOp::GeS,
+    BinOp::GeU,
+];
+
+/// An i32-valued expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Expr {
+    Const(i32),
+    /// `local.get` of a var or counter local.
+    Local(u32),
+    /// `i32.load` from a masked (always in-bounds) address.
+    Load { addr: Box<Expr>, offset: u32 },
+    /// `i32.load8_u` from a masked address.
+    Load8 { addr: Box<Expr>, offset: u32 },
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Round-trip through i64: `extend_s(a) op extend_s(b)` wrapped back —
+    /// exercises the truncation-discipline passes.
+    Wide(BinOp, Box<Expr>, Box<Expr>),
+    /// `select` on a data-dependent condition.
+    Select { cond: Box<Expr>, then: Box<Expr>, els: Box<Expr> },
+    /// `i32.eqz`.
+    Eqz(Box<Expr>),
+}
+
+/// A statement: side effects on locals and memory, plus structured flow.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Stmt {
+    /// `local.set` of a general-purpose var.
+    Set(u32, Expr),
+    /// `i32.store` (or `i32.store8`) to a masked address.
+    Store { addr: Expr, val: Expr, offset: u32, narrow: bool },
+    If { cond: Expr, then: Vec<Stmt>, els: Vec<Stmt> },
+    /// Counted loop over a reserved counter local: always terminates.
+    Loop { counter: u32, trips: u32, body: Vec<Stmt> },
+}
+
+/// A generated program plus its seed (kept for reproduction messages).
+#[derive(Clone, Debug)]
+pub struct RandomProgram {
+    seed: u64,
+    stmts: Vec<Stmt>,
+    result: Expr,
+}
+
+/// Expands `seed` into a program. Same seed, same program, forever — the
+/// corpus in `figX_tiers --check` is indexed by seed.
+pub fn generate(seed: u64) -> RandomProgram {
+    let mut rng = Rng(seed ^ 0xA076_1D64_78BD_642F);
+    let mut budget = 24 + (rng.below(24) as i32);
+    let stmts = gen_block(&mut rng, &mut budget, 0);
+    // Fold every var into the result so no assignment is ever dead.
+    let mut result = Expr::Local(0);
+    for v in 1..VARS {
+        result = Expr::Bin(
+            BinOp::Xor,
+            Box::new(Expr::Bin(BinOp::Mul, Box::new(result), Box::new(Expr::Const(31)))),
+            Box::new(Expr::Local(v)),
+        );
+    }
+    result = Expr::Bin(
+        BinOp::Add,
+        Box::new(result),
+        Box::new(Expr::Load { addr: Box::new(Expr::Const(64)), offset: 0 }),
+    );
+    RandomProgram { seed, stmts, result }
+}
+
+fn gen_block(rng: &mut Rng, budget: &mut i32, depth: u32) -> Vec<Stmt> {
+    let mut stmts = Vec::new();
+    let n = 1 + rng.below(if depth == 0 { 8 } else { 4 });
+    for _ in 0..n {
+        if *budget <= 0 {
+            break;
+        }
+        *budget -= 1;
+        stmts.push(gen_stmt(rng, budget, depth));
+    }
+    stmts
+}
+
+fn gen_stmt(rng: &mut Rng, budget: &mut i32, depth: u32) -> Stmt {
+    let deep = depth >= 3 || *budget <= 2;
+    match rng.below(if deep { 6 } else { 10 }) {
+        0..=3 => Stmt::Set(rng.below(u64::from(VARS)) as u32, gen_expr(rng, 0)),
+        4 | 5 => Stmt::Store {
+            addr: gen_expr(rng, 1),
+            val: gen_expr(rng, 1),
+            offset: (rng.below(0x1000)) as u32,
+            narrow: rng.below(2) == 0,
+        },
+        6 | 7 => Stmt::If {
+            cond: gen_expr(rng, 1),
+            then: gen_block(rng, budget, depth + 1),
+            els: if rng.below(2) == 0 { gen_block(rng, budget, depth + 1) } else { Vec::new() },
+        },
+        _ => Stmt::Loop {
+            counter: VARS + depth.min(COUNTERS - 1),
+            trips: 1 + rng.below(12) as u32,
+            body: gen_block(rng, budget, depth + 1),
+        },
+    }
+}
+
+fn gen_expr(rng: &mut Rng, depth: u32) -> Expr {
+    if depth >= 4 {
+        return match rng.below(3) {
+            0 => Expr::Const(rng.next() as i32),
+            1 => Expr::Const((rng.below(256)) as i32 - 128),
+            _ => Expr::Local(rng.below(u64::from(VARS + COUNTERS)) as u32),
+        };
+    }
+    match rng.below(12) {
+        0 => Expr::Const(rng.next() as i32),
+        1 => Expr::Const((rng.below(64)) as i32),
+        2 | 3 => Expr::Local(rng.below(u64::from(VARS + COUNTERS)) as u32),
+        4 => Expr::Load {
+            addr: Box::new(gen_expr(rng, depth + 1)),
+            offset: (rng.below(0x1000)) as u32,
+        },
+        5 => Expr::Load8 {
+            addr: Box::new(gen_expr(rng, depth + 1)),
+            offset: (rng.below(0x1000)) as u32,
+        },
+        6 => Expr::Wide(
+            BINOPS[rng.below(14) as usize], // arithmetic subset
+            Box::new(gen_expr(rng, depth + 1)),
+            Box::new(gen_expr(rng, depth + 1)),
+        ),
+        7 => Expr::Select {
+            cond: Box::new(gen_expr(rng, depth + 1)),
+            then: Box::new(gen_expr(rng, depth + 1)),
+            els: Box::new(gen_expr(rng, depth + 1)),
+        },
+        8 => Expr::Eqz(Box::new(gen_expr(rng, depth + 1))),
+        _ => Expr::Bin(
+            BINOPS[rng.below(BINOPS.len() as u64) as usize],
+            Box::new(gen_expr(rng, depth + 1)),
+            Box::new(gen_expr(rng, depth + 1)),
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------------
+
+impl RandomProgram {
+    /// The seed this program was expanded from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Statement count — the shrinker's progress metric.
+    pub fn size(&self) -> usize {
+        fn stmts_size(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::If { then, els, .. } => 1 + stmts_size(then) + stmts_size(els),
+                    Stmt::Loop { body, .. } => 1 + stmts_size(body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        stmts_size(&self.stmts)
+    }
+
+    /// Lowers to a validated module exporting `run : [] -> i32` over one
+    /// page of memory pre-seeded with deterministic bytes.
+    pub fn module(&self) -> Module {
+        let mut ops = Vec::new();
+        for s in &self.stmts {
+            lower_stmt(s, &mut ops);
+        }
+        lower_expr(&self.result, &mut ops);
+        ops.push(Op::End);
+
+        let mut m = Module::new(1);
+        let f = m.push_func(
+            FuncBuilder::new("run")
+                .result(ValType::I32)
+                .locals(&vec![ValType::I32; (VARS + COUNTERS) as usize])
+                .body(ops)
+                .build(),
+        );
+        m.export("run", f);
+        // Deterministic non-zero memory so loads see structure.
+        let mut x = self.seed | 1;
+        let data: Vec<u8> = (0..512)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 56) as u8
+            })
+            .collect();
+        m.push_data(0, data);
+        m
+    }
+
+    /// Greedy delta-debugging shrink: repeatedly applies the first
+    /// single-step reduction under which `still_fails` keeps returning
+    /// `true`, until no reduction does. The result is locally minimal —
+    /// removing any single statement or simplifying any single operand
+    /// makes the failure disappear.
+    pub fn shrink(mut self, still_fails: impl Fn(&RandomProgram) -> bool) -> RandomProgram {
+        loop {
+            let mut reduced = None;
+            for candidate in reductions(&self) {
+                if still_fails(&candidate) {
+                    reduced = Some(candidate);
+                    break;
+                }
+            }
+            match reduced {
+                Some(r) => self = r,
+                None => return self,
+            }
+        }
+    }
+}
+
+fn lower_stmt(s: &Stmt, ops: &mut Vec<Op>) {
+    match s {
+        Stmt::Set(v, e) => {
+            lower_expr(e, ops);
+            ops.push(Op::LocalSet(*v));
+        }
+        Stmt::Store { addr, val, offset, narrow } => {
+            lower_masked_addr(addr, ops);
+            lower_expr(val, ops);
+            if *narrow {
+                ops.push(Op::I32Store8 { offset: *offset });
+            } else {
+                ops.push(Op::I32Store { offset: *offset });
+            }
+        }
+        Stmt::If { cond, then, els } => {
+            lower_expr(cond, ops);
+            ops.push(Op::If);
+            for s in then {
+                lower_stmt(s, ops);
+            }
+            if !els.is_empty() {
+                ops.push(Op::Else);
+                for s in els {
+                    lower_stmt(s, ops);
+                }
+            }
+            ops.push(Op::End);
+        }
+        Stmt::Loop { counter, trips, body } => {
+            ops.push(Op::I32Const(0));
+            ops.push(Op::LocalSet(*counter));
+            ops.push(Op::Block);
+            ops.push(Op::Loop);
+            ops.push(Op::LocalGet(*counter));
+            ops.push(Op::I32Const(*trips as i32));
+            ops.push(Op::I32GeU);
+            ops.push(Op::BrIf(1));
+            for s in body {
+                lower_stmt(s, ops);
+            }
+            ops.push(Op::LocalGet(*counter));
+            ops.push(Op::I32Const(1));
+            ops.push(Op::I32Add);
+            ops.push(Op::LocalSet(*counter));
+            ops.push(Op::Br(0));
+            ops.push(Op::End);
+            ops.push(Op::End);
+        }
+    }
+}
+
+/// Addresses are masked to `0x3FFC`, so with a sub-`0x1000` static offset
+/// every access stays inside the single memory page: generated programs
+/// only trap on division, never on memory (memory traps have their own
+/// directed tests; here they would drown the arithmetic coverage).
+fn lower_masked_addr(addr: &Expr, ops: &mut Vec<Op>) {
+    lower_expr(addr, ops);
+    ops.push(Op::I32Const(0x3FFC));
+    ops.push(Op::I32And);
+}
+
+fn lower_expr(e: &Expr, ops: &mut Vec<Op>) {
+    match e {
+        Expr::Const(k) => ops.push(Op::I32Const(*k)),
+        Expr::Local(v) => ops.push(Op::LocalGet(*v)),
+        Expr::Load { addr, offset } => {
+            lower_masked_addr(addr, ops);
+            ops.push(Op::I32Load { offset: *offset });
+        }
+        Expr::Load8 { addr, offset } => {
+            lower_masked_addr(addr, ops);
+            ops.push(Op::I32Load8U { offset: *offset });
+        }
+        Expr::Bin(op, a, b) => {
+            lower_expr(a, ops);
+            lower_expr(b, ops);
+            ops.push(binop_op(*op));
+        }
+        Expr::Wide(op, a, b) => {
+            lower_expr(a, ops);
+            ops.push(Op::I64ExtendI32S);
+            lower_expr(b, ops);
+            ops.push(Op::I64ExtendI32S);
+            ops.push(binop_op64(*op));
+            ops.push(Op::I32WrapI64);
+        }
+        Expr::Select { cond, then, els } => {
+            lower_expr(then, ops);
+            lower_expr(els, ops);
+            lower_expr(cond, ops);
+            ops.push(Op::Select);
+        }
+        Expr::Eqz(a) => {
+            lower_expr(a, ops);
+            ops.push(Op::I32Eqz);
+        }
+    }
+}
+
+fn binop_op(op: BinOp) -> Op {
+    match op {
+        BinOp::Add => Op::I32Add,
+        BinOp::Sub => Op::I32Sub,
+        BinOp::Mul => Op::I32Mul,
+        BinOp::DivS => Op::I32DivS,
+        BinOp::DivU => Op::I32DivU,
+        BinOp::RemS => Op::I32RemS,
+        BinOp::RemU => Op::I32RemU,
+        BinOp::And => Op::I32And,
+        BinOp::Or => Op::I32Or,
+        BinOp::Xor => Op::I32Xor,
+        BinOp::Shl => Op::I32Shl,
+        BinOp::ShrS => Op::I32ShrS,
+        BinOp::ShrU => Op::I32ShrU,
+        BinOp::Rotl => Op::I32Rotl,
+        BinOp::Eq => Op::I32Eq,
+        BinOp::Ne => Op::I32Ne,
+        BinOp::LtS => Op::I32LtS,
+        BinOp::LtU => Op::I32LtU,
+        BinOp::GeS => Op::I32GeS,
+        BinOp::GeU => Op::I32GeU,
+    }
+}
+
+fn binop_op64(op: BinOp) -> Op {
+    match op {
+        BinOp::Add => Op::I64Add,
+        BinOp::Sub => Op::I64Sub,
+        BinOp::Mul => Op::I64Mul,
+        BinOp::DivS => Op::I64DivS,
+        BinOp::DivU => Op::I64DivU,
+        BinOp::RemS => Op::I64RemS,
+        BinOp::RemU => Op::I64RemU,
+        BinOp::And => Op::I64And,
+        BinOp::Or => Op::I64Or,
+        BinOp::Xor => Op::I64Xor,
+        BinOp::Shl => Op::I64Shl,
+        BinOp::ShrS => Op::I64ShrS,
+        BinOp::ShrU => Op::I64ShrU,
+        // No 64-bit rotate in the mini-Wasm op set: widen as a xor.
+        BinOp::Rotl => Op::I64Xor,
+        // Comparisons are only generated through the arithmetic subset
+        // (`BINOPS[..14]`), so a wide comparison is a generator bug.
+        other => unreachable!("wide {other:?} is never generated"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------------
+
+/// Every single-step reduction of `p`, smallest-first-ish: statement
+/// removals and block inlinings, then operand unwrapping inside exprs.
+fn reductions(p: &RandomProgram) -> Vec<RandomProgram> {
+    let mut out = Vec::new();
+    for stmts in reduce_stmts(&p.stmts) {
+        out.push(RandomProgram { seed: p.seed, stmts, result: p.result.clone() });
+    }
+    for result in reduce_expr(&p.result) {
+        out.push(RandomProgram { seed: p.seed, stmts: p.stmts.clone(), result });
+    }
+    out
+}
+
+fn reduce_stmts(stmts: &[Stmt]) -> Vec<Vec<Stmt>> {
+    let mut out = Vec::new();
+    for (i, s) in stmts.iter().enumerate() {
+        // Drop the statement outright.
+        let mut dropped = stmts.to_vec();
+        dropped.remove(i);
+        out.push(dropped);
+        // Structural simplifications of the statement itself.
+        for r in reduce_stmt(s) {
+            let mut v = stmts.to_vec();
+            match r {
+                Reduced::One(s2) => v[i] = s2,
+                Reduced::Splice(inner) => {
+                    v.splice(i..=i, inner);
+                }
+            }
+            out.push(v);
+        }
+    }
+    out
+}
+
+enum Reduced {
+    One(Stmt),
+    Splice(Vec<Stmt>),
+}
+
+fn reduce_stmt(s: &Stmt) -> Vec<Reduced> {
+    let mut out = Vec::new();
+    match s {
+        Stmt::Set(v, e) => {
+            for e2 in reduce_expr(e) {
+                out.push(Reduced::One(Stmt::Set(*v, e2)));
+            }
+        }
+        Stmt::Store { addr, val, offset, narrow } => {
+            for a2 in reduce_expr(addr) {
+                out.push(Reduced::One(Stmt::Store {
+                    addr: a2,
+                    val: val.clone(),
+                    offset: *offset,
+                    narrow: *narrow,
+                }));
+            }
+            for v2 in reduce_expr(val) {
+                out.push(Reduced::One(Stmt::Store {
+                    addr: addr.clone(),
+                    val: v2,
+                    offset: *offset,
+                    narrow: *narrow,
+                }));
+            }
+        }
+        Stmt::If { cond, then, els } => {
+            // Inline either branch (losing the condition's side effects is
+            // fine: generated conditions are pure).
+            out.push(Reduced::Splice(then.clone()));
+            out.push(Reduced::Splice(els.clone()));
+            for c2 in reduce_expr(cond) {
+                out.push(Reduced::One(Stmt::If {
+                    cond: c2,
+                    then: then.clone(),
+                    els: els.clone(),
+                }));
+            }
+            for t2 in reduce_stmts(then) {
+                out.push(Reduced::One(Stmt::If { cond: cond.clone(), then: t2, els: els.clone() }));
+            }
+            for e2 in reduce_stmts(els) {
+                out.push(Reduced::One(Stmt::If { cond: cond.clone(), then: e2, els: els.clone() }));
+            }
+        }
+        Stmt::Loop { counter, trips, body } => {
+            // Unwrap to the body (single trip, no counter), then cheaper
+            // variants of the loop itself.
+            out.push(Reduced::Splice(body.clone()));
+            if *trips > 1 {
+                out.push(Reduced::One(Stmt::Loop {
+                    counter: *counter,
+                    trips: 1,
+                    body: body.clone(),
+                }));
+            }
+            for b2 in reduce_stmts(body) {
+                out.push(Reduced::One(Stmt::Loop { counter: *counter, trips: *trips, body: b2 }));
+            }
+        }
+    }
+    out
+}
+
+fn reduce_expr(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    if !matches!(e, Expr::Const(0)) {
+        out.push(Expr::Const(0));
+    }
+    match e {
+        Expr::Const(_) | Expr::Local(_) => {}
+        Expr::Load { addr, offset } => {
+            out.push((**addr).clone());
+            for a in reduce_expr(addr) {
+                out.push(Expr::Load { addr: Box::new(a), offset: *offset });
+            }
+        }
+        Expr::Load8 { addr, offset } => {
+            out.push((**addr).clone());
+            for a in reduce_expr(addr) {
+                out.push(Expr::Load8 { addr: Box::new(a), offset: *offset });
+            }
+        }
+        Expr::Bin(op, a, b) | Expr::Wide(op, a, b) => {
+            out.push((**a).clone());
+            out.push((**b).clone());
+            let rebuild: fn(BinOp, Box<Expr>, Box<Expr>) -> Expr = match e {
+                Expr::Bin(..) => Expr::Bin,
+                _ => Expr::Wide,
+            };
+            for a2 in reduce_expr(a) {
+                out.push(rebuild(*op, Box::new(a2), b.clone()));
+            }
+            for b2 in reduce_expr(b) {
+                out.push(rebuild(*op, a.clone(), Box::new(b2)));
+            }
+        }
+        Expr::Select { cond, then, els } => {
+            out.push((**then).clone());
+            out.push((**els).clone());
+            for c2 in reduce_expr(cond) {
+                out.push(Expr::Select {
+                    cond: Box::new(c2),
+                    then: then.clone(),
+                    els: els.clone(),
+                });
+            }
+        }
+        Expr::Eqz(a) => {
+            out.push((**a).clone());
+            for a2 in reduce_expr(a) {
+                out.push(Expr::Eqz(Box::new(a2)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        for seed in 0..50 {
+            let p1 = generate(seed);
+            let p2 = generate(seed);
+            let m1 = p1.module();
+            let m2 = p2.module();
+            assert_eq!(format!("{:?}", m1.defined_func(0).map(|f| &f.body)),
+                       format!("{:?}", m2.defined_func(0).map(|f| &f.body)),
+                       "seed {seed} must be reproducible");
+            sfi_wasm::validate(&m1).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generated_programs_terminate_in_the_interpreter() {
+        for seed in 0..30 {
+            let p = generate(seed);
+            let m = p.module();
+            let mut interp = sfi_wasm::interp::Interpreter::new(&m).expect("instantiate");
+            // Ok or a (division) trap — anything but a hang.
+            let _ = interp.invoke_export("run", &[]);
+        }
+    }
+
+    #[test]
+    fn shrinking_reaches_a_local_minimum() {
+        // Plant a synthetic "bug": any program whose result expression
+        // contains a multiplication fails. The shrinker must strip
+        // everything else away.
+        fn has_mul_expr(e: &Expr) -> bool {
+            match e {
+                Expr::Bin(op, a, b) | Expr::Wide(op, a, b) => {
+                    *op == BinOp::Mul || has_mul_expr(a) || has_mul_expr(b)
+                }
+                Expr::Load { addr, .. } | Expr::Load8 { addr, .. } => has_mul_expr(addr),
+                Expr::Select { cond, then, els } => {
+                    has_mul_expr(cond) || has_mul_expr(then) || has_mul_expr(els)
+                }
+                Expr::Eqz(a) => has_mul_expr(a),
+                _ => false,
+            }
+        }
+        fn has_mul(p: &RandomProgram) -> bool {
+            fn in_stmts(stmts: &[Stmt]) -> bool {
+                stmts.iter().any(|s| match s {
+                    Stmt::Set(_, e) => has_mul_expr(e),
+                    Stmt::Store { addr, val, .. } => has_mul_expr(addr) || has_mul_expr(val),
+                    Stmt::If { cond, then, els } => {
+                        has_mul_expr(cond) || in_stmts(then) || in_stmts(els)
+                    }
+                    Stmt::Loop { body, .. } => in_stmts(body),
+                })
+            }
+            in_stmts(&p.stmts) || has_mul_expr(&p.result)
+        }
+
+        let p = generate(3); // the fold-in of locals guarantees a Mul
+        assert!(has_mul(&p));
+        let before = p.size();
+        let shrunk = p.shrink(has_mul);
+        assert!(has_mul(&shrunk), "shrinking must preserve the failure");
+        assert!(shrunk.size() <= before);
+        assert_eq!(shrunk.size(), 0, "all statements are irrelevant to the planted bug");
+        // And the minimal program still lowers to a valid module.
+        sfi_wasm::validate(&shrunk.module()).unwrap();
+    }
+}

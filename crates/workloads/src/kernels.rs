@@ -982,6 +982,203 @@ pub fn dhrystone(iters: u32, rec_bytes: u32, pages: u32) -> String {
     )
 }
 
+/// FaaS request hashing / load balancing (consistent-hash router shaped):
+/// FNV-1a over short keys, bucket selection, per-backend counters. The hot
+/// inner loop keeps eight locals live — exactly the shape where the
+/// optimizing tier's operand-pool borrowing pays, since the baseline's
+/// four-register local pool (three under Segue) spills the rest to the
+/// frame on every access.
+pub fn hash_lb(requests: u32, key_bytes: u32, pages: u32) -> String {
+    assert!(key_bytes.is_power_of_two(), "key region must be maskable");
+    let counters = key_bytes + 64;
+    format!(
+        r#"(module (memory {pages})
+  {fill}
+  (func (export "run") (result i32)
+    (local $r i32) (local $i i32) (local $h i32) (local $c i32)
+    (local $b i32) (local $x i32) (local $acc i32) (local $len i32)
+    i32.const {key_bytes} call $fill
+    i32.const 1299709 local.set $x
+    block loop
+      local.get $r i32.const {requests} i32.ge_u br_if 1
+      ;; key length varies per request (8..=23 bytes)
+      {lcg}
+      local.get $x i32.const 24 i32.shr_u i32.const 15 i32.and i32.const 8 i32.add
+      local.set $len
+      ;; FNV-1a over the key bytes
+      i32.const 0x811C9DC5 local.set $h
+      i32.const 0 local.set $i
+      block loop
+        local.get $i local.get $len i32.ge_u br_if 1
+        local.get $x local.get $i i32.add i32.const {key_mask} i32.and
+        i32.load8_u local.set $c
+        local.get $h local.get $c i32.xor
+        i32.const 16777619 i32.mul
+        local.set $h
+        local.get $i i32.const 1 i32.add local.set $i
+        br 0
+      end end
+      ;; route to one of 16 backends, bump its counter
+      local.get $h i32.const 15 i32.and local.set $b
+      local.get $b i32.const 4 i32.mul
+      local.get $b i32.const 4 i32.mul i32.load offset={counters}
+      i32.const 1 i32.add
+      i32.store offset={counters}
+      local.get $acc local.get $h i32.add local.set $acc
+      local.get $r i32.const 1 i32.add local.set $r
+      br 0
+    end end
+    local.get $acc
+    i32.const 12 i32.load offset={counters}
+    i32.add))"#,
+        fill = fill_func(),
+        lcg = lcg("$x"),
+        key_mask = key_bytes - 1,
+    )
+}
+
+/// FaaS request filtering (regex-lite shaped): a hand-rolled DFA matching
+/// `"GET /a+b"`-style patterns over a synthetic request stream, counting
+/// matches and match spans. Seven live locals in the scan loop plus a
+/// data-dependent state machine — branchy enough that compare-branch
+/// fusion fires on every guard.
+pub fn regex_filter(len: u32, pages: u32) -> String {
+    format!(
+        r#"(module (memory {pages})
+  {fill}
+  (func (export "run") (result i32)
+    (local $i i32) (local $c i32) (local $state i32) (local $matches i32)
+    (local $start i32) (local $span i32) (local $acc i32)
+    i32.const {len} call $fill
+    block loop
+      local.get $i i32.const {len} i32.ge_u br_if 1
+      local.get $i i32.load8_u i32.const 7 i32.and local.set $c
+      ;; rolling checksum over the stream (keeps $acc and $span hot in
+      ;; every iteration, not just on match boundaries)
+      local.get $acc i32.const 31 i32.mul local.get $c i32.add local.set $acc
+      local.get $span i32.const 1 i32.add local.get $c i32.xor local.set $span
+      ;; states: 0 = seeking 'G'(0), 1 = in-prefix (1), 2 = in-body (2+)
+      local.get $state i32.eqz
+      if
+        local.get $c i32.eqz
+        if
+          i32.const 1 local.set $state
+          local.get $i local.set $start
+        end
+      else
+        local.get $state i32.const 1 i32.eq
+        if
+          local.get $c i32.const 1 i32.eq
+          if
+            i32.const 2 local.set $state
+          else
+            i32.const 0 local.set $state
+          end
+        else
+          local.get $c i32.const 2 i32.ge_u
+          if
+            ;; body continues; bail out on long spans
+            local.get $i local.get $start i32.sub local.set $span
+            local.get $span i32.const 12 i32.gt_u
+            if
+              i32.const 0 local.set $state
+            end
+          else
+            ;; end of match
+            local.get $matches i32.const 1 i32.add local.set $matches
+            local.get $acc
+            local.get $i local.get $start i32.sub
+            i32.add local.set $acc
+            i32.const 0 local.set $state
+          end
+        end
+      end
+      local.get $i i32.const 1 i32.add local.set $i
+      br 0
+    end end
+    local.get $matches i32.const 16 i32.shl local.get $acc i32.add))"#,
+        fill = fill_func(),
+    )
+}
+
+/// FaaS response templating (HTML template-expansion shaped): copies a
+/// byte stream to an output buffer, expanding `{{...}}`-style placeholder
+/// markers from a value table. Mixes byte loads/stores with table lookups
+/// and keeps seven locals hot across the copy loop.
+pub fn html_template(len: u32, pages: u32) -> String {
+    let values = len + 64;
+    let out = values + 256;
+    format!(
+        r#"(module (memory {pages})
+  {fill}
+  (func $mkvalues (local $i i32)
+    block loop
+      local.get $i i32.const 256 i32.ge_u br_if 1
+      local.get $i
+      local.get $i i32.const 37 i32.mul i32.const 11 i32.add i32.const 26 i32.rem_u i32.const 97 i32.add
+      i32.store8 offset={values}
+      local.get $i i32.const 1 i32.add local.set $i
+      br 0
+    end end)
+  (func (export "run") (result i32)
+    (local $i i32) (local $o i32) (local $c i32) (local $mode i32)
+    (local $key i32) (local $n i32) (local $acc i32)
+    i32.const {len} call $fill
+    call $mkvalues
+    block loop
+      local.get $i i32.const {len} i32.ge_u br_if 1
+      local.get $i i32.load8_u local.set $c
+      ;; response checksum (ETag-style) and rolling context hash: every
+      ;; byte feeds $acc and $key, keeping both hot alongside the cursors
+      local.get $acc i32.const 33 i32.mul local.get $c i32.add local.set $acc
+      local.get $key i32.const 31 i32.mul local.get $c i32.add i32.const 255 i32.and
+      local.set $key
+      ;; emitted-run length estimate, reset by each expansion below
+      local.get $n local.get $c i32.const 3 i32.and i32.add local.set $n
+      local.get $mode
+      if
+        ;; inside a placeholder: accumulate the key until the close byte
+        local.get $c i32.const 15 i32.and i32.const 15 i32.eq
+        if
+          ;; expand: emit 4 bytes from the value table
+          i32.const 0 local.set $n
+          block loop
+            local.get $n i32.const 4 i32.ge_u br_if 1
+            local.get $o local.get $n i32.add i32.const {out_mask} i32.and
+            local.get $key local.get $n i32.add i32.const 255 i32.and
+            i32.load8_u offset={values}
+            i32.store8 offset={out}
+            local.get $n i32.const 1 i32.add local.set $n
+            br 0
+          end end
+          local.get $o i32.const 4 i32.add local.set $o
+          i32.const 0 local.set $mode
+        end
+      else
+        local.get $c i32.const 15 i32.and i32.eqz
+        if
+          i32.const 1 local.set $mode
+          i32.const 0 local.set $key
+        else
+          ;; literal byte: copy through
+          local.get $o i32.const {out_mask} i32.and
+          local.get $c
+          i32.store8 offset={out}
+          local.get $o i32.const 1 i32.add local.set $o
+        end
+      end
+      local.get $i i32.const 1 i32.add local.set $i
+      br 0
+    end end
+    local.get $o i32.const 16 i32.shl
+    local.get $acc i32.add
+    i32.const 0 i32.load offset={out}
+    i32.add))"#,
+        fill = fill_func(),
+        out_mask = 0xFFF,
+    )
+}
+
 /// Fixed-point n-body-ish interaction loop (namd/nab/povray-shaped):
 /// multiply-heavy with structured loads.
 pub fn nbody(bodies: u32, iters: u32, pages: u32) -> String {

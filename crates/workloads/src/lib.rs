@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod genprog;
 pub mod kernels;
 
 use sfi_wasm::Module;
@@ -196,6 +197,19 @@ pub fn firefox_xml() -> Workload {
     Workload::new("firefox_xml", kernels::xml_parse(260_000, 8))
 }
 
+/// FaaS-shaped hot modules (figX_tiers): request hashing, request
+/// filtering and response templating. Short per-invocation work over
+/// loops with 6–8 live locals — the population the tiered compiler's
+/// promotion policy is sized for (hot enough to recompile, small enough
+/// that baseline compile latency matters on cold spawn).
+pub fn faas() -> Vec<Workload> {
+    vec![
+        Workload::new("faas_hash_lb", kernels::hash_lb(60_000, 4096, 2)),
+        Workload::new("faas_regex_filter", kernels::regex_filter(500_000, 10)),
+        Workload::new("faas_html_template", kernels::html_template(400_000, 8)),
+    ]
+}
+
 /// Every workload in the corpus (for sweep tests).
 pub fn all() -> Vec<Workload> {
     let mut v = spec2006();
@@ -205,6 +219,7 @@ pub fn all() -> Vec<Workload> {
     v.push(dhrystone());
     v.push(firefox_font());
     v.push(firefox_xml());
+    v.extend(faas());
     v
 }
 

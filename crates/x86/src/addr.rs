@@ -125,6 +125,50 @@ impl Mem {
         self.base.into_iter().chain(self.index.map(|(r, _)| r))
     }
 
+    /// Folds a compile-time-known value of the *base* register into the
+    /// displacement, freeing the register: `seg:[base + index*s + d]` with
+    /// `base == value` becomes `seg:[index*s + (value + d)]`.
+    ///
+    /// Returns `None` when the fold is not encodable or not
+    /// address-preserving — the combined displacement must fit the signed
+    /// 32-bit displacement field. Within that range the fold is exact for
+    /// both address sizes: the 64-bit effective address sees the same sum
+    /// (a disp32 is sign-extended, and `value + disp` fits i32 by the
+    /// check), and under [`Mem::addr32`] both forms truncate that same sum.
+    #[must_use]
+    pub fn fold_constant_base(self, value: u32) -> Option<Mem> {
+        self.base?;
+        let disp = i32::try_from(i64::from(value) + i64::from(self.disp)).ok()?;
+        Some(Mem { base: None, disp, ..self })
+    }
+
+    /// Substitutes the address expression `inner` for this operand's base
+    /// register: if `t = lea inner` then `seg:[t + index*s + d]` becomes
+    /// `seg:[inner.base + inner.index + index*s + (inner.disp + d)]`.
+    ///
+    /// Returns `None` whenever the combination exceeds what one x86 operand
+    /// encodes — more than one index register, a displacement outside the
+    /// signed 32-bit field, or a segment override on `inner` (segment
+    /// prefixes apply to the whole operand, not a sub-expression).
+    ///
+    /// This is *purely* the encoding-legality check. It does not decide
+    /// semantic legality: callers substituting a 32-bit (`lea r32`) result
+    /// must also set [`Mem::addr32`] so the wrap the `lea` performed still
+    /// happens, and must prove the displacement does not cross the wrap
+    /// boundary (see `sfi-core`'s fusion pass).
+    #[must_use]
+    pub fn substitute_base(self, inner: Mem) -> Option<Mem> {
+        self.base?;
+        if self.index.is_some() && inner.index.is_some() {
+            return None; // one SIB index slot
+        }
+        if inner.seg.is_some() {
+            return None;
+        }
+        let disp = self.disp.checked_add(inner.disp)?;
+        Some(Mem { base: inner.base, index: self.index.or(inner.index), disp, ..self })
+    }
+
     /// Computes the effective address given a register file and segment bases.
     ///
     /// This is the architecturally faithful computation: the linear sum is
@@ -257,5 +301,54 @@ mod tests {
             assert_eq!(Scale::from_factor(s.factor()), Some(s));
         }
         assert_eq!(Scale::from_factor(3), None);
+        assert_eq!(Scale::from_factor(16), None, "x86 SIB stops at *8");
+    }
+
+    #[test]
+    fn fold_constant_base_is_address_preserving() {
+        let m = Mem::bisd(Gpr::Rbx, Gpr::Rdx, Scale::S4, 0x10).with_seg(Seg::Gs);
+        let folded = m.fold_constant_base(0x1000).expect("fits disp32");
+        assert_eq!(folded.base, None);
+        assert_eq!(folded.index, Some((Gpr::Rdx, Scale::S4)));
+        assert_eq!(folded.disp, 0x1010);
+        assert_eq!(folded.seg, Some(Seg::Gs));
+        let gs = 0x7000_0000u64;
+        let ea = |mm: &Mem| mm.effective_addr(regs(&[(Gpr::Rbx, 0x1000), (Gpr::Rdx, 3)]), |_| gs);
+        assert_eq!(ea(&m), ea(&folded));
+        // Negative displacements fold too, as long as the sum fits.
+        let neg = Mem::base_disp(Gpr::Rbx, -0x20).fold_constant_base(0x8).unwrap();
+        assert_eq!(neg.disp, -0x18);
+    }
+
+    #[test]
+    fn fold_constant_base_rejects_disp32_overflow() {
+        // The combined displacement exceeds the signed 32-bit field: the
+        // encoder has nowhere to put it, so the fold must be rejected.
+        let m = Mem::base_disp(Gpr::Rbx, i32::MAX);
+        assert_eq!(m.fold_constant_base(1), None);
+        assert_eq!(m.fold_constant_base(0x8000_0000), None);
+        assert!(m.fold_constant_base(0).is_some(), "exactly i32::MAX still encodes");
+        // No base register: nothing to fold.
+        assert_eq!(Mem::abs(4).fold_constant_base(1), None);
+    }
+
+    #[test]
+    fn substitute_base_respects_encoding_limits() {
+        // [t + 8] with t = lea [rcx + rdx*4 + 0x10] → [rcx + rdx*4 + 0x18].
+        let outer = Mem::base_disp(Gpr::Rbx, 8);
+        let inner = Mem::bisd(Gpr::Rcx, Gpr::Rdx, Scale::S4, 0x10);
+        let s = outer.substitute_base(inner).expect("one base, one index");
+        assert_eq!((s.base, s.index, s.disp), (Some(Gpr::Rcx), Some((Gpr::Rdx, Scale::S4)), 0x18));
+
+        // Two index registers cannot share the one SIB index slot.
+        let outer_indexed = Mem::bisd(Gpr::Rbx, Gpr::Rsi, Scale::S2, 0);
+        assert_eq!(outer_indexed.substitute_base(inner), None);
+
+        // Displacement overflow past the signed 32-bit field is rejected.
+        let big = Mem::base_disp(Gpr::Rbx, i32::MAX);
+        assert_eq!(big.substitute_base(Mem::base_disp(Gpr::Rcx, 1)), None);
+
+        // A segment override on the inner expression cannot be nested.
+        assert_eq!(outer.substitute_base(Mem::base(Gpr::Rcx).with_seg(Seg::Gs)), None);
     }
 }

@@ -10,8 +10,14 @@ cargo build --release --offline
 echo "== tests (workspace) =="
 cargo test -q --offline --workspace
 
-echo "== full-corpus differential (release, includes cache path) =="
+echo "== full-corpus differential (release, includes cache path + both tiers) =="
 cargo test -q --offline --release --test corpus_differential -- --include-ignored
+
+echo "== tiered compiler: corpus + random-program equivalence, cycle win, baseline bytes =="
+cargo run -q --offline --release -p sfi-bench --bin figX_tiers -- --check
+grep -q '"telemetry"' BENCH_tiers.json
+grep -q 'sfi_tier_promotions_total' BENCH_tiers.json
+grep -q 'sfi_tier_guest_cycles' BENCH_tiers.json
 
 echo "== multi-core sweep: determinism + warm/cold + scaling checks =="
 cargo run -q --offline --release -p sfi-bench --bin figX_multicore -- --check

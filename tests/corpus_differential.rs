@@ -106,26 +106,32 @@ fn full_corpus_all_strategies_and_vectorizer_match_interpreter() {
 
         for strategy in PROTECTED {
             for vectorize in [false, true] {
-                let mut cfg = sfi_bench_config(strategy, module.mem_min_pages);
-                cfg.vectorize = vectorize;
-                // Through the cache: the first load compiles and caches,
-                // and must be observationally identical to a fresh compile.
-                let cached = engine.load(&module, &cfg, 0).expect("compiles");
-                let out = execute_export(&cached, "run", &[]).expect("runs");
-                assert_eq!(
-                    out.result.map(|r| r & 0xFFFF_FFFF),
-                    Some(expected),
-                    "{} diverged under {strategy} (vectorize={vectorize})",
-                    w.name
-                );
-                let n = interp.memory.len().min(out.heap.len());
-                assert_eq!(
-                    interp.memory[..n],
-                    out.heap[..n],
-                    "{} memory diverged under {strategy} (vectorize={vectorize})",
-                    w.name
-                );
-                checked += 1;
+                for optimized in [false, true] {
+                    let mut cfg = sfi_bench_config(strategy, module.mem_min_pages);
+                    cfg.vectorize = vectorize;
+                    if optimized {
+                        cfg = cfg.optimized();
+                    }
+                    // Through the cache: the first load compiles and caches,
+                    // and must be observationally identical to a fresh
+                    // compile.
+                    let cached = engine.load(&module, &cfg, 0).expect("compiles");
+                    let out = execute_export(&cached, "run", &[]).expect("runs");
+                    assert_eq!(
+                        out.result.map(|r| r & 0xFFFF_FFFF),
+                        Some(expected),
+                        "{} diverged under {strategy} (vectorize={vectorize}, optimized={optimized})",
+                        w.name
+                    );
+                    let n = interp.memory.len().min(out.heap.len());
+                    assert_eq!(
+                        interp.memory[..n],
+                        out.heap[..n],
+                        "{} memory diverged under {strategy} (vectorize={vectorize}, optimized={optimized})",
+                        w.name
+                    );
+                    checked += 1;
+                }
             }
         }
     }
@@ -160,6 +166,75 @@ fn cache_hit_is_observationally_identical_to_fresh_compile() {
     }
     let s = engine.cache().stats();
     assert_eq!(s.hits, 10, "5 workloads x 2 strategies, one hit each");
+}
+
+/// The optimizing tier must be interpreter-equal wherever the baseline is:
+/// a fast corpus subset swept through every strategy at both tiers (the
+/// full corpus runs in `figX_tiers --check` under release).
+#[test]
+fn optimized_tier_matches_interpreter_on_corpus_subset() {
+    for w in fast_subset() {
+        let module = w.module();
+        let mut interp = Interpreter::new(&module).expect("instantiates");
+        let expected = interp
+            .invoke_export("run", &[])
+            .expect("interprets")
+            .expect("corpus returns a checksum");
+
+        for strategy in PROTECTED {
+            let cfg = sfi_bench_config(strategy, module.mem_min_pages).optimized();
+            let cm = compile(&module, &cfg).expect("compiles");
+            let out = execute_export(&cm, "run", &[]).expect("runs");
+            assert_eq!(
+                out.result.map(|r| r & 0xFFFF_FFFF),
+                Some(expected),
+                "{} diverged under {strategy} (optimized tier)",
+                w.name
+            );
+            let n = interp.memory.len().min(out.heap.len());
+            assert_eq!(
+                interp.memory[..n],
+                out.heap[..n],
+                "{} heap diverged under {strategy} (optimized tier)",
+                w.name
+            );
+        }
+    }
+}
+
+/// Seeded random programs, interpreter vs baseline vs optimized across the
+/// full strategy sweep. On divergence the failing program is shrunk to a
+/// locally minimal counterexample before the panic, so the CI log carries
+/// a reproducible seed *and* a program small enough to read.
+#[test]
+fn generated_programs_are_differentially_equal_across_tiers() {
+    use segue_colorguard::workloads::genprog;
+
+    let diverges = |p: &genprog::RandomProgram| {
+        let m = p.module();
+        std::panic::catch_unwind(|| {
+            segue_colorguard::core::harness::differential_check(&m, "run", &[]);
+        })
+        .is_err()
+    };
+
+    for seed in 0..48u64 {
+        let program = genprog::generate(seed);
+        if diverges(&program) {
+            // Silence the panic-per-candidate noise while shrinking.
+            let hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let minimal = program.shrink(diverges);
+            std::panic::set_hook(hook);
+            let module = minimal.module();
+            panic!(
+                "seed {seed} diverges between interpreter and compiled tiers; \
+                 minimal counterexample ({} stmts): {:?}",
+                minimal.size(),
+                module.defined_func(0).map(|f| &f.body),
+            );
+        }
+    }
 }
 
 #[test]
