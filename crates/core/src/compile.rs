@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 use sfi_wasm::{Func, Module, Op, ValType};
 use sfi_x86::emu::Image;
 use sfi_x86::inst::{AluOp, ShiftAmount, ShiftOp};
-use sfi_x86::{Cond, Gpr, Inst, Label, Mem, Program, Scale, Width};
+use sfi_x86::{Cond, Gpr, Inst, Label, Mem, Program, Provenance, Scale, Width};
 
 use crate::config::{regs, CompilerConfig, FuncStats, OptLevel, Strategy};
 use crate::opt::{self, LiveRange, OptStats};
@@ -175,6 +175,16 @@ pub fn compile(module: &Module, config: &CompilerConfig) -> Result<CompiledModul
 
     if config.vectorize {
         crate::vectorize::vectorize(&mut program, config.strategy);
+    }
+
+    // Label-stable removal leaves `nop` slots behind; retag them so the
+    // profiler attributes their (small) cost to the rewriting passes
+    // rather than to whatever the slot used to hold. Baseline output
+    // contains no `nop`s, so this is a no-op there.
+    for i in 0..program.len() {
+        if matches!(program.insts()[i], Inst::Nop) {
+            program.set_prov(i, Provenance::OptInserted);
+        }
     }
 
     // Build the table image.
@@ -541,6 +551,7 @@ impl<'a> FuncCompiler<'a> {
             });
             p.push(Inst::WrGsBase { src: Gpr::Rax });
             self.stats.sfi_overhead_insts += 2;
+            p.tag_last(2, Provenance::TransitionGlue);
         }
         p.push(Inst::Push { reg: regs::FRAME });
         p.push(Inst::MovRR { dst: regs::FRAME, src: Gpr::Rsp, width: Width::Q });
@@ -559,6 +570,7 @@ impl<'a> FuncCompiler<'a> {
             });
             p.push(Inst::Jcc { cond: Cond::B, target: self.trap });
             self.stats.sfi_overhead_insts += 2;
+            p.tag_last(2, Provenance::BoundsGuard);
         }
         // Load parameters: pushed left-to-right by the caller, so param i is
         // at [rbp + 8 + 8*(argc-1-i)] (above the saved rbp).
@@ -617,6 +629,8 @@ impl<'a> FuncCompiler<'a> {
         p.push(Inst::Ret);
         p.bind(self.trap);
         p.push(Inst::Ud2);
+        // The trap landing pad exists for the guards that branch to it.
+        p.tag_last(1, Provenance::BoundsGuard);
 
         Ok(self.stats)
     }
@@ -636,6 +650,7 @@ impl<'a> FuncCompiler<'a> {
                     if matches!(self.stack[d], Slot::Trunc(_)) {
                         p.push(Inst::MovRR { dst: r, src: r, width: Width::D });
                         self.stats.sfi_overhead_insts += 1;
+                        p.tag_last(1, Provenance::Truncation);
                     }
                     p.push(Inst::Store {
                         src: r,
@@ -693,6 +708,7 @@ impl<'a> FuncCompiler<'a> {
                 // Resolve the pending truncation.
                 p.push(Inst::MovRR { dst: r, src: r, width: Width::D });
                 self.stats.sfi_overhead_insts += 1;
+                p.tag_last(1, Provenance::Truncation);
                 r
             }
             Slot::Imm(v) => {
@@ -822,6 +838,7 @@ impl<'a> FuncCompiler<'a> {
                         let d = self.alloc_reg(p);
                         p.push(Inst::MovRR { dst: d, src: r, width: Width::Q });
                         self.stats.sfi_overhead_insts += 1;
+                        p.tag_last(1, Provenance::BoundsGuard);
                         d
                     };
                     debug_assert!(self.config.layout.mem_size.is_power_of_two());
@@ -832,6 +849,7 @@ impl<'a> FuncCompiler<'a> {
                         width: Width::D,
                     });
                     self.stats.sfi_overhead_insts += 1;
+                    p.tag_last(1, Provenance::BoundsGuard);
                     dst
                 } else {
                     r
@@ -843,9 +861,11 @@ impl<'a> FuncCompiler<'a> {
                 let limit = self.config.layout.mem_size as i64 - i64::from(off) - width.bytes() as i64;
                 if limit < 0 {
                     p.push(Inst::Jmp { target: self.trap });
+                    p.tag_last(1, Provenance::BoundsGuard);
                 } else {
                     p.push(Inst::AluRI { op: AluOp::Cmp, dst: r, imm: limit as i32, width: Width::Q });
                     p.push(Inst::Jcc { cond: Cond::A, target: self.trap });
+                    p.tag_last(2, Provenance::BoundsGuard);
                 }
                 self.stats.sfi_overhead_insts += 2;
             }
@@ -920,6 +940,7 @@ impl<'a> FuncCompiler<'a> {
                         } else {
                             p.push(Inst::MovRR { dst: r, src: r, width: Width::D });
                             self.stats.sfi_overhead_insts += 1;
+                            p.tag_last(1, Provenance::Truncation);
                             (Mem::base_disp(r, off_i).with_seg(sfi_x86::Seg::Gs), Some(r))
                         }
                     }
@@ -987,6 +1008,7 @@ impl<'a> FuncCompiler<'a> {
                             let r = self.alloc_reg(p);
                             self.emit_shape(p, shape, r);
                             self.stats.sfi_overhead_insts += 1;
+                            p.tag_last(1, Provenance::SegueAddressing);
                             (Mem::base_disp(r, off_i).with_seg(sfi_x86::Seg::Gs), Some(r))
                         }
                     }
@@ -1010,6 +1032,7 @@ impl<'a> FuncCompiler<'a> {
                     if shape.npart() > 1 || shape.disp != 0 || shape.parts[0].is_some_and(|pt| pt.shift > 0)
                     {
                         self.stats.sfi_overhead_insts += 1; // the lea
+                        p.tag_last(1, Provenance::SegueAddressing);
                     }
                 }
                 if matches!(addr, Slot::Trunc(_)) {
@@ -1737,8 +1760,10 @@ impl<'a> FuncCompiler<'a> {
             self.spill_below(p, argc);
             self.push_args(p, argc);
             p.push(Inst::CallHost { func: idx });
+            p.tag_last(1, Provenance::TransitionGlue);
             if argc > 0 {
                 p.push(Inst::AluRI { op: AluOp::Add, dst: Gpr::Rsp, imm: 8 * argc as i32, width: Width::Q });
+                p.tag_last(1, Provenance::TransitionGlue);
             }
         } else {
             self.spill_below(p, argc);
@@ -1795,6 +1820,7 @@ impl<'a> FuncCompiler<'a> {
             p.push(Inst::AluRI { op: AluOp::Cmp, dst: Gpr::Rax, imm: expected_sig, width: Width::D });
             p.push(Inst::Jcc { cond: Cond::Ne, target: self.trap });
             self.stats.sfi_overhead_insts += 4;
+            p.tag_last(5, Provenance::BoundsGuard);
         }
         p.push(Inst::Load {
             dst: Gpr::Rdx,
@@ -1822,8 +1848,10 @@ impl<'a> FuncCompiler<'a> {
         self.spill_below(p, argc);
         self.push_args(p, argc);
         p.push(Inst::CallHost { func: id });
+        p.tag_last(1, Provenance::TransitionGlue);
         if argc > 0 {
             p.push(Inst::AluRI { op: AluOp::Add, dst: Gpr::Rsp, imm: 8 * argc as i32, width: Width::Q });
+            p.tag_last(1, Provenance::TransitionGlue);
         }
         if has_result {
             let r = self.alloc_reg(p);

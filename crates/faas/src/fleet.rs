@@ -46,8 +46,9 @@ use std::time::Instant;
 use sfi_pool::QuarantinePolicy;
 use sfi_telemetry::{
     chrome_trace, chrome_trace_gap_line, chrome_trace_lines, json_is_valid, json_snapshot,
-    prometheus_text, retry_with, CounterId, FlightRecorder, GaugeId, HttpRequest, HttpResponse,
-    Registry, Retention, RetryPolicy, TraceEvent, TraceKind, VirtualClock,
+    pack_span, prometheus_text, retry_with, BucketExemplars, CounterId, FlightRecorder,
+    FoldedStacks, GaugeId, HttpRequest, HttpResponse, Registry, Retention, RetryPolicy, SpanLevel,
+    TraceEvent, TraceKind, VirtualClock,
 };
 use sfi_vm::{EngineFault, FaultPlan};
 
@@ -281,7 +282,7 @@ struct FleetMeta {
     scale_out: CounterId,
     scale_in: CounterId,
     members_live: GaugeId,
-    scrapes: [CounterId; 5],
+    scrapes: [CounterId; 6],
 }
 
 impl FleetMeta {
@@ -303,7 +304,7 @@ impl FleetMeta {
             scale_out: reg.counter("sfi_fleet_scale_out_total"),
             scale_in: reg.counter("sfi_fleet_scale_in_total"),
             members_live: reg.gauge("sfi_fleet_members_live"),
-            scrapes: ["metrics", "snapshot", "trace", "healthz", "fleet"]
+            scrapes: ["metrics", "snapshot", "trace", "healthz", "fleet", "profile"]
                 .map(|ep| reg.counter_with("sfi_fleet_scrapes_total", &[("endpoint", ep)])),
         }
     }
@@ -421,6 +422,21 @@ impl FleetSupervisor {
             // strikes the first poll attempt instead.
             let fault0 = self.chaos.engine_fires(self.members[idx].id, r, 0);
             let duration_ns = self.members[idx].cfg.engine.duration_ms * 1_000_000;
+            // With spans on, the member's round is the root (level-0) span
+            // of every request tree it contains (DESIGN.md §14).
+            let spans = self.members[idx].cfg.engine.spans;
+            let member_id = self.members[idx].id;
+            let round_tid =
+                crate::shard::trace_id(self.members[idx].cfg.engine.seed ^ 0xF1EE_7000, r);
+            if spans {
+                self.stream.record(TraceEvent {
+                    tick: self.clock.now(),
+                    core: member_id as u32,
+                    sandbox: round_tid,
+                    kind: TraceKind::Flow,
+                    arg: pack_span(SpanLevel::FleetMember, true, false, member_id),
+                });
+            }
             if fault0 == Some(EngineFault::MidRoundPanic) {
                 self.crash_and_recover(idx, r);
             } else {
@@ -428,6 +444,15 @@ impl FleetSupervisor {
                 self.members[idx].checkpoint_rounds = self.members[idx].engine.rounds();
             }
             self.clock.advance(duration_ns);
+            if spans {
+                self.stream.record(TraceEvent {
+                    tick: self.clock.now(),
+                    core: member_id as u32,
+                    sandbox: round_tid,
+                    kind: TraceKind::Flow,
+                    arg: pack_span(SpanLevel::FleetMember, false, true, member_id),
+                });
+            }
             if let Some(f) = fault0 {
                 self.note_fault(idx, f);
             }
@@ -828,6 +853,38 @@ impl FleetSupervisor {
         body
     }
 
+    /// `/profile`: the fleet-wide flamegraph — every member's folded
+    /// engine stacks re-rooted under a `member_<id>` frame so per-member
+    /// attribution survives the merge — plus the cross-member latency
+    /// exemplars (shard-order-independent merge). Pure function of the
+    /// modeled fleet state.
+    pub fn profile_body(&self) -> String {
+        let mut folded = FoldedStacks::new();
+        let mut exemplars = BucketExemplars::new();
+        for m in &self.members {
+            for line in m.engine.profile_folded().render().lines() {
+                if let Some((stack, value)) = line.rsplit_once(' ') {
+                    if let Ok(v) = value.parse::<u64>() {
+                        folded.add_folded(&format!("member_{};{stack}", m.id), v);
+                    }
+                }
+            }
+            exemplars.merge_from(m.engine.exemplars());
+        }
+        let lines: Vec<String> = folded
+            .render()
+            .lines()
+            .map(|l| format!("\"{}\"", l.replace('\\', "\\\\").replace('"', "\\\"")))
+            .collect();
+        format!(
+            "{{\"rounds\": {}, \"members\": {}, \"folded\": [{}], \"exemplars\": {}}}\n",
+            self.rounds,
+            self.members.len(),
+            lines.join(", "),
+            exemplars.render_json(),
+        )
+    }
+
     /// `/trace?since=<cursor>`: the supervision stream, same wire shape as
     /// the per-engine endpoint (metadata line + chrome-trace lines, gap
     /// marker when events were lost).
@@ -912,6 +969,10 @@ impl FleetSupervisor {
                 self.reg.inc(self.meta.scrapes[4]);
                 (HttpResponse::json(self.fleet_json()), false)
             }
+            "/profile" => {
+                self.reg.inc(self.meta.scrapes[5]);
+                (HttpResponse::json(self.profile_body()), false)
+            }
             "/quit" => (HttpResponse::ok("text/plain", "bye\n".to_owned()), true),
             _ => (HttpResponse::not_found(), false),
         }
@@ -964,6 +1025,62 @@ mod tests {
         let out = f();
         let _ = std::panic::take_hook(); // restore the default hook
         out
+    }
+
+    #[test]
+    fn fleet_profile_aggregates_members_and_roots_span_trees() {
+        use sfi_telemetry::unpack_span;
+        let mut cfg = small_fleet(2);
+        for m in &mut cfg.members {
+            m.engine.spans = true;
+        }
+        let mut fleet = FleetSupervisor::new(cfg);
+        fleet.run_round();
+        fleet.run_round();
+
+        let req = HttpRequest::parse("GET /profile HTTP/1.1").unwrap();
+        let (resp, stop) = fleet.route(&req, 0.0);
+        assert!(!stop);
+        assert_eq!(resp.status, 200);
+        assert!(json_is_valid(&resp.body), "{}", resp.body);
+        // Per-member re-rooted stacks survive the merge.
+        assert!(resp.body.contains("member_0;engine;guest_compute"), "{}", resp.body);
+        assert!(resp.body.contains("member_1;engine;guest_compute"));
+        assert!(resp.body.contains("\"trace_id\""), "cross-member exemplars present");
+
+        // The supervision stream roots each member round as a level-0 span.
+        let roots: Vec<_> = fleet
+            .stream()
+            .events()
+            .iter()
+            .filter(|e| e.kind == TraceKind::Flow)
+            .filter_map(|e| unpack_span(e.arg))
+            .filter(|s| s.level == SpanLevel::FleetMember)
+            .collect();
+        assert_eq!(roots.len(), 8, "2 members × 2 rounds × (start + end)");
+        assert!(roots.iter().any(|s| s.start && s.detail == 0));
+        assert!(roots.iter().any(|s| s.end && s.detail == 1));
+
+        // Spans never perturb the modeled fleet state: a spans-off fleet of
+        // the same seeds replays the identical snapshot once the span-edge
+        // counter — the one series the profiler itself adds — is stripped.
+        let strip_span_counter = |json: &str| -> String {
+            let mut out = json.to_owned();
+            while let Some(i) = out.find("\"sfi_shard_span_events_total") {
+                let rest = &out[i..];
+                let end = i + rest.find(", ").map_or(rest.len(), |e| e + 2);
+                out = format!("{}{}", &out[..i], &out[end..]);
+            }
+            out
+        };
+        let mut quiet = FleetSupervisor::new(small_fleet(2));
+        quiet.run_round();
+        quiet.run_round();
+        let on = fleet.snapshot_json();
+        assert!(on.contains("sfi_shard_span_events_total"));
+        let off = quiet.snapshot_json();
+        assert!(!off.contains("sfi_shard_span_events_total"));
+        assert_eq!(strip_span_counter(&on), off);
     }
 
     #[test]

@@ -48,8 +48,8 @@ pub use serve::{
     flatten_traces, round_seed, serve_blocking, ServeConfig, ServeEngine, NS_PER_TICK,
 };
 pub use shard::{
-    multicore_sweep_json, overload_sweep_json, simulate_multicore, CacheMode, CoreMetrics,
-    MultiCoreConfig, MultiCoreReport, SpawnModel, DTLB_SAMPLE_RATE,
+    multicore_sweep_json, overload_sweep_json, simulate_multicore, trace_id, CacheMode,
+    CoreMetrics, MultiCoreConfig, MultiCoreReport, SpawnModel, DTLB_SAMPLE_RATE,
 };
 pub use sim::{
     sim_registry, simulate, throughput_gain_percent, ArrivalModel, ArrivalPhase, FaasWorkload,

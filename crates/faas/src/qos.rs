@@ -79,6 +79,11 @@ pub struct QosConfig {
     /// Aggregate per-core backlog at which standard arrivals are also
     /// shed (latency-sensitive work is never shed by this watermark).
     pub shed_standard_depth: usize,
+    /// Per-class p99.9 latency SLO targets in ms ([`SloClass::ALL`] order).
+    /// The serving layer exports the burn rate against these as
+    /// `sfi_qos_slo_burn_permille{class=…}` — 1000 means the observed
+    /// p99.9 sits exactly at target, above means the budget is burning.
+    pub slo_p999_ms: [f64; 3],
 }
 
 impl QosConfig {
@@ -91,6 +96,7 @@ impl QosConfig {
             queue_cap: 64,
             shed_batch_depth: 24,
             shed_standard_depth: 96,
+            slo_p999_ms: [50.0, 250.0, 2_000.0],
         }
     }
 }

@@ -32,11 +32,13 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use sfi_telemetry::{
-    chrome_trace, chrome_trace_gap_line, chrome_trace_lines, json_snapshot, prometheus_text,
-    CounterId, FlightRecorder, HttpRequest, HttpResponse, Registry, Retention, TraceEvent,
+    chrome_trace, chrome_trace_gap_line, chrome_trace_lines, json_snapshot, pack_span,
+    prometheus_text, BucketExemplars, CounterId, FlightRecorder, FoldedStacks, GaugeId,
+    HttpRequest, HttpResponse, Registry, Retention, SpanLevel, TraceEvent, TraceKind,
 };
 
-use crate::shard::{simulate_multicore, CacheMode, MultiCoreConfig, MultiCoreReport};
+use crate::qos::SloClass;
+use crate::shard::{simulate_multicore, trace_id, CacheMode, MultiCoreConfig, MultiCoreReport};
 use crate::sim::{simulate, FailureModel, ScalingMode, SimConfig};
 use crate::FaasWorkload;
 
@@ -119,7 +121,17 @@ pub struct ServeEngine {
     /// Scrape bookkeeping: merged into `/metrics` output only, never into
     /// `/snapshot`, so serving has zero observer effect on modeled series.
     meta: Registry,
-    scrapes: [CounterId; 4],
+    scrapes: [CounterId; 5],
+    /// Cumulative per-bucket latency exemplars (populated only when the
+    /// engine config enables spans), served via `/profile`.
+    exemplars: BucketExemplars,
+    /// SLO burn gauges (`sfi_qos_slo_burn_permille{class=…}`), present iff
+    /// the engine config enables QoS. Kept in their own registry and
+    /// `set()` after every round: gauges *add* under [`Registry::merge_from`],
+    /// so folding them into the cumulative modeled registry would
+    /// accumulate across rounds instead of tracking the current burn.
+    burn: Registry,
+    burn_ids: Option<[GaugeId; 3]>,
 }
 
 impl ServeEngine {
@@ -130,8 +142,15 @@ impl ServeEngine {
     pub fn new(cfg: ServeConfig) -> ServeEngine {
         let stream = FlightRecorder::with_retention(cfg.stream_capacity, Retention::PinFaults);
         let mut meta = Registry::new();
-        let scrapes = ["metrics", "snapshot", "trace", "healthz"]
+        let scrapes = ["metrics", "snapshot", "trace", "healthz", "profile"]
             .map(|ep| meta.counter_with("sfi_serve_scrapes_total", &[("endpoint", ep)]));
+        let mut burn = Registry::new();
+        let burn_ids = cfg.engine.qos.as_ref().map(|_| {
+            SloClass::ALL.map(|c| {
+                burn.try_gauge("sfi_qos_slo_burn_permille", &[("class", c.name())])
+                    .expect("one burn registry per engine")
+            })
+        });
         ServeEngine {
             cfg,
             rounds: 0,
@@ -143,6 +162,9 @@ impl ServeEngine {
             occupancy: 0.0,
             meta,
             scrapes,
+            exemplars: BucketExemplars::new(),
+            burn,
+            burn_ids,
         }
     }
 
@@ -153,11 +175,33 @@ impl ServeEngine {
         engine.seed = round_seed(self.cfg.engine.seed, self.rounds);
         let report = simulate_multicore(&engine);
         self.registry.merge_from(&report.registry);
+        self.exemplars.merge_from(&report.exemplars);
         // Each round models [0, duration) ns; restamp onto the session
         // timeline so the stream's ticks are monotone across rounds.
         let offset = self.rounds * self.cfg.engine.duration_ms * 1_000_000;
+        // With spans on, the round itself is a level-1 span bracketing its
+        // requests' queue-wait/admission/invoke edges on the timeline.
+        let round_tid = trace_id(self.cfg.engine.seed ^ 0x0E11_6120, self.rounds);
+        if self.cfg.engine.spans {
+            self.stream.record(TraceEvent {
+                tick: offset,
+                core: 0,
+                sandbox: round_tid,
+                kind: TraceKind::Flow,
+                arg: pack_span(SpanLevel::EngineRound, true, false, self.rounds),
+            });
+        }
         for ev in flatten_traces(&report.traces) {
             self.stream.record(TraceEvent { tick: ev.tick + offset, ..ev });
+        }
+        if self.cfg.engine.spans {
+            self.stream.record(TraceEvent {
+                tick: offset + self.cfg.engine.duration_ms * 1_000_000,
+                core: 0,
+                sandbox: round_tid,
+                kind: TraceKind::Flow,
+                arg: pack_span(SpanLevel::EngineRound, false, true, self.rounds),
+            });
         }
         let mut probe = self.cfg.probe.clone();
         probe.seed = round_seed(self.cfg.probe.seed, self.rounds);
@@ -167,7 +211,26 @@ impl ServeEngine {
         self.availability = health.availability;
         self.occupancy = report.occupancy;
         self.rounds += 1;
+        self.update_burn();
         report
+    }
+
+    /// Re-derives the SLO burn gauges from the cumulative per-class latency
+    /// histograms: `1000 × observed p99.9 ÷ target` (1000 = exactly at
+    /// target). `set()` each round, never merged cumulatively.
+    fn update_burn(&mut self) {
+        let (Some(ids), Some(q)) = (self.burn_ids, self.cfg.engine.qos.as_ref()) else {
+            return;
+        };
+        for (i, class) in SloClass::ALL.iter().enumerate() {
+            let key = format!("sfi_qos_request_latency_ns{{class=\"{}\"}}", class.name());
+            let p999_ms = self
+                .registry
+                .histogram_values(&key)
+                .map_or(0.0, |h| h.p999() as f64 / 1e6);
+            let target = q.slo_p999_ms[i].max(f64::MIN_POSITIVE);
+            self.burn.set(ids[i], (1000.0 * p999_ms / target).round() as i64);
+        }
     }
 
     /// Rounds completed.
@@ -196,12 +259,72 @@ impl ServeEngine {
         &self.stream
     }
 
+    /// The cumulative per-bucket latency exemplars (empty unless the engine
+    /// config enables spans).
+    pub fn exemplars(&self) -> &BucketExemplars {
+        &self.exemplars
+    }
+
     /// `/metrics`: Prometheus text of the modeled registry plus the serve
     /// meta registry (scrape counters).
     pub fn metrics_text(&self) -> String {
         let mut merged = self.registry.clone();
         merged.merge_from(&self.meta);
+        merged.merge_from(&self.burn);
         prometheus_text(&merged)
+    }
+
+    /// The host-side cycle-attribution flamegraph of the cumulative run:
+    /// where engine time went (guest compute vs. spawn vs. scheduling), in
+    /// the `flamegraph.pl` collapse format. Pure function of the modeled
+    /// registry.
+    pub fn profile_folded(&self) -> FoldedStacks {
+        let mut f = FoldedStacks::new();
+        let c = |key: &str| self.registry.counter_value(key).unwrap_or(0);
+        let busy = c("sfi_shard_busy_ns_total");
+        let spawn = c("sfi_shard_spawn_ns_total");
+        let overhead = c("sfi_shard_overhead_ns_total");
+        f.add(&["engine", "guest_compute"], busy);
+        f.add(&["engine", "overhead", "spawn"], spawn);
+        f.add(&["engine", "overhead", "sched"], overhead.saturating_sub(spawn));
+        f
+    }
+
+    /// `/profile`: the folded-stack flamegraph (one collapse line per array
+    /// element), the per-bucket latency exemplars keyed by bucket upper
+    /// bound, and — when QoS is on — the per-class SLO burn gauges.
+    /// Deterministic: a pure function of `(config, rounds run)`.
+    pub fn profile_body(&self) -> String {
+        let folded = self.profile_folded();
+        let lines: Vec<String> = folded
+            .render()
+            .lines()
+            .map(|l| format!("\"{}\"", l.replace('\\', "\\\\").replace('"', "\\\"")))
+            .collect();
+        let mut body = format!(
+            "{{\"rounds\": {}, \"folded\": [{}], \"exemplars\": {}",
+            self.rounds,
+            lines.join(", "),
+            self.exemplars.render_json(),
+        );
+        if let (Some(_), Some(q)) = (self.burn_ids, self.cfg.engine.qos.as_ref()) {
+            body.push_str(", \"slo_burn_permille\": {");
+            for (i, class) in SloClass::ALL.iter().enumerate() {
+                if i > 0 {
+                    body.push_str(", ");
+                }
+                let key = format!("sfi_qos_slo_burn_permille{{class=\"{}\"}}", class.name());
+                body.push_str(&format!(
+                    "\"{}\": {{\"burn\": {}, \"target_p999_ms\": {:.3}}}",
+                    class.name(),
+                    self.burn.gauge_value(&key).unwrap_or(0),
+                    q.slo_p999_ms[i],
+                ));
+            }
+            body.push('}');
+        }
+        body.push_str("}\n");
+        body
     }
 
     /// `/snapshot`: the modeled registry as JSON — byte-identical to what
@@ -282,6 +405,10 @@ impl ServeEngine {
             "/healthz" => {
                 self.meta.inc(self.scrapes[3]);
                 (HttpResponse::json(self.healthz_body(uptime_seconds)), false)
+            }
+            "/profile" => {
+                self.meta.inc(self.scrapes[4]);
+                (HttpResponse::json(self.profile_body()), false)
             }
             "/quit" => (HttpResponse::ok("text/plain", "bye\n".to_owned()), true),
             _ => (HttpResponse::not_found(), false),
@@ -370,6 +497,65 @@ mod tests {
         assert!(events.windows(2).all(|w| w[0].tick <= w[1].tick), "ticks regressed");
         let round_ns = 20 * 1_000_000;
         assert!(events.last().unwrap().tick >= round_ns, "round 2 not offset");
+    }
+
+    #[test]
+    fn profile_endpoint_serves_flamegraph_exemplars_and_burn() {
+        use crate::qos::QosConfig;
+        use sfi_telemetry::{json_is_valid, unpack_span};
+        let mut cfg = small_cfg();
+        cfg.engine.spans = true;
+        cfg.engine.qos = Some(QosConfig::paper_rig());
+        let mut eng = ServeEngine::new(cfg);
+        eng.run_round();
+        eng.run_round();
+
+        let req = HttpRequest::parse("GET /profile HTTP/1.1").unwrap();
+        let (resp, stop) = eng.route(&req, 0.0);
+        assert!(!stop);
+        assert_eq!(resp.status, 200);
+        assert!(json_is_valid(&resp.body), "{}", resp.body);
+        assert!(resp.body.contains("engine;guest_compute"), "{}", resp.body);
+        assert!(resp.body.contains("engine;overhead;spawn"));
+        assert!(resp.body.contains("\"exemplars\""));
+        assert!(resp.body.contains("\"trace_id\""), "completions must leave exemplars");
+        assert!(resp.body.contains("\"slo_burn_permille\""));
+        assert!(resp.body.contains("\"latency_sensitive\""));
+
+        // The burn gauges ride /metrics but never the modeled snapshot.
+        assert!(eng.metrics_text().contains("sfi_qos_slo_burn_permille"));
+        assert!(!eng.snapshot_json().contains("sfi_qos_slo_burn_permille"));
+
+        // Each round brackets its requests with a level-1 engine-round span.
+        let rounds: Vec<_> = eng
+            .stream()
+            .events()
+            .iter()
+            .filter(|e| e.kind == TraceKind::Flow)
+            .filter_map(|e| unpack_span(e.arg))
+            .filter(|s| s.level == SpanLevel::EngineRound)
+            .collect();
+        assert_eq!(rounds.len(), 4, "2 rounds × (start + end)");
+        assert!(eng.stream().events().iter().any(|e| {
+            e.kind == TraceKind::Flow
+                && unpack_span(e.arg).is_some_and(|s| s.level == SpanLevel::Invoke)
+        }));
+
+        // Profile scraping is replay-invariant like every other endpoint.
+        let rebuild = |scrapes: u32| {
+            let mut cfg = small_cfg();
+            cfg.engine.spans = true;
+            cfg.engine.qos = Some(QosConfig::paper_rig());
+            let mut eng = ServeEngine::new(cfg);
+            for _ in 0..2 {
+                eng.run_round();
+                for _ in 0..scrapes {
+                    let _ = eng.profile_body();
+                }
+            }
+            (eng.profile_body(), eng.snapshot_json())
+        };
+        assert_eq!(rebuild(0), rebuild(3), "profile scrapes must not perturb modeled state");
     }
 
     #[test]

@@ -31,7 +31,10 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-use sfi_telemetry::{CycleHistogram, FlightRecorder, Registry, TraceEvent, TraceKind};
+use sfi_telemetry::{
+    pack_span, BucketExemplars, CycleHistogram, FlightRecorder, Registry, SpanLevel, TraceEvent,
+    TraceKind,
+};
 
 use crate::hashlb::HashRing;
 use crate::qos::{tenant_class, Admission, ClassReport, QosConfig, QosQueues, QosReport, SloClass};
@@ -129,6 +132,11 @@ pub struct MultiCoreConfig {
     /// stamped with simulated nanoseconds, so same-seed runs produce
     /// byte-identical traces.
     pub trace_capacity: usize,
+    /// Emit per-request span events ([`TraceKind::Flow`]) and latency
+    /// exemplars: queue-wait, admission and invoke edges keyed by a
+    /// deterministic [`trace_id`]. Off by default — legacy configs keep
+    /// byte-identical traces and reports (DESIGN.md §14).
+    pub spans: bool,
 }
 
 impl MultiCoreConfig {
@@ -157,8 +165,20 @@ impl MultiCoreConfig {
             costs: SimCosts::default(),
             spawn: SpawnModel::default(),
             trace_capacity: 512,
+            spans: false,
         }
     }
+}
+
+/// The request's end-to-end trace id: a stateless splitmix mix of the run
+/// seed and the request id, so every span edge of request `rid` — across
+/// cores, queues and serving rounds — carries the same id, and same-seed
+/// replays reproduce it. Pure function; consumes no RNG stream.
+pub fn trace_id(seed: u64, rid: u64) -> u64 {
+    let mut z = seed ^ 0x7D0_C0FF_EE00_0001 ^ rid.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Per-core counters.
@@ -234,6 +254,11 @@ pub struct MultiCoreReport {
     /// `p99_latency_ms` above summarize the same completions; these carry
     /// the full cross-shard distribution.
     pub latency_per_core: Vec<CycleHistogram>,
+    /// Per-bucket latency exemplars: for each latency-histogram bucket the
+    /// first `(trace_id, latency_ns)` that landed in it, merged across
+    /// cores shard-order-independently. Empty unless
+    /// [`MultiCoreConfig::spans`] is on.
+    pub exemplars: BucketExemplars,
     /// The merged per-core metrics registry (counters, occupancy gauges,
     /// and the latency histograms — both per-core `{core="N"}` series and
     /// the bucket-wise cross-shard merge). A live server folds successive
@@ -281,11 +306,24 @@ struct Core {
     rec: FlightRecorder,
     /// Request-latency distribution (ns) of completions on this core.
     lat: CycleHistogram,
+    /// Per-bucket latency exemplars (populated only when spans are on).
+    ex: BucketExemplars,
+    /// Span edges emitted (so the trace-event counter can keep counting
+    /// simulation events only — the profiler must not move modeled series).
+    flow: u64,
 }
 
 impl Core {
     fn trace(&mut self, tick: u64, sandbox: u64, kind: TraceKind, arg: u64) {
         self.rec.record(TraceEvent { tick, core: self.idx, sandbox, kind, arg });
+    }
+
+    /// Records one span edge of a request's trace: a [`TraceKind::Flow`]
+    /// event whose `sandbox` field carries the trace id and whose arg is
+    /// the packed `(level, start, end, detail)` edge.
+    fn span(&mut self, tick: u64, tid: u64, level: SpanLevel, start: bool, end: bool, detail: u64) {
+        self.trace(tick, tid, TraceKind::Flow, pack_span(level, start, end, detail));
+        self.flow += 1;
     }
 }
 
@@ -304,11 +342,20 @@ struct Ctx {
     colorguard: bool,
     procs: u32,
     contention: f64,
+    /// Span emission on, plus the seed [`trace_id`] derives from.
+    spans: bool,
+    seed: u64,
 }
 
 /// Starts the next slice on `core` at `now`; returns its completion time.
 fn start_slice(core: &mut Core, cg_primed: &mut bool, ctx: &Ctx, now: u64) -> Option<u64> {
     let mut task = core.ready.pop_front()?;
+    // The spawn flag is set on exactly one slice per request — its first —
+    // which is where the invoke span opens.
+    if ctx.spans && task.spawn {
+        let tid = trace_id(ctx.seed, u64::from(task.rid));
+        core.span(now, tid, SpanLevel::Invoke, true, false, u64::from(task.rid));
+    }
     let mut over = 0.0f64;
     if !ctx.colorguard {
         let proc = task.rid % ctx.procs;
@@ -456,6 +503,8 @@ pub fn simulate_multicore(cfg: &MultiCoreConfig) -> MultiCoreReport {
         colorguard,
         procs,
         contention: f64::from(procs.min(15)) / 15.0,
+        spans: cfg.spans,
+        seed: cfg.seed,
     };
 
     let mut cores: Vec<Core> = (0..ncores)
@@ -474,6 +523,8 @@ pub fn simulate_multicore(cfg: &MultiCoreConfig) -> MultiCoreReport {
             m: CoreMetrics::default(),
             rec: FlightRecorder::new(cfg.trace_capacity),
             lat: CycleHistogram::new(),
+            ex: BucketExemplars::new(),
+            flow: 0,
         })
         .collect();
     let mut cg_primed = false;
@@ -511,12 +562,20 @@ pub fn simulate_multicore(cfg: &MultiCoreConfig) -> MultiCoreReport {
                     if let Some(cl) = &classes {
                         class_offered[cl[rid as usize].idx()] += 1;
                     }
+                    let class_idx =
+                        classes.as_ref().map_or(0, |cl| cl[rid as usize].idx() as u64);
+                    let tid = trace_id(cfg.seed, u64::from(rid));
                     // Admission: take a resident slot or queue for one.
                     if cores[h].resident < capacity {
                         cores[h].resident += 1;
                         cores[h].peak_resident = cores[h].peak_resident.max(cores[h].resident);
                         let occupied = u64::from(cores[h].resident);
                         cores[h].trace(t, u64::from(rid), TraceKind::Spawn, occupied);
+                        if cfg.spans {
+                            // Direct admission: an instantaneous admission
+                            // span (no queue wait preceded it).
+                            cores[h].span(t, tid, SpanLevel::Admission, true, true, class_idx);
+                        }
                         cores[h]
                             .ready
                             .push_back(Task { rid, stage, remaining, spawn: true, extra_ns: 0 });
@@ -529,9 +588,14 @@ pub fn simulate_multicore(cfg: &MultiCoreConfig) -> MultiCoreReport {
                         if q.offer(qcfg, rid, class) == Admission::Shed {
                             class_shed[class.idx()] += 1;
                             cores[h].trace(t, u64::from(rid), TraceKind::Shed, class.idx() as u64);
+                        } else if cfg.spans {
+                            cores[h].span(t, tid, SpanLevel::QueueWait, true, false, u64::from(h as u32));
                         }
                     } else {
                         cores[h].wait.push_back(rid);
+                        if cfg.spans {
+                            cores[h].span(t, tid, SpanLevel::QueueWait, true, false, u64::from(h as u32));
+                        }
                     }
                 } else {
                     cores[h].ready.push_back(Task { rid, stage, remaining, spawn: false, extra_ns: 0 });
@@ -559,6 +623,18 @@ pub fn simulate_multicore(cfg: &MultiCoreConfig) -> MultiCoreReport {
                         cores[c].m.completed += 1;
                         cores[c].trace(t, u64::from(task.rid), TraceKind::Exit, u64::from(task.stage));
                         cores[c].lat.record(t - req.arrival_ns);
+                        if cfg.spans {
+                            let tid = trace_id(cfg.seed, u64::from(task.rid));
+                            cores[c].span(
+                                t,
+                                tid,
+                                SpanLevel::Invoke,
+                                false,
+                                true,
+                                u64::from(task.stage),
+                            );
+                            cores[c].ex.observe(tid, t - req.arrival_ns);
+                        }
                         latencies.push((t - req.arrival_ns) as f64 / 1e6);
                         if let Some(cl) = &classes {
                             let ci = cl[task.rid as usize].idx();
@@ -581,6 +657,15 @@ pub fn simulate_multicore(cfg: &MultiCoreConfig) -> MultiCoreReport {
                             cores[h].peak_resident = cores[h].peak_resident.max(cores[h].resident);
                             cores[h].m.recycles += 1;
                             cores[h].trace(t, u64::from(w), TraceKind::Recycle, u64::from(task.rid));
+                            if cfg.spans {
+                                // The queued request's wait ends here and it
+                                // is admitted onto the recycled slot.
+                                let wtid = trace_id(cfg.seed, u64::from(w));
+                                let wclass =
+                                    classes.as_ref().map_or(0, |cl| cl[w as usize].idx() as u64);
+                                cores[h].span(t, wtid, SpanLevel::QueueWait, false, true, u64::from(h as u32));
+                                cores[h].span(t, wtid, SpanLevel::Admission, true, true, wclass);
+                            }
                             cores[h].ready.push_back(Task {
                                 rid: w,
                                 stage: 0,
@@ -618,6 +703,10 @@ pub fn simulate_multicore(cfg: &MultiCoreConfig) -> MultiCoreReport {
     }
     let traces: Vec<Vec<TraceEvent>> = cores.iter().map(|c| c.rec.events()).collect();
     let latency_per_core: Vec<CycleHistogram> = cores.iter().map(|c| c.lat.clone()).collect();
+    let mut exemplars = BucketExemplars::new();
+    for c in &cores {
+        exemplars.merge_from(&c.ex);
+    }
     let occupancy = cores
         .iter()
         .map(|c| f64::from(c.peak_resident) / f64::from(capacity.max(1)))
@@ -674,6 +763,7 @@ pub fn simulate_multicore(cfg: &MultiCoreConfig) -> MultiCoreReport {
         per_core,
         traces,
         latency_per_core,
+        exemplars,
         registry,
         telemetry_json,
     }
@@ -698,11 +788,17 @@ fn core_registry(core: &Core, seed: u64) -> Registry {
         ("sfi_shard_warm_spawns_total", core.m.warm_spawns),
         ("sfi_shard_recycles_total", core.m.recycles),
         ("sfi_shard_spawn_ns_total", core.m.spawn_ns),
-        ("sfi_shard_trace_events_total", core.rec.total_recorded()),
+        ("sfi_shard_trace_events_total", core.rec.total_recorded() - core.flow),
     ];
     for (name, v) in counters {
         let id = reg.counter(name);
         reg.add(id, v);
+    }
+    // Span edges are the one series the profiler adds; every modeled series
+    // above is byte-identical with spans on or off.
+    if core.flow > 0 {
+        let spans = reg.counter("sfi_shard_span_events_total");
+        reg.add(spans, core.flow);
     }
     // Per-access dTLB events are the hottest series the shard produces, so
     // they additionally export through the deterministic 1-in-N sampler
@@ -1176,6 +1272,81 @@ mod tests {
         let heavy = at(120_000.0);
         assert!(light.occupancy < heavy.occupancy, "{} vs {}", light.occupancy, heavy.occupancy);
         assert!(heavy.occupancy <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn spans_do_not_perturb_results_and_form_request_trees() {
+        use sfi_telemetry::unpack_span;
+        let run = |spans: bool| {
+            let mut cfg = MultiCoreConfig::paper_rig(
+                FaasWorkload::HashLoadBalance,
+                ScalingMode::ColorGuard,
+                CacheMode::Cold,
+                2,
+            );
+            cfg.duration_ms = 120;
+            cfg.trace_capacity = 1 << 16;
+            cfg.spans = spans;
+            simulate_multicore(&cfg)
+        };
+        let off = run(false);
+        let on = run(true);
+        // Zero observer effect: spans change no benchmark result field.
+        assert_eq!(off.completed, on.completed);
+        assert_eq!(off.totals, on.totals);
+        assert_eq!(off.p99_latency_ms, on.p99_latency_ms);
+        // Every modeled series is untouched; the span-edge counter is the
+        // one series the profiler itself adds.
+        let modeled = |json: &str| -> String {
+            match json.find("\"sfi_shard_span_events_total\"") {
+                None => json.to_owned(),
+                Some(i) => {
+                    let rest = &json[i..];
+                    let end = i + rest.find(", ").map_or(rest.len(), |e| e + 2);
+                    format!("{}{}", &json[..i], &json[end..])
+                }
+            }
+        };
+        assert_eq!(modeled(&off.telemetry_json), modeled(&on.telemetry_json));
+        assert!(on.telemetry_json.contains("sfi_shard_span_events_total"));
+        assert!(off.traces.iter().flatten().all(|e| e.kind != TraceKind::Flow));
+        assert_eq!(off.exemplars, BucketExemplars::new(), "no exemplars without spans");
+
+        // Same seed, same spans: the instrumented run replays exactly too.
+        assert_eq!(on, run(true));
+
+        let edges: Vec<(u64, sfi_telemetry::SpanEdge)> = on
+            .traces
+            .iter()
+            .flatten()
+            .filter(|e| e.kind == TraceKind::Flow)
+            .map(|e| (e.sandbox, unpack_span(e.arg).expect("well-formed span arg")))
+            .collect();
+        assert!(!edges.is_empty(), "spans on must emit flow events");
+        let count = |lvl: SpanLevel, start: bool, end: bool| {
+            edges.iter().filter(|(_, s)| s.level == lvl && s.start == start && s.end == end).count()
+                as u64
+        };
+        // Every completion closes its invoke span; opens can exceed closes
+        // (requests still running at the horizon).
+        assert_eq!(count(SpanLevel::Invoke, false, true), on.completed);
+        assert!(count(SpanLevel::Invoke, true, false) >= on.completed);
+        // Cold-cache saturation queues requests, so wait spans open, and
+        // recycle admissions close them (paired with an admission instant).
+        assert!(count(SpanLevel::QueueWait, true, false) > 0);
+        assert!(count(SpanLevel::QueueWait, false, true) > 0);
+        assert!(count(SpanLevel::Admission, true, true) > 0);
+
+        // Exemplars chase back to real request trace ids.
+        let ids: std::collections::BTreeSet<u64> = edges.iter().map(|(tid, _)| *tid).collect();
+        let mut seen = 0;
+        for i in 0..40 {
+            if let Some((tid, _)) = on.exemplars.get(i) {
+                seen += 1;
+                assert!(ids.contains(&tid), "exemplar trace id {tid} has no span edge");
+            }
+        }
+        assert!(seen > 0, "completions must leave exemplars");
     }
 
     #[test]

@@ -46,7 +46,8 @@ mod transition;
 pub use cache::{CacheKey, CacheStats, CodeCache, Engine, Tier, TierPolicy, TierStats};
 pub use fault::{RecoveryAction, SandboxFault};
 pub use runtime::{
-    HostApi, InstanceId, InvokeOutcome, NoHostApi, Runtime, RuntimeConfig, RuntimeError,
+    modeled_compile_cycles, CycleBreakdown, HostApi, InstanceId, InvokeOutcome, NoHostApi,
+    Runtime, RuntimeConfig, RuntimeError, PENALTY_NAMES,
 };
 pub use sfi_pool::{QuarantineOutcome, QuarantinePolicy, QuarantineStats};
 pub use telemetry::{RuntimeTelemetry, MEM_ACCESS_SAMPLE_RATE};

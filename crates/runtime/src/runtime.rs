@@ -13,7 +13,7 @@ use sfi_vm::{AddressSpace, MapError, Prot};
 use sfi_wasm::PAGE_SIZE;
 use sfi_x86::cost::RunStats;
 use sfi_x86::emu::{Machine, RegFile};
-use sfi_x86::{Gpr, Trap};
+use sfi_x86::{Gpr, Provenance, Trap};
 
 use sfi_telemetry::TraceKind;
 
@@ -68,6 +68,10 @@ struct Instance {
     poisoned: bool,
     /// The classified cause of the most recent failed invocation.
     last_fault: Option<SandboxFault>,
+    /// Modeled compile cycles charged by a cold spawn, drained into the
+    /// first successful invocation's [`CycleBreakdown`] (0 after that, and
+    /// always 0 for warm spawns).
+    pending_compile_cycles: f64,
 }
 
 /// Runtime failures.
@@ -150,6 +154,78 @@ pub struct InvokeOutcome {
     /// Modeled transition cycles charged for this invocation (entry + exit
     /// + one pair per host call).
     pub transition_cycles: f64,
+    /// Where every modeled cycle of this invocation went (DESIGN.md §14).
+    pub breakdown: CycleBreakdown,
+}
+
+/// Penalty bucket labels for [`CycleBreakdown::penalty_cycles`], in index
+/// order.
+pub const PENALTY_NAMES: [&str; 3] = ["icache", "dcache", "branch"];
+
+/// Modeled cycles charged for compiling a module on a cold spawn: a fixed
+/// per-emitted-instruction cost (single-pass baseline codegen is linear in
+/// output size). Deterministic — same module, same charge — and surfaced
+/// through [`CycleBreakdown::compile_cycles`] and
+/// `sfi_compile_cycles_total` rather than folded into guest cycles, so
+/// benchmark guest numbers are unchanged by the profiler.
+pub fn modeled_compile_cycles(emitted_insts: usize) -> f64 {
+    150.0 * emitted_insts as f64
+}
+
+/// Per-invocation cycle attribution: one bucket for every modeled cycle
+/// the request cost, none counted twice (the DESIGN.md §14 contract).
+///
+/// The guest buckets are the emulator's provenance attribution
+/// ([`RunStats::prov_cycles`] and the penalty buckets), so
+/// [`CycleBreakdown::guest_cycles`] equals the run's `stats.cycles`
+/// bit-for-bit. Transition cycles are the host-side save/restore protocol
+/// (entry + exit + one pair per host call); compile cycles appear only on
+/// the first invocation after a cold spawn.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CycleBreakdown {
+    /// Transition save/restore cycles for this invocation.
+    pub transition_cycles: f64,
+    /// Guest cycles by instruction provenance (indexed per
+    /// [`Provenance::index`]).
+    pub guest_prov_cycles: [f64; Provenance::COUNT],
+    /// Micro-architectural penalty buckets, indexed per [`PENALTY_NAMES`]:
+    /// icache misses, dcache misses, branch mispredictions.
+    pub penalty_cycles: [f64; 3],
+    /// Modeled compile cycles drained from a cold spawn (0 on warm paths).
+    pub compile_cycles: f64,
+}
+
+impl CycleBreakdown {
+    /// Builds the breakdown for one completed run.
+    pub fn from_run(stats: &RunStats, transition_cycles: f64, compile_cycles: f64) -> CycleBreakdown {
+        CycleBreakdown {
+            transition_cycles,
+            guest_prov_cycles: stats.prov_cycles,
+            penalty_cycles: [
+                stats.icache_penalty_cycles,
+                stats.dcache_penalty_cycles,
+                stats.branch_penalty_cycles,
+            ],
+            compile_cycles,
+        }
+    }
+
+    /// Guest cycles: provenance buckets + penalty buckets, summed in the
+    /// same fixed order as [`RunStats::attributed_cycles`] — equal to the
+    /// run's total modeled guest cycles bit-for-bit.
+    pub fn guest_cycles(&self) -> f64 {
+        let mut total = 0.0;
+        for c in self.guest_prov_cycles {
+            total += c;
+        }
+        total + self.penalty_cycles[0] + self.penalty_cycles[1] + self.penalty_cycles[2]
+    }
+
+    /// Every modeled cycle this invocation cost: guest + transition +
+    /// compile.
+    pub fn total_cycles(&self) -> f64 {
+        self.guest_cycles() + self.transition_cycles + self.compile_cycles
+    }
 }
 
 /// Runtime configuration.
@@ -325,6 +401,7 @@ impl Runtime {
                 slot,
                 poisoned: false,
                 last_fault: None,
+                pending_compile_cycles: 0.0,
             },
         );
         self.telemetry.trace(TraceKind::Spawn, id, slot.index);
@@ -356,9 +433,18 @@ impl Runtime {
         let id = self.instantiate(cm)?;
         if cold {
             self.telemetry.trace(TraceKind::Compile, id.0, 0);
+            self.charge_compile(id);
         }
         self.telemetry.scrape_cache(engine.cache().stats());
         Ok(id)
+    }
+
+    /// Charges a cold spawn's modeled compile cycles to the instance; the
+    /// first successful invocation drains them into its
+    /// [`CycleBreakdown::compile_cycles`].
+    fn charge_compile(&mut self, id: InstanceId) {
+        let inst = self.instances.get_mut(&id.0).expect("just instantiated");
+        inst.pending_compile_cycles = modeled_compile_cycles(inst.module.image.program().len());
     }
 
     /// The tiered spawn path: like [`Runtime::spawn`], but hot modules are
@@ -383,6 +469,7 @@ impl Runtime {
         let id = self.instantiate(cm)?;
         if cold {
             self.telemetry.trace(TraceKind::Compile, id.0, 0);
+            self.charge_compile(id);
         }
         if engine.tier_stats().promotions > promotions_before {
             self.telemetry.trace(TraceKind::Promote, id.0, engine.tier_stats().promotions);
@@ -714,6 +801,16 @@ impl Runtime {
         self.telemetry
             .trace(TraceKind::Exit, id.0, invocation_transition_cycles.round() as u64);
 
+        // Attribute this invocation's cycles (DESIGN.md §14). A cold
+        // spawn's compile charge drains into the first successful
+        // invocation; trapped runs keep it pending.
+        let compile_cycles = std::mem::take(
+            &mut self.instances.get_mut(&id.0).expect("checked above").pending_compile_cycles,
+        );
+        let breakdown =
+            CycleBreakdown::from_run(&stats, invocation_transition_cycles, compile_cycles);
+        self.telemetry.observe_breakdown(&breakdown);
+
         // Read back per-instance state.
         let mut hdr = [0u8; 4];
         self.space.read_unchecked(u64::from(regions.header_base), &mut hdr);
@@ -733,6 +830,7 @@ impl Runtime {
             result: has_result.then(|| self.machine.gpr(regs::RET)),
             stats,
             transition_cycles: invocation_transition_cycles,
+            breakdown,
         })
     }
 

@@ -15,8 +15,11 @@ use sfi_telemetry::{
 };
 use sfi_vm::{AddressSpace, ChaosStats, SyscallKind};
 
+use sfi_x86::Provenance;
+
 use crate::cache::{CacheStats, Tier, TierStats};
 use crate::fault::SandboxFault;
+use crate::runtime::{CycleBreakdown, PENALTY_NAMES};
 use crate::transition::TransitionKind;
 
 /// Sampling rate of the per-access `sfi_guest_mem_accesses_total` series
@@ -68,6 +71,13 @@ pub struct RuntimeTelemetry {
     g_peak_map_count: GaugeId,
     g_instances: GaugeId,
     s_mem_accesses: SampledCounterId,
+    /// Cycle-attribution profile counters (DESIGN.md §14): guest cycles by
+    /// provenance, penalties by kind, plus the host-side transition and
+    /// compile charges — together they account for every modeled cycle.
+    p_prov: [CounterId; Provenance::COUNT],
+    p_pen: [CounterId; PENALTY_NAMES.len()],
+    p_transition: CounterId,
+    c_compile_cycles: CounterId,
 
     /// Last scraped snapshots, so scraping adds deltas into monotonic
     /// counters instead of double counting.
@@ -93,6 +103,10 @@ impl RuntimeTelemetry {
             SyscallKind::Madvise,
         ]
         .map(|k| r.counter_with("sfi_chaos_syscalls_failed_total", &[("kind", k.name())]));
+        let p_prov = Provenance::ALL
+            .map(|p| r.counter_with("sfi_profile_cycles_total", &[("provenance", p.name())]));
+        let p_pen = PENALTY_NAMES
+            .map(|p| r.counter_with("sfi_profile_penalty_cycles_total", &[("penalty", p)]));
         RuntimeTelemetry {
             t_total: r.counter("sfi_transitions_total"),
             t_wrpkru: r.counter_with("sfi_transition_ops_total", &[("op", "wrpkru")]),
@@ -131,6 +145,11 @@ impl RuntimeTelemetry {
             // scrapers un-bias with value × rate). The phase is seeded from
             // the core index so shards sample out of lockstep yet every run
             // with the same topology exports identical bytes.
+            p_prov,
+            p_pen,
+            p_transition: r
+                .counter_with("sfi_profile_cycles_total", &[("provenance", "transition")]),
+            c_compile_cycles: r.counter("sfi_compile_cycles_total"),
             s_mem_accesses: r.sampled_counter(
                 "sfi_guest_mem_accesses_total",
                 &[],
@@ -264,6 +283,23 @@ impl RuntimeTelemetry {
             Tier::Optimized => 1,
         };
         self.registry.observe(self.h_tier_cycles[idx], cycles.round() as u64);
+    }
+
+    /// Accounts one invocation's [`CycleBreakdown`] into the profile
+    /// counters: guest cycles by provenance, penalties by kind, the
+    /// host-side transition charge (under `provenance="transition"`), and
+    /// any drained cold-spawn compile cycles. Cycles are rounded per
+    /// invocation — the counters are a profile surface, not the benchmark
+    /// numbers, which stay exact f64 in [`sfi_x86::cost::RunStats`].
+    pub fn observe_breakdown(&mut self, b: &CycleBreakdown) {
+        for (i, id) in self.p_prov.iter().enumerate() {
+            self.registry.add(*id, b.guest_prov_cycles[i].round() as u64);
+        }
+        for (i, id) in self.p_pen.iter().enumerate() {
+            self.registry.add(*id, b.penalty_cycles[i].round() as u64);
+        }
+        self.registry.add(self.p_transition, b.transition_cycles.round() as u64);
+        self.registry.add(self.c_compile_cycles, b.compile_cycles.round() as u64);
     }
 
     /// Merges another bundle's registry into this one (sharded hosts merge

@@ -194,6 +194,17 @@ mod tests {
     }
 
     #[test]
+    fn mean_ns_of_zero_transitions_is_zero_not_nan() {
+        // A fresh runtime scraped before its first invocation must report a
+        // clean 0.0, not NaN — NaN would poison every downstream mean and
+        // fail JSON validation in the exported snapshot.
+        let s = TransitionStats::default();
+        let v = s.mean_ns(&TransitionModel::default());
+        assert_eq!(v, 0.0);
+        assert!(!v.is_nan());
+    }
+
+    #[test]
     fn stats_break_down_by_kind() {
         let m = TransitionModel::default();
         let mut s = TransitionStats::default();

@@ -1,0 +1,106 @@
+//! Per-invocation cycle attribution ([`CycleBreakdown`], DESIGN.md §14):
+//! guest buckets match the emulator total bit-for-bit, a cold spawn's
+//! compile charge drains into exactly one invocation, and the profile
+//! counters surface through the runtime registry.
+
+use sfi_core::{CompilerConfig, Strategy};
+use sfi_runtime::{Engine, Runtime, RuntimeConfig};
+use sfi_wasm::wat;
+
+fn looping() -> sfi_wasm::Module {
+    wat::parse(
+        r#"(module (memory 1)
+        (func (export "run") (result i32)
+          (local $i i32) (local $acc i32)
+          block $out
+            loop $l
+              local.get $i
+              i32.const 200
+              i32.ge_s
+              br_if $out
+              i32.const 64
+              local.get $i
+              i32.const 4
+              i32.mul
+              local.get $acc
+              i32.add
+              i32.store
+              i32.const 64
+              i32.load
+              local.set $acc
+              local.get $i
+              i32.const 1
+              i32.add
+              local.set $i
+              br $l
+            end
+          end
+          local.get $acc))"#,
+    )
+    .unwrap()
+}
+
+#[test]
+fn breakdown_accounts_every_cycle_and_drains_compile_once() {
+    let mut rt = Runtime::new(RuntimeConfig::small_test(true)).unwrap();
+    let mut engine = Engine::new(8);
+    let cfg = CompilerConfig::for_strategy(Strategy::Segue);
+    let id = rt.spawn(&mut engine, &looping(), &cfg).unwrap();
+
+    let first = rt.invoke(id, "run", &[]).unwrap();
+    let b = first.breakdown;
+    assert_eq!(
+        b.guest_cycles(),
+        first.stats.cycles,
+        "guest buckets must sum to the emulator total bit-for-bit"
+    );
+    assert_eq!(b.transition_cycles, first.transition_cycles);
+    assert!(b.compile_cycles > 0.0, "cold spawn charges compile cycles to the first invocation");
+    assert_eq!(
+        b.total_cycles(),
+        b.guest_cycles() + b.transition_cycles + b.compile_cycles
+    );
+
+    // The compile charge drains exactly once.
+    let second = rt.invoke(id, "run", &[]).unwrap();
+    assert_eq!(second.breakdown.compile_cycles, 0.0);
+    assert_eq!(second.breakdown.guest_cycles(), second.stats.cycles);
+
+    // A warm spawn of the same module charges nothing.
+    let warm = rt.spawn(&mut engine, &looping(), &cfg).unwrap();
+    let out = rt.invoke(warm, "run", &[]).unwrap();
+    assert_eq!(out.breakdown.compile_cycles, 0.0, "warm spawn skipped codegen");
+
+    // The profile counters surface through the registry.
+    let r = rt.telemetry().registry();
+    let guest = r
+        .counter_value("sfi_profile_cycles_total{provenance=\"guest_compute\"}")
+        .unwrap();
+    assert!(guest > 0, "guest compute cycles must be counted");
+    let trans = r.counter_value("sfi_profile_cycles_total{provenance=\"transition\"}").unwrap();
+    assert!(trans > 0, "transition cycles must be counted");
+    let compile = r.counter_value("sfi_compile_cycles_total").unwrap();
+    assert_eq!(compile, b.compile_cycles.round() as u64, "one cold compile charged");
+}
+
+#[test]
+fn breakdown_matches_strategy_overheads() {
+    // BoundsCheck guards every heap access; Segue pays only the per-call
+    // stack check. The per-invocation breakdown must expose that gap.
+    let mut engine = Engine::new(8);
+    let mut per_strategy = |s: Strategy| {
+        let mut rt = Runtime::new(RuntimeConfig::small_test(false)).unwrap();
+        let id = rt.spawn(&mut engine, &looping(), &CompilerConfig::for_strategy(s)).unwrap();
+        rt.invoke(id, "run", &[]).unwrap().breakdown
+    };
+    let segue = per_strategy(Strategy::Segue);
+    let bc = per_strategy(Strategy::BoundsCheck);
+    let bg = sfi_x86::Provenance::BoundsGuard.index();
+    assert!(bc.guest_prov_cycles[bg] > 0.0, "BoundsCheck pays guard cycles");
+    assert!(
+        bc.guest_prov_cycles[bg] > segue.guest_prov_cycles[bg],
+        "per-access guards ({}) must outweigh Segue's stack checks ({})",
+        bc.guest_prov_cycles[bg],
+        segue.guest_prov_cycles[bg]
+    );
+}

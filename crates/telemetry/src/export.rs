@@ -4,8 +4,9 @@
 //! precision — so same-seed runs export byte-identical artifacts and the
 //! snapshots embedded in `BENCH_*.json` diff cleanly.
 
-use crate::recorder::TraceEvent;
+use crate::recorder::{TraceEvent, TraceKind};
 use crate::registry::Registry;
+use crate::span::unpack_span;
 
 /// Renders the registry in the Prometheus text exposition format:
 /// `# TYPE` headers, series sorted by key, label values escaped. Histograms
@@ -122,8 +123,36 @@ pub fn json_snapshot(r: &Registry) -> String {
 /// these lines; [`chrome_trace_wrap`] joins any concatenation of them back
 /// into the exact batch document, which is what makes a drained stream
 /// byte-identical to the post-mortem export.
+///
+/// [`TraceKind::Flow`] events render as chrome flow events instead of
+/// instants: `ph` is `"s"` (span start), `"f"` (span finish) or `"t"`
+/// (step / instantaneous), `id` is the request's trace id (from the
+/// event's `sandbox` field) so the viewer draws arrows connecting every
+/// station of one request, and the span level and detail (unpacked per
+/// [`crate::span`]) land in the name and args. The mapping is stateless —
+/// one event, one line — so streamed and batch exports stay byte-identical.
 pub fn chrome_trace_line(e: &TraceEvent, ns_per_tick: f64) -> String {
     let ts_us = e.tick as f64 * ns_per_tick / 1000.0;
+    if e.kind == TraceKind::Flow {
+        if let Some(edge) = unpack_span(e.arg) {
+            let ph = match (edge.start, edge.end) {
+                (true, false) => "s",
+                (false, true) => "f",
+                _ => "t",
+            };
+            return format!(
+                "  {{\"name\": \"span:{}\", \"cat\": \"request\", \"ph\": \"{ph}\", \
+                 \"id\": {}, \"ts\": {ts_us:.3}, \"pid\": 0, \"tid\": {}, \
+                 \"args\": {{\"detail\": {}}}}}",
+                edge.level.name(),
+                e.sandbox,
+                e.core,
+                edge.detail,
+            );
+        }
+        // A Flow event whose arg doesn't decode falls through to the
+        // instant-event shape: visible on the timeline rather than dropped.
+    }
     format!(
         "  {{\"name\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \"ts\": {ts_us:.3}, \
          \"pid\": 0, \"tid\": {}, \"args\": {{\"sandbox\": {}, \"arg\": {}}}}}",
@@ -356,6 +385,35 @@ mod tests {
         // The empty stream wraps to the empty document.
         assert_eq!(chrome_trace_wrap(&[]), chrome_trace(&[], 1.0));
         assert!(json_is_valid(&chrome_trace_wrap(&[])));
+    }
+
+    #[test]
+    fn flow_events_render_as_chrome_flow_phases() {
+        use crate::span::{pack_span, SpanLevel};
+        let mk = |arg: u64, tick: u64| TraceEvent {
+            tick,
+            core: 3,
+            sandbox: 0xBEEF,
+            kind: TraceKind::Flow,
+            arg,
+        };
+        let start = chrome_trace_line(&mk(pack_span(SpanLevel::QueueWait, true, false, 7), 10), 1.0);
+        assert!(start.contains("\"name\": \"span:queue_wait\""), "{start}");
+        assert!(start.contains("\"ph\": \"s\""), "{start}");
+        assert!(start.contains("\"id\": 48879"), "trace id from the sandbox field: {start}");
+        assert!(start.contains("\"detail\": 7"), "{start}");
+        let end = chrome_trace_line(&mk(pack_span(SpanLevel::QueueWait, false, true, 7), 20), 1.0);
+        assert!(end.contains("\"ph\": \"f\""), "{end}");
+        let instant =
+            chrome_trace_line(&mk(pack_span(SpanLevel::Admission, true, true, 1), 20), 1.0);
+        assert!(instant.contains("\"ph\": \"t\""), "{instant}");
+        // All of them wrap into a valid document alongside plain instants.
+        let lines = vec![start, end, instant];
+        assert!(json_is_valid(&chrome_trace_wrap(&lines)));
+        // A Flow event with an undecodable arg degrades to an instant line.
+        let broken = chrome_trace_line(&mk(0xFF << 56, 30), 1.0);
+        assert!(broken.contains("\"ph\": \"i\""), "{broken}");
+        assert!(broken.contains("\"name\": \"flow\""), "{broken}");
     }
 
     #[test]

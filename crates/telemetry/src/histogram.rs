@@ -34,8 +34,9 @@ impl CycleHistogram {
         CycleHistogram { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
     }
 
-    /// The bucket index a value lands in.
-    fn bucket_of(v: u64) -> usize {
+    /// The bucket index a value lands in (public so exemplar stores can
+    /// attach per-bucket metadata without duplicating the bucketing rule).
+    pub fn bucket_of(v: u64) -> usize {
         if v == 0 {
             0
         } else {
@@ -141,6 +142,13 @@ impl CycleHistogram {
         self.percentile(0.99)
     }
 
+    /// 99.9th percentile — the tail the SLO burn-rate gauges watch. Like
+    /// every quantile here it is nearest-rank over power-of-two buckets:
+    /// exact at bucket upper bounds, otherwise an overestimate of < 2×.
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
+
     /// Adds every bucket, count and extremum of `other` into `self`
     /// (per-shard histogram merge).
     pub fn merge_from(&mut self, other: &CycleHistogram) {
@@ -193,6 +201,42 @@ mod tests {
         assert!(h.p99() >= 990 && h.p99() <= 1023, "{}", h.p99());
         assert_eq!(h.percentile(1.0), 1000, "max is exact");
         assert_eq!(h.percentile(0.0), 1, "rank clamps to the first observation");
+    }
+
+    #[test]
+    fn p999_boundary_exactness_and_error_bound() {
+        // The documented contract for the SLO burn gauges: a quantile whose
+        // rank lands exactly on a bucket's upper bound is reported *exactly*;
+        // anywhere else the report is the bucket's upper bound — an
+        // overestimate strictly below 2× the true nearest-rank value.
+        let mut h = CycleHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // True nearest-rank p999 of 1..=1000 is observation 1000, which is
+        // in the [512, 1024) bucket, so the report is min(1023, max) = 1000:
+        // exact, because the histogram clamps to the recorded max.
+        assert_eq!(h.p999(), 1000);
+        // An all-boundary population: every observation IS a bucket upper
+        // bound, so every quantile is exact.
+        let mut b = CycleHistogram::new();
+        for i in 1..20usize {
+            b.record(CycleHistogram::bucket_upper_bound(i));
+        }
+        for p in [0.5, 0.95, 0.99, 0.999] {
+            let rank = ((p * b.count() as f64).ceil() as u64).max(1) as usize;
+            let exact = CycleHistogram::bucket_upper_bound(rank);
+            assert_eq!(b.percentile(p), exact, "boundary population, p={p}");
+        }
+        // Mid-bucket population: the report overestimates, but < 2×.
+        let mut m = CycleHistogram::new();
+        for _ in 0..1000 {
+            m.record(600); // in [512, 1024), true p999 = 600
+        }
+        assert_eq!(m.p999(), 600, "clamped to max, so exact here too");
+        m.record(700); // max no longer equals the common value
+        let rep = m.p999();
+        assert!(rep >= 600 && (rep as f64) < 2.0 * 600.0, "p999={rep}");
     }
 
     #[test]

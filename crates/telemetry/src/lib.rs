@@ -20,6 +20,11 @@
 //! - Exporters ([`export`]): Prometheus text (with label escaping), a JSON
 //!   snapshot for embedding in `BENCH_*.json`, and chrome://tracing
 //!   trace-event JSON so a FaaS sim run renders as a timeline.
+//! - Profiling surfaces ([`profile`], [`span`]): folded-stack flamegraph
+//!   accumulation ([`FoldedStacks`]), per-bucket latency exemplars tying
+//!   histogram tails to request trace ids ([`BucketExemplars`]), and the
+//!   packed request-span encoding carried by [`TraceKind::Flow`] events
+//!   (DESIGN.md §14).
 //! - A live serving substrate ([`server`]): a std-only HTTP/1.1 loop plus
 //!   matching scrape client, so the exports above can be *served* from a
 //!   running engine (`/metrics`, `/snapshot`, `/trace?since=<cursor>`,
@@ -39,9 +44,11 @@
 mod clock;
 pub mod export;
 mod histogram;
+pub mod profile;
 mod recorder;
 mod registry;
 pub mod server;
+pub mod span;
 
 pub use clock::VirtualClock;
 pub use export::{
@@ -49,7 +56,9 @@ pub use export::{
     chrome_trace_wrap, json_is_valid, json_snapshot, prometheus_text,
 };
 pub use histogram::{CycleHistogram, HISTOGRAM_BUCKETS};
+pub use profile::{BucketExemplars, FoldedStacks};
 pub use recorder::{Drained, FlightRecorder, Retention, TraceEvent, TraceKind};
+pub use span::{pack_span, unpack_span, SpanEdge, SpanLevel, SPAN_DETAIL_MASK};
 pub use registry::{
     CounterId, GaugeId, HistogramId, Registry, RegistryError, SampledCounterId,
 };

@@ -1,0 +1,221 @@
+//! Profiling surfaces: folded stacks for flamegraphs, and per-bucket
+//! latency exemplars linking histograms back to request traces.
+//!
+//! A [`FoldedStacks`] accumulator turns the cycle-attribution matrix into
+//! the `flamegraph.pl` collapse format — one `frame;frame;frame value`
+//! line per stack, sorted — served live from `/profile` and embedded in
+//! `BENCH_profile.json`. [`BucketExemplars`] keeps, for each histogram
+//! bucket, the first `(trace_id, value)` observed in it, so a tail bucket
+//! in `/metrics` can be chased to a concrete request's span tree.
+
+use std::collections::BTreeMap;
+
+use crate::histogram::{CycleHistogram, HISTOGRAM_BUCKETS};
+
+/// Flamegraph-collapse accumulator.
+///
+/// Stacks are `;`-joined frame names; values accumulate on repeated adds
+/// and merges. Rendering iterates the underlying `BTreeMap`, so output is
+/// sorted and deterministic — same-seed runs produce byte-identical
+/// folded files.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FoldedStacks {
+    stacks: BTreeMap<String, u64>,
+}
+
+impl FoldedStacks {
+    /// An empty accumulator.
+    pub fn new() -> FoldedStacks {
+        FoldedStacks::default()
+    }
+
+    /// Adds `value` to the stack given as a frame list (root first).
+    /// Zero-valued adds still create the stack, so a strategy that paid
+    /// nothing in a bucket is visibly zero rather than silently absent.
+    pub fn add(&mut self, frames: &[&str], value: u64) {
+        self.add_folded(&frames.join(";"), value);
+    }
+
+    /// Adds `value` to an already-folded `root;child;leaf` stack string.
+    pub fn add_folded(&mut self, stack: &str, value: u64) {
+        *self.stacks.entry(stack.to_string()).or_insert(0) += value;
+    }
+
+    /// Folds another accumulator into this one (per-shard merge).
+    pub fn merge_from(&mut self, other: &FoldedStacks) {
+        for (stack, v) in &other.stacks {
+            *self.stacks.entry(stack.clone()).or_insert(0) += *v;
+        }
+    }
+
+    /// Number of distinct stacks.
+    pub fn len(&self) -> usize {
+        self.stacks.len()
+    }
+
+    /// True when no stack has been added.
+    pub fn is_empty(&self) -> bool {
+        self.stacks.is_empty()
+    }
+
+    /// Renders the collapse format: one `stack value\n` line per stack,
+    /// sorted by stack string. Feed to `flamegraph.pl` or paste into a
+    /// flamegraph viewer.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (stack, v) in &self.stacks {
+            out.push_str(stack);
+            out.push(' ');
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Per-bucket exemplars for a [`CycleHistogram`]: the first
+/// `(trace_id, value)` observation that landed in each bucket.
+///
+/// Keep-first makes the store deterministic under same-seed replay and
+/// bounds it at one slot per bucket; [`BucketExemplars::merge_from`]
+/// prefers the lower trace id on collision so shard-merge order cannot
+/// change the result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketExemplars {
+    slots: [Option<(u64, u64)>; HISTOGRAM_BUCKETS],
+}
+
+impl Default for BucketExemplars {
+    fn default() -> Self {
+        BucketExemplars::new()
+    }
+}
+
+impl BucketExemplars {
+    /// An empty store.
+    pub fn new() -> BucketExemplars {
+        BucketExemplars { slots: [None; HISTOGRAM_BUCKETS] }
+    }
+
+    /// Records `value` for `trace_id`; kept only if its bucket is empty.
+    /// Uses the same bucketing rule as [`CycleHistogram::bucket_of`], so
+    /// an exemplar always sits in the bucket its observation incremented.
+    pub fn observe(&mut self, trace_id: u64, value: u64) {
+        let slot = &mut self.slots[CycleHistogram::bucket_of(value)];
+        if slot.is_none() {
+            *slot = Some((trace_id, value));
+        }
+    }
+
+    /// The exemplar for bucket `i`, if any.
+    pub fn get(&self, i: usize) -> Option<(u64, u64)> {
+        self.slots.get(i).copied().flatten()
+    }
+
+    /// Merges another store into this one. An occupied bucket keeps the
+    /// exemplar with the lower trace id (ties: lower value) — a symmetric
+    /// rule, so the merged result is independent of shard order.
+    pub fn merge_from(&mut self, other: &BucketExemplars) {
+        for (a, b) in self.slots.iter_mut().zip(other.slots.iter()) {
+            *a = match (*a, *b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, y) => x.or(y),
+            };
+        }
+    }
+
+    /// Renders occupied buckets as deterministic JSON:
+    /// `{"bucket_le": {"trace_id": …, "value": …}, …}` keyed by the
+    /// bucket's inclusive upper bound, sorted ascending (the last,
+    /// open-ended bucket renders as `"inf"`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some((trace_id, value)) = slot {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                if i >= HISTOGRAM_BUCKETS - 1 {
+                    out.push_str("\"inf\"");
+                } else {
+                    out.push_str(&format!("\"{}\"", CycleHistogram::bucket_upper_bound(i)));
+                }
+                out.push_str(&format!(
+                    ": {{\"trace_id\": {trace_id}, \"value\": {value}}}"
+                ));
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::json_is_valid;
+
+    #[test]
+    fn folded_stacks_accumulate_and_render_sorted() {
+        let mut f = FoldedStacks::new();
+        f.add(&["segue", "guest_compute"], 100);
+        f.add(&["bounds_check", "bounds_guard"], 40);
+        f.add(&["segue", "guest_compute"], 11);
+        f.add(&["segue", "truncation"], 0);
+        assert_eq!(f.len(), 3);
+        assert_eq!(
+            f.render(),
+            "bounds_check;bounds_guard 40\nsegue;guest_compute 111\nsegue;truncation 0\n"
+        );
+    }
+
+    #[test]
+    fn folded_stacks_merge_is_order_independent() {
+        let mut a = FoldedStacks::new();
+        a.add(&["x", "y"], 5);
+        a.add(&["x", "z"], 7);
+        let mut b = FoldedStacks::new();
+        b.add(&["x", "y"], 3);
+        b.add(&["w"], 1);
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.render(), "w 1\nx;y 8\nx;z 7\n");
+    }
+
+    #[test]
+    fn exemplars_keep_first_and_merge_symmetrically() {
+        let mut e = BucketExemplars::new();
+        e.observe(100, 600); // bucket [512, 1024)
+        e.observe(200, 700); // same bucket: dropped
+        e.observe(300, 3); // bucket [2, 4)
+        let b600 = CycleHistogram::bucket_of(600);
+        assert_eq!(e.get(b600), Some((100, 600)));
+        assert_eq!(e.get(CycleHistogram::bucket_of(3)), Some((300, 3)));
+
+        let mut other = BucketExemplars::new();
+        other.observe(50, 900); // same bucket as 600, lower trace id
+        let mut ab = e.clone();
+        ab.merge_from(&other);
+        let mut ba = other.clone();
+        ba.merge_from(&e);
+        assert_eq!(ab, ba, "merge must be shard-order independent");
+        assert_eq!(ab.get(b600), Some((50, 900)), "lower trace id wins");
+    }
+
+    #[test]
+    fn exemplar_json_is_valid_and_keyed_by_bound() {
+        let mut e = BucketExemplars::new();
+        assert_eq!(e.render_json(), "{}");
+        e.observe(7, 600);
+        e.observe(9, u64::MAX); // open-ended last bucket
+        let j = e.render_json();
+        assert!(json_is_valid(&j), "{j}");
+        assert!(j.contains("\"1023\": {\"trace_id\": 7, \"value\": 600}"), "{j}");
+        assert!(j.contains("\"inf\": {\"trace_id\": 9"), "{j}");
+    }
+}

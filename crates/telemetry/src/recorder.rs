@@ -28,6 +28,11 @@ pub enum TraceKind {
     /// A module crossed the hot-count threshold and was recompiled at the
     /// optimizing tier (`arg` = the promotion count for that module).
     Promote,
+    /// A request-span edge for end-to-end tracing: `sandbox` carries the
+    /// request's trace id and `arg` packs the span level, start/end flags
+    /// and a level-specific detail (see [`crate::span`]). Exported as
+    /// chrome-trace flow events.
+    Flow,
 }
 
 impl TraceKind {
@@ -43,6 +48,7 @@ impl TraceKind {
             TraceKind::Compile => "compile",
             TraceKind::Shed => "shed",
             TraceKind::Promote => "promote",
+            TraceKind::Flow => "flow",
         }
     }
 
@@ -66,12 +72,13 @@ impl TraceKind {
             TraceKind::Compile => 6,
             TraceKind::Shed => 7,
             TraceKind::Promote => 8,
+            TraceKind::Flow => 9,
         }
     }
 }
 
 /// Number of [`TraceKind`] variants (per-kind counter array size).
-pub(crate) const TRACE_KINDS: usize = 9;
+pub(crate) const TRACE_KINDS: usize = 10;
 
 /// How a full [`FlightRecorder`] decides what to evict.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

@@ -1,0 +1,144 @@
+//! Request-span encoding for end-to-end tracing.
+//!
+//! Every FaaS request gets a deterministic `trace_id`; the stations it
+//! passes through — fleet member, engine round, shard queue wait, admission
+//! decision, sandbox invoke — each record a [`crate::TraceKind::Flow`]
+//! event. The event's `sandbox` field carries the trace id and its `arg`
+//! packs the span's level, start/end flags, and a 48-bit level-specific
+//! detail, so a span edge stays one fixed-size [`crate::TraceEvent`] and
+//! the recorder's ring/cursor machinery needs no new storage.
+//!
+//! Packed `arg` layout (documented in DESIGN.md §14):
+//!
+//! ```text
+//! bits 56..64   span level (SpanLevel::index)
+//! bit  55       start flag
+//! bit  54       end flag (start+end = instantaneous span)
+//! bits  0..48   detail (level-specific: shard, queue depth, slot, …)
+//! ```
+
+/// A station in the request's path, outermost first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanLevel {
+    /// Fleet supervisor dispatched the round to a member engine
+    /// (detail = member id).
+    FleetMember,
+    /// A serve-engine round processed the request's stream
+    /// (detail = round number).
+    EngineRound,
+    /// The request waited in its shard's queue (detail = shard/core id).
+    QueueWait,
+    /// Admission control decided (detail = SLO class index; an
+    /// instantaneous span — start and end flags both set).
+    Admission,
+    /// The sandbox invocation itself (detail = sandbox slot).
+    Invoke,
+}
+
+impl SpanLevel {
+    /// All levels, outermost first.
+    pub const ALL: [SpanLevel; 5] = [
+        SpanLevel::FleetMember,
+        SpanLevel::EngineRound,
+        SpanLevel::QueueWait,
+        SpanLevel::Admission,
+        SpanLevel::Invoke,
+    ];
+
+    /// Stable snake_case name (span names in exported traces).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanLevel::FleetMember => "fleet_member",
+            SpanLevel::EngineRound => "engine_round",
+            SpanLevel::QueueWait => "queue_wait",
+            SpanLevel::Admission => "admission",
+            SpanLevel::Invoke => "invoke",
+        }
+    }
+
+    /// Dense index, used in the packed arg.
+    pub fn index(self) -> u64 {
+        match self {
+            SpanLevel::FleetMember => 0,
+            SpanLevel::EngineRound => 1,
+            SpanLevel::QueueWait => 2,
+            SpanLevel::Admission => 3,
+            SpanLevel::Invoke => 4,
+        }
+    }
+
+    /// Inverse of [`SpanLevel::index`].
+    pub fn from_index(i: u64) -> Option<SpanLevel> {
+        SpanLevel::ALL.get(i as usize).copied()
+    }
+}
+
+/// Detail payload mask: the low 48 bits of the packed arg.
+pub const SPAN_DETAIL_MASK: u64 = (1 << 48) - 1;
+const START_BIT: u64 = 1 << 55;
+const END_BIT: u64 = 1 << 54;
+
+/// Packs a span edge into a trace-event `arg`. `detail` is truncated to
+/// 48 bits.
+pub fn pack_span(level: SpanLevel, start: bool, end: bool, detail: u64) -> u64 {
+    (level.index() << 56)
+        | if start { START_BIT } else { 0 }
+        | if end { END_BIT } else { 0 }
+        | (detail & SPAN_DETAIL_MASK)
+}
+
+/// A decoded span edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEdge {
+    /// The station this edge belongs to.
+    pub level: SpanLevel,
+    /// Span opens here.
+    pub start: bool,
+    /// Span closes here.
+    pub end: bool,
+    /// Level-specific detail (48 bits).
+    pub detail: u64,
+}
+
+/// Unpacks a trace-event `arg` produced by [`pack_span`]. Returns `None`
+/// for args whose level byte is out of range (not a span).
+pub fn unpack_span(arg: u64) -> Option<SpanEdge> {
+    let level = SpanLevel::from_index(arg >> 56)?;
+    Some(SpanEdge {
+        level,
+        start: arg & START_BIT != 0,
+        end: arg & END_BIT != 0,
+        detail: arg & SPAN_DETAIL_MASK,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for level in SpanLevel::ALL {
+            for (start, end) in [(true, false), (false, true), (true, true)] {
+                let detail = 0xABCD_1234_5678 & SPAN_DETAIL_MASK;
+                let arg = pack_span(level, start, end, detail);
+                let e = unpack_span(arg).expect("valid span arg");
+                assert_eq!((e.level, e.start, e.end, e.detail), (level, start, end, detail));
+            }
+        }
+    }
+
+    #[test]
+    fn detail_is_truncated_not_leaked() {
+        let arg = pack_span(SpanLevel::Invoke, true, false, u64::MAX);
+        let e = unpack_span(arg).expect("valid");
+        assert_eq!(e.detail, SPAN_DETAIL_MASK);
+        assert_eq!(e.level, SpanLevel::Invoke, "detail overflow must not corrupt the level");
+    }
+
+    #[test]
+    fn out_of_range_level_is_not_a_span() {
+        assert_eq!(unpack_span(0xFF << 56), None);
+        assert_eq!(unpack_span(5 << 56), None);
+    }
+}

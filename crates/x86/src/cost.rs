@@ -166,6 +166,19 @@ pub struct RunStats {
     pub host_calls: u64,
     /// Code bytes fetched (sum of executed instruction lengths).
     pub code_bytes_fetched: u64,
+    /// Cycles attributed to each [`crate::Provenance`] class, indexed by
+    /// [`crate::Provenance::index`]. Per-instruction throughput, latency,
+    /// serialization, and host-call cycles land in the bucket of the
+    /// instruction that paid them; microarchitectural penalties are broken
+    /// out into the three `*_penalty_cycles` fields below.
+    pub prov_cycles: [f64; crate::Provenance::COUNT],
+    /// Cycles lost to L1I misses (the front-end stall bucket).
+    pub icache_penalty_cycles: f64,
+    /// Cycles lost to L1D misses. The emulator's data-side penalty model is
+    /// the cache/dTLB surface: fig7's dTLB pressure shows up here.
+    pub dcache_penalty_cycles: f64,
+    /// Cycles lost to branch mispredictions.
+    pub branch_penalty_cycles: f64,
 }
 
 impl RunStats {
@@ -183,6 +196,22 @@ impl RunStats {
         }
     }
 
+    /// Sum of all attribution buckets: the six per-provenance buckets plus
+    /// the three penalty buckets, added in a fixed order.
+    ///
+    /// The emulator finalizes `cycles` *from* this sum at every successful
+    /// return, so for stats produced by a run the invariant
+    /// `attributed_cycles() == cycles` holds exactly (bit-for-bit), not
+    /// merely to within rounding. Synthetic stats built by hand may leave
+    /// the buckets empty.
+    pub fn attributed_cycles(&self) -> f64 {
+        let mut total = 0.0;
+        for b in self.prov_cycles {
+            total += b;
+        }
+        total + self.icache_penalty_cycles + self.dcache_penalty_cycles + self.branch_penalty_cycles
+    }
+
     /// Accumulates another run's counters into this one.
     pub fn merge(&mut self, other: &RunStats) {
         self.insts += other.insts;
@@ -195,6 +224,12 @@ impl RunStats {
         self.branch_misses += other.branch_misses;
         self.host_calls += other.host_calls;
         self.code_bytes_fetched += other.code_bytes_fetched;
+        for (dst, src) in self.prov_cycles.iter_mut().zip(other.prov_cycles) {
+            *dst += src;
+        }
+        self.icache_penalty_cycles += other.icache_penalty_cycles;
+        self.dcache_penalty_cycles += other.dcache_penalty_cycles;
+        self.branch_penalty_cycles += other.branch_penalty_cycles;
     }
 }
 
@@ -246,5 +281,29 @@ mod tests {
         assert_eq!(a.insts, 16);
         assert_eq!(a.loads, 2);
         assert!((a.ipc() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ipc_zero_cycles_is_zero_not_nan() {
+        let empty = RunStats::default();
+        assert_eq!(empty.ipc(), 0.0);
+        let insts_only = RunStats { insts: 42, ..Default::default() };
+        assert_eq!(insts_only.ipc(), 0.0, "zero cycles must not divide");
+    }
+
+    #[test]
+    fn attribution_buckets_merge_and_sum() {
+        use crate::Provenance;
+        let mut a = RunStats::default();
+        a.prov_cycles[Provenance::GuestCompute.index()] = 10.0;
+        a.icache_penalty_cycles = 2.0;
+        let mut b = RunStats::default();
+        b.prov_cycles[Provenance::BoundsGuard.index()] = 5.0;
+        b.dcache_penalty_cycles = 1.0;
+        b.branch_penalty_cycles = 0.5;
+        a.merge(&b);
+        assert_eq!(a.prov_cycles[Provenance::GuestCompute.index()], 10.0);
+        assert_eq!(a.prov_cycles[Provenance::BoundsGuard.index()], 5.0);
+        assert_eq!(a.attributed_cycles(), 18.5);
     }
 }

@@ -399,6 +399,10 @@ impl Machine {
             };
         }
 
+        // Set when the top-level `ret` retires: the instruction still flows
+        // through the common attribution tail below before the loop exits.
+        let mut finished = false;
+
         while pc < insts.len() {
             if fuel == 0 {
                 return Err(Trap::FuelExhausted);
@@ -409,6 +413,10 @@ impl Machine {
             let ilen = enc.inst_len(pc);
             stats.insts += 1;
             stats.code_bytes_fetched += ilen as u64;
+            // Miss counters before this instruction: the deltas after the
+            // dispatch below reconstruct exactly the penalty cycles it was
+            // charged (each miss adds one fixed `*_miss_cycles` constant).
+            let miss0 = (stats.icache_misses, stats.dcache_misses, stats.branch_misses);
             let mut cycles = self.cost.throughput_cycles(inst, ilen);
             if !self.icache.access(u64::from(enc.offsets[pc])) {
                 stats.icache_misses += 1;
@@ -662,10 +670,7 @@ impl Machine {
                         next = ra;
                         cycles += self.cost.taken_branch_cycles;
                     }
-                    None => {
-                        stats.cycles += cycles;
-                        return Ok(stats);
-                    }
+                    None => finished = true,
                 },
                 Inst::Push { reg } => {
                     let sp = self.regs.gpr(Gpr::Rsp).wrapping_sub(8);
@@ -731,9 +736,26 @@ impl Machine {
                 Inst::Nop => {}
             }
             cycles += self.cost.serial_cycles(inst);
-            stats.cycles += cycles;
+            // Attribution: split this instruction's charge into its
+            // microarchitectural penalties (reconstructed from the miss
+            // deltas) and the remainder, which lands in the bucket of the
+            // provenance class the compiler tagged the instruction with.
+            let pen_i = (stats.icache_misses - miss0.0) as f64 * self.cost.icache_miss_cycles;
+            let pen_d = (stats.dcache_misses - miss0.1) as f64 * self.cost.dcache_miss_cycles;
+            let pen_b = (stats.branch_misses - miss0.2) as f64 * self.cost.branch_miss_cycles;
+            stats.icache_penalty_cycles += pen_i;
+            stats.dcache_penalty_cycles += pen_d;
+            stats.branch_penalty_cycles += pen_b;
+            stats.prov_cycles[prog.prov_at(pc).index()] += cycles - (pen_i + pen_d + pen_b);
+            if finished {
+                break;
+            }
             pc = next;
         }
+        // Finalize total cycles *from* the buckets so the sum invariant
+        // (`attributed_cycles() == cycles`) holds bit-for-bit on every
+        // successful return; see DESIGN.md §14.
+        stats.cycles = stats.attributed_cycles();
         Ok(stats)
     }
 

@@ -57,7 +57,7 @@ mod reg;
 
 pub use addr::{Mem, Scale};
 pub use inst::{Cond, Inst, Width};
-pub use program::{Label, Program};
+pub use program::{Label, Program, Provenance};
 pub use reg::{Gpr, Seg, Xmm};
 
 /// A fault raised by a memory access during emulation.

@@ -2,6 +2,75 @@
 
 use crate::Inst;
 
+/// Why an instruction exists: the attribution class the cycle profiler
+/// buckets modeled cycles into.
+///
+/// Every instruction a compiler pushes defaults to [`Provenance::GuestCompute`];
+/// the SFI compiler retags the instructions it inserts for sandboxing
+/// (guards, truncations, address materialization, prologue/epilogue glue),
+/// and slots the optimizing passes turn into `nop`s are retagged
+/// [`Provenance::OptInserted`]. The taxonomy is the contract DESIGN.md §14
+/// documents; [`Provenance::ALL`] fixes the export order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Provenance {
+    /// Code the guest program asked for (the default for every push).
+    #[default]
+    GuestCompute,
+    /// Heap bounds/masking guards, stack-limit checks, and the
+    /// `call_indirect` table/signature checks.
+    BoundsGuard,
+    /// Address materialization the strategy could not fold into an
+    /// addressing mode (the `lea` Segue's `%gs`+addr32 access eliminates).
+    SegueAddressing,
+    /// Deferred `i32.wrap_i64` truncations paid as `mov r32, r32`.
+    Truncation,
+    /// Sandbox entry/exit protocol instructions (segment setup, stack
+    /// handoff) emitted in prologues and around host calls.
+    TransitionGlue,
+    /// Slots the optimizing tier or vectorizer rewrote to `nop`
+    /// (label-stable removal leaves the slot behind).
+    OptInserted,
+}
+
+impl Provenance {
+    /// All classes, in the canonical export order.
+    pub const ALL: [Provenance; 6] = [
+        Provenance::GuestCompute,
+        Provenance::BoundsGuard,
+        Provenance::SegueAddressing,
+        Provenance::Truncation,
+        Provenance::TransitionGlue,
+        Provenance::OptInserted,
+    ];
+
+    /// Number of classes (the length of per-provenance bucket arrays).
+    pub const COUNT: usize = 6;
+
+    /// Stable snake_case name used in metric labels and folded stacks.
+    pub fn name(self) -> &'static str {
+        match self {
+            Provenance::GuestCompute => "guest_compute",
+            Provenance::BoundsGuard => "bounds_guard",
+            Provenance::SegueAddressing => "segue_addressing",
+            Provenance::Truncation => "truncation",
+            Provenance::TransitionGlue => "transition_glue",
+            Provenance::OptInserted => "opt_inserted",
+        }
+    }
+
+    /// Index into per-provenance bucket arrays; matches [`Provenance::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Provenance::GuestCompute => 0,
+            Provenance::BoundsGuard => 1,
+            Provenance::SegueAddressing => 2,
+            Provenance::Truncation => 3,
+            Provenance::TransitionGlue => 4,
+            Provenance::OptInserted => 5,
+        }
+    }
+}
+
 /// A branch target, resolved by the owning [`Program`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Label(pub u32);
@@ -28,6 +97,10 @@ pub struct Program {
     /// Indirect-call table: function index → label (models the table that a
     /// Wasm engine uses for `call_indirect`).
     func_table: Vec<Label>,
+    /// Attribution class per instruction, index-aligned with `insts`.
+    /// Rewriting passes work in place (removals become `nop`), so the
+    /// alignment survives optimization without any fixup.
+    prov: Vec<Provenance>,
 }
 
 impl Program {
@@ -36,10 +109,41 @@ impl Program {
         Program::default()
     }
 
-    /// Appends an instruction, returning its index.
+    /// Appends an instruction, returning its index. The instruction is
+    /// tagged [`Provenance::GuestCompute`]; use [`Program::tag_last`] or
+    /// [`Program::set_prov`] to reclassify SFI-inserted code.
     pub fn push(&mut self, inst: Inst) -> usize {
         self.insts.push(inst);
+        self.prov.push(Provenance::GuestCompute);
         self.insts.len() - 1
+    }
+
+    /// Retags the last `n` pushed instructions with `prov`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` instructions exist.
+    pub fn tag_last(&mut self, n: usize, prov: Provenance) {
+        assert!(n <= self.prov.len(), "tag_last({n}) on {} insts", self.prov.len());
+        let start = self.prov.len() - n;
+        for slot in &mut self.prov[start..] {
+            *slot = prov;
+        }
+    }
+
+    /// Retags the instruction at `index` with `prov`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn set_prov(&mut self, index: usize, prov: Provenance) {
+        self.prov[index] = prov;
+    }
+
+    /// The attribution class of the instruction at `index`
+    /// ([`Provenance::GuestCompute`] if never tagged).
+    pub fn prov_at(&self, index: usize) -> Provenance {
+        self.prov.get(index).copied().unwrap_or_default()
     }
 
     /// Creates a new, unbound label.

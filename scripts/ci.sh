@@ -108,6 +108,33 @@ for pair in "baseline $BASE_GOT $BASE_REF" "colorguard $COLOR_GOT $COLOR_REF"; d
   }' || { echo "calibration drift watch FAILED for $1"; exit 1; }
 done
 
+echo "== profiler: exact attribution, determinism, observer effect, overhead =="
+cargo run -q --offline --release -p sfi-bench --bin figX_profile -- --check
+grep -q '"telemetry"' BENCH_profile.json
+grep -q '"profile"' BENCH_profile.json
+grep -q 'sfi_profile_cycles_total' BENCH_profile.json
+
+echo "== calibration drift watch (transition share vs DESIGN.md §14 record) =="
+# The per-strategy transition-cycle share is the baseline the
+# near-zero-cost-transitions work must beat: recompute it from the
+# artifact and compare against the DESIGN.md §14 record, same 25% drift
+# rule as the §10 watch above.
+PROF_REF=$(grep -o 'calibration: profile transition_share_bp [a-z=0-9 -]*' DESIGN.md)
+[ -n "$PROF_REF" ] || { echo "DESIGN.md §14 calibration record missing"; exit 1; }
+SHARES=$(grep -o '"transition_share": {[^}]*}' BENCH_profile.json)
+[ -n "$SHARES" ] || { echo "transition_share not found in BENCH_profile.json"; exit 1; }
+for s in guard segue segue-loads bounds bounds-segue masking; do
+  REF=$(echo "$PROF_REF" | grep -o " $s=[0-9]*" | sed 's/.*=//')
+  GOT=$(echo "$SHARES" | grep -o "\"$s\": [0-9.]*" | sed 's/.*: //')
+  [ -n "$REF" ] && [ -n "$GOT" ] || { echo "missing transition share for $s"; exit 1; }
+  awk -v name="$s" -v got="$GOT" -v ref="$REF" 'BEGIN {
+    got_bp = got * 10000;
+    drift = (got_bp > ref ? got_bp - ref : ref - got_bp) / ref;
+    printf "calibration %s: transition share %.0fbp vs recorded %dbp (drift %.1f%%)\n", name, got_bp, ref, drift * 100;
+    exit !(drift <= 0.25);
+  }' || { echo "calibration drift watch FAILED for $s"; exit 1; }
+done
+
 echo "== clippy (deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
