@@ -11,6 +11,9 @@
 //!   cumulative flight-recorder stream
 //! - `GET /healthz`   — failure-model availability + quarantine (the one
 //!   endpoint allowed wall time: its uptime field)
+//! - `GET /alerts?since=<cursor>` — alert states + incremental transition
+//!   log from the in-memory rule engine
+//! - `GET /query?expr=<expr>` — one tsdb query (DESIGN.md §15 grammar)
 //! - `GET /quit`      — answer, then shut the server down cleanly
 //!
 //! Modes:
@@ -21,7 +24,7 @@
 //!   client (exit 0 on HTTP 200), used by the CI smoke step instead of
 //!   curl; the optional deadline bounds each attempt's connect/read/write
 //!   so a hung server cannot wedge the scrape.
-//! - `faas_serve --check` — self-contained acceptance gate: all four
+//! - `faas_serve --check` — self-contained acceptance gate: all six
 //!   endpoints respond on a loopback server; the drained `/trace` stream
 //!   re-wraps byte-identically to the batch export; the served `/snapshot`
 //!   equals a server-off replay byte-for-byte; and scraping under load
@@ -88,7 +91,7 @@ fn main() {
     let engine = Arc::new(Mutex::new(ServeEngine::new(ServeConfig::paper_rig(4))));
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
-    println!("faas_serve: listening on http://{addr}  (GET /metrics /snapshot /trace /healthz /quit)");
+    println!("faas_serve: listening on http://{addr}  (GET /metrics /snapshot /trace /healthz /alerts /query /quit)");
 
     let driver = {
         let engine = Arc::clone(&engine);
@@ -113,14 +116,21 @@ fn main() {
 }
 
 /// Drives `rounds` engine rounds; when `addr` is given, performs a full
-/// scrape set (all four endpoints) between rounds — the "under load"
+/// scrape set (all six endpoints) between rounds — the "under load"
 /// configuration of the overhead gate. Returns elapsed wall time.
 fn drive(engine: &Mutex<ServeEngine>, rounds: u64, addr: Option<&str>) -> std::time::Duration {
     let t0 = Instant::now();
     for _ in 0..rounds {
         engine.lock().expect("engine lock").run_round();
         if let Some(a) = addr {
-            for path in ["/metrics", "/snapshot", "/trace?since=0", "/healthz"] {
+            for path in [
+                "/metrics",
+                "/snapshot",
+                "/trace?since=0",
+                "/healthz",
+                "/alerts?since=0",
+                "/query?expr=increase(sfi_shard_completed_total%5B4r%5D)",
+            ] {
                 let (status, _) = http_get(a, path).expect("scrape");
                 assert_eq!(status, 200, "{path} under load");
             }
@@ -173,11 +183,23 @@ fn check() {
         streamed.extend(lines.map(str::to_owned));
     }
 
-    // 1. All four endpoints respond.
+    // 1. All six endpoints respond.
     let (ms, metrics) = http_get(&addr, "/metrics").expect("metrics");
     let (ss, snapshot) = http_get(&addr, "/snapshot").expect("snapshot");
     let (hs, health) = http_get(&addr, "/healthz").expect("healthz");
+    let (als, alerts) = http_get(&addr, "/alerts?since=0").expect("alerts");
+    let (qrs, query) =
+        http_get(&addr, "/query?expr=increase(sfi_shard_completed_total%5B4r%5D)").expect("query");
     assert_eq!((ms, ss, hs), (200, 200, 200), "endpoints must respond");
+    assert_eq!((als, qrs), (200, 200), "alerting endpoints must respond");
+    assert!(json_is_valid(&alerts), "/alerts must be valid JSON");
+    assert!(alerts.contains("\"states\""), "{alerts}");
+    assert!(json_is_valid(&query), "/query must be valid JSON");
+    assert!(query.contains("\"results\""), "{query}");
+    let (bs, _) = http_get(&addr, "/query").expect("query without expr");
+    assert_eq!(bs, 400, "/query without expr must 400");
+    let (bs, _) = http_get(&addr, "/alerts?since=abc").expect("malformed cursor");
+    assert_eq!(bs, 400, "/alerts with a malformed cursor must 400");
     assert!(metrics.contains("sfi_shard_completed_total"), "metrics carries shard counters");
     assert!(metrics.contains("sfi_serve_scrapes_total"), "metrics carries scrape meta");
     assert!(metrics.contains("sample_rate=\"64\""), "sampled series declares its rate");
@@ -224,7 +246,7 @@ fn check() {
     server.join().expect("server thread");
 
     println!(
-        "check OK: 4 endpoints live, streamed trace == batch export ({} events), \
+        "check OK: 6 endpoints live, streamed trace == batch export ({} events), \
          snapshot == offline replay, scrape overhead {factor:.2}x (budget {OVERHEAD_BUDGET:.2}x)",
         streamed.len()
     );

@@ -28,7 +28,10 @@ use sfi_bench::{compile_workload, row, run_compiled};
 use sfi_core::{CompilerConfig, Strategy};
 use sfi_faas::{simulate_multicore, CacheMode, FaasWorkload, MultiCoreConfig, ScalingMode};
 use sfi_runtime::{Engine, Runtime, RuntimeConfig, PENALTY_NAMES};
-use sfi_telemetry::{json_is_valid, json_snapshot, FoldedStacks};
+use sfi_telemetry::{
+    json_is_valid, json_snapshot, AlertEngine, FoldedStacks, RecordingRule, RuleSource, Selector,
+    Tsdb,
+};
 use sfi_x86::Provenance;
 
 /// The profiler's self-overhead budget (DESIGN.md §14, same 1.35× bar as
@@ -121,10 +124,11 @@ fn fold_matrix(cells: &[Cell]) -> FoldedStacks {
 }
 
 /// Drives each strategy through the pooled runtime — cold spawn plus four
-/// invocations of each fig6 kernel — and returns `(share, telemetry)`:
-/// the transition-cycle share of total attributed cycles per strategy, and
-/// the final runtime registry snapshot (profile counters included).
-fn transition_shares() -> (Vec<(Strategy, f64)>, String) {
+/// invocations of each fig6 kernel — and returns the raw per-strategy
+/// `(strategy, transition_cycles, total_cycles)` triples plus the final
+/// runtime registry snapshot (profile counters included). The share is
+/// `transition / total`.
+fn transition_shares() -> (Vec<(Strategy, f64, f64)>, String) {
     // FaaS-granularity instances of the fig6 kernels: short enough that
     // the per-invoke transition protocol is a visible share of the total
     // (the population the near-zero-cost-transitions work targets).
@@ -155,7 +159,7 @@ fn transition_shares() -> (Vec<(Strategy, f64)>, String) {
             }
             rt.terminate(id).expect("terminate");
         }
-        shares.push((strategy, transition / total));
+        shares.push((strategy, transition, total));
     }
     (shares, json_snapshot(rt.telemetry().registry()))
 }
@@ -191,7 +195,7 @@ fn build_report() -> String {
     }
     let shares_json = shares
         .iter()
-        .map(|(s, share)| format!("\"{}\": {share:.4}", s.name()))
+        .map(|(s, tr, tot)| format!("\"{}\": {:.4}", s.name(), tr / tot))
         .collect::<Vec<_>>()
         .join(", ");
     let folded_json = folded
@@ -265,8 +269,8 @@ fn main() {
     println!("\npooled runtime: transition-cycle share of total attributed cycles\n");
     let widths2 = [14, 10];
     row(&["strategy".into(), "share".into()], &widths2);
-    for (s, share) in &shares {
-        row(&[s.name().into(), format!("{:.2}%", share * 100.0)], &widths2);
+    for (s, tr, tot) in &shares {
+        row(&[s.name().into(), format!("{:.2}%", tr / tot * 100.0)], &widths2);
     }
 
     let report = build_report();
@@ -339,10 +343,63 @@ fn main() {
     );
 
     // ---- Gate 5: the calibration record ----------------------------------
-    // CI compares these against DESIGN.md §14 (drift > 25% fails).
+    // The drift-watch value flows through the telemetry plane itself: a
+    // per-strategy RatioPermille recording rule over the raw profiler
+    // counters in a scratch tsdb, verified here against the direct
+    // computation. CI's awk comparison against the DESIGN.md §14 record
+    // stays as the grep fallback (drift > 25% fails).
+    let mut tsdb = Tsdb::new(8, 64);
+    let mut rules = AlertEngine::new(16);
+    for (s, _, _) in &shares {
+        rules.add_recording(RecordingRule {
+            record: "sfi_profile_transition_share_permille",
+            labels: vec![("strategy", s.name().to_owned())],
+            source: RuleSource::RatioPermille {
+                num: format!(
+                    "increase(sfi_profile_transition_cycles_total{{strategy=\"{}\"}}[2r])",
+                    s.name()
+                ),
+                den: format!(
+                    "increase(sfi_profile_attributed_cycles_total{{strategy=\"{}\"}}[2r])",
+                    s.name()
+                ),
+            },
+        });
+    }
+    for round in 1..=2u64 {
+        // Round 1 is the zero baseline; round 2 carries the cumulative
+        // cycle counters, so increase[2r] is exactly the per-strategy run.
+        let scale = (round - 1) as f64;
+        for (s, tr, tot) in &shares {
+            tsdb.store_counter(
+                &format!("sfi_profile_transition_cycles_total{{strategy=\"{}\"}}", s.name()),
+                round,
+                (tr * scale).round() as u64,
+            );
+            tsdb.store_counter(
+                &format!("sfi_profile_attributed_cycles_total{{strategy=\"{}\"}}", s.name()),
+                round,
+                (tot * scale).round() as u64,
+            );
+        }
+        rules.evaluate(round, &mut tsdb);
+    }
+    for (s, tr, tot) in &shares {
+        let sel = format!("sfi_profile_transition_share_permille{{strategy=\"{}\"}}", s.name());
+        let rows = tsdb.latest(&Selector::parse(&sel).expect("share selector"));
+        assert_eq!(rows.len(), 1, "{}: recording rule must publish one series", s.name());
+        let direct = 1000.0 * tr / tot;
+        assert!(
+            (rows[0].1 - direct).abs() <= 1.0,
+            "{}: recorded share {} vs direct {direct:.3} permille",
+            s.name(),
+            rows[0].1
+        );
+    }
+    println!("[check] transition shares recomputed by recording rules agree (±1 permille) ✓");
     let line = shares
         .iter()
-        .map(|(s, share)| format!("{}={}", s.name(), (share * 10_000.0).round() as u64))
+        .map(|(s, tr, tot)| format!("{}={}", s.name(), (tr / tot * 10_000.0).round() as u64))
         .collect::<Vec<_>>()
         .join(" ");
     println!("[check] calibration: profile transition_share_bp {line}");

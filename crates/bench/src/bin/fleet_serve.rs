@@ -14,6 +14,8 @@
 //!   restarts, retirements, poll attempts; gap-marked on overflow)
 //! - `GET /fleet`    — per-member liveness, restart and quarantine state
 //! - `GET /healthz`  — fleet availability (503 once no member is live)
+//! - `GET /alerts?since=<cursor>` — fleet alert states + transition log
+//! - `GET /query?expr=<expr>` — one query over the fleet tsdb
 //! - `GET /quit`     — answer, then shut down cleanly
 //!
 //! Modes:
@@ -137,7 +139,7 @@ fn main() {
     let started = Instant::now();
     println!(
         "fleet_serve: listening on http://{addr}  ({members} members; \
-         GET /metrics /snapshot /trace /fleet /healthz /quit)"
+         GET /metrics /snapshot /trace /fleet /healthz /alerts /query /quit)"
     );
 
     let driver = {
@@ -299,6 +301,17 @@ fn check() {
         http_get_retry(&addr, "/trace?since=0", &policy).expect("/trace");
     assert_eq!(status, 200);
     assert!(body.starts_with("{\"next\": "), "{body}");
+    let (status, body, _) = http_get_retry(&addr, "/alerts?since=0", &policy).expect("/alerts");
+    assert_eq!(status, 200);
+    assert!(json_is_valid(&body), "{body}");
+    assert!(body.contains("\"states\""), "{body}");
+    let (status, body, _) =
+        http_get_retry(&addr, "/query?expr=sfi_fleet_members_live", &policy).expect("/query");
+    assert_eq!(status, 200);
+    assert!(json_is_valid(&body), "{body}");
+    assert!(body.contains("\"results\""), "{body}");
+    let (status, _, _) = http_get_retry(&addr, "/query?expr=%ZZ", &policy).expect("bad expr");
+    assert_eq!(status, 400, "/query with malformed percent-encoding must 400");
     let (status, _, _) = http_get_retry(&addr, "/quit", &policy).expect("/quit");
     assert_eq!(status, 200);
     server.join().expect("server thread");

@@ -46,13 +46,26 @@ use std::time::Instant;
 use sfi_pool::QuarantinePolicy;
 use sfi_telemetry::{
     chrome_trace, chrome_trace_gap_line, chrome_trace_lines, json_is_valid, json_snapshot,
-    pack_span, prometheus_text, retry_with, BucketExemplars, CounterId, FlightRecorder,
-    FoldedStacks, GaugeId, HttpRequest, HttpResponse, Registry, Retention, RetryPolicy, SpanLevel,
-    TraceEvent, TraceKind, VirtualClock,
+    pack_span, percent_decode, prometheus_text, retry_with, AlertEngine, AlertRule,
+    BucketExemplars, CompareOp, CounterId, Cursor, FlightRecorder, FoldedStacks, GaugeId,
+    HttpRequest, HttpResponse, RecordingRule, Registry, Retention, RetryPolicy, RuleSource,
+    SpanLevel, TraceEvent, TraceKind, Tsdb, VirtualClock,
 };
 use sfi_vm::{EngineFault, FaultPlan};
 
-use crate::serve::{ServeConfig, ServeEngine, NS_PER_TICK};
+use crate::serve::{
+    render_query, ServeConfig, ServeEngine, ALERT_LOG_CAPACITY, NS_PER_TICK, TSDB_MAX_SERIES,
+    TSDB_WINDOW,
+};
+
+/// Name of the fleet-level multi-window LS burn alert (the closed-loop
+/// scale-out trigger).
+pub const FLEET_BURN_RULE: &str = "fleet_slo_burn_ls";
+
+/// Name of the per-member availability alert (the closed-loop quarantine
+/// trigger). One rule covers every member: the availability gauge is a
+/// per-`engine="<id>"` series, and alert state machines are per series.
+pub const MEMBER_AVAILABILITY_RULE: &str = "member_availability";
 
 /// Modeled round-trip of one successful in-process aggregator poll, in
 /// virtual ns (a loopback scrape, not a WAN hop).
@@ -85,6 +98,92 @@ pub struct FleetConfig {
     /// default) keeps the fleet static, byte-identical to the pre-elastic
     /// supervisor.
     pub autoscale: Option<AutoscalePolicy>,
+    /// Closed-loop alerting: fleet-level recording + alert rules evaluated
+    /// over a federated tsdb after every round, with alert-driven scale-out
+    /// and member quarantine. `None` (the default) disables the rule engine
+    /// entirely and keeps the supervisor byte-identical to the pre-alerting
+    /// fleet.
+    pub alerting: Option<FleetAlertPolicy>,
+}
+
+/// Closed-loop alerting policy. The supervisor ingests the federated
+/// modeled registry (plus every member's SLO burn gauges and a per-member
+/// poll-availability gauge) into its own [`Tsdb`] after each round, then
+/// evaluates two built-in rules:
+///
+/// - [`FLEET_BURN_RULE`]: multi-window LS burn over the member burn series
+///   (2-round fast / 6-round slow, both ≥ `burn_threshold_permille`).
+///   While firing, the supervisor spawns surge members from `template` (up
+///   to `max_members` live) — alerting and occupancy autoscale share the
+///   same spawn machinery and the same monotone member-id seed derivation.
+/// - [`MEMBER_AVAILABILITY_RULE`]: windowed mean of each member's poll
+///   availability (permille; 2-round fast / 4-round slow, both ≤
+///   `availability_floor_permille`). A firing member is quarantined —
+///   retired with reason [`RetireReason::Quarantined`].
+///
+/// Every input is modeled state or a deterministic poll outcome, so the
+/// whole control loop — alert timeline included — replays byte-identically
+/// through checkpoint recovery.
+#[derive(Debug, Clone)]
+pub struct FleetAlertPolicy {
+    /// Burn threshold (permille of the SLO target) both burn windows must
+    /// reach; 1000 = p99.9 exactly at target.
+    pub burn_threshold_permille: f64,
+    /// Member availability floor in permille of polls succeeded.
+    pub availability_floor_permille: f64,
+    /// Spawn a member from `template` while [`FLEET_BURN_RULE`] fires.
+    pub scale_out_on_burn: bool,
+    /// Quarantine members whose [`MEMBER_AVAILABILITY_RULE`] series fires.
+    pub quarantine_on_availability: bool,
+    /// Live-member ceiling for alert-driven scale-out.
+    pub max_members: usize,
+    /// Config template for alert-spawned members (seeds re-derived per id).
+    pub template: ServeConfig,
+}
+
+impl FleetAlertPolicy {
+    /// The paper-rig loop: scale out at sustained burn ≥ 1000 permille
+    /// (SLO breach), quarantine members under 500 permille availability.
+    pub fn paper_rig(template: ServeConfig) -> FleetAlertPolicy {
+        FleetAlertPolicy {
+            burn_threshold_permille: 1000.0,
+            availability_floor_permille: 500.0,
+            scale_out_on_burn: true,
+            quarantine_on_availability: true,
+            max_members: 8,
+            template,
+        }
+    }
+}
+
+/// Installs the built-in fleet rules described on [`FleetAlertPolicy`].
+fn fleet_rules(alerts: &mut AlertEngine, p: &FleetAlertPolicy) {
+    alerts.add_recording(RecordingRule {
+        record: "sfi_fleet_goodput_permille",
+        labels: Vec::new(),
+        source: RuleSource::RatioPermille {
+            num: "increase(sfi_qos_completed_total[8r])".to_owned(),
+            den: "increase(sfi_qos_offered_total[8r])".to_owned(),
+        },
+    });
+    alerts.add_alert(AlertRule {
+        name: FLEET_BURN_RULE,
+        fast: "avg_over_time(sfi_qos_slo_burn_permille{class=\"latency_sensitive\"}[2r])"
+            .to_owned(),
+        slow: "avg_over_time(sfi_qos_slo_burn_permille{class=\"latency_sensitive\"}[6r])"
+            .to_owned(),
+        op: CompareOp::Ge,
+        threshold: p.burn_threshold_permille,
+        for_rounds: 1,
+    });
+    alerts.add_alert(AlertRule {
+        name: MEMBER_AVAILABILITY_RULE,
+        fast: "avg_over_time(sfi_fleet_member_availability_permille[2r])".to_owned(),
+        slow: "avg_over_time(sfi_fleet_member_availability_permille[4r])".to_owned(),
+        op: CompareOp::Le,
+        threshold: p.availability_floor_permille,
+        for_rounds: 1,
+    });
 }
 
 /// Elastic fleet sizing. The supervisor watches the mean engine occupancy
@@ -142,6 +241,11 @@ pub enum RetireReason {
     /// Gracefully drained by the autoscaler on sustained low occupancy: no
     /// dead-letters, no failed polls.
     ScaledIn,
+    /// Evicted by a firing [`MEMBER_AVAILABILITY_RULE`] alert: the member
+    /// was answering too few polls, so the closed loop cut it loose before
+    /// the fault budget would have (queued work dead-letters like a
+    /// fault-budget retirement — the member was losing it anyway).
+    Quarantined,
 }
 
 impl RetireReason {
@@ -150,6 +254,7 @@ impl RetireReason {
         match self {
             RetireReason::FaultBudget => "fault_budget",
             RetireReason::ScaledIn => "scaled_in",
+            RetireReason::Quarantined => "quarantined",
         }
     }
 }
@@ -176,6 +281,7 @@ impl FleetConfig {
             retry: RetryPolicy::default(),
             stream_capacity: 4096,
             autoscale: None,
+            alerting: None,
         }
     }
 }
@@ -281,8 +387,10 @@ struct FleetMeta {
     dead_lettered: CounterId,
     scale_out: CounterId,
     scale_in: CounterId,
+    alert_scale_out: CounterId,
+    quarantines: CounterId,
     members_live: GaugeId,
-    scrapes: [CounterId; 6],
+    scrapes: [CounterId; 8],
 }
 
 impl FleetMeta {
@@ -303,8 +411,10 @@ impl FleetMeta {
             dead_lettered: reg.counter("sfi_fleet_dead_lettered_rounds_total"),
             scale_out: reg.counter("sfi_fleet_scale_out_total"),
             scale_in: reg.counter("sfi_fleet_scale_in_total"),
+            alert_scale_out: reg.counter("sfi_fleet_alert_scale_out_total"),
+            quarantines: reg.counter("sfi_fleet_quarantines_total"),
             members_live: reg.gauge("sfi_fleet_members_live"),
-            scrapes: ["metrics", "snapshot", "trace", "healthz", "fleet", "profile"]
+            scrapes: ["metrics", "snapshot", "trace", "healthz", "fleet", "profile", "alerts", "query"]
                 .map(|ep| reg.counter_with("sfi_fleet_scrapes_total", &[("endpoint", ep)])),
         }
     }
@@ -332,6 +442,15 @@ pub struct FleetSupervisor {
     polls: u64,
     failed_polls: u64,
     autoscale: Option<AutoscalePolicy>,
+    alerting: Option<FleetAlertPolicy>,
+    /// Federated time-series store: the merged modeled registry, member
+    /// burn gauges and per-member poll-availability gauges, ingested once
+    /// per round. Backs `/query` and the fleet rule engine. Pure function
+    /// of `(config, rounds)` — every input is modeled state or a
+    /// deterministic poll outcome.
+    tsdb: Tsdb,
+    /// Fleet rule engine (recording rules + the closed-loop alerts).
+    alerts: AlertEngine,
     /// Next member id to assign — monotone, never reused, so spawned
     /// members' derived seeds are a pure function of the spawn order.
     next_member_id: u64,
@@ -376,6 +495,10 @@ impl FleetSupervisor {
         }
         reg.set(meta.members_live, members.len() as i64);
         let next_member_id = members.len() as u64;
+        let mut alerts = AlertEngine::new(ALERT_LOG_CAPACITY);
+        if let Some(p) = &cfg.alerting {
+            fleet_rules(&mut alerts, p);
+        }
         FleetSupervisor {
             policy: cfg.policy,
             retry: cfg.retry,
@@ -389,6 +512,9 @@ impl FleetSupervisor {
             polls: 0,
             failed_polls: 0,
             autoscale: cfg.autoscale,
+            alerting: cfg.alerting,
+            tsdb: Tsdb::new(TSDB_WINDOW, TSDB_MAX_SERIES),
+            alerts,
             next_member_id,
             high_streak: 0,
             low_streak: 0,
@@ -401,6 +527,9 @@ impl FleetSupervisor {
     /// round and a failed poll.
     pub fn run_round(&mut self) {
         let r = self.rounds;
+        // Per-member poll outcomes this round, feeding the availability
+        // gauge series behind the quarantine alert.
+        let mut poll_ok: Vec<(u64, bool)> = Vec::new();
         for idx in 0..self.members.len() {
             if self.members[idx].state == MemberState::Retired {
                 // A gracefully drained member holds no queued work and is
@@ -415,6 +544,7 @@ impl FleetSupervisor {
                 self.failed_polls += 1;
                 self.reg.inc(self.meta.polls);
                 self.reg.inc(self.meta.poll_failures);
+                poll_ok.push((self.members[idx].id, false));
                 continue;
             }
             // The round's attempt-0 chaos draw decides the member's fate:
@@ -467,13 +597,68 @@ impl FleetSupervisor {
                 self.failed_polls += 1;
                 self.reg.inc(self.meta.polls);
                 self.reg.inc(self.meta.poll_failures);
+                poll_ok.push((self.members[idx].id, false));
             } else {
-                self.poll_member(idx, r, fault0);
+                let ok = self.poll_member(idx, r, fault0);
+                poll_ok.push((self.members[idx].id, ok));
             }
         }
         self.rounds += 1;
         self.reg.inc(self.meta.rounds);
         self.autoscale_pass();
+        self.alert_pass(&poll_ok);
+    }
+
+    /// Ingests the round into the federated tsdb, evaluates the fleet
+    /// rules, and acts on what fires: surge scale-out while the burn alert
+    /// is up, quarantine for members whose availability alert is up. A
+    /// no-op without an alerting policy.
+    fn alert_pass(&mut self, poll_ok: &[(u64, bool)]) {
+        let Some(policy) = self.alerting.clone() else { return };
+        let round = self.rounds;
+        let mut merged = self.merged_registry();
+        for m in &self.members {
+            merged.merge_labeled_from(m.engine.burn_registry(), "engine", &m.id.to_string());
+        }
+        self.tsdb.ingest(round, &merged);
+        for (id, ok) in poll_ok {
+            let key = format!("sfi_fleet_member_availability_permille{{engine=\"{id}\"}}");
+            self.tsdb.store_gauge(&key, round, if *ok { 1000 } else { 0 });
+        }
+        for t in self.alerts.evaluate(round, &mut self.tsdb) {
+            self.stream.record(TraceEvent {
+                tick: self.clock.now(),
+                core: 0,
+                sandbox: t.rule_idx as u64,
+                kind: TraceKind::Alert,
+                arg: t.transition.code(),
+            });
+        }
+        if policy.scale_out_on_burn
+            && self.alerts.is_firing(FLEET_BURN_RULE)
+            && self.members_live() < policy.max_members
+        {
+            self.scale_out_from(&policy.template, 3);
+            self.reg.inc(self.meta.alert_scale_out);
+        }
+        if policy.quarantine_on_availability {
+            for key in self.alerts.firing_series(MEMBER_AVAILABILITY_RULE) {
+                if let Some(idx) = self.member_idx_of_series(&key) {
+                    if self.members[idx].state == MemberState::Live {
+                        self.retire(idx, RetireReason::Quarantined);
+                        self.reg.inc(self.meta.quarantines);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resolves the `engine="<id>"` label of an availability alert series
+    /// back to a member index.
+    fn member_idx_of_series(&self, key: &str) -> Option<usize> {
+        let rest = &key[key.find("engine=\"")? + "engine=\"".len()..];
+        let id: u64 = rest[..rest.find('"')?].parse().ok()?;
+        self.members.iter().position(|m| m.id == id)
     }
 
     /// Evaluates the autoscale watermarks after a round: mean live-member
@@ -518,12 +703,19 @@ impl FleetSupervisor {
     /// from its (monotone, never-reused) id — the same splitmix mix
     /// [`FleetConfig::paper_rig`] applies to the founding members.
     fn scale_out(&mut self) {
-        let policy = self.autoscale.as_ref().expect("autoscale_pass checked");
+        let template = self.autoscale.as_ref().expect("autoscale_pass checked").template.clone();
+        self.scale_out_from(&template, 2);
+    }
+
+    /// Spawns a member from `template` with seeds derived from the new
+    /// (monotone, never-reused) id. `spawn_arg` distinguishes the spawn
+    /// kinds on the trace (2 = occupancy autoscale, 3 = burn alert).
+    fn scale_out_from(&mut self, template: &ServeConfig, spawn_arg: u64) {
         let id = self.next_member_id;
         self.next_member_id += 1;
-        let mut cfg = policy.template.clone();
-        cfg.engine.seed = crate::serve::round_seed(policy.template.engine.seed, 0x4_0000 + id);
-        cfg.probe.seed = crate::serve::round_seed(policy.template.probe.seed, 0x8_0000 + id);
+        let mut cfg = template.clone();
+        cfg.engine.seed = crate::serve::round_seed(template.engine.seed, 0x4_0000 + id);
+        cfg.probe.seed = crate::serve::round_seed(template.probe.seed, 0x8_0000 + id);
         self.members.push(Member {
             id,
             engine: ServeEngine::new(cfg.clone()),
@@ -542,7 +734,7 @@ impl FleetSupervisor {
             core: id as u32,
             sandbox: id,
             kind: TraceKind::Spawn,
-            arg: 2,
+            arg: spawn_arg,
         });
     }
 
@@ -612,8 +804,9 @@ impl FleetSupervisor {
     /// polls. The engine is already clean (crash recovery replays before
     /// the budget check), so the frozen registry stays scrapeable. The
     /// `retirements` counter tracks fault-budget evictions only; graceful
-    /// scale-in is counted by `scale_in` instead. The trace `arg` encodes
-    /// the reason (1 = fault budget, 2 = scaled in).
+    /// scale-in is counted by `scale_in` and alert quarantine by
+    /// `quarantines`. The trace `arg` encodes the reason (1 = fault budget,
+    /// 2 = scaled in, 3 = quarantined).
     fn retire(&mut self, idx: usize, reason: RetireReason) {
         self.members[idx].state = MemberState::Retired;
         self.members[idx].retire_reason = Some(reason);
@@ -630,6 +823,7 @@ impl FleetSupervisor {
             arg: match reason {
                 RetireReason::FaultBudget => 1,
                 RetireReason::ScaledIn => 2,
+                RetireReason::Quarantined => 3,
             },
         });
     }
@@ -638,7 +832,8 @@ impl FleetSupervisor {
     /// the member's `/healthz` and `/metrics` renderings in-process, under
     /// the retry budget. `fault0` is the round's attempt-0 draw (already
     /// taken by the driver); retries draw fresh from the seeded stream.
-    fn poll_member(&mut self, idx: usize, round: u64, fault0: Option<EngineFault>) {
+    /// Returns whether the poll succeeded within budget.
+    fn poll_member(&mut self, idx: usize, round: u64, fault0: Option<EngineFault>) -> bool {
         self.polls += 1;
         self.reg.inc(self.meta.polls);
         let member_id = self.members[idx].id;
@@ -721,11 +916,13 @@ impl FleetSupervisor {
                         arg: 0,
                     });
                 }
+                true
             }
             Err(_) => {
                 self.reg.add(self.meta.poll_attempts, self.retry.max_attempts.max(1) as u64);
                 self.failed_polls += 1;
                 self.reg.inc(self.meta.poll_failures);
+                false
             }
         }
     }
@@ -808,7 +1005,32 @@ impl FleetSupervisor {
     pub fn metrics_text(&self) -> String {
         let mut merged = self.merged_registry();
         merged.merge_from(&self.reg);
+        merged.merge_from(self.alerts.derived());
         prometheus_text(&merged)
+    }
+
+    /// The federated time-series store behind `/query` and the fleet rules.
+    pub fn tsdb(&self) -> &Tsdb {
+        &self.tsdb
+    }
+
+    /// The fleet rule engine behind `/alerts`.
+    pub fn alerts(&self) -> &AlertEngine {
+        &self.alerts
+    }
+
+    /// `/alerts?since=<cursor>`: the fleet alert states and transition log
+    /// — byte-identical across replays, checkpoint recovery included.
+    pub fn alerts_body(&self, since: u64) -> String {
+        let mut body = self.alerts.alerts_json(since);
+        body.push('\n');
+        body
+    }
+
+    /// `/query?expr=<urlencoded>`: one tsdb query over the federated store.
+    pub fn query_body(&self, expr: &str) -> Result<String, String> {
+        let rows = self.tsdb.query(expr)?;
+        Ok(render_query(expr, self.tsdb.last_round(), &rows))
     }
 
     /// `/snapshot`: the federated modeled registry as JSON — equal to the
@@ -955,8 +1177,11 @@ impl FleetSupervisor {
             }
             "/trace" => {
                 self.reg.inc(self.meta.scrapes[2]);
-                let since = req.query_u64("since").unwrap_or(0);
-                (HttpResponse::json(self.trace_body(since)), false)
+                match req.cursor("since") {
+                    Cursor::Absent => (HttpResponse::json(self.trace_body(0)), false),
+                    Cursor::At(since) => (HttpResponse::json(self.trace_body(since)), false),
+                    Cursor::Malformed => (HttpResponse::bad_request("malformed since cursor"), false),
+                }
             }
             "/healthz" => {
                 self.reg.inc(self.meta.scrapes[3]);
@@ -972,6 +1197,27 @@ impl FleetSupervisor {
             "/profile" => {
                 self.reg.inc(self.meta.scrapes[5]);
                 (HttpResponse::json(self.profile_body()), false)
+            }
+            "/alerts" => {
+                self.reg.inc(self.meta.scrapes[6]);
+                match req.cursor("since") {
+                    Cursor::Absent => (HttpResponse::json(self.alerts_body(0)), false),
+                    Cursor::At(since) => (HttpResponse::json(self.alerts_body(since)), false),
+                    Cursor::Malformed => (HttpResponse::bad_request("malformed since cursor"), false),
+                }
+            }
+            "/query" => {
+                self.reg.inc(self.meta.scrapes[7]);
+                let Some(raw) = req.query_str("expr") else {
+                    return (HttpResponse::bad_request("missing expr parameter"), false);
+                };
+                let Some(expr) = percent_decode(raw) else {
+                    return (HttpResponse::bad_request("malformed percent-encoding"), false);
+                };
+                match self.query_body(&expr) {
+                    Ok(body) => (HttpResponse::json(body), false),
+                    Err(e) => (HttpResponse::bad_request(&e), false),
+                }
             }
             "/quit" => (HttpResponse::ok("text/plain", "bye\n".to_owned()), true),
             _ => (HttpResponse::not_found(), false),
@@ -1360,6 +1606,134 @@ mod tests {
         );
         // Drained members' frozen series stay on the scrape surface.
         assert!(fleet.snapshot_json().contains("engine=\\\"2\\\""));
+    }
+
+    /// An overloaded QoS fleet with the closed alerting loop on: 1 member
+    /// at ~2.5× saturation, burn threshold tuned under the 10 ms-round
+    /// ceiling (p999 ≤ round duration, so burn ≤ 200 permille of the 50 ms
+    /// LS target).
+    fn alerting_overload_fleet() -> FleetConfig {
+        let mut cfg = small_fleet(1);
+        for m in &mut cfg.members {
+            m.engine.qos = Some(crate::qos::QosConfig::paper_rig());
+            m.engine.arrivals = crate::sim::ArrivalModel::Poisson { rate_rps: 200_000.0 };
+        }
+        let mut template = cfg.members[0].clone();
+        template.engine.seed = ServeConfig::paper_rig(2).engine.seed;
+        let mut policy = FleetAlertPolicy::paper_rig(template);
+        policy.burn_threshold_permille = 100.0;
+        policy.max_members = 3;
+        cfg.alerting = Some(policy);
+        cfg
+    }
+
+    #[test]
+    fn burn_alert_scales_out_and_timeline_survives_mid_round_crash() {
+        silenced(|| {
+            let mut fleet = FleetSupervisor::new(alerting_overload_fleet());
+            for _ in 0..6 {
+                fleet.run_round();
+            }
+            // The burn alert fired and drove surge scale-out to the cap.
+            assert!(fleet.alerts().next_seq() > 0, "no alert transitions at 2.5× load");
+            let alerts = fleet.alerts_body(0);
+            assert!(alerts.contains(&format!("\"rule\": \"{FLEET_BURN_RULE}\"")), "{alerts}");
+            assert!(alerts.contains("\"transition\": \"firing\""), "{alerts}");
+            assert_eq!(fleet.members_live(), 3, "burn alert did not scale out");
+            let metrics = fleet.metrics_text();
+            assert!(metrics.contains("sfi_fleet_alert_scale_out_total 2"), "{metrics}");
+            // Recording-rule output rides /metrics, never /snapshot.
+            assert!(metrics.contains("sfi_fleet_goodput_permille"), "{metrics}");
+            assert!(!fleet.snapshot_json().contains("sfi_fleet_goodput_permille"));
+            // The federated store answers queries over member burn series.
+            let q = fleet
+                .query_body("avg_over_time(sfi_qos_slo_burn_permille{class=\"latency_sensitive\"}[2r])")
+                .unwrap();
+            assert!(q.contains("engine=\\\"0\\\""), "{q}");
+
+            // A mid-round crash recovered from checkpoint replays the same
+            // alert timeline, scale trajectory and modeled bytes.
+            let mut cfg = alerting_overload_fleet();
+            cfg.chaos = FaultPlan::new().engine_fail_at(0, 2, EngineFault::MidRoundPanic);
+            let mut crashed = FleetSupervisor::new(cfg);
+            for _ in 0..6 {
+                crashed.run_round();
+            }
+            assert_eq!(crashed.members()[0].restarts, 1, "the crash really happened");
+            assert_eq!(crashed.alerts_body(0), alerts, "crash bent the alert timeline");
+            assert_eq!(crashed.snapshot_json(), fleet.snapshot_json());
+            // The supervision ledger records the crash (faults, restarts)
+            // but the size trajectory is identical.
+            assert_eq!(crashed.members_live(), fleet.members_live());
+        });
+    }
+
+    #[test]
+    fn availability_alert_quarantines_failing_member_deterministically() {
+        let mk = || {
+            let mut cfg = small_fleet(2);
+            // One-shot polls: every injected hang is a failed poll.
+            cfg.retry = RetryPolicy::one_shot();
+            cfg.policy = QuarantinePolicy { ring_capacity: 2, max_faults: 10 };
+            let mut chaos = FaultPlan::new();
+            for r in 0..6 {
+                chaos = chaos.engine_fail_at(1, r, EngineFault::HangOnAccept);
+            }
+            cfg.chaos = chaos;
+            let mut policy = FleetAlertPolicy::paper_rig(ServeConfig::paper_rig(2));
+            policy.scale_out_on_burn = false;
+            cfg.alerting = Some(policy);
+            cfg
+        };
+        let mut fleet = FleetSupervisor::new(mk());
+        for _ in 0..6 {
+            fleet.run_round();
+        }
+        // Member 1's failed polls fired its availability series; the loop
+        // quarantined it. Member 0 (availability 1000) is untouched.
+        let status = fleet.members();
+        assert_eq!(status[1].state, MemberState::Retired);
+        assert_eq!(status[1].retire_reason, Some(RetireReason::Quarantined));
+        assert_eq!(status[0].state, MemberState::Live);
+        assert_eq!(status[0].retire_reason, None);
+        let alerts = fleet.alerts_body(0);
+        assert!(
+            alerts.contains(&format!("\"rule\": \"{MEMBER_AVAILABILITY_RULE}\"")),
+            "{alerts}"
+        );
+        assert!(alerts.contains("engine=\\\"1\\\""), "{alerts}");
+        let metrics = fleet.metrics_text();
+        assert!(metrics.contains("sfi_fleet_quarantines_total 1"), "{metrics}");
+        assert!(fleet.fleet_json().contains("\"retire_reason\": \"quarantined\""));
+        // The whole episode — alert log, supervision trace, member ledger —
+        // replays byte-identically.
+        let mut again = FleetSupervisor::new(mk());
+        for _ in 0..6 {
+            again.run_round();
+        }
+        assert_eq!(again.alerts_body(0), alerts);
+        assert_eq!(again.trace_batch(), fleet.trace_batch());
+        assert_eq!(again.fleet_json(), fleet.fleet_json());
+    }
+
+    #[test]
+    fn fleet_alert_and_query_hygiene() {
+        let mut fleet = FleetSupervisor::new(small_fleet(1));
+        fleet.run_round();
+        for path in ["/alerts?since=abc", "/trace?since=12x", "/query?expr=%Z1", "/query"] {
+            let req = HttpRequest::parse(&format!("GET {path} HTTP/1.1")).unwrap();
+            let (resp, _) = fleet.route(&req, 0.0);
+            assert_eq!(resp.status, 400, "{path} must 400: {}", resp.body);
+        }
+        let (resp, _) = fleet.route(&HttpRequest::parse("GET /alerts HTTP/1.1").unwrap(), 0.0);
+        assert_eq!((resp.status, resp.content_type), (200, "application/json"));
+        assert!(json_is_valid(resp.body.trim_end()), "{}", resp.body);
+        // Without an alerting policy the store is empty but the endpoints
+        // still answer well-formed bodies.
+        let (resp, _) = fleet
+            .route(&HttpRequest::parse("GET /query?expr=sfi_shard_completed_total HTTP/1.1").unwrap(), 0.0);
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"results\": []"), "{}", resp.body);
     }
 
     #[test]

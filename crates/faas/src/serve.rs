@@ -33,8 +33,9 @@ use std::time::Instant;
 
 use sfi_telemetry::{
     chrome_trace, chrome_trace_gap_line, chrome_trace_lines, json_snapshot, pack_span,
-    prometheus_text, BucketExemplars, CounterId, FlightRecorder, FoldedStacks, GaugeId,
-    HttpRequest, HttpResponse, Registry, Retention, SpanLevel, TraceEvent, TraceKind,
+    prometheus_text, AlertEngine, AlertRule, BucketExemplars, CompareOp, CounterId, Cursor,
+    FlightRecorder, FoldedStacks, GaugeId, HttpRequest, HttpResponse, RecordingRule, Registry,
+    Retention, RuleSource, SpanLevel, TraceEvent, TraceKind, Tsdb,
 };
 
 use crate::qos::SloClass;
@@ -44,6 +45,66 @@ use crate::FaasWorkload;
 
 /// The faas rig's virtual ticks are simulated nanoseconds.
 pub const NS_PER_TICK: f64 = 1.0;
+
+/// Rounds of history the in-memory tsdb retains per series (the ceiling on
+/// query windows; older samples age out per series, keeping the store
+/// bounded regardless of how long the engine serves).
+pub const TSDB_WINDOW: u64 = 64;
+
+/// Series-count admission bound of the tsdb. Excess series are dropped
+/// (counted honestly in `dropped_writes`) rather than growing without
+/// bound — cardinality explosions degrade queries, never the engine.
+pub const TSDB_MAX_SERIES: usize = 4096;
+
+/// Entries the bounded alert log retains (drops are reported in the
+/// `/alerts` cursor bookkeeping, mirroring the flight recorder).
+pub const ALERT_LOG_CAPACITY: usize = 1024;
+
+/// Burn-rate threshold (permille of the SLO target) both alert windows
+/// must breach: 1000 = observed p99.9 exactly at target.
+pub const BURN_ALERT_THRESHOLD: f64 = 1000.0;
+
+/// Shed-rate threshold in requests per round: sustained admission-control
+/// shedding at or above this rate alerts.
+pub const SHED_ALERT_THRESHOLD: f64 = 1.0;
+
+/// The default QoS rule set installed when the engine config enables QoS:
+/// per-class goodput recording rules (permille of offered requests
+/// completed over the trailing 8 rounds) plus the two paper-rig burn
+/// alerts — multi-window SLO burn on the latency-sensitive class and a
+/// per-class sustained shed-rate alert. Both alerts pair a 2-round fast
+/// window with an 8-round slow window and require one extra sustained
+/// evaluation (`for_rounds: 1`) so single-round blips stay silent.
+pub fn default_qos_rules(alerts: &mut AlertEngine) {
+    for class in SloClass::ALL {
+        alerts.add_recording(RecordingRule {
+            record: "sfi_qos_goodput_permille",
+            labels: vec![("class", class.name().to_owned())],
+            source: RuleSource::RatioPermille {
+                num: format!("increase(sfi_qos_completed_total{{class=\"{}\"}}[8r])", class.name()),
+                den: format!("increase(sfi_qos_offered_total{{class=\"{}\"}}[8r])", class.name()),
+            },
+        });
+    }
+    alerts.add_alert(AlertRule {
+        name: "slo_burn_ls",
+        fast: "avg_over_time(sfi_qos_slo_burn_permille{class=\"latency_sensitive\"}[2r])"
+            .to_owned(),
+        slow: "avg_over_time(sfi_qos_slo_burn_permille{class=\"latency_sensitive\"}[8r])"
+            .to_owned(),
+        op: CompareOp::Ge,
+        threshold: BURN_ALERT_THRESHOLD,
+        for_rounds: 1,
+    });
+    alerts.add_alert(AlertRule {
+        name: "shed_rate",
+        fast: "rate(sfi_qos_shed_total[2r])".to_owned(),
+        slow: "rate(sfi_qos_shed_total[8r])".to_owned(),
+        op: CompareOp::Ge,
+        threshold: SHED_ALERT_THRESHOLD,
+        for_rounds: 1,
+    });
+}
 
 /// Configuration for a serving engine.
 #[derive(Debug, Clone)]
@@ -87,6 +148,21 @@ pub fn round_seed(base: u64, round: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Renders one `/query` evaluation as deterministic JSON — shared by the
+/// per-engine and fleet scrape surfaces.
+pub fn render_query(expr: &str, round: u64, rows: &[(String, f64)]) -> String {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut body = format!("{{\"expr\": \"{}\", \"round\": {round}, \"results\": [", esc(expr));
+    for (i, (key, value)) in rows.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        body.push_str(&format!("{{\"series\": \"{}\", \"value\": {:.6}}}", esc(key), value));
+    }
+    body.push_str("]}\n");
+    body
+}
+
 /// Flattens per-core flight-recorder dumps onto one timeline: cores are
 /// chained in index order, then stably sorted by tick — ties keep core
 /// order, so the result is deterministic.
@@ -121,7 +197,7 @@ pub struct ServeEngine {
     /// Scrape bookkeeping: merged into `/metrics` output only, never into
     /// `/snapshot`, so serving has zero observer effect on modeled series.
     meta: Registry,
-    scrapes: [CounterId; 5],
+    scrapes: [CounterId; 7],
     /// Cumulative per-bucket latency exemplars (populated only when the
     /// engine config enables spans), served via `/profile`.
     exemplars: BucketExemplars,
@@ -132,6 +208,14 @@ pub struct ServeEngine {
     /// accumulate across rounds instead of tracking the current burn.
     burn: Registry,
     burn_ids: Option<[GaugeId; 3]>,
+    /// Bounded in-memory time-series store over the modeled and burn
+    /// registries, ingested once per round. Backs `/query` and the rule
+    /// engine; a pure function of `(config, rounds)` like everything else
+    /// modeled, so crash recovery replays it byte-identically.
+    tsdb: Tsdb,
+    /// Recording + alert rules evaluated once per round over the tsdb.
+    /// Its derived registry rides `/metrics` only, never `/snapshot`.
+    alerts: AlertEngine,
 }
 
 impl ServeEngine {
@@ -142,8 +226,12 @@ impl ServeEngine {
     pub fn new(cfg: ServeConfig) -> ServeEngine {
         let stream = FlightRecorder::with_retention(cfg.stream_capacity, Retention::PinFaults);
         let mut meta = Registry::new();
-        let scrapes = ["metrics", "snapshot", "trace", "healthz", "profile"]
+        let scrapes = ["metrics", "snapshot", "trace", "healthz", "profile", "alerts", "query"]
             .map(|ep| meta.counter_with("sfi_serve_scrapes_total", &[("endpoint", ep)]));
+        let mut alerts = AlertEngine::new(ALERT_LOG_CAPACITY);
+        if cfg.engine.qos.is_some() {
+            default_qos_rules(&mut alerts);
+        }
         let mut burn = Registry::new();
         let burn_ids = cfg.engine.qos.as_ref().map(|_| {
             SloClass::ALL.map(|c| {
@@ -165,6 +253,8 @@ impl ServeEngine {
             exemplars: BucketExemplars::new(),
             burn,
             burn_ids,
+            tsdb: Tsdb::new(TSDB_WINDOW, TSDB_MAX_SERIES),
+            alerts,
         }
     }
 
@@ -212,6 +302,22 @@ impl ServeEngine {
         self.occupancy = report.occupancy;
         self.rounds += 1;
         self.update_burn();
+        // Ingest this round's cumulative levels, then evaluate the rules.
+        // Each transition is mirrored into the stream as a `TraceKind::Alert`
+        // event at the round's closing tick (sandbox = rule index, arg =
+        // transition code) so alert history shows up on the trace timeline.
+        self.tsdb.ingest(self.rounds, &self.registry);
+        self.tsdb.ingest(self.rounds, &self.burn);
+        let end_tick = self.rounds * self.cfg.engine.duration_ms * 1_000_000;
+        for t in self.alerts.evaluate(self.rounds, &mut self.tsdb) {
+            self.stream.record(TraceEvent {
+                tick: end_tick,
+                core: 0,
+                sandbox: t.rule_idx as u64,
+                kind: TraceKind::Alert,
+                arg: t.transition.code(),
+            });
+        }
         report
     }
 
@@ -271,7 +377,43 @@ impl ServeEngine {
         let mut merged = self.registry.clone();
         merged.merge_from(&self.meta);
         merged.merge_from(&self.burn);
+        merged.merge_from(self.alerts.derived());
         prometheus_text(&merged)
+    }
+
+    /// The in-memory time-series store behind `/query` and the rule engine.
+    pub fn tsdb(&self) -> &Tsdb {
+        &self.tsdb
+    }
+
+    /// The rule engine behind `/alerts`.
+    pub fn alerts(&self) -> &AlertEngine {
+        &self.alerts
+    }
+
+    /// `/alerts?since=<cursor>`: active alert states plus the logged
+    /// transitions at or after `since` — deterministic JSON, byte-identical
+    /// across replays of the same `(config, rounds)`.
+    pub fn alerts_body(&self, since: u64) -> String {
+        let mut body = self.alerts.alerts_json(since);
+        body.push('\n');
+        body
+    }
+
+    /// `/query?expr=<urlencoded>`: evaluates one tsdb query expression
+    /// (`sel`, `rate(sel[Nr])`, `increase(sel[Nr])`, `avg_over_time`,
+    /// `max_over_time`) against the retained window. `Err` carries the
+    /// parse error for the 400 body.
+    pub fn query_body(&self, expr: &str) -> Result<String, String> {
+        let rows = self.tsdb.query(expr)?;
+        Ok(render_query(expr, self.tsdb.last_round(), &rows))
+    }
+
+    /// The per-class SLO burn gauge registry (empty without QoS). Exposed
+    /// so the fleet supervisor can fold member burn levels into its own
+    /// federated tsdb under `engine="<id>"` labels.
+    pub fn burn_registry(&self) -> &Registry {
+        &self.burn
     }
 
     /// The host-side cycle-attribution flamegraph of the cumulative run:
@@ -399,8 +541,11 @@ impl ServeEngine {
             }
             "/trace" => {
                 self.meta.inc(self.scrapes[2]);
-                let since = req.query_u64("since").unwrap_or(0);
-                (HttpResponse::json(self.trace_body(since)), false)
+                match req.cursor("since") {
+                    Cursor::Absent => (HttpResponse::json(self.trace_body(0)), false),
+                    Cursor::At(since) => (HttpResponse::json(self.trace_body(since)), false),
+                    Cursor::Malformed => (HttpResponse::bad_request("malformed since cursor"), false),
+                }
             }
             "/healthz" => {
                 self.meta.inc(self.scrapes[3]);
@@ -409,6 +554,27 @@ impl ServeEngine {
             "/profile" => {
                 self.meta.inc(self.scrapes[4]);
                 (HttpResponse::json(self.profile_body()), false)
+            }
+            "/alerts" => {
+                self.meta.inc(self.scrapes[5]);
+                match req.cursor("since") {
+                    Cursor::Absent => (HttpResponse::json(self.alerts_body(0)), false),
+                    Cursor::At(since) => (HttpResponse::json(self.alerts_body(since)), false),
+                    Cursor::Malformed => (HttpResponse::bad_request("malformed since cursor"), false),
+                }
+            }
+            "/query" => {
+                self.meta.inc(self.scrapes[6]);
+                let Some(raw) = req.query_str("expr") else {
+                    return (HttpResponse::bad_request("missing expr parameter"), false);
+                };
+                let Some(expr) = sfi_telemetry::percent_decode(raw) else {
+                    return (HttpResponse::bad_request("malformed percent-encoding"), false);
+                };
+                match self.query_body(&expr) {
+                    Ok(body) => (HttpResponse::json(body), false),
+                    Err(e) => (HttpResponse::bad_request(&e), false),
+                }
             }
             "/quit" => (HttpResponse::ok("text/plain", "bye\n".to_owned()), true),
             _ => (HttpResponse::not_found(), false),
@@ -556,6 +722,71 @@ mod tests {
             (eng.profile_body(), eng.snapshot_json())
         };
         assert_eq!(rebuild(0), rebuild(3), "profile scrapes must not perturb modeled state");
+    }
+
+    #[test]
+    fn alerts_and_query_endpoints_serve_the_tsdb() {
+        use crate::qos::QosConfig;
+        use sfi_telemetry::json_is_valid;
+        let mk = || {
+            let mut cfg = small_cfg();
+            cfg.engine.qos = Some(QosConfig::paper_rig());
+            cfg
+        };
+        let mut eng = ServeEngine::new(mk());
+        for _ in 0..3 {
+            eng.run_round();
+        }
+
+        // The store saw the modeled registry: counters, burn gauges, and
+        // the goodput recording-rule outputs are all queryable.
+        assert!(eng.tsdb().series_count() > 0);
+        let burn = eng.query_body("sfi_qos_slo_burn_permille").unwrap();
+        assert!(burn.contains("latency_sensitive"), "{burn}");
+        let good = eng.query_body("sfi_qos_goodput_permille").unwrap();
+        assert!(good.contains("\"results\": [{"), "{good}");
+
+        let (resp, _) = eng.route(&HttpRequest::parse("GET /alerts HTTP/1.1").unwrap(), 0.0);
+        assert_eq!((resp.status, resp.content_type), (200, "application/json"));
+        assert!(json_is_valid(resp.body.trim_end()), "{}", resp.body);
+        assert!(resp.body.contains("\"states\""), "{}", resp.body);
+        let (resp, _) = eng
+            .route(&HttpRequest::parse("GET /query?expr=rate(sfi_shard_completed_total[4r]) HTTP/1.1").unwrap(), 0.0);
+        assert_eq!(resp.status, 200);
+        assert!(json_is_valid(resp.body.trim_end()), "{}", resp.body);
+        assert!(resp.body.contains("\"value\""), "{}", resp.body);
+
+        // Hygiene: malformed cursors and expressions answer 400, not 200.
+        for path in [
+            "/alerts?since=abc",
+            "/trace?since=-1",
+            "/query?expr=%ZZ",
+            "/query",
+            "/query?expr=rate(sfi_shard_completed_total[0r)",
+        ] {
+            let req = HttpRequest::parse(&format!("GET {path} HTTP/1.1")).unwrap();
+            let (resp, _) = eng.route(&req, 0.0);
+            assert_eq!(resp.status, 400, "{path} must 400: {}", resp.body);
+        }
+
+        // Derived goodput gauges ride /metrics, never the modeled snapshot.
+        assert!(eng.metrics_text().contains("sfi_qos_goodput_permille"));
+        assert!(!eng.snapshot_json().contains("sfi_qos_goodput_permille"));
+
+        // Alert/query scraping is observer-effect-free and the alert state
+        // replays byte-identically from (config, rounds).
+        let rebuild = |scrapes: u32| {
+            let mut eng = ServeEngine::new(mk());
+            for _ in 0..3 {
+                eng.run_round();
+                for _ in 0..scrapes {
+                    let _ = eng.alerts_body(0);
+                    let _ = eng.query_body("sfi_qos_slo_burn_permille").unwrap();
+                }
+            }
+            (eng.alerts_body(0), eng.snapshot_json(), eng.trace_batch())
+        };
+        assert_eq!(rebuild(0), rebuild(4), "alert scrapes perturbed modeled state");
     }
 
     #[test]

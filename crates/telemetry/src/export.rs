@@ -4,15 +4,22 @@
 //! precision — so same-seed runs export byte-identical artifacts and the
 //! snapshots embedded in `BENCH_*.json` diff cleanly.
 
+use crate::histogram::{CycleHistogram, HISTOGRAM_BUCKETS};
 use crate::recorder::{TraceEvent, TraceKind};
 use crate::registry::Registry;
 use crate::span::unpack_span;
 
 /// Renders the registry in the Prometheus text exposition format:
 /// `# TYPE` headers, series sorted by key, label values escaped. Histograms
-/// export their count, sum and nearest-rank p50/p95/p99 as `_count`,
-/// `_sum`, and `{quantile="…"}` series (summary-style — fixed buckets stay
-/// internal).
+/// export Prometheus-conformant cumulative `_bucket{le="…"}` series (one
+/// per occupied power-of-two bucket up to the recorded maximum, plus
+/// `le="+Inf"`), the nearest-rank p50/p95/p99 as `{quantile="…"}` series,
+/// and `_sum`/`_count` — the pair that makes `rate(sum)/rate(count)`
+/// window means computable by the tsdb ([`crate::tsdb::Tsdb::ingest`]).
+///
+/// The exact byte layout is pinned by a golden test: a change here is a
+/// deliberate, test-updating event, never an accident — the serve/fleet
+/// `--check` byte-identity gates depend on that.
 pub fn prometheus_text(r: &Registry) -> String {
     let mut out = String::new();
     for (key, v) in r.sorted_counters() {
@@ -25,7 +32,20 @@ pub fn prometheus_text(r: &Registry) -> String {
     }
     for (key, h) in r.sorted_histograms() {
         let name = base_name(&key);
-        out.push_str(&format!("# TYPE {name} summary\n"));
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let bucket_key = format!("{name}_bucket{}", label_suffix(&key));
+        let mut cum = 0u64;
+        if h.count() > 0 {
+            // Buckets up to the one holding the recorded max; everything
+            // above is redundant with +Inf and stays un-emitted.
+            let top = CycleHistogram::bucket_of(h.max()).min(HISTOGRAM_BUCKETS - 2);
+            for (i, &c) in h.buckets().iter().enumerate().take(top + 1) {
+                cum += c;
+                let le = CycleHistogram::bucket_upper_bound(i).to_string();
+                out.push_str(&format!("{} {cum}\n", with_label(&bucket_key, "le", &le)));
+            }
+        }
+        out.push_str(&format!("{} {}\n", with_label(&bucket_key, "le", "+Inf"), h.count()));
         for (q, v) in [("0.5", h.p50()), ("0.95", h.p95()), ("0.99", h.p99())] {
             out.push_str(&format!("{} {v}\n", with_label(&key, "quantile", q)));
         }
@@ -325,9 +345,13 @@ mod tests {
         assert!(text.contains("# TYPE sfi_transitions_total counter\n"));
         assert!(text.contains("sfi_transitions_total{kind=\"wrpkru\"} 42\n"));
         assert!(text.contains("# TYPE sfi_pool_slots_in_use gauge\nsfi_pool_slots_in_use 7\n"));
+        assert!(text.contains("# TYPE sfi_transition_cycles histogram\n"));
         assert!(text.contains("sfi_transition_cycles{quantile=\"0.5\"}"));
         assert!(text.contains("sfi_transition_cycles_count 5\n"));
         assert!(text.contains("sfi_transition_cycles_sum 1166\n"));
+        // Cumulative bucket series: monotone, capped by +Inf = count.
+        assert!(text.contains("sfi_transition_cycles_bucket{le=\"+Inf\"} 5\n"), "{text}");
+        assert!(text.contains("sfi_transition_cycles_bucket{le=\"127\"} 4\n"), "{text}");
     }
 
     #[test]
@@ -338,6 +362,45 @@ mod tests {
         let text = prometheus_text(&r);
         assert!(text.contains("sfi_h{quantile=\"0.5\",core=\"0\"} 5\n"), "{text}");
         assert!(text.contains("sfi_h_count{core=\"0\"} 1\n"), "{text}");
+        assert!(text.contains("sfi_h_bucket{le=\"7\",core=\"0\"} 1\n"), "{text}");
+        assert!(text.contains("sfi_h_bucket{le=\"+Inf\",core=\"0\"} 1\n"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_text_golden_layout_is_deliberate() {
+        // The full exposition layout, byte for byte. The serve/fleet
+        // `--check` gates byte-compare `/metrics` bodies; if this test
+        // needs updating, those artifacts change too — update both in the
+        // same commit or not at all.
+        let mut r = Registry::new();
+        let c = r.counter("sfi_g_total");
+        let h = r.histogram("sfi_h");
+        r.add(c, 3);
+        for v in [0u64, 1, 5] {
+            r.observe(h, v);
+        }
+        assert_eq!(
+            prometheus_text(&r),
+            "# TYPE sfi_g_total counter\n\
+             sfi_g_total 3\n\
+             # TYPE sfi_h histogram\n\
+             sfi_h_bucket{le=\"0\"} 1\n\
+             sfi_h_bucket{le=\"1\"} 2\n\
+             sfi_h_bucket{le=\"3\"} 2\n\
+             sfi_h_bucket{le=\"7\"} 3\n\
+             sfi_h_bucket{le=\"+Inf\"} 3\n\
+             sfi_h{quantile=\"0.5\"} 1\n\
+             sfi_h{quantile=\"0.95\"} 5\n\
+             sfi_h{quantile=\"0.99\"} 5\n\
+             sfi_h_sum 6\n\
+             sfi_h_count 3\n"
+        );
+        // An empty histogram still exports a well-formed +Inf bucket.
+        let mut e = Registry::new();
+        e.histogram("sfi_empty");
+        let text = prometheus_text(&e);
+        assert!(text.contains("sfi_empty_bucket{le=\"+Inf\"} 0\n"), "{text}");
+        assert!(!text.contains("le=\"0\""), "no per-bucket lines for an empty histogram");
     }
 
     #[test]

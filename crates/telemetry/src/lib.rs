@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alert;
 mod clock;
 pub mod export;
 mod histogram;
@@ -49,7 +50,12 @@ mod recorder;
 mod registry;
 pub mod server;
 pub mod span;
+pub mod tsdb;
 
+pub use alert::{
+    AlertEngine, AlertEvent, AlertRule, AlertState, AlertTransition, CompareOp, RecordingRule,
+    RuleSource,
+};
 pub use clock::VirtualClock;
 pub use export::{
     chrome_trace, chrome_trace_gap_line, chrome_trace_line, chrome_trace_lines,
@@ -63,6 +69,8 @@ pub use registry::{
     CounterId, GaugeId, HistogramId, Registry, RegistryError, SampledCounterId,
 };
 pub use server::{
-    http_get, http_get_retry, http_get_retry_with_timeout, http_get_with_timeout, retry_with,
-    serve, HttpRequest, HttpResponse, RetryPolicy,
+    http_get, http_get_detailed, http_get_retry, http_get_retry_with_timeout,
+    http_get_with_timeout, percent_decode, retry_with, serve, Cursor, HttpRequest, HttpResponse,
+    RetryPolicy,
 };
+pub use tsdb::{QueryExpr, SampleKind, Selector, Tsdb};

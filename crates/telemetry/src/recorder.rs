@@ -33,6 +33,12 @@ pub enum TraceKind {
     /// and a level-specific detail (see [`crate::span`]). Exported as
     /// chrome-trace flow events.
     Flow,
+    /// An alert state-machine transition ([`crate::alert`]): `sandbox`
+    /// carries the rule index and `arg` the transition code
+    /// ([`crate::alert::AlertTransition::code`]). The bounded alert log is
+    /// the primary record; these ride the normal ring for timeline
+    /// correlation and are *not* fault-pinned.
+    Alert,
 }
 
 impl TraceKind {
@@ -49,6 +55,7 @@ impl TraceKind {
             TraceKind::Shed => "shed",
             TraceKind::Promote => "promote",
             TraceKind::Flow => "flow",
+            TraceKind::Alert => "alert",
         }
     }
 
@@ -73,12 +80,13 @@ impl TraceKind {
             TraceKind::Shed => 7,
             TraceKind::Promote => 8,
             TraceKind::Flow => 9,
+            TraceKind::Alert => 10,
         }
     }
 }
 
 /// Number of [`TraceKind`] variants (per-kind counter array size).
-pub(crate) const TRACE_KINDS: usize = 10;
+pub(crate) const TRACE_KINDS: usize = 11;
 
 /// How a full [`FlightRecorder`] decides what to evict.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

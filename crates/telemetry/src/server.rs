@@ -62,10 +62,71 @@ impl HttpRequest {
     }
 
     /// The first query parameter named `key`, parsed as `u64` (the shape
-    /// every cursor parameter uses).
+    /// every cursor parameter uses). Conflates "absent" and "malformed"
+    /// into `None`; endpoints that must answer `400` on malformed cursors
+    /// use [`HttpRequest::cursor`] instead.
     pub fn query_u64(&self, key: &str) -> Option<u64> {
         self.query.iter().find(|(k, _)| k == key).and_then(|(_, v)| v.parse().ok())
     }
+
+    /// The first query parameter named `key`, raw (undecoded).
+    pub fn query_str(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Strict cursor parsing for `?since=`-style parameters: distinguishes
+    /// an absent parameter (callers default to 0) from a present-but-
+    /// malformed one (callers answer `400` instead of silently restarting
+    /// the stream from the beginning, which is what `unwrap_or(0)` over
+    /// [`HttpRequest::query_u64`] used to do).
+    pub fn cursor(&self, key: &str) -> Cursor {
+        match self.query.iter().find(|(k, _)| k == key) {
+            None => Cursor::Absent,
+            Some((_, v)) => match v.parse() {
+                Ok(n) => Cursor::At(n),
+                Err(_) => Cursor::Malformed,
+            },
+        }
+    }
+}
+
+/// A strictly parsed cursor parameter; see [`HttpRequest::cursor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cursor {
+    /// The parameter was not present: stream from the start.
+    Absent,
+    /// A well-formed cursor value.
+    At(u64),
+    /// Present but not a `u64`: the request is malformed (`400`).
+    Malformed,
+}
+
+/// Decodes `%XX` percent-escapes (and `+` as space) in a query-string
+/// value. Returns `None` on truncated or non-hex escapes or invalid UTF-8 —
+/// malformed input is the caller's `400`, not a silent pass-through.
+pub fn percent_decode(s: &str) -> Option<String> {
+    let b = s.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'%' => {
+                let hi = (*b.get(i + 1)? as char).to_digit(16)?;
+                let lo = (*b.get(i + 2)? as char).to_digit(16)?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
 }
 
 /// An HTTP response ready to serialize.
@@ -238,6 +299,46 @@ pub fn http_get_with_timeout(
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
     Ok((status, body.to_owned()))
+}
+
+/// [`http_get_with_timeout`], but returning the response's `Content-Type`
+/// header alongside status and body: `(status, content_type, body)`. The
+/// per-endpoint content-type contract (`text/plain; version=0.0.4` for
+/// `/metrics`, `application/json` for the JSON surfaces) is part of the
+/// serving API, and loopback tests assert it through this client.
+pub fn http_get_detailed(
+    addr: &str,
+    path: &str,
+    timeout: Duration,
+) -> std::io::Result<(u16, String, String)> {
+    use std::net::ToSocketAddrs;
+    let sock = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+    let mut stream = TcpStream::connect_timeout(&sock, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header break"))?;
+    let status = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let content_type = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-type").then(|| value.trim().to_owned())
+        })
+        .unwrap_or_default();
+    Ok((status, content_type, body.to_owned()))
 }
 
 /// A bounded, deterministic retry schedule for scrape clients and
@@ -528,6 +629,54 @@ mod tests {
         drop(gone);
         let tiny = RetryPolicy { max_attempts: 2, backoff_base_ms: 1, backoff_cap_ms: 1 };
         assert!(http_get_retry(&gone_addr, "/", &tiny).is_err());
+    }
+
+    #[test]
+    fn strict_cursors_distinguish_absent_from_malformed() {
+        let r = HttpRequest::parse("GET /trace?since=42 HTTP/1.1").unwrap();
+        assert_eq!(r.cursor("since"), Cursor::At(42));
+        assert_eq!(r.cursor("other"), Cursor::Absent);
+        for bad in ["since=x", "since=-1", "since=", "since=1.5", "since=99999999999999999999"] {
+            let r = HttpRequest::parse(&format!("GET /trace?{bad} HTTP/1.1")).unwrap();
+            assert_eq!(r.cursor("since"), Cursor::Malformed, "{bad}");
+        }
+        // query_u64 keeps its lenient legacy shape for non-cursor callers.
+        assert_eq!(r.query_u64("since"), Some(42));
+    }
+
+    #[test]
+    fn percent_decoding_round_trips_query_exprs() {
+        assert_eq!(
+            percent_decode("rate(sfi_x_total%7Bclass%3D%22ls%22%7D%5B4r%5D)").as_deref(),
+            Some("rate(sfi_x_total{class=\"ls\"}[4r])")
+        );
+        assert_eq!(percent_decode("a+b%20c").as_deref(), Some("a b c"));
+        assert_eq!(percent_decode("plain").as_deref(), Some("plain"));
+        for bad in ["%", "%2", "%zz", "%ff%fe"] {
+            assert!(percent_decode(bad).is_none(), "{bad:?} decoded");
+        }
+    }
+
+    #[test]
+    fn detailed_get_surfaces_content_type() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            serve(&listener, |req| match req.path.as_str() {
+                "/metrics" => (HttpResponse::prometheus("m 1\n".to_owned()), false),
+                "/alerts" => (HttpResponse::json("{}".to_owned()), false),
+                _ => (HttpResponse::not_found(), true),
+            })
+            .unwrap();
+        });
+        let (status, ct, body) =
+            http_get_detailed(&addr, "/metrics", Duration::from_secs(5)).unwrap();
+        assert_eq!((status, ct.as_str(), body.as_str()), (200, "text/plain; version=0.0.4", "m 1\n"));
+        let (status, ct, _) = http_get_detailed(&addr, "/alerts", Duration::from_secs(5)).unwrap();
+        assert_eq!((status, ct.as_str()), (200, "application/json"));
+        let (status, ct, _) = http_get_detailed(&addr, "/quit", Duration::from_secs(5)).unwrap();
+        assert_eq!((status, ct.as_str()), (404, "text/plain"));
+        server.join().unwrap();
     }
 
     #[test]

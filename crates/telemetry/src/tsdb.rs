@@ -1,0 +1,620 @@
+//! A deterministic, allocation-bounded in-memory time-series store.
+//!
+//! The registries ([`crate::Registry`]) hold *current* cumulative values;
+//! nothing in the stack remembers how a series moved. This module closes
+//! that gap: a [`Tsdb`] ingests one registry snapshot per engine round (the
+//! round index is the time axis — the virtual clock's coarse grid, never
+//! wall time) and keeps a bounded ring of recent samples per series, enough
+//! to answer the windowed queries the alert engine ([`crate::alert`])
+//! evaluates: counter-reset-safe `increase()`/`rate()`, gauge
+//! `avg_over_time`/`max_over_time`, and label-selector matching over the
+//! registry's own series-key syntax.
+//!
+//! Determinism and bounds are the contract (DESIGN.md §15):
+//!
+//! - Everything stored and everything computed is a pure function of the
+//!   ingested `(round, Registry)` sequence — re-running the same rounds
+//!   rebuilds an identical store, which is how checkpoint-replay crash
+//!   recovery reconstructs alert state byte-for-byte.
+//! - Memory is bounded by construction: at most `max_series` series are
+//!   admitted (later series are dropped, deterministically, and counted in
+//!   [`Tsdb::dropped_writes`]), and each series retains at most
+//!   `window + 1` samples (the `+1` keeps one pre-window baseline so a
+//!   full-window `increase` has an anchor).
+//! - Window math is done in `i128`, so `u64`-boundary counter values and
+//!   resets can never overflow or go negative; `increase` is the
+//!   Prometheus-style sum of non-negative deltas where a decrease is read
+//!   as a counter reset (the restarted counter contributes its new value).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::registry::Registry;
+
+/// What a series' samples mean: cumulative monotone readings (counters,
+/// histogram `_sum`/`_count` derivations) or instantaneous levels (gauges).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleKind {
+    /// Cumulative, monotone-except-resets. Queried with `rate`/`increase`.
+    Counter,
+    /// Instantaneous level. Queried with `avg_over_time`/`max_over_time`.
+    Gauge,
+}
+
+#[derive(Debug, Clone)]
+struct SeriesBuf {
+    kind: SampleKind,
+    /// `(round, value)` in round order. Counters are `u64` widened, gauges
+    /// `i64` widened; `i128` holds both exactly and window sums of either.
+    samples: VecDeque<(u64, i128)>,
+    /// Round of the series' first-ever sample: a series born inside the
+    /// query window gets baseline 0 (counters start from zero), while a
+    /// series whose pre-window samples were merely evicted gets the oldest
+    /// retained sample as a clamped baseline.
+    first_round: u64,
+}
+
+/// A parsed label selector over registry series keys: `name` or
+/// `name{k="v",...}` with the registry's own escaping rules
+/// ([`crate::registry::escape_label_value`]). A selector matches a series
+/// when the names are equal and every selector label is present on the
+/// series with an equal (unescaped) value; series labels not mentioned by
+/// the selector are unconstrained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selector {
+    /// The metric name (exact match).
+    pub name: String,
+    /// Required labels, unescaped values.
+    pub labels: Vec<(String, String)>,
+}
+
+/// Parses the `k="v",...` interior of a label set, honouring the registry's
+/// escapes (`\\`, `\"`, `\n`). Returns `None` on malformed input.
+fn parse_labels(inner: &str) -> Option<Vec<(String, String)>> {
+    let chars: Vec<char> = inner.chars().collect();
+    let mut labels = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let start = i;
+        while i < chars.len() && chars[i] != '=' {
+            i += 1;
+        }
+        if i >= chars.len() {
+            return None;
+        }
+        let key: String = chars[start..i].iter().collect::<String>().trim().to_owned();
+        if key.is_empty() {
+            return None;
+        }
+        i += 1; // '='
+        if i >= chars.len() || chars[i] != '"' {
+            return None;
+        }
+        i += 1; // opening quote
+        let mut value = String::new();
+        loop {
+            if i >= chars.len() {
+                return None;
+            }
+            match chars[i] {
+                '\\' => {
+                    i += 1;
+                    match chars.get(i)? {
+                        '\\' => value.push('\\'),
+                        '"' => value.push('"'),
+                        'n' => value.push('\n'),
+                        _ => return None,
+                    }
+                }
+                '"' => break,
+                c => value.push(c),
+            }
+            i += 1;
+        }
+        i += 1; // closing quote
+        if i < chars.len() {
+            if chars[i] != ',' {
+                return None;
+            }
+            i += 1;
+            if i >= chars.len() {
+                return None; // trailing comma
+            }
+        }
+        labels.push((key, value));
+    }
+    Some(labels)
+}
+
+/// Splits a series key into `(name, label-interior)`; the interior is `""`
+/// for a labelless key. Returns `None` when braces are unbalanced.
+fn split_key(key: &str) -> Option<(&str, &str)> {
+    match key.find('{') {
+        None => Some((key, "")),
+        Some(i) => {
+            let inner = key[i..].strip_prefix('{')?.strip_suffix('}')?;
+            Some((&key[..i], inner))
+        }
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+impl Selector {
+    /// Parses a selector (`name` or `name{k="v",...}`).
+    pub fn parse(s: &str) -> Result<Selector, String> {
+        let s = s.trim();
+        let (name, inner) = split_key(s).ok_or_else(|| format!("unbalanced braces in selector {s:?}"))?;
+        if !valid_metric_name(name) {
+            return Err(format!("invalid metric name in selector {s:?}"));
+        }
+        let labels = if inner.is_empty() {
+            Vec::new()
+        } else {
+            parse_labels(inner).ok_or_else(|| format!("malformed labels in selector {s:?}"))?
+        };
+        Ok(Selector { name: name.to_owned(), labels })
+    }
+
+    /// Whether this selector matches a registry series key.
+    pub fn matches(&self, key: &str) -> bool {
+        let Some((name, inner)) = split_key(key) else { return false };
+        if name != self.name {
+            return false;
+        }
+        if self.labels.is_empty() {
+            return true;
+        }
+        let Some(series_labels) = (if inner.is_empty() { Some(Vec::new()) } else { parse_labels(inner) })
+        else {
+            return false;
+        };
+        self.labels
+            .iter()
+            .all(|(k, v)| series_labels.iter().any(|(sk, sv)| sk == k && sv == v))
+    }
+}
+
+/// A windowed query function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Func {
+    Latest,
+    Rate,
+    Increase,
+    AvgOverTime,
+    MaxOverTime,
+}
+
+/// One parsed `/query?expr=` expression: `sel`, `rate(sel[Nr])`,
+/// `increase(sel[Nr])`, `avg_over_time(sel[Nr])` or `max_over_time(sel[Nr])`
+/// — windows are measured in rounds (`r`), parsed as a signed integer and
+/// clamped to at least 1 (the zero/negative-window guard rail).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryExpr {
+    func: Func,
+    sel: Selector,
+    window: u64,
+}
+
+impl QueryExpr {
+    /// Parses a query expression; see the type docs for the grammar.
+    pub fn parse(expr: &str) -> Result<QueryExpr, String> {
+        let e = expr.trim();
+        for (fname, func) in [
+            ("rate", Func::Rate),
+            ("increase", Func::Increase),
+            ("avg_over_time", Func::AvgOverTime),
+            ("max_over_time", Func::MaxOverTime),
+        ] {
+            if let Some(rest) = e.strip_prefix(fname) {
+                let rest = rest.trim_start();
+                if let Some(inner) = rest.strip_prefix('(') {
+                    let inner = inner
+                        .trim_end()
+                        .strip_suffix(')')
+                        .ok_or_else(|| format!("missing ')' in {e:?}"))?
+                        .trim();
+                    let open = inner
+                        .rfind('[')
+                        .ok_or_else(|| format!("missing [Nr] window in {e:?}"))?;
+                    let win = inner[open..]
+                        .strip_prefix('[')
+                        .and_then(|w| w.strip_suffix(']'))
+                        .and_then(|w| w.trim().strip_suffix('r'))
+                        .ok_or_else(|| format!("window must be [Nr] in {e:?}"))?;
+                    let n: i64 = win
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("non-integer window {win:?} in {e:?}"))?;
+                    let window = if n < 1 { 1 } else { n as u64 };
+                    let sel = Selector::parse(&inner[..open])?;
+                    return Ok(QueryExpr { func, sel, window });
+                }
+            }
+        }
+        Ok(QueryExpr { func: Func::Latest, sel: Selector::parse(e)?, window: 1 })
+    }
+}
+
+/// The deterministic in-memory time-series store. See the module docs for
+/// the determinism/bounds contract.
+#[derive(Debug, Clone)]
+pub struct Tsdb {
+    window: u64,
+    max_series: usize,
+    series: BTreeMap<String, SeriesBuf>,
+    dropped_writes: u64,
+    last_round: u64,
+}
+
+impl Tsdb {
+    /// A store retaining up to `window` rounds of history per series (plus
+    /// one baseline sample) for at most `max_series` series. A zero window
+    /// clamps to 1.
+    pub fn new(window: u64, max_series: usize) -> Tsdb {
+        Tsdb {
+            window: window.max(1),
+            max_series,
+            series: BTreeMap::new(),
+            dropped_writes: 0,
+            last_round: 0,
+        }
+    }
+
+    /// The configured per-series window, in rounds.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Number of admitted series.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Sample writes dropped by the `max_series` bound so far (one per
+    /// rejected write, so a persistently over-budget ingest keeps counting).
+    pub fn dropped_writes(&self) -> u64 {
+        self.dropped_writes
+    }
+
+    /// The most recent ingested round (0 before any ingest).
+    pub fn last_round(&self) -> u64 {
+        self.last_round
+    }
+
+    fn store(&mut self, key: &str, kind: SampleKind, round: u64, value: i128) {
+        self.last_round = self.last_round.max(round);
+        let cap = (self.window + 1) as usize;
+        match self.series.get_mut(key) {
+            Some(buf) => {
+                // Same-round re-ingest overwrites (idempotent within a round).
+                if let Some(back) = buf.samples.back_mut() {
+                    if back.0 == round {
+                        back.1 = value;
+                        return;
+                    }
+                }
+                buf.samples.push_back((round, value));
+                while buf.samples.len() > cap {
+                    buf.samples.pop_front();
+                }
+            }
+            None => {
+                if self.series.len() >= self.max_series {
+                    self.dropped_writes += 1;
+                    return;
+                }
+                let mut samples = VecDeque::with_capacity(cap.min(64));
+                samples.push_back((round, value));
+                self.series
+                    .insert(key.to_owned(), SeriesBuf { kind, samples, first_round: round });
+            }
+        }
+    }
+
+    /// Stores one counter sample (cumulative reading) under a series key.
+    pub fn store_counter(&mut self, key: &str, round: u64, value: u64) {
+        self.store(key, SampleKind::Counter, round, value as i128);
+    }
+
+    /// Stores one gauge sample (instantaneous level) under a series key.
+    pub fn store_gauge(&mut self, key: &str, round: u64, value: i64) {
+        self.store(key, SampleKind::Gauge, round, value as i128);
+    }
+
+    /// Ingests one registry snapshot at `round`: every counter and gauge
+    /// series, plus derived `<name>_sum`/`<name>_count` counter series for
+    /// every histogram — the Prometheus-conformant pair that makes
+    /// `rate(sum)/rate(count)` window means computable from the store.
+    pub fn ingest(&mut self, round: u64, r: &Registry) {
+        for (key, v) in r.sorted_counters() {
+            self.store_counter(&key, round, v);
+        }
+        for (key, v) in r.sorted_gauges() {
+            self.store_gauge(&key, round, v);
+        }
+        for (key, h) in r.sorted_histograms() {
+            let (name, rest) = match key.find('{') {
+                Some(i) => (&key[..i], &key[i..]),
+                None => (key.as_str(), ""),
+            };
+            let sum = h.sum();
+            let count = h.count();
+            self.store_counter(&format!("{name}_sum{rest}"), round, sum);
+            self.store_counter(&format!("{name}_count{rest}"), round, count);
+        }
+    }
+
+    /// Counter increase over the trailing `window` rounds, per matching
+    /// series: the sum of non-negative sample deltas, reading a decrease as
+    /// a counter reset (the restarted counter contributes its post-reset
+    /// value). Computed in `i128`: never negative, never overflows at `u64`
+    /// boundaries. Gauge series are skipped.
+    pub fn increase(&self, sel: &Selector, window: u64) -> Vec<(String, f64)> {
+        self.eval(Func::Increase, sel, window)
+    }
+
+    /// [`Tsdb::increase`] divided by the window: a per-round rate.
+    pub fn rate(&self, sel: &Selector, window: u64) -> Vec<(String, f64)> {
+        self.eval(Func::Rate, sel, window)
+    }
+
+    /// Mean gauge level over the trailing `window` rounds, per matching
+    /// series. Counter series are skipped; series with no sample in the
+    /// window emit nothing.
+    pub fn avg_over_time(&self, sel: &Selector, window: u64) -> Vec<(String, f64)> {
+        self.eval(Func::AvgOverTime, sel, window)
+    }
+
+    /// Maximum gauge level over the trailing `window` rounds.
+    pub fn max_over_time(&self, sel: &Selector, window: u64) -> Vec<(String, f64)> {
+        self.eval(Func::MaxOverTime, sel, window)
+    }
+
+    /// The most recent sample of each matching series, any kind.
+    pub fn latest(&self, sel: &Selector) -> Vec<(String, f64)> {
+        self.eval(Func::Latest, sel, 1)
+    }
+
+    /// Evaluates a parsed or textual query expression (see [`QueryExpr`]).
+    pub fn query(&self, expr: &str) -> Result<Vec<(String, f64)>, String> {
+        let q = QueryExpr::parse(expr)?;
+        Ok(self.eval(q.func, &q.sel, q.window))
+    }
+
+    fn eval(&self, func: Func, sel: &Selector, window: u64) -> Vec<(String, f64)> {
+        // Guard rails: zero/negative windows were clamped at parse; clamp
+        // here too (for direct calls) and never exceed the retained window.
+        let w = window.clamp(1, self.window);
+        let mut out = Vec::new();
+        for (key, buf) in &self.series {
+            if !sel.matches(key) {
+                continue;
+            }
+            let value = match (func, buf.kind) {
+                (Func::Latest, _) => buf.samples.back().map(|(_, v)| *v as f64),
+                (Func::Increase, SampleKind::Counter) => Some(self.increase_for(buf, w)),
+                (Func::Rate, SampleKind::Counter) => Some(self.increase_for(buf, w) / w as f64),
+                (Func::AvgOverTime, SampleKind::Gauge) => self.window_gauge(buf, w).map(|(sum, n, _)| sum as f64 / n as f64),
+                (Func::MaxOverTime, SampleKind::Gauge) => self.window_gauge(buf, w).map(|(_, _, max)| max as f64),
+                _ => None, // kind mismatch: counter-only or gauge-only function
+            };
+            if let Some(v) = value {
+                out.push((key.clone(), v));
+            }
+        }
+        out
+    }
+
+    /// Reset-safe increase over the trailing `w` rounds of one series.
+    fn increase_for(&self, buf: &SeriesBuf, w: u64) -> f64 {
+        let cut = self.last_round.saturating_sub(w);
+        // Baseline: the newest sample at or before the window start. A
+        // series born inside the window anchors at 0 (counters start from
+        // zero); a series whose baseline was evicted anchors at its oldest
+        // retained sample (clamped window, honest underestimate).
+        let mut prev: Option<i128> = if buf.first_round > cut { Some(0) } else { None };
+        let mut inc: i128 = 0;
+        for &(round, v) in &buf.samples {
+            if round <= cut {
+                prev = Some(v);
+                continue;
+            }
+            match prev {
+                None => prev = Some(v), // evicted baseline: anchor here
+                Some(p) => {
+                    inc += if v >= p { v - p } else { v };
+                    prev = Some(v);
+                }
+            }
+        }
+        inc as f64
+    }
+
+    /// `(sum, count, max)` over the in-window samples of a gauge series.
+    fn window_gauge(&self, buf: &SeriesBuf, w: u64) -> Option<(i128, u64, i128)> {
+        let cut = self.last_round.saturating_sub(w);
+        let mut sum: i128 = 0;
+        let mut count = 0u64;
+        let mut max = i128::MIN;
+        for &(round, v) in &buf.samples {
+            if round <= cut {
+                continue;
+            }
+            sum += v;
+            count += 1;
+            max = max.max(v);
+        }
+        if count == 0 {
+            None
+        } else {
+            Some((sum, count, max))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Tsdb {
+        Tsdb::new(8, 64)
+    }
+
+    #[test]
+    fn selector_parse_and_match() {
+        let s = Selector::parse("sfi_qos_offered_total{class=\"batch\"}").unwrap();
+        assert!(s.matches("sfi_qos_offered_total{class=\"batch\"}"));
+        assert!(s.matches("sfi_qos_offered_total{engine=\"0\",class=\"batch\"}"));
+        assert!(!s.matches("sfi_qos_offered_total{class=\"standard\"}"));
+        assert!(!s.matches("sfi_qos_offered_total"));
+        let bare = Selector::parse("sfi_qos_offered_total").unwrap();
+        assert!(bare.matches("sfi_qos_offered_total"));
+        assert!(bare.matches("sfi_qos_offered_total{class=\"batch\"}"));
+        assert!(!bare.matches("sfi_qos_shed_total"));
+        // Escaped label values match against the registry's escaped keys.
+        let esc = Selector::parse("sfi_esc_total{path=\"a\\\"b\\\\c\"}").unwrap();
+        assert!(esc.matches("sfi_esc_total{path=\"a\\\"b\\\\c\"}"));
+        // Malformed selectors are errors, not silent non-matches.
+        for bad in ["", "9bad", "x{", "x{k=}", "x{k=\"v", "x{k=\"v\",}"] {
+            assert!(Selector::parse(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn increase_and_rate_are_reset_safe() {
+        let mut t = db();
+        for (round, v) in [(1u64, 10u64), (2, 15), (3, 20), (4, 3), (5, 9)] {
+            t.store_counter("c_total", round, v);
+        }
+        // Window 4 at round 5: baseline round 1 (value 10), then
+        // +5 +5, reset (3 counts fully), +6 = 19.
+        let inc = t.increase(&Selector::parse("c_total").unwrap(), 4);
+        assert_eq!(inc, vec![("c_total".to_owned(), 19.0)]);
+        let rate = t.rate(&Selector::parse("c_total").unwrap(), 4);
+        assert_eq!(rate[0].1, 19.0 / 4.0);
+        // A series born inside the window anchors at zero.
+        let mut t2 = db();
+        t2.store_counter("born_total", 5, 7);
+        t2.store_counter("other_total", 1, 1); // establish last_round context
+        t2.store_counter("other_total", 5, 1);
+        assert_eq!(t2.increase(&Selector::parse("born_total").unwrap(), 4)[0].1, 7.0);
+    }
+
+    #[test]
+    fn u64_boundary_math_never_overflows() {
+        let mut t = db();
+        t.store_counter("big_total", 1, u64::MAX - 5);
+        t.store_counter("big_total", 2, u64::MAX);
+        t.store_counter("big_total", 3, 2); // reset near the boundary
+        let inc = t.increase(&Selector::parse("big_total").unwrap(), 8);
+        assert_eq!(inc[0].1, (u64::MAX - 5) as f64 + 5.0 + 2.0);
+        assert!(inc[0].1 >= 0.0);
+    }
+
+    #[test]
+    fn gauge_windows_average_and_max() {
+        let mut t = db();
+        for (round, v) in [(1u64, 10i64), (2, -4), (3, 6)] {
+            t.store_gauge("g", round, v);
+        }
+        let sel = Selector::parse("g").unwrap();
+        assert_eq!(t.avg_over_time(&sel, 8), vec![("g".to_owned(), 4.0)]);
+        assert_eq!(t.max_over_time(&sel, 8), vec![("g".to_owned(), 10.0)]);
+        // Window 1 sees only the newest sample.
+        assert_eq!(t.avg_over_time(&sel, 1), vec![("g".to_owned(), 6.0)]);
+        // Kind mismatch: rate() over a gauge emits nothing.
+        assert!(t.rate(&sel, 4).is_empty());
+        assert_eq!(t.latest(&sel), vec![("g".to_owned(), 6.0)]);
+    }
+
+    #[test]
+    fn rings_are_bounded_and_series_capped() {
+        let mut t = Tsdb::new(4, 2);
+        for round in 1..=20u64 {
+            t.store_counter("a_total", round, round * 10);
+            t.store_counter("b_total", round, round);
+            t.store_counter("c_total", round, round); // over budget: dropped
+        }
+        assert_eq!(t.series_count(), 2);
+        assert_eq!(t.dropped_writes(), 20);
+        // Ring keeps window+1 samples; a full-window increase still anchors.
+        let inc = t.increase(&Selector::parse("a_total").unwrap(), 4);
+        assert_eq!(inc[0].1, 40.0, "4 rounds × 10/round");
+        assert!(t.query("c_total").unwrap().is_empty(), "dropped series answer nothing");
+    }
+
+    #[test]
+    fn ingest_covers_counters_gauges_and_histogram_sum_count() {
+        let mut r = Registry::new();
+        let c = r.counter_with("sfi_x_total", &[("class", "batch")]);
+        let g = r.gauge("sfi_depth");
+        let h = r.histogram("sfi_lat_ns");
+        r.add(c, 5);
+        r.set(g, -2);
+        r.observe(h, 100);
+        r.observe(h, 300);
+        let mut t = db();
+        t.ingest(1, &r);
+        r.add(c, 3);
+        r.observe(h, 50);
+        t.ingest(2, &r);
+        assert_eq!(
+            t.increase(&Selector::parse("sfi_x_total{class=\"batch\"}").unwrap(), 1)[0].1,
+            3.0
+        );
+        assert_eq!(t.latest(&Selector::parse("sfi_depth").unwrap())[0].1, -2.0);
+        // Histogram _sum/_count derive as counters: window mean = rate/rate.
+        let dsum = t.increase(&Selector::parse("sfi_lat_ns_sum").unwrap(), 1)[0].1;
+        let dcount = t.increase(&Selector::parse("sfi_lat_ns_count").unwrap(), 1)[0].1;
+        assert_eq!((dsum, dcount), (50.0, 1.0));
+    }
+
+    #[test]
+    fn query_grammar_parses_and_clamps() {
+        let mut t = db();
+        for round in 1..=6u64 {
+            t.store_counter("c_total", round, round * 2);
+            t.store_gauge("g", round, round as i64);
+        }
+        assert_eq!(t.query("rate(c_total[2r])").unwrap()[0].1, 2.0);
+        assert_eq!(t.query("increase(c_total[3r])").unwrap()[0].1, 6.0);
+        assert_eq!(t.query("avg_over_time(g[2r])").unwrap()[0].1, 5.5);
+        assert_eq!(t.query("max_over_time(g[4r])").unwrap()[0].1, 6.0);
+        assert_eq!(t.query("c_total").unwrap()[0].1, 12.0);
+        assert_eq!(t.query(" rate( c_total [2r] ) ").unwrap()[0].1, 2.0, "whitespace tolerated");
+        // Zero and negative windows clamp to 1 round instead of erroring.
+        assert_eq!(t.query("increase(c_total[0r])").unwrap()[0].1, 2.0);
+        assert_eq!(t.query("increase(c_total[-7r])").unwrap()[0].1, 2.0);
+        // Oversized windows clamp to the retained window.
+        assert_eq!(
+            t.query("increase(c_total[999r])").unwrap()[0].1,
+            t.query(&format!("increase(c_total[{}r])", t.window())).unwrap()[0].1
+        );
+        for bad in ["rate(c_total)", "rate(c_total[2s])", "rate(c_total[xr])", "rate(c_total[2r]", "{}", "bad name"] {
+            assert!(t.query(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn rebuild_from_same_rounds_is_identical() {
+        let build = || {
+            let mut t = Tsdb::new(6, 32);
+            for round in 1..=10u64 {
+                t.store_counter("c_total", round, round * round);
+                t.store_gauge("g", round, (round % 3) as i64);
+            }
+            t
+        };
+        let (a, b) = (build(), build());
+        for expr in ["rate(c_total[4r])", "increase(c_total[6r])", "avg_over_time(g[3r])", "g"] {
+            assert_eq!(a.query(expr).unwrap(), b.query(expr).unwrap(), "{expr}");
+        }
+    }
+}

@@ -73,6 +73,15 @@ cargo run -q --offline --release -p sfi-bench --bin figX_overload -- --check
 grep -q '"telemetry"' BENCH_overload.json
 grep -q 'sfi_qos_shed_total' BENCH_overload.json
 
+echo "== alerting plane: false positives, detection budget, timeline bytes, overhead =="
+cargo run -q --offline --release -p sfi-bench --bin figX_alerts -- --check
+grep -q '"telemetry"' BENCH_alerts.json
+grep -q '"scenario": "clean_0", "rounds": 8, "transitions": 0' BENCH_alerts.json
+grep -q '"rule": "fleet_slo_burn_ls"' BENCH_alerts.json
+grep -q '"rule": "member_availability"' BENCH_alerts.json
+grep -q '"rerun_timeline_identical": true' BENCH_alerts.json
+grep -q '"kill_recovery_timeline_identical": true' BENCH_alerts.json
+
 echo "== bench artifacts embed telemetry sections =="
 cargo run -q --offline --release -p sfi-bench --bin fig6_throughput >/dev/null
 cargo run -q --offline --release -p sfi-bench --bin fig7_ctx_dtlb >/dev/null
