@@ -59,6 +59,7 @@ pub fn config_for(strategy: Strategy, mem_pages: u32, vectorize: bool) -> Compil
             lfi_reserved_regs: false,
             segment_entry_protocol: false,
             opt_level: OptLevel::Baseline,
+            mitigation: sfi_core::MitigationLevel::None,
             layout: MemLayout { heap_base: 0, mem_size, guard_size: 0 },
             regions: RuntimeRegions {
                 header_base: 0x14_0000 + mem_size as u32,
@@ -76,6 +77,7 @@ pub fn config_for(strategy: Strategy, mem_pages: u32, vectorize: bool) -> Compil
         lfi_reserved_regs: false,
         segment_entry_protocol: false,
         opt_level: OptLevel::Baseline,
+        mitigation: sfi_core::MitigationLevel::None,
         layout: MemLayout { heap_base: 0x10_0000, mem_size, guard_size: 0x1_0000 },
         regions: RuntimeRegions::small_test(),
     }

@@ -187,6 +187,20 @@ pub fn compile(module: &Module, config: &CompilerConfig) -> Result<CompiledModul
         }
     }
 
+    // Spectre hardening runs last, over the final instruction stream, so
+    // fences/masks cover vectorized and optimized code alike. Insertion
+    // shifts instruction indices; labels stay bound to their instructions,
+    // so function entries are recomputed from the entry labels afterwards.
+    if opt::mitigate::run(&mut program, config) > 0 {
+        for (fidx, label) in func_labels.iter().enumerate() {
+            if let Some(l) = label {
+                if func_entries[fidx] != usize::MAX {
+                    func_entries[fidx] = program.resolve(*l).expect("entry labels are bound");
+                }
+            }
+        }
+    }
+
     // Build the table image.
     let mut table_bytes = Vec::with_capacity(module.table.len() * 8);
     for &fidx in &module.table {

@@ -222,6 +222,98 @@ impl core::fmt::Display for OptLevel {
     }
 }
 
+/// Spectre mitigation applied on top of the SFI strategy (DESIGN.md §16).
+///
+/// Architectural SFI bounds do not constrain *transient* execution: a
+/// mispredicted bounds check still runs the out-of-bounds load far enough
+/// to leave a secret-dependent cache footprint. Each level here is a
+/// label-stable post-optimization pass whose inserted instructions carry
+/// [`sfi_x86::Provenance::SpecMitigation`], so the §14 profiler attributes
+/// their cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MitigationLevel {
+    /// No speculation hardening (the architectural-only contract every
+    /// strategy shipped with before §16).
+    #[default]
+    None,
+    /// An `lfence` at every conditional-branch edge (both fall-through and
+    /// target) and every function entry: no speculation window survives a
+    /// control-flow decision. Strongest and costliest — the per-branch
+    /// pipeline drain is the price.
+    Lfence,
+    /// Speculative load hardening: after each `cmp`+`ja`-to-trap bounds
+    /// check, a predicated `cmov` zeroes the checked index on the
+    /// should-have-trapped path, so the transient load reads index 0
+    /// instead of the attacker's offset. Cheap (one `cmov` per check) but
+    /// only hardens explicitly bounds-checked accesses.
+    Slh,
+    /// Strengthened index masking: an `and index, mem_size-1` immediately
+    /// before every sandbox memory operand. The mask executes transiently
+    /// too (it is plain data flow, not a prediction), clamping wrong-path
+    /// addresses into the sandbox — Spectre-robust for every strategy, at
+    /// one ALU µop per access.
+    IndexMask,
+}
+
+impl MitigationLevel {
+    /// All levels, for matrix sweeps.
+    pub const ALL: [MitigationLevel; 4] = [
+        MitigationLevel::None,
+        MitigationLevel::Lfence,
+        MitigationLevel::Slh,
+        MitigationLevel::IndexMask,
+    ];
+
+    /// Stable name, used in cache fingerprints, telemetry labels and bench
+    /// artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            MitigationLevel::None => "none",
+            MitigationLevel::Lfence => "lfence",
+            MitigationLevel::Slh => "slh",
+            MitigationLevel::IndexMask => "index-mask",
+        }
+    }
+
+    /// Whether `strategy` compiled at this level is *declared safe* against
+    /// the speculative-leak classes the emulator models. The
+    /// `speculative_check` harness and the `figX_spectre --check` gate
+    /// enforce that every declared-safe cell measures zero leaks; DESIGN.md
+    /// §16 documents the reasoning per cell.
+    pub fn declared_safe(self, strategy: Strategy) -> bool {
+        // Native sandboxes nothing: no strategy×level cell containing it is
+        // ever declared safe, whatever the mitigation does.
+        if strategy == Strategy::Native {
+            return false;
+        }
+        match self {
+            // Unmitigated: only Masking survives — its `and`-wraps are
+            // ordinary data flow and execute transiently too. Everything
+            // else relies on a predicted-around check or a guard fault that
+            // transient execution ignores. (Native is "safe" only in the
+            // vacuous sense that it sandboxes nothing; it is *not* declared
+            // safe.)
+            MitigationLevel::None => strategy.masks(),
+            // A fence after every branch edge closes every window we model,
+            // for every strategy.
+            MitigationLevel::Lfence => true,
+            // SLH hardens the bounds-checked strategies (the cmov is glued
+            // to the check) and is vacuously strong where masking already
+            // wraps; guard-region strategies keep their unchecked loads.
+            MitigationLevel::Slh => strategy.bounds_checks() || strategy.masks(),
+            // The inserted mask clamps every sandbox operand transiently,
+            // regardless of strategy.
+            MitigationLevel::IndexMask => true,
+        }
+    }
+}
+
+impl core::fmt::Display for MitigationLevel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Full compiler configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompilerConfig {
@@ -249,6 +341,9 @@ pub struct CompilerConfig {
     /// direct entry points and elide the set. Off by default — the
     /// `sfi-runtime` embedder sets the base during its transition instead.
     pub segment_entry_protocol: bool,
+    /// Spectre mitigation pass applied after optimization (defaults to
+    /// [`MitigationLevel::None`]).
+    pub mitigation: MitigationLevel,
 }
 
 impl CompilerConfig {
@@ -263,6 +358,7 @@ impl CompilerConfig {
             regions: RuntimeRegions::small_test(),
             lfi_reserved_regs: false,
             segment_entry_protocol: false,
+            mitigation: MitigationLevel::None,
         }
     }
 
@@ -271,6 +367,13 @@ impl CompilerConfig {
     #[must_use]
     pub fn optimized(mut self) -> CompilerConfig {
         self.opt_level = OptLevel::Optimized;
+        self
+    }
+
+    /// This configuration hardened at `level`.
+    #[must_use]
+    pub fn mitigated(mut self, level: MitigationLevel) -> CompilerConfig {
+        self.mitigation = level;
         self
     }
 }
@@ -329,6 +432,33 @@ mod tests {
         for s in Strategy::ALL {
             assert!(!s.name().is_empty());
         }
+    }
+
+    #[test]
+    fn declared_safe_matrix_shape() {
+        use MitigationLevel as M;
+        // Native is never a safe cell.
+        for level in M::ALL {
+            assert!(!level.declared_safe(Strategy::Native), "{level}");
+        }
+        // Lfence and IndexMask harden every protected strategy.
+        for s in Strategy::ALL.into_iter().filter(|&s| s != Strategy::Native) {
+            assert!(M::Lfence.declared_safe(s), "{s}");
+            assert!(M::IndexMask.declared_safe(s), "{s}");
+        }
+        // Unmitigated, only masking survives speculation.
+        assert!(M::None.declared_safe(Strategy::Masking));
+        assert!(!M::None.declared_safe(Strategy::Segue));
+        assert!(!M::None.declared_safe(Strategy::GuardRegion));
+        // SLH needs a check to predicate on (or masking's built-in wrap).
+        assert!(M::Slh.declared_safe(Strategy::BoundsCheck));
+        assert!(M::Slh.declared_safe(Strategy::BoundsCheckSegue));
+        assert!(M::Slh.declared_safe(Strategy::Masking));
+        assert!(!M::Slh.declared_safe(Strategy::Segue));
+        assert!(!M::Slh.declared_safe(Strategy::SegueLoads));
+        // Names are stable and distinct (telemetry label contract).
+        let names: std::collections::BTreeSet<_> = M::ALL.iter().map(|l| l.name()).collect();
+        assert_eq!(names.len(), M::ALL.len());
     }
 
     #[test]

@@ -40,6 +40,7 @@ impl CompilerConfig {
         let mut h = FNV_OFFSET;
         h = fnv1a_bytes(h, self.strategy.name().as_bytes());
         h = fnv1a_bytes(h, self.opt_level.name().as_bytes());
+        h = fnv1a_bytes(h, self.mitigation.name().as_bytes());
         h = fnv1a_bytes(
             h,
             &[
@@ -118,6 +119,17 @@ mod tests {
         let mut c = base.clone();
         c.segment_entry_protocol = true;
         assert_ne!(fp, c.cache_fingerprint(), "segment entry protocol");
+
+        // Each mitigation level is its own cache key: hardened code must
+        // never be served under an unhardened lookup or vice versa.
+        let mut seen = std::collections::BTreeSet::new();
+        for level in crate::MitigationLevel::ALL {
+            assert!(
+                seen.insert(base.clone().mitigated(level).cache_fingerprint()),
+                "mitigation level {level} must perturb the fingerprint"
+            );
+        }
+        assert!(seen.contains(&fp), "None level matches the base config");
 
         // The tier is part of the key: promoted (optimized) code must never
         // be served under a baseline lookup or vice versa.

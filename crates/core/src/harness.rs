@@ -13,11 +13,11 @@
 
 use sfi_wasm::PAGE_SIZE;
 use sfi_x86::cost::RunStats;
-use sfi_x86::emu::{FlatMemory, Machine, MemBus, RegFile};
+use sfi_x86::emu::{FlatMemory, Machine, MemBus, RegFile, SpecConfig, SpecError};
 use sfi_x86::{Gpr, Trap, Width};
 
 use crate::compile::{hostcall, CompiledModule};
-use crate::config::{regs, Strategy};
+use crate::config::{regs, MitigationLevel, Strategy};
 
 /// The outcome of a harness run.
 #[derive(Debug, Clone)]
@@ -277,4 +277,162 @@ pub fn differential_check(module: &sfi_wasm::Module, export: &str, args: &[u64])
             assert_matches_interpreter(module, &cm, export, args);
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Speculative execution (DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+/// Distance from `heap_base` to the synthetic secret region the harness
+/// plants for leak detection. Far enough past the guard frontier that no
+/// component-masked address (`8 × (mem_size − 1)` plus any emitted
+/// displacement) can reach it, yet within 32-bit-index reach so an
+/// *unmasked* transient access can.
+const SECRET_OFFSET: u64 = 0x1000_0000;
+
+/// Size of the synthetic secret region.
+const SECRET_SIZE: u64 = 0x1000;
+
+/// A speculation-setup failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecSetupError {
+    /// The window/secret parameters were rejected by the emulator.
+    Config(SpecError),
+    /// The requested secret region overlaps architecturally mapped memory
+    /// (sandbox heap, guard, or runtime regions): taint tracking on a
+    /// region the program may legitimately touch would flag every run.
+    SecretOverlapsSandbox {
+        /// Requested region start.
+        lo: u64,
+        /// Requested region end (exclusive).
+        hi: u64,
+        /// First address past all architecturally mapped regions.
+        frontier: u64,
+    },
+}
+
+impl core::fmt::Display for SpecSetupError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SpecSetupError::Config(e) => write!(f, "{e}"),
+            SpecSetupError::SecretOverlapsSandbox { lo, hi, frontier } => write!(
+                f,
+                "secret region [{lo:#x}, {hi:#x}) overlaps mapped memory (frontier {frontier:#x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecSetupError {}
+
+impl From<SpecError> for SpecSetupError {
+    fn from(e: SpecError) -> SpecSetupError {
+        SpecSetupError::Config(e)
+    }
+}
+
+/// First address past everything the module may architecturally touch:
+/// heap + guard, and all runtime regions.
+fn mapped_frontier(cm: &CompiledModule) -> u64 {
+    let layout = cm.config.layout;
+    let regions = cm.config.regions;
+    (layout.heap_base + layout.mem_size + layout.guard_size)
+        .max(u64::from(regions.stack_top))
+        .max(u64::from(regions.table_base) + cm.table_bytes.len() as u64)
+        .max(u64::from(regions.globals_base) + 8 * cm.globals_init.len() as u64)
+}
+
+/// Builds a [`SpecConfig`] with an explicit secret placement, validating
+/// both the emulator parameters (window, non-empty region) and that the
+/// secret sits wholly outside architecturally mapped memory.
+pub fn spec_config_with_secret(
+    cm: &CompiledModule,
+    window: u32,
+    secret_lo: u64,
+    secret_hi: u64,
+) -> Result<SpecConfig, SpecSetupError> {
+    let cfg = SpecConfig::new(window, secret_lo, secret_hi)?;
+    let frontier = mapped_frontier(cm);
+    if secret_lo < frontier {
+        return Err(SpecSetupError::SecretOverlapsSandbox { lo: secret_lo, hi: secret_hi, frontier });
+    }
+    Ok(cfg)
+}
+
+/// The harness's default speculation setup for a compiled module: a
+/// ROB-depth window ([`SpecConfig::DEFAULT_WINDOW`]) and a synthetic
+/// secret planted [`SECRET_OFFSET`] past the heap base.
+pub fn spec_config_for(cm: &CompiledModule) -> Result<SpecConfig, SpecSetupError> {
+    let lo = cm.config.layout.heap_base + SECRET_OFFSET;
+    spec_config_with_secret(cm, SpecConfig::DEFAULT_WINDOW, lo, lo + SECRET_SIZE)
+}
+
+/// Runs `export(args)` with the bounded speculation window enabled.
+/// Architectural results are identical to [`execute_export`]; the returned
+/// stats additionally carry `spec_flushes` / `spec_uops` / `spec_leaks`.
+pub fn execute_speculative(
+    cm: &CompiledModule,
+    export: &str,
+    args: &[u64],
+    spec: SpecConfig,
+) -> Result<ExecOutcome, ExecError> {
+    let mut machine = Machine::new();
+    machine.enable_speculation(spec);
+    execute_export_on(cm, export, args, &mut machine)
+}
+
+/// Sweeps every protected strategy × mitigation level over one module
+/// under the speculative emulator and asserts the declared-safe contract:
+///
+/// - every cell where [`MitigationLevel::declared_safe`] holds reports
+///   **zero** speculative leaks;
+/// - every mitigated run returns the same architectural result as the
+///   unmitigated (`None`) run — hardening never changes semantics;
+/// - the exact-sum cycle-attribution invariant holds in every cell.
+///
+/// Returns the per-cell leak counts keyed `(strategy, level)` so callers
+/// (tests, the `figX_spectre` bench) can additionally inspect the *unsafe*
+/// cells, e.g. to assert a known-leaky gadget does leak under unmitigated
+/// Segue.
+pub fn speculative_check(
+    module: &sfi_wasm::Module,
+    export: &str,
+    args: &[u64],
+) -> Vec<(Strategy, MitigationLevel, u64)> {
+    let mut cells = Vec::new();
+    for strategy in Strategy::ALL {
+        if strategy == Strategy::Native {
+            continue; // no sandbox, no speculation contract
+        }
+        let mut baseline_result = None;
+        for level in MitigationLevel::ALL {
+            let config = crate::config::CompilerConfig::for_strategy(strategy).mitigated(level);
+            let cm = crate::compile::compile(module, &config)
+                .unwrap_or_else(|e| panic!("compile under {strategy}/{level}: {e}"));
+            let spec = spec_config_for(&cm).expect("default secret placement is valid");
+            let out = execute_speculative(&cm, export, args, spec)
+                .unwrap_or_else(|e| panic!("run under {strategy}/{level}: {e}"));
+            assert_eq!(
+                out.stats.cycles,
+                out.stats.attributed_cycles(),
+                "exact-sum attribution must survive speculation under {strategy}/{level}"
+            );
+            match &baseline_result {
+                None => baseline_result = Some(out.result),
+                Some(base) => assert_eq!(
+                    *base, out.result,
+                    "mitigation {level} changed the architectural result under {strategy}"
+                ),
+            }
+            if level.declared_safe(strategy) {
+                assert_eq!(
+                    out.stats.spec_leaks, 0,
+                    "declared-safe cell {strategy}/{level} leaked for {export}({args:?})"
+                );
+            }
+            cells.push((strategy, level, out.stats.spec_leaks));
+        }
+    }
+    cells
 }

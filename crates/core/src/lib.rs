@@ -49,7 +49,9 @@ pub mod opt;
 pub mod vectorize;
 
 pub use compile::{compile, CompileError, CompiledModule};
-pub use config::{CompilerConfig, FuncStats, MemLayout, OptLevel, RuntimeRegions, Strategy};
+pub use config::{
+    CompilerConfig, FuncStats, MemLayout, MitigationLevel, OptLevel, RuntimeRegions, Strategy,
+};
 pub use fingerprint::module_hash;
 pub use opt::OptStats;
 

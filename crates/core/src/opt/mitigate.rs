@@ -1,0 +1,332 @@
+//! Spectre-mitigation insertion passes (DESIGN.md §16).
+//!
+//! Each [`MitigationLevel`] is a label-stable pass that runs *after* the
+//! optimizing pipeline and the vectorizer, over the finished program:
+//! insertions go through [`Program::insert`], which keeps every label
+//! pointing at the instruction it was bound to, and every inserted
+//! instruction is tagged [`Provenance::SpecMitigation`] so the §14 profiler
+//! attributes exactly what hardening costs.
+//!
+//! - **Lfence** — an `lfence` at every speculation-window entry point: the
+//!   fall-through of every conditional branch and every bound-label
+//!   position (conditional-branch targets, function entries, indirect
+//!   targets). The emulator's transient window cannot cross an `lfence`,
+//!   so every modeled wrong path dies on its first µop.
+//! - **Slh** — speculative load hardening: after each `cmp r, limit; ja
+//!   trap` bounds check, a predicated `cmov` rewrites `r` to 0 on the
+//!   should-have-trapped path. Architecturally dead (the condition is
+//!   false on the fall-through by construction); transiently it starves
+//!   the bounds-check-bypass gadget of its out-of-bounds index.
+//! - **IndexMask** — an `and index, mem_size-1` immediately before every
+//!   sandbox memory operand. The mask is plain data flow, so it executes
+//!   on the wrong path too, clamping each address component into the
+//!   sandbox (the secret region is placed far enough beyond the guard
+//!   that component-wise clamping keeps every masked access short of it).
+//!
+//! Because insertion shifts instruction indices, the driver in
+//! [`crate::compile`] recomputes `func_entries` from the (label-stable)
+//! entry labels after this pass runs.
+
+use crate::config::{regs, CompilerConfig, MitigationLevel};
+use crate::opt::{leaders, reads_flags, writes_flags};
+use sfi_x86::inst::AluOp;
+use sfi_x86::{Cond, Gpr, Inst, Program, Provenance, Width};
+
+/// Runs the mitigation pass for `config.mitigation`. Returns the number of
+/// instructions inserted (0 for [`MitigationLevel::None`]).
+pub fn run(program: &mut Program, config: &CompilerConfig) -> usize {
+    match config.mitigation {
+        MitigationLevel::None => 0,
+        MitigationLevel::Lfence => insert_lfences(program),
+        MitigationLevel::Slh => insert_slh(program),
+        MitigationLevel::IndexMask => insert_index_masks(program, config),
+    }
+}
+
+/// Collects every window entry point, then inserts `lfence`s from the
+/// highest index down so earlier collected positions stay valid.
+fn insert_lfences(program: &mut Program) -> usize {
+    let mut positions = std::collections::BTreeSet::new();
+    for (i, inst) in program.insts().iter().enumerate() {
+        if matches!(inst, Inst::Jcc { .. }) {
+            positions.insert(i + 1);
+        }
+    }
+    for (_, pos) in program.label_positions() {
+        positions.insert(pos);
+    }
+    let mut inserted = 0;
+    for &pos in positions.iter().rev() {
+        if pos > program.len() {
+            continue;
+        }
+        // A window entering a trap pad dies on the `ud2` anyway.
+        if matches!(program.insts().get(pos), Some(Inst::Ud2)) {
+            continue;
+        }
+        program.insert(pos, Inst::Lfence, Provenance::SpecMitigation);
+        inserted += 1;
+    }
+    inserted
+}
+
+/// Matches `cmp r, limit; ja <ud2>` bounds checks and inserts the
+/// predicated zeroing sequence on the fall-through:
+/// `push z; mov z, 0; cmova r, z; pop z` (none of which write flags, so
+/// the sequence is transparent to any later flags reader).
+fn insert_slh(program: &mut Program) -> usize {
+    let mut sites: Vec<(usize, Gpr)> = Vec::new();
+    let insts = program.insts();
+    for i in 0..insts.len().saturating_sub(1) {
+        let Inst::AluRI { op: AluOp::Cmp, dst, .. } = insts[i] else { continue };
+        let Inst::Jcc { cond: Cond::A, target } = insts[i + 1] else { continue };
+        let Some(t) = program.resolve(target) else { continue };
+        if matches!(insts.get(t), Some(Inst::Ud2)) {
+            sites.push((i + 2, dst));
+        }
+    }
+    for &(pos, r) in sites.iter().rev() {
+        // The zero register must differ from the index being hardened; both
+        // choices are caller-saved scratch, preserved by the push/pop.
+        let z = if r == Gpr::Rax { Gpr::Rcx } else { Gpr::Rax };
+        program.insert(pos, Inst::Push { reg: z }, Provenance::SpecMitigation);
+        program.insert(pos + 1, Inst::MovRI { dst: z, imm: 0, width: Width::D }, Provenance::SpecMitigation);
+        program.insert(
+            pos + 2,
+            Inst::Cmov { cond: Cond::A, dst: r, src: z, width: Width::Q },
+            Provenance::SpecMitigation,
+        );
+        program.insert(pos + 3, Inst::Pop { reg: z }, Provenance::SpecMitigation);
+    }
+    sites.len() * 4
+}
+
+/// Whether the flags live at instruction `i` are read before being
+/// overwritten, scanning **straight-line** code only. Unlike
+/// [`crate::opt::flags_observable_from`] — which answers "maybe" at every
+/// label and branch for the optimizer's any-program soundness — this uses
+/// the compiler's own calling convention (every emitted flags reader is
+/// directly preceded by its writer in the same basic block, and flags die
+/// at calls/returns), so reaching a leader, any control flow, or the end
+/// of the program means the flags are dead. Precision matters here:
+/// treating block ends as "maybe live" would leave the sandbox accesses
+/// that sit last in their block unmasked — exactly the hole a
+/// bounds-check-bypass gadget needs.
+fn flags_live_at(insts: &[Inst], lead: &[bool], i: usize) -> bool {
+    for (j, inst) in insts.iter().enumerate().skip(i) {
+        if j > i && lead[j] {
+            return false;
+        }
+        if reads_flags(inst) {
+            return true;
+        }
+        if writes_flags(inst)
+            || inst.is_control_flow()
+            || matches!(inst, Inst::CallHost { .. } | Inst::Ret | Inst::Ud2)
+        {
+            return false;
+        }
+    }
+    false
+}
+
+/// Inserts `and reg, mem_size-1` before every sandbox memory operand
+/// (`%gs`-relative, or indexed off the reserved heap-base register).
+///
+/// The `and` writes flags, so a site where the current flags are still
+/// live ([`flags_live_at`]) is skipped — in emitted code every flags
+/// consumer directly follows its producer, so sandbox accesses never sit
+/// in such a span; the check is a safety net for future codegen changes.
+fn insert_index_masks(program: &mut Program, config: &CompilerConfig) -> usize {
+    debug_assert!(config.layout.mem_size.is_power_of_two());
+    let mask = (config.layout.mem_size - 1) as u32 as i32;
+    // Only strategies that reserve the heap-base GPR address the sandbox
+    // through it; elsewhere (e.g. Segue) that register is an ordinary
+    // allocatable GPR and must be masked like any other address component.
+    let heap_reserved = config.strategy.reserves_heap_gpr();
+    let lead = leaders(program);
+    let mut sites: Vec<(usize, Vec<Gpr>)> = Vec::new();
+    let insts = program.insts();
+    for (i, inst) in insts.iter().enumerate() {
+        let Some(mem) = inst.mem() else { continue };
+        let mut to_mask = Vec::new();
+        if mem.seg == Some(sfi_x86::Seg::Gs) {
+            if let Some(b) = mem.base {
+                to_mask.push(b);
+            }
+            if let Some((idx, _)) = mem.index {
+                to_mask.push(idx);
+            }
+        } else if heap_reserved && mem.base == Some(regs::HEAP_BASE) {
+            if let Some((idx, _)) = mem.index {
+                to_mask.push(idx);
+            }
+        }
+        to_mask.retain(|&r| {
+            (!heap_reserved || r != regs::HEAP_BASE) && r != Gpr::Rsp && r != regs::FRAME
+        });
+        if to_mask.is_empty() {
+            continue;
+        }
+        if flags_live_at(insts, &lead, i) {
+            continue;
+        }
+        sites.push((i, to_mask));
+    }
+    let mut inserted = 0;
+    for (pos, regs_to_mask) in sites.iter().rev() {
+        for (k, &r) in regs_to_mask.iter().enumerate() {
+            program.insert(
+                pos + k,
+                Inst::AluRI { op: AluOp::And, dst: r, imm: mask, width: Width::D },
+                Provenance::SpecMitigation,
+            );
+            inserted += 1;
+        }
+    }
+    inserted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Strategy;
+    use crate::CompilerConfig;
+    use sfi_x86::Mem;
+
+    fn count_tagged(p: &Program) -> usize {
+        (0..p.len()).filter(|&i| p.prov_at(i) == Provenance::SpecMitigation).count()
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let mut p = Program::new();
+        p.push(Inst::Ret);
+        let cfg = CompilerConfig::for_strategy(Strategy::Segue);
+        assert_eq!(run(&mut p, &cfg), 0);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn lfence_covers_branch_edges_and_labels() {
+        let mut p = Program::new();
+        let l = p.fresh_label();
+        p.push(Inst::AluRI { op: AluOp::Cmp, dst: Gpr::Rbx, imm: 4, width: Width::Q });
+        p.push(Inst::Jcc { cond: Cond::Ne, target: l });
+        p.push(Inst::Nop); // fall-through
+        p.bind(l);
+        p.push(Inst::Ret); // target
+        let cfg = CompilerConfig::for_strategy(Strategy::Segue).mitigated(MitigationLevel::Lfence);
+        let n = run(&mut p, &cfg);
+        assert_eq!(n, 2, "one fence per distinct edge position");
+        assert_eq!(count_tagged(&p), 2);
+        // The branch target label must now point at a fence.
+        let t = p.resolve(l).unwrap();
+        assert!(matches!(p.insts()[t], Inst::Lfence));
+        // Fall-through: the instruction after the jcc is a fence.
+        assert!(matches!(p.insts()[2], Inst::Lfence));
+    }
+
+    #[test]
+    fn slh_matches_only_trap_bound_checks() {
+        let mut p = Program::new();
+        let trap = p.fresh_label();
+        let out = p.fresh_label();
+        // A bounds check (→ ud2): hardened.
+        p.push(Inst::AluRI { op: AluOp::Cmp, dst: Gpr::Rbx, imm: 100, width: Width::Q });
+        p.push(Inst::Jcc { cond: Cond::A, target: trap });
+        p.push(Inst::Load { dst: Gpr::Rsi, mem: Mem::base(Gpr::Rbx), width: Width::D });
+        // An ordinary compare-and-branch: left alone.
+        p.push(Inst::AluRI { op: AluOp::Cmp, dst: Gpr::Rsi, imm: 0, width: Width::Q });
+        p.push(Inst::Jcc { cond: Cond::A, target: out });
+        p.push(Inst::Nop);
+        p.bind(out);
+        p.push(Inst::Ret);
+        p.bind(trap);
+        p.push(Inst::Ud2);
+        let cfg = CompilerConfig::for_strategy(Strategy::BoundsCheck).mitigated(MitigationLevel::Slh);
+        let n = run(&mut p, &cfg);
+        assert_eq!(n, 4, "one 4-inst sequence for the single trap-bound check");
+        // The sequence sits on the fall-through, right after the ja.
+        assert!(matches!(p.insts()[2], Inst::Push { reg: Gpr::Rax }));
+        assert!(matches!(p.insts()[3], Inst::MovRI { dst: Gpr::Rax, imm: 0, .. }));
+        assert!(matches!(
+            p.insts()[4],
+            Inst::Cmov { cond: Cond::A, dst: Gpr::Rbx, src: Gpr::Rax, width: Width::Q }
+        ));
+        assert!(matches!(p.insts()[5], Inst::Pop { reg: Gpr::Rax }));
+        // Labels survived: the trap label still lands on the ud2.
+        let t = p.resolve(trap).unwrap();
+        assert!(matches!(p.insts()[t], Inst::Ud2));
+    }
+
+    #[test]
+    fn slh_avoids_rax_collision() {
+        let mut p = Program::new();
+        let trap = p.fresh_label();
+        p.push(Inst::AluRI { op: AluOp::Cmp, dst: Gpr::Rax, imm: 100, width: Width::Q });
+        p.push(Inst::Jcc { cond: Cond::A, target: trap });
+        p.push(Inst::Ret);
+        p.bind(trap);
+        p.push(Inst::Ud2);
+        let cfg = CompilerConfig::for_strategy(Strategy::BoundsCheck).mitigated(MitigationLevel::Slh);
+        run(&mut p, &cfg);
+        assert!(matches!(
+            p.insts()[4],
+            Inst::Cmov { cond: Cond::A, dst: Gpr::Rax, src: Gpr::Rcx, .. }
+        ));
+    }
+
+    #[test]
+    fn index_mask_targets_sandbox_operands_only() {
+        let mut p = Program::new();
+        // A gs-relative load: masked.
+        p.push(Inst::Load {
+            dst: Gpr::Rsi,
+            mem: Mem::base(Gpr::Rbx).with_seg(sfi_x86::Seg::Gs).with_addr32(),
+            width: Width::D,
+        });
+        // A heap-base-indexed store: index masked.
+        p.push(Inst::Store {
+            src: Gpr::Rsi,
+            mem: Mem::bisd(regs::HEAP_BASE, Gpr::Rdi, sfi_x86::Scale::S1, 8),
+            width: Width::D,
+        });
+        // A frame access: untouched.
+        p.push(Inst::Load { dst: Gpr::Rsi, mem: Mem::base_disp(regs::FRAME, -8), width: Width::Q });
+        p.push(Inst::Ret);
+        let cfg =
+            CompilerConfig::for_strategy(Strategy::GuardRegion).mitigated(MitigationLevel::IndexMask);
+        let n = run(&mut p, &cfg);
+        assert_eq!(n, 2);
+        let want = (cfg.layout.mem_size - 1) as u32 as i32;
+        assert!(matches!(
+            p.insts()[0],
+            Inst::AluRI { op: AluOp::And, dst: Gpr::Rbx, imm, width: Width::D } if imm == want
+        ));
+        assert!(matches!(
+            p.insts()[2],
+            Inst::AluRI { op: AluOp::And, dst: Gpr::Rdi, imm, width: Width::D } if imm == want
+        ));
+        assert_eq!(count_tagged(&p), 2);
+    }
+
+    #[test]
+    fn index_mask_skips_live_flags_spans() {
+        let mut p = Program::new();
+        let l = p.fresh_label();
+        p.push(Inst::AluRI { op: AluOp::Cmp, dst: Gpr::Rsi, imm: 0, width: Width::Q });
+        // A sandbox load between a cmp and its consumer: inserting a
+        // flag-writing `and` here would corrupt the branch.
+        p.push(Inst::Load {
+            dst: Gpr::Rdx,
+            mem: Mem::base(Gpr::Rbx).with_seg(sfi_x86::Seg::Gs),
+            width: Width::D,
+        });
+        p.push(Inst::Jcc { cond: Cond::Ne, target: l });
+        p.bind(l);
+        p.push(Inst::Ret);
+        let cfg = CompilerConfig::for_strategy(Strategy::Segue).mitigated(MitigationLevel::IndexMask);
+        assert_eq!(run(&mut p, &cfg), 0, "live-flags site must be skipped");
+    }
+}

@@ -31,6 +31,7 @@
 mod branch_fuse;
 mod const_fold;
 mod fuse;
+pub mod mitigate;
 mod redundant;
 pub mod regalloc;
 
@@ -186,7 +187,7 @@ pub(crate) fn for_each_use(inst: &Inst, mut f: impl FnMut(Gpr)) {
             f(Gpr::Rcx);
             f(Gpr::Rdx);
         }
-        Inst::Ud2 | Inst::Nop => {}
+        Inst::Ud2 | Inst::Lfence | Inst::Nop => {}
     }
 }
 

@@ -810,6 +810,7 @@ impl Runtime {
         let breakdown =
             CycleBreakdown::from_run(&stats, invocation_transition_cycles, compile_cycles);
         self.telemetry.observe_breakdown(&breakdown);
+        self.telemetry.observe_speculation(&stats, module.config.mitigation);
 
         // Read back per-instance state.
         let mut hdr = [0u8; 4];

@@ -78,6 +78,11 @@ pub struct RuntimeTelemetry {
     p_pen: [CounterId; PENALTY_NAMES.len()],
     p_transition: CounterId,
     c_compile_cycles: CounterId,
+    /// Speculation counters (DESIGN.md §16): window flushes, detected
+    /// transient leaks, and mitigation-sequence cycles by level.
+    spec_flushes: CounterId,
+    spec_leaks: CounterId,
+    spec_mitigation_cycles: [CounterId; sfi_core::MitigationLevel::ALL.len()],
 
     /// Last scraped snapshots, so scraping adds deltas into monotonic
     /// counters instead of double counting.
@@ -107,6 +112,8 @@ impl RuntimeTelemetry {
             .map(|p| r.counter_with("sfi_profile_cycles_total", &[("provenance", p.name())]));
         let p_pen = PENALTY_NAMES
             .map(|p| r.counter_with("sfi_profile_penalty_cycles_total", &[("penalty", p)]));
+        let spec_mitigation_cycles = sfi_core::MitigationLevel::ALL
+            .map(|l| r.counter_with("sfi_spec_mitigation_cycles_total", &[("level", l.name())]));
         RuntimeTelemetry {
             t_total: r.counter("sfi_transitions_total"),
             t_wrpkru: r.counter_with("sfi_transition_ops_total", &[("op", "wrpkru")]),
@@ -150,6 +157,9 @@ impl RuntimeTelemetry {
             p_transition: r
                 .counter_with("sfi_profile_cycles_total", &[("provenance", "transition")]),
             c_compile_cycles: r.counter("sfi_compile_cycles_total"),
+            spec_flushes: r.counter("sfi_spec_flushes_total"),
+            spec_leaks: r.counter("sfi_spec_leaks_total"),
+            spec_mitigation_cycles,
             s_mem_accesses: r.sampled_counter(
                 "sfi_guest_mem_accesses_total",
                 &[],
@@ -302,6 +312,30 @@ impl RuntimeTelemetry {
         self.registry.add(self.c_compile_cycles, b.compile_cycles.round() as u64);
     }
 
+    /// Accounts one completed run's speculation counters (DESIGN.md §16):
+    /// window flushes, detected transient leaks, and the cycles spent in
+    /// the compiled-in mitigation sequences, labeled with the module's
+    /// mitigation level. Runs without a speculation window contribute
+    /// zero flushes/leaks but still attribute their mitigation cycles —
+    /// hardened code pays its overhead whether or not the emulator models
+    /// the transient window.
+    pub fn observe_speculation(
+        &mut self,
+        stats: &sfi_x86::cost::RunStats,
+        level: sfi_core::MitigationLevel,
+    ) {
+        self.registry.add(self.spec_flushes, stats.spec_flushes);
+        self.registry.add(self.spec_leaks, stats.spec_leaks);
+        let idx = sfi_core::MitigationLevel::ALL
+            .iter()
+            .position(|&l| l == level)
+            .expect("ALL covers every level");
+        self.registry.add(
+            self.spec_mitigation_cycles[idx],
+            stats.prov_cycles[Provenance::SpecMitigation.index()].round() as u64,
+        );
+    }
+
     /// Merges another bundle's registry into this one (sharded hosts merge
     /// per-core registries at export).
     pub fn merge_registry_from(&mut self, other: &RuntimeTelemetry) {
@@ -375,6 +409,50 @@ mod tests {
         let t0 = RuntimeTelemetry::new(0, 0);
         let t1 = RuntimeTelemetry::new(0, 1);
         assert_eq!(t0.registry().len(), t1.registry().len());
+    }
+
+    #[test]
+    fn speculation_series_cover_query_and_json_surfaces() {
+        use sfi_telemetry::export::{json_is_valid, prometheus_text};
+        use sfi_telemetry::tsdb::Selector;
+
+        let mut t = RuntimeTelemetry::new(0, 0);
+        let mut stats = sfi_x86::cost::RunStats {
+            spec_flushes: 3,
+            spec_leaks: 2,
+            ..Default::default()
+        };
+        stats.prov_cycles[Provenance::SpecMitigation.index()] = 41.7;
+        t.observe_speculation(&stats, sfi_core::MitigationLevel::Lfence);
+
+        let r = t.registry();
+        assert_eq!(r.counter_value("sfi_spec_flushes_total"), Some(3));
+        assert_eq!(r.counter_value("sfi_spec_leaks_total"), Some(2));
+        assert_eq!(
+            r.counter_value("sfi_spec_mitigation_cycles_total{level=\"lfence\"}"),
+            Some(42)
+        );
+        // Other levels are preregistered and untouched.
+        assert_eq!(
+            r.counter_value("sfi_spec_mitigation_cycles_total{level=\"none\"}"),
+            Some(0)
+        );
+
+        // The tsdb selector grammar (the `/query?expr=` front end) reaches
+        // the labeled series.
+        let sel = Selector::parse("sfi_spec_mitigation_cycles_total{level=\"lfence\"}").unwrap();
+        assert!(sel.matches("sfi_spec_mitigation_cycles_total{level=\"lfence\"}"));
+        assert!(!sel.matches("sfi_spec_mitigation_cycles_total{level=\"slh\"}"));
+
+        // Both export surfaces carry the new series, and the JSON snapshot
+        // passes the offline validator.
+        let snap = json_snapshot(r);
+        assert!(json_is_valid(&snap), "snapshot must be valid JSON: {snap}");
+        assert!(snap.contains("\"sfi_spec_flushes_total\": 3"), "{snap}");
+        assert!(snap.contains("sfi_spec_mitigation_cycles_total{level=\\\"lfence\\\"}"));
+        let text = prometheus_text(r);
+        assert!(text.contains("sfi_spec_leaks_total 2"), "{text}");
+        assert!(text.contains("sfi_spec_mitigation_cycles_total{level=\"lfence\"} 42"));
     }
 
     #[test]

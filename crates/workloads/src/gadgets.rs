@@ -1,0 +1,206 @@
+//! Seeded attacker-gadget corpus for the speculative-leak harness
+//! (DESIGN.md §16).
+//!
+//! Each gadget is a self-contained module exporting `run : [] -> i32` that
+//! is **architecturally benign** — every committed memory access is
+//! in-bounds, so every strategy runs it to completion with the same result
+//! — but whose *transient* wrong-path behavior reproduces a classic
+//! Spectre shape against the sandbox:
+//!
+//! - **Bounds-check bypass** (`bcb_*`): a guard branch is trained
+//!   in-bounds, then presented one hostile index. The final trial takes
+//!   the other direction architecturally, but the mispredicted window
+//!   runs the guarded body with the hostile index: a byte load reaches
+//!   the planted secret, and a second access (load or store) transmits it
+//!   through a secret-derived address.
+//! - **Transient type confusion** (`confused_deputy*`): an indirect call
+//!   site is trained onto a memory-touching callee, then retargeted to a
+//!   harmless one with a hostile argument. The stale BTB entry sends the
+//!   transient front end into the *old* callee, which runs with the new
+//!   argument — the classic confused-deputy shape.
+//! - **Contention probe** (`probe_benign`): mispredicts on purpose but
+//!   only ever touches attacker-chosen *in-bounds* lines. It must report
+//!   **zero** leaks everywhere — the true-negative row that keeps the
+//!   detector honest.
+//!
+//! The hostile index is [`SECRET_INDEX`]: the harness plants its secret
+//! `0x1000_0000` bytes past the heap base (`sfi_core::harness` couples to
+//! this via its own `SECRET_OFFSET`), far enough that no component-masked
+//! address can reach it, close enough that any unmasked 32-bit index can.
+
+use crate::Workload;
+
+/// The linear-memory index a hostile trial presents: lands `0x40` bytes
+/// into the harness's planted secret region.
+pub const SECRET_INDEX: u32 = 0x1000_0040;
+
+/// In-bounds limit the guard branches enforce (well inside the one-page
+/// test memory).
+const LIMIT: u32 = 0x1000;
+
+/// Bounds-check-bypass gadget, load-transmit variant: transiently reads
+/// `mem[secret]` and loads from an address derived from the stolen byte.
+pub fn bounds_check_bypass(trials: u32, secret_index: u32, stride: u32) -> String {
+    format!(
+        r#"(module (memory 1)
+  (func $victim (param $i i32) (result i32)
+    (local $x i32) (local $y i32)
+    local.get $i i32.const {LIMIT} i32.lt_u
+    if
+      local.get $i i32.load8_u local.set $x
+      local.get $x i32.const 63 i32.and i32.const {stride} i32.mul i32.load local.set $y
+    end
+    local.get $y)
+  (func (export "run") (result i32)
+    (local $t i32) (local $acc i32)
+    block loop
+      local.get $t i32.const {trials} i32.ge_u br_if 1
+      local.get $t i32.const 0xFFC i32.and call $victim
+      local.get $acc i32.add local.set $acc
+      local.get $t i32.const 1 i32.add local.set $t
+      br 0
+    end end
+    ;; hostile trial: the guard fails architecturally, so the body is
+    ;; skipped — only the mispredicted window sees the secret index.
+    i32.const {secret_index} call $victim
+    local.get $acc i32.add local.set $acc
+    local.get $acc))"#
+    )
+}
+
+/// Bounds-check-bypass gadget, store-transmit variant: the stolen byte
+/// feeds a *store* address instead of a load address.
+pub fn bounds_check_bypass_store(trials: u32, secret_index: u32) -> String {
+    format!(
+        r#"(module (memory 1)
+  (func $victim (param $i i32)
+    (local $x i32)
+    local.get $i i32.const {LIMIT} i32.lt_u
+    if
+      local.get $i i32.load8_u local.set $x
+      local.get $x i32.const 63 i32.and i32.const 64 i32.mul
+      i32.const 1 i32.store8
+    end)
+  (func (export "run") (result i32)
+    (local $t i32) (local $acc i32)
+    block loop
+      local.get $t i32.const {trials} i32.ge_u br_if 1
+      local.get $t i32.const 0xFFC i32.and call $victim
+      local.get $t i32.const 1 i32.add local.set $t
+      br 0
+    end end
+    i32.const {secret_index} call $victim
+    ;; checksum over the probe array (all committed stores were in-bounds)
+    i32.const 0 local.set $t
+    block loop
+      local.get $t i32.const 64 i32.ge_u br_if 1
+      local.get $acc
+      local.get $t i32.const 64 i32.mul i32.load8_u
+      i32.add local.set $acc
+      local.get $t i32.const 1 i32.add local.set $t
+      br 0
+    end end
+    local.get $acc))"#
+    )
+}
+
+/// Transient type-confusion gadget: trains an indirect call site onto
+/// `$deputy` (which dereferences its argument), then drives the **same
+/// static site** to `$harmless` with a hostile argument on the final
+/// trip (slot and argument are selected branchlessly so the only trained
+/// branches are the loop's). The stale BTB entry replays
+/// `$deputy(secret_index)` transiently.
+pub fn type_confusion(trials: u32, secret_index: u32, stride: u32) -> String {
+    format!(
+        r#"(module (memory 1)
+  (func $harmless (param $i i32) (result i32)
+    local.get $i i32.const 15 i32.and)
+  (func $deputy (param $i i32) (result i32)
+    (local $x i32)
+    local.get $i i32.load8_u local.set $x
+    local.get $x i32.const 63 i32.and i32.const {stride} i32.mul i32.load)
+  (table funcref (elem $harmless $deputy))
+  (func (export "run") (result i32)
+    (local $t i32) (local $acc i32) (local $last i32)
+    block loop
+      local.get $t i32.const {trials} i32.gt_u br_if 1
+      local.get $t i32.const {trials} i32.eq local.set $last
+      ;; arg  = last ? secret : t & 0xFFC
+      i32.const {secret_index}
+      local.get $t i32.const 0xFFC i32.and
+      local.get $last select
+      ;; slot = last ? 0 ($harmless) : 1 ($deputy)
+      i32.const 0 i32.const 1 local.get $last select
+      call_indirect (type $harmless)
+      local.get $acc i32.add local.set $acc
+      local.get $t i32.const 1 i32.add local.set $t
+      br 0
+    end end
+    local.get $acc))"#
+    )
+}
+
+/// Contention probe: mispredicts like the bypass gadgets but the guarded
+/// body only touches attacker-chosen **in-bounds** lines. True-negative
+/// control — zero leaks expected in every strategy × mitigation cell.
+pub fn contention_probe(trials: u32) -> String {
+    format!(
+        r#"(module (memory 1)
+  (func $probe (param $i i32) (result i32)
+    (local $y i32)
+    local.get $i i32.const {LIMIT} i32.lt_u
+    if
+      local.get $i i32.const 63 i32.and i32.const 64 i32.mul i32.load local.set $y
+    end
+    local.get $y)
+  (func (export "run") (result i32)
+    (local $t i32) (local $acc i32)
+    block loop
+      local.get $t i32.const {trials} i32.ge_u br_if 1
+      local.get $t i32.const 0xFFC i32.and call $probe
+      local.get $acc i32.add local.set $acc
+      local.get $t i32.const 1 i32.add local.set $t
+      br 0
+    end end
+    ;; the guard still sees one failing trial, so the site mispredicts —
+    ;; but the index is in-bounds-after-masking on the wrong path too.
+    i32.const 0x7FFF0 call $probe
+    local.get $acc i32.add local.set $acc
+    local.get $acc))"#
+    )
+}
+
+/// The fixed gadget corpus: two instances per leak class plus the
+/// true-negative control.
+pub fn gadgets() -> Vec<Workload> {
+    vec![
+        Workload::new("bcb_load", bounds_check_bypass(64, SECRET_INDEX, 64)),
+        Workload::new("bcb_load_wide", bounds_check_bypass(96, SECRET_INDEX + 0x200, 256)),
+        Workload::new("bcb_store", bounds_check_bypass_store(64, SECRET_INDEX + 0x80)),
+        Workload::new("confused_deputy", type_confusion(32, SECRET_INDEX, 64)),
+        Workload::new("confused_deputy_wide", type_confusion(48, SECRET_INDEX + 0x400, 128)),
+        Workload::new("probe_benign", contention_probe(64)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_parses_and_validates() {
+        for w in gadgets() {
+            let m = w.module();
+            assert!(m.exports.contains_key("run"), "{} exports run", w.name);
+        }
+    }
+
+    #[test]
+    fn secret_index_is_out_of_reach_of_masked_addresses() {
+        // One test page, scale ≤ 8: no component-masked address can get
+        // near the secret, but a 32-bit index reaches it directly.
+        let mem_size: u64 = 0x1_0000;
+        assert!(8 * (mem_size - 1) + 0x1000 < u64::from(SECRET_INDEX));
+        assert!(u64::from(SECRET_INDEX) < u64::from(u32::MAX));
+    }
+}

@@ -622,9 +622,129 @@ fn reduce_expr(e: &Expr) -> Vec<Expr> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Gadget mode
+// ---------------------------------------------------------------------------
+
+/// Seeded attacker-gadget generator — "gadget mode" for the speculative
+/// harness (DESIGN.md §16). Same determinism contract as [`generate`]:
+/// one seed, one module, forever.
+///
+/// Every output is a randomized bounds-check-bypass shape: a guard branch
+/// trained in-bounds, then one hostile trial whose index lands in the
+/// harness's planted secret region (`crate::gadgets::SECRET_INDEX` plus a
+/// seed-dependent delta). The committed execution is architecturally
+/// benign — the guard fails on the hostile trial, skipping the body — so
+/// only the mispredicted window runs the secret read and its transmit
+/// (load- or store-addressed by the stolen byte, per seed). The shapes
+/// vary in training length, guard limit, strides, transmit kind and
+/// access width; all stay within the window budget so an unmitigated
+/// protected strategy demonstrably leaks and a declared-safe one must
+/// not.
+pub fn gadget(seed: u64) -> Module {
+    let mut rng = Rng(seed ^ 0x53C5_7261_6E53_1E11);
+    let trials = 16 + rng.below(32) as i32;
+    let train_stride = [4, 8][rng.below(2) as usize];
+    let limit = 0x400 + (rng.below(0xC00) as i32 & !3);
+    let secret_index = crate::gadgets::SECRET_INDEX as i32 + (rng.below(0xF00) as i32 & !3);
+    let probe_stride = [64, 128, 256][rng.below(3) as usize];
+    let probe_offset = (rng.below(4) as u32) * 0x1000;
+    let wide_read = rng.below(2) == 0;
+    let store_transmit = rng.below(2) == 0;
+
+    // Locals: 0 = trip counter, 1 = accumulator, 2 = stolen byte, 3 = index.
+    let (t, acc, x, idx) = (0, 1, 2, 3);
+    let mut ops = vec![Op::Block, Op::Loop];
+    // while t <= trials
+    ops.extend([Op::LocalGet(t), Op::I32Const(trials + 1), Op::I32GeU, Op::BrIf(1)]);
+    // idx = t == trials ? secret : (t * stride) & 0xFFC   (branchless: the
+    // guard below is the only trained branch)
+    ops.extend([
+        Op::I32Const(secret_index),
+        Op::LocalGet(t),
+        Op::I32Const(train_stride),
+        Op::I32Mul,
+        Op::I32Const(0xFFC),
+        Op::I32And,
+        Op::LocalGet(t),
+        Op::I32Const(trials),
+        Op::I32Eq,
+        Op::Select,
+        Op::LocalSet(idx),
+    ]);
+    // if idx < limit { x = mem[idx]; transmit(mem[f(x)]) }
+    ops.extend([Op::LocalGet(idx), Op::I32Const(limit), Op::I32LtU, Op::If, Op::LocalGet(idx)]);
+    ops.push(if wide_read { Op::I32Load { offset: 0 } } else { Op::I32Load8U { offset: 0 } });
+    ops.push(Op::LocalSet(x));
+    let addr = [
+        Op::LocalGet(x),
+        Op::I32Const(63),
+        Op::I32And,
+        Op::I32Const(probe_stride),
+        Op::I32Mul,
+    ];
+    if store_transmit {
+        ops.extend(addr);
+        ops.extend([Op::I32Const(1), Op::I32Store8 { offset: probe_offset }]);
+    } else {
+        ops.push(Op::LocalGet(acc));
+        ops.extend(addr);
+        ops.extend([Op::I32Load { offset: probe_offset }, Op::I32Add, Op::LocalSet(acc)]);
+    }
+    ops.push(Op::End);
+    // acc += idx & 0xFF; t += 1
+    ops.extend([
+        Op::LocalGet(acc),
+        Op::LocalGet(idx),
+        Op::I32Const(0xFF),
+        Op::I32And,
+        Op::I32Add,
+        Op::LocalSet(acc),
+        Op::LocalGet(t),
+        Op::I32Const(1),
+        Op::I32Add,
+        Op::LocalSet(t),
+        Op::Br(0),
+        Op::End,
+        Op::End,
+        Op::LocalGet(acc),
+        Op::End,
+    ]);
+
+    let mut m = Module::new(1);
+    let f = m.push_func(
+        FuncBuilder::new("run")
+            .result(ValType::I32)
+            .locals(&[ValType::I32; 4])
+            .body(ops)
+            .build(),
+    );
+    m.export("run", f);
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gadget_mode_is_deterministic_and_valid() {
+        for seed in 0..50 {
+            let m1 = gadget(seed);
+            let m2 = gadget(seed);
+            assert_eq!(
+                format!("{:?}", m1.defined_func(0).map(|f| &f.body)),
+                format!("{:?}", m2.defined_func(0).map(|f| &f.body)),
+                "gadget seed {seed} must be reproducible"
+            );
+            sfi_wasm::validate(&m1).unwrap_or_else(|e| panic!("gadget seed {seed}: {e}"));
+            // Architecturally benign: the interpreter runs it to completion.
+            let mut interp = sfi_wasm::interp::Interpreter::new(&m1).expect("instantiate");
+            interp
+                .invoke_export("run", &[])
+                .unwrap_or_else(|e| panic!("gadget seed {seed} must not trap: {e:?}"));
+        }
+    }
 
     #[test]
     fn generation_is_deterministic_and_valid() {

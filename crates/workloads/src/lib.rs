@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gadgets;
 pub mod genprog;
 pub mod kernels;
 

@@ -58,6 +58,10 @@ pub struct CostModel {
     /// Serial cost of the host-call trampoline (`Inst::CallHost`), excluding
     /// whatever the host itself does.
     pub call_host_cycles: f64,
+    /// Serial cost of `lfence`: the pipeline drains before later µops issue,
+    /// so every fence pays roughly a ROB-refill's worth of cycles. This is
+    /// why the `Lfence` mitigation level is the costliest on branchy code.
+    pub lfence_cycles: f64,
     /// Core frequency in GHz, used only to convert cycles to nanoseconds.
     /// The paper pins benchmarks at 2.2 GHz; so do we.
     pub freq_ghz: f64,
@@ -80,6 +84,7 @@ impl Default for CostModel {
             rdpkru_cycles: 6.0,
             wrgsbase_cycles: 12.0,
             call_host_cycles: 12.0,
+            lfence_cycles: 9.0,
             freq_ghz: 2.2,
         }
     }
@@ -120,6 +125,7 @@ impl CostModel {
             Inst::WrGsBase { .. } | Inst::WrFsBase { .. } => self.wrgsbase_cycles,
             Inst::RdGsBase { .. } => 2.0,
             Inst::CallHost { .. } => self.call_host_cycles,
+            Inst::Lfence => self.lfence_cycles,
             _ => 0.0,
         }
     }
@@ -179,6 +185,20 @@ pub struct RunStats {
     pub dcache_penalty_cycles: f64,
     /// Cycles lost to branch mispredictions.
     pub branch_penalty_cycles: f64,
+    /// Speculation windows opened (one per modeled mispredict rollback when
+    /// a [`crate::emu::SpecConfig`] is installed; always 0 otherwise).
+    pub spec_flushes: u64,
+    /// Wrong-path µops transiently executed across all windows. These µops
+    /// are *not* charged cycles (their latency hides under the mispredict
+    /// penalty already attributed), so the exact-sum invariant
+    /// `attributed_cycles() == cycles` is untouched by speculation; their
+    /// cache/TLB side effects do persist.
+    pub spec_uops: u64,
+    /// Speculative leak events: a transient memory access whose address was
+    /// derived from secret-region data (the taint rule DESIGN.md §16
+    /// documents). Nonzero means the compiled artifact is Spectre-unsafe
+    /// under this strategy/mitigation combination.
+    pub spec_leaks: u64,
 }
 
 impl RunStats {
@@ -196,7 +216,7 @@ impl RunStats {
         }
     }
 
-    /// Sum of all attribution buckets: the six per-provenance buckets plus
+    /// Sum of all attribution buckets: the per-provenance buckets plus
     /// the three penalty buckets, added in a fixed order.
     ///
     /// The emulator finalizes `cycles` *from* this sum at every successful
@@ -230,6 +250,9 @@ impl RunStats {
         self.icache_penalty_cycles += other.icache_penalty_cycles;
         self.dcache_penalty_cycles += other.dcache_penalty_cycles;
         self.branch_penalty_cycles += other.branch_penalty_cycles;
+        self.spec_flushes += other.spec_flushes;
+        self.spec_uops += other.spec_uops;
+        self.spec_leaks += other.spec_leaks;
     }
 }
 

@@ -15,6 +15,7 @@
 //! Segue evaluation needs.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use crate::cache::Cache;
 use crate::cost::{CostModel, RunStats};
@@ -47,6 +48,97 @@ impl AccessCtx {
         self.may_read(key) && (self.pkru >> (2 * key + 1)) & 1 == 0
     }
 }
+
+/// Configuration for the bounded speculation window (DESIGN.md §16).
+///
+/// When installed on a [`Machine`], every mispredicted conditional branch
+/// and every stale-BTB indirect branch opens a transient window: up to
+/// `window` µops of the wrong path execute against *shadow* register state
+/// and a store-forwarding buffer, then roll back. Cache state is
+/// deliberately **not** rolled back — that residue is the Spectre side
+/// channel this model exists to measure.
+///
+/// The window also carries a taint tracker: a transient load from the
+/// configured secret region taints its destination register; when a
+/// secret-derived value later forms the address of any transient memory
+/// access (the "transmit"), the access is recorded in
+/// [`RunStats::spec_leaks`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecConfig {
+    window: u32,
+    secret_lo: u64,
+    secret_hi: u64,
+}
+
+impl SpecConfig {
+    /// Default window: 32 µops, a small ROB's worth of wrong-path work.
+    /// Real reorder buffers run 200+ entries; 32 keeps windows cheap to
+    /// simulate while still being deep enough for every gadget shape the
+    /// corpus exercises (load → derive → transmit is ≤ 10 µops).
+    pub const DEFAULT_WINDOW: u32 = 32;
+
+    /// Upper clamp on the window. Deeper windows only re-walk the same
+    /// wrong path; 128 bounds worst-case simulation cost per mispredict.
+    pub const MAX_WINDOW: u32 = 128;
+
+    /// Creates a speculation config.
+    ///
+    /// `window` is the µop budget per transient window (clamped to
+    /// [`SpecConfig::MAX_WINDOW`]); `[secret_lo, secret_hi)` is the region
+    /// whose contents taint transient loads.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::ZeroWindow`] if `window == 0` (a zero-length window can
+    /// never leak and would report false safety), and
+    /// [`SpecError::EmptySecretRegion`] if `secret_lo >= secret_hi`.
+    pub fn new(window: u32, secret_lo: u64, secret_hi: u64) -> Result<SpecConfig, SpecError> {
+        if window == 0 {
+            return Err(SpecError::ZeroWindow);
+        }
+        if secret_lo >= secret_hi {
+            return Err(SpecError::EmptySecretRegion);
+        }
+        Ok(SpecConfig { window: window.min(Self::MAX_WINDOW), secret_lo, secret_hi })
+    }
+
+    /// The (possibly clamped) µop budget per window.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// The tainted secret region as `(lo, hi)`.
+    pub fn secret_range(&self) -> (u64, u64) {
+        (self.secret_lo, self.secret_hi)
+    }
+
+    #[inline]
+    fn in_secret(&self, addr: u64) -> bool {
+        addr >= self.secret_lo && addr < self.secret_hi
+    }
+}
+
+/// A rejected [`SpecConfig`] (degenerate window or secret region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecError {
+    /// The requested window was zero µops wide.
+    ZeroWindow,
+    /// The secret region was empty (`lo >= hi`).
+    EmptySecretRegion,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::ZeroWindow => {
+                f.write_str("speculation window must be at least 1 µop (W=0 disables the detector)")
+            }
+            SpecError::EmptySecretRegion => f.write_str("secret region is empty (lo >= hi)"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
 
 /// A data-memory backend for the emulator.
 pub trait MemBus {
@@ -280,6 +372,7 @@ pub struct Machine {
     dcache: Cache,
     fuel: u64,
     allow_system: bool,
+    spec: Option<SpecConfig>,
 }
 
 impl Default for Machine {
@@ -298,6 +391,7 @@ impl Machine {
             dcache: Cache::l1d_default(),
             fuel: 2_000_000_000,
             allow_system: true,
+            spec: None,
         }
     }
 
@@ -316,6 +410,28 @@ impl Machine {
     /// emitted").
     pub fn forbid_system_instructions(&mut self) {
         self.allow_system = false;
+    }
+
+    /// Turns on the bounded speculation window for subsequent runs.
+    ///
+    /// Off by default — with no config installed, runs are bit-identical to
+    /// the pre-speculation emulator. With it, mispredicted branches execute
+    /// transient wrong-path µops per [`SpecConfig`], populating the
+    /// `spec_flushes` / `spec_uops` / `spec_leaks` buckets of
+    /// [`RunStats`] (pure counters: no cycles are charged, so the exact-sum
+    /// invariant `attributed_cycles() == cycles` is untouched).
+    pub fn enable_speculation(&mut self, cfg: SpecConfig) {
+        self.spec = Some(cfg);
+    }
+
+    /// Removes the speculation config (back to the architectural-only model).
+    pub fn disable_speculation(&mut self) {
+        self.spec = None;
+    }
+
+    /// The installed speculation config, if any.
+    pub fn speculation(&self) -> Option<SpecConfig> {
+        self.spec
     }
 
     /// Reads a general-purpose register.
@@ -554,29 +670,9 @@ impl Machine {
                         ShiftAmount::Imm(i) => u32::from(i),
                         ShiftAmount::Cl => (self.regs.gpr(Gpr::Rcx) & 0xFF) as u32,
                     };
-                    let bits = width.bytes() as u32 * 8;
-                    let n = n & (bits - 1);
+                    let n = n & (width.bytes() as u32 * 8 - 1);
                     let a = width.mask(self.regs.gpr(dst));
-                    let r = match op {
-                        ShiftOp::Shl => a.wrapping_shl(n),
-                        ShiftOp::Shr => a.wrapping_shr(n),
-                        ShiftOp::Sar => (width.sext(a) as i64).wrapping_shr(n) as u64,
-                        ShiftOp::Rol => {
-                            if n == 0 {
-                                a
-                            } else {
-                                (a << n | a >> (bits - n)) & width.mask(u64::MAX)
-                            }
-                        }
-                        ShiftOp::Ror => {
-                            if n == 0 {
-                                a
-                            } else {
-                                (a >> n | a << (bits - n)) & width.mask(u64::MAX)
-                            }
-                        }
-                    };
-                    let r = width.mask(r);
+                    let r = Self::shift_compute(op, a, n, width);
                     self.regs.write_width(dst, width, r);
                     if n != 0 {
                         self.regs.flags.zf = r == 0;
@@ -615,15 +711,30 @@ impl Machine {
                     let taken = self.regs.flags.cond(cond);
                     let ctr = &mut predictor[pc];
                     let predicted_taken = *ctr >= 2;
-                    if predicted_taken != taken {
-                        stats.branch_misses += 1;
-                        cycles += self.cost.branch_miss_cycles;
-                    }
                     *ctr = match (taken, *ctr) {
                         (true, c) if c < 3 => c + 1,
                         (false, c) if c > 0 => c - 1,
                         (_, c) => c,
                     };
+                    if predicted_taken != taken {
+                        stats.branch_misses += 1;
+                        cycles += self.cost.branch_miss_cycles;
+                        // Wrong-path fetch: the front end ran down the
+                        // *predicted* direction until the mispredict
+                        // resolved. With speculation enabled, model those
+                        // transient µops (rolled back architecturally, but
+                        // their cache footprint persists).
+                        if self.spec.is_some() {
+                            let wrong = if predicted_taken {
+                                prog.resolve(target)
+                            } else {
+                                Some(pc + 1)
+                            };
+                            if let Some(start) = wrong {
+                                self.speculate(image, start, &predictor, &btb, bus, &mut stats);
+                            }
+                        }
+                    }
                     if taken {
                         next = self.resolve(prog, target)?;
                         cycles += self.cost.taken_branch_cycles;
@@ -635,9 +746,18 @@ impl Machine {
                     if t >= insts.len() {
                         return Err(Trap::BadControlFlow { target: t as u64 });
                     }
-                    if btb.insert(pc, t) != Some(t) {
+                    let prev = btb.insert(pc, t);
+                    if prev != Some(t) {
                         stats.branch_misses += 1;
                         cycles += self.cost.branch_miss_cycles;
+                        // Stale BTB entry: the front end speculated into the
+                        // *previous* target with the *current* register
+                        // state — the transient type-confusion channel.
+                        if let Some(old) = prev {
+                            if self.spec.is_some() {
+                                self.speculate(image, old, &predictor, &btb, bus, &mut stats);
+                            }
+                        }
                     }
                     next = t;
                     cycles += self.cost.taken_branch_cycles;
@@ -653,9 +773,15 @@ impl Machine {
                     if t >= insts.len() {
                         return Err(Trap::BadControlFlow { target: t as u64 });
                     }
-                    if btb.insert(pc, t) != Some(t) {
+                    let prev = btb.insert(pc, t);
+                    if prev != Some(t) {
                         stats.branch_misses += 1;
                         cycles += self.cost.branch_miss_cycles;
+                        if let Some(old) = prev {
+                            if self.spec.is_some() {
+                                self.speculate(image, old, &predictor, &btb, bus, &mut stats);
+                            }
+                        }
                     }
                     call_stack.push(pc + 1);
                     next = t;
@@ -733,6 +859,11 @@ impl Machine {
                     self.regs.set_gpr(Gpr::Rax, v);
                 }
                 Inst::Ud2 => return Err(Trap::Undefined),
+                Inst::Lfence => {
+                    // Architecturally a no-op; its effect is that no
+                    // speculative window can cross it (see `speculate`) and
+                    // the serial-dispatch charge from the cost model.
+                }
                 Inst::Nop => {}
             }
             cycles += self.cost.serial_cycles(inst);
@@ -759,6 +890,444 @@ impl Machine {
         Ok(stats)
     }
 
+    /// Executes one transient wrong-path window starting at `start`.
+    ///
+    /// Shadow state only: registers and flags are cloned and discarded,
+    /// stores land in a forwarding buffer that never reaches the bus, and
+    /// nothing is charged to `cycles` (the spec buckets are pure counters,
+    /// so the exact-sum invariant is untouched). The two effects that
+    /// persist past the rollback are the cache footprint — wrong-path
+    /// fetches and data touches stay resident, which **is** the side
+    /// channel — and the taint-based leak counter.
+    ///
+    /// Taint rules: a transient load whose address falls in the configured
+    /// secret region taints its destination; taint propagates through ALU,
+    /// moves, shifts, and store-to-load forwarding; any transient memory
+    /// access whose *address* is tainted (or an indirect branch through a
+    /// tainted register) records a leak.
+    fn speculate<M: MemBus>(
+        &mut self,
+        image: &Image,
+        start: usize,
+        predictor: &[u8],
+        btb: &HashMap<usize, usize>,
+        bus: &mut M,
+        stats: &mut RunStats,
+    ) {
+        let Some(spec) = self.spec else { return };
+        stats.spec_flushes += 1;
+        let prog = &image.program;
+        let insts = prog.insts();
+        let enc = &image.encoded;
+        let mut regs = self.regs.clone();
+        // One taint bit per GPR / XMM register; `flags_taint` covers EFLAGS.
+        let mut taint: u16 = 0;
+        let mut xtaint: u16 = 0;
+        let mut flags_taint = false;
+        // Byte-granular store-forwarding buffer, each byte carrying taint.
+        let mut store_buf: HashMap<u64, (u8, bool)> = HashMap::new();
+        let mut spec_stack: Vec<usize> = Vec::new();
+        let mut pc = start;
+        let mut budget = i64::from(spec.window);
+
+        macro_rules! is_t {
+            ($r:expr) => {
+                taint & (1u16 << $r.index()) != 0
+            };
+        }
+        // Width-aware taint write: 32/64-bit destinations are fully
+        // overwritten (taint replaced); 8/16-bit writes merge (taint ORs).
+        macro_rules! put_t {
+            ($dst:expr, $w:expr, $t:expr) => {{
+                let bit = 1u16 << $dst.index();
+                if matches!($w, Width::Q | Width::D) {
+                    if $t {
+                        taint |= bit;
+                    } else {
+                        taint &= !bit;
+                    }
+                } else if $t {
+                    taint |= bit;
+                }
+            }};
+        }
+        // Effective address of a transient access: touches the D-cache
+        // (the persistent footprint) and records a leak when the address
+        // is secret-derived — that touch is the transmit.
+        macro_rules! mem_ea {
+            ($mem:expr, $len:expr) => {{
+                let m = $mem;
+                let ea = m.effective_addr(|r| regs.gpr(r), |s| regs.seg_base(s));
+                let mut addr_t = false;
+                if let Some(b) = m.base {
+                    addr_t |= is_t!(b);
+                }
+                if let Some((i, _)) = m.index {
+                    addr_t |= is_t!(i);
+                }
+                if addr_t {
+                    stats.spec_leaks += 1;
+                }
+                self.dcache.access_range(ea, $len);
+                ea
+            }};
+        }
+        // Transient load value + taint: secret-region bytes are synthesized
+        // deterministically (the region lives outside the architecturally
+        // mapped sandbox, so the bus would fault); other addresses read
+        // through the bus with faulting loads forwarding zero; the store
+        // buffer overlays both.
+        macro_rules! spec_load {
+            ($ea:expr, $w:expr) => {{
+                let ea: u64 = $ea;
+                let w: Width = $w;
+                let mut t = spec.in_secret(ea);
+                let mut v: u64 = if t {
+                    let mut x = 0u64;
+                    for i in 0..w.bytes() {
+                        x |= u64::from((ea.wrapping_add(i) as u8) ^ 0xA5) << (8 * i);
+                    }
+                    x
+                } else {
+                    bus.load(ea, w, AccessCtx { pkru: regs.pkru }).unwrap_or(0)
+                };
+                for i in 0..w.bytes() {
+                    if let Some(&(b, bt)) = store_buf.get(&ea.wrapping_add(i)) {
+                        v = (v & !(0xFFu64 << (8 * i))) | (u64::from(b) << (8 * i));
+                        t |= bt;
+                    }
+                }
+                (v, t)
+            }};
+        }
+        macro_rules! spec_store {
+            ($ea:expr, $w:expr, $v:expr, $t:expr) => {{
+                let ea: u64 = $ea;
+                let v: u64 = $v;
+                for i in 0..$w.bytes() {
+                    store_buf.insert(ea.wrapping_add(i), ((v >> (8 * i)) as u8, $t));
+                }
+            }};
+        }
+
+        'window: while budget > 0 && pc < insts.len() {
+            let inst = &insts[pc];
+            let uops = self.cost.uops(inst).ceil().max(1.0) as i64;
+            budget -= uops;
+            stats.spec_uops += uops as u64;
+            // Wrong-path fetch touches the I-cache; the footprint persists.
+            self.icache.access(u64::from(enc.offsets[pc]));
+            let mut next = pc + 1;
+            match *inst {
+                Inst::MovRR { dst, src, width } => {
+                    let v = width.mask(regs.gpr(src));
+                    regs.write_width(dst, width, v);
+                    let t = is_t!(src);
+                    put_t!(dst, width, t);
+                }
+                Inst::MovRI { dst, imm, width } => {
+                    regs.write_width(dst, width, imm as u64);
+                    put_t!(dst, width, false);
+                }
+                Inst::Load { dst, mem, width } => {
+                    let ea = mem_ea!(&mem, width.bytes());
+                    let (v, t) = spec_load!(ea, width);
+                    if width == Width::D || width == Width::Q {
+                        regs.set_gpr(dst, width.mask(v));
+                    } else {
+                        regs.write_width(dst, width, v);
+                    }
+                    put_t!(dst, width, t);
+                }
+                Inst::LoadSx { dst, mem, width } => {
+                    let ea = mem_ea!(&mem, width.bytes());
+                    let (v, t) = spec_load!(ea, width);
+                    regs.set_gpr(dst, width.sext(v));
+                    put_t!(dst, Width::Q, t);
+                }
+                Inst::LoadZx { dst, mem, width } => {
+                    let ea = mem_ea!(&mem, width.bytes());
+                    let (v, t) = spec_load!(ea, width);
+                    regs.set_gpr(dst, width.mask(v));
+                    put_t!(dst, Width::Q, t);
+                }
+                Inst::Store { src, mem, width } => {
+                    let ea = mem_ea!(&mem, width.bytes());
+                    spec_store!(ea, width, width.mask(regs.gpr(src)), is_t!(src));
+                }
+                Inst::StoreImm { imm, mem, width } => {
+                    let ea = mem_ea!(&mem, width.bytes());
+                    spec_store!(ea, width, width.mask(imm as i64 as u64), false);
+                }
+                Inst::Lea { dst, mem, width } => {
+                    let mut ea = mem.disp as i64 as u64;
+                    let mut t = false;
+                    if let Some(b) = mem.base {
+                        ea = ea.wrapping_add(regs.gpr(b));
+                        t |= is_t!(b);
+                    }
+                    if let Some((i, s)) = mem.index {
+                        ea = ea.wrapping_add(regs.gpr(i).wrapping_mul(s.factor()));
+                        t |= is_t!(i);
+                    }
+                    if mem.addr32 {
+                        ea &= 0xFFFF_FFFF;
+                    }
+                    regs.write_width(dst, width, ea);
+                    put_t!(dst, width, t);
+                }
+                Inst::Movzx { dst, src, from } => {
+                    regs.set_gpr(dst, from.mask(regs.gpr(src)));
+                    let t = is_t!(src);
+                    put_t!(dst, Width::Q, t);
+                }
+                Inst::Movsx { dst, src, from } => {
+                    regs.set_gpr(dst, from.sext(regs.gpr(src)));
+                    let t = is_t!(src);
+                    put_t!(dst, Width::Q, t);
+                }
+                Inst::AluRR { op, dst, src, width } => {
+                    let a = width.mask(regs.gpr(dst));
+                    let b = width.mask(regs.gpr(src));
+                    let (r, f) = Self::alu_compute(op, a, b, width);
+                    regs.flags = f;
+                    let t = is_t!(dst) | is_t!(src);
+                    flags_taint = t;
+                    if op.writes_dst() {
+                        regs.write_width(dst, width, r);
+                        put_t!(dst, width, t);
+                    }
+                }
+                Inst::AluRI { op, dst, imm, width } => {
+                    let a = width.mask(regs.gpr(dst));
+                    let b = width.mask(imm as i64 as u64);
+                    let (r, f) = Self::alu_compute(op, a, b, width);
+                    regs.flags = f;
+                    let t = is_t!(dst);
+                    flags_taint = t;
+                    if op.writes_dst() {
+                        regs.write_width(dst, width, r);
+                        put_t!(dst, width, t);
+                    }
+                }
+                Inst::AluRM { op, dst, mem, width } => {
+                    let ea = mem_ea!(&mem, width.bytes());
+                    let (b, mt) = spec_load!(ea, width);
+                    let a = width.mask(regs.gpr(dst));
+                    let (r, f) = Self::alu_compute(op, a, width.mask(b), width);
+                    regs.flags = f;
+                    let t = is_t!(dst) | mt;
+                    flags_taint = t;
+                    if op.writes_dst() {
+                        regs.write_width(dst, width, r);
+                        put_t!(dst, width, t);
+                    }
+                }
+                Inst::TestRR { a, b, width } => {
+                    let x = width.mask(regs.gpr(a)) & width.mask(regs.gpr(b));
+                    regs.flags = Flags {
+                        zf: x == 0,
+                        sf: x >> width.sign_bit() & 1 == 1,
+                        cf: false,
+                        of: false,
+                    };
+                    flags_taint = is_t!(a) | is_t!(b);
+                }
+                Inst::Imul { dst, src, width } => {
+                    let r = width.mask(regs.gpr(dst)).wrapping_mul(width.mask(regs.gpr(src)));
+                    regs.write_width(dst, width, width.mask(r));
+                    let t = is_t!(dst) | is_t!(src);
+                    put_t!(dst, width, t);
+                }
+                Inst::ImulRRI { dst, src, imm, width } => {
+                    let r = width.mask(regs.gpr(src)).wrapping_mul(width.mask(imm as i64 as u64));
+                    regs.write_width(dst, width, width.mask(r));
+                    let t = is_t!(src);
+                    put_t!(dst, width, t);
+                }
+                // Divides serialize the window in this model (their latency
+                // outlives any realistic transient window).
+                Inst::Div { .. } => break 'window,
+                Inst::Cdq { width } => {
+                    let a = width.mask(regs.gpr(Gpr::Rax));
+                    let sign = a >> width.sign_bit() & 1 == 1;
+                    let v = if sign { width.mask(u64::MAX) } else { 0 };
+                    regs.write_width(Gpr::Rdx, width, v);
+                    let t = is_t!(Gpr::Rax);
+                    put_t!(Gpr::Rdx, width, t);
+                }
+                Inst::Shift { op, dst, amount, width } => {
+                    let (n0, amt_t) = match amount {
+                        ShiftAmount::Imm(i) => (u32::from(i), false),
+                        ShiftAmount::Cl => ((regs.gpr(Gpr::Rcx) & 0xFF) as u32, is_t!(Gpr::Rcx)),
+                    };
+                    let n = n0 & (width.bytes() as u32 * 8 - 1);
+                    let a = width.mask(regs.gpr(dst));
+                    let r = Self::shift_compute(op, a, n, width);
+                    regs.write_width(dst, width, r);
+                    let t = is_t!(dst) | amt_t;
+                    put_t!(dst, width, t);
+                    if n != 0 {
+                        regs.flags.zf = r == 0;
+                        regs.flags.sf = r >> width.sign_bit() & 1 == 1;
+                        flags_taint = t;
+                    }
+                }
+                Inst::Neg { dst, width } => {
+                    let a = width.mask(regs.gpr(dst));
+                    let (r, f) = Self::alu_compute(AluOp::Sub, 0, a, width);
+                    regs.flags = f;
+                    regs.write_width(dst, width, r);
+                    flags_taint = is_t!(dst);
+                }
+                Inst::Not { dst, width } => {
+                    let a = width.mask(regs.gpr(dst));
+                    regs.write_width(dst, width, width.mask(!a));
+                }
+                Inst::Cmov { cond, dst, src, width } => {
+                    if regs.flags.cond(cond) {
+                        let v = width.mask(regs.gpr(src));
+                        regs.write_width(dst, width, v);
+                        let t = is_t!(src) | flags_taint;
+                        put_t!(dst, width, t);
+                    } else if width == Width::D {
+                        let v = width.mask(regs.gpr(dst));
+                        regs.set_gpr(dst, v);
+                    }
+                }
+                Inst::Setcc { cond, dst } => {
+                    let v = u64::from(regs.flags.cond(cond));
+                    regs.set_gpr(dst, v);
+                    put_t!(dst, Width::Q, flags_taint);
+                }
+                Inst::Jmp { target } => match prog.resolve(target) {
+                    Some(t) => next = t,
+                    None => break 'window,
+                },
+                Inst::Jcc { target, .. } => {
+                    // Nested branches follow the predictor (read-only: the
+                    // wrong path must not train the committed state).
+                    let predicted = predictor.get(pc).is_some_and(|&c| c >= 2);
+                    if predicted {
+                        match prog.resolve(target) {
+                            Some(t) => next = t,
+                            None => break 'window,
+                        }
+                    }
+                }
+                Inst::JmpReg { reg } => {
+                    if is_t!(reg) {
+                        // Secret-steered fetch: the target itself transmits.
+                        stats.spec_leaks += 1;
+                        break 'window;
+                    }
+                    // The transient front end follows the BTB, not the
+                    // (not-yet-executed) register value.
+                    match btb.get(&pc) {
+                        Some(&t) if t < insts.len() => next = t,
+                        _ => break 'window,
+                    }
+                }
+                Inst::Call { target } => match prog.resolve(target) {
+                    Some(t) => {
+                        spec_stack.push(pc + 1);
+                        next = t;
+                    }
+                    None => break 'window,
+                },
+                Inst::CallReg { reg } => {
+                    if is_t!(reg) {
+                        stats.spec_leaks += 1;
+                        break 'window;
+                    }
+                    match btb.get(&pc) {
+                        Some(&t) if t < insts.len() => {
+                            spec_stack.push(pc + 1);
+                            next = t;
+                        }
+                        _ => break 'window,
+                    }
+                }
+                Inst::Ret => match spec_stack.pop() {
+                    Some(ra) => next = ra,
+                    // Returning into the committed caller would need the
+                    // real RSB; end the window instead.
+                    None => break 'window,
+                },
+                // The window cannot cross host transitions, serializing
+                // system writes, faults, or an lfence — the last one being
+                // exactly the mitigation contract.
+                Inst::CallHost { .. }
+                | Inst::WrGsBase { .. }
+                | Inst::WrFsBase { .. }
+                | Inst::WrPkru
+                | Inst::Ud2
+                | Inst::Lfence => break 'window,
+                Inst::RdGsBase { dst } => {
+                    let v = regs.gs_base;
+                    regs.set_gpr(dst, v);
+                    put_t!(dst, Width::Q, false);
+                }
+                Inst::RdPkru => {
+                    let v = u64::from(regs.pkru);
+                    regs.set_gpr(Gpr::Rax, v);
+                    put_t!(Gpr::Rax, Width::Q, false);
+                }
+                Inst::Push { reg } => {
+                    let sp = regs.gpr(Gpr::Rsp).wrapping_sub(8);
+                    regs.set_gpr(Gpr::Rsp, sp);
+                    if is_t!(Gpr::Rsp) {
+                        stats.spec_leaks += 1;
+                    }
+                    self.dcache.access_range(sp, 8);
+                    spec_store!(sp, Width::Q, regs.gpr(reg), is_t!(reg));
+                }
+                Inst::Pop { reg } => {
+                    let sp = regs.gpr(Gpr::Rsp);
+                    if is_t!(Gpr::Rsp) {
+                        stats.spec_leaks += 1;
+                    }
+                    self.dcache.access_range(sp, 8);
+                    let (v, t) = spec_load!(sp, Width::Q);
+                    regs.set_gpr(reg, v);
+                    regs.set_gpr(Gpr::Rsp, sp.wrapping_add(8));
+                    put_t!(reg, Width::Q, t);
+                }
+                Inst::MovdquLoad { dst, mem } => {
+                    let ea = mem_ea!(&mem, 16);
+                    let (lo, t0) = spec_load!(ea, Width::Q);
+                    let (hi, t1) = spec_load!(ea.wrapping_add(8), Width::Q);
+                    regs.set_xmm(dst, (lo as u128) | ((hi as u128) << 64));
+                    let bit = 1u16 << dst.index();
+                    if t0 | t1 {
+                        xtaint |= bit;
+                    } else {
+                        xtaint &= !bit;
+                    }
+                }
+                Inst::MovdquStore { src, mem } => {
+                    let ea = mem_ea!(&mem, 16);
+                    let v = regs.xmm(src);
+                    let t = xtaint & (1u16 << src.index()) != 0;
+                    spec_store!(ea, Width::Q, v as u64, t);
+                    spec_store!(ea.wrapping_add(8), Width::Q, (v >> 64) as u64, t);
+                }
+                Inst::MovdqaRR { dst, src } => {
+                    let v = regs.xmm(src);
+                    regs.set_xmm(dst, v);
+                    let bit = 1u16 << dst.index();
+                    if xtaint & (1u16 << src.index()) != 0 {
+                        xtaint |= bit;
+                    } else {
+                        xtaint &= !bit;
+                    }
+                }
+                Inst::Nop => {}
+            }
+            pc = next;
+        }
+    }
+
     #[inline]
     fn ea(&self, mem: &crate::Mem) -> u64 {
         mem.effective_addr(|r| self.regs.gpr(r), |s| self.regs.seg_base(s))
@@ -781,7 +1350,34 @@ impl Machine {
         prog.resolve(target).ok_or(Trap::BadControlFlow { target: u64::from(target.0) })
     }
 
-    fn alu(&mut self, op: AluOp, a: u64, b: u64, width: Width) -> u64 {
+    /// Pure shift: `a` shifted/rotated by the pre-masked amount `n`.
+    fn shift_compute(op: ShiftOp, a: u64, n: u32, width: Width) -> u64 {
+        let bits = width.bytes() as u32 * 8;
+        let r = match op {
+            ShiftOp::Shl => a.wrapping_shl(n),
+            ShiftOp::Shr => a.wrapping_shr(n),
+            ShiftOp::Sar => (width.sext(a) as i64).wrapping_shr(n) as u64,
+            ShiftOp::Rol => {
+                if n == 0 {
+                    a
+                } else {
+                    (a << n | a >> (bits - n)) & width.mask(u64::MAX)
+                }
+            }
+            ShiftOp::Ror => {
+                if n == 0 {
+                    a
+                } else {
+                    (a >> n | a << (bits - n)) & width.mask(u64::MAX)
+                }
+            }
+        };
+        width.mask(r)
+    }
+
+    /// Pure ALU: result and flags, no machine state touched (shared between
+    /// the architectural path and the transient wrong-path interpreter).
+    fn alu_compute(op: AluOp, a: u64, b: u64, width: Width) -> (u64, Flags) {
         let sign = width.sign_bit();
         let (r, cf, of) = match op {
             AluOp::Add => {
@@ -800,8 +1396,12 @@ impl Machine {
             AluOp::Or => (a | b, false, false),
             AluOp::Xor => (a ^ b, false, false),
         };
-        self.regs.flags =
-            Flags { zf: r == 0, sf: r >> sign & 1 == 1, cf, of };
+        (r, Flags { zf: r == 0, sf: r >> sign & 1 == 1, cf, of })
+    }
+
+    fn alu(&mut self, op: AluOp, a: u64, b: u64, width: Width) -> u64 {
+        let (r, flags) = Self::alu_compute(op, a, b, width);
+        self.regs.flags = flags;
         r
     }
 
@@ -1174,6 +1774,120 @@ mod tests {
         let (m, _, _) = run_prog(&p, 64);
         assert_eq!(m.gpr(Gpr::Rax), 9);
         assert_eq!(m.gpr(Gpr::Rcx), 1);
+    }
+
+    /// A classic Spectre-v1 shape: a bounds check (`cmp; ja`) trained
+    /// in-bounds for 15 trips, then fed a secret-region offset on the last
+    /// trip. Architecturally the body is skipped; transiently the load at
+    /// the secret offset and the dependent probe both execute.
+    fn spectre_gadget(with_fence: bool) -> Program {
+        let mut p = Program::new();
+        let top = p.fresh_label();
+        let oob = p.fresh_label();
+        p.push(Inst::MovRI { dst: Gpr::Rdx, imm: 0x1000, width: Width::Q });
+        p.push(Inst::MovRI { dst: Gpr::Rcx, imm: 16, width: Width::Q });
+        p.bind(top);
+        p.push(Inst::MovRI { dst: Gpr::Rbx, imm: 8, width: Width::Q });
+        p.push(Inst::AluRI { op: AluOp::Cmp, dst: Gpr::Rcx, imm: 1, width: Width::Q });
+        p.push(Inst::Cmov { cond: Cond::E, dst: Gpr::Rbx, src: Gpr::Rdx, width: Width::Q });
+        p.push(Inst::AluRI { op: AluOp::Cmp, dst: Gpr::Rbx, imm: 16, width: Width::Q });
+        p.push(Inst::Jcc { cond: Cond::A, target: oob });
+        if with_fence {
+            p.push(Inst::Lfence);
+        }
+        p.push(Inst::Load { dst: Gpr::Rax, mem: Mem::base(Gpr::Rbx), width: Width::B });
+        p.push(Inst::Shift {
+            op: ShiftOp::Shl,
+            dst: Gpr::Rax,
+            amount: ShiftAmount::Imm(6),
+            width: Width::Q,
+        });
+        p.push(Inst::Load { dst: Gpr::R8, mem: Mem::base_disp(Gpr::Rax, 0x200), width: Width::Q });
+        p.bind(oob);
+        p.push(Inst::AluRI { op: AluOp::Sub, dst: Gpr::Rcx, imm: 1, width: Width::Q });
+        p.push(Inst::Jcc { cond: Cond::Ne, target: top });
+        p.push(Inst::Ret);
+        p
+    }
+
+    fn spec_cfg() -> SpecConfig {
+        SpecConfig::new(SpecConfig::DEFAULT_WINDOW, 0x1000, 0x1040).unwrap()
+    }
+
+    #[test]
+    fn spec_config_rejects_degenerate() {
+        assert_eq!(SpecConfig::new(0, 0, 0x100), Err(SpecError::ZeroWindow));
+        assert_eq!(SpecConfig::new(32, 0x100, 0x100), Err(SpecError::EmptySecretRegion));
+        assert_eq!(SpecConfig::new(32, 0x200, 0x100), Err(SpecError::EmptySecretRegion));
+    }
+
+    #[test]
+    fn spec_config_clamps_window() {
+        assert_eq!(SpecConfig::DEFAULT_WINDOW, 32);
+        let cfg = SpecConfig::new(1000, 0, 0x100).unwrap();
+        assert_eq!(cfg.window(), SpecConfig::MAX_WINDOW);
+        assert_eq!(SpecConfig::new(1, 0, 0x100).unwrap().window(), 1);
+    }
+
+    #[test]
+    fn bounds_check_bypass_leaks_transiently() {
+        let p = spectre_gadget(false);
+        let mut mem = FlatMemory::new(0x20000);
+        let mut m = Machine::new();
+        m.enable_speculation(spec_cfg());
+        let image = Image::load(p).unwrap();
+        let stats = m.run_image(&image, &mut mem).unwrap();
+        assert!(stats.spec_flushes > 0, "mispredict must open a window");
+        assert!(stats.spec_uops > 0);
+        assert!(stats.spec_leaks > 0, "secret-derived probe address must be flagged");
+        // Spec buckets are pure counters: the exact-sum invariant holds.
+        assert_eq!(stats.attributed_cycles(), stats.cycles);
+    }
+
+    #[test]
+    fn lfence_closes_the_window() {
+        let p = spectre_gadget(true);
+        let mut mem = FlatMemory::new(0x20000);
+        let mut m = Machine::new();
+        m.enable_speculation(spec_cfg());
+        let image = Image::load(p).unwrap();
+        let stats = m.run_image(&image, &mut mem).unwrap();
+        assert!(stats.spec_flushes > 0, "the mispredict still happens");
+        assert_eq!(stats.spec_leaks, 0, "the fence must stop the transient load");
+    }
+
+    #[test]
+    fn speculation_rolls_back_architectural_state() {
+        let p = spectre_gadget(false);
+        let image = Image::load(p).unwrap();
+        let run = |spec: Option<SpecConfig>| {
+            let mut mem = FlatMemory::new(0x20000);
+            let mut m = Machine::new();
+            if let Some(cfg) = spec {
+                m.enable_speculation(cfg);
+            }
+            m.run_image(&image, &mut mem).unwrap();
+            (m, mem)
+        };
+        let (m_off, mem_off) = run(None);
+        let (m_on, mem_on) = run(Some(spec_cfg()));
+        for r in Gpr::ALL {
+            assert_eq!(m_off.gpr(r), m_on.gpr(r), "gpr {r:?} must roll back");
+        }
+        assert_eq!(m_off.regs.flags, m_on.regs.flags);
+        assert_eq!(mem_off.bytes(), mem_on.bytes(), "spec stores must never hit memory");
+    }
+
+    #[test]
+    fn speculation_disabled_is_bit_identical() {
+        let p = spectre_gadget(false);
+        let image = Image::load(p).unwrap();
+        let mut mem = FlatMemory::new(0x20000);
+        let mut m = Machine::new();
+        let base = m.run_image(&image, &mut mem).unwrap();
+        assert_eq!(base.spec_flushes, 0);
+        assert_eq!(base.spec_uops, 0);
+        assert_eq!(base.spec_leaks, 0);
     }
 
     #[test]

@@ -643,6 +643,9 @@ fn encode_with(inst: &Inst, target_disp: impl Fn(Label) -> i64) -> Result<Vec<u8
         Inst::Ud2 => {
             e.b(0x0F).b(0x0B);
         }
+        Inst::Lfence => {
+            e.b(0x0F).b(0xAE).b(0xE8);
+        }
         Inst::Nop => {
             e.b(0x90);
         }

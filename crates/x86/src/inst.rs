@@ -298,6 +298,10 @@ pub enum Inst {
     RdPkru,
     /// `ud2` — deterministic trap (bounds-check failure path).
     Ud2,
+    /// `lfence` — load/speculation fence. Architecturally a no-op in this
+    /// model; the emulator's speculation window cannot cross it, which is
+    /// what the `MitigationLevel::Lfence` hardening pass relies on.
+    Lfence,
     /// `nop`
     Nop,
 }
@@ -443,6 +447,7 @@ impl core::fmt::Display for Inst {
             Inst::WrPkru => f.write_str("wrpkru"),
             Inst::RdPkru => f.write_str("rdpkru"),
             Inst::Ud2 => f.write_str("ud2"),
+            Inst::Lfence => f.write_str("lfence"),
             Inst::Nop => f.write_str("nop"),
         }
     }

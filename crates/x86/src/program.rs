@@ -30,21 +30,26 @@ pub enum Provenance {
     /// Slots the optimizing tier or vectorizer rewrote to `nop`
     /// (label-stable removal leaves the slot behind).
     OptInserted,
+    /// Spectre mitigation code inserted by the `MitigationLevel` passes
+    /// (post-branch `lfence`s, SLH predicated masks, strengthened index
+    /// masks) — the per-strategy security tax the §16 frontier measures.
+    SpecMitigation,
 }
 
 impl Provenance {
     /// All classes, in the canonical export order.
-    pub const ALL: [Provenance; 6] = [
+    pub const ALL: [Provenance; 7] = [
         Provenance::GuestCompute,
         Provenance::BoundsGuard,
         Provenance::SegueAddressing,
         Provenance::Truncation,
         Provenance::TransitionGlue,
         Provenance::OptInserted,
+        Provenance::SpecMitigation,
     ];
 
     /// Number of classes (the length of per-provenance bucket arrays).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// Stable snake_case name used in metric labels and folded stacks.
     pub fn name(self) -> &'static str {
@@ -55,6 +60,7 @@ impl Provenance {
             Provenance::Truncation => "truncation",
             Provenance::TransitionGlue => "transition_glue",
             Provenance::OptInserted => "opt_inserted",
+            Provenance::SpecMitigation => "spec_mitigation",
         }
     }
 
@@ -67,6 +73,7 @@ impl Provenance {
             Provenance::Truncation => 3,
             Provenance::TransitionGlue => 4,
             Provenance::OptInserted => 5,
+            Provenance::SpecMitigation => 6,
         }
     }
 }
@@ -144,6 +151,31 @@ impl Program {
     /// ([`Provenance::GuestCompute`] if never tagged).
     pub fn prov_at(&self, index: usize) -> Provenance {
         self.prov.get(index).copied().unwrap_or_default()
+    }
+
+    /// Inserts `inst` at `index`, shifting everything at `index` and later
+    /// down by one — **label-stable**: a label bound at a position *after*
+    /// `index` keeps pointing at the same instruction, while a label bound
+    /// exactly *at* `index` now points at the inserted instruction (so a
+    /// branch landing there executes it first, then falls through to the
+    /// original target — which is exactly what mitigation passes inserting
+    /// architectural no-ops like `lfence` at branch targets want).
+    ///
+    /// Indirect-call dispatch is unaffected: the function table maps to
+    /// labels, which this method re-bases along with every other label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len()`.
+    pub fn insert(&mut self, index: usize, inst: Inst, prov: Provenance) {
+        assert!(index <= self.insts.len(), "insert({index}) past {} insts", self.insts.len());
+        self.insts.insert(index, inst);
+        self.prov.insert(index, prov);
+        for slot in &mut self.labels {
+            if *slot != usize::MAX && *slot > index {
+                *slot += 1;
+            }
+        }
     }
 
     /// Creates a new, unbound label.
@@ -319,6 +351,24 @@ mod tests {
         let idx = p.add_func_table_entry(l);
         assert_eq!(p.func_table_entry(idx), Some(l));
         assert_eq!(p.func_table_entry(99), None);
+    }
+
+    #[test]
+    fn insert_is_label_stable() {
+        let mut p = Program::new();
+        p.push(Inst::Nop); // 0
+        let at = p.here(); // label at 1
+        p.push(Inst::MovRI { dst: Gpr::Rax, imm: 1, width: Width::Q }); // 1
+        let after = p.here(); // label at 2
+        p.push(Inst::Ret); // 2
+        p.insert(1, Inst::Ud2, Provenance::SpecMitigation);
+        // Label bound *at* the insertion point now hits the inserted inst…
+        assert_eq!(p.resolve(at), Some(1));
+        assert!(matches!(p.insts()[1], Inst::Ud2));
+        assert_eq!(p.prov_at(1), Provenance::SpecMitigation);
+        // …and later labels keep pointing at the same instruction.
+        assert_eq!(p.resolve(after), Some(3));
+        assert!(matches!(p.insts()[3], Inst::Ret));
     }
 
     #[test]

@@ -99,6 +99,48 @@ fn guard_strategies_pay_their_own_buckets() {
     assert!(found, "no polybench kernel executed GuardRegion addressing cycles");
 }
 
+/// Speculation hardening pays into its own bucket under every protected
+/// strategy, the exact-sum pin survives it, and unhardened builds never
+/// charge the `SpecMitigation` bucket.
+#[test]
+fn spec_mitigation_buckets_pin_exact_sums() {
+    use sfi_core::MitigationLevel;
+    let module = workload();
+    for strategy in STRATEGIES {
+        if strategy == Strategy::Native {
+            continue; // no sandbox: mitigation levels are not part of its matrix
+        }
+        for level in MitigationLevel::ALL {
+            let config = CompilerConfig::for_strategy(strategy).mitigated(level);
+            let cm = compile(&module, &config).expect("compile");
+            let out = execute_export(&cm, "run", &[]).expect("run");
+            let s = out.stats;
+            assert_eq!(
+                s.attributed_cycles(),
+                s.cycles,
+                "{strategy}/{level}: bucket sum diverges from total"
+            );
+            let spec = s.prov_cycles[Provenance::SpecMitigation.index()];
+            match level {
+                MitigationLevel::None => {
+                    assert_eq!(spec, 0.0, "{strategy}: unmitigated build charged SpecMitigation");
+                }
+                // Lfence and IndexMask insert on every compiled function;
+                // SLH only where trap-bound checks exist, so it may be
+                // legitimately zero for strategies without bounds checks.
+                MitigationLevel::Lfence | MitigationLevel::IndexMask => {
+                    assert!(spec > 0.0, "{strategy}/{level}: hardened build paid no mitigation cycles");
+                }
+                MitigationLevel::Slh => {
+                    if strategy.bounds_checks() {
+                        assert!(spec > 0.0, "{strategy}/slh: bounds checks left unhardened");
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn opt_tier_nop_slots_are_retagged() {
     let module = workload();
